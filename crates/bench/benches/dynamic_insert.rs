@@ -1,0 +1,99 @@
+//! Dynamic insertion/deletion costs (§4.1): how expensive it is to change
+//! the instrumentation of a running application, and the duty-cycle
+//! ablation — "insert mapping instrumentation once at the beginning of
+//! execution and leave it in, or insert and delete mapping instrumentation
+//! throughout execution".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyninst_sim::{ExecCtx, InstrumentationManager, Op, Snippet};
+use paradyn_tool::MappingInstrumentation;
+use pdmap::hierarchy::Focus;
+use std::hint::black_box;
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_remove");
+    g.sample_size(40);
+    g.bench_function("counter_snippet_cycle", |b| {
+        let m = InstrumentationManager::new();
+        let p = m.point("p");
+        let cnt = m.primitives().new_counter();
+        b.iter(|| {
+            let h = m.insert(p, Snippet::new(vec![Op::IncrCounter(cnt, 1)]));
+            black_box(m.remove(h));
+        });
+    });
+    g.bench_function("mapping_instrumentation_cycle", |b| {
+        let m = InstrumentationManager::new();
+        b.iter(|| {
+            let mut mi = MappingInstrumentation::install(&m);
+            mi.remove(&m);
+        });
+    });
+    g.finish();
+}
+
+fn bench_execute_with_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execute_by_snippet_count");
+    g.sample_size(40);
+    for &n in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("snippets", n), &n, |b, &k| {
+            let m = InstrumentationManager::new();
+            let p = m.point("p");
+            let cnt = m.primitives().new_counter();
+            for _ in 0..k {
+                m.insert(p, Snippet::new(vec![Op::IncrCounter(cnt, 1)]));
+            }
+            b.iter(|| {
+                let mut ctx = ExecCtx::basic(0, 0);
+                m.execute(black_box(p), &mut ctx);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Whole-run duty-cycle ablation on the simulated machine: mapping
+/// instrumentation always-on vs absent vs toggled off (installed but
+/// disabled).
+fn bench_run_duty_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_run_instrumentation");
+    g.sample_size(15);
+
+    let run = |mapping: bool, with_metrics: bool| {
+        let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+            nodes: 4,
+            trace: false,
+            ..cmrts_sim::MachineConfig::default()
+        });
+        tool.load_source(cmf_lang::samples::ALL_VERBS).unwrap();
+        tool.set_mapping_instrumentation(mapping);
+        let _reqs: Vec<_> = if with_metrics {
+            ["Summations", "Point-to-Point Operations", "Computation Time"]
+                .iter()
+                .map(|m| tool.request(m, &Focus::whole_program()).unwrap())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        move || {
+            let mut m = tool.new_machine().unwrap();
+            black_box(m.run());
+        }
+    };
+
+    let f = run(false, false);
+    g.bench_function("uninstrumented_run", |b| b.iter(&f));
+    let f = run(true, false);
+    g.bench_function("mapping_only_run", |b| b.iter(&f));
+    let f = run(true, true);
+    g.bench_function("mapping_plus_metrics_run", |b| b.iter(&f));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_remove,
+    bench_execute_with_load,
+    bench_run_duty_cycle
+);
+criterion_main!(benches);

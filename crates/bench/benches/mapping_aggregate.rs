@@ -1,0 +1,90 @@
+//! Mapping-table and cost-assignment throughput: the Figure 1 reduction at
+//! scale, split vs merge policies, and shape classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmap::aggregate::{assign_componentwise, assign_per_source, AssignPolicy};
+use pdmap::cost::{Aggregation, Cost};
+use pdmap::mapping::MappingTable;
+use pdmap::model::{Namespace, SentenceId};
+use std::hint::black_box;
+
+/// Builds a mapping table of `n` sources fanned out to `n/2` destinations
+/// (each source maps to 2 destinations; shapes are many-to-many).
+fn build(n: usize) -> (MappingTable, Vec<(SentenceId, Cost)>) {
+    let ns = Namespace::new();
+    let l = ns.level("L");
+    let v = ns.verb(l, "v", "");
+    let srcs: Vec<_> = (0..n)
+        .map(|i| ns.say(v, [ns.noun(l, &format!("s{i}"), "")]))
+        .collect();
+    let dsts: Vec<_> = (0..n.max(2) / 2)
+        .map(|i| ns.say(v, [ns.noun(l, &format!("d{i}"), "")]))
+        .collect();
+    let mut t = MappingTable::new();
+    for (i, &s) in srcs.iter().enumerate() {
+        t.map(s, dsts[i % dsts.len()]);
+        t.map(s, dsts[(i + 1) % dsts.len()]);
+    }
+    let measured = srcs
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, Cost::seconds(1.0 + i as f64)))
+        .collect();
+    (t, measured)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_assignment");
+    g.sample_size(30);
+    for &n in &[10usize, 100, 1000] {
+        let (table, measured) = build(n);
+        g.bench_with_input(BenchmarkId::new("split_evenly", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    assign_per_source(&table, &measured, AssignPolicy::SplitEvenly).unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(assign_per_source(&table, &measured, AssignPolicy::Merge).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("componentwise", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    assign_componentwise(
+                        &table,
+                        &measured,
+                        AssignPolicy::Merge,
+                        Aggregation::Sum,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping_table");
+    g.sample_size(30);
+    for &n in &[100usize, 1000] {
+        let (table, measured) = build(n);
+        let probe = measured[n / 2].0;
+        g.bench_with_input(BenchmarkId::new("destinations_lookup", n), &n, |b, _| {
+            b.iter(|| black_box(table.destinations(probe)))
+        });
+        g.bench_with_input(BenchmarkId::new("shape_of", n), &n, |b, _| {
+            b.iter(|| black_box(table.shape_of(probe)))
+        });
+        g.bench_with_input(BenchmarkId::new("components_full", n), &n, |b, _| {
+            b.iter(|| black_box(table.components().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_table_queries);
+criterion_main!(benches);

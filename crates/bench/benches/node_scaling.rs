@@ -1,0 +1,76 @@
+//! SPMD engine scaling: simulated-run throughput as node count grows, and
+//! the compile pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdmap::model::Namespace;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const WORKLOAD: &str = "\
+PROGRAM SCALE
+REAL A(8192), B(8192)
+A = 1.0
+FORALL (I = 1:8192) B(I) = I
+B = A + B * 0.5
+A = CSHIFT(B, 64)
+S = SUM(A)
+A = SCAN_ADD(A)
+END
+";
+
+fn machine_for(nodes: usize) -> (Namespace, cmrts_sim::Program) {
+    let ns = Namespace::new();
+    let compiled =
+        cmf_lang::compile(WORKLOAD, &ns, &cmf_lang::CompileOptions::default()).unwrap();
+    let _ = nodes;
+    (ns, compiled.program().clone())
+}
+
+fn bench_run_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_run_scaling");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(8192));
+    for &nodes in &[1usize, 2, 4, 8, 16] {
+        let (ns, program) = machine_for(nodes);
+        g.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &p| {
+            b.iter(|| {
+                let mgr = Arc::new(dyninst_sim::InstrumentationManager::new());
+                let mut m = cmrts_sim::Machine::new(
+                    cmrts_sim::MachineConfig {
+                        nodes: p,
+                        trace: false,
+                        ..cmrts_sim::MachineConfig::default()
+                    },
+                    ns.clone(),
+                    mgr,
+                    program.clone(),
+                )
+                .unwrap();
+                black_box(m.run())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_pipeline");
+    g.sample_size(30);
+    g.bench_function("compile_all_verbs", |b| {
+        b.iter(|| {
+            let ns = Namespace::new();
+            black_box(
+                cmf_lang::compile(
+                    cmf_lang::samples::ALL_VERBS,
+                    &ns,
+                    &cmf_lang::CompileOptions::default(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_run_scaling, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Tool-side processing throughput: PIF parse/write, listing scanning,
+//! and MDL compilation. §3's point is that this work happens off the
+//! application's critical path — but it must still be fast enough for
+//! interactive tools.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn big_pif(n: usize) -> String {
+    let mut f = pdmap_pif::PifFile::new();
+    for i in 0..n {
+        f.push(pdmap_pif::Record::Noun(pdmap_pif::NounRecord {
+            name: format!("line{i}"),
+            abstraction: "CM Fortran".into(),
+            description: format!("line #{i} in source file main.fcm"),
+        }));
+        f.push(pdmap_pif::Record::Mapping(pdmap_pif::MappingRecord {
+            source: pdmap_pif::SentenceRef::new(
+                vec![format!("cmpe_f_{i}_()")],
+                "CPU Utilization",
+            ),
+            destination: pdmap_pif::SentenceRef::new(vec![format!("line{i}")], "Executes"),
+        }));
+    }
+    pdmap_pif::write(&f)
+}
+
+fn bench_pif(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pif_text");
+    g.sample_size(30);
+    for &n in &[10usize, 100, 1000] {
+        let text = big_pif(n);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse_records", n * 2), &n, |b, _| {
+            b.iter(|| black_box(pdmap_pif::parse(&text).unwrap()))
+        });
+        let parsed = pdmap_pif::parse(&text).unwrap();
+        g.bench_with_input(BenchmarkId::new("write_records", n * 2), &n, |b, _| {
+            b.iter(|| black_box(pdmap_pif::write(&parsed)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_listing_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listing_scanner");
+    g.sample_size(30);
+    // A listing like a large compiler output file.
+    let mut listing = String::from("CMF LISTING v1\nfile = big.fcm\n");
+    for i in 0..500 {
+        listing.push_str(&format!("statement line={} fn=F text=A = A + {}\n", i + 10, i));
+        listing.push_str(&format!("block name=cmpe_f_{i}_ lines={} arrays=A\n", i + 10));
+    }
+    listing.push_str("array name=A fn=F rank=1 extents=1024 dist=block\n");
+    g.throughput(Throughput::Bytes(listing.len() as u64));
+    g.bench_function("parse_and_emit_pif", |b| {
+        b.iter(|| {
+            let l = pdmap_pif::parse_listing(&listing).unwrap();
+            black_box(pdmap_pif::listing_to_pif(
+                &l,
+                &pdmap_pif::ScanOptions::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mdl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mdl_compile");
+    g.sample_size(30);
+    let src = paradyn_tool::FIGURE9_MDL;
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("parse_figure9_catalogue", |b| {
+        b.iter(|| black_box(dyninst_sim::parse_mdl(src).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pif, bench_listing_scan, bench_mdl);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Performance-question evaluation costs: conjunction checks, wildcard
+//! matching, the boolean-expression extension, and the ordered-question
+//! extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmap::model::Namespace;
+use pdmap::sas::{LocalSas, Question, QuestionExpr, SentencePattern};
+use std::hint::black_box;
+
+fn setup(n_nouns: usize) -> (Namespace, LocalSas, Vec<pdmap::model::SentenceId>) {
+    let ns = Namespace::new();
+    let l = ns.level("L");
+    let v = ns.verb(l, "v", "");
+    let sids: Vec<_> = (0..n_nouns)
+        .map(|i| ns.say(v, [ns.noun(l, &format!("n{i}"), "")]))
+        .collect();
+    let sas = LocalSas::new(ns.clone());
+    (ns, sas, sids)
+}
+
+fn bench_satisfied(c: &mut Criterion) {
+    let mut g = c.benchmark_group("question_satisfied");
+    g.sample_size(60);
+    for &components in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("conjunction_components", components),
+            &components,
+            |b, &k| {
+                let (ns, mut sas, sids) = setup(k);
+                let patterns: Vec<_> = sids
+                    .iter()
+                    .map(|&s| SentencePattern::exact(&ns.sentence_def(s)))
+                    .collect();
+                let qid = sas.register_question(&Question::new("q", patterns));
+                for &s in &sids {
+                    sas.activate(s);
+                }
+                b.iter(|| black_box(sas.satisfied(qid)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_expression_extension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("question_expression");
+    g.sample_size(60);
+    let (ns, mut sas, sids) = setup(4);
+    let pats: Vec<_> = sids
+        .iter()
+        .map(|&s| SentencePattern::exact(&ns.sentence_def(s)))
+        .collect();
+    // (p0 AND p1) — same meaning as a 2-conjunction, via the extension.
+    let conj_id = sas.register_question(&Question::new("conj", pats[0..2].to_vec()));
+    let expr = QuestionExpr::pat(pats[0].clone()).and(QuestionExpr::pat(pats[1].clone()));
+    let expr_id = sas.register_expr("expr", &expr);
+    // (p0 OR p1) AND NOT p2 — the richer form.
+    let rich = QuestionExpr::pat(pats[0].clone())
+        .or(QuestionExpr::pat(pats[1].clone()))
+        .and(QuestionExpr::pat(pats[2].clone()).not());
+    let rich_id = sas.register_expr("rich", &rich);
+    sas.activate(sids[0]);
+    sas.activate(sids[1]);
+
+    g.bench_function("conjunction_fast_path", |b| {
+        b.iter(|| black_box(sas.satisfied(conj_id)))
+    });
+    g.bench_function("expression_and", |b| {
+        b.iter(|| black_box(sas.satisfied(expr_id)))
+    });
+    g.bench_function("expression_or_not", |b| {
+        b.iter(|| black_box(sas.satisfied(rich_id)))
+    });
+    g.finish();
+}
+
+fn bench_ordered_extension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("question_ordered");
+    g.sample_size(60);
+    let (ns, mut sas, sids) = setup(4);
+    let pats: Vec<_> = sids
+        .iter()
+        .take(3)
+        .map(|&s| SentencePattern::exact(&ns.sentence_def(s)))
+        .collect();
+    let unordered = sas.register_question(&Question::new("u", pats.clone()));
+    let ordered = sas.register_question(&Question::new_ordered("o", pats));
+    for &s in sids.iter().take(3) {
+        sas.activate(s);
+    }
+    g.bench_function("unordered", |b| b.iter(|| black_box(sas.satisfied(unordered))));
+    g.bench_function("ordered", |b| b.iter(|| black_box(sas.satisfied(ordered))));
+    g.finish();
+}
+
+fn bench_wildcard_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wildcard_activation");
+    g.sample_size(60);
+    // Activation cost when the new sentence must be matched against many
+    // atoms (first activation computes the match mask; later ones hit the
+    // cache — measure both).
+    for &atoms in &[4usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("cached_mask_atoms", atoms), &atoms, |b, &n| {
+            let ns = Namespace::new();
+            let l = ns.level("L");
+            let verbs: Vec<_> = (0..n).map(|i| ns.verb(l, &format!("v{i}"), "")).collect();
+            let noun = ns.noun(l, "a", "");
+            let mut sas = LocalSas::new(ns.clone());
+            for &v in &verbs {
+                sas.register_question(&Question::new("q", vec![SentencePattern::any_noun(v)]));
+            }
+            let sid = ns.say(verbs[0], [noun]);
+            sas.activate(sid); // warm the mask cache
+            sas.deactivate(sid);
+            b.iter(|| {
+                sas.activate(black_box(sid));
+                sas.deactivate(black_box(sid));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_satisfied,
+    bench_expression_extension,
+    bench_ordered_extension,
+    bench_wildcard_matching
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! SAS operation costs: the price of a sentence activation/deactivation
+//! (the paper's per-notification overhead), snapshots, and the §4.2.3
+//! storage ablation — one globally shared SAS vs per-node SASes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmap::model::{Namespace, SentenceId};
+use pdmap::sas::{GlobalSas, LocalSas, Question, SasHandle, SentencePattern, ShardedSas};
+use std::hint::black_box;
+
+fn vocabulary(n: usize) -> (Namespace, Vec<SentenceId>) {
+    let ns = Namespace::new();
+    let l = ns.level("L");
+    let v = ns.verb(l, "v", "");
+    let sids = (0..n)
+        .map(|i| ns.say(v, [ns.noun(l, &format!("n{i}"), "")]))
+        .collect();
+    (ns, sids)
+}
+
+fn bench_activation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sas_activate_deactivate");
+    g.sample_size(40);
+    for &questions in &[0usize, 1, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("registered_questions", questions),
+            &questions,
+            |b, &q| {
+                let (ns, sids) = vocabulary(16);
+                let mut sas = LocalSas::new(ns.clone());
+                for i in 0..q {
+                    let target = sids[i % sids.len()];
+                    sas.register_question(&Question::new(
+                        "q",
+                        vec![SentencePattern::exact(&ns.sentence_def(target))],
+                    ));
+                }
+                let mut k = 0usize;
+                b.iter(|| {
+                    let s = sids[k % sids.len()];
+                    k += 1;
+                    sas.activate(black_box(s));
+                    sas.deactivate(black_box(s));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sas_snapshot");
+    g.sample_size(40);
+    for &depth in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("active_sentences", depth), &depth, |b, &d| {
+            let (ns, sids) = vocabulary(d);
+            let mut sas = LocalSas::new(ns);
+            for &s in &sids {
+                sas.activate(s);
+            }
+            b.iter(|| black_box(sas.snapshot()));
+        });
+    }
+    g.finish();
+}
+
+/// §4.2.3: "we may not want to pay the synchronization cost of contention
+/// for such a globally shared data structure" — measured.
+fn bench_global_vs_sharded(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    const OPS: usize = 25_000;
+    let mut g = c.benchmark_group("sas_storage_ablation");
+    g.sample_size(20);
+
+    g.bench_function("global_shared_4threads", |b| {
+        let (ns, sids) = vocabulary(8);
+        let sas = GlobalSas::new(ns);
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let sas = sas.clone();
+                    let s = sids[t % sids.len()];
+                    scope.spawn(move || {
+                        for _ in 0..OPS {
+                            sas.activate(s);
+                            sas.deactivate(s);
+                        }
+                    });
+                }
+            });
+        });
+    });
+
+    g.bench_function("per_node_sharded_4threads", |b| {
+        let (ns, sids) = vocabulary(8);
+        let sas = ShardedSas::new(ns, THREADS);
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let sas = &sas;
+                    let s = sids[t % sids.len()];
+                    scope.spawn(move || {
+                        let h = sas.node(t);
+                        for _ in 0..OPS {
+                            h.activate(s);
+                            h.deactivate(s);
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+/// §4.2 (end): dropping uninteresting sentences trades completeness for
+/// cost — measure the filtered vs unfiltered notification.
+fn bench_filtering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sas_uninteresting_filter");
+    g.sample_size(40);
+    for &(label, filter) in &[("keep_all", false), ("filter_uninteresting", true)] {
+        g.bench_function(label, |b| {
+            let (ns, sids) = vocabulary(16);
+            let mut sas = LocalSas::new(ns.clone());
+            // One question about sentence 0 only; the rest are noise.
+            sas.register_question(&Question::new(
+                "q",
+                vec![SentencePattern::exact(&ns.sentence_def(sids[0]))],
+            ));
+            sas.set_filter_uninteresting(filter);
+            let mut k = 1usize;
+            b.iter(|| {
+                let s = sids[1 + (k % (sids.len() - 1))];
+                k += 1;
+                sas.activate(black_box(s));
+                sas.deactivate(black_box(s));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_activation,
+    bench_snapshot,
+    bench_global_vs_sharded,
+    bench_filtering
+);
+criterion_main!(benches);

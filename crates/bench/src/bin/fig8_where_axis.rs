@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 of the paper. See EXPERIMENTS.md.
+
+fn main() {
+    print!("{}", pdmap_bench::figures::figure8());
+}

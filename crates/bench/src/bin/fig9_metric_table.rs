@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 of the paper. See EXPERIMENTS.md.
+
+fn main() {
+    print!("{}", pdmap_bench::figures::figure9());
+}

@@ -1,0 +1,42 @@
+//! Generates a complete performance report for one of the sample programs
+//! (or a program read from a file path given as the first argument).
+//!
+//! ```sh
+//! cargo run -p pdmap-bench --bin run_report            # all-verbs sample
+//! cargo run -p pdmap-bench --bin run_report -- bow     # bow.fcm sample
+//! cargo run -p pdmap-bench --bin run_report -- my.fcm  # your own program
+//! ```
+
+use paradyn_tool::consultant::ConsultantConfig;
+use paradyn_tool::run_report;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let source = match arg.as_deref() {
+        None | Some("all_verbs") => cmf_lang::samples::ALL_VERBS.to_string(),
+        Some("figure4") => cmf_lang::samples::FIGURE4.to_string(),
+        Some("bow") => cmf_lang::samples::BOW.to_string(),
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+    };
+    let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: 4,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    if let Err(e) = tool.load_source(&source) {
+        eprintln!("load failed: {e}");
+        std::process::exit(1);
+    }
+    print!(
+        "{}",
+        run_report(
+            &tool,
+            &ConsultantConfig {
+                threshold: 0.10,
+                max_depth: 1,
+            },
+        )
+    );
+}

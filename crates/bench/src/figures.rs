@@ -1,0 +1,481 @@
+//! Regeneration of every figure in the paper.
+//!
+//! One function per figure returns the reproduced artifact as text; the
+//! `src/bin/fig*` binaries print them, and integration tests assert on the
+//! same strings. See `EXPERIMENTS.md` at the workspace root for the
+//! paper-vs-reproduction comparison.
+
+use crate::{header, tool_with};
+use cmrts_sim::SnapshotTrigger;
+use dyninst_sim::{instantiate, Pred};
+use pdmap::aggregate::{assign_per_source, AssignPolicy, AssignTarget};
+use pdmap::cost::Cost;
+use pdmap::hierarchy::Focus;
+use pdmap::mapping::MappingTable;
+use pdmap::model::Namespace;
+use pdmap::sas::{Question, SentencePattern};
+use std::fmt::Write as _;
+
+/// Figure 1: the four types of mapping and their cost-assignment rules,
+/// demonstrated on synthetic sentences with real cost assignment.
+pub fn figure1() -> String {
+    let mut out = header("Figure 1: Types of mappings and cost assignment");
+    let ns = Namespace::new();
+    let base = ns.level("Base");
+    let hpf = ns.level("HPF");
+    let util = ns.verb(base, "CPU Utilization", "");
+    let reduces = ns.verb(hpf, "Reduces", "");
+    let executes = ns.verb(hpf, "Executes", "");
+    let mk_base = |name: &str| ns.say(util, [ns.noun(base, name, "")]);
+    let mk_red = |name: &str| ns.say(reduces, [ns.noun(hpf, name, "")]);
+    let mk_line = |name: &str| ns.say(executes, [ns.noun(hpf, name, "")]);
+
+    // One-to-one: message send S implements reduction R.
+    {
+        let s = mk_base("S");
+        let r = mk_red("R");
+        let mut t = MappingTable::new();
+        t.map(s, r);
+        let res = assign_per_source(&t, &[(s, Cost::seconds(1.0))], AssignPolicy::Merge).unwrap();
+        writeln!(
+            out,
+            "one-to-one    | S -> R                  | shape={} | cost(S)=1.000s -> cost(R)={}",
+            t.shape_of(s).unwrap(),
+            res.cost_for(r).unwrap()
+        )
+        .unwrap();
+    }
+
+    // One-to-many: function F implements reductions R1, R2.
+    {
+        let f = mk_base("F");
+        let (r1, r2) = (mk_red("R1"), mk_red("R2"));
+        let mut t = MappingTable::new();
+        t.map(f, r1);
+        t.map(f, r2);
+        let split =
+            assign_per_source(&t, &[(f, Cost::seconds(1.0))], AssignPolicy::SplitEvenly).unwrap();
+        let merge =
+            assign_per_source(&t, &[(f, Cost::seconds(1.0))], AssignPolicy::Merge).unwrap();
+        writeln!(
+            out,
+            "one-to-many   | F -> {{R1, R2}}           | shape={} | split: R1={} R2={}",
+            t.shape_of(f).unwrap(),
+            split.cost_for(r1).unwrap(),
+            split.cost_for(r2).unwrap()
+        )
+        .unwrap();
+        let merged = &merge.assignments[0];
+        let members = match &merged.target {
+            AssignTarget::Merged(m) => m.len(),
+            AssignTarget::Single(_) => 1,
+        };
+        writeln!(
+            out,
+            "              |                         |          | merge: {{R1,R2}} ({} members) = {}",
+            members, merged.cost
+        )
+        .unwrap();
+    }
+
+    // Many-to-one: functions F1, F2 implement one source line L.
+    {
+        let (f1, f2) = (mk_base("F1"), mk_base("F2"));
+        let l = mk_line("L");
+        let mut t = MappingTable::new();
+        t.map(f1, l);
+        t.map(f2, l);
+        let res = assign_per_source(
+            &t,
+            &[(f1, Cost::seconds(0.6)), (f2, Cost::seconds(0.4))],
+            AssignPolicy::Merge,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "many-to-one   | {{F1, F2}} -> L           | shape={} | aggregate(0.6+0.4) -> cost(L)={}",
+            t.shape_of(l).unwrap(),
+            res.cost_for(l).unwrap()
+        )
+        .unwrap();
+    }
+
+    // Many-to-many: overlapping functions and lines.
+    {
+        let (f1, f2) = (mk_base("G1"), mk_base("G2"));
+        let (l1, l2) = (mk_line("L1"), mk_line("L2"));
+        let mut t = MappingTable::new();
+        t.map(f1, l1);
+        t.map(f2, l1);
+        t.map(f2, l2);
+        let res = assign_per_source(
+            &t,
+            &[(f1, Cost::seconds(0.5)), (f2, Cost::seconds(1.0))],
+            AssignPolicy::SplitEvenly,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "many-to-many  | {{G1, G2}} -> {{L1, L2}}    | shape={} | aggregate then split: L1={} L2={}",
+            t.shape_of(l1).unwrap(),
+            res.cost_for(l1).unwrap(),
+            res.cost_for(l2).unwrap()
+        )
+        .unwrap();
+    }
+
+    // The same shapes, observed in a real compiled program.
+    writeln!(out, "\nShapes in the compiled Figure 4 program (from its PIF):").unwrap();
+    let ns2 = Namespace::new();
+    let compiled = cmf_lang::compile(
+        cmf_lang::samples::FIGURE4,
+        &ns2,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .unwrap();
+    let mut table = MappingTable::new();
+    let mut axis = pdmap::hierarchy::WhereAxis::new();
+    pdmap_pif::apply(&compiled.pif, &ns2, &mut table, &mut axis).unwrap();
+    let mut counts = std::collections::BTreeMap::new();
+    for (_, _, shape) in table.components() {
+        *counts.entry(format!("{shape}")).or_insert(0usize) += 1;
+    }
+    for (shape, n) in counts {
+        writeln!(out, "  {shape}: {n} component(s)").unwrap();
+    }
+    out
+}
+
+/// Figure 2: static mapping records. Prints the paper's exact sample plus
+/// the equivalent records generated by compiling a two-statement fused
+/// program and scanning the compiler listing (§6.2).
+pub fn figure2() -> String {
+    let mut out = header("Figure 2: Static mapping information (PIF)");
+    writeln!(out, "--- the paper's sample records ---").unwrap();
+    out.push_str(&pdmap_pif::write(&pdmap_pif::samples::figure2()));
+    writeln!(out, "\n--- generated by the compiler/scanner pipeline ---").unwrap();
+    let ns = Namespace::new();
+    let src = "PROGRAM CORR\nREAL A(64), B(64)\nA = 1.5\nB = 2.5\nEND\n";
+    let compiled = cmf_lang::compile(src, &ns, &cmf_lang::CompileOptions::default()).unwrap();
+    out.push_str(&compiled.pif_text);
+    out
+}
+
+/// Figure 3: the types of mapping information.
+pub fn figure3() -> String {
+    let mut out = header("Figure 3: Types of mapping information");
+    out.push_str(
+        "Noun definition    | name, level of abstraction, descriptive information\n\
+         Verb definition    | name, level of abstraction, descriptive information\n\
+         Mapping definition | source sentence, destination sentence\n\
+         (auxiliary)        | RESOURCE: hierarchy placement; METRIC: metric description\n",
+    );
+    out
+}
+
+/// Figures 4 & 5: runs the Figure 4 HPF fragment and photographs the SAS
+/// at the moment a message is sent while A is being summed.
+pub fn figure5() -> String {
+    let mut out = header("Figure 5: The SAS when a message is sent (during SUM(A))");
+    writeln!(out, "program (Figure 4):\n{}", cmf_lang::samples::FIGURE4).unwrap();
+
+    let tool = tool_with(cmf_lang::samples::FIGURE4, 4);
+    let ns = tool.namespace().clone();
+    let mut machine = tool.new_machine().expect("loaded");
+
+    // "A sums" question gates the snapshot.
+    let cmf = ns.find_level("CM Fortran").expect("level");
+    let sums = ns.find_verb(cmf, "Sums").expect("verb");
+    let a = ns.find_noun(cmf, "A").expect("noun");
+    let q = Question::new("A sums", vec![SentencePattern::noun_verb(a, sums)]);
+    let qid = machine.register_question_all(&q);
+    let msg_send = machine.points().msg_send;
+    machine.set_snapshot_trigger(SnapshotTrigger {
+        point: msg_send,
+        question: Some(qid),
+        once: true,
+    });
+    machine.run();
+
+    let snaps = machine.snapshots();
+    assert!(!snaps.is_empty(), "a message must be sent during SUM(A)");
+    let snap = &snaps[0];
+    writeln!(
+        out,
+        "snapshot on node#{} at wall tick {} (each line is one active sentence):\n",
+        snap.node, snap.wall
+    )
+    .unwrap();
+    out.push_str(&snap.snapshot.render(&ns));
+    out
+}
+
+/// The program used for Figure 6 (two *summed* arrays so the wildcard
+/// question differs from the exact one).
+pub const FIG6_SRC: &str = "\
+PROGRAM HPF2
+REAL A(1024), B(1024)
+A = 1.0
+B = 2.0
+ASUM = SUM(A)
+BSUM = SUM(B)
+END
+";
+
+/// Figure 6: the four example performance questions, asked and answered.
+pub fn figure6() -> String {
+    let mut out = header("Figure 6: Performance questions and their answers");
+    let tool = tool_with(FIG6_SRC, 4);
+    let ns = tool.namespace().clone();
+    let mut machine = tool.new_machine().expect("loaded");
+
+    let cmf = ns.find_level("CM Fortran").expect("level");
+    let cmrts = ns.find_level("CMRTS").expect("level");
+    let sums = ns.find_verb(cmf, "Sums").expect("verb");
+    let sends = ns.find_verb(cmrts, "SendsMessage").expect("verb");
+    let a = ns.find_noun(cmf, "A").expect("noun");
+    let p = ns.find_noun(cmrts, "node#1").expect("noun");
+
+    let q_a_sum = Question::new("A Sum", vec![SentencePattern::noun_verb(a, sums)]);
+    let q_p_send = Question::new("P Send", vec![SentencePattern::noun_verb(p, sends)]);
+    let q_conj = Question::new(
+        "A Sum + P Send",
+        vec![
+            SentencePattern::noun_verb(a, sums),
+            SentencePattern::noun_verb(p, sends),
+        ],
+    );
+    let q_wild = Question::new(
+        "? Sum + P Send",
+        vec![
+            SentencePattern::any_noun(sums),
+            SentencePattern::noun_verb(p, sends),
+        ],
+    );
+    let ids = [
+        machine.register_question_all(&q_a_sum),
+        machine.register_question_all(&q_p_send),
+        machine.register_question_all(&q_conj),
+        machine.register_question_all(&q_wild),
+    ];
+
+    // Counters gated on each question, measured at message sends (for the
+    // send-related questions) and at summation entries (for {A Sum}).
+    let mgr = tool.manager();
+    let points = machine.points().clone();
+    let insts = [
+        instantiate(
+            mgr,
+            tool.metrics().decl("Summations").unwrap(),
+            vec![Pred::QuestionSatisfied(ids[0])],
+        ),
+        instantiate(
+            mgr,
+            tool.metrics().decl("Point-to-Point Operations").unwrap(),
+            vec![Pred::QuestionSatisfied(ids[1])],
+        ),
+        instantiate(
+            mgr,
+            tool.metrics().decl("Point-to-Point Operations").unwrap(),
+            vec![Pred::QuestionSatisfied(ids[2])],
+        ),
+        instantiate(
+            mgr,
+            tool.metrics().decl("Point-to-Point Operations").unwrap(),
+            vec![Pred::QuestionSatisfied(ids[3])],
+        ),
+    ];
+    let _ = points;
+    machine.run();
+
+    let prims = mgr.primitives();
+    let rows = [
+        (q_a_sum.render(&ns), "Cost of summations of A?"),
+        (q_p_send.render(&ns), "Cost of sends by processor P?"),
+        (q_conj.render(&ns), "Cost of sends by P while A is being summed?"),
+        (q_wild.render(&ns), "Cost of sends by P while anything is being summed?"),
+    ];
+    writeln!(out, "(P = node#1; program sums both A and B)\n").unwrap();
+    for (i, (question, meaning)) in rows.iter().enumerate() {
+        writeln!(
+            out,
+            "{:<34} | {:<52} | measured = {}",
+            question,
+            meaning,
+            insts[i].read_raw(prims, machine.wall_clock())
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 7: the asynchronous-activation time-line, in both plain-SAS mode
+/// (attribution fails) and causal-token mode (our extension; it succeeds).
+pub fn figure7() -> String {
+    let mut out = header("Figure 7: Asynchronous sentence activations and the SAS");
+    for causal in [false, true] {
+        let mut sim = sys_sim::UnixSim::new(
+            Namespace::new(),
+            sys_sim::UnixConfig {
+                causal_tokens: causal,
+                ..sys_sim::UnixConfig::default()
+            },
+        );
+        sim.watch_function("func");
+        sim.run_figure7(1);
+        writeln!(
+            out,
+            "\n--- {} ---",
+            if causal {
+                "with causal tokens (our extension)"
+            } else {
+                "plain SAS (the paper's limitation 1)"
+            }
+        )
+        .unwrap();
+        out.push_str(&sim.render_timeline());
+        let st = sim.stats();
+        writeln!(
+            out,
+            "disk writes: {}  attributed to func(): {}",
+            st.disk_writes, st.attributed
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 8: the CMF-level where axis for a bow.fcm-like program, with
+/// dynamically discovered array subregions.
+pub fn figure8() -> String {
+    let mut out = header("Figure 8: CMF-Level Where Axis");
+    let tool = tool_with(cmf_lang::samples::BOW, 4);
+    let mut machine = tool.new_machine().expect("loaded");
+    machine.run(); // dynamic mapping info populates the subregions
+    out.push_str(&tool.render_where_axis());
+    out
+}
+
+/// Figure 9: the full metric catalogue, measured on a workload that
+/// exercises every verb.
+pub fn figure9() -> String {
+    let mut out = header("Figure 9: Paradyn metrics for CM Fortran applications");
+    let tool = tool_with(cmf_lang::samples::ALL_VERBS, 4);
+    let names: Vec<String> = tool
+        .metrics()
+        .metric_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let requests: Vec<_> = names
+        .iter()
+        .map(|n| tool.request(n, &Focus::whole_program()).expect("catalogue"))
+        .collect();
+    let mut machine = tool.new_machine().expect("loaded");
+    machine.run();
+    let rows: Vec<(String, String, String)> = requests
+        .iter()
+        .map(|r| {
+            let v = r.value(&machine);
+            let value = if r.decl.is_timer() {
+                format!("{v:.6} s")
+            } else {
+                format!("{v} {}", r.decl.units)
+            };
+            (r.decl.name.clone(), value, r.decl.description.clone())
+        })
+        .collect();
+    out.push_str(&paradyn_tool::visi::table(&rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shows_all_four_shapes() {
+        let s = figure1();
+        for shape in ["one-to-one", "one-to-many", "many-to-one", "many-to-many"] {
+            assert!(s.contains(shape), "missing {shape} in:\n{s}");
+        }
+        // Split conserves: 1.0 -> 0.5 + 0.5.
+        assert!(s.contains("R1=0.500000 s"));
+        // Compiled program exhibits at least one shape.
+        assert!(s.contains("component(s)"));
+    }
+
+    #[test]
+    fn figure2_contains_paper_records() {
+        let s = figure2();
+        assert!(s.contains("name = line1160"));
+        assert!(s.contains("source = {cmpe_corr_6_(), CPU Utilization}"));
+        // And the generated equivalent maps one block to two lines.
+        assert!(s.contains("source = {cmpe_corr_1_(), CPU Utilization}"));
+        assert!(s.contains("destination = {line3, Executes}"));
+        assert!(s.contains("destination = {line4, Executes}"));
+    }
+
+    #[test]
+    fn figure5_snapshot_holds_the_three_paper_sentences() {
+        let s = figure5();
+        // The paper's three sentences (modulo naming): line executes,
+        // A sums, processor sends a message.
+        assert!(s.contains("{line5} Executes"), "{s}");
+        assert!(s.contains("{A} Sums"), "{s}");
+        assert!(s.contains("SendsMessage"), "{s}");
+    }
+
+    #[test]
+    fn figure6_answers_are_consistent() {
+        let s = figure6();
+        // Wildcard count >= exact conjunction count.
+        let grab = |needle: &str| -> i64 {
+            s.lines()
+                .find(|l| l.contains(needle))
+                .and_then(|l| l.rsplit('=').next())
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(-1)
+        };
+        let conj = grab("while A is being summed");
+        let wild = grab("while anything is being summed");
+        let p_all = grab("sends by processor P?");
+        assert!(conj >= 1, "{s}");
+        assert!(wild > conj, "wildcard must see SUM(B) too:\n{s}");
+        assert!(p_all >= wild, "{s}");
+    }
+
+    #[test]
+    fn figure7_shows_failure_and_fix() {
+        let s = figure7();
+        assert!(s.contains("disk writes: 1  attributed to func(): 0"));
+        assert!(s.contains("disk writes: 1  attributed to func(): 1"));
+        assert!(s.contains("write() system call"));
+    }
+
+    #[test]
+    fn figure8_shows_corner_arrays_and_subregions() {
+        let s = figure8();
+        for a in ["CORNER", "TOT", "SRM", "WGHT", "SCL", "TMP"] {
+            assert!(s.contains(a), "missing {a}:\n{s}");
+        }
+        assert!(s.contains("sub#0"));
+        assert!(s.contains("CMFstmts"));
+    }
+
+    #[test]
+    fn figure9_reports_every_metric_nonnegative() {
+        let s = figure9();
+        for name in ["Summations", "MAXVAL Count", "MINVAL Count", "Rotations",
+                      "Shifts", "Transposes", "Scans", "Sorts", "Broadcasts",
+                      "Node Activations", "Point-to-Point Operations", "Idle Time",
+                      "Cleanups", "Argument Processing Time"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        // The all-verbs workload makes the counts positive.
+        for row in ["Summations", "Rotations", "Transposes", "Sorts"] {
+            let line = s.lines().find(|l| l.starts_with(row)).unwrap();
+            assert!(!line.contains(" 0 operations"), "{line}");
+        }
+    }
+}

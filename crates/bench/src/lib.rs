@@ -1,0 +1,46 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches. Each figure of the paper has a binary in `src/bin/` that
+//! prints the reproduced artifact; the logic lives in [`figures`] so
+//! integration tests can golden-check the same text.
+
+use cmrts_sim::MachineConfig;
+use paradyn_tool::tool::Paradyn;
+
+pub mod figures;
+
+/// Standard machine configuration used by the figure binaries.
+pub fn standard_config(nodes: usize) -> MachineConfig {
+    MachineConfig {
+        nodes,
+        ..MachineConfig::default()
+    }
+}
+
+/// Builds a tool with `source` loaded on `nodes` nodes.
+pub fn tool_with(source: &str, nodes: usize) -> Paradyn {
+    let mut tool = Paradyn::new(standard_config(nodes));
+    tool.load_source(source).expect("sample program compiles");
+    tool
+}
+
+/// Renders a section header used by all figure binaries.
+pub fn header(title: &str) -> String {
+    format!("{}\n{}\n", title, "=".repeat(title.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_with_loads_samples() {
+        let t = tool_with(cmf_lang::samples::FIGURE4, 4);
+        assert_eq!(t.machine_config().nodes, 4);
+    }
+
+    #[test]
+    fn header_underlines() {
+        let h = header("Figure 1");
+        assert_eq!(h, "Figure 1\n========\n");
+    }
+}

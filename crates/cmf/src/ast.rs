@@ -1,0 +1,233 @@
+//! Abstract syntax for the CM Fortran-like language.
+
+use cmrts_sim::Distribution;
+
+/// A parsed compilation unit (`PROGRAM ... END`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    /// Program name (after `PROGRAM`).
+    pub name: String,
+    /// Subroutines, in source order (Fortran-style: flat, shared global
+    /// scope, invoked with `CALL`).
+    pub subroutines: Vec<Subroutine>,
+    /// Main-program statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Unit {
+    /// Finds a subroutine by name.
+    pub fn subroutine(&self, name: &str) -> Option<&Subroutine> {
+        self.subroutines.iter().find(|s| s.name == name)
+    }
+}
+
+/// A `SUBROUTINE name ... ENDSUB` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Subroutine {
+    /// Subroutine name.
+    pub name: String,
+    /// 1-based line of the `SUBROUTINE` keyword.
+    pub line: u32,
+    /// Body statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement.
+    pub kind: StmtKind,
+}
+
+/// One declaration entry: `A(1024)`, `M(64,64)`, or a scalar `X`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeclEntry {
+    /// Name (upper-cased).
+    pub name: String,
+    /// Extents; empty for front-end scalars.
+    pub extents: Vec<usize>,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `REAL A(1024), M(64,64), X`
+    Decl {
+        /// The declared entries.
+        entries: Vec<DeclEntry>,
+    },
+    /// `DIST A CYCLIC` — distribution directive for a declared array.
+    Dist {
+        /// Array name.
+        name: String,
+        /// Requested distribution.
+        dist: Distribution,
+    },
+    /// `X = expr` (array- or scalar-valued by the target's kind).
+    Assign {
+        /// Target name.
+        target: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `FORALL (I = lo:hi) A(I) = expr(I)` with `expr` linear in `I`.
+    Forall {
+        /// Index variable.
+        index: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Target array.
+        target: String,
+        /// Right-hand side (may reference the index).
+        expr: Expr,
+    },
+    /// `READ A` — file read into an array.
+    Read {
+        /// Array name.
+        name: String,
+    },
+    /// `WRITE A` — file write of an array.
+    Write {
+        /// Array name.
+        name: String,
+    },
+    /// `CALL name` — invoke a subroutine (inlined at the call site).
+    Call {
+        /// Subroutine name.
+        name: String,
+    },
+    /// `DO I = lo:hi ... ENDDO` — a counted loop, fully unrolled at compile
+    /// time with the index substituted as a constant in each iteration.
+    Do {
+        /// Index variable.
+        index: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `WHERE (lhs <cmp> rhs) target = expr` — masked assignment: elements
+    /// of `target` where the condition holds receive `expr`; the rest keep
+    /// their old value.
+    Where {
+        /// Condition left side.
+        lhs: Expr,
+        /// Comparison operator.
+        cmp: cmrts_sim::CmpKind,
+        /// Condition right side.
+        rhs: Expr,
+        /// Target array.
+        target: String,
+        /// Value expression.
+        expr: Expr,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Array, scalar, or FORALL-index reference.
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Intrinsic call: `SUM(A)`, `CSHIFT(A, 1)`, `MAX(A, B)`, ...
+    Call {
+        /// Intrinsic name (upper-cased).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Returns a copy with every reference to `index` replaced by the
+    /// constant `value` (used by DO-loop unrolling).
+    pub fn substitute(&self, index: &str, value: f64) -> Expr {
+        match self {
+            Expr::Num(n) => Expr::Num(*n),
+            Expr::Ident(s) if s == index => Expr::Num(value),
+            Expr::Ident(s) => Expr::Ident(s.clone()),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.substitute(index, value))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.substitute(index, value)),
+                Box::new(b.substitute(index, value)),
+            ),
+            Expr::Call { name, args } => Expr::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| a.substitute(index, value)).collect(),
+            },
+        }
+    }
+
+    /// Walks the expression, yielding every identifier reference.
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Ident(s) => out.push(s),
+            Expr::Neg(e) => e.collect_idents(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_idents(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_walks_all_references() {
+        let e = Expr::Bin(
+            BinKind::Add,
+            Box::new(Expr::Ident("A".into())),
+            Box::new(Expr::Call {
+                name: "CSHIFT".into(),
+                args: vec![Expr::Ident("B".into()), Expr::Num(1.0)],
+            }),
+        );
+        assert_eq!(e.idents(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let e = Expr::Neg(Box::new(Expr::Ident("X".into())));
+        assert_eq!(e.idents(), vec!["X"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! DO-loop unrolling.
+//!
+//! The CM Fortran compiler unrolls small counted loops over node code
+//! blocks; here every `DO` is fully expanded right after parsing, with the
+//! index substituted as a constant in each iteration. Later phases (sema,
+//! lowering, mapping) therefore never see loops — every unrolled statement
+//! keeps its original source line, so costs from all iterations aggregate
+//! onto the same line nouns, exactly as line-level attribution should.
+
+use crate::ast::{Stmt, StmtKind, Unit};
+use crate::lex::CompileError;
+
+/// Hard cap on total statements after expansion (guards against
+/// `DO I = 1:1000000`).
+pub const MAX_EXPANDED_STATEMENTS: usize = 100_000;
+
+/// Expands every DO loop in the unit (including inside subroutines).
+pub fn expand_unit(unit: &Unit) -> Result<Unit, CompileError> {
+    let mut budget = MAX_EXPANDED_STATEMENTS;
+    let mut out = Unit {
+        name: unit.name.clone(),
+        subroutines: Vec::with_capacity(unit.subroutines.len()),
+        stmts: Vec::new(),
+    };
+    for sub in &unit.subroutines {
+        out.subroutines.push(crate::ast::Subroutine {
+            name: sub.name.clone(),
+            line: sub.line,
+            stmts: expand_stmts(&sub.stmts, &mut budget)?,
+        });
+    }
+    out.stmts = expand_stmts(&unit.stmts, &mut budget)?;
+    Ok(out)
+}
+
+fn expand_stmts(stmts: &[Stmt], budget: &mut usize) -> Result<Vec<Stmt>, CompileError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Do {
+                index,
+                lo,
+                hi,
+                body,
+            } => {
+                if hi < lo {
+                    // Zero-trip loop: Fortran semantics, nothing emitted.
+                    continue;
+                }
+                let inner = expand_stmts(body, budget)?;
+                for i in *lo..=*hi {
+                    for s in &inner {
+                        spend(budget, stmt.line)?;
+                        out.push(substitute_stmt(s, index, i as f64));
+                    }
+                }
+            }
+            _ => {
+                spend(budget, stmt.line)?;
+                out.push(stmt.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn spend(budget: &mut usize, line: u32) -> Result<(), CompileError> {
+    if *budget == 0 {
+        return Err(CompileError::new(
+            line,
+            format!(
+                "loop expansion exceeds {MAX_EXPANDED_STATEMENTS} statements"
+            ),
+        ));
+    }
+    *budget -= 1;
+    Ok(())
+}
+
+fn substitute_stmt(stmt: &Stmt, index: &str, value: f64) -> Stmt {
+    let kind = match &stmt.kind {
+        StmtKind::Assign { target, expr } => StmtKind::Assign {
+            target: target.clone(),
+            expr: expr.substitute(index, value),
+        },
+        StmtKind::Where {
+            lhs,
+            cmp,
+            rhs,
+            target,
+            expr,
+        } => StmtKind::Where {
+            lhs: lhs.substitute(index, value),
+            cmp: *cmp,
+            rhs: rhs.substitute(index, value),
+            target: target.clone(),
+            expr: expr.substitute(index, value),
+        },
+        StmtKind::Forall {
+            index: fi,
+            lo,
+            hi,
+            target,
+            expr,
+        } => StmtKind::Forall {
+            index: fi.clone(),
+            lo: *lo,
+            hi: *hi,
+            target: target.clone(),
+            // The FORALL index shadows the DO index inside its expression.
+            expr: if fi == index {
+                expr.clone()
+            } else {
+                expr.substitute(index, value)
+            },
+        },
+        other => other.clone(),
+    };
+    Stmt {
+        line: stmt.line,
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn do_loop_unrolls_with_substitution() {
+        let unit = parse(
+            "PROGRAM P\nREAL A(8)\nDO I = 1:3\nA = A + I\nENDDO\nEND\n",
+        )
+        .unwrap();
+        let expanded = expand_unit(&unit).unwrap();
+        // decl + 3 unrolled assignments.
+        assert_eq!(expanded.stmts.len(), 4);
+        // Each iteration substituted a different constant.
+        let consts: Vec<f64> = expanded.stmts[1..]
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Assign { expr, .. } => match expr {
+                    crate::ast::Expr::Bin(_, _, b) => match **b {
+                        crate::ast::Expr::Num(n) => n,
+                        _ => panic!("expected constant"),
+                    },
+                    _ => panic!("expected binop"),
+                },
+                _ => panic!("expected assign"),
+            })
+            .collect();
+        assert_eq!(consts, vec![1.0, 2.0, 3.0]);
+        // Lines are preserved for attribution.
+        assert!(expanded.stmts[1..].iter().all(|s| s.line == 4));
+    }
+
+    #[test]
+    fn nested_do_loops_multiply() {
+        let unit = parse(
+            "PROGRAM P\nREAL A(8)\nDO I = 1:2\nDO J = 1:3\nA = A + I * J\nENDDO\nENDDO\nEND\n",
+        )
+        .unwrap();
+        let expanded = expand_unit(&unit).unwrap();
+        assert_eq!(expanded.stmts.len(), 1 + 6);
+    }
+
+    #[test]
+    fn zero_trip_loop_vanishes() {
+        let unit =
+            parse("PROGRAM P\nREAL A(8)\nDO I = 5:1\nA = 1.0\nENDDO\nA = 2.0\nEND\n").unwrap();
+        let expanded = expand_unit(&unit).unwrap();
+        assert_eq!(expanded.stmts.len(), 2); // decl + final assign
+    }
+
+    #[test]
+    fn expansion_budget_is_enforced() {
+        let unit = parse(
+            "PROGRAM P\nREAL A(8)\nDO I = 1:200000\nA = A + 1.0\nENDDO\nEND\n",
+        )
+        .unwrap();
+        let e = expand_unit(&unit).unwrap_err();
+        assert!(e.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn forall_index_shadows_do_index() {
+        let unit = parse(
+            "PROGRAM P\nREAL A(4)\nDO I = 1:2\nFORALL (I = 1:4) A(I) = I\nENDDO\nEND\n",
+        )
+        .unwrap();
+        let expanded = expand_unit(&unit).unwrap();
+        // The FORALL's own I survives (not replaced by the DO constant).
+        match &expanded.stmts[1].kind {
+            StmtKind::Forall { expr, .. } => {
+                assert_eq!(expr, &crate::ast::Expr::Ident("I".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Lexer for the CM Fortran-like source language.
+//!
+//! Line-oriented, Fortran-flavoured: `!` starts a comment, newlines
+//! terminate statements, identifiers are case-insensitive (normalised to
+//! upper case).
+
+use std::fmt;
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (upper-cased).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `/=`
+    Ne,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of statement (one or more newlines).
+    Newline,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Eq => f.write_str("'='"),
+            Tok::EqEq => f.write_str("'=='"),
+            Tok::Lt => f.write_str("'<'"),
+            Tok::Gt => f.write_str("'>'"),
+            Tok::Le => f.write_str("'<='"),
+            Tok::Ge => f.write_str("'>='"),
+            Tok::Ne => f.write_str("'/='"),
+            Tok::Colon => f.write_str("':'"),
+            Tok::Plus => f.write_str("'+'"),
+            Tok::Minus => f.write_str("'-'"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::Slash => f.write_str("'/'"),
+            Tok::Newline => f.write_str("end of line"),
+        }
+    }
+}
+
+/// A compile error with source-line context (shared by all phases).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    /// 1-based source line (0 = end of input / whole program).
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Builds an error.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Tokenises source text. Consecutive newlines (and comment-only lines)
+/// collapse into single [`Tok::Newline`] markers.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out: Vec<Token> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let text = match raw.find('!') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let mut chars = text.chars().peekable();
+        let start_len = out.len();
+        while let Some(&c) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '(' => push(&mut out, Tok::LParen, line, &mut chars),
+                ')' => push(&mut out, Tok::RParen, line, &mut chars),
+                ',' => push(&mut out, Tok::Comma, line, &mut chars),
+                '=' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: Tok::EqEq, line });
+                    } else {
+                        out.push(Token { kind: Tok::Eq, line });
+                    }
+                }
+                '<' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: Tok::Le, line });
+                    } else {
+                        out.push(Token { kind: Tok::Lt, line });
+                    }
+                }
+                '>' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: Tok::Ge, line });
+                    } else {
+                        out.push(Token { kind: Tok::Gt, line });
+                    }
+                }
+                ':' => push(&mut out, Tok::Colon, line, &mut chars),
+                '+' => push(&mut out, Tok::Plus, line, &mut chars),
+                '-' => push(&mut out, Tok::Minus, line, &mut chars),
+                '*' => push(&mut out, Tok::Star, line, &mut chars),
+                '/' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: Tok::Ne, line });
+                    } else {
+                        out.push(Token { kind: Tok::Slash, line });
+                    }
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() || d == '.' {
+                            s.push(d);
+                            chars.next();
+                        } else if (d == 'e' || d == 'E')
+                            && !s.is_empty()
+                            && !s.contains('e')
+                        {
+                            s.push('e');
+                            chars.next();
+                            if let Some(&sign) = chars.peek() {
+                                if sign == '+' || sign == '-' {
+                                    s.push(sign);
+                                    chars.next();
+                                }
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: f64 = s
+                        .parse()
+                        .map_err(|_| CompileError::new(line, format!("bad number '{s}'")))?;
+                    out.push(Token {
+                        kind: Tok::Num(n),
+                        line,
+                    });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            s.push(d.to_ascii_uppercase());
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token {
+                        kind: Tok::Ident(s),
+                        line,
+                    });
+                }
+                other => {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unexpected character '{other}'"),
+                    ))
+                }
+            }
+        }
+        // Statement terminator if this line contributed tokens.
+        if out.len() > start_len {
+            out.push(Token {
+                kind: Tok::Newline,
+                line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn push(
+    out: &mut Vec<Token>,
+    kind: Tok,
+    line: u32,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) {
+    chars.next();
+    out.push(Token { kind, line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("asum = SUM(A)"),
+            vec![
+                Tok::Ident("ASUM".into()),
+                Tok::Eq,
+                Tok::Ident("SUM".into()),
+                Tok::LParen,
+                Tok::Ident("A".into()),
+                Tok::RParen,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_exponents() {
+        assert_eq!(kinds("1.5"), vec![Tok::Num(1.5), Tok::Newline]);
+        assert_eq!(kinds("2"), vec![Tok::Num(2.0), Tok::Newline]);
+        assert_eq!(kinds("1e3"), vec![Tok::Num(1000.0), Tok::Newline]);
+        assert_eq!(kinds("2.5E-1"), vec![Tok::Num(0.25), Tok::Newline]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_fold() {
+        let ks = kinds("A = 1 ! set A\n\n! whole-line comment\nB = 2");
+        let newlines = ks.iter().filter(|k| **k == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive() {
+        let toks = lex("A = 1\n\nB = 2\n").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("B".into()))
+            .unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("A*B + C/D - 2"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Star,
+                Tok::Ident("B".into()),
+                Tok::Plus,
+                Tok::Ident("C".into()),
+                Tok::Slash,
+                Tok::Ident("D".into()),
+                Tok::Minus,
+                Tok::Num(2.0),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        assert_eq!(
+            kinds("A < B <= C > D >= E == F /= G / H"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Lt,
+                Tok::Ident("B".into()),
+                Tok::Le,
+                Tok::Ident("C".into()),
+                Tok::Gt,
+                Tok::Ident("D".into()),
+                Tok::Ge,
+                Tok::Ident("E".into()),
+                Tok::EqEq,
+                Tok::Ident("F".into()),
+                Tok::Ne,
+                Tok::Ident("G".into()),
+                Tok::Slash,
+                Tok::Ident("H".into()),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let e = lex("A = @").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn case_is_normalised() {
+        assert_eq!(kinds("ForAll")[0], Tok::Ident("FORALL".into()));
+    }
+}

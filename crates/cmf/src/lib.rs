@@ -1,0 +1,417 @@
+//! # cmf-lang — a CM Fortran-like data-parallel language and compiler
+//!
+//! The paper's case study measures CM Fortran programs; the TMC compiler is
+//! unavailable, so this crate provides the closest synthetic equivalent: a
+//! small data-parallel array language (assignments, FORALL, WHERE masks,
+//! SUM / MAXVAL / MINVAL, CSHIFT / EOSHIFT with a DIM argument, TRANSPOSE,
+//! SCAN_*, SORT, SUBROUTINE/CALL, file I/O) compiled to [`cmrts_sim`] node
+//! programs.
+//!
+//! What matters for the paper is preserved:
+//!
+//! * lowering creates the four mapping shapes of Figure 1 (statement fusion
+//!   → one-to-many; communication/compute splitting → many-to-one;
+//!   together → many-to-many);
+//! * the compiler emits an output **listing** that the `pdmap-pif` scanner
+//!   turns into PIF static mapping files, reproducing §6.2's tool-chain;
+//! * the lowered IR carries pre-interned NV-model sentences, so the CMRTS
+//!   dispatcher can notify the SAS of line/array/operation activity.
+//!
+//! ```
+//! use pdmap::model::Namespace;
+//!
+//! let src = "PROGRAM HPFEX\nREAL A(1024), B(1024)\nA = 1.0\nB = 2.0\nASUM = SUM(A)\nBMAX = MAXVAL(B)\nEND\n";
+//! let ns = Namespace::new();
+//! let compiled = cmf_lang::compile(src, &ns, &cmf_lang::CompileOptions::default()).unwrap();
+//! assert!(compiled.listing.contains("CMF LISTING v1"));
+//! assert!(compiled.pif_text.contains("MAPPING"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod expand;
+pub mod lex;
+pub mod listing;
+pub mod lower;
+pub mod parse;
+pub mod sema;
+
+pub use ast::Unit;
+pub use lex::CompileError;
+pub use lower::{BlockRecord, CmfVocab, LowerOptions, Lowered};
+pub use sema::{Intrinsic, Shape, Symbol, Symbols};
+
+/// Options for [`compile`].
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Lowering options (fusion, level names).
+    pub lower: LowerOptions,
+}
+
+/// A fully compiled program: IR, vocabulary, listing, and PIF.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The parsed unit.
+    pub unit: Unit,
+    /// The symbol table.
+    pub symbols: Symbols,
+    /// The lowered program and sentence maps.
+    pub lowered: Lowered,
+    /// The compiler output listing (`CMF LISTING v1`).
+    pub listing: String,
+    /// The PIF produced by scanning the listing (§6.2's utility).
+    pub pif: pdmap_pif::PifFile,
+    /// The PIF in textual form.
+    pub pif_text: String,
+}
+
+impl Compiled {
+    /// The runnable node program.
+    pub fn program(&self) -> &cmrts_sim::Program {
+        &self.lowered.program
+    }
+}
+
+/// Compiles source text: parse → analyse → lower → emit listing → scan to
+/// PIF. The namespace receives every noun/verb/sentence the program uses.
+pub fn compile(
+    source: &str,
+    ns: &pdmap::model::Namespace,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let unit = parse::parse(source)?;
+    let unit = expand::expand_unit(&unit)?; // unroll DO loops
+    let symbols = sema::analyze(&unit)?;
+    let lowered = lower::lower(&unit, &symbols, ns, &opts.lower, source)?;
+    let listing_text = listing::emit_listing(&unit, &symbols, &lowered, source);
+    let parsed_listing = pdmap_pif::parse_listing(&listing_text)
+        .map_err(|e| CompileError::new(e.line as u32, format!("internal listing error: {e}")))?;
+    let scan_opts = pdmap_pif::ScanOptions {
+        source_level: opts.lower.source_level.clone(),
+        base_level: opts.lower.base_level.clone(),
+    };
+    let pif = pdmap_pif::listing_to_pif(&parsed_listing, &scan_opts);
+    let pif_text = pdmap_pif::write(&pif);
+    Ok(Compiled {
+        unit,
+        symbols,
+        lowered,
+        listing: listing_text,
+        pif,
+        pif_text,
+    })
+}
+
+/// Example programs used across tests, benches, and the figure binaries.
+pub mod samples {
+    /// The Figure 4 HPF fragment, embedded in a runnable program:
+    /// `ASUM = SUM(A)` on line 5, `BMAX = MAXVAL(B)` on line 6.
+    pub const FIGURE4: &str = "\
+PROGRAM HPFEX
+REAL A(1024), B(1024)
+A = 1.0
+B = 2.0
+ASUM = SUM(A)
+BMAX = MAXVAL(B)
+END
+";
+
+    /// A `bow.fcm`-like program for the Figure 8 where axis: the module
+    /// contains six functions, and one of them (CORNER) contains the five
+    /// arrays the figure shows (TOT expanded into per-node subregions at
+    /// run time).
+    pub const BOW: &str = "\
+PROGRAM BOW
+SUBROUTINE CORNER
+REAL TOT(64, 64), SRM(64, 64), WGHT(64, 64), SCL(64, 64), TMP(64, 64)
+TOT = 0.0
+SRM = 1.0
+WGHT = 2.0
+SCL = WGHT * 0.5
+TMP = TRANSPOSE(TOT)
+TOT = TOT + SRM * WGHT
+ENDSUB
+SUBROUTINE EDGE
+REAL EDG(128)
+EDG = 1.0
+ENDSUB
+SUBROUTINE INTERIOR
+REAL INTR(128)
+INTR = 2.0
+ENDSUB
+SUBROUTINE FLUX
+REAL FLX(128)
+FLX = SCAN_ADD(INTR)
+ENDSUB
+SUBROUTINE SOURCE
+REAL SRC(128)
+SRC = EDG + INTR
+ENDSUB
+SUBROUTINE UPDATE
+REAL UPD(128)
+UPD = MAX(FLX, SRC)
+ENDSUB
+CALL CORNER
+CALL EDGE
+CALL INTERIOR
+CALL FLUX
+CALL SOURCE
+CALL UPDATE
+TSUM = SUM(TOT)
+WRITE TOT
+END
+";
+
+    /// A workload touching every Figure 9 verb: computation (including a
+    /// masked WHERE assignment), all three reductions, rotation, shift,
+    /// transpose, scan, sort, and file I/O.
+    pub const ALL_VERBS: &str = "\
+PROGRAM KITCHEN
+REAL A(256), B(256), C(256), M(32, 32), T(32, 32)
+A = 1.0
+FORALL (I = 1:256) B(I) = 2*I - 1
+C = A + B * 0.5
+WHERE (B > 100.0) C = B * 0.1
+S = SUM(A)
+MX = MAXVAL(B)
+MN = MINVAL(C)
+C = CSHIFT(C, 3)
+B = EOSHIFT(B, -2)
+M = 1.5
+T = TRANSPOSE(M)
+A = SCAN_ADD(A)
+C = SORT(C)
+READ A
+WRITE C
+END
+";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmap::model::Namespace;
+
+    #[test]
+    fn compile_figure4_end_to_end() {
+        let ns = Namespace::new();
+        let c = compile(samples::FIGURE4, &ns, &CompileOptions::default()).unwrap();
+        assert_eq!(c.unit.name, "HPFEX");
+        assert!(c.listing.contains("block name=cmpe_hpfex_"));
+        assert!(c.pif.mappings().count() > 0);
+        c.program().validate().unwrap();
+    }
+
+    #[test]
+    fn compile_error_carries_line() {
+        let ns = Namespace::new();
+        let e = compile(
+            "PROGRAM P\nREAL A(8), B(9)\nA = B\nEND\n",
+            &ns,
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn all_verbs_sample_compiles() {
+        let ns = Namespace::new();
+        let c = compile(samples::ALL_VERBS, &ns, &CompileOptions::default()).unwrap();
+        // Every communication verb appears somewhere in the lowered blocks.
+        use cmrts_sim::{NodeOp, Step};
+        let mut seen_shift = false;
+        let mut seen_rotate = false;
+        let mut seen_transpose = false;
+        let mut seen_scan = false;
+        let mut seen_sort = false;
+        let mut seen_io = false;
+        let mut seen_reduce = 0;
+        for s in &c.program().steps {
+            if let Step::Ncb(b) = s {
+                for i in &b.body {
+                    match i.op {
+                        NodeOp::Shift { circular: true, .. } => seen_rotate = true,
+                        NodeOp::Shift { circular: false, .. } => seen_shift = true,
+                        NodeOp::Transpose { .. } => seen_transpose = true,
+                        NodeOp::Scan { .. } => seen_scan = true,
+                        NodeOp::Sort { .. } => seen_sort = true,
+                        NodeOp::FileIo { .. } => seen_io = true,
+                        NodeOp::Reduce { .. } => seen_reduce += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(seen_shift && seen_rotate && seen_transpose && seen_scan && seen_sort && seen_io);
+        assert_eq!(seen_reduce, 3);
+    }
+
+    #[test]
+    fn bow_sample_compiles_with_figure8_structure() {
+        let ns = Namespace::new();
+        let c = compile(samples::BOW, &ns, &CompileOptions::default()).unwrap();
+        // Six functions, as the figure says of bow.fcm.
+        assert_eq!(c.unit.subroutines.len(), 6);
+        for a in ["TOT", "SRM", "WGHT", "SCL", "TMP"] {
+            assert!(c.symbols.is_array(a), "{a}");
+            assert_eq!(c.symbols.array_home.get(a).map(String::as_str), Some("CORNER"));
+        }
+        // The listing attributes statements and arrays to their functions.
+        assert!(c.listing.contains("fn=CORNER"));
+        assert!(c.listing.contains("fn=EDGE"));
+        assert!(c.listing.contains("array name=UPD fn=UPDATE"));
+        // And the PIF places them in per-function where-axis paths.
+        assert!(c.pif_text.contains("path = /bow.fcm/CORNER/TOT"));
+        assert!(c.pif_text.contains("path = /bow.fcm/UPDATE/UPD"));
+    }
+
+    #[test]
+    fn call_inlines_subroutine_statements() {
+        let ns = Namespace::new();
+        let src = "\
+PROGRAM P
+SUBROUTINE TWICE
+REAL A(16)
+A = A + 1.0
+ENDSUB
+CALL TWICE
+CALL TWICE
+S = SUM(A)
+END
+";
+        let c = compile(src, &ns, &CompileOptions::default()).unwrap();
+        // Two inlined element-wise statements + one reduction; the single
+        // static allocation must not repeat.
+        use cmrts_sim::Step;
+        let allocs = c
+            .program()
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Alloc(_)))
+            .count();
+        assert_eq!(allocs, 1);
+        let ncbs = c
+            .program()
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Ncb(_)))
+            .count();
+        assert!(ncbs >= 2, "both CALLs produce work, got {ncbs}");
+    }
+
+    #[test]
+    fn subroutine_errors() {
+        let ns = Namespace::new();
+        let opts = CompileOptions::default();
+        let e = compile("PROGRAM P\nCALL NOPE\nEND\n", &ns, &opts).unwrap_err();
+        assert!(e.message.contains("undefined subroutine"));
+        let e = compile(
+            "PROGRAM P\nSUBROUTINE S\nX = 1\nENDSUB\nSUBROUTINE S\nY = 2\nENDSUB\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("defined twice"));
+        let e = compile(
+            "PROGRAM P\nSUBROUTINE A\nCALL A\nENDSUB\nCALL A\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("flat call graph"));
+        let e = compile("PROGRAM P\nSUBROUTINE S\nX = 1\nEND\n", &ns, &opts).unwrap_err();
+        assert!(e.message.contains("missing ENDSUB"));
+        let e = compile("PROGRAM P\nENDSUB\nEND\n", &ns, &opts).unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn where_masked_assignment_runs_correctly() {
+        use std::sync::Arc;
+        let src = "\
+PROGRAM MASKY
+REAL A(16), B(16)
+FORALL (I = 1:16) A(I) = I
+B = 0.0
+WHERE (A > 8.0) B = A * 10.0
+WHERE (A <= 4.0) B = 0.0 - 1.0
+S = SUM(B)
+END
+";
+        let ns = Namespace::new();
+        let c = compile(src, &ns, &CompileOptions::default()).unwrap();
+        let mgr = Arc::new(dyninst_sim::InstrumentationManager::new());
+        let mut m = cmrts_sim::Machine::new(
+            cmrts_sim::MachineConfig {
+                nodes: 4,
+                ..cmrts_sim::MachineConfig::default()
+            },
+            ns,
+            mgr,
+            c.program().clone(),
+        )
+        .unwrap();
+        m.run();
+        // B = 10*A for A in 9..=16, -1 for A in 1..=4, else 0.
+        let expect: f64 = (9..=16).map(|i| 10.0 * i as f64).sum::<f64>() - 4.0;
+        assert_eq!(m.scalar("S"), Some(expect));
+    }
+
+    #[test]
+    fn where_errors() {
+        let ns = Namespace::new();
+        let opts = CompileOptions::default();
+        let e = compile(
+            "PROGRAM P\nREAL A(8)\nWHERE (1.0 > 0.5) A = 2.0\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("must involve an array"));
+        let e = compile(
+            "PROGRAM P\nREAL A(8), M(4,4)\nWHERE (M > 0.5) A = 2.0\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("does not match"));
+        let e = compile(
+            "PROGRAM P\nREAL A(8)\nWHERE (A 1.0) A = 2.0\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("comparison"));
+        let e = compile(
+            "PROGRAM P\nWHERE (X > 1.0) Y = 2.0\nEND\n",
+            &ns,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("not a declared array"));
+    }
+
+    #[test]
+    fn subroutine_runs_produce_correct_data() {
+        use std::sync::Arc;
+        let ns = Namespace::new();
+        let c = compile(samples::BOW, &ns, &CompileOptions::default()).unwrap();
+        let mgr = Arc::new(dyninst_sim::InstrumentationManager::new());
+        let mut m = cmrts_sim::Machine::new(
+            cmrts_sim::MachineConfig {
+                nodes: 4,
+                ..cmrts_sim::MachineConfig::default()
+            },
+            ns,
+            mgr,
+            c.program().clone(),
+        )
+        .unwrap();
+        m.run();
+        // TOT = 0 + 1*2 everywhere; 64*64 elements.
+        assert_eq!(m.scalar("TSUM"), Some(2.0 * 64.0 * 64.0));
+    }
+}

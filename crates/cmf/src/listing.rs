@@ -1,0 +1,185 @@
+//! Compiler-output listing emission (§6.2's input).
+//!
+//! The compiler writes a `CMF LISTING v1` file describing the parallel
+//! statements, parallel arrays, and node-code blocks it generated. The
+//! `pdmap-pif` crate's scanner (the paper's "simple utility that parses CM
+//! Fortran compiler output files") turns it into a PIF file — reproducing
+//! the paper's exact tool-chain shape: compiler → listing → scanner → PIF
+//! → Paradyn.
+
+use crate::ast::{StmtKind, Unit};
+use crate::lower::Lowered;
+use crate::sema::Symbols;
+use std::fmt::Write as _;
+
+/// Emits the `CMF LISTING v1` text for a lowered unit.
+pub fn emit_listing(unit: &Unit, syms: &Symbols, lowered: &Lowered, source: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "CMF LISTING v1").unwrap();
+    writeln!(out, "file = {}", lowered.program.name).unwrap();
+
+    let line_text = |line: u32| -> String {
+        source
+            .lines()
+            .nth((line - 1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    // Parallel statements: the lines that generated node code blocks,
+    // attributed to their enclosing function (subroutine or main program).
+    let mut listed = std::collections::BTreeSet::new();
+    let mut emit_stmt = |out: &mut String, stmt: &crate::ast::Stmt, func: &str| {
+        let parallel = match &stmt.kind {
+            StmtKind::Assign { target, expr } => {
+                syms.is_array(target) || expr.idents().iter().any(|i| syms.is_array(i))
+            }
+            StmtKind::Forall { .. }
+            | StmtKind::Read { .. }
+            | StmtKind::Write { .. }
+            | StmtKind::Where { .. } => true,
+            StmtKind::Decl { .. }
+            | StmtKind::Dist { .. }
+            | StmtKind::Call { .. }
+            | StmtKind::Do { .. } => false,
+        };
+        if parallel && listed.insert(stmt.line) {
+            writeln!(
+                out,
+                "statement line={} fn={} text={}",
+                stmt.line,
+                func,
+                line_text(stmt.line)
+            )
+            .unwrap();
+        }
+    };
+    for sub in &unit.subroutines {
+        for stmt in &sub.stmts {
+            emit_stmt(&mut out, stmt, &sub.name);
+        }
+    }
+    for stmt in &unit.stmts {
+        emit_stmt(&mut out, stmt, &unit.name);
+    }
+
+    // Parallel arrays (temporaries excluded), attributed to the declaring
+    // function.
+    for name in &syms.array_order {
+        let extents = syms.array_extents(name).unwrap_or(&[]);
+        let dist = syms
+            .array_dist(name)
+            .unwrap_or(cmrts_sim::Distribution::Block);
+        let home = syms
+            .array_home
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(unit.name.as_str());
+        let ext: Vec<String> = extents.iter().map(|e| e.to_string()).collect();
+        writeln!(
+            out,
+            "array name={} fn={} rank={} extents={} dist={}",
+            name,
+            home,
+            extents.len(),
+            ext.join(","),
+            dist.name()
+        )
+        .unwrap();
+    }
+
+    // Node code blocks.
+    for b in &lowered.blocks {
+        let lines: Vec<String> = b.lines.iter().map(|l| l.to_string()).collect();
+        let arrays: Vec<String> = b
+            .arrays
+            .iter()
+            .filter(|a| !a.starts_with("CMF_TMP"))
+            .cloned()
+            .collect();
+        write!(out, "block name={} lines={}", b.name, lines.join(",")).unwrap();
+        if !arrays.is_empty() {
+            write!(out, " arrays={}", arrays.join(",")).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use crate::parse::parse;
+    use crate::sema::analyze;
+    use pdmap::model::Namespace;
+
+    fn listing_for(src: &str) -> String {
+        let unit = parse(src).unwrap();
+        let syms = analyze(&unit).unwrap();
+        let ns = Namespace::new();
+        let lowered = lower(&unit, &syms, &ns, &LowerOptions::default(), src).unwrap();
+        emit_listing(&unit, &syms, &lowered, src)
+    }
+
+    const SRC: &str = "\
+PROGRAM CORR
+REAL A(64), B(64)
+A = 1.5
+B = 2.5
+ASUM = SUM(A)
+END
+";
+
+    #[test]
+    fn listing_has_header_and_sections() {
+        let l = listing_for(SRC);
+        assert!(l.starts_with("CMF LISTING v1\n"));
+        assert!(l.contains("file = corr.fcm"));
+        assert!(l.contains("statement line=3 fn=CORR text=A = 1.5"));
+        assert!(l.contains("array name=A fn=CORR rank=1 extents=64 dist=block"));
+        assert!(l.contains("block name=cmpe_corr_1_ lines=3,4 arrays=A,B"));
+        assert!(l.contains("block name=cmpe_corr_2_ lines=5 arrays=A"));
+    }
+
+    #[test]
+    fn listing_parses_with_pif_scanner() {
+        let text = listing_for(SRC);
+        let parsed = pdmap_pif::parse_listing(&text).unwrap();
+        assert_eq!(parsed.file, "corr.fcm");
+        assert_eq!(parsed.statements.len(), 3);
+        assert_eq!(parsed.arrays.len(), 2);
+        assert_eq!(parsed.blocks.len(), 2);
+        // The fused block implements two lines: Figure 2's shape.
+        assert_eq!(parsed.blocks[0].lines, vec![3, 4]);
+    }
+
+    #[test]
+    fn scanner_generates_figure2_style_pif() {
+        let text = listing_for(SRC);
+        let parsed = pdmap_pif::parse_listing(&text).unwrap();
+        let pif = pdmap_pif::listing_to_pif(&parsed, &pdmap_pif::ScanOptions::default());
+        let written = pdmap_pif::write(&pif);
+        assert!(written.contains("source = {cmpe_corr_1_(), CPU Utilization}"));
+        assert!(written.contains("destination = {line3, Executes}"));
+        assert!(written.contains("destination = {line4, Executes}"));
+    }
+
+    #[test]
+    fn temps_never_reach_the_listing() {
+        let l = listing_for("PROGRAM P\nREAL A(16)\nX = SUM(A * 2.0)\nEND\n");
+        assert!(!l.contains("CMF_TMP"));
+    }
+
+    #[test]
+    fn scalar_only_statements_are_not_parallel() {
+        let l = listing_for("PROGRAM P\nREAL A(4)\nA = 1.0\nX = 1 + 2\nEND\n");
+        assert!(!l.contains("text=X = 1 + 2"));
+    }
+
+    #[test]
+    fn cyclic_dist_is_recorded() {
+        let l = listing_for("PROGRAM P\nREAL A(8)\nDIST A CYCLIC\nA = 0.0\nEND\n");
+        assert!(l.contains("dist=cyclic"));
+    }
+}

@@ -1,0 +1,1299 @@
+//! Lowering to CMRTS node programs.
+//!
+//! This back end is where the paper's mapping problem is *created*:
+//!
+//! * adjacent element-wise statements are **fused** into a single node code
+//!   block — one low-level function implementing several source lines (the
+//!   one-to-many `cmpe_corr_6_()` situation of Figure 2);
+//! * a statement that mixes communication intrinsics with element-wise
+//!   arithmetic is split across several blocks — many low-level functions
+//!   implementing one line (many-to-one);
+//! * both at once yields overlapping block/line sets (many-to-many).
+//!
+//! Lowering also interns the NV-model vocabulary (line nouns, array nouns,
+//! operation verbs) and attaches pre-built sentences to the IR so the
+//! dispatcher and collectives can notify the SAS without knowing anything
+//! about the source language.
+
+use crate::ast::{BinKind, Expr, Stmt, StmtKind, Unit};
+use crate::lex::CompileError;
+use crate::sema::{infer_shape, linear_of_index, Intrinsic, Shape, Symbols};
+use cmrts_sim::{
+    ArrayDecl, ArrayId, BinOpKind, Distribution, Instr, NodeCodeBlock, NodeOp, Operand, Program,
+    ReduceKind, ScalarExpr, ScalarId, Step,
+};
+use pdmap::model::{Namespace, NounId, SentenceId, VerbId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling lowering.
+#[derive(Clone, Debug)]
+pub struct LowerOptions {
+    /// Name of the source level of abstraction.
+    pub source_level: String,
+    /// Name of the base level of abstraction.
+    pub base_level: String,
+    /// Fuse adjacent element-wise statements into one block (the
+    /// optimisation that merges source lines; turning it off is the
+    /// ablation used by the mapping benches).
+    pub fuse_elementwise: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        Self {
+            source_level: "CM Fortran".to_string(),
+            base_level: "Base".to_string(),
+            fuse_elementwise: true,
+        }
+    }
+}
+
+/// Interned CM Fortran vocabulary, exposed so tools can build questions
+/// (`{A Sums}`) against compiled programs.
+#[derive(Clone, Debug)]
+pub struct CmfVocab {
+    /// The source level.
+    pub source_level: pdmap::model::LevelId,
+    /// The base level.
+    pub base_level: pdmap::model::LevelId,
+    /// `Executes` (statements; "units are % CPU").
+    pub executes: VerbId,
+    /// `Active` (array participates in the running block).
+    pub active: VerbId,
+    /// `Assigns` (element-wise computation).
+    pub assigns: VerbId,
+    /// `Sums` / `MaxVals` / `MinVals`.
+    pub sums: VerbId,
+    /// MAXVAL reductions.
+    pub maxvals: VerbId,
+    /// MINVAL reductions.
+    pub minvals: VerbId,
+    /// Scans.
+    pub scans: VerbId,
+    /// Sorts.
+    pub sorts: VerbId,
+    /// Circular shifts.
+    pub rotates: VerbId,
+    /// End-off shifts.
+    pub shifts: VerbId,
+    /// Transposes.
+    pub transposes: VerbId,
+    /// File reads.
+    pub reads: VerbId,
+    /// File writes.
+    pub writes: VerbId,
+    /// Base-level `Executes` (blocks).
+    pub base_executes: VerbId,
+    /// Base-level `CPU Utilization`.
+    pub cpu_utilization: VerbId,
+}
+
+impl CmfVocab {
+    fn intern(ns: &Namespace, opts: &LowerOptions) -> Self {
+        let source_level = ns.level(&opts.source_level);
+        let base_level = ns.level(&opts.base_level);
+        let v = |name: &str, desc: &str| ns.verb(source_level, name, desc);
+        Self {
+            executes: v("Executes", "units are \"% CPU\""),
+            active: v("Active", "array participates in the running node code block"),
+            assigns: v("Assigns", "element-wise parallel assignment"),
+            sums: v("Sums", "SUM reduction"),
+            maxvals: v("MaxVals", "MAXVAL reduction"),
+            minvals: v("MinVals", "MINVAL reduction"),
+            scans: v("Scans", "parallel-prefix scan"),
+            sorts: v("Sorts", "global sort"),
+            rotates: v("Rotates", "circular shift (CSHIFT)"),
+            shifts: v("Shifts", "end-off shift (EOSHIFT)"),
+            transposes: v("Transposes", "2-D transpose"),
+            reads: v("Reads", "file read"),
+            writes: v("Writes", "file write"),
+            // Named `Runs` (not `Executes`) so PIF mapping records, which
+            // reference verbs by bare name, stay unambiguous across levels.
+            base_executes: ns.verb(base_level, "Runs", "node code block is executing"),
+            cpu_utilization: ns.verb(base_level, "CPU Utilization", "units are \"% CPU\""),
+            source_level,
+            base_level,
+        }
+    }
+
+    /// The verb for a reduction kind.
+    pub fn reduce_verb(&self, kind: ReduceKind) -> VerbId {
+        match kind {
+            ReduceKind::Sum => self.sums,
+            ReduceKind::Max => self.maxvals,
+            ReduceKind::Min => self.minvals,
+        }
+    }
+}
+
+/// Listing-facing record of one generated block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Mangled name (without the trailing `()`).
+    pub name: String,
+    /// Source lines implemented.
+    pub lines: Vec<u32>,
+    /// Non-temporary arrays touched.
+    pub arrays: Vec<String>,
+}
+
+/// The result of lowering.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The runnable node program.
+    pub program: Program,
+    /// Generated block records (for the compiler listing).
+    pub blocks: Vec<BlockRecord>,
+    /// The interned vocabulary.
+    pub vocab: CmfVocab,
+    /// `line → noun` for statements.
+    pub line_nouns: BTreeMap<u32, NounId>,
+    /// `array name → noun`.
+    pub array_nouns: BTreeMap<String, NounId>,
+}
+
+impl Lowered {
+    /// The `{array} <verb>` sentence for building questions against this
+    /// program (e.g. `{A} Sums`).
+    pub fn array_sentence(&self, ns: &Namespace, array: &str, verb: VerbId) -> Option<SentenceId> {
+        let noun = *self.array_nouns.get(array)?;
+        Some(ns.say(verb, [noun]))
+    }
+
+    /// The `{lineN} Executes` sentence.
+    pub fn line_sentence(&self, ns: &Namespace, line: u32) -> Option<SentenceId> {
+        let noun = *self.line_nouns.get(&line)?;
+        Some(ns.say(self.vocab.executes, [noun]))
+    }
+}
+
+struct Pending {
+    instrs: Vec<Instr>,
+    lines: Vec<u32>,
+    arrays: BTreeSet<String>,
+    free_after: Vec<ArrayId>,
+}
+
+impl Pending {
+    fn new() -> Self {
+        Self {
+            instrs: Vec::new(),
+            lines: Vec::new(),
+            arrays: BTreeSet::new(),
+            free_after: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+struct Lowerer<'a> {
+    ns: &'a Namespace,
+    syms: &'a Symbols,
+    opts: &'a LowerOptions,
+    unit: &'a Unit,
+    unit_name_lower: String,
+    vocab: CmfVocab,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<String>,
+    steps: Vec<Step>,
+    array_ids: BTreeMap<String, ArrayId>,
+    scalar_ids: BTreeMap<String, ScalarId>,
+    line_nouns: BTreeMap<u32, NounId>,
+    array_nouns: BTreeMap<String, NounId>,
+    /// Non-temp source arrays feeding each array (temps included as keys).
+    provenance: BTreeMap<ArrayId, BTreeSet<String>>,
+    temp_counter: u32,
+    block_counter: u32,
+    pending: Pending,
+    blocks: Vec<BlockRecord>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(unit: &'a Unit, syms: &'a Symbols, ns: &'a Namespace, opts: &'a LowerOptions) -> Self {
+        Self {
+            ns,
+            syms,
+            opts,
+            unit,
+            unit_name_lower: unit.name.to_lowercase(),
+            vocab: CmfVocab::intern(ns, opts),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            steps: Vec::new(),
+            array_ids: BTreeMap::new(),
+            scalar_ids: BTreeMap::new(),
+            line_nouns: BTreeMap::new(),
+            array_nouns: BTreeMap::new(),
+            provenance: BTreeMap::new(),
+            temp_counter: 0,
+            block_counter: 0,
+            pending: Pending::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    fn array_id(&self, name: &str) -> ArrayId {
+        self.array_ids[name]
+    }
+
+    fn scalar_id(&mut self, name: &str) -> ScalarId {
+        if let Some(&id) = self.scalar_ids.get(name) {
+            return id;
+        }
+        let id = ScalarId(self.scalars.len() as u32);
+        self.scalars.push(name.to_string());
+        self.scalar_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn fresh_temp_array(&mut self, extents: &[usize], dist: Distribution) -> ArrayId {
+        self.temp_counter += 1;
+        let name = format!("CMF_TMP{}", self.temp_counter);
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl {
+            name: name.clone(),
+            extents: extents.to_vec(),
+            dist,
+        });
+        self.array_ids.insert(name, id);
+        self.steps.push(Step::Alloc(id));
+        id
+    }
+
+    fn fresh_temp_scalar(&mut self) -> ScalarId {
+        self.temp_counter += 1;
+        self.scalar_id(&format!("CMF_STMP{}", self.temp_counter))
+    }
+
+    fn is_temp(&self, id: ArrayId) -> bool {
+        self.arrays[id.index()].name.starts_with("CMF_TMP")
+    }
+
+    fn next_block_name(&mut self) -> String {
+        self.block_counter += 1;
+        format!("cmpe_{}_{}_", self.unit_name_lower, self.block_counter)
+    }
+
+    fn line_noun(&mut self, line: u32, text: &str) -> NounId {
+        if let Some(&n) = self.line_nouns.get(&line) {
+            return n;
+        }
+        let n = self.ns.noun(
+            self.vocab.source_level,
+            &format!("line{line}"),
+            &format!("line #{line}: {text}"),
+        );
+        self.line_nouns.insert(line, n);
+        n
+    }
+
+    fn array_noun(&mut self, name: &str) -> NounId {
+        if let Some(&n) = self.array_nouns.get(name) {
+            return n;
+        }
+        let desc = match self.syms.array_extents(name) {
+            Some(e) => format!("parallel array, extents {e:?}"),
+            None => "parallel array".to_string(),
+        };
+        let n = self.ns.noun(self.vocab.source_level, name, &desc);
+        self.array_nouns.insert(name.to_string(), n);
+        n
+    }
+
+    /// Builds the `{arrays...} <verb>` operation sentence from provenance.
+    fn op_sentence(&mut self, verb: VerbId, sources: &BTreeSet<String>) -> Option<SentenceId> {
+        if sources.is_empty() {
+            return None;
+        }
+        let nouns: Vec<NounId> = sources
+            .iter()
+            .map(|s| self.array_noun(s))
+            .collect::<Vec<_>>();
+        Some(self.ns.say(verb, nouns))
+    }
+
+    fn provenance_of(&self, id: ArrayId) -> BTreeSet<String> {
+        if self.is_temp(id) {
+            self.provenance.get(&id).cloned().unwrap_or_default()
+        } else {
+            std::iter::once(self.arrays[id.index()].name.clone()).collect()
+        }
+    }
+
+    /// Emits one node code block built from the given instructions.
+    fn emit_block(
+        &mut self,
+        instrs: Vec<Instr>,
+        lines: Vec<u32>,
+        line_texts: &BTreeMap<u32, String>,
+        arrays: BTreeSet<String>,
+        frees: Vec<ArrayId>,
+    ) {
+        if instrs.is_empty() {
+            return;
+        }
+        let name = self.next_block_name();
+        // Base-level block noun + sentence.
+        let block_noun = self.ns.noun(
+            self.vocab.base_level,
+            &format!("{name}()"),
+            "compiler generated function, source code not available",
+        );
+        let block_sentence = self.ns.say(self.vocab.base_executes, [block_noun]);
+
+        let mut line_sentences = Vec::new();
+        let mut dedup_lines: Vec<u32> = lines.clone();
+        dedup_lines.dedup();
+        for &line in &dedup_lines {
+            let text = line_texts.get(&line).cloned().unwrap_or_default();
+            let noun = self.line_noun(line, &text);
+            line_sentences.push(self.ns.say(self.vocab.executes, [noun]));
+        }
+
+        // Argument arrays: every array any instruction touches.
+        let mut args: Vec<ArrayId> = Vec::new();
+        for instr in &instrs {
+            for a in op_arrays(&instr.op) {
+                if !args.contains(&a) {
+                    args.push(a);
+                }
+            }
+        }
+        let mut array_sentences = Vec::new();
+        for &a in &args {
+            if !self.is_temp(a) {
+                let name = self.arrays[a.index()].name.clone();
+                let noun = self.array_noun(&name);
+                array_sentences.push((a, self.ns.say(self.vocab.active, [noun])));
+            }
+        }
+
+        self.blocks.push(BlockRecord {
+            name: name.clone(),
+            lines: dedup_lines.clone(),
+            arrays: arrays.iter().cloned().collect(),
+        });
+        self.steps.push(Step::Ncb(NodeCodeBlock {
+            name,
+            lines: dedup_lines,
+            args,
+            block_sentence: Some(block_sentence),
+            line_sentences,
+            array_sentences,
+            body: instrs,
+        }));
+        for t in frees {
+            self.steps.push(Step::Free(t));
+        }
+    }
+
+    fn flush_pending(&mut self, line_texts: &BTreeMap<u32, String>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::replace(&mut self.pending, Pending::new());
+        self.emit_block(
+            pending.instrs,
+            pending.lines,
+            line_texts,
+            pending.arrays,
+            pending.free_after,
+        );
+    }
+
+    /// Lowers an array-valued expression; returns the array holding the
+    /// result. `dest` is used for the outermost value when provided.
+    /// Element-wise steps accumulate into `ew`; communication pieces flush
+    /// and emit standalone blocks.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_array_expr(
+        &mut self,
+        expr: &Expr,
+        dest: Option<ArrayId>,
+        line: u32,
+        line_texts: &BTreeMap<u32, String>,
+        ew: &mut Vec<Instr>,
+        stmt_arrays: &mut BTreeSet<String>,
+        temps: &mut Vec<ArrayId>,
+    ) -> Result<ArrayId, CompileError> {
+        let shape = infer_shape(expr, self.syms, None, line)?;
+        let Shape::Array(extents) = shape else {
+            unreachable!("lower_array_expr called on scalar expression");
+        };
+        let dist = Distribution::Block;
+        match expr {
+            Expr::Ident(name) => {
+                let src = self.array_id(name);
+                stmt_arrays.insert(name.clone());
+                match dest {
+                    Some(d) if d != src => {
+                        let sentence = self.op_sentence(self.vocab.assigns, &self.provenance_of(src));
+                        ew.push(Instr {
+                            op: NodeOp::Copy { dst: d, src },
+                            sentence,
+                        });
+                        Ok(d)
+                    }
+                    Some(d) => Ok(d),
+                    None => Ok(src),
+                }
+            }
+            Expr::Neg(inner) => {
+                let d = match dest {
+                    Some(d) => d,
+                    None => {
+                        let t = self.fresh_temp_array(&extents, dist);
+                        temps.push(t);
+                        t
+                    }
+                };
+                let src = self.lower_array_expr(
+                    inner, None, line, line_texts, ew, stmt_arrays, temps,
+                )?;
+                let prov = self.provenance_of(src);
+                let sentence = self.op_sentence(self.vocab.assigns, &prov);
+                self.provenance.insert(d, prov);
+                ew.push(Instr {
+                    op: NodeOp::BinOp {
+                        dst: d,
+                        a: Operand::Const(-1.0),
+                        b: Operand::Array(src),
+                        op: BinOpKind::Mul,
+                    },
+                    sentence,
+                });
+                Ok(d)
+            }
+            Expr::Bin(op, a, b) => {
+                let d = match dest {
+                    Some(d) => d,
+                    None => {
+                        let t = self.fresh_temp_array(&extents, dist);
+                        temps.push(t);
+                        t
+                    }
+                };
+                let oa = self.lower_operand(a, line, line_texts, ew, stmt_arrays, temps)?;
+                let ob = self.lower_operand(b, line, line_texts, ew, stmt_arrays, temps)?;
+                let kind = match op {
+                    BinKind::Add => BinOpKind::Add,
+                    BinKind::Sub => BinOpKind::Sub,
+                    BinKind::Mul => BinOpKind::Mul,
+                    BinKind::Div => BinOpKind::Div,
+                };
+                let mut prov = BTreeSet::new();
+                for o in [&oa, &ob] {
+                    if let Operand::Array(x) = o {
+                        prov.extend(self.provenance_of(*x));
+                    }
+                }
+                let sentence = self.op_sentence(self.vocab.assigns, &prov);
+                self.provenance.insert(d, prov);
+                ew.push(Instr {
+                    op: NodeOp::BinOp {
+                        dst: d,
+                        a: oa,
+                        b: ob,
+                        op: kind,
+                    },
+                    sentence,
+                });
+                Ok(d)
+            }
+            Expr::Call { name, args } => {
+                let intr = Intrinsic::by_name(name).expect("checked by sema");
+                match intr {
+                    Intrinsic::EMax | Intrinsic::EMin => {
+                        let d = match dest {
+                            Some(d) => d,
+                            None => {
+                                let t = self.fresh_temp_array(&extents, dist);
+                                temps.push(t);
+                                t
+                            }
+                        };
+                        let oa =
+                            self.lower_operand(&args[0], line, line_texts, ew, stmt_arrays, temps)?;
+                        let ob =
+                            self.lower_operand(&args[1], line, line_texts, ew, stmt_arrays, temps)?;
+                        let mut prov = BTreeSet::new();
+                        for o in [&oa, &ob] {
+                            if let Operand::Array(x) = o {
+                                prov.extend(self.provenance_of(*x));
+                            }
+                        }
+                        let sentence = self.op_sentence(self.vocab.assigns, &prov);
+                        self.provenance.insert(d, prov);
+                        ew.push(Instr {
+                            op: NodeOp::BinOp {
+                                dst: d,
+                                a: oa,
+                                b: ob,
+                                op: if intr == Intrinsic::EMax {
+                                    BinOpKind::Max
+                                } else {
+                                    BinOpKind::Min
+                                },
+                            },
+                            sentence,
+                        });
+                        Ok(d)
+                    }
+                    Intrinsic::Scan(_) | Intrinsic::Sort | Intrinsic::CShift
+                    | Intrinsic::EoShift | Intrinsic::Transpose => {
+                        // Communication piece: its own block. First lower
+                        // the inner array, flushing element-wise work that
+                        // produces it.
+                        let src = self.lower_array_expr(
+                            &args[0], None, line, line_texts, ew, stmt_arrays, temps,
+                        )?;
+                        // Flush accumulated element-wise work (it must run
+                        // before the communication op).
+                        if !ew.is_empty() {
+                            let instrs = std::mem::take(ew);
+                            self.pending.instrs.extend(instrs);
+                            if !self.pending.lines.contains(&line) {
+                                self.pending.lines.push(line);
+                            }
+                            self.pending.arrays.extend(stmt_arrays.iter().cloned());
+                            self.flush_pending(line_texts);
+                        } else {
+                            self.flush_pending(line_texts);
+                        }
+                        let d = match dest {
+                            Some(d) => d,
+                            None => {
+                                let t = self.fresh_temp_array(&extents, dist);
+                                temps.push(t);
+                                t
+                            }
+                        };
+                        let prov = self.provenance_of(src);
+                        let (op, verb) = match intr {
+                            Intrinsic::Scan(kind) => (
+                                NodeOp::Scan {
+                                    kind,
+                                    src,
+                                    dst: d,
+                                },
+                                self.vocab.scans,
+                            ),
+                            Intrinsic::Sort => (NodeOp::Sort { dst: d, src }, self.vocab.sorts),
+                            Intrinsic::CShift | Intrinsic::EoShift => {
+                                let offset = const_int(&args[1]);
+                                let dim = args
+                                    .get(2)
+                                    .map(|e| (const_int(e) - 1).max(0) as usize)
+                                    .unwrap_or(0);
+                                (
+                                    NodeOp::Shift {
+                                        dst: d,
+                                        src,
+                                        offset,
+                                        circular: intr == Intrinsic::CShift,
+                                        dim,
+                                    },
+                                    if intr == Intrinsic::CShift {
+                                        self.vocab.rotates
+                                    } else {
+                                        self.vocab.shifts
+                                    },
+                                )
+                            }
+                            Intrinsic::Transpose => (
+                                NodeOp::Transpose { dst: d, src },
+                                self.vocab.transposes,
+                            ),
+                            _ => unreachable!(),
+                        };
+                        let sentence = self.op_sentence(verb, &prov);
+                        self.provenance.insert(d, prov.clone());
+                        let mut arrays: BTreeSet<String> = prov;
+                        if !self.is_temp(d) {
+                            arrays.insert(self.arrays[d.index()].name.clone());
+                        }
+                        self.emit_block(
+                            vec![Instr { op, sentence }],
+                            vec![line],
+                            line_texts,
+                            arrays,
+                            Vec::new(),
+                        );
+                        Ok(d)
+                    }
+                    Intrinsic::Reduce(_) => unreachable!("reduce is scalar-valued"),
+                }
+            }
+            Expr::Num(_) => unreachable!("scalar in lower_array_expr"),
+        }
+    }
+
+    /// Lowers an expression to an element-wise operand (array, scalar, or
+    /// constant).
+    fn lower_operand(
+        &mut self,
+        expr: &Expr,
+        line: u32,
+        line_texts: &BTreeMap<u32, String>,
+        ew: &mut Vec<Instr>,
+        stmt_arrays: &mut BTreeSet<String>,
+        temps: &mut Vec<ArrayId>,
+    ) -> Result<Operand, CompileError> {
+        match infer_shape(expr, self.syms, None, line)? {
+            Shape::Array(_) => {
+                let id =
+                    self.lower_array_expr(expr, None, line, line_texts, ew, stmt_arrays, temps)?;
+                if !self.is_temp(id) {
+                    stmt_arrays.insert(self.arrays[id.index()].name.clone());
+                }
+                Ok(Operand::Array(id))
+            }
+            Shape::Scalar => {
+                match expr {
+                    Expr::Num(n) => Ok(Operand::Const(*n)),
+                    _ => {
+                        // A runtime scalar expression: compute it on the CP
+                        // into a temp scalar (lowering any reductions).
+                        let (sexpr, needs_cp_step) =
+                            self.lower_scalar_expr(expr, line, line_texts, stmt_arrays)?;
+                        match sexpr {
+                            ScalarExpr::Const(c) => Ok(Operand::Const(c)),
+                            ScalarExpr::Scalar(s) if !needs_cp_step => Ok(Operand::Scalar(s)),
+                            other => {
+                                let t = self.fresh_temp_scalar();
+                                self.steps.push(Step::ScalarAssign {
+                                    dst: t,
+                                    expr: other,
+                                });
+                                Ok(Operand::Scalar(t))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lowers a scalar-valued expression to a CP [`ScalarExpr`], emitting
+    /// reduction blocks for embedded SUM/MAXVAL/MINVAL. Returns the
+    /// expression plus whether it is compound (needs a CP step if used as
+    /// an operand).
+    fn lower_scalar_expr(
+        &mut self,
+        expr: &Expr,
+        line: u32,
+        line_texts: &BTreeMap<u32, String>,
+        stmt_arrays: &mut BTreeSet<String>,
+    ) -> Result<(ScalarExpr, bool), CompileError> {
+        match expr {
+            Expr::Num(n) => Ok((ScalarExpr::Const(*n), false)),
+            Expr::Ident(name) => Ok((ScalarExpr::Scalar(self.scalar_id(name)), false)),
+            Expr::Neg(e) => {
+                let (inner, _) = self.lower_scalar_expr(e, line, line_texts, stmt_arrays)?;
+                Ok((
+                    ScalarExpr::Bin(
+                        BinOpKind::Mul,
+                        Box::new(ScalarExpr::Const(-1.0)),
+                        Box::new(inner),
+                    ),
+                    true,
+                ))
+            }
+            Expr::Bin(op, a, b) => {
+                let (ea, _) = self.lower_scalar_expr(a, line, line_texts, stmt_arrays)?;
+                let (eb, _) = self.lower_scalar_expr(b, line, line_texts, stmt_arrays)?;
+                let kind = match op {
+                    BinKind::Add => BinOpKind::Add,
+                    BinKind::Sub => BinOpKind::Sub,
+                    BinKind::Mul => BinOpKind::Mul,
+                    BinKind::Div => BinOpKind::Div,
+                };
+                Ok((ScalarExpr::Bin(kind, Box::new(ea), Box::new(eb)), true))
+            }
+            Expr::Call { name, args } => {
+                let intr = Intrinsic::by_name(name).expect("checked by sema");
+                let Intrinsic::Reduce(kind) = intr else {
+                    unreachable!("array-valued intrinsic in scalar context");
+                };
+                // Lower the argument array (element-wise work included).
+                let mut ew = Vec::new();
+                let mut temps = Vec::new();
+                let src = self.lower_array_expr(
+                    &args[0], None, line, line_texts, &mut ew, stmt_arrays, &mut temps,
+                )?;
+                if !ew.is_empty() {
+                    self.pending.instrs.extend(ew);
+                    if !self.pending.lines.contains(&line) {
+                        self.pending.lines.push(line);
+                    }
+                    self.pending.arrays.extend(stmt_arrays.iter().cloned());
+                }
+                self.flush_pending(line_texts);
+                let dst = self.fresh_temp_scalar();
+                let prov = self.provenance_of(src);
+                stmt_arrays.extend(prov.iter().cloned());
+                let sentence = self.op_sentence(self.vocab.reduce_verb(kind), &prov);
+                self.emit_block(
+                    vec![Instr {
+                        op: NodeOp::Reduce { kind, src, dst },
+                        sentence,
+                    }],
+                    vec![line],
+                    line_texts,
+                    prov,
+                    temps,
+                );
+                Ok((ScalarExpr::Scalar(dst), false))
+            }
+        }
+    }
+
+    fn lower_stmt(
+        &mut self,
+        stmt: &Stmt,
+        line_texts: &BTreeMap<u32, String>,
+    ) -> Result<(), CompileError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            // Arrays are statically allocated by the pre-pass (Fortran
+            // style); only scalar declarations remain meaningful here.
+            StmtKind::Decl { entries } => {
+                for e in entries {
+                    if e.extents.is_empty() {
+                        self.scalar_id(&e.name);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Dist { .. } => Ok(()), // consumed by sema
+            StmtKind::Call { name } => {
+                let sub = self
+                    .unit
+                    .subroutine(name)
+                    .expect("checked by sema");
+                for stmt in &sub.stmts {
+                    self.lower_stmt(stmt, line_texts)?;
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, expr } => {
+                if self.syms.is_array(target) {
+                    let dst = self.array_id(target);
+                    let mut stmt_arrays: BTreeSet<String> = BTreeSet::new();
+                    stmt_arrays.insert(target.clone());
+                    match infer_shape(expr, self.syms, None, line)? {
+                        Shape::Array(_) => {
+                            let mut ew = Vec::new();
+                            let mut temps = Vec::new();
+                            self.lower_array_expr(
+                                expr,
+                                Some(dst),
+                                line,
+                                line_texts,
+                                &mut ew,
+                                &mut stmt_arrays,
+                                &mut temps,
+                            )?;
+                            self.queue_elementwise(ew, line, &stmt_arrays, temps, line_texts);
+                        }
+                        Shape::Scalar => {
+                            // Broadcast fill.
+                            let mut stmt_arrays2 = stmt_arrays.clone();
+                            let value = match expr {
+                                Expr::Num(n) => Operand::Const(*n),
+                                _ => {
+                                    let mut ew_unused = Vec::new();
+                                    let mut temps_unused = Vec::new();
+                                    self.lower_operand(
+                                        expr,
+                                        line,
+                                        line_texts,
+                                        &mut ew_unused,
+                                        &mut stmt_arrays2,
+                                        &mut temps_unused,
+                                    )?
+                                }
+                            };
+                            let sentence = self.op_sentence(
+                                self.vocab.assigns,
+                                &std::iter::once(target.clone()).collect(),
+                            );
+                            self.queue_elementwise(
+                                vec![Instr {
+                                    op: NodeOp::Fill { dst, value },
+                                    sentence,
+                                }],
+                                line,
+                                &stmt_arrays2,
+                                Vec::new(),
+                                line_texts,
+                            );
+                        }
+                    }
+                } else {
+                    // Scalar assignment on the CP.
+                    let mut stmt_arrays = BTreeSet::new();
+                    let (sexpr, _) =
+                        self.lower_scalar_expr(expr, line, line_texts, &mut stmt_arrays)?;
+                    let dst = self.scalar_id(target);
+                    self.steps.push(Step::ScalarAssign { dst, expr: sexpr });
+                }
+                Ok(())
+            }
+            StmtKind::Forall {
+                index,
+                target,
+                expr,
+                ..
+            } => {
+                let (coeff, offset) = linear_of_index(expr, index, line)?;
+                let dst = self.array_id(target);
+                let sentence = self.op_sentence(
+                    self.vocab.assigns,
+                    &std::iter::once(target.clone()).collect(),
+                );
+                self.queue_elementwise(
+                    vec![Instr {
+                        op: NodeOp::Ramp {
+                            dst,
+                            // value(I) with I = 1-based index; the Ramp op
+                            // uses 0-based global indices.
+                            start: coeff + offset,
+                            step: coeff,
+                        },
+                        sentence,
+                    }],
+                    line,
+                    &std::iter::once(target.clone()).collect(),
+                    Vec::new(),
+                    line_texts,
+                );
+                Ok(())
+            }
+            StmtKind::Where {
+                lhs,
+                cmp,
+                rhs,
+                target,
+                expr,
+            } => {
+                let dst = self.array_id(target);
+                let extents = self
+                    .syms
+                    .array_extents(target)
+                    .expect("checked by sema")
+                    .to_vec();
+                let mut ew = Vec::new();
+                let mut temps = Vec::new();
+                let mut stmt_arrays: BTreeSet<String> = BTreeSet::new();
+                stmt_arrays.insert(target.clone());
+                let oa = self.lower_operand(lhs, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
+                let ob = self.lower_operand(rhs, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
+                let mask = self.fresh_temp_array(&extents, Distribution::Block);
+                temps.push(mask);
+                let sentence = self.op_sentence(
+                    self.vocab.assigns,
+                    &stmt_arrays.clone(),
+                );
+                ew.push(Instr {
+                    op: NodeOp::Compare {
+                        dst: mask,
+                        a: oa,
+                        b: ob,
+                        cmp: *cmp,
+                    },
+                    sentence,
+                });
+                let val =
+                    self.lower_operand(expr, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
+                let sentence = self.op_sentence(
+                    self.vocab.assigns,
+                    &stmt_arrays.clone(),
+                );
+                ew.push(Instr {
+                    op: NodeOp::Select {
+                        dst,
+                        mask,
+                        on_true: val,
+                        on_false: Operand::Array(dst),
+                    },
+                    sentence,
+                });
+                self.queue_elementwise(ew, line, &stmt_arrays.clone(), temps, line_texts);
+                Ok(())
+            }
+            StmtKind::Do { .. } => {
+                unreachable!("DO loops are expanded before lowering")
+            }
+            StmtKind::Read { name } | StmtKind::Write { name } => {
+                self.flush_pending(line_texts);
+                let write = matches!(stmt.kind, StmtKind::Write { .. });
+                let id = self.array_id(name);
+                let bytes = self.arrays[id.index()].total_elems() as u64 * 8;
+                let verb = if write {
+                    self.vocab.writes
+                } else {
+                    self.vocab.reads
+                };
+                let prov: BTreeSet<String> = std::iter::once(name.clone()).collect();
+                let sentence = self.op_sentence(verb, &prov);
+                self.emit_block(
+                    vec![Instr {
+                        op: NodeOp::FileIo { bytes, write },
+                        sentence,
+                    }],
+                    vec![line],
+                    line_texts,
+                    prov,
+                    Vec::new(),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Adds element-wise instructions to the fusion buffer (or emits them
+    /// immediately when fusion is disabled).
+    fn queue_elementwise(
+        &mut self,
+        instrs: Vec<Instr>,
+        line: u32,
+        arrays: &BTreeSet<String>,
+        temps: Vec<ArrayId>,
+        line_texts: &BTreeMap<u32, String>,
+    ) {
+        if instrs.is_empty() {
+            for t in temps {
+                self.steps.push(Step::Free(t));
+            }
+            return;
+        }
+        self.pending.instrs.extend(instrs);
+        if !self.pending.lines.contains(&line) {
+            self.pending.lines.push(line);
+        }
+        self.pending.arrays.extend(arrays.iter().cloned());
+        self.pending.free_after.extend(temps);
+        if !self.opts.fuse_elementwise {
+            self.flush_pending(line_texts);
+        }
+    }
+}
+
+fn const_int(e: &Expr) -> i64 {
+    match e {
+        Expr::Num(n) => *n as i64,
+        Expr::Neg(inner) => -const_int(inner),
+        _ => unreachable!("checked by sema"),
+    }
+}
+
+fn op_arrays(op: &NodeOp) -> Vec<ArrayId> {
+    match *op {
+        NodeOp::Fill { dst, .. } | NodeOp::Ramp { dst, .. } => vec![dst],
+        NodeOp::Copy { dst, src } => vec![dst, src],
+        NodeOp::BinOp { dst, a, b, .. } => {
+            let mut v = vec![dst];
+            if let Operand::Array(x) = a {
+                v.push(x);
+            }
+            if let Operand::Array(y) = b {
+                v.push(y);
+            }
+            v
+        }
+        NodeOp::Reduce { src, .. } => vec![src],
+        NodeOp::Scan { src, dst, .. }
+        | NodeOp::Shift { dst, src, .. }
+        | NodeOp::Transpose { dst, src }
+        | NodeOp::Sort { dst, src } => vec![dst, src],
+        NodeOp::FileIo { .. } => vec![],
+        NodeOp::Compare { dst, a, b, .. } => {
+            let mut v = vec![dst];
+            if let Operand::Array(x) = a {
+                v.push(x);
+            }
+            if let Operand::Array(y) = b {
+                v.push(y);
+            }
+            v
+        }
+        NodeOp::Select {
+            dst,
+            mask,
+            on_true,
+            on_false,
+        } => {
+            let mut v = vec![dst, mask];
+            if let Operand::Array(x) = on_true {
+                v.push(x);
+            }
+            if let Operand::Array(y) = on_false {
+                v.push(y);
+            }
+            v
+        }
+    }
+}
+
+/// Lowers a checked unit to a node program.
+pub fn lower(
+    unit: &Unit,
+    syms: &Symbols,
+    ns: &Namespace,
+    opts: &LowerOptions,
+    source: &str,
+) -> Result<Lowered, CompileError> {
+    let line_texts: BTreeMap<u32, String> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| ((i + 1) as u32, l.trim().to_string()))
+        .collect();
+    let mut lw = Lowerer::new(unit, syms, ns, opts);
+    // Static allocation pre-pass: every declared array (main or
+    // subroutine) is allocated up front, so repeated CALLs never
+    // re-allocate.
+    for name in &syms.array_order {
+        let extents = syms.array_extents(name).expect("declared array");
+        let id = ArrayId(lw.arrays.len() as u32);
+        lw.arrays.push(ArrayDecl {
+            name: name.clone(),
+            extents: extents.to_vec(),
+            dist: syms.array_dist(name).unwrap_or(Distribution::Block),
+        });
+        lw.array_ids.insert(name.clone(), id);
+        lw.steps.push(Step::Alloc(id));
+        lw.array_noun(name);
+    }
+    for stmt in &unit.stmts {
+        lw.lower_stmt(stmt, &line_texts)?;
+    }
+    lw.flush_pending(&line_texts);
+    let program = Program {
+        name: format!("{}.fcm", lw.unit_name_lower),
+        arrays: lw.arrays,
+        scalars: lw.scalars,
+        steps: lw.steps,
+    };
+    program
+        .validate()
+        .map_err(|e| CompileError::new(0, format!("internal lowering error: {e}")))?;
+    Ok(Lowered {
+        program,
+        blocks: lw.blocks,
+        vocab: lw.vocab,
+        line_nouns: lw.line_nouns,
+        array_nouns: lw.array_nouns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    fn lowered(src: &str) -> Lowered {
+        let unit = parse(src).unwrap();
+        let syms = analyze(&unit).unwrap();
+        let ns = Namespace::new();
+        lower(&unit, &syms, &ns, &LowerOptions::default(), src).unwrap()
+    }
+
+    fn lowered_opts(src: &str, opts: &LowerOptions) -> Lowered {
+        let unit = parse(src).unwrap();
+        let syms = analyze(&unit).unwrap();
+        let ns = Namespace::new();
+        lower(&unit, &syms, &ns, opts, src).unwrap()
+    }
+
+    fn ncbs(l: &Lowered) -> Vec<&NodeCodeBlock> {
+        l.program
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Ncb(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fusion_merges_adjacent_elementwise_lines() {
+        // Two element-wise statements -> ONE block implementing both lines:
+        // the one-to-many situation of Figure 2.
+        let l = lowered("PROGRAM CORR\nREAL A(64), B(64)\nA = 1.5\nB = 2.5\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].lines, vec![3, 4]);
+        assert_eq!(blocks[0].name, "cmpe_corr_1_");
+        assert_eq!(blocks[0].line_sentences.len(), 2);
+    }
+
+    #[test]
+    fn fusion_off_keeps_lines_separate() {
+        let opts = LowerOptions {
+            fuse_elementwise: false,
+            ..LowerOptions::default()
+        };
+        let l = lowered_opts("PROGRAM CORR\nREAL A(64), B(64)\nA = 1.5\nB = 2.5\nEND\n", &opts);
+        assert_eq!(ncbs(&l).len(), 2);
+    }
+
+    #[test]
+    fn mixed_statement_splits_into_many_blocks() {
+        // C = CSHIFT(A, 1) + B: a shift block + an element-wise block, both
+        // implementing line 3 (many-to-one).
+        let l = lowered("PROGRAM P\nREAL A(64), B(64), C(64)\nC = CSHIFT(A, 1) + B\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.lines == vec![3]));
+        assert!(blocks[0]
+            .body
+            .iter()
+            .any(|i| matches!(i.op, NodeOp::Shift { circular: true, .. })));
+        assert!(blocks[1]
+            .body
+            .iter()
+            .any(|i| matches!(i.op, NodeOp::BinOp { .. })));
+    }
+
+    #[test]
+    fn reduction_produces_reduce_block_and_cp_assign() {
+        let l = lowered("PROGRAM P\nREAL A(64)\nA = 1.0\nASUM = SUM(A)\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 2); // fill block + reduce block
+        let reduce = blocks[1];
+        assert!(matches!(reduce.body[0].op, NodeOp::Reduce { kind: ReduceKind::Sum, .. }));
+        assert!(reduce.body[0].sentence.is_some(), "reduce carries {{A}} Sums");
+        // Final CP assignment of ASUM from the temp scalar.
+        assert!(l
+            .program
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::ScalarAssign { .. })));
+        assert!(l.program.scalars.iter().any(|s| s == "ASUM"));
+    }
+
+    #[test]
+    fn figure4_program_lowers_to_two_reductions() {
+        let src = "PROGRAM HPFEX\nREAL A(1024), B(1024)\nA = 1.0\nB = 2.0\nASUM = SUM(A)\nBMAX = MAXVAL(B)\nEND\n";
+        let l = lowered(src);
+        let blocks = ncbs(&l);
+        // fused fill block + SUM block + MAXVAL block.
+        assert_eq!(blocks.len(), 3);
+        assert!(matches!(blocks[1].body[0].op, NodeOp::Reduce { kind: ReduceKind::Sum, .. }));
+        assert!(matches!(blocks[2].body[0].op, NodeOp::Reduce { kind: ReduceKind::Max, .. }));
+    }
+
+    #[test]
+    fn forall_becomes_ramp() {
+        let l = lowered("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = 2*I + 1\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 1);
+        match blocks[0].body[0].op {
+            NodeOp::Ramp { start, step, .. } => {
+                assert_eq!(start, 3.0); // 2*1 + 1
+                assert_eq!(step, 2.0);
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_write_lower_to_fileio_blocks() {
+        let l = lowered("PROGRAM P\nREAL A(16)\nREAD A\nWRITE A\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 2);
+        assert!(matches!(blocks[0].body[0].op, NodeOp::FileIo { bytes: 128, write: false }));
+        assert!(matches!(blocks[1].body[0].op, NodeOp::FileIo { bytes: 128, write: true }));
+    }
+
+    #[test]
+    fn temps_are_allocated_and_freed() {
+        let l = lowered("PROGRAM P\nREAL A(32)\nX = SUM(A * 2.0)\nEND\n");
+        let allocs = l
+            .program
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Alloc(_)))
+            .count();
+        let frees = l
+            .program
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Free(_)))
+            .count();
+        assert_eq!(allocs, 2); // A + temp
+        assert_eq!(frees, 1); // temp freed after the reduction
+        assert!(l.program.arrays.iter().any(|a| a.name.starts_with("CMF_TMP")));
+    }
+
+    #[test]
+    fn block_args_and_array_sentences_exclude_temps() {
+        let l = lowered("PROGRAM P\nREAL A(32), B(32)\nB = A * 2.0 + 1.0\nEND\n");
+        let blocks = ncbs(&l);
+        assert_eq!(blocks.len(), 1);
+        let b = blocks[0];
+        // array sentences only for A and B.
+        assert_eq!(b.array_sentences.len(), 2);
+        assert!(!b.args.is_empty());
+    }
+
+    #[test]
+    fn dist_directive_reaches_ir() {
+        let l = lowered("PROGRAM P\nREAL A(8)\nDIST A CYCLIC\nA = 1.0\nEND\n");
+        assert_eq!(l.program.arrays[0].dist, Distribution::Cyclic);
+    }
+
+    #[test]
+    fn sentences_are_queryable() {
+        let src = "PROGRAM P\nREAL A(8)\nASUM = SUM(A)\nEND\n";
+        let unit = parse(src).unwrap();
+        let syms = analyze(&unit).unwrap();
+        let ns = Namespace::new();
+        let l = lower(&unit, &syms, &ns, &LowerOptions::default(), src).unwrap();
+        let s = l.array_sentence(&ns, "A", l.vocab.sums).unwrap();
+        assert_eq!(ns.render_sentence(s), "CM Fortran: {A} Sums");
+        assert!(l.line_sentence(&ns, 3).is_some());
+        assert!(l.line_sentence(&ns, 99).is_none());
+    }
+
+    #[test]
+    fn scalar_arithmetic_with_reductions() {
+        let l = lowered("PROGRAM P\nREAL A(8)\nA = 1.0\nX = SUM(A) / 8.0 + MAXVAL(A)\nEND\n");
+        // Two reduce blocks.
+        let reduces = ncbs(&l)
+            .iter()
+            .filter(|b| matches!(b.body[0].op, NodeOp::Reduce { .. }))
+            .count();
+        assert_eq!(reduces, 2);
+    }
+
+    #[test]
+    fn transpose_lowering() {
+        let l = lowered("PROGRAM P\nREAL M(4,8), T(8,4)\nM = 1.0\nT = TRANSPOSE(M)\nEND\n");
+        let blocks = ncbs(&l);
+        assert!(blocks
+            .iter()
+            .any(|b| matches!(b.body[0].op, NodeOp::Transpose { .. })));
+    }
+
+    #[test]
+    fn self_copy_is_elided() {
+        let l = lowered("PROGRAM P\nREAL A(8)\nA = 1.0\nA = A\nEND\n");
+        // The A = A statement adds no instruction.
+        let total_instrs: usize = ncbs(&l).iter().map(|b| b.body.len()).sum();
+        assert_eq!(total_instrs, 1);
+    }
+
+    #[test]
+    fn block_names_are_sequential_and_mangled() {
+        let l = lowered("PROGRAM CORR\nREAL A(8)\nA = 1.0\nX = SUM(A)\nA = 2.0\nEND\n");
+        let names: Vec<&str> = l.blocks.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["cmpe_corr_1_", "cmpe_corr_2_", "cmpe_corr_3_"]);
+    }
+}

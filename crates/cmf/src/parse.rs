@@ -1,0 +1,612 @@
+//! Recursive-descent parser for the CM Fortran-like language.
+
+use crate::ast::{BinKind, DeclEntry, Expr, Stmt, StmtKind, Unit};
+use crate::lex::{lex, CompileError, Tok, Token};
+use cmrts_sim::Distribution;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), CompileError> {
+        match self.next() {
+            Some(t) if &t.kind == want => Ok(()),
+            Some(t) => Err(CompileError::new(
+                t.line,
+                format!("expected {want}, found {}", t.kind),
+            )),
+            None => Err(CompileError::new(0, format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, u32), CompileError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Ident(s),
+                line,
+            }) => Ok((s, line)),
+            Some(t) => Err(CompileError::new(
+                t.line,
+                format!("expected {what}, found {}", t.kind),
+            )),
+            None => Err(CompileError::new(0, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, CompileError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Num(n), ..
+            }) => Ok(n),
+            Some(Token {
+                kind: Tok::Minus, ..
+            }) => Ok(-self.number(what)?),
+            Some(t) => Err(CompileError::new(
+                t.line,
+                format!("expected {what}, found {}", t.kind),
+            )),
+            None => Err(CompileError::new(0, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == Some(&Tok::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<(), CompileError> {
+        match self.next() {
+            None => Ok(()),
+            Some(t) if t.kind == Tok::Newline => Ok(()),
+            Some(t) => Err(CompileError::new(
+                t.line,
+                format!("unexpected {} after statement", t.kind),
+            )),
+        }
+    }
+}
+
+/// Parses a compilation unit.
+pub fn parse(src: &str) -> Result<Unit, CompileError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.skip_newlines();
+
+    let (kw, line) = p.ident("'PROGRAM'")?;
+    if kw != "PROGRAM" {
+        return Err(CompileError::new(line, format!("expected 'PROGRAM', found '{kw}'")));
+    }
+    let (name, _) = p.ident("program name")?;
+    p.end_statement()?;
+
+    let mut subroutines = Vec::new();
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_newlines();
+        let Some(tok) = p.peek() else {
+            return Err(CompileError::new(0, "missing END"));
+        };
+        let line = p.line();
+        match tok {
+            Tok::Ident(id) if id == "END" => {
+                p.next();
+                break;
+            }
+            Tok::Ident(id) if id == "ENDSUB" => {
+                return Err(CompileError::new(line, "ENDSUB outside a SUBROUTINE"));
+            }
+            Tok::Ident(id) if id == "ENDDO" => {
+                return Err(CompileError::new(line, "ENDDO outside a DO loop"));
+            }
+            Tok::Ident(id) if id == "SUBROUTINE" => {
+                p.next();
+                let (sub_name, _) = p.ident("subroutine name")?;
+                p.end_statement()?;
+                let mut body = Vec::new();
+                loop {
+                    p.skip_newlines();
+                    match p.peek() {
+                        None => {
+                            return Err(CompileError::new(
+                                line,
+                                format!("SUBROUTINE {sub_name} is missing ENDSUB"),
+                            ))
+                        }
+                        Some(Tok::Ident(id)) if id == "ENDSUB" => {
+                            p.next();
+                            p.end_statement()?;
+                            break;
+                        }
+                        Some(Tok::Ident(id)) if id == "SUBROUTINE" => {
+                            return Err(CompileError::new(
+                                p.line(),
+                                "subroutines cannot nest",
+                            ))
+                        }
+                        Some(Tok::Ident(id)) if id == "END" => {
+                            return Err(CompileError::new(
+                                p.line(),
+                                format!("SUBROUTINE {sub_name} is missing ENDSUB"),
+                            ))
+                        }
+                        _ => body.push(parse_one(&mut p)?),
+                    }
+                }
+                subroutines.push(crate::ast::Subroutine {
+                    name: sub_name,
+                    line,
+                    stmts: body,
+                });
+            }
+            _ => stmts.push(parse_one(&mut p)?),
+        }
+    }
+    Ok(Unit {
+        name,
+        subroutines,
+        stmts,
+    })
+}
+
+/// Parses one simple statement (not SUBROUTINE/END/ENDSUB).
+fn parse_one(p: &mut Parser) -> Result<Stmt, CompileError> {
+    let Some(tok) = p.peek() else {
+        return Err(CompileError::new(0, "expected a statement, found end of input"));
+    };
+    let line = p.line();
+    match tok {
+            Tok::Ident(id) if id == "REAL" => {
+                p.next();
+                let mut entries = Vec::new();
+                loop {
+                    let (name, _) = p.ident("declaration name")?;
+                    let mut extents = Vec::new();
+                    if p.peek() == Some(&Tok::LParen) {
+                        p.next();
+                        loop {
+                            let n = p.number("array extent")?;
+                            if n < 1.0 || n.fract() != 0.0 {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!("array extent must be a positive integer, got {n}"),
+                                ));
+                            }
+                            extents.push(n as usize);
+                            match p.next() {
+                                Some(t) if t.kind == Tok::Comma => continue,
+                                Some(t) if t.kind == Tok::RParen => break,
+                                other => {
+                                    return Err(CompileError::new(
+                                        line,
+                                        format!(
+                                            "expected ',' or ')' in extents, found {:?}",
+                                            other.map(|t| t.kind)
+                                        ),
+                                    ))
+                                }
+                            }
+                        }
+                        if extents.len() > 2 {
+                            return Err(CompileError::new(
+                                line,
+                                "only 1-D and 2-D arrays are supported",
+                            ));
+                        }
+                    }
+                    entries.push(DeclEntry { name, extents });
+                    if p.peek() == Some(&Tok::Comma) {
+                        p.next();
+                        continue;
+                    }
+                    break;
+                }
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Decl { entries },
+                })
+            }
+            Tok::Ident(id) if id == "DIST" => {
+                p.next();
+                let (name, _) = p.ident("array name")?;
+                let (d, dl) = p.ident("distribution")?;
+                let dist = Distribution::parse(&d.to_lowercase()).ok_or_else(|| {
+                    CompileError::new(dl, format!("unknown distribution '{d}' (BLOCK|CYCLIC)"))
+                })?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Dist { name, dist },
+                })
+            }
+            Tok::Ident(id) if id == "FORALL" => {
+                p.next();
+                p.eat(&Tok::LParen)?;
+                let (index, _) = p.ident("index variable")?;
+                p.eat(&Tok::Eq)?;
+                let lo = p.number("lower bound")? as i64;
+                p.eat(&Tok::Colon)?;
+                let hi = p.number("upper bound")? as i64;
+                p.eat(&Tok::RParen)?;
+                let (target, _) = p.ident("target array")?;
+                p.eat(&Tok::LParen)?;
+                let (ivar, il) = p.ident("index variable")?;
+                if ivar != index {
+                    return Err(CompileError::new(
+                        il,
+                        format!("FORALL target index '{ivar}' does not match '{index}'"),
+                    ));
+                }
+                p.eat(&Tok::RParen)?;
+                p.eat(&Tok::Eq)?;
+                let expr = parse_expr(p)?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Forall {
+                        index,
+                        lo,
+                        hi,
+                        target,
+                        expr,
+                    },
+                })
+            }
+            Tok::Ident(id) if id == "READ" || id == "WRITE" => {
+                let write = id == "WRITE";
+                p.next();
+                let (name, _) = p.ident("array name")?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: if write {
+                        StmtKind::Write { name }
+                    } else {
+                        StmtKind::Read { name }
+                    },
+                })
+            }
+            Tok::Ident(id) if id == "DO" => {
+                p.next();
+                let (index, _) = p.ident("index variable")?;
+                p.eat(&Tok::Eq)?;
+                let lo = p.number("lower bound")? as i64;
+                p.eat(&Tok::Colon)?;
+                let hi = p.number("upper bound")? as i64;
+                p.end_statement()?;
+                let mut body = Vec::new();
+                loop {
+                    p.skip_newlines();
+                    match p.peek() {
+                        None => {
+                            return Err(CompileError::new(line, "DO is missing ENDDO"))
+                        }
+                        Some(Tok::Ident(id)) if id == "ENDDO" => {
+                            p.next();
+                            p.end_statement()?;
+                            break;
+                        }
+                        Some(Tok::Ident(id)) if id == "END" || id == "ENDSUB" => {
+                            return Err(CompileError::new(p.line(), "DO is missing ENDDO"))
+                        }
+                        _ => body.push(parse_one(p)?),
+                    }
+                }
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Do {
+                        index,
+                        lo,
+                        hi,
+                        body,
+                    },
+                })
+            }
+            Tok::Ident(id) if id == "WHERE" => {
+                p.next();
+                p.eat(&Tok::LParen)?;
+                let lhs = parse_expr(p)?;
+                let cmp = match p.next() {
+                    Some(Token { kind: Tok::Lt, .. }) => cmrts_sim::CmpKind::Lt,
+                    Some(Token { kind: Tok::Gt, .. }) => cmrts_sim::CmpKind::Gt,
+                    Some(Token { kind: Tok::Le, .. }) => cmrts_sim::CmpKind::Le,
+                    Some(Token { kind: Tok::Ge, .. }) => cmrts_sim::CmpKind::Ge,
+                    Some(Token { kind: Tok::EqEq, .. }) => cmrts_sim::CmpKind::Eq,
+                    Some(Token { kind: Tok::Ne, .. }) => cmrts_sim::CmpKind::Ne,
+                    other => {
+                        return Err(CompileError::new(
+                            line,
+                            format!(
+                                "expected a comparison in WHERE, found {:?}",
+                                other.map(|t| t.kind)
+                            ),
+                        ))
+                    }
+                };
+                let rhs = parse_expr(p)?;
+                p.eat(&Tok::RParen)?;
+                let (target, _) = p.ident("target array")?;
+                p.eat(&Tok::Eq)?;
+                let expr = parse_expr(p)?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Where {
+                        lhs,
+                        cmp,
+                        rhs,
+                        target,
+                        expr,
+                    },
+                })
+            }
+            Tok::Ident(id) if id == "CALL" => {
+                p.next();
+                let (name, _) = p.ident("subroutine name")?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Call { name },
+                })
+            }
+            Tok::Ident(_) => {
+                let (target, _) = p.ident("assignment target")?;
+                p.eat(&Tok::Eq)?;
+                let expr = parse_expr(p)?;
+                p.end_statement()?;
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Assign { target, expr },
+                })
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected a statement, found {other}"),
+            )),
+    }
+}
+
+fn parse_expr(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_term(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(Tok::Plus) => BinKind::Add,
+            Some(Tok::Minus) => BinKind::Sub,
+            _ => break,
+        };
+        p.next();
+        let rhs = parse_term(p)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_term(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_factor(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(Tok::Star) => BinKind::Mul,
+            Some(Tok::Slash) => BinKind::Div,
+            _ => break,
+        };
+        p.next();
+        let rhs = parse_factor(p)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_factor(p: &mut Parser) -> Result<Expr, CompileError> {
+    match p.next() {
+        Some(Token {
+            kind: Tok::Num(n), ..
+        }) => Ok(Expr::Num(n)),
+        Some(Token {
+            kind: Tok::Minus, ..
+        }) => Ok(Expr::Neg(Box::new(parse_factor(p)?))),
+        Some(Token {
+            kind: Tok::LParen, ..
+        }) => {
+            let e = parse_expr(p)?;
+            p.eat(&Tok::RParen)?;
+            Ok(e)
+        }
+        Some(Token {
+            kind: Tok::Ident(name),
+            ..
+        }) => {
+            if p.peek() == Some(&Tok::LParen) {
+                p.next();
+                let mut args = Vec::new();
+                if p.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(parse_expr(p)?);
+                        if p.peek() == Some(&Tok::Comma) {
+                            p.next();
+                            continue;
+                        }
+                        break;
+                    }
+                }
+                p.eat(&Tok::RParen)?;
+                Ok(Expr::Call { name, args })
+            } else {
+                Ok(Expr::Ident(name))
+            }
+        }
+        Some(t) => Err(CompileError::new(
+            t.line,
+            format!("expected an expression, found {}", t.kind),
+        )),
+        None => Err(CompileError::new(0, "expected an expression, found end of input")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG4: &str = "\
+PROGRAM HPFEX
+REAL A(1024), B(1024)
+A = 1.5
+B = 2.5
+ASUM = SUM(A)
+BMAX = MAXVAL(B)
+END
+";
+
+    #[test]
+    fn parses_figure4_program() {
+        let u = parse(FIG4).unwrap();
+        assert_eq!(u.name, "HPFEX");
+        assert_eq!(u.stmts.len(), 5);
+        match &u.stmts[0].kind {
+            StmtKind::Decl { entries } => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].name, "A");
+                assert_eq!(entries[0].extents, vec![1024]);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+        match &u.stmts[3].kind {
+            StmtKind::Assign { target, expr } => {
+                assert_eq!(target, "ASUM");
+                assert_eq!(
+                    expr,
+                    &Expr::Call {
+                        name: "SUM".into(),
+                        args: vec![Expr::Ident("A".into())]
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(u.stmts[3].line, 5);
+    }
+
+    #[test]
+    fn parses_2d_decl_and_dist() {
+        let u = parse("PROGRAM P\nREAL M(64,64)\nDIST M CYCLIC\nEND\n").unwrap();
+        match &u.stmts[1].kind {
+            StmtKind::Dist { name, dist } => {
+                assert_eq!(name, "M");
+                assert_eq!(*dist, Distribution::Cyclic);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_forall() {
+        let u = parse("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = 2*I + 1\nEND\n").unwrap();
+        match &u.stmts[1].kind {
+            StmtKind::Forall {
+                index,
+                lo,
+                hi,
+                target,
+                ..
+            } => {
+                assert_eq!(index, "I");
+                assert_eq!((*lo, *hi), (1, 8));
+                assert_eq!(target, "A");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_index_mismatch_is_error() {
+        let e = parse("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(J) = I\nEND\n").unwrap_err();
+        assert!(e.message.contains("does not match"));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let u = parse("PROGRAM P\nX = 1 + 2 * 3\nY = (1 + 2) * 3\nEND\n").unwrap();
+        let x = match &u.stmts[0].kind {
+            StmtKind::Assign { expr, .. } => expr.clone(),
+            _ => unreachable!(),
+        };
+        // 1 + (2*3)
+        assert!(matches!(x, Expr::Bin(BinKind::Add, _, _)));
+        let y = match &u.stmts[1].kind {
+            StmtKind::Assign { expr, .. } => expr.clone(),
+            _ => unreachable!(),
+        };
+        assert!(matches!(y, Expr::Bin(BinKind::Mul, _, _)));
+    }
+
+    #[test]
+    fn read_write_statements() {
+        let u = parse("PROGRAM P\nREAL A(4)\nREAD A\nWRITE A\nEND\n").unwrap();
+        assert!(matches!(u.stmts[1].kind, StmtKind::Read { .. }));
+        assert!(matches!(u.stmts[2].kind, StmtKind::Write { .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let u = parse("PROGRAM P\nX = -3 + 1\nEND\n").unwrap();
+        match &u.stmts[0].kind {
+            StmtKind::Assign { expr, .. } => {
+                assert!(matches!(expr, Expr::Bin(BinKind::Add, a, _)
+                    if matches!(**a, Expr::Neg(_))));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn missing_end_is_reported() {
+        let e = parse("PROGRAM P\nX = 1\n").unwrap_err();
+        assert!(e.message.contains("END"));
+    }
+
+    #[test]
+    fn three_dim_arrays_rejected() {
+        let e = parse("PROGRAM P\nREAL A(2,2,2)\nEND\n").unwrap_err();
+        assert!(e.message.contains("2-D"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let e = parse("PROGRAM P\nX = 1 2\nEND\n").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn call_with_multiple_args() {
+        let u = parse("PROGRAM P\nREAL A(8), B(8)\nC = CSHIFT(A, 1) + MAX(A, B)\nEND\n").unwrap();
+        match &u.stmts[1].kind {
+            StmtKind::Assign { expr, .. } => {
+                let ids = expr.idents();
+                assert_eq!(ids, vec!["A", "A", "B"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! Semantic analysis: symbol resolution, shape checking, intrinsic
+//! signatures, and FORALL linearity.
+
+use crate::ast::{BinKind, Expr, Stmt, StmtKind, Unit};
+use std::collections::BTreeSet;
+use crate::lex::CompileError;
+use cmrts_sim::Distribution;
+use std::collections::BTreeMap;
+
+/// What a name denotes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Symbol {
+    /// A distributed array.
+    Array {
+        /// Extents (1-D or 2-D).
+        extents: Vec<usize>,
+        /// Distribution of the first axis.
+        dist: Distribution,
+    },
+    /// A front-end scalar.
+    Scalar,
+}
+
+/// The symbol table produced by [`analyze`].
+#[derive(Clone, Debug, Default)]
+pub struct Symbols {
+    map: BTreeMap<String, Symbol>,
+    /// Array names in declaration order.
+    pub array_order: Vec<String>,
+    /// Scalar names in first-assignment order.
+    pub scalar_order: Vec<String>,
+    /// Array name → the function (subroutine or program) that declared it.
+    pub array_home: BTreeMap<String, String>,
+    /// Declared subroutine names.
+    pub subroutines: BTreeSet<String>,
+}
+
+impl Symbols {
+    /// Looks a name up.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.map.get(name)
+    }
+
+    /// The extents of an array name (None for scalars/unknown).
+    pub fn array_extents(&self, name: &str) -> Option<&[usize]> {
+        match self.map.get(name) {
+            Some(Symbol::Array { extents, .. }) => Some(extents),
+            _ => None,
+        }
+    }
+
+    /// The distribution of an array name.
+    pub fn array_dist(&self, name: &str) -> Option<Distribution> {
+        match self.map.get(name) {
+            Some(Symbol::Array { dist, .. }) => Some(*dist),
+            _ => None,
+        }
+    }
+
+    /// True if `name` is an array.
+    pub fn is_array(&self, name: &str) -> bool {
+        matches!(self.map.get(name), Some(Symbol::Array { .. }))
+    }
+}
+
+/// The shape of an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// A front-end scalar value.
+    Scalar,
+    /// A distributed array with these extents.
+    Array(Vec<usize>),
+}
+
+/// Array-valued intrinsics and their behaviour, used by both checking and
+/// lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Intrinsic {
+    /// SUM / MAXVAL / MINVAL — reductions to a scalar.
+    Reduce(cmrts_sim::ReduceKind),
+    /// SCAN_ADD / SCAN_MAX / SCAN_MIN — parallel prefix.
+    Scan(cmrts_sim::ReduceKind),
+    /// CSHIFT (circular).
+    CShift,
+    /// EOSHIFT (end-off).
+    EoShift,
+    /// TRANSPOSE.
+    Transpose,
+    /// SORT (ascending, global).
+    Sort,
+    /// Element-wise MAX.
+    EMax,
+    /// Element-wise MIN.
+    EMin,
+}
+
+impl Intrinsic {
+    /// Resolves an intrinsic by (upper-case) name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        use cmrts_sim::ReduceKind::*;
+        Some(match name {
+            "SUM" => Intrinsic::Reduce(Sum),
+            "MAXVAL" => Intrinsic::Reduce(Max),
+            "MINVAL" => Intrinsic::Reduce(Min),
+            "SCAN_ADD" => Intrinsic::Scan(Sum),
+            "SCAN_MAX" => Intrinsic::Scan(Max),
+            "SCAN_MIN" => Intrinsic::Scan(Min),
+            "CSHIFT" => Intrinsic::CShift,
+            "EOSHIFT" => Intrinsic::EoShift,
+            "TRANSPOSE" => Intrinsic::Transpose,
+            "SORT" => Intrinsic::Sort,
+            "MAX" => Intrinsic::EMax,
+            "MIN" => Intrinsic::EMin,
+            _ => return None,
+        })
+    }
+}
+
+/// Infers the shape of `expr`. `index` is the in-scope FORALL index (a
+/// scalar), if any.
+pub fn infer_shape(
+    expr: &Expr,
+    syms: &Symbols,
+    index: Option<&str>,
+    line: u32,
+) -> Result<Shape, CompileError> {
+    match expr {
+        Expr::Num(_) => Ok(Shape::Scalar),
+        Expr::Ident(name) => {
+            if Some(name.as_str()) == index {
+                return Ok(Shape::Scalar);
+            }
+            match syms.get(name) {
+                Some(Symbol::Array { extents, .. }) => Ok(Shape::Array(extents.clone())),
+                Some(Symbol::Scalar) => Ok(Shape::Scalar),
+                None => Err(CompileError::new(
+                    line,
+                    format!("'{name}' used before definition"),
+                )),
+            }
+        }
+        Expr::Neg(e) => infer_shape(e, syms, index, line),
+        Expr::Bin(_, a, b) => {
+            let sa = infer_shape(a, syms, index, line)?;
+            let sb = infer_shape(b, syms, index, line)?;
+            join_shapes(sa, sb, line)
+        }
+        Expr::Call { name, args } => {
+            let Some(intr) = Intrinsic::by_name(name) else {
+                return Err(CompileError::new(line, format!("unknown intrinsic '{name}'")));
+            };
+            let array_arg = |k: usize| -> Result<Vec<usize>, CompileError> {
+                let a = args.get(k).ok_or_else(|| {
+                    CompileError::new(line, format!("{name} expects an array argument"))
+                })?;
+                match infer_shape(a, syms, index, line)? {
+                    Shape::Array(e) => Ok(e),
+                    Shape::Scalar => Err(CompileError::new(
+                        line,
+                        format!("argument {} of {name} must be an array", k + 1),
+                    )),
+                }
+            };
+            match intr {
+                Intrinsic::Reduce(_) => {
+                    expect_arity(name, args, 1, line)?;
+                    array_arg(0)?;
+                    Ok(Shape::Scalar)
+                }
+                Intrinsic::Scan(_) | Intrinsic::Sort => {
+                    expect_arity(name, args, 1, line)?;
+                    Ok(Shape::Array(array_arg(0)?))
+                }
+                Intrinsic::CShift | Intrinsic::EoShift => {
+                    if args.len() != 2 && args.len() != 3 {
+                        return Err(CompileError::new(
+                            line,
+                            format!("{name} expects 2 or 3 arguments, got {}", args.len()),
+                        ));
+                    }
+                    let e = array_arg(0)?;
+                    match &args[1] {
+                        Expr::Num(n) if n.fract() == 0.0 => {}
+                        Expr::Neg(inner) if matches!(**inner, Expr::Num(n) if n.fract() == 0.0) => {}
+                        _ => {
+                            return Err(CompileError::new(
+                                line,
+                                format!("{name} shift amount must be an integer constant"),
+                            ))
+                        }
+                    }
+                    if let Some(dim_arg) = args.get(2) {
+                        let dim = match dim_arg {
+                            Expr::Num(n) if n.fract() == 0.0 => *n as i64,
+                            _ => {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!("{name} DIM must be an integer constant"),
+                                ))
+                            }
+                        };
+                        if dim < 1 || dim as usize > e.len() {
+                            return Err(CompileError::new(
+                                line,
+                                format!(
+                                    "{name} DIM must be between 1 and {} for this array",
+                                    e.len()
+                                ),
+                            ));
+                        }
+                    }
+                    Ok(Shape::Array(e))
+                }
+                Intrinsic::Transpose => {
+                    expect_arity(name, args, 1, line)?;
+                    let e = array_arg(0)?;
+                    if e.len() != 2 {
+                        return Err(CompileError::new(line, "TRANSPOSE requires a 2-D array"));
+                    }
+                    Ok(Shape::Array(vec![e[1], e[0]]))
+                }
+                Intrinsic::EMax | Intrinsic::EMin => {
+                    expect_arity(name, args, 2, line)?;
+                    let sa = infer_shape(&args[0], syms, index, line)?;
+                    let sb = infer_shape(&args[1], syms, index, line)?;
+                    join_shapes(sa, sb, line)
+                }
+            }
+        }
+    }
+}
+
+fn expect_arity(name: &str, args: &[Expr], n: usize, line: u32) -> Result<(), CompileError> {
+    if args.len() != n {
+        return Err(CompileError::new(
+            line,
+            format!("{name} expects {n} argument(s), got {}", args.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn join_shapes(a: Shape, b: Shape, line: u32) -> Result<Shape, CompileError> {
+    match (a, b) {
+        (Shape::Scalar, Shape::Scalar) => Ok(Shape::Scalar),
+        (Shape::Array(e), Shape::Scalar) | (Shape::Scalar, Shape::Array(e)) => {
+            Ok(Shape::Array(e))
+        }
+        (Shape::Array(ea), Shape::Array(eb)) => {
+            if ea == eb {
+                Ok(Shape::Array(ea))
+            } else {
+                Err(CompileError::new(
+                    line,
+                    format!("array shape mismatch: {ea:?} vs {eb:?}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Extracts a FORALL right-hand side as a linear function of the index:
+/// returns `(coeff, offset)` with `value(I) = coeff·I + offset`.
+pub fn linear_of_index(expr: &Expr, index: &str, line: u32) -> Result<(f64, f64), CompileError> {
+    match expr {
+        Expr::Num(n) => Ok((0.0, *n)),
+        Expr::Ident(name) if name == index => Ok((1.0, 0.0)),
+        Expr::Ident(name) => Err(CompileError::new(
+            line,
+            format!("FORALL expression may only reference the index, found '{name}'"),
+        )),
+        Expr::Neg(e) => {
+            let (c, o) = linear_of_index(e, index, line)?;
+            Ok((-c, -o))
+        }
+        Expr::Bin(op, a, b) => {
+            let (ca, oa) = linear_of_index(a, index, line)?;
+            let (cb, ob) = linear_of_index(b, index, line)?;
+            match op {
+                BinKind::Add => Ok((ca + cb, oa + ob)),
+                BinKind::Sub => Ok((ca - cb, oa - ob)),
+                BinKind::Mul => {
+                    if ca == 0.0 {
+                        Ok((oa * cb, oa * ob))
+                    } else if cb == 0.0 {
+                        Ok((ca * ob, oa * ob))
+                    } else {
+                        Err(CompileError::new(line, "FORALL expression must be linear in the index"))
+                    }
+                }
+                BinKind::Div => {
+                    if cb == 0.0 && ob != 0.0 {
+                        Ok((ca / ob, oa / ob))
+                    } else {
+                        Err(CompileError::new(
+                            line,
+                            "FORALL expression may only divide by a nonzero constant",
+                        ))
+                    }
+                }
+            }
+        }
+        Expr::Call { .. } => Err(CompileError::new(
+            line,
+            "intrinsic calls are not allowed in FORALL expressions",
+        )),
+    }
+}
+
+/// Analyses a unit: builds the symbol table and checks every statement.
+///
+/// Scoping follows classic Fortran common-block style (a deliberate
+/// simplification): all arrays and scalars share one global scope, so array
+/// names must be unique across the whole unit; subroutines merely group
+/// statements (and where-axis resources) under a function name.
+pub fn analyze(unit: &Unit) -> Result<Symbols, CompileError> {
+    let mut syms = Symbols::default();
+    for sub in &unit.subroutines {
+        if Intrinsic::by_name(&sub.name).is_some() {
+            return Err(CompileError::new(
+                sub.line,
+                format!("subroutine '{}' shadows an intrinsic", sub.name),
+            ));
+        }
+        if !syms.subroutines.insert(sub.name.clone()) {
+            return Err(CompileError::new(
+                sub.line,
+                format!("subroutine '{}' defined twice", sub.name),
+            ));
+        }
+    }
+    for sub in &unit.subroutines {
+        for stmt in &sub.stmts {
+            check_stmt(stmt, &mut syms, &sub.name, true)?;
+        }
+    }
+    for stmt in &unit.stmts {
+        check_stmt(stmt, &mut syms, &unit.name, false)?;
+    }
+    Ok(syms)
+}
+
+fn declare_scalar(syms: &mut Symbols, name: &str) {
+    if syms.get(name).is_none() {
+        syms.map.insert(name.to_string(), Symbol::Scalar);
+        syms.scalar_order.push(name.to_string());
+    }
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    syms: &mut Symbols,
+    scope: &str,
+    in_sub: bool,
+) -> Result<(), CompileError> {
+    let line = stmt.line;
+    match &stmt.kind {
+        StmtKind::Decl { entries } => {
+            for e in entries {
+                if syms.get(&e.name).is_some() {
+                    return Err(CompileError::new(
+                        line,
+                        format!("'{}' declared twice", e.name),
+                    ));
+                }
+                if e.extents.is_empty() {
+                    declare_scalar(syms, &e.name);
+                } else {
+                    if Intrinsic::by_name(&e.name).is_some() {
+                        return Err(CompileError::new(
+                            line,
+                            format!("'{}' shadows an intrinsic", e.name),
+                        ));
+                    }
+                    syms.map.insert(
+                        e.name.clone(),
+                        Symbol::Array {
+                            extents: e.extents.clone(),
+                            dist: Distribution::Block,
+                        },
+                    );
+                    syms.array_order.push(e.name.clone());
+                    syms.array_home.insert(e.name.clone(), scope.to_string());
+                }
+            }
+            Ok(())
+        }
+        StmtKind::Call { name } => {
+            if in_sub {
+                return Err(CompileError::new(
+                    line,
+                    "CALL inside a subroutine is not supported (flat call graph)",
+                ));
+            }
+            if !syms.subroutines.contains(name) {
+                return Err(CompileError::new(
+                    line,
+                    format!("CALL of undefined subroutine '{name}'"),
+                ));
+            }
+            Ok(())
+        }
+        StmtKind::Dist { name, dist } => match syms.map.get_mut(name) {
+            Some(Symbol::Array { dist: d, .. }) => {
+                *d = *dist;
+                Ok(())
+            }
+            _ => Err(CompileError::new(
+                line,
+                format!("DIST names undeclared array '{name}'"),
+            )),
+        },
+        StmtKind::Assign { target, expr } => {
+            let rhs = infer_shape(expr, syms, None, line)?;
+            match (syms.get(target).cloned(), rhs) {
+                (Some(Symbol::Array { extents, .. }), Shape::Array(e)) => {
+                    if extents != e {
+                        return Err(CompileError::new(
+                            line,
+                            format!("cannot assign shape {e:?} to '{target}' of shape {extents:?}"),
+                        ));
+                    }
+                    Ok(())
+                }
+                (Some(Symbol::Array { .. }), Shape::Scalar) => Ok(()), // broadcast fill
+                (Some(Symbol::Scalar), Shape::Scalar) | (None, Shape::Scalar) => {
+                    declare_scalar(syms, target);
+                    Ok(())
+                }
+                (Some(Symbol::Scalar), Shape::Array(_)) | (None, Shape::Array(_)) => {
+                    Err(CompileError::new(
+                        line,
+                        format!("cannot assign an array expression to scalar '{target}'"),
+                    ))
+                }
+            }
+        }
+        StmtKind::Forall {
+            index,
+            lo,
+            hi,
+            target,
+            expr,
+        } => {
+            let Some(extents) = syms.array_extents(target).map(<[usize]>::to_vec) else {
+                return Err(CompileError::new(
+                    line,
+                    format!("FORALL target '{target}' is not a declared array"),
+                ));
+            };
+            if extents.len() != 1 {
+                return Err(CompileError::new(line, "FORALL target must be 1-D"));
+            }
+            if *lo != 1 || *hi != extents[0] as i64 {
+                return Err(CompileError::new(
+                    line,
+                    format!(
+                        "FORALL bounds must cover the whole array (1:{})",
+                        extents[0]
+                    ),
+                ));
+            }
+            linear_of_index(expr, index, line)?;
+            Ok(())
+        }
+        StmtKind::Where {
+            lhs,
+            cmp: _,
+            rhs,
+            target,
+            expr,
+        } => {
+            let Some(extents) = syms.array_extents(target).map(<[usize]>::to_vec) else {
+                return Err(CompileError::new(
+                    line,
+                    format!("WHERE target '{target}' is not a declared array"),
+                ));
+            };
+            let sl = infer_shape(lhs, syms, None, line)?;
+            let sr = infer_shape(rhs, syms, None, line)?;
+            let cond = join_shapes(sl, sr, line)?;
+            match cond {
+                Shape::Array(e) if e == extents => {}
+                Shape::Array(e) => {
+                    return Err(CompileError::new(
+                        line,
+                        format!("WHERE mask shape {e:?} does not match target {extents:?}"),
+                    ))
+                }
+                Shape::Scalar => {
+                    return Err(CompileError::new(
+                        line,
+                        "WHERE condition must involve an array",
+                    ))
+                }
+            }
+            match infer_shape(expr, syms, None, line)? {
+                Shape::Scalar => Ok(()),
+                Shape::Array(e) if e == extents => Ok(()),
+                Shape::Array(e) => Err(CompileError::new(
+                    line,
+                    format!("cannot assign shape {e:?} to '{target}' of shape {extents:?}"),
+                )),
+            }
+        }
+        StmtKind::Do { body, index, .. } => {
+            // Reached only when analysing un-expanded ASTs directly (the
+            // public `compile` expands first). Treat the index as a scalar
+            // and check the body.
+            declare_scalar(syms, index);
+            for s in body {
+                check_stmt(s, syms, scope, in_sub)?;
+            }
+            Ok(())
+        }
+        StmtKind::Read { name } | StmtKind::Write { name } => {
+            if !syms.is_array(name) {
+                return Err(CompileError::new(
+                    line,
+                    format!("READ/WRITE target '{name}' is not a declared array"),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn ok(src: &str) -> Symbols {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    fn fail(src: &str) -> CompileError {
+        analyze(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn symbol_table_tracks_arrays_and_scalars() {
+        let s = ok("PROGRAM P\nREAL A(8), M(4,4)\nX = 1\nY = SUM(A)\nEND\n");
+        assert!(s.is_array("A"));
+        assert_eq!(s.array_extents("M"), Some(&[4, 4][..]));
+        assert_eq!(s.get("X"), Some(&Symbol::Scalar));
+        assert_eq!(s.scalar_order, vec!["X", "Y"]);
+        assert_eq!(s.array_order, vec!["A", "M"]);
+    }
+
+    #[test]
+    fn dist_directive_applies() {
+        let s = ok("PROGRAM P\nREAL A(8)\nDIST A CYCLIC\nEND\n");
+        assert_eq!(s.array_dist("A"), Some(Distribution::Cyclic));
+        assert!(fail("PROGRAM P\nDIST A CYCLIC\nEND\n")
+            .message
+            .contains("undeclared"));
+    }
+
+    #[test]
+    fn use_before_definition_rejected() {
+        assert!(fail("PROGRAM P\nX = Y + 1\nEND\n")
+            .message
+            .contains("before definition"));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let e = fail("PROGRAM P\nREAL A(8), B(9)\nA = A + B\nEND\n");
+        assert!(e.message.contains("shape mismatch"));
+        let e2 = fail("PROGRAM P\nREAL A(8), M(4,4)\nA = M\nEND\n");
+        assert!(e2.message.contains("cannot assign shape"));
+    }
+
+    #[test]
+    fn scalar_gets_array_rejected() {
+        let e = fail("PROGRAM P\nREAL A(8)\nX = A\nEND\n");
+        assert!(e.message.contains("array expression to scalar"));
+    }
+
+    #[test]
+    fn broadcast_fill_allowed() {
+        ok("PROGRAM P\nREAL A(8)\nA = 1.5\nA = SUM(A)\nEND\n");
+    }
+
+    #[test]
+    fn reductions_are_scalar_valued() {
+        ok("PROGRAM P\nREAL A(8)\nX = SUM(A) + MAXVAL(A) * 2\nEND\n");
+    }
+
+    #[test]
+    fn intrinsic_signatures_enforced() {
+        assert!(fail("PROGRAM P\nREAL A(8)\nX = SUM(A, A)\nEND\n")
+            .message
+            .contains("expects 1"));
+        assert!(fail("PROGRAM P\nX = SUM(3)\nEND\n")
+            .message
+            .contains("must be an array"));
+        assert!(fail("PROGRAM P\nREAL A(8)\nB = CSHIFT(A, A)\nEND\n")
+            .message
+            .contains("integer constant"));
+        assert!(fail("PROGRAM P\nREAL A(8)\nB = BOGUS(A)\nEND\n")
+            .message
+            .contains("unknown intrinsic"));
+    }
+
+    #[test]
+    fn transpose_shape() {
+        let s = ok("PROGRAM P\nREAL M(2,3), T(3,2)\nT = TRANSPOSE(M)\nEND\n");
+        assert!(s.is_array("T"));
+        assert!(
+            fail("PROGRAM P\nREAL M(2,3), T(2,3)\nT = TRANSPOSE(M)\nEND\n")
+                .message
+                .contains("cannot assign shape")
+        );
+        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = TRANSPOSE(A)\nEND\n")
+            .message
+            .contains("2-D"));
+    }
+
+    #[test]
+    fn cshift_dim_argument() {
+        ok("PROGRAM P\nREAL M(4,4), T(4,4)\nM = 1.0\nT = CSHIFT(M, 1, 2)\nEND\n");
+        ok("PROGRAM P\nREAL A(8), B(8)\nA = 1.0\nB = EOSHIFT(A, 2, 1)\nEND\n");
+        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2)\nEND\n")
+            .message
+            .contains("DIM must be between"));
+        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, A)\nEND\n")
+            .message
+            .contains("integer constant"));
+        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2, 3)\nEND\n")
+            .message
+            .contains("2 or 3"));
+    }
+
+    #[test]
+    fn forall_rules() {
+        ok("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = 3*I - 2\nEND\n");
+        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:4) A(I) = I\nEND\n")
+            .message
+            .contains("whole array"));
+        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = I*I\nEND\n")
+            .message
+            .contains("linear"));
+        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = SUM(A)\nEND\n")
+            .message
+            .contains("not allowed"));
+        assert!(
+            fail("PROGRAM P\nREAL M(2,2)\nFORALL (I = 1:2) M(I) = I\nEND\n")
+                .message
+                .contains("1-D")
+        );
+    }
+
+    #[test]
+    fn linear_extraction() {
+        use crate::ast::Expr;
+        let two_i_plus_one = Expr::Bin(
+            BinKind::Add,
+            Box::new(Expr::Bin(
+                BinKind::Mul,
+                Box::new(Expr::Num(2.0)),
+                Box::new(Expr::Ident("I".into())),
+            )),
+            Box::new(Expr::Num(1.0)),
+        );
+        assert_eq!(linear_of_index(&two_i_plus_one, "I", 1).unwrap(), (2.0, 1.0));
+        let half_i = Expr::Bin(
+            BinKind::Div,
+            Box::new(Expr::Ident("I".into())),
+            Box::new(Expr::Num(2.0)),
+        );
+        assert_eq!(linear_of_index(&half_i, "I", 1).unwrap(), (0.5, 0.0));
+        let neg = Expr::Neg(Box::new(Expr::Ident("I".into())));
+        assert_eq!(linear_of_index(&neg, "I", 1).unwrap(), (-1.0, 0.0));
+    }
+
+    #[test]
+    fn double_declaration_rejected() {
+        assert!(fail("PROGRAM P\nREAL A(8)\nREAL A(4)\nEND\n")
+            .message
+            .contains("twice"));
+    }
+
+    #[test]
+    fn intrinsic_shadowing_rejected() {
+        assert!(fail("PROGRAM P\nREAL SUM(8)\nEND\n")
+            .message
+            .contains("shadows"));
+    }
+
+    #[test]
+    fn read_write_targets_checked() {
+        assert!(fail("PROGRAM P\nREAD A\nEND\n").message.contains("not a declared array"));
+    }
+}

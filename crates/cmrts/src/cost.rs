@@ -1,0 +1,123 @@
+//! The simulator's cost model.
+//!
+//! All durations are virtual clock **ticks** (nominally 1 ns). The defaults
+//! are loosely calibrated to a CM-5-class machine — 33 MHz SPARC nodes with
+//! vector units, a fat-tree data network with ~5 µs message latency and
+//! ~10 MB/s per-link bandwidth — but only the *relative* magnitudes matter
+//! for reproducing the paper's behaviour (communication ≫ computation per
+//! element, broadcast ≈ message, argument processing and cleanup small but
+//! nonzero).
+
+/// Tunable tick costs for every simulated activity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Virtual ticks per second (for converting timers to seconds).
+    pub ticks_per_second: f64,
+    /// Ticks per element for element-wise computation.
+    pub elem_compute: u64,
+    /// Ticks per element for local reduction/scan combine steps.
+    pub elem_reduce: u64,
+    /// Ticks per element for local data movement (copy/shift/transpose).
+    pub elem_move: u64,
+    /// Ticks per element·log2(element) for local sorting.
+    pub elem_sort: u64,
+    /// Fixed latency of a point-to-point message.
+    pub msg_latency: u64,
+    /// Ticks per payload byte on the data network.
+    pub byte_cost: u64,
+    /// Fixed latency of a control-processor broadcast.
+    pub bcast_latency: u64,
+    /// Argument-processing ticks per block argument.
+    pub arg_cost: u64,
+    /// Dispatcher overhead per node activation.
+    pub dispatch_cost: u64,
+    /// Vector-unit cleanup ticks per block.
+    pub cleanup_cost: u64,
+    /// Control-processor ticks per byte of file I/O.
+    pub io_byte_cost: u64,
+    /// Bytes per array element (f64).
+    pub elem_bytes: u64,
+    /// Control-processor overhead between steps.
+    pub cp_step_cost: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            ticks_per_second: 1e9,
+            elem_compute: 30,
+            elem_reduce: 20,
+            elem_move: 10,
+            elem_sort: 12,
+            msg_latency: 5_000,
+            byte_cost: 100,
+            bcast_latency: 8_000,
+            arg_cost: 400,
+            dispatch_cost: 1_500,
+            cleanup_cost: 800,
+            io_byte_cost: 300,
+            elem_bytes: 8,
+            cp_step_cost: 1_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a point-to-point message carrying `bytes`.
+    pub fn msg_cost(&self, bytes: u64) -> u64 {
+        self.msg_latency + bytes * self.byte_cost
+    }
+
+    /// Cost of a broadcast carrying `bytes`.
+    pub fn bcast_cost(&self, bytes: u64) -> u64 {
+        self.bcast_latency + bytes * self.byte_cost
+    }
+
+    /// Bytes for `elems` elements.
+    pub fn bytes_for(&self, elems: usize) -> u64 {
+        elems as u64 * self.elem_bytes
+    }
+
+    /// Local sort cost for `n` elements (n·log2(n) model).
+    pub fn sort_cost(&self, n: usize) -> u64 {
+        if n <= 1 {
+            return self.elem_sort;
+        }
+        let log = usize::BITS - (n - 1).leading_zeros();
+        n as u64 * log as u64 * self.elem_sort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_scales_with_bytes() {
+        let c = CostModel::default();
+        assert_eq!(c.msg_cost(0), c.msg_latency);
+        assert!(c.msg_cost(1024) > c.msg_cost(8));
+    }
+
+    #[test]
+    fn communication_dominates_computation_per_element() {
+        // The relationship the paper's examples rely on: sending one
+        // element costs far more than computing one.
+        let c = CostModel::default();
+        assert!(c.msg_cost(c.elem_bytes) > 20 * c.elem_compute);
+    }
+
+    #[test]
+    fn sort_cost_superlinear() {
+        let c = CostModel::default();
+        assert!(c.sort_cost(1024) > 2 * c.sort_cost(512));
+        assert_eq!(c.sort_cost(0), c.elem_sort);
+        assert_eq!(c.sort_cost(1), c.elem_sort);
+    }
+
+    #[test]
+    fn bytes_for_uses_element_size() {
+        let c = CostModel::default();
+        assert_eq!(c.bytes_for(10), 80);
+    }
+}

@@ -1,0 +1,261 @@
+//! Data-distribution arithmetic: which rows of an array live on which node.
+//!
+//! Arrays are distributed along their first axis. The layout functions are
+//! pure and exhaustively property-tested: every row is owned by exactly one
+//! node, and local/global index conversions are inverse bijections. The
+//! subgrid ranges reported here are exactly the "subregions" the Figure 8
+//! where axis displays under each array.
+
+use crate::types::Distribution;
+
+/// The rows of the first axis a node owns, as global row indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedRows {
+    rows: OwnedRowsKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum OwnedRowsKind {
+    /// Contiguous `start..end`.
+    Range(std::ops::Range<usize>),
+    /// `first, first + stride, ...` strictly below `limit`.
+    Strided {
+        first: usize,
+        stride: usize,
+        limit: usize,
+    },
+}
+
+impl OwnedRows {
+    /// Number of owned rows.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            OwnedRowsKind::Range(r) => r.len(),
+            OwnedRowsKind::Strided {
+                first,
+                stride,
+                limit,
+            } => {
+                if first >= limit {
+                    0
+                } else {
+                    (limit - first).div_ceil(*stride)
+                }
+            }
+        }
+    }
+
+    /// True when the node owns no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the owned global row indices in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match &self.rows {
+            OwnedRowsKind::Range(r) => Box::new(r.clone()),
+            OwnedRowsKind::Strided {
+                first,
+                stride,
+                limit,
+            } => Box::new((*first..*limit).step_by(*stride)),
+        }
+    }
+
+    /// For block layouts: the contiguous range; for cyclic: `None`.
+    pub fn as_range(&self) -> Option<std::ops::Range<usize>> {
+        match &self.rows {
+            OwnedRowsKind::Range(r) => Some(r.clone()),
+            OwnedRowsKind::Strided { .. } => None,
+        }
+    }
+}
+
+/// Layout of one distributed array over `nodes` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Rows along the distributed (first) axis.
+    pub rows: usize,
+    /// Elements per row (product of the remaining extents; 1 for 1-D).
+    pub row_width: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Distribution of the first axis.
+    pub dist: Distribution,
+}
+
+impl Layout {
+    /// Creates a layout; `nodes` must be nonzero.
+    pub fn new(rows: usize, row_width: usize, nodes: usize, dist: Distribution) -> Self {
+        assert!(nodes > 0, "layout needs at least one node");
+        Self {
+            rows,
+            row_width,
+            nodes,
+            dist,
+        }
+    }
+
+    /// Total elements.
+    pub fn total_elems(&self) -> usize {
+        self.rows * self.row_width
+    }
+
+    /// The node owning global row `row`.
+    pub fn owner(&self, row: usize) -> usize {
+        debug_assert!(row < self.rows);
+        match self.dist {
+            Distribution::Block => {
+                // Blocks of ceil(rows/nodes), so the first nodes are full.
+                let block = self.rows.div_ceil(self.nodes).max(1);
+                (row / block).min(self.nodes - 1)
+            }
+            Distribution::Cyclic => row % self.nodes,
+        }
+    }
+
+    /// Rows owned by `node`.
+    pub fn owned_rows(&self, node: usize) -> OwnedRows {
+        debug_assert!(node < self.nodes);
+        match self.dist {
+            Distribution::Block => {
+                let block = self.rows.div_ceil(self.nodes).max(1);
+                let start = (node * block).min(self.rows);
+                let end = ((node + 1) * block).min(self.rows);
+                OwnedRows {
+                    rows: OwnedRowsKind::Range(start..end),
+                }
+            }
+            Distribution::Cyclic => OwnedRows {
+                rows: OwnedRowsKind::Strided {
+                    first: node,
+                    stride: self.nodes,
+                    limit: self.rows,
+                },
+            },
+        }
+    }
+
+    /// Number of rows owned by `node`.
+    pub fn rows_on(&self, node: usize) -> usize {
+        self.owned_rows(node).len()
+    }
+
+    /// Number of elements owned by `node`.
+    pub fn elems_on(&self, node: usize) -> usize {
+        self.rows_on(node) * self.row_width
+    }
+
+    /// Local row index (within the node's chunk) of a global row.
+    pub fn local_row(&self, row: usize) -> usize {
+        match self.dist {
+            Distribution::Block => {
+                let block = self.rows.div_ceil(self.nodes).max(1);
+                row - (row / block).min(self.nodes - 1) * block
+            }
+            Distribution::Cyclic => row / self.nodes,
+        }
+    }
+
+    /// Global row index of a node's `local`-th row.
+    pub fn global_row(&self, node: usize, local: usize) -> usize {
+        match self.dist {
+            Distribution::Block => {
+                let block = self.rows.div_ceil(self.nodes).max(1);
+                node * block + local
+            }
+            Distribution::Cyclic => node + local * self.nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_partition_is_balanced() {
+        let l = Layout::new(10, 1, 4, Distribution::Block);
+        // ceil(10/4)=3: 3,3,3,1.
+        assert_eq!(l.rows_on(0), 3);
+        assert_eq!(l.rows_on(1), 3);
+        assert_eq!(l.rows_on(2), 3);
+        assert_eq!(l.rows_on(3), 1);
+        assert_eq!(l.owned_rows(0).as_range(), Some(0..3));
+        assert_eq!(l.owned_rows(3).as_range(), Some(9..10));
+    }
+
+    #[test]
+    fn cyclic_partition_strides() {
+        let l = Layout::new(10, 1, 4, Distribution::Cyclic);
+        assert_eq!(l.owned_rows(1).iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert_eq!(l.rows_on(1), 3);
+        assert_eq!(l.rows_on(3), 2);
+        assert!(l.owned_rows(1).as_range().is_none());
+    }
+
+    #[test]
+    fn more_nodes_than_rows() {
+        let l = Layout::new(2, 4, 8, Distribution::Block);
+        let total: usize = (0..8).map(|n| l.rows_on(n)).sum();
+        assert_eq!(total, 2);
+        assert_eq!(l.elems_on(0), 4);
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(1), 1);
+    }
+
+    #[test]
+    fn empty_array() {
+        let l = Layout::new(0, 1, 4, Distribution::Block);
+        assert_eq!(l.total_elems(), 0);
+        for n in 0..4 {
+            assert!(l.owned_rows(n).is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_row_owned_exactly_once(
+            rows in 0usize..200,
+            nodes in 1usize..17,
+            dist in prop_oneof![Just(Distribution::Block), Just(Distribution::Cyclic)],
+        ) {
+            let l = Layout::new(rows, 1, nodes, dist);
+            let mut owned = vec![0u32; rows];
+            for n in 0..nodes {
+                for r in l.owned_rows(n).iter() {
+                    prop_assert_eq!(l.owner(r), n);
+                    owned[r] += 1;
+                }
+            }
+            prop_assert!(owned.iter().all(|&c| c == 1));
+        }
+
+        #[test]
+        fn local_global_roundtrip(
+            rows in 1usize..200,
+            nodes in 1usize..17,
+            dist in prop_oneof![Just(Distribution::Block), Just(Distribution::Cyclic)],
+        ) {
+            let l = Layout::new(rows, 1, nodes, dist);
+            for n in 0..nodes {
+                for (local, global) in l.owned_rows(n).iter().enumerate() {
+                    prop_assert_eq!(l.local_row(global), local);
+                    prop_assert_eq!(l.global_row(n, local), global);
+                }
+            }
+        }
+
+        #[test]
+        fn elems_partition_total(
+            rows in 0usize..200,
+            width in 1usize..8,
+            nodes in 1usize..17,
+        ) {
+            let l = Layout::new(rows, width, nodes, Distribution::Block);
+            let sum: usize = (0..nodes).map(|n| l.elems_on(n)).sum();
+            prop_assert_eq!(sum, l.total_elems());
+        }
+    }
+}

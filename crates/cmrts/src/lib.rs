@@ -1,0 +1,49 @@
+//! # cmrts-sim — a simulated CM-5 and CM run-time system
+//!
+//! The paper's case study (§5-6) measures CM Fortran programs running on a
+//! Thinking Machines CM-5 under the CM Run-Time System (CMRTS). That
+//! hardware is long gone; this crate is the substitute substrate: a
+//! deterministic discrete-event simulator of a control processor plus `P`
+//! processing nodes executing compiler-generated *node code blocks* over
+//! block/cyclic-distributed arrays.
+//!
+//! What is faithfully preserved for the paper's purposes:
+//!
+//! * every CMRTS activity of Figure 9 exists as a simulated event with a
+//!   cost (argument processing, broadcasts, cleanups, idle time, node
+//!   activations, point-to-point operations, reductions, scans, sorts,
+//!   shifts, transposes, computation, file I/O);
+//! * each activity fires a named instrumentation point through
+//!   [`dyninst_sim::InstrumentationManager`], carrying the subject sentence
+//!   and payload — the dispatcher reports block argument arrays exactly as
+//!   §6.1 describes;
+//! * array allocation is a *mapping point*: a [`machine::MappingSink`]
+//!   receives name/extents/distribution/subgrids at the allocator's return
+//!   point;
+//! * array data is real and results are property-tested against sequential
+//!   references, so metrics can be validated against ground truth.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod ir;
+pub mod layout;
+pub mod machine;
+pub mod points;
+pub mod trace;
+pub mod types;
+
+pub use cost::CostModel;
+pub use ir::{
+    ArrayDecl, Instr, IrError, NodeCodeBlock, NodeOp, Operand, Program, ProgramBuilder,
+    ScalarExpr, Step,
+};
+pub use layout::{Layout, OwnedRows};
+pub use machine::{
+    ArrayAllocInfo, CapturedSnapshot, Machine, MachineConfig, MappingSink, RunSummary,
+    SnapshotTrigger,
+};
+pub use points::{CmrtsPoints, CONTROL_PROCESSOR};
+pub use trace::{Event, Trace, TraceSummary};
+pub use types::{ArrayId, BinOpKind, CmpKind, Distribution, ReduceKind, ScalarId};

@@ -1,0 +1,119 @@
+//! The canonical instrumentation points the CM run-time system exposes.
+//!
+//! Every CMRTS activity of Figure 9 has an entry/exit (or event) point here.
+//! The simulator fires these through the shared
+//! [`dyninst_sim::InstrumentationManager`]; uninstrumented points cost
+//! almost nothing, so the full catalogue can be compiled in unconditionally
+//! — exactly the dynamic-instrumentation argument of §4.1.
+
+use dyninst_sim::{PointId, PointRegistry};
+
+macro_rules! points {
+    ($(($field:ident, $name:literal, $doc:literal)),+ $(,)?) => {
+        /// Interned [`PointId`]s for every CMRTS point.
+        #[derive(Clone, Debug)]
+        pub struct CmrtsPoints {
+            $(#[doc = $doc] pub $field: PointId,)+
+        }
+
+        impl CmrtsPoints {
+            /// Interns all point names in `registry`.
+            pub fn intern(registry: &PointRegistry) -> Self {
+                Self {
+                    $($field: registry.point($name),)+
+                }
+            }
+
+            /// All `(name, id)` pairs.
+            pub fn all(&self) -> Vec<(&'static str, PointId)> {
+                vec![$(($name, self.$field),)+]
+            }
+        }
+    };
+}
+
+points![
+    (node_activate, "cmrts::node:activate", "Node activated by the control processor (one firing per node per block)."),
+    (args_entry, "cmrts::args:entry", "Start of argument processing (receiving block arguments from the CP). `arg` = argument count."),
+    (args_exit, "cmrts::args:exit", "End of argument processing."),
+    (block_entry, "cmrts::block:entry", "Node code block entry; `sentence` = the block-executes sentence."),
+    (block_exit, "cmrts::block:exit", "Node code block exit."),
+    (stmt_entry, "cmrts::stmt:entry", "Source statement becomes active on a node; `sentence` = the line-executes sentence."),
+    (stmt_exit, "cmrts::stmt:exit", "Source statement becomes inactive."),
+    (array_enter, "cmrts::array:enter", "Dispatcher reports an argument array active; `sentence` = the array-active sentence, `arg` = array id. This is the §6.1 dispatcher→SAS channel."),
+    (array_exit, "cmrts::array:exit", "Dispatcher reports an argument array inactive."),
+    (alloc_return, "cmrts::alloc:return", "Return point of the array allocator — the paper's canonical *mapping point* (§4.1); `arg` = array id."),
+    (free_point, "cmrts::free", "Array deallocation; `arg` = array id."),
+    (compute_entry, "cmrts::compute:entry", "Element-wise computation starts; `arg` = local element count."),
+    (compute_exit, "cmrts::compute:exit", "Element-wise computation ends."),
+    (reduce_entry, "cmrts::reduce:entry", "Any reduction starts; `sentence` = the operation sentence (e.g. `{A} Sums`)."),
+    (reduce_exit, "cmrts::reduce:exit", "Any reduction ends."),
+    (reduce_sum_entry, "cmrts::reduce:sum:entry", "SUM reduction starts."),
+    (reduce_sum_exit, "cmrts::reduce:sum:exit", "SUM reduction ends."),
+    (reduce_max_entry, "cmrts::reduce:max:entry", "MAXVAL reduction starts."),
+    (reduce_max_exit, "cmrts::reduce:max:exit", "MAXVAL reduction ends."),
+    (reduce_min_entry, "cmrts::reduce:min:entry", "MINVAL reduction starts."),
+    (reduce_min_exit, "cmrts::reduce:min:exit", "MINVAL reduction ends."),
+    (xform_entry, "cmrts::xform:entry", "Any array transformation (shift/rotate/transpose) starts."),
+    (xform_exit, "cmrts::xform:exit", "Any array transformation ends."),
+    (shift_entry, "cmrts::shift:entry", "End-off shift starts."),
+    (shift_exit, "cmrts::shift:exit", "End-off shift ends."),
+    (rotate_entry, "cmrts::rotate:entry", "Circular shift (rotation) starts."),
+    (rotate_exit, "cmrts::rotate:exit", "Circular shift ends."),
+    (transpose_entry, "cmrts::transpose:entry", "Transpose starts."),
+    (transpose_exit, "cmrts::transpose:exit", "Transpose ends."),
+    (scan_entry, "cmrts::scan:entry", "Parallel-prefix scan starts."),
+    (scan_exit, "cmrts::scan:exit", "Scan ends."),
+    (sort_entry, "cmrts::sort:entry", "Global sort starts."),
+    (sort_exit, "cmrts::sort:exit", "Sort ends."),
+    (msg_send, "cmrts::msg:send", "Point-to-point message send; `arg` = bytes, `sentence` = the node-sends sentence."),
+    (msg_send_done, "cmrts::msg:send:done", "Fired immediately after a send completes on the sender (same sentence/arg); lets mapping instrumentation bracket the send sentence."),
+    (msg_recv, "cmrts::msg:recv", "Point-to-point message receive; `arg` = bytes."),
+    (bcast_send, "cmrts::bcast:send", "Broadcast from the control processor; `arg` = bytes."),
+    (bcast_recv, "cmrts::bcast:recv", "Broadcast arrival on a node; `arg` = bytes."),
+    (cleanup_entry, "cmrts::cleanup:entry", "Vector-unit reset starts."),
+    (cleanup_exit, "cmrts::cleanup:exit", "Vector-unit reset ends."),
+    (idle_entry, "cmrts::idle:entry", "Node starts waiting for the control processor."),
+    (idle_exit, "cmrts::idle:exit", "Node stops waiting."),
+    (io_entry, "cmrts::io:entry", "File I/O starts (control processor); `arg` = bytes."),
+    (io_exit, "cmrts::io:exit", "File I/O ends."),
+];
+
+/// Node index used in [`dyninst_sim::ExecCtx::node`] for control-processor
+/// activity (file I/O).
+pub const CONTROL_PROCESSOR: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_intern_distinctly() {
+        let reg = PointRegistry::new();
+        let pts = CmrtsPoints::intern(&reg);
+        let all = pts.all();
+        let mut ids: Vec<_> = all.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "point ids must be unique");
+        assert_eq!(reg.len(), all.len());
+    }
+
+    #[test]
+    fn interning_twice_reuses_ids() {
+        let reg = PointRegistry::new();
+        let a = CmrtsPoints::intern(&reg);
+        let b = CmrtsPoints::intern(&reg);
+        assert_eq!(a.msg_send, b.msg_send);
+        assert_eq!(a.reduce_sum_entry, b.reduce_sum_entry);
+    }
+
+    #[test]
+    fn names_follow_convention() {
+        let reg = PointRegistry::new();
+        let pts = CmrtsPoints::intern(&reg);
+        for (name, _) in pts.all() {
+            assert!(name.starts_with("cmrts::"), "{name}");
+        }
+    }
+}

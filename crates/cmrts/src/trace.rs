@@ -1,0 +1,468 @@
+//! Ground-truth event trace.
+//!
+//! Independently of the instrumentation stack, the simulator can record a
+//! full event trace. Tests use it as the oracle the mapped metrics are
+//! compared against, and the figure-regeneration binaries use it to locate
+//! interesting moments (e.g. "the first message sent during the summation
+//! of A" for Figure 5).
+
+use crate::types::{ArrayId, ReduceKind};
+
+/// One traced event. `t0`/`t1` are virtual ticks on the acting clock.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A node was activated by the control processor for a block.
+    NodeActivate {
+        /// Acting node.
+        node: u32,
+        /// Block name.
+        block: String,
+        /// Activation tick.
+        t: u64,
+    },
+    /// Argument processing window on a node.
+    ArgsProcessed {
+        /// Acting node.
+        node: u32,
+        /// Number of arguments.
+        count: u32,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// Element-wise computation window.
+    Compute {
+        /// Acting node.
+        node: u32,
+        /// Local elements processed.
+        elems: u64,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// A reduction's on-node window (local combine + tree participation).
+    Reduce {
+        /// Acting node.
+        node: u32,
+        /// Reduction kind.
+        kind: ReduceKind,
+        /// Source array.
+        array: ArrayId,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// A point-to-point message.
+    Message {
+        /// Sender node (`u32::MAX` = control processor).
+        from: u32,
+        /// Receiver node (`u32::MAX` = control processor).
+        to: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Send tick (sender clock).
+        t_send: u64,
+        /// Delivery tick (receiver clock).
+        t_recv: u64,
+    },
+    /// A broadcast from the control processor.
+    Broadcast {
+        /// Payload bytes.
+        bytes: u64,
+        /// Send tick (CP clock).
+        t: u64,
+    },
+    /// An array transformation window (shift/rotate/transpose).
+    Transform {
+        /// Acting node.
+        node: u32,
+        /// `"shift"`, `"rotate"`, or `"transpose"`.
+        kind: &'static str,
+        /// The destination array.
+        array: ArrayId,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// A scan window.
+    Scan {
+        /// Acting node.
+        node: u32,
+        /// Source array.
+        array: ArrayId,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// A sort window.
+    Sort {
+        /// Acting node.
+        node: u32,
+        /// Source array.
+        array: ArrayId,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// An idle window (waiting for the control processor).
+    Idle {
+        /// Acting node.
+        node: u32,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// A vector-unit cleanup window.
+    Cleanup {
+        /// Acting node.
+        node: u32,
+        /// Start tick.
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+    /// Array allocation (a mapping point).
+    Alloc {
+        /// The array.
+        array: ArrayId,
+        /// CP tick.
+        t: u64,
+    },
+    /// Array deallocation.
+    Free {
+        /// The array.
+        array: ArrayId,
+        /// CP tick.
+        t: u64,
+    },
+    /// File I/O through the control processor.
+    FileIo {
+        /// Bytes transferred.
+        bytes: u64,
+        /// True for writes.
+        write: bool,
+        /// Start tick (CP clock).
+        t0: u64,
+        /// End tick.
+        t1: u64,
+    },
+}
+
+impl Event {
+    /// The duration of windowed events, 0 for instantaneous ones.
+    pub fn duration(&self) -> u64 {
+        match self {
+            Event::ArgsProcessed { t0, t1, .. }
+            | Event::Compute { t0, t1, .. }
+            | Event::Reduce { t0, t1, .. }
+            | Event::Transform { t0, t1, .. }
+            | Event::Scan { t0, t1, .. }
+            | Event::Sort { t0, t1, .. }
+            | Event::Idle { t0, t1, .. }
+            | Event::Cleanup { t0, t1, .. }
+            | Event::FileIo { t0, t1, .. } => t1 - t0,
+            _ => 0,
+        }
+    }
+}
+
+/// Collects events when enabled; a disabled trace is free.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// A trace that records.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A trace that drops everything.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Records `event` if enabled.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Records the event produced by `f` if enabled (avoids constructing
+    /// events on the disabled path).
+    #[inline]
+    pub fn push_with(&mut self, f: impl FnOnce() -> Event) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total messages recorded.
+    pub fn message_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Message { .. }))
+            .count()
+    }
+
+    /// Total message payload bytes recorded.
+    pub fn message_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Message { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Per-activity totals computed from a trace: the ground truth that mapped
+/// metrics are validated against.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Reductions by kind: (count, total ticks).
+    pub reductions: std::collections::BTreeMap<&'static str, (u64, u64)>,
+    /// Transformations by kind: (count, total ticks).
+    pub transforms: std::collections::BTreeMap<&'static str, (u64, u64)>,
+    /// Element-wise compute: (windows, elements, ticks).
+    pub compute: (u64, u64, u64),
+    /// Scans: (count, ticks).
+    pub scans: (u64, u64),
+    /// Sorts: (count, ticks).
+    pub sorts: (u64, u64),
+    /// Messages: (count, bytes).
+    pub messages: (u64, u64),
+    /// Broadcasts: (count, bytes).
+    pub broadcasts: (u64, u64),
+    /// Idle: (windows, ticks).
+    pub idle: (u64, u64),
+    /// Cleanups: (count, ticks).
+    pub cleanups: (u64, u64),
+    /// Argument processing: (windows, ticks).
+    pub args: (u64, u64),
+    /// Node activations.
+    pub node_activations: u64,
+    /// Allocations and frees.
+    pub allocs: (u64, u64),
+    /// File I/O: (ops, bytes, ticks).
+    pub file_io: (u64, u64, u64),
+}
+
+impl Trace {
+    /// Aggregates the trace into per-activity totals.
+    pub fn summarize(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for e in &self.events {
+            match e {
+                Event::NodeActivate { .. } => s.node_activations += 1,
+                Event::ArgsProcessed { t0, t1, .. } => {
+                    s.args.0 += 1;
+                    s.args.1 += t1 - t0;
+                }
+                Event::Compute { elems, t0, t1, .. } => {
+                    s.compute.0 += 1;
+                    s.compute.1 += elems;
+                    s.compute.2 += t1 - t0;
+                }
+                Event::Reduce { kind, t0, t1, .. } => {
+                    let entry = s.reductions.entry(kind.name()).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += t1 - t0;
+                }
+                Event::Message { bytes, .. } => {
+                    s.messages.0 += 1;
+                    s.messages.1 += bytes;
+                }
+                Event::Broadcast { bytes, .. } => {
+                    s.broadcasts.0 += 1;
+                    s.broadcasts.1 += bytes;
+                }
+                Event::Transform { kind, t0, t1, .. } => {
+                    let entry = s.transforms.entry(kind).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += t1 - t0;
+                }
+                Event::Scan { t0, t1, .. } => {
+                    s.scans.0 += 1;
+                    s.scans.1 += t1 - t0;
+                }
+                Event::Sort { t0, t1, .. } => {
+                    s.sorts.0 += 1;
+                    s.sorts.1 += t1 - t0;
+                }
+                Event::Idle { t0, t1, .. } => {
+                    s.idle.0 += 1;
+                    s.idle.1 += t1 - t0;
+                }
+                Event::Cleanup { t0, t1, .. } => {
+                    s.cleanups.0 += 1;
+                    s.cleanups.1 += t1 - t0;
+                }
+                Event::Alloc { .. } => s.allocs.0 += 1,
+                Event::Free { .. } => s.allocs.1 += 1,
+                Event::FileIo { bytes, t0, t1, .. } => {
+                    s.file_io.0 += 1;
+                    s.file_io.1 += bytes;
+                    s.file_io.2 += t1 - t0;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_aggregates_by_kind() {
+        let mut t = Trace::enabled();
+        t.push(Event::NodeActivate {
+            node: 0,
+            block: "b".into(),
+            t: 1,
+        });
+        t.push(Event::Reduce {
+            node: 0,
+            kind: ReduceKind::Sum,
+            array: ArrayId(0),
+            t0: 10,
+            t1: 30,
+        });
+        t.push(Event::Reduce {
+            node: 1,
+            kind: ReduceKind::Sum,
+            array: ArrayId(0),
+            t0: 12,
+            t1: 20,
+        });
+        t.push(Event::Reduce {
+            node: 0,
+            kind: ReduceKind::Max,
+            array: ArrayId(1),
+            t0: 40,
+            t1: 45,
+        });
+        t.push(Event::Message {
+            from: 0,
+            to: 1,
+            bytes: 64,
+            t_send: 1,
+            t_recv: 2,
+        });
+        t.push(Event::Transform {
+            node: 0,
+            kind: "rotate",
+            array: ArrayId(0),
+            t0: 0,
+            t1: 7,
+        });
+        let s = t.summarize();
+        assert_eq!(s.node_activations, 1);
+        assert_eq!(s.reductions["sum"], (2, 28));
+        assert_eq!(s.reductions["max"], (1, 5));
+        assert_eq!(s.messages, (1, 64));
+        assert_eq!(s.transforms["rotate"], (1, 7));
+        assert_eq!(s.scans, (0, 0));
+    }
+
+    #[test]
+    fn summarize_compute_and_io() {
+        let mut t = Trace::enabled();
+        t.push(Event::Compute {
+            node: 0,
+            elems: 100,
+            t0: 0,
+            t1: 50,
+        });
+        t.push(Event::FileIo {
+            bytes: 256,
+            write: true,
+            t0: 100,
+            t1: 200,
+        });
+        t.push(Event::Alloc {
+            array: ArrayId(0),
+            t: 0,
+        });
+        t.push(Event::Free {
+            array: ArrayId(0),
+            t: 9,
+        });
+        let s = t.summarize();
+        assert_eq!(s.compute, (1, 100, 50));
+        assert_eq!(s.file_io, (1, 256, 100));
+        assert_eq!(s.allocs, (1, 1));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(Event::Broadcast { bytes: 8, t: 0 });
+        t.push_with(unreachable_event);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    fn unreachable_event() -> Event {
+        panic!("push_with must not build events when disabled")
+    }
+
+    #[test]
+    fn enabled_trace_collects_in_order() {
+        let mut t = Trace::enabled();
+        t.push(Event::Alloc {
+            array: ArrayId(0),
+            t: 5,
+        });
+        t.push(Event::Message {
+            from: 0,
+            to: 1,
+            bytes: 64,
+            t_send: 10,
+            t_recv: 20,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.message_count(), 1);
+        assert_eq!(t.message_bytes(), 64);
+    }
+
+    #[test]
+    fn durations() {
+        let e = Event::Compute {
+            node: 0,
+            elems: 10,
+            t0: 100,
+            t1: 160,
+        };
+        assert_eq!(e.duration(), 60);
+        let m = Event::Broadcast { bytes: 1, t: 3 };
+        assert_eq!(m.duration(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Basic identifiers and operation kinds for the simulated CM run-time
+//! system.
+
+use std::fmt;
+
+/// Identifies a parallel array within a [`crate::machine::Machine`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArrayId({})", self.0)
+    }
+}
+
+/// Identifies a front-end (control processor) scalar variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScalarId(pub u32);
+
+impl ScalarId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ScalarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScalarId({})", self.0)
+    }
+}
+
+/// Reduction kinds (Figure 9: Summations, MAXVAL, MINVAL).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceKind {
+    /// `SUM(A)`
+    Sum,
+    /// `MAXVAL(A)`
+    Max,
+    /// `MINVAL(A)`
+    Min,
+}
+
+impl ReduceKind {
+    /// The identity element of the reduction.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceKind::Sum => 0.0,
+            ReduceKind::Max => f64::NEG_INFINITY,
+            ReduceKind::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combines two partial results.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceKind::Sum => a + b,
+            ReduceKind::Max => a.max(b),
+            ReduceKind::Min => a.min(b),
+        }
+    }
+
+    /// Lower-case name (used in point names: `cmrts::reduce:sum:entry`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceKind::Sum => "sum",
+            ReduceKind::Max => "max",
+            ReduceKind::Min => "min",
+        }
+    }
+}
+
+/// Element-wise binary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOpKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl BinOpKind {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOpKind::Add => a + b,
+            BinOpKind::Sub => a - b,
+            BinOpKind::Mul => a * b,
+            BinOpKind::Div => a / b,
+            BinOpKind::Max => a.max(b),
+            BinOpKind::Min => a.min(b),
+        }
+    }
+}
+
+/// Element-wise comparison operators (used by masked assignment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `/=` (Fortran not-equal)
+    Ne,
+}
+
+impl CmpKind {
+    /// Applies the comparison.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpKind::Lt => a < b,
+            CmpKind::Gt => a > b,
+            CmpKind::Le => a <= b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+
+    /// Fortran spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpKind::Lt => "<",
+            CmpKind::Gt => ">",
+            CmpKind::Le => "<=",
+            CmpKind::Ge => ">=",
+            CmpKind::Eq => "==",
+            CmpKind::Ne => "/=",
+        }
+    }
+}
+
+/// How an array's first axis is distributed over the nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Contiguous blocks of (almost) equal size — CM Fortran's default NEWS
+    /// layout along the first axis.
+    #[default]
+    Block,
+    /// Round-robin assignment of rows to nodes.
+    Cyclic,
+}
+
+impl Distribution {
+    /// Parses the listing/PIF spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(Distribution::Block),
+            "cyclic" => Some(Distribution::Cyclic),
+            _ => None,
+        }
+    }
+
+    /// The listing/PIF spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Block => "block",
+            Distribution::Cyclic => "cyclic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_identities_and_combine() {
+        assert_eq!(ReduceKind::Sum.combine(ReduceKind::Sum.identity(), 5.0), 5.0);
+        assert_eq!(ReduceKind::Max.combine(ReduceKind::Max.identity(), -3.0), -3.0);
+        assert_eq!(ReduceKind::Min.combine(ReduceKind::Min.identity(), 7.0), 7.0);
+        assert_eq!(ReduceKind::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(ReduceKind::Max.combine(2.0, 3.0), 3.0);
+        assert_eq!(ReduceKind::Min.combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOpKind::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOpKind::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOpKind::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOpKind::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOpKind::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinOpKind::Min.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn cmp_apply_and_symbols() {
+        assert!(CmpKind::Lt.apply(1.0, 2.0));
+        assert!(!CmpKind::Lt.apply(2.0, 2.0));
+        assert!(CmpKind::Le.apply(2.0, 2.0));
+        assert!(CmpKind::Gt.apply(3.0, 2.0));
+        assert!(CmpKind::Ge.apply(2.0, 2.0));
+        assert!(CmpKind::Eq.apply(2.0, 2.0));
+        assert!(CmpKind::Ne.apply(2.0, 3.0));
+        for c in [CmpKind::Lt, CmpKind::Gt, CmpKind::Le, CmpKind::Ge, CmpKind::Eq, CmpKind::Ne] {
+            assert!(!c.symbol().is_empty());
+        }
+    }
+
+    #[test]
+    fn distribution_roundtrip() {
+        for d in [Distribution::Block, Distribution::Cyclic] {
+            assert_eq!(Distribution::parse(d.name()), Some(d));
+        }
+        assert_eq!(Distribution::parse("scatter"), None);
+    }
+
+    #[test]
+    fn reduce_names_are_point_fragments() {
+        assert_eq!(ReduceKind::Sum.name(), "sum");
+        assert_eq!(ReduceKind::Max.name(), "max");
+        assert_eq!(ReduceKind::Min.name(), "min");
+    }
+}

@@ -1,0 +1,256 @@
+//! Cost algebra for sentences.
+//!
+//! The paper (§1): "The cost of a sentence may be measured in terms of such
+//! resources as time, memory, or channel bandwidth. *Performance information*
+//! consists of the aggregated costs measured from the execution of a
+//! collection of sentences."
+//!
+//! Costs are `f64` magnitudes tagged with a [`CostUnit`]. Arithmetic is only
+//! defined between like units; mixing units is a programming error surfaced
+//! as a panic in debug builds and a saturating no-op marker in release (we
+//! prefer loud failure: all public entry points check units explicitly and
+//! return [`UnitMismatch`]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Units in which a sentence cost can be expressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostUnit {
+    /// Elapsed or CPU time, in seconds.
+    Seconds,
+    /// A count of operations/events.
+    Operations,
+    /// Memory or channel traffic, in bytes.
+    Bytes,
+    /// A normalised utilisation percentage (0-100), e.g. "% CPU".
+    Percent,
+}
+
+impl fmt::Display for CostUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostUnit::Seconds => "s",
+            CostUnit::Operations => "ops",
+            CostUnit::Bytes => "bytes",
+            CostUnit::Percent => "% ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when combining costs of different units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitMismatch {
+    /// Unit of the left operand.
+    pub left: CostUnit,
+    /// Unit of the right operand.
+    pub right: CostUnit,
+}
+
+impl fmt::Display for UnitMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cost unit mismatch: {} vs {}", self.left, self.right)
+    }
+}
+
+impl std::error::Error for UnitMismatch {}
+
+/// A measured cost: magnitude + unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cost {
+    /// Magnitude in `unit`.
+    pub value: f64,
+    /// The unit of `value`.
+    pub unit: CostUnit,
+}
+
+impl Cost {
+    /// A cost of `value` seconds.
+    pub fn seconds(value: f64) -> Self {
+        Self {
+            value,
+            unit: CostUnit::Seconds,
+        }
+    }
+
+    /// A cost of `value` operations.
+    pub fn ops(value: f64) -> Self {
+        Self {
+            value,
+            unit: CostUnit::Operations,
+        }
+    }
+
+    /// A cost of `value` bytes.
+    pub fn bytes(value: f64) -> Self {
+        Self {
+            value,
+            unit: CostUnit::Bytes,
+        }
+    }
+
+    /// A utilisation percentage.
+    pub fn percent(value: f64) -> Self {
+        Self {
+            value,
+            unit: CostUnit::Percent,
+        }
+    }
+
+    /// The zero cost in `unit`.
+    pub fn zero(unit: CostUnit) -> Self {
+        Self { value: 0.0, unit }
+    }
+
+    /// Checked addition: errors on unit mismatch.
+    pub fn checked_add(self, other: Cost) -> Result<Cost, UnitMismatch> {
+        if self.unit == other.unit {
+            Ok(Cost {
+                value: self.value + other.value,
+                unit: self.unit,
+            })
+        } else {
+            Err(UnitMismatch {
+                left: self.unit,
+                right: other.unit,
+            })
+        }
+    }
+
+    /// Scales the cost by a unitless factor (used by the split-evenly
+    /// assignment policy).
+    pub fn scaled(self, factor: f64) -> Cost {
+        Cost {
+            value: self.value * factor,
+            unit: self.unit,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    /// Panics on unit mismatch; use [`Cost::checked_add`] where mixed units
+    /// can legitimately occur.
+    fn add(self, other: Cost) -> Cost {
+        self.checked_add(other)
+            .expect("cost unit mismatch in Cost::add")
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, other: Cost) {
+        *self = *self + other;
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.unit {
+            CostUnit::Seconds => write!(f, "{:.6} s", self.value),
+            CostUnit::Operations => write!(f, "{} ops", self.value),
+            CostUnit::Bytes => write!(f, "{} bytes", self.value),
+            CostUnit::Percent => write!(f, "{:.1}%", self.value),
+        }
+    }
+}
+
+/// How to combine the costs of *many* low-level sentences before assignment
+/// (paper §1: "we aggregate (either sum or average) the performance data for
+/// the low-level sentences").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Sum the costs (counts, times).
+    Sum,
+    /// Average the costs (utilisations).
+    Average,
+}
+
+impl Aggregation {
+    /// Aggregates a non-empty slice of like-unit costs. Returns `None` for an
+    /// empty slice, `Err` on mixed units.
+    pub fn aggregate(self, costs: &[Cost]) -> Option<Result<Cost, UnitMismatch>> {
+        let (&first, rest) = costs.split_first()?;
+        let mut acc = first;
+        for &c in rest {
+            match acc.checked_add(c) {
+                Ok(a) => acc = a,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        if self == Aggregation::Average {
+            acc = acc.scaled(1.0 / costs.len() as f64);
+        }
+        Some(Ok(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_like_units() {
+        let c = Cost::seconds(1.5) + Cost::seconds(0.5);
+        assert_eq!(c, Cost::seconds(2.0));
+    }
+
+    #[test]
+    fn checked_add_mismatch() {
+        let e = Cost::seconds(1.0).checked_add(Cost::ops(1.0)).unwrap_err();
+        assert_eq!(e.left, CostUnit::Seconds);
+        assert_eq!(e.right, CostUnit::Operations);
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit mismatch")]
+    fn add_mismatch_panics() {
+        let _ = Cost::bytes(1.0) + Cost::percent(1.0);
+    }
+
+    #[test]
+    fn scaled_preserves_unit() {
+        let c = Cost::ops(10.0).scaled(0.5);
+        assert_eq!(c, Cost::ops(5.0));
+    }
+
+    #[test]
+    fn aggregate_sum_and_average() {
+        let costs = [Cost::seconds(1.0), Cost::seconds(2.0), Cost::seconds(3.0)];
+        assert_eq!(
+            Aggregation::Sum.aggregate(&costs).unwrap().unwrap(),
+            Cost::seconds(6.0)
+        );
+        assert_eq!(
+            Aggregation::Average.aggregate(&costs).unwrap().unwrap(),
+            Cost::seconds(2.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_empty_is_none() {
+        assert!(Aggregation::Sum.aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn aggregate_mixed_units_errors() {
+        let costs = [Cost::seconds(1.0), Cost::ops(2.0)];
+        assert!(Aggregation::Sum.aggregate(&costs).unwrap().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cost::ops(3.0).to_string(), "3 ops");
+        assert_eq!(Cost::percent(12.34).to_string(), "12.3%");
+        assert!(Cost::seconds(0.5).to_string().ends_with(" s"));
+        assert_eq!(Cost::bytes(8.0).to_string(), "8 bytes");
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let c = Cost::bytes(42.0);
+        assert_eq!(c + Cost::zero(CostUnit::Bytes), c);
+    }
+}

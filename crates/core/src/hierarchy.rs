@@ -1,0 +1,486 @@
+//! Resource hierarchies and foci — the "where axis".
+//!
+//! Paradyn organises every measurable resource into per-abstraction trees
+//! (paper Figure 8 shows the `CMFstmts` and `CMFarrays` hierarchies next to
+//! the base `Code`/`Machine`/`Process` hierarchies). A **focus** selects one
+//! node from each hierarchy; metrics are constrained to a focus. Users
+//! refine a focus by descending a hierarchy (e.g. from `/CMFarrays` to
+//! `/CMFarrays/bow.fcm/CORNER/TOT`).
+
+use crate::model::NounId;
+use crate::util::FxHashMap;
+use std::fmt;
+
+/// Index of a node within a [`ResourceTree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceIdx(u32);
+
+impl ResourceIdx {
+    /// The root of every tree.
+    pub const ROOT: ResourceIdx = ResourceIdx(0);
+
+    /// Dense index for direct storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ResourceIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResourceIdx({})", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ResourceNode {
+    name: String,
+    parent: Option<ResourceIdx>,
+    children: Vec<ResourceIdx>,
+    /// Nouns this resource corresponds to, if any (leaf resources usually
+    /// carry the noun that names them; interior nodes may too).
+    noun: Option<NounId>,
+}
+
+/// One hierarchy of the where axis (e.g. `CMFarrays`).
+#[derive(Clone, Debug)]
+pub struct ResourceTree {
+    name: String,
+    nodes: Vec<ResourceNode>,
+    by_path: FxHashMap<String, ResourceIdx>,
+}
+
+impl ResourceTree {
+    /// Creates a tree whose root is named after the hierarchy itself.
+    pub fn new(name: &str) -> Self {
+        let root = ResourceNode {
+            name: name.to_string(),
+            parent: None,
+            children: Vec::new(),
+            noun: None,
+        };
+        let mut by_path = FxHashMap::default();
+        by_path.insert(String::new(), ResourceIdx::ROOT);
+        Self {
+            name: name.to_string(),
+            nodes: vec![root],
+            by_path,
+        }
+    }
+
+    /// The hierarchy name (root label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or returns the existing) child `name` under `parent`.
+    pub fn child(&mut self, parent: ResourceIdx, name: &str) -> ResourceIdx {
+        if let Some(&existing) = self
+            .nodes
+            .get(parent.index())
+            .and_then(|p| {
+                p.children
+                    .iter()
+                    .find(|&&c| self.nodes[c.index()].name == name)
+            })
+        {
+            return existing;
+        }
+        let idx = ResourceIdx(self.nodes.len() as u32);
+        let path = self.path_of(parent) + "/" + name;
+        self.nodes.push(ResourceNode {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            noun: None,
+        });
+        self.nodes[parent.index()].children.push(idx);
+        self.by_path.insert(path, idx);
+        idx
+    }
+
+    /// Adds a whole path of components under the root, returning the leaf.
+    pub fn add_path(&mut self, components: &[&str]) -> ResourceIdx {
+        let mut cur = ResourceIdx::ROOT;
+        for c in components {
+            cur = self.child(cur, c);
+        }
+        cur
+    }
+
+    /// Associates a noun with a resource node.
+    pub fn set_noun(&mut self, node: ResourceIdx, noun: NounId) {
+        self.nodes[node.index()].noun = Some(noun);
+    }
+
+    /// The noun associated with a node, if any.
+    pub fn noun(&self, node: ResourceIdx) -> Option<NounId> {
+        self.nodes[node.index()].noun
+    }
+
+    /// Resolves a `/`-separated path (relative to the root) to a node.
+    pub fn resolve(&self, path: &str) -> Option<ResourceIdx> {
+        let norm = if path == "/" { "" } else { path.trim_end_matches('/') };
+        let norm = if norm.starts_with('/') || norm.is_empty() {
+            norm.to_string()
+        } else {
+            format!("/{norm}")
+        };
+        self.by_path.get(&norm).copied()
+    }
+
+    /// Renders the `/`-separated path of a node (empty string for the root).
+    pub fn path_of(&self, node: ResourceIdx) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(node);
+        while let Some(idx) = cur {
+            let n = &self.nodes[idx.index()];
+            if n.parent.is_some() {
+                parts.push(n.name.clone());
+            }
+            cur = n.parent;
+        }
+        parts.reverse();
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("/{}", parts.join("/"))
+        }
+    }
+
+    /// Display name of a node.
+    pub fn name_of(&self, node: ResourceIdx) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Children of a node, in insertion order.
+    pub fn children(&self, node: ResourceIdx) -> &[ResourceIdx] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, node: ResourceIdx) -> Option<ResourceIdx> {
+        self.nodes[node.index()].parent
+    }
+
+    /// True if `ancestor` is `node` or an ancestor of it. A focus selecting
+    /// `ancestor` covers all measurements attributed to descendants.
+    pub fn covers(&self, ancestor: ResourceIdx, node: ResourceIdx) -> bool {
+        let mut cur = Some(node);
+        while let Some(idx) = cur {
+            if idx == ancestor {
+                return true;
+            }
+            cur = self.nodes[idx.index()].parent;
+        }
+        false
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All nodes whose display name equals `name`, in index order.
+    pub fn find_by_name(&self, name: &str) -> Vec<ResourceIdx> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.name == name)
+            .map(|(i, _)| ResourceIdx(i as u32))
+            .collect()
+    }
+
+    /// All descendant leaves of a node (the node itself if it is a leaf).
+    pub fn leaves_under(&self, node: ResourceIdx) -> Vec<ResourceIdx> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            let children = &self.nodes[n.index()].children;
+            if children.is_empty() {
+                out.push(n);
+            } else {
+                stack.extend(children.iter().rev());
+            }
+        }
+        out
+    }
+
+    /// Pretty-prints the tree in the style of Paradyn's where-axis display
+    /// (Figure 8), expanding every node.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(ResourceIdx::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, node: ResourceIdx, depth: usize, out: &mut String) {
+        let n = &self.nodes[node.index()];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&n.name);
+        out.push('\n');
+        for &c in &n.children {
+            self.render_node(c, depth + 1, out);
+        }
+    }
+}
+
+/// The complete where axis: one [`ResourceTree`] per hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct WhereAxis {
+    trees: Vec<ResourceTree>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl WhereAxis {
+    /// Creates an empty where axis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or fetches) a hierarchy by name, returning a mutable handle.
+    pub fn tree_mut(&mut self, name: &str) -> &mut ResourceTree {
+        let idx = match self.by_name.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.trees.len();
+                self.trees.push(ResourceTree::new(name));
+                self.by_name.insert(name.to_string(), i);
+                i
+            }
+        };
+        &mut self.trees[idx]
+    }
+
+    /// Fetches a hierarchy by name.
+    pub fn tree(&self, name: &str) -> Option<&ResourceTree> {
+        self.by_name.get(name).map(|&i| &self.trees[i])
+    }
+
+    /// All hierarchies, in creation order.
+    pub fn trees(&self) -> &[ResourceTree] {
+        &self.trees
+    }
+
+    /// Renders every hierarchy (the full where-axis display).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.trees {
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+/// A focus: for each named hierarchy, a selected node (by path). Hierarchies
+/// not mentioned are implicitly at their root ("whole program").
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Focus {
+    selections: Vec<(String, String)>,
+}
+
+impl Focus {
+    /// The whole-program focus (every hierarchy at its root).
+    pub fn whole_program() -> Self {
+        Self::default()
+    }
+
+    /// Returns a refined focus selecting `path` in `hierarchy`.
+    pub fn select(mut self, hierarchy: &str, path: &str) -> Self {
+        let norm = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        if let Some(entry) = self
+            .selections
+            .iter_mut()
+            .find(|(h, _)| h == hierarchy)
+        {
+            entry.1 = norm;
+        } else {
+            self.selections.push((hierarchy.to_string(), norm));
+            self.selections.sort();
+        }
+        self
+    }
+
+    /// The selected path in `hierarchy`, if refined ("/" otherwise).
+    pub fn selection(&self, hierarchy: &str) -> &str {
+        self.selections
+            .iter()
+            .find(|(h, _)| h == hierarchy)
+            .map(|(_, p)| p.as_str())
+            .unwrap_or("/")
+    }
+
+    /// All explicit selections, sorted by hierarchy name.
+    pub fn selections(&self) -> &[(String, String)] {
+        &self.selections
+    }
+
+    /// True if this focus covers `other`: every selection of `self` is an
+    /// ancestor-or-equal of the corresponding selection of `other`.
+    pub fn covers(&self, other: &Focus, axis: &WhereAxis) -> bool {
+        for (h, p) in &self.selections {
+            let Some(tree) = axis.tree(h) else { return false };
+            let Some(mine) = tree.resolve(p) else { return false };
+            let theirs = match tree.resolve(other.selection(h)) {
+                Some(t) => t,
+                None => return false,
+            };
+            if !tree.covers(mine, theirs) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Focus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.selections.is_empty() {
+            return f.write_str("<whole program>");
+        }
+        let parts: Vec<String> = self
+            .selections
+            .iter()
+            .map(|(h, p)| format!("{h}{p}"))
+            .collect();
+        f.write_str(&parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_axis() -> WhereAxis {
+        let mut axis = WhereAxis::new();
+        {
+            let arrays = axis.tree_mut("CMFarrays");
+            let corner = arrays.add_path(&["bow.fcm", "CORNER"]);
+            for a in ["TOT", "SRM", "WGHT", "SCL", "TMP"] {
+                arrays.child(corner, a);
+            }
+            let tot = arrays.resolve("/bow.fcm/CORNER/TOT").unwrap();
+            for s in 0..4 {
+                arrays.child(tot, &format!("sub#{s}"));
+            }
+        }
+        {
+            let code = axis.tree_mut("CMFstmts");
+            code.add_path(&["bow.fcm", "line#1160"]);
+            code.add_path(&["bow.fcm", "line#1161"]);
+        }
+        axis
+    }
+
+    #[test]
+    fn child_is_idempotent() {
+        let mut t = ResourceTree::new("Code");
+        let a = t.add_path(&["m.fcm", "f"]);
+        let b = t.add_path(&["m.fcm", "f"]);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3); // root + m.fcm + f
+    }
+
+    #[test]
+    fn resolve_and_path_roundtrip() {
+        let axis = sample_axis();
+        let t = axis.tree("CMFarrays").unwrap();
+        let tot = t.resolve("/bow.fcm/CORNER/TOT").unwrap();
+        assert_eq!(t.path_of(tot), "/bow.fcm/CORNER/TOT");
+        assert_eq!(t.name_of(tot), "TOT");
+        assert!(t.resolve("/bow.fcm/CORNER/NOPE").is_none());
+        assert_eq!(t.resolve("/"), Some(ResourceIdx::ROOT));
+        // Relative form also accepted.
+        assert_eq!(t.resolve("bow.fcm/CORNER/TOT"), Some(tot));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_ancestral() {
+        let axis = sample_axis();
+        let t = axis.tree("CMFarrays").unwrap();
+        let corner = t.resolve("/bow.fcm/CORNER").unwrap();
+        let tot = t.resolve("/bow.fcm/CORNER/TOT").unwrap();
+        let sub0 = t.resolve("/bow.fcm/CORNER/TOT/sub#0").unwrap();
+        assert!(t.covers(corner, corner));
+        assert!(t.covers(corner, sub0));
+        assert!(t.covers(ResourceIdx::ROOT, sub0));
+        assert!(!t.covers(tot, corner));
+    }
+
+    #[test]
+    fn leaves_under_collects_subgrid_leaves() {
+        let axis = sample_axis();
+        let t = axis.tree("CMFarrays").unwrap();
+        let tot = t.resolve("/bow.fcm/CORNER/TOT").unwrap();
+        assert_eq!(t.leaves_under(tot).len(), 4);
+        let corner = t.resolve("/bow.fcm/CORNER").unwrap();
+        // 4 TOT subgrids + 4 sibling arrays (leaves themselves).
+        assert_eq!(t.leaves_under(corner).len(), 8);
+    }
+
+    #[test]
+    fn render_contains_figure8_structure() {
+        let axis = sample_axis();
+        let s = axis.render();
+        assert!(s.contains("CMFarrays"));
+        assert!(s.contains("  bow.fcm"));
+        assert!(s.contains("    CORNER"));
+        assert!(s.contains("      TOT"));
+        assert!(s.contains("        sub#0"));
+    }
+
+    #[test]
+    fn focus_selection_and_display() {
+        let f = Focus::whole_program()
+            .select("CMFarrays", "/bow.fcm/CORNER/TOT")
+            .select("Machine", "/node#2");
+        assert_eq!(f.selection("CMFarrays"), "/bow.fcm/CORNER/TOT");
+        assert_eq!(f.selection("CMFstmts"), "/");
+        let shown = f.to_string();
+        assert!(shown.contains("CMFarrays/bow.fcm/CORNER/TOT"));
+        assert!(shown.contains("Machine/node#2"));
+        assert_eq!(Focus::whole_program().to_string(), "<whole program>");
+    }
+
+    #[test]
+    fn focus_select_replaces_previous_selection() {
+        let f = Focus::whole_program()
+            .select("CMFarrays", "/a")
+            .select("CMFarrays", "/b");
+        assert_eq!(f.selection("CMFarrays"), "/b");
+        assert_eq!(f.selections().len(), 1);
+    }
+
+    #[test]
+    fn focus_covering() {
+        let axis = sample_axis();
+        let broad = Focus::whole_program().select("CMFarrays", "/bow.fcm/CORNER");
+        let narrow = Focus::whole_program().select("CMFarrays", "/bow.fcm/CORNER/TOT/sub#1");
+        assert!(broad.covers(&narrow, &axis));
+        assert!(!narrow.covers(&broad, &axis));
+        assert!(Focus::whole_program().covers(&narrow, &axis));
+    }
+
+    #[test]
+    fn noun_attachment() {
+        use crate::model::Namespace;
+        let ns = Namespace::new();
+        let l = ns.level("CMF");
+        let tot = ns.noun(l, "TOT", "array");
+        let mut t = ResourceTree::new("CMFarrays");
+        let node = t.add_path(&["bow.fcm", "CORNER", "TOT"]);
+        t.set_noun(node, tot);
+        assert_eq!(t.noun(node), Some(tot));
+        assert_eq!(t.noun(ResourceIdx::ROOT), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! # pdmap — mapping high-level parallel performance data
+//!
+//! A reproduction of the mechanisms of **Irvin & Miller, "Mechanisms for
+//! Mapping High-Level Parallel Performance Data" (ICPP 1996)**: the
+//! Noun-Verb model of parallel program performance, mapping tables between
+//! levels of abstraction, cost-assignment policies for the four mapping
+//! shapes, resource hierarchies (the Paradyn "where axis"), and the paper's
+//! central contribution, the **Set of Active Sentences (SAS)** with
+//! run-time performance questions.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pdmap::prelude::*;
+//!
+//! // Define two levels of abstraction and their vocabulary.
+//! let ns = Namespace::new();
+//! let hpf = ns.level("HPF");
+//! let base = ns.level("Base");
+//! let sums = ns.verb(hpf, "Sums", "array reduction");
+//! let sends = ns.verb(base, "Sends", "message send");
+//! let a = ns.noun(hpf, "A", "distributed array A");
+//! let p0 = ns.noun(base, "node#0", "processing node 0");
+//!
+//! // A per-node SAS with one registered performance question.
+//! let mut sas = LocalSas::new(ns.clone());
+//! let q = Question::new(
+//!     "sends by node 0 while A is summed",
+//!     vec![
+//!         SentencePattern::noun_verb(a, sums),
+//!         SentencePattern::noun_verb(p0, sends),
+//!     ],
+//! );
+//! let qid = sas.register_question(&q);
+//!
+//! // The runtime notifies the SAS as sentences become (in)active.
+//! let sum_a = ns.say(sums, [a]);
+//! let send0 = ns.say(sends, [p0]);
+//! sas.activate(sum_a);
+//! sas.activate(send0);
+//! assert!(sas.satisfied(qid)); // monitoring code would measure here
+//! ```
+//!
+//! The sibling crates build the full case study of the paper's Sections 5-6:
+//! `pdmap-pif` (static mapping files), `dyninst-sim` (dynamic
+//! instrumentation + MDL), `cmrts-sim` (a simulated CM-5 run-time system),
+//! `cmf-lang` (a data-parallel source language and compiler), and
+//! `paradyn-tool` (the measurement tool).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod cost;
+pub mod hierarchy;
+pub mod mapping;
+pub mod model;
+pub mod sas;
+pub mod util;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::aggregate::{
+        assign_componentwise, assign_downward, assign_per_source, AssignPolicy, AssignTarget,
+        Assignment, AssignmentResult,
+    };
+    pub use crate::cost::{Aggregation, Cost, CostUnit};
+    pub use crate::hierarchy::{Focus, ResourceIdx, ResourceTree, WhereAxis};
+    pub use crate::mapping::{MappingDef, MappingShape, MappingTable};
+    pub use crate::model::{
+        LevelId, Namespace, NounId, Sentence, SentenceId, VerbId,
+    };
+    pub use crate::sas::{
+        ActiveGuard, DistributedSas, ForwardingRule, GlobalSas, LocalSas, Question, QuestionExpr,
+        QuestionId, SasHandle, SentencePattern, ShardedSas, Snapshot,
+    };
+}

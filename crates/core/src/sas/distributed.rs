@@ -1,0 +1,338 @@
+//! Distributed-memory SAS with cross-node sentence forwarding (§4.2.3).
+//!
+//! "Some interesting performance questions can only be answered using
+//! information about sentence activity on more than one node. ... the
+//! client's SAS would need to send one sentence (i.e., *client query is
+//! active*) to the server's SAS whenever that sentence became active or
+//! inactive."
+//!
+//! [`DistributedSas`] pairs a [`ShardedSas`] with per-node **forwarding
+//! rules**. When a sentence matching a rule becomes (in)active on the rule's
+//! source node, an activation/deactivation message is enqueued toward the
+//! destination node; the destination applies it to its own SAS as a proxy
+//! sentence. Delivery is explicit ([`DistributedSas::pump`]) for
+//! deterministic tests, or immediate in auto-deliver mode.
+
+use crate::model::{Namespace, SentenceId};
+use crate::sas::question::{Question, QuestionId, SentencePattern};
+use crate::sas::shared::{SasHandle, ShardedSas};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Forward sentences matching `pattern` from one node's SAS to `to_node`'s.
+#[derive(Clone, Debug)]
+pub struct ForwardingRule {
+    /// Which local sentences are remotely interesting.
+    pub pattern: SentencePattern,
+    /// The node whose SAS needs them.
+    pub to_node: usize,
+}
+
+/// Whether a forwarded message activates or deactivates the proxy sentence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SasOp {
+    /// Proxy becomes active on the destination.
+    Activate,
+    /// Proxy becomes inactive on the destination.
+    Deactivate,
+}
+
+/// One in-flight SAS forwarding message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SasMessage {
+    /// Node the sentence is active on.
+    pub from_node: usize,
+    /// Activation or deactivation.
+    pub op: SasOp,
+    /// The sentence (namespaces are machine-global, so the id is valid on
+    /// every node).
+    pub sid: SentenceId,
+}
+
+/// Per-node SASes plus the forwarding machinery.
+pub struct DistributedSas {
+    sharded: ShardedSas,
+    /// rules[n] = rules whose source node is n.
+    rules: Mutex<Vec<Vec<ForwardingRule>>>,
+    /// inboxes[n] = messages awaiting delivery to node n.
+    inboxes: Vec<Mutex<VecDeque<SasMessage>>>,
+    auto_deliver: AtomicBool,
+    messages_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+}
+
+impl DistributedSas {
+    /// Creates `nodes` per-node SASes with no forwarding rules.
+    pub fn new(ns: Namespace, nodes: usize) -> Self {
+        Self {
+            sharded: ShardedSas::new(ns, nodes),
+            rules: Mutex::new(vec![Vec::new(); nodes]),
+            inboxes: (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            auto_deliver: AtomicBool::new(false),
+            messages_sent: AtomicU64::new(0),
+            messages_delivered: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.sharded.num_nodes()
+    }
+
+    /// The underlying per-node SAS collection (for registering questions,
+    /// snapshots, etc.).
+    pub fn sharded(&self) -> &ShardedSas {
+        &self.sharded
+    }
+
+    /// When enabled, forwarded messages are applied to the destination SAS
+    /// immediately instead of waiting for [`DistributedSas::pump`].
+    pub fn set_auto_deliver(&self, on: bool) {
+        self.auto_deliver.store(on, Ordering::Release);
+    }
+
+    /// Installs a forwarding rule at `from_node`.
+    pub fn add_rule(&self, from_node: usize, rule: ForwardingRule) {
+        assert!(rule.to_node < self.num_nodes(), "destination out of range");
+        self.rules.lock()[from_node].push(rule);
+    }
+
+    /// Activates `sid` on `node`, forwarding to any interested remote SAS.
+    pub fn activate(&self, node: usize, sid: SentenceId) {
+        self.sharded.node(node).activate(sid);
+        self.forward(node, sid, SasOp::Activate);
+    }
+
+    /// Deactivates `sid` on `node`, forwarding the deactivation too.
+    pub fn deactivate(&self, node: usize, sid: SentenceId) {
+        self.sharded.node(node).deactivate(sid);
+        self.forward(node, sid, SasOp::Deactivate);
+    }
+
+    fn forward(&self, node: usize, sid: SentenceId, op: SasOp) {
+        let sentence = self.sharded.namespace().sentence_def(sid);
+        let rules = self.rules.lock();
+        for rule in &rules[node] {
+            if rule.pattern.matches(&sentence) {
+                let msg = SasMessage {
+                    from_node: node,
+                    op,
+                    sid,
+                };
+                self.messages_sent.fetch_add(1, Ordering::Relaxed);
+                self.inboxes[rule.to_node].lock().push_back(msg);
+            }
+        }
+        drop(rules);
+        if self.auto_deliver.load(Ordering::Acquire) {
+            self.pump();
+        }
+    }
+
+    /// Delivers all queued messages to node `node`'s SAS, returning how many
+    /// were applied.
+    pub fn pump_node(&self, node: usize) -> usize {
+        let mut delivered = 0;
+        loop {
+            let msg = self.inboxes[node].lock().pop_front();
+            let Some(msg) = msg else { break };
+            let h = self.sharded.node(node);
+            match msg.op {
+                SasOp::Activate => h.activate(msg.sid),
+                SasOp::Deactivate => h.deactivate(msg.sid),
+            }
+            delivered += 1;
+        }
+        self.messages_delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        delivered
+    }
+
+    /// Delivers all queued messages on all nodes.
+    pub fn pump(&self) -> usize {
+        (0..self.num_nodes()).map(|n| self.pump_node(n)).sum()
+    }
+
+    /// Registers a conjunction question on every node.
+    pub fn register_question_all(&self, q: &Question) -> QuestionId {
+        self.sharded.register_question_all(q)
+    }
+
+    /// Is `qid` satisfied on `node` (given the forwarded proxies delivered
+    /// so far)?
+    pub fn satisfied_on(&self, node: usize, qid: QuestionId) -> bool {
+        self.sharded.satisfied_on(node, qid)
+    }
+
+    /// Total forwarding messages generated.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total forwarding messages applied at their destination.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NounId, VerbId};
+
+    struct Fx {
+        ns: Namespace,
+        query: VerbId,
+        read: VerbId,
+        q17: NounId,
+        disk: NounId,
+    }
+
+    /// The paper's distributed-database example: a client runs queries, a
+    /// server reads from disk on its behalf.
+    fn fx() -> Fx {
+        let ns = Namespace::new();
+        let db = ns.level("DB");
+        Fx {
+            query: ns.verb(db, "RunsQuery", ""),
+            read: ns.verb(db, "ReadsDisk", ""),
+            q17: ns.noun(db, "query#17", ""),
+            disk: ns.noun(db, "disk0", ""),
+            ns,
+        }
+    }
+
+    const CLIENT: usize = 0;
+    const SERVER: usize = 1;
+
+    #[test]
+    fn forwarding_delivers_proxy_sentences() {
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 2);
+        d.add_rule(
+            CLIENT,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: SERVER,
+            },
+        );
+        let q = f.ns.say(f.query, [f.q17]);
+        d.activate(CLIENT, q);
+        // Not yet delivered.
+        assert!(!d.sharded().node(SERVER).is_active(q));
+        assert_eq!(d.pump(), 1);
+        assert!(d.sharded().node(SERVER).is_active(q));
+        d.deactivate(CLIENT, q);
+        d.pump();
+        assert!(!d.sharded().node(SERVER).is_active(q));
+        assert_eq!(d.messages_sent(), 2);
+        assert_eq!(d.messages_delivered(), 2);
+    }
+
+    #[test]
+    fn cross_node_question_answered_at_server() {
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 2);
+        d.set_auto_deliver(true);
+        d.add_rule(
+            CLIENT,
+            ForwardingRule {
+                pattern: SentencePattern::noun_verb(f.q17, f.query),
+                to_node: SERVER,
+            },
+        );
+        // "server reads from disk, client query is active"
+        let qid = d.register_question_all(&Question::new(
+            "server disk reads for query#17",
+            vec![
+                SentencePattern::noun_verb(f.disk, f.read),
+                SentencePattern::noun_verb(f.q17, f.query),
+            ],
+        ));
+        let query = f.ns.say(f.query, [f.q17]);
+        let read = f.ns.say(f.read, [f.disk]);
+
+        d.activate(SERVER, read);
+        assert!(!d.satisfied_on(SERVER, qid), "query not active yet");
+        d.activate(CLIENT, query);
+        assert!(d.satisfied_on(SERVER, qid), "proxy makes question true");
+        d.deactivate(CLIENT, query);
+        assert!(!d.satisfied_on(SERVER, qid));
+    }
+
+    #[test]
+    fn unmatched_sentences_are_not_forwarded() {
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 2);
+        d.add_rule(
+            CLIENT,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: SERVER,
+            },
+        );
+        let read = f.ns.say(f.read, [f.disk]);
+        d.activate(CLIENT, read); // a read, not a query: no forwarding
+        assert_eq!(d.messages_sent(), 0);
+        assert_eq!(d.pump(), 0);
+    }
+
+    #[test]
+    fn local_questions_need_no_messages() {
+        // "all of the performance questions listed in Figure 6 can be
+        // answered without sharing any information between nodes."
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 4);
+        let qid = d.register_question_all(&Question::new(
+            "reads",
+            vec![SentencePattern::any_noun(f.read)],
+        ));
+        let read = f.ns.say(f.read, [f.disk]);
+        d.activate(2, read);
+        assert!(d.satisfied_on(2, qid));
+        assert!(!d.satisfied_on(0, qid));
+        assert_eq!(d.messages_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination out of range")]
+    fn rule_destination_validated() {
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 2);
+        d.add_rule(
+            0,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: 7,
+            },
+        );
+    }
+
+    #[test]
+    fn pump_node_only_drains_one_inbox() {
+        let f = fx();
+        let d = DistributedSas::new(f.ns.clone(), 3);
+        d.add_rule(
+            0,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: 1,
+            },
+        );
+        d.add_rule(
+            0,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: 2,
+            },
+        );
+        let q = f.ns.say(f.query, [f.q17]);
+        d.activate(0, q);
+        assert_eq!(d.pump_node(1), 1);
+        assert!(d.sharded().node(1).is_active(q));
+        assert!(!d.sharded().node(2).is_active(q));
+        assert_eq!(d.pump_node(2), 1);
+        assert!(d.sharded().node(2).is_active(q));
+    }
+}

@@ -1,0 +1,27 @@
+//! The Set of Active Sentences (SAS) and performance questions (paper §4.2).
+//!
+//! Layout:
+//!
+//! * [`local`] — the per-node data structure and its incremental
+//!   question-satisfaction machinery;
+//! * [`question`] — sentence patterns, conjunction questions (Figure 6),
+//!   and the boolean/ordered extensions;
+//! * [`shared`] — the globally-shared (one lock) and per-node (sharded)
+//!   storage variants of §4.2.3;
+//! * [`distributed`] — cross-node sentence forwarding for questions that
+//!   span nodes (§4.2.3's client/server example);
+//! * [`token`] — RAII activation guards.
+
+pub mod distributed;
+pub mod local;
+pub mod question;
+pub mod shared;
+pub mod token;
+
+pub use distributed::{DistributedSas, ForwardingRule, SasMessage, SasOp};
+pub use local::{LocalSas, SasStats, Snapshot};
+pub use question::{
+    ExprNode, NounsPattern, Question, QuestionExpr, QuestionId, SentencePattern, VerbPattern,
+};
+pub use shared::{GlobalSas, NodeSas, SasHandle, ShardedSas};
+pub use token::ActiveGuard;

@@ -1,0 +1,384 @@
+//! Performance questions (paper §4.2.2).
+//!
+//! "We define a performance question to be a vector of sentences. The
+//! meaning of a performance question is that performance measurements (of
+//! resource utilization) should be made only when all of the sentences of
+//! the question are active."
+//!
+//! Components are [`SentencePattern`]s rather than literal sentences so the
+//! wildcard form of Figure 6 (`{? Sum}` — "while *anything* is being
+//! summed") is expressible. Two extensions the paper sketches are also
+//! implemented:
+//!
+//! * §4.2.2: "we can make the SAS more flexible by extending our definition
+//!   of performance questions ... boolean disjunction and negation" —
+//!   [`QuestionExpr`];
+//! * §4.2.4 limitation 3: questions are unordered, so "messages sent during
+//!   summation of A" and "summations of A occurring while messages are
+//!   sent" are indistinguishable — [`Question::ordered`] requests
+//!   order-sensitive evaluation (component *i* must have become active
+//!   before component *i+1*).
+
+use crate::model::{Namespace, NounId, Sentence, VerbId};
+use std::fmt;
+
+/// Pattern over a sentence's verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerbPattern {
+    /// Matches any verb (rarely useful alone).
+    Any,
+    /// Matches exactly this verb.
+    Is(VerbId),
+}
+
+/// Pattern over a sentence's participating nouns.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NounsPattern {
+    /// Matches any noun set — the `?` of Figure 6.
+    Any,
+    /// Matches sentences in which *all* the listed nouns participate.
+    Contains(Vec<NounId>),
+}
+
+/// A pattern over sentences: the building block of performance questions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SentencePattern {
+    /// Constraint on the verb.
+    pub verb: VerbPattern,
+    /// Constraint on the nouns.
+    pub nouns: NounsPattern,
+}
+
+impl SentencePattern {
+    /// `{noun verb}` — the common Figure 6 form, e.g. `{A Sum}`.
+    pub fn noun_verb(noun: NounId, verb: VerbId) -> Self {
+        Self {
+            verb: VerbPattern::Is(verb),
+            nouns: NounsPattern::Contains(vec![noun]),
+        }
+    }
+
+    /// `{? verb}` — wildcard noun, e.g. `{? Sum}`.
+    pub fn any_noun(verb: VerbId) -> Self {
+        Self {
+            verb: VerbPattern::Is(verb),
+            nouns: NounsPattern::Any,
+        }
+    }
+
+    /// Matches exactly one concrete sentence (all of its nouns required).
+    pub fn exact(sentence: &Sentence) -> Self {
+        Self {
+            verb: VerbPattern::Is(sentence.verb()),
+            nouns: NounsPattern::Contains(sentence.nouns().to_vec()),
+        }
+    }
+
+    /// Tests the pattern against a concrete sentence.
+    pub fn matches(&self, sentence: &Sentence) -> bool {
+        match self.verb {
+            VerbPattern::Any => {}
+            VerbPattern::Is(v) => {
+                if sentence.verb() != v {
+                    return false;
+                }
+            }
+        }
+        match &self.nouns {
+            NounsPattern::Any => true,
+            NounsPattern::Contains(required) => {
+                required.iter().all(|&n| sentence.contains_noun(n))
+            }
+        }
+    }
+
+    /// Renders the pattern using names from `ns`, in the `{noun Verb}`
+    /// style of Figure 6.
+    pub fn render(&self, ns: &Namespace) -> String {
+        let verb = match self.verb {
+            VerbPattern::Any => "?".to_string(),
+            VerbPattern::Is(v) => ns.verb_def(v).name,
+        };
+        let nouns = match &self.nouns {
+            NounsPattern::Any => "?".to_string(),
+            NounsPattern::Contains(list) => list
+                .iter()
+                .map(|&n| ns.noun_def(n).name)
+                .collect::<Vec<_>>()
+                .join(" "),
+        };
+        format!("{{{nouns} {verb}}}")
+    }
+}
+
+/// A performance question: a vector of sentence patterns, all of which must
+/// be simultaneously active (conjunction), optionally order-sensitive.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Human-readable label (e.g. `sends by P while A is summed`).
+    pub name: String,
+    /// The component patterns; all must match an active sentence.
+    pub components: Vec<SentencePattern>,
+    /// If true, component *i* must have been activated (most recently) no
+    /// later than component *i+1*'s matching activation — the limitation-3
+    /// extension. If false, the paper's original unordered semantics.
+    pub ordered: bool,
+}
+
+impl Question {
+    /// An unordered conjunction question.
+    pub fn new(name: &str, components: Vec<SentencePattern>) -> Self {
+        Self {
+            name: name.to_string(),
+            components,
+            ordered: false,
+        }
+    }
+
+    /// An order-sensitive question (our extension for limitation 3).
+    pub fn new_ordered(name: &str, components: Vec<SentencePattern>) -> Self {
+        Self {
+            name: name.to_string(),
+            components,
+            ordered: true,
+        }
+    }
+
+    /// Renders like Figure 6: `{A Sum}, {Processor_P Send}`.
+    pub fn render(&self, ns: &Namespace) -> String {
+        self.components
+            .iter()
+            .map(|c| c.render(ns))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Boolean-expression questions: the §4.2.2 extension adding disjunction
+/// and negation over sentence patterns.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QuestionExpr {
+    /// True while some active sentence matches the pattern.
+    Pattern(SentencePattern),
+    /// Conjunction.
+    And(Box<QuestionExpr>, Box<QuestionExpr>),
+    /// Disjunction.
+    Or(Box<QuestionExpr>, Box<QuestionExpr>),
+    /// Negation.
+    Not(Box<QuestionExpr>),
+}
+
+impl QuestionExpr {
+    /// Leaf constructor.
+    pub fn pat(p: SentencePattern) -> Self {
+        QuestionExpr::Pattern(p)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: QuestionExpr) -> Self {
+        QuestionExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: QuestionExpr) -> Self {
+        QuestionExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        QuestionExpr::Not(Box::new(self))
+    }
+
+    /// Collects the distinct leaf patterns (left-to-right, deduplicated) and
+    /// rewrites the tree to reference them by index.
+    pub fn compile(&self) -> (Vec<SentencePattern>, ExprNode) {
+        let mut leaves: Vec<SentencePattern> = Vec::new();
+        let node = self.compile_into(&mut leaves);
+        (leaves, node)
+    }
+
+    fn compile_into(&self, leaves: &mut Vec<SentencePattern>) -> ExprNode {
+        match self {
+            QuestionExpr::Pattern(p) => {
+                let idx = match leaves.iter().position(|q| q == p) {
+                    Some(i) => i,
+                    None => {
+                        leaves.push(p.clone());
+                        leaves.len() - 1
+                    }
+                };
+                ExprNode::Leaf(idx)
+            }
+            QuestionExpr::And(a, b) => ExprNode::And(
+                Box::new(a.compile_into(leaves)),
+                Box::new(b.compile_into(leaves)),
+            ),
+            QuestionExpr::Or(a, b) => ExprNode::Or(
+                Box::new(a.compile_into(leaves)),
+                Box::new(b.compile_into(leaves)),
+            ),
+            QuestionExpr::Not(a) => ExprNode::Not(Box::new(a.compile_into(leaves))),
+        }
+    }
+
+    /// Renders the expression with names from `ns`.
+    pub fn render(&self, ns: &Namespace) -> String {
+        match self {
+            QuestionExpr::Pattern(p) => p.render(ns),
+            QuestionExpr::And(a, b) => format!("({} AND {})", a.render(ns), b.render(ns)),
+            QuestionExpr::Or(a, b) => format!("({} OR {})", a.render(ns), b.render(ns)),
+            QuestionExpr::Not(a) => format!("(NOT {})", a.render(ns)),
+        }
+    }
+}
+
+/// A compiled expression tree whose leaves index into a pattern table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprNode {
+    /// References pattern *i* of the compiled leaf table.
+    Leaf(usize),
+    /// Conjunction.
+    And(Box<ExprNode>, Box<ExprNode>),
+    /// Disjunction.
+    Or(Box<ExprNode>, Box<ExprNode>),
+    /// Negation.
+    Not(Box<ExprNode>),
+}
+
+impl ExprNode {
+    /// Evaluates the tree given per-leaf truth values.
+    pub fn eval(&self, leaf_truth: &dyn Fn(usize) -> bool) -> bool {
+        match self {
+            ExprNode::Leaf(i) => leaf_truth(*i),
+            ExprNode::And(a, b) => a.eval(leaf_truth) && b.eval(leaf_truth),
+            ExprNode::Or(a, b) => a.eval(leaf_truth) || b.eval(leaf_truth),
+            ExprNode::Not(a) => !a.eval(leaf_truth),
+        }
+    }
+}
+
+/// Identifier for a question registered with a SAS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuestionId(pub(crate) u32);
+
+impl QuestionId {
+    /// Dense index of this question within its SAS.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QuestionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuestionId({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fx {
+        ns: Namespace,
+        sum: VerbId,
+        send: VerbId,
+        a: NounId,
+        b: NounId,
+        p0: NounId,
+    }
+
+    fn fx() -> Fx {
+        let ns = Namespace::new();
+        let hpf = ns.level("HPF");
+        let base = ns.level("Base");
+        let sum = ns.verb(hpf, "Sum", "");
+        let send = ns.verb(base, "Send", "");
+        let a = ns.noun(hpf, "A", "");
+        let b = ns.noun(hpf, "B", "");
+        let p0 = ns.noun(base, "Processor_P", "");
+        Fx { ns, sum, send, a, b, p0 }
+    }
+
+    #[test]
+    fn noun_verb_pattern_matches() {
+        let f = fx();
+        let pat = SentencePattern::noun_verb(f.a, f.sum);
+        assert!(pat.matches(&Sentence::new(f.sum, [f.a])));
+        assert!(!pat.matches(&Sentence::new(f.sum, [f.b])));
+        assert!(!pat.matches(&Sentence::new(f.send, [f.a])));
+        // Extra participating nouns are fine: {A Sum} matches "A and B sum".
+        assert!(pat.matches(&Sentence::new(f.sum, [f.a, f.b])));
+    }
+
+    #[test]
+    fn wildcard_noun_matches_any_subject() {
+        let f = fx();
+        let pat = SentencePattern::any_noun(f.sum);
+        assert!(pat.matches(&Sentence::new(f.sum, [f.a])));
+        assert!(pat.matches(&Sentence::new(f.sum, [f.b])));
+        assert!(!pat.matches(&Sentence::new(f.send, [f.p0])));
+    }
+
+    #[test]
+    fn exact_pattern_requires_all_nouns() {
+        let f = fx();
+        let s = Sentence::new(f.sum, [f.a, f.b]);
+        let pat = SentencePattern::exact(&s);
+        assert!(pat.matches(&s));
+        assert!(!pat.matches(&Sentence::new(f.sum, [f.a])));
+    }
+
+    #[test]
+    fn render_matches_figure6_style() {
+        let f = fx();
+        let q = Question::new(
+            "sends by P while A is summed",
+            vec![
+                SentencePattern::noun_verb(f.a, f.sum),
+                SentencePattern::noun_verb(f.p0, f.send),
+            ],
+        );
+        assert_eq!(q.render(&f.ns), "{A Sum}, {Processor_P Send}");
+        let wild = SentencePattern::any_noun(f.sum);
+        assert_eq!(wild.render(&f.ns), "{? Sum}");
+    }
+
+    #[test]
+    fn expr_compile_dedups_leaves() {
+        let f = fx();
+        let p1 = SentencePattern::noun_verb(f.a, f.sum);
+        let p2 = SentencePattern::noun_verb(f.b, f.sum);
+        let e = QuestionExpr::pat(p1.clone())
+            .or(QuestionExpr::pat(p2.clone()))
+            .and(QuestionExpr::pat(p1.clone()).not());
+        let (leaves, node) = e.compile();
+        assert_eq!(leaves.len(), 2);
+        // (p1 OR p2) AND NOT p1: true iff p2 && !p1.
+        let eval = |a: bool, b: bool| node.eval(&|i| if i == 0 { a } else { b });
+        assert!(!eval(true, true));
+        assert!(eval(false, true));
+        assert!(!eval(false, false));
+    }
+
+    #[test]
+    fn expr_render() {
+        let f = fx();
+        let e = QuestionExpr::pat(SentencePattern::noun_verb(f.a, f.sum))
+            .or(QuestionExpr::pat(SentencePattern::noun_verb(f.b, f.sum)).not());
+        let s = e.render(&f.ns);
+        assert_eq!(s, "({A Sum} OR (NOT {B Sum}))");
+    }
+
+    #[test]
+    fn verb_any_pattern() {
+        let f = fx();
+        let pat = SentencePattern {
+            verb: VerbPattern::Any,
+            nouns: NounsPattern::Contains(vec![f.a]),
+        };
+        assert!(pat.matches(&Sentence::new(f.sum, [f.a])));
+        assert!(pat.matches(&Sentence::new(f.send, [f.a])));
+        assert!(!pat.matches(&Sentence::new(f.send, [f.b])));
+    }
+}

@@ -1,0 +1,84 @@
+//! RAII activation guards.
+//!
+//! Instrumented code regions bracket their execution with an activation and
+//! a deactivation; a guard ties the deactivation to scope exit so early
+//! returns and unwinding cannot leave stale sentences in the SAS.
+
+use crate::model::SentenceId;
+use crate::sas::shared::SasHandle;
+
+/// Deactivates its sentence on drop.
+pub struct ActiveGuard<'a, S: SasHandle + ?Sized> {
+    sas: &'a S,
+    sid: SentenceId,
+}
+
+impl<'a, S: SasHandle + ?Sized> ActiveGuard<'a, S> {
+    /// Activates `sid` on `sas` and returns the guard.
+    pub fn enter(sas: &'a S, sid: SentenceId) -> Self {
+        sas.activate(sid);
+        Self { sas, sid }
+    }
+
+    /// The guarded sentence.
+    pub fn sentence(&self) -> SentenceId {
+        self.sid
+    }
+}
+
+impl<S: SasHandle + ?Sized> Drop for ActiveGuard<'_, S> {
+    fn drop(&mut self) {
+        self.sas.deactivate(self.sid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Namespace;
+    use crate::sas::shared::GlobalSas;
+
+    fn setup() -> (GlobalSas, SentenceId) {
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let v = ns.verb(l, "v", "");
+        let a = ns.noun(l, "a", "");
+        let sid = ns.say(v, [a]);
+        (GlobalSas::new(ns), sid)
+    }
+
+    #[test]
+    fn guard_deactivates_on_scope_exit() {
+        let (sas, sid) = setup();
+        {
+            let _g = ActiveGuard::enter(&sas, sid);
+            assert!(sas.is_active(sid));
+        }
+        assert!(!sas.is_active(sid));
+    }
+
+    #[test]
+    fn guard_deactivates_on_panic() {
+        let (sas, sid) = setup();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = ActiveGuard::enter(&sas, sid);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert!(!sas.is_active(sid));
+    }
+
+    #[test]
+    fn nested_guards_nest_counts() {
+        let (sas, sid) = setup();
+        let g1 = ActiveGuard::enter(&sas, sid);
+        {
+            let _g2 = ActiveGuard::enter(&sas, sid);
+            assert!(sas.is_active(sid));
+        }
+        assert!(sas.is_active(sid));
+        assert_eq!(g1.sentence(), sid);
+        drop(g1);
+        assert!(!sas.is_active(sid));
+    }
+}

@@ -1,0 +1,201 @@
+//! Small utilities shared across the crate: a fast non-cryptographic hasher
+//! for integer-ish keys (the standard library's SipHash is needlessly slow
+//! for interned ids) and a growable bitset used by the question-matching
+//! cache.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An implementation of the FxHash algorithm used by rustc. Fast and of
+/// adequate quality for interned-id and short-string keys; HashDoS is not a
+/// concern for an in-process performance tool.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// A growable bitset over `usize` indices. Used to cache which question
+/// components a given sentence matches so that SAS notifications touch only
+/// a few words per event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitset with capacity for `n` bits (all clear).
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`, growing the set as needed.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        let word = i / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i` (no-op if out of range).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_hashmap_basic() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_short_strings() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let a = bh.hash_one("sum");
+        let b = bh.hash_one("max");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bitset_insert_remove_contains() {
+        let mut b = BitSet::new();
+        assert!(b.is_empty());
+        b.insert(3);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(3));
+        assert!(b.contains(64));
+        assert!(b.contains(129));
+        assert!(!b.contains(4));
+        assert_eq!(b.len(), 3);
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn bitset_iter_ascending() {
+        let mut b = BitSet::with_capacity(256);
+        for i in [0usize, 7, 63, 64, 65, 200] {
+            b.insert(i);
+        }
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, vec![0, 7, 63, 64, 65, 200]);
+    }
+
+    #[test]
+    fn bitset_remove_out_of_range_is_noop() {
+        let mut b = BitSet::new();
+        b.remove(1000);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! MDL lexer.
+//!
+//! Token stream for the Metric Description Language (paper §6.3: "a
+//! language for describing how to measure new metrics ... allows users to
+//! precisely specify when to turn on/off process-clock timers and
+//! wall-clock timers and when to increment and decrement counters").
+
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Double-quoted string literal (quotes stripped, `\"` unescaped).
+    Str(String),
+    /// Integer literal (optionally negative).
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Int(n) => write!(f, "integer {n}"),
+            TokenKind::LBrace => f.write_str("'{'"),
+            TokenKind::RBrace => f.write_str("'}'"),
+            TokenKind::Semi => f.write_str("';'"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MDL lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises MDL source. `//`- and `#`-comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                if skip_line(&mut chars) {
+                    line += 1;
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    if skip_line(&mut chars) {
+                        line += 1;
+                    }
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "unexpected '/' (comments are // or #)".into(),
+                    });
+                }
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unknown escape '\\{other}'"),
+                                })
+                            }
+                            None => {
+                                return Err(LexError {
+                                    line,
+                                    message: "unterminated escape".into(),
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(LexError {
+                                line,
+                                message: "newline in string literal".into(),
+                            })
+                        }
+                        Some(other) => s.push(other),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: i64 = s.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad integer '{s}'"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(n),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == ':' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Skips to end of line; returns true if a newline was consumed.
+fn skip_line(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> bool {
+    for c in chars.by_ref() {
+        if c == '\n' {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        let ks = kinds("metric m { name \"X\"; incrCounter 3; }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("metric".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("name".into()),
+                TokenKind::Str("X".into()),
+                TokenKind::Semi,
+                TokenKind::Ident("incrCounter".into()),
+                TokenKind::Int(3),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_may_contain_colons() {
+        let ks = kinds("cmrts::msg_send");
+        assert_eq!(ks, vec![TokenKind::Ident("cmrts::msg_send".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        // NOTE: comments consume their trailing newline, which still counts.
+        let toks = lex("// header\nname\n# another\nunits").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(kinds("-5"), vec![TokenKind::Int(-5)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""units are \"% CPU\"""#),
+            vec![TokenKind::Str("units are \"% CPU\"".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = lex("ok\n\"unterminated").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unterminated"));
+        assert!(lex("@").is_err());
+        assert!(lex("/ x").is_err());
+        assert!(lex("\"a\nb\"").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Instrumentation points.
+//!
+//! Paper §4.1: "The basic technique defines *points* at which
+//! instrumentation can be inserted, *predicates* that guard the firing of
+//! the instrumentation code, and *primitives* that implement counters and
+//! timers."
+//!
+//! A point is a named location in the substrate (function entry/exit,
+//! message send, dispatcher, allocation return — the *mapping points* of
+//! §4.1 are simply points that report mapping information). Point names are
+//! interned to dense ids so the execution fast path is an array index.
+
+use parking_lot::RwLock;
+use pdmap::util::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an instrumentation point.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub(crate) u32);
+
+impl PointId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PointId({})", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    names: Vec<String>,
+    by_name: FxHashMap<String, PointId>,
+}
+
+/// Interner for point names. Cheap to clone and share.
+#[derive(Clone, Default)]
+pub struct PointRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl PointRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or finds) a point by name.
+    pub fn point(&self, name: &str) -> PointId {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut g = self.inner.write();
+        if let Some(&id) = g.by_name.get(name) {
+            return id;
+        }
+        let id = PointId(g.names.len() as u32);
+        g.names.push(name.to_string());
+        g.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Finds an already-interned point.
+    pub fn find(&self, name: &str) -> Option<PointId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// The name of a point.
+    pub fn name(&self, id: PointId) -> String {
+        self.inner.read().names[id.index()].clone()
+    }
+
+    /// Number of interned points.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if no point has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All point names, in id order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().names.clone()
+    }
+}
+
+impl fmt::Debug for PointRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PointRegistry({} points)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let r = PointRegistry::new();
+        let a = r.point("cmrts::msg_send");
+        let b = r.point("cmrts::msg_send");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.name(a), "cmrts::msg_send");
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let r = PointRegistry::new();
+        assert_eq!(r.find("nope"), None);
+        let id = r.point("yes");
+        assert_eq!(r.find("yes"), Some(id));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let r = PointRegistry::new();
+        let ids: Vec<PointId> = (0..10).map(|i| r.point(&format!("p{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(r.names().len(), 10);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let r = PointRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.point(&format!("p{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 100);
+    }
+}

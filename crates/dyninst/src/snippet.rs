@@ -1,0 +1,332 @@
+//! Instrumentation snippets: predicates + primitive operations, executed at
+//! points.
+//!
+//! Paradyn's dynamic instrumentation compiles metric requests into small
+//! code fragments patched into the running binary. Here a snippet is a tiny
+//! interpreted program over the same vocabulary: guard predicates (§4.1)
+//! followed by counter/timer/SAS operations. The Metric Description
+//! Language ([`crate::mdl`]) compiles to these.
+
+use crate::primitive::{CounterId, PrimitiveStore, TimerId};
+use pdmap::model::SentenceId;
+use pdmap::sas::{LocalSas, QuestionId};
+
+/// Which sentence a SAS operation refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SentenceArg {
+    /// A sentence fixed when the snippet was built.
+    Fixed(SentenceId),
+    /// The subject sentence the point supplies in its [`ExecCtx`] (e.g. the
+    /// "array X is active" sentence the dispatcher passes when it enters a
+    /// node code block).
+    FromContext,
+}
+
+/// Guard predicates: every predicate must hold for the snippet body to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// The node's SAS satisfies a registered performance question — the
+    /// §4.2.2 mechanism ("Each component of a performance question
+    /// represents a predicate that must be satisfied before monitoring code
+    /// can measure ... any other execution cost").
+    QuestionSatisfied(QuestionId),
+    /// A specific sentence is active on the node's SAS — §6.1's per-array
+    /// boolean variable.
+    SentenceActive(SentenceId),
+    /// Restrict to one node.
+    NodeIs(u32),
+    /// The context's numeric argument is at least this value.
+    ArgAtLeast(i64),
+}
+
+/// Primitive operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Add a constant to a counter.
+    IncrCounter(CounterId, i64),
+    /// Add the context argument (message bytes, element count, ...) to a
+    /// counter.
+    IncrCounterByArg(CounterId),
+    /// Start a process timer (ticks = the node's virtual CPU clock).
+    StartProcessTimer(TimerId),
+    /// Stop a process timer.
+    StopProcessTimer(TimerId),
+    /// Start a wall timer (ticks = the machine-global clock).
+    StartWallTimer(TimerId),
+    /// Stop a wall timer.
+    StopWallTimer(TimerId),
+    /// Notify the node's SAS that a sentence became active (mapping
+    /// instrumentation, §4.1).
+    SasActivate(SentenceArg),
+    /// Notify the node's SAS that a sentence became inactive.
+    SasDeactivate(SentenceArg),
+}
+
+/// A guarded sequence of operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snippet {
+    /// All predicates must hold (conjunction).
+    pub preds: Vec<Pred>,
+    /// Operations executed in order when the predicates hold.
+    pub ops: Vec<Op>,
+}
+
+impl Snippet {
+    /// An unguarded snippet.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self {
+            preds: Vec::new(),
+            ops,
+        }
+    }
+
+    /// A guarded snippet.
+    pub fn guarded(preds: Vec<Pred>, ops: Vec<Op>) -> Self {
+        Self { preds, ops }
+    }
+}
+
+/// Execution context supplied by the substrate at each point firing.
+pub struct ExecCtx<'a> {
+    /// The node the point fired on.
+    pub node: u32,
+    /// The node's virtual process-clock tick count.
+    pub process_now: u64,
+    /// The machine-global wall-clock tick count.
+    pub wall_now: u64,
+    /// Subject sentence at this point, if any.
+    pub sentence: Option<SentenceId>,
+    /// Numeric payload (message bytes, elements processed, ...).
+    pub arg: i64,
+    /// The node's SAS, when the substrate carries one.
+    pub sas: Option<&'a mut LocalSas>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A minimal context for tests and simple call sites.
+    pub fn basic(node: u32, now: u64) -> Self {
+        Self {
+            node,
+            process_now: now,
+            wall_now: now,
+            sentence: None,
+            arg: 0,
+            sas: None,
+        }
+    }
+}
+
+/// Evaluates a snippet's guard against the context.
+pub fn preds_hold(preds: &[Pred], ctx: &ExecCtx<'_>) -> bool {
+    preds.iter().all(|p| match *p {
+        Pred::QuestionSatisfied(q) => ctx
+            .sas
+            .as_ref()
+            .map(|s| s.satisfied(q))
+            .unwrap_or(false),
+        Pred::SentenceActive(s) => ctx
+            .sas
+            .as_ref()
+            .map(|sas| sas.is_active(s))
+            .unwrap_or(false),
+        Pred::NodeIs(n) => ctx.node == n,
+        Pred::ArgAtLeast(v) => ctx.arg >= v,
+    })
+}
+
+/// Runs one snippet: guard check, then operations.
+pub fn run_snippet(snippet: &Snippet, ctx: &mut ExecCtx<'_>, prims: &PrimitiveStore) {
+    if !preds_hold(&snippet.preds, ctx) {
+        return;
+    }
+    for op in &snippet.ops {
+        match *op {
+            Op::IncrCounter(c, d) => prims.incr(c, d),
+            Op::IncrCounterByArg(c) => prims.incr(c, ctx.arg),
+            Op::StartProcessTimer(t) => prims.start_timer(t, ctx.process_now),
+            Op::StopProcessTimer(t) => prims.stop_timer(t, ctx.process_now),
+            Op::StartWallTimer(t) => prims.start_timer(t, ctx.wall_now),
+            Op::StopWallTimer(t) => prims.stop_timer(t, ctx.wall_now),
+            Op::SasActivate(arg) => {
+                if let Some(sid) = resolve_sentence(arg, ctx) {
+                    if let Some(sas) = ctx.sas.as_mut() {
+                        sas.activate(sid);
+                    }
+                }
+            }
+            Op::SasDeactivate(arg) => {
+                if let Some(sid) = resolve_sentence(arg, ctx) {
+                    if let Some(sas) = ctx.sas.as_mut() {
+                        sas.deactivate(sid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn resolve_sentence(arg: SentenceArg, ctx: &ExecCtx<'_>) -> Option<SentenceId> {
+    match arg {
+        SentenceArg::Fixed(s) => Some(s),
+        SentenceArg::FromContext => ctx.sentence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmap::model::Namespace;
+    use pdmap::sas::{Question, SentencePattern};
+
+    fn sas_with_sentence() -> (LocalSas, SentenceId, QuestionId) {
+        let ns = Namespace::new();
+        let l = ns.level("HPF");
+        let sum = ns.verb(l, "Sums", "");
+        let a = ns.noun(l, "A", "");
+        let sid = ns.say(sum, [a]);
+        let mut sas = LocalSas::new(ns);
+        let qid = sas.register_question(&Question::new(
+            "A sums",
+            vec![SentencePattern::noun_verb(a, sum)],
+        ));
+        (sas, sid, qid)
+    }
+
+    #[test]
+    fn unguarded_snippet_counts() {
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::new(vec![Op::IncrCounter(c, 2)]);
+        let mut ctx = ExecCtx::basic(0, 0);
+        run_snippet(&s, &mut ctx, &prims);
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 4);
+    }
+
+    #[test]
+    fn counter_by_arg_uses_payload() {
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::new(vec![Op::IncrCounterByArg(c)]);
+        let mut ctx = ExecCtx::basic(0, 0);
+        ctx.arg = 512; // e.g. message bytes
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 512);
+    }
+
+    #[test]
+    fn question_predicate_gates_measurement() {
+        let (mut sas, sid, qid) = sas_with_sentence();
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::guarded(
+            vec![Pred::QuestionSatisfied(qid)],
+            vec![Op::IncrCounter(c, 1)],
+        );
+        // Question unsatisfied: no count.
+        let mut ctx = ExecCtx::basic(0, 0);
+        ctx.sas = Some(&mut sas);
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 0);
+        // Activate, then the guarded snippet fires.
+        ctx.sas.as_mut().unwrap().activate(sid);
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 1);
+    }
+
+    #[test]
+    fn sentence_active_predicate() {
+        let (mut sas, sid, _) = sas_with_sentence();
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::guarded(vec![Pred::SentenceActive(sid)], vec![Op::IncrCounter(c, 1)]);
+        sas.activate(sid);
+        let mut ctx = ExecCtx::basic(0, 0);
+        ctx.sas = Some(&mut sas);
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 1);
+    }
+
+    #[test]
+    fn node_and_arg_predicates() {
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::guarded(
+            vec![Pred::NodeIs(3), Pred::ArgAtLeast(100)],
+            vec![Op::IncrCounter(c, 1)],
+        );
+        let mut ctx = ExecCtx::basic(3, 0);
+        ctx.arg = 50;
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 0);
+        ctx.arg = 100;
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 1);
+        ctx.node = 2;
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 1);
+    }
+
+    #[test]
+    fn process_and_wall_timers_use_their_clocks() {
+        let prims = PrimitiveStore::new();
+        let tp = prims.new_timer();
+        let tw = prims.new_timer();
+        let start = Snippet::new(vec![Op::StartProcessTimer(tp), Op::StartWallTimer(tw)]);
+        let stop = Snippet::new(vec![Op::StopProcessTimer(tp), Op::StopWallTimer(tw)]);
+        let mut ctx = ExecCtx::basic(0, 0);
+        ctx.process_now = 10;
+        ctx.wall_now = 100;
+        run_snippet(&start, &mut ctx, &prims);
+        ctx.process_now = 15;
+        ctx.wall_now = 190;
+        run_snippet(&stop, &mut ctx, &prims);
+        assert_eq!(prims.read_timer(tp, 0), 5);
+        assert_eq!(prims.read_timer(tw, 0), 90);
+    }
+
+    #[test]
+    fn sas_ops_feed_mapping_instrumentation() {
+        let (mut sas, sid, _) = sas_with_sentence();
+        let prims = PrimitiveStore::new();
+        let enter = Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]);
+        let exit = Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]);
+        {
+            let mut ctx = ExecCtx::basic(0, 0);
+            ctx.sentence = Some(sid);
+            ctx.sas = Some(&mut sas);
+            run_snippet(&enter, &mut ctx, &prims);
+        }
+        assert!(sas.is_active(sid));
+        {
+            let mut ctx = ExecCtx::basic(0, 0);
+            ctx.sentence = Some(sid);
+            ctx.sas = Some(&mut sas);
+            run_snippet(&exit, &mut ctx, &prims);
+        }
+        assert!(!sas.is_active(sid));
+    }
+
+    #[test]
+    fn sas_ops_without_sas_are_noops() {
+        let prims = PrimitiveStore::new();
+        let s = Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]);
+        let mut ctx = ExecCtx::basic(0, 0);
+        run_snippet(&s, &mut ctx, &prims); // must not panic
+    }
+
+    #[test]
+    fn question_pred_without_sas_fails_closed() {
+        let (mut sas, _, qid) = sas_with_sentence();
+        let _ = &mut sas;
+        let prims = PrimitiveStore::new();
+        let c = prims.new_counter();
+        let s = Snippet::guarded(
+            vec![Pred::QuestionSatisfied(qid)],
+            vec![Op::IncrCounter(c, 1)],
+        );
+        let mut ctx = ExecCtx::basic(0, 0); // no SAS attached
+        run_snippet(&s, &mut ctx, &prims);
+        assert_eq!(prims.read_counter(c), 0);
+    }
+}

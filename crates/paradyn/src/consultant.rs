@@ -1,0 +1,259 @@
+//! The Performance Consultant.
+//!
+//! §5: "Paradyn also includes an automated module (called the Performance
+//! Consultant) to help users find performance problems in their
+//! applications." Following the Paradyn W³ search model, the consultant
+//! tests *why* hypotheses (which kind of time dominates?) and refines true
+//! ones along the *where* axis (which statement? which array? which node?).
+//!
+//! Real Paradyn inserts and removes instrumentation for each experiment
+//! within a single long-running execution. The simulator's runs are short
+//! and deterministic, so each experiment instruments a fresh run instead —
+//! the instrumentation economy (only the hypotheses currently under test
+//! are instrumented) is the same.
+
+use crate::tool::Paradyn;
+use pdmap::hierarchy::Focus;
+use std::fmt::Write as _;
+
+/// A "why" hypothesis: a time metric whose share of the wall clock is
+/// tested against a threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct Hypothesis {
+    /// Hypothesis name (e.g. `ExcessiveCommunication`).
+    pub name: &'static str,
+    /// The Figure 9 time metric backing it.
+    pub metric: &'static str,
+}
+
+/// The default hypothesis set.
+pub const HYPOTHESES: &[Hypothesis] = &[
+    Hypothesis {
+        name: "ExcessiveCommunication",
+        metric: "Point-to-Point Time",
+    },
+    Hypothesis {
+        name: "ExcessiveBroadcast",
+        metric: "Broadcast Time",
+    },
+    Hypothesis {
+        name: "ExcessiveIdleTime",
+        metric: "Idle Time",
+    },
+    Hypothesis {
+        name: "ExcessiveReductionTime",
+        metric: "Reduction Time",
+    },
+    Hypothesis {
+        name: "ExcessiveSortTime",
+        metric: "Sort Time",
+    },
+    Hypothesis {
+        name: "ExcessiveIOTime",
+        metric: "File I/O Time",
+    },
+];
+
+/// Search configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsultantConfig {
+    /// A hypothesis is true when `metric / wall > threshold`.
+    pub threshold: f64,
+    /// Maximum where-axis refinement depth below the whole program.
+    pub max_depth: usize,
+}
+
+impl Default for ConsultantConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.10,
+            max_depth: 2,
+        }
+    }
+}
+
+/// One node of the search tree.
+#[derive(Clone, Debug)]
+pub struct ExperimentNode {
+    /// Hypothesis tested.
+    pub hypothesis: String,
+    /// Focus tested at.
+    pub focus: Focus,
+    /// Measured metric value (seconds).
+    pub value: f64,
+    /// Wall time of the experiment's run (seconds).
+    pub wall: f64,
+    /// `value / wall`.
+    pub ratio: f64,
+    /// True when above threshold.
+    pub verdict: bool,
+    /// Refinements explored under a true verdict.
+    pub children: Vec<ExperimentNode>,
+}
+
+/// Runs the consultant search over a loaded [`Paradyn`] tool.
+pub fn search(tool: &Paradyn, config: &ConsultantConfig) -> Vec<ExperimentNode> {
+    HYPOTHESES
+        .iter()
+        .map(|h| test_hypothesis(tool, config, h, &Focus::whole_program(), 0))
+        .collect()
+}
+
+fn test_hypothesis(
+    tool: &Paradyn,
+    config: &ConsultantConfig,
+    h: &Hypothesis,
+    focus: &Focus,
+    depth: usize,
+) -> ExperimentNode {
+    let (value, wall) = tool
+        .measure(h.metric, focus)
+        .unwrap_or((0.0, 1.0));
+    let ratio = if wall > 0.0 { value / wall } else { 0.0 };
+    let verdict = ratio > config.threshold;
+    let mut node = ExperimentNode {
+        hypothesis: h.name.to_string(),
+        focus: focus.clone(),
+        value,
+        wall,
+        ratio,
+        verdict,
+        children: Vec::new(),
+    };
+    if verdict && depth < config.max_depth {
+        for refined in refinement_candidates(tool, focus) {
+            let child = test_hypothesis(tool, config, h, &refined, depth + 1);
+            node.children.push(child);
+        }
+    }
+    node
+}
+
+/// Where-axis refinements of a focus (delegates to the data manager).
+pub fn refinement_candidates(tool: &Paradyn, focus: &Focus) -> Vec<Focus> {
+    tool.data().refinement_candidates(focus)
+}
+
+/// Renders the search tree, Performance Consultant style.
+pub fn render(results: &[ExperimentNode]) -> String {
+    let mut out = String::new();
+    for node in results {
+        render_node(node, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(node: &ExperimentNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    writeln!(
+        out,
+        "{} {} @ {} — {:.1}% of wall time",
+        if node.verdict { "[TRUE ]" } else { "[false]" },
+        node.hypothesis,
+        node.focus,
+        node.ratio * 100.0
+    )
+    .unwrap();
+    for c in &node.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmrts_sim::MachineConfig;
+
+    /// A communication-heavy program: sorts and transposes dominate.
+    const COMM_HEAVY: &str = "\
+PROGRAM COMMY
+REAL A(512), B(512)
+A = 1.0
+B = SORT(A)
+B = SORT(B)
+A = CSHIFT(B, 7)
+END
+";
+
+    fn tool_for(src: &str, nodes: usize) -> Paradyn {
+        let mut t = Paradyn::new(MachineConfig {
+            nodes,
+            ..MachineConfig::default()
+        });
+        t.load_source(src).unwrap();
+        t
+    }
+
+    #[test]
+    fn finds_communication_bottleneck() {
+        let t = tool_for(COMM_HEAVY, 4);
+        let results = search(&t, &ConsultantConfig::default());
+        let comm = results
+            .iter()
+            .find(|r| r.hypothesis == "ExcessiveCommunication")
+            .unwrap();
+        assert!(comm.verdict, "ratio was {}", comm.ratio);
+        let sorty = results
+            .iter()
+            .find(|r| r.hypothesis == "ExcessiveSortTime")
+            .unwrap();
+        assert!(sorty.verdict);
+    }
+
+    #[test]
+    fn true_hypotheses_are_refined() {
+        let t = tool_for(COMM_HEAVY, 4);
+        let results = search(
+            &t,
+            &ConsultantConfig {
+                threshold: 0.05,
+                max_depth: 1,
+            },
+        );
+        let comm = results
+            .iter()
+            .find(|r| r.hypothesis == "ExcessiveCommunication")
+            .unwrap();
+        assert!(!comm.children.is_empty(), "refinements explored");
+        // Some refinement points at a specific statement or node.
+        let shown = render(&results);
+        assert!(shown.contains("[TRUE ]"));
+        assert!(shown.contains("node#") || shown.contains("line#"));
+    }
+
+    #[test]
+    fn io_free_program_rejects_io_hypothesis() {
+        let t = tool_for(COMM_HEAVY, 2);
+        let results = search(&t, &ConsultantConfig::default());
+        let io = results
+            .iter()
+            .find(|r| r.hypothesis == "ExcessiveIOTime")
+            .unwrap();
+        assert!(!io.verdict);
+        assert!(io.children.is_empty());
+    }
+
+    #[test]
+    fn refinement_candidates_prefer_arrays_over_subregions() {
+        let t = tool_for(COMM_HEAVY, 2);
+        // Populate subregions dynamically.
+        let mut m = t.new_machine().unwrap();
+        m.run();
+        let cands = refinement_candidates(&t, &Focus::whole_program());
+        let paths: Vec<String> = cands.iter().map(|f| f.to_string()).collect();
+        assert!(paths.iter().any(|p| p.ends_with("/A")), "{paths:?}");
+        assert!(
+            !paths.iter().any(|p| p.contains("sub#")),
+            "first refinement stops at arrays: {paths:?}"
+        );
+        // Refining from the array focus reaches its subregions.
+        let array_focus = cands
+            .iter()
+            .find(|f| f.to_string().ends_with("/A"))
+            .unwrap();
+        let deeper = refinement_candidates(&t, array_focus);
+        assert!(deeper.iter().any(|f| f.to_string().contains("sub#")));
+    }
+}

@@ -1,0 +1,418 @@
+//! The daemon wire protocol.
+//!
+//! §5: "The Paradyn dynamic instrumentation library sends dynamic mapping
+//! information to the Paradyn daemon process using the same communication
+//! channel used for performance data. The dynamic instrumentation library,
+//! linked into every application program that is measured by Paradyn,
+//! contains interface procedures that allow the application to describe
+//! mappings while it executes. The dynamic instrumentation library sends
+//! the mapping information to the Paradyn daemons, and the daemons forward
+//! the mapping information to the Data Manager."
+//!
+//! In the original system this crossed process boundaries; here the
+//! application (simulated machine) and tool share a process, but the same
+//! architecture is preserved: the [`InstrLibEndpoint`] — installed as the
+//! machine's [`MappingSink`] — *encodes* mapping information and metric
+//! samples onto a line-oriented wire, and the [`Daemon`] decodes the stream
+//! and forwards to the [`DataManager`]. Everything crossing the channel is
+//! plain text, so the protocol is inspectable and versionable.
+
+use crate::datamgr::DataManager;
+use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
+use cmrts_sim::{ArrayId, Distribution};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
+use std::sync::Arc;
+
+/// A message on the daemon channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DaemonMsg {
+    /// An array was allocated and distributed (dynamic mapping info).
+    ArrayAllocated {
+        /// Run-time array id.
+        id: u32,
+        /// Source-level name.
+        name: String,
+        /// Extents.
+        extents: Vec<usize>,
+        /// Distribution.
+        dist: Distribution,
+        /// `(node, rows, elems)` subgrids.
+        subgrids: Vec<(usize, usize, usize)>,
+    },
+    /// An array was freed.
+    ArrayFreed {
+        /// Run-time array id.
+        id: u32,
+    },
+    /// A metric sample (performance data shares the channel).
+    Sample {
+        /// Metric display name.
+        metric: String,
+        /// Focus, rendered.
+        focus: String,
+        /// Wall tick.
+        wall: u64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "daemon protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('|', "\\p").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('p') => out.push('|'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl DaemonMsg {
+    /// Encodes to one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            DaemonMsg::ArrayAllocated {
+                id,
+                name,
+                extents,
+                dist,
+                subgrids,
+            } => {
+                let ext: Vec<String> = extents.iter().map(|e| e.to_string()).collect();
+                let subs: Vec<String> = subgrids
+                    .iter()
+                    .map(|(n, r, e)| format!("{n}:{r}:{e}"))
+                    .collect();
+                format!(
+                    "ALLOC|{id}|{}|{}|{}|{}",
+                    escape(name),
+                    ext.join(","),
+                    dist.name(),
+                    subs.join(",")
+                )
+            }
+            DaemonMsg::ArrayFreed { id } => format!("FREE|{id}"),
+            DaemonMsg::Sample {
+                metric,
+                focus,
+                wall,
+                value,
+            } => format!("SAMPLE|{}|{}|{wall}|{value}", escape(metric), escape(focus)),
+        }
+    }
+
+    /// Decodes one wire line.
+    pub fn decode(line: &str) -> Result<Self, ProtoError> {
+        let mut parts = split_unescaped(line);
+        let kind = parts
+            .next()
+            .ok_or_else(|| ProtoError("empty message".into()))?;
+        match kind.as_str() {
+            "ALLOC" => {
+                let id: u32 = next_field(&mut parts, "id")?
+                    .parse()
+                    .map_err(|_| ProtoError("bad id".into()))?;
+                let name = unescape(&next_field(&mut parts, "name")?);
+                let extents = parse_list(&next_field(&mut parts, "extents")?, "extent")?;
+                let dist_s = next_field(&mut parts, "dist")?;
+                let dist = Distribution::parse(&dist_s)
+                    .ok_or_else(|| ProtoError(format!("bad distribution '{dist_s}'")))?;
+                let subs_s = next_field(&mut parts, "subgrids")?;
+                let mut subgrids = Vec::new();
+                for part in subs_s.split(',').filter(|p| !p.is_empty()) {
+                    let mut it = part.split(':');
+                    let n = parse_sub(it.next(), "node")?;
+                    let r = parse_sub(it.next(), "rows")?;
+                    let e = parse_sub(it.next(), "elems")?;
+                    subgrids.push((n, r, e));
+                }
+                Ok(DaemonMsg::ArrayAllocated {
+                    id,
+                    name,
+                    extents,
+                    dist,
+                    subgrids,
+                })
+            }
+            "FREE" => {
+                let id: u32 = next_field(&mut parts, "id")?
+                    .parse()
+                    .map_err(|_| ProtoError("bad id".into()))?;
+                Ok(DaemonMsg::ArrayFreed { id })
+            }
+            "SAMPLE" => {
+                let metric = unescape(&next_field(&mut parts, "metric")?);
+                let focus = unescape(&next_field(&mut parts, "focus")?);
+                let wall: u64 = next_field(&mut parts, "wall")?
+                    .parse()
+                    .map_err(|_| ProtoError("bad wall tick".into()))?;
+                let value: f64 = next_field(&mut parts, "value")?
+                    .parse()
+                    .map_err(|_| ProtoError("bad value".into()))?;
+                Ok(DaemonMsg::Sample {
+                    metric,
+                    focus,
+                    wall,
+                    value,
+                })
+            }
+            other => Err(ProtoError(format!("unknown message kind '{other}'"))),
+        }
+    }
+}
+
+fn split_unescaped(line: &str) -> impl Iterator<Item = String> + '_ {
+    // '|' separators are escaped as "\p" inside fields, so a plain split is
+    // unambiguous.
+    line.split('|').map(str::to_string)
+}
+
+fn next_field(
+    parts: &mut impl Iterator<Item = String>,
+    what: &str,
+) -> Result<String, ProtoError> {
+    parts
+        .next()
+        .ok_or_else(|| ProtoError(format!("missing field '{what}'")))
+}
+
+fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, ProtoError> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse()
+                .map_err(|_| ProtoError(format!("bad {what} '{p}'")))
+        })
+        .collect()
+}
+
+fn parse_sub(s: Option<&str>, what: &str) -> Result<usize, ProtoError> {
+    s.ok_or_else(|| ProtoError(format!("missing subgrid {what}")))?
+        .parse()
+        .map_err(|_| ProtoError(format!("bad subgrid {what}")))
+}
+
+/// The application side: encodes mapping information onto the wire. Install
+/// as the machine's [`MappingSink`].
+pub struct InstrLibEndpoint {
+    tx: Sender<String>,
+}
+
+impl MappingSink for InstrLibEndpoint {
+    fn array_allocated(&self, info: &ArrayAllocInfo) {
+        let msg = DaemonMsg::ArrayAllocated {
+            id: info.array.0,
+            name: info.name.clone(),
+            extents: info.extents.clone(),
+            dist: info.dist,
+            subgrids: info.subgrids.clone(),
+        };
+        let _ = self.tx.send(msg.encode());
+    }
+
+    fn array_freed(&self, array: ArrayId) {
+        let _ = self.tx.send(DaemonMsg::ArrayFreed { id: array.0 }.encode());
+    }
+}
+
+impl InstrLibEndpoint {
+    /// Sends a metric sample over the same channel (performance data and
+    /// mapping information share the wire, as in the paper).
+    pub fn send_sample(&self, metric: &str, focus: &str, wall: u64, value: f64) {
+        let _ = self.tx.send(
+            DaemonMsg::Sample {
+                metric: metric.to_string(),
+                focus: focus.to_string(),
+                wall,
+                value,
+            }
+            .encode(),
+        );
+    }
+}
+
+/// The tool side: decodes the stream and forwards mapping information to
+/// the Data Manager; metric samples are collected for the front end.
+pub struct Daemon {
+    rx: Receiver<String>,
+    data: Arc<DataManager>,
+    samples: Vec<DaemonMsg>,
+    decode_errors: Vec<ProtoError>,
+}
+
+impl Daemon {
+    /// Creates a connected endpoint/daemon pair over an in-process wire.
+    pub fn pair(data: Arc<DataManager>) -> (InstrLibEndpoint, Daemon) {
+        let (tx, rx) = unbounded();
+        (
+            InstrLibEndpoint { tx },
+            Daemon {
+                rx,
+                data,
+                samples: Vec::new(),
+                decode_errors: Vec::new(),
+            },
+        )
+    }
+
+    /// Drains the wire, forwarding mapping messages to the Data Manager.
+    /// Returns how many messages were processed.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(line) = self.rx.try_recv() {
+            n += 1;
+            match DaemonMsg::decode(&line) {
+                Ok(DaemonMsg::ArrayAllocated {
+                    id,
+                    name,
+                    extents,
+                    dist,
+                    subgrids,
+                }) => {
+                    let info = ArrayAllocInfo {
+                        array: ArrayId(id),
+                        name,
+                        extents,
+                        dist,
+                        subgrids,
+                    };
+                    // Forward "in exactly the same way as ... static
+                    // mapping information" — via the sink interface.
+                    self.data.array_allocated(&info);
+                }
+                Ok(DaemonMsg::ArrayFreed { id }) => {
+                    self.data.array_freed(ArrayId(id));
+                }
+                Ok(sample @ DaemonMsg::Sample { .. }) => self.samples.push(sample),
+                Err(e) => self.decode_errors.push(e),
+            }
+        }
+        n
+    }
+
+    /// Metric samples received so far.
+    pub fn samples(&self) -> &[DaemonMsg] {
+        &self.samples
+    }
+
+    /// Undecodable lines encountered (kept for diagnosis, never fatal).
+    pub fn decode_errors(&self) -> &[ProtoError] {
+        &self.decode_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmap::model::Namespace;
+
+    #[test]
+    fn alloc_roundtrip() {
+        let m = DaemonMsg::ArrayAllocated {
+            id: 3,
+            name: "TOT".into(),
+            extents: vec![64, 64],
+            dist: Distribution::Block,
+            subgrids: vec![(0, 16, 1024), (1, 16, 1024)],
+        };
+        assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn sample_roundtrip_with_awkward_names() {
+        let m = DaemonMsg::Sample {
+            metric: "Point-to-Point Time".into(),
+            focus: "CMFarrays/a|b, Machine/node#1".into(),
+            wall: 12345,
+            value: 0.0625,
+        };
+        assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn free_roundtrip_and_errors() {
+        let m = DaemonMsg::ArrayFreed { id: 9 };
+        assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+        assert!(DaemonMsg::decode("").is_err());
+        assert!(DaemonMsg::decode("BOGUS|1").is_err());
+        assert!(DaemonMsg::decode("ALLOC|x|A|8|block|").is_err());
+        assert!(DaemonMsg::decode("SAMPLE|m|f|notanumber|1").is_err());
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        for s in ["plain", "with|pipe", "back\\slash", "new\nline", "\\p"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn daemon_forwards_to_data_manager() {
+        let ns = Namespace::new();
+        let dm = Arc::new(DataManager::new(ns, "CM Fortran"));
+        let (endpoint, mut daemon) = Daemon::pair(dm.clone());
+        endpoint.array_allocated(&ArrayAllocInfo {
+            array: ArrayId(0),
+            name: "A".into(),
+            extents: vec![32],
+            dist: Distribution::Block,
+            subgrids: vec![(0, 16, 16), (1, 16, 16)],
+        });
+        endpoint.send_sample("Summations", "<whole program>", 10, 4.0);
+        assert_eq!(daemon.pump(), 2);
+        assert_eq!(dm.dynamic_arrays().len(), 1);
+        assert_eq!(daemon.samples().len(), 1);
+        assert!(daemon.decode_errors().is_empty());
+        // Where axis gained the subregions via the wire.
+        let axis = dm.render_where_axis();
+        assert!(axis.contains("sub#1"), "{axis}");
+    }
+
+    #[test]
+    fn machine_drives_the_wire_end_to_end() {
+        // The machine's sink is the wire endpoint; the daemon forwards to
+        // the data manager exactly like the direct-sink path.
+        let mut tool = crate::tool::Paradyn::new(cmrts_sim::MachineConfig {
+            nodes: 2,
+            ..cmrts_sim::MachineConfig::default()
+        });
+        tool.load_source(cmf_lang::samples::FIGURE4).unwrap();
+        let (endpoint, mut daemon) = Daemon::pair(tool.data().clone());
+        let mut m = tool.new_machine().unwrap();
+        m.set_mapping_sink(Arc::new(endpoint)); // replace direct sink
+        m.run();
+        let n = daemon.pump();
+        assert!(n >= 2, "A and B allocations crossed the wire, got {n}");
+        let axis = tool.render_where_axis();
+        assert!(axis.contains("sub#0"));
+    }
+}

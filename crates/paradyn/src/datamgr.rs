@@ -1,0 +1,430 @@
+//! The Data Manager: Paradyn's resource dictionary and mapping store.
+//!
+//! §5: "PIF files are emitted by compilers ... Paradyn daemons import
+//! static mapping information via Paradyn Information Format (PIF) files
+//! just after they load each application executable", and "the daemons
+//! forward the [dynamic] mapping information to the Data Manager. The Data
+//! Manager uses the dynamic mapping information in exactly the same way as
+//! it uses static mapping information."
+//!
+//! [`DataManager`] therefore accepts both: [`DataManager::import_pif`] for
+//! the static path, and the [`MappingSink`] implementation for the dynamic
+//! path (array allocations arriving from the run-time system, which build
+//! the CMFarrays hierarchy of Figure 8 including per-node subregions).
+//! It also resolves where-axis foci into instrumentation guard predicates —
+//! the §6.1 "check the array's node-global boolean variable" step.
+
+use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
+use cmrts_sim::ArrayId;
+use dyninst_sim::Pred;
+use parking_lot::Mutex;
+use pdmap::aggregate::{assign_per_source, AssignPolicy, AssignmentResult};
+use pdmap::cost::{Cost, UnitMismatch};
+use pdmap::hierarchy::{Focus, WhereAxis};
+use pdmap::mapping::MappingTable;
+use pdmap::model::{Namespace, SentenceId};
+use pdmap_pif::{Applied, ApplyError, MetricRecord, PifFile};
+use std::fmt;
+
+/// Failure to turn a focus into guard predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FocusError {
+    /// The focus names a hierarchy the data manager does not know.
+    UnknownHierarchy(String),
+    /// The selected path does not resolve in its hierarchy.
+    UnknownPath(String),
+    /// The selected resource cannot constrain instrumentation (e.g. an
+    /// interior module node).
+    Unconstrainable(String),
+}
+
+impl fmt::Display for FocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FocusError::UnknownHierarchy(h) => write!(f, "unknown hierarchy '{h}'"),
+            FocusError::UnknownPath(p) => write!(f, "unknown resource path '{p}'"),
+            FocusError::Unconstrainable(p) => {
+                write!(f, "resource '{p}' cannot constrain instrumentation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FocusError {}
+
+struct DmInner {
+    mappings: MappingTable,
+    axis: WhereAxis,
+    pif_metrics: Vec<MetricRecord>,
+    dynamic_arrays: Vec<ArrayAllocInfo>,
+    freed: Vec<ArrayId>,
+}
+
+/// The resource dictionary + mapping store.
+pub struct DataManager {
+    ns: Namespace,
+    source_level: String,
+    inner: Mutex<DmInner>,
+}
+
+impl DataManager {
+    /// Creates a data manager over a shared namespace. `source_level` is
+    /// the language level name used when resolving foci (default
+    /// `CM Fortran`).
+    pub fn new(ns: Namespace, source_level: &str) -> Self {
+        Self {
+            ns,
+            source_level: source_level.to_string(),
+            inner: Mutex::new(DmInner {
+                mappings: MappingTable::new(),
+                axis: WhereAxis::new(),
+                pif_metrics: Vec::new(),
+                dynamic_arrays: Vec::new(),
+                freed: Vec::new(),
+            }),
+        }
+    }
+
+    /// The shared namespace.
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Imports a PIF file (static mapping information, §3/§5).
+    pub fn import_pif(&self, file: &PifFile) -> Result<Applied, ApplyError> {
+        let mut g = self.inner.lock();
+        let DmInner {
+            mappings, axis, ..
+        } = &mut *g;
+        let applied = pdmap_pif::apply(file, &self.ns, mappings, axis)?;
+        g.pif_metrics.extend(applied.metrics.iter().cloned());
+        Ok(applied)
+    }
+
+    /// Ensures the Machine hierarchy has `nodes` node resources.
+    pub fn ensure_machine(&self, nodes: usize) {
+        let mut g = self.inner.lock();
+        let tree = g.axis.tree_mut("Machine");
+        for i in 0..nodes {
+            tree.add_path(&[&format!("node#{i}")]);
+        }
+    }
+
+    /// Runs `f` against the where axis.
+    pub fn with_axis<R>(&self, f: impl FnOnce(&WhereAxis) -> R) -> R {
+        f(&self.inner.lock().axis)
+    }
+
+    /// Runs `f` against the mapping table.
+    pub fn with_mappings<R>(&self, f: impl FnOnce(&MappingTable) -> R) -> R {
+        f(&self.inner.lock().mappings)
+    }
+
+    /// Metric records imported from PIF files.
+    pub fn pif_metrics(&self) -> Vec<MetricRecord> {
+        self.inner.lock().pif_metrics.clone()
+    }
+
+    /// Dynamic array-allocation records received so far.
+    pub fn dynamic_arrays(&self) -> Vec<ArrayAllocInfo> {
+        self.inner.lock().dynamic_arrays.clone()
+    }
+
+    /// Renders the full where-axis display (Figure 8).
+    pub fn render_where_axis(&self) -> String {
+        self.inner.lock().axis.render()
+    }
+
+    /// Maps measured low-level costs upward through the mapping table.
+    pub fn map_upward(
+        &self,
+        measured: &[(SentenceId, Cost)],
+        policy: AssignPolicy,
+    ) -> Result<AssignmentResult, UnitMismatch> {
+        let g = self.inner.lock();
+        assign_per_source(&g.mappings, measured, policy)
+    }
+
+    fn array_active_sentence(&self, array: &str) -> Option<SentenceId> {
+        let level = self.ns.find_level(&self.source_level)?;
+        let verb = self.ns.find_verb(level, "Active")?;
+        let noun = self.ns.find_noun(level, array)?;
+        Some(self.ns.say(verb, [noun]))
+    }
+
+    fn line_sentence(&self, line_name: &str) -> Option<SentenceId> {
+        let level = self.ns.find_level(&self.source_level)?;
+        let verb = self.ns.find_verb(level, "Executes")?;
+        // Where-axis spells it `line#N`; the noun is `lineN`.
+        let noun_name = line_name.replace('#', "");
+        let noun = self.ns.find_noun(level, &noun_name)?;
+        Some(self.ns.say(verb, [noun]))
+    }
+
+    /// Resolves a focus into instrumentation guard predicates:
+    ///
+    /// * `Machine/node#K` → restrict to node K;
+    /// * `CMFarrays/.../A` → the §6.1 array boolean: `{A} Active` must be
+    ///   in the node's SAS;
+    /// * `CMFarrays/.../A/sub#K` → the array boolean **and** node K
+    ///   (Figure 9: metrics constrained to "subsections of arrays");
+    /// * `CMFstmts/.../line#N` → `{lineN} Executes` active.
+    pub fn resolve_focus(&self, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
+        let g = self.inner.lock();
+        self.resolve_focus_locked(&g, focus)
+    }
+
+    /// Where-axis refinements of a focus: for every hierarchy, the nearest
+    /// *constrainable* descendants of the current selection (arrays before
+    /// their subregions, statement leaves, machine nodes). Used by the
+    /// Performance Consultant.
+    pub fn refinement_candidates(&self, focus: &Focus) -> Vec<Focus> {
+        let g = self.inner.lock();
+        let mut out = Vec::new();
+        for tree in g.axis.trees() {
+            let hier = tree.name().to_string();
+            let Some(start) = tree.resolve(focus.selection(&hier)) else {
+                continue;
+            };
+            // BFS: stop descending at the first constrainable node.
+            let mut queue: Vec<_> = tree.children(start).to_vec();
+            while let Some(n) = queue.pop() {
+                let path = tree.path_of(n);
+                let candidate = focus.clone().select(&hier, &path);
+                if self.resolve_focus_locked(&g, &candidate).is_ok() {
+                    if &candidate != focus {
+                        out.push(candidate);
+                    }
+                } else {
+                    queue.extend(tree.children(n).iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    fn resolve_focus_locked(&self, g: &DmInner, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
+        let mut preds = Vec::new();
+        for (hier, path) in focus.selections() {
+            if path == "/" {
+                continue;
+            }
+            let tree = g
+                .axis
+                .tree(hier)
+                .ok_or_else(|| FocusError::UnknownHierarchy(hier.clone()))?;
+            let node = tree
+                .resolve(path)
+                .ok_or_else(|| FocusError::UnknownPath(path.clone()))?;
+            let name = tree.name_of(node).to_string();
+            match hier.as_str() {
+                "Machine" => {
+                    let k: u32 = name
+                        .strip_prefix("node#")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                    preds.push(Pred::NodeIs(k));
+                }
+                "CMFarrays" => {
+                    if let Some(sub) = name.strip_prefix("sub#") {
+                        let k: u32 = sub
+                            .parse()
+                            .map_err(|_| FocusError::Unconstrainable(path.clone()))?;
+                        let parent = tree
+                            .parent(node)
+                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                        let array = tree.name_of(parent).to_string();
+                        let s = self
+                            .array_active_sentence(&array)
+                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                        preds.push(Pred::SentenceActive(s));
+                        preds.push(Pred::NodeIs(k));
+                    } else {
+                        // Must be an array leaf (arrays may have subregion
+                        // children, so "has array sentence" is the test).
+                        let s = self
+                            .array_active_sentence(&name)
+                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                        preds.push(Pred::SentenceActive(s));
+                    }
+                }
+                "CMFstmts" => {
+                    let s = self
+                        .line_sentence(&name)
+                        .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                    preds.push(Pred::SentenceActive(s));
+                }
+                other => return Err(FocusError::UnknownHierarchy(other.to_string())),
+            }
+        }
+        Ok(preds)
+    }
+}
+
+impl MappingSink for DataManager {
+    /// Dynamic mapping information (§6.1 step 1): a new array and its
+    /// node subregions arrive from the run-time system.
+    fn array_allocated(&self, info: &ArrayAllocInfo) {
+        if info.name.starts_with("CMF_TMP") {
+            return; // compiler temporaries are not user resources
+        }
+        let mut g = self.inner.lock();
+        g.dynamic_arrays.push(info.clone());
+        let tree = g.axis.tree_mut("CMFarrays");
+        // The static PIF usually placed the array already; otherwise park
+        // it at the root.
+        let array_node = tree
+            .find_by_name(&info.name)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| tree.add_path(&[&info.name]));
+        for &(node, rows, elems) in &info.subgrids {
+            let sub = tree.child(array_node, &format!("sub#{node}"));
+            let _ = (sub, rows, elems);
+        }
+    }
+
+    fn array_freed(&self, array: ArrayId) {
+        self.inner.lock().freed.push(array);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmrts_sim::Distribution;
+
+    fn dm_with_program() -> DataManager {
+        let ns = Namespace::new();
+        let compiled = cmf_lang::compile(
+            cmf_lang::samples::FIGURE4,
+            &ns,
+            &cmf_lang::CompileOptions::default(),
+        )
+        .unwrap();
+        let dm = DataManager::new(ns, "CM Fortran");
+        dm.import_pif(&compiled.pif).unwrap();
+        dm.ensure_machine(4);
+        dm
+    }
+
+    #[test]
+    fn pif_import_populates_axis_and_mappings() {
+        let dm = dm_with_program();
+        assert!(dm.with_mappings(|m| m.len()) > 0);
+        let shown = dm.render_where_axis();
+        assert!(shown.contains("CMFstmts"));
+        assert!(shown.contains("CMFarrays"));
+        assert!(shown.contains("node#3"));
+    }
+
+    #[test]
+    fn dynamic_alloc_adds_subregions() {
+        let dm = dm_with_program();
+        dm.array_allocated(&ArrayAllocInfo {
+            array: ArrayId(0),
+            name: "A".into(),
+            extents: vec![1024],
+            dist: Distribution::Block,
+            subgrids: (0..4).map(|n| (n, 256, 256)).collect(),
+        });
+        let shown = dm.render_where_axis();
+        assert!(shown.contains("sub#0"));
+        assert!(shown.contains("sub#3"));
+        assert_eq!(dm.dynamic_arrays().len(), 1);
+    }
+
+    #[test]
+    fn temporaries_are_filtered() {
+        let dm = dm_with_program();
+        dm.array_allocated(&ArrayAllocInfo {
+            array: ArrayId(9),
+            name: "CMF_TMP3".into(),
+            extents: vec![8],
+            dist: Distribution::Block,
+            subgrids: vec![],
+        });
+        assert!(dm.dynamic_arrays().is_empty());
+        assert!(!dm.render_where_axis().contains("CMF_TMP"));
+    }
+
+    #[test]
+    fn machine_focus_resolves_to_node_pred() {
+        let dm = dm_with_program();
+        let f = Focus::whole_program().select("Machine", "/node#2");
+        assert_eq!(dm.resolve_focus(&f).unwrap(), vec![Pred::NodeIs(2)]);
+    }
+
+    #[test]
+    fn array_focus_resolves_to_sentence_pred() {
+        let dm = dm_with_program();
+        let f = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A");
+        let preds = dm.resolve_focus(&f).unwrap();
+        assert_eq!(preds.len(), 1);
+        assert!(matches!(preds[0], Pred::SentenceActive(_)));
+    }
+
+    #[test]
+    fn subregion_focus_adds_node_restriction() {
+        let dm = dm_with_program();
+        dm.array_allocated(&ArrayAllocInfo {
+            array: ArrayId(0),
+            name: "A".into(),
+            extents: vec![1024],
+            dist: Distribution::Block,
+            subgrids: (0..4).map(|n| (n, 256, 256)).collect(),
+        });
+        let f = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A/sub#1");
+        let preds = dm.resolve_focus(&f).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains(&Pred::NodeIs(1)));
+    }
+
+    #[test]
+    fn statement_focus_resolves() {
+        let dm = dm_with_program();
+        let f = Focus::whole_program().select("CMFstmts", "/hpfex.fcm/HPFEX/line#5");
+        let preds = dm.resolve_focus(&f).unwrap();
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn whole_program_focus_has_no_preds() {
+        let dm = dm_with_program();
+        assert!(dm.resolve_focus(&Focus::whole_program()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn focus_errors_are_specific() {
+        let dm = dm_with_program();
+        let f = Focus::whole_program().select("Bogus", "/x");
+        assert!(matches!(
+            dm.resolve_focus(&f),
+            Err(FocusError::UnknownHierarchy(_))
+        ));
+        let f = Focus::whole_program().select("CMFarrays", "/nope/nope");
+        assert!(matches!(dm.resolve_focus(&f), Err(FocusError::UnknownPath(_))));
+        // Interior module node: not constrainable.
+        let f = Focus::whole_program().select("CMFarrays", "/hpfex.fcm");
+        assert!(matches!(
+            dm.resolve_focus(&f),
+            Err(FocusError::Unconstrainable(_))
+        ));
+    }
+
+    #[test]
+    fn map_upward_uses_imported_mappings() {
+        let dm = dm_with_program();
+        // Find the PIF's block->line mapping source sentence and push cost
+        // through it.
+        let (src, n_dests) = dm.with_mappings(|m| {
+            let d = m.defs()[0];
+            (d.source, m.destinations(d.source).len())
+        });
+        let res = dm
+            .map_upward(&[(src, Cost::seconds(2.0))], AssignPolicy::Merge)
+            .unwrap();
+        assert_eq!(res.assignments.len(), 1);
+        assert_eq!(res.assignments[0].target.members().len(), n_dests);
+    }
+}

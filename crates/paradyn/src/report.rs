@@ -1,0 +1,162 @@
+//! Whole-run performance reports: the front end's summary view combining
+//! the metric table, per-resource profiles, the where axis, and the
+//! Performance Consultant's conclusions.
+
+use crate::consultant::{render as render_search, search, ConsultantConfig};
+use crate::tool::Paradyn;
+use crate::visi;
+use pdmap::hierarchy::Focus;
+use std::fmt::Write as _;
+
+/// A per-resource profile: one metric measured at every refinement of a
+/// parent focus.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// The metric name.
+    pub metric: String,
+    /// `(focus, value)` rows, sorted descending by value.
+    pub rows: Vec<(Focus, f64)>,
+    /// Wall seconds of the profiling run(s).
+    pub wall: f64,
+}
+
+impl Profile {
+    /// Renders as a bar chart.
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .rows
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut out = format!("{} by resource:\n", self.metric);
+        for (focus, v) in &self.rows {
+            let n = ((v / max) * width as f64).round() as usize;
+            writeln!(out, "  {:<44} {:<width$} {v:.6}", focus.to_string(), "#".repeat(n))
+                .unwrap();
+        }
+        out
+    }
+}
+
+/// Measures `metric` at every refinement candidate of `parent` (arrays,
+/// statements, nodes — whichever hierarchies refine), one fresh run per
+/// candidate, and returns the sorted profile.
+pub fn profile(tool: &Paradyn, metric: &str, parent: &Focus) -> Profile {
+    let mut rows = Vec::new();
+    let mut wall = 0.0;
+    for focus in tool.data().refinement_candidates(parent) {
+        if let Ok((v, w)) = tool.measure(metric, &focus) {
+            rows.push((focus, v));
+            wall = w;
+        }
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Profile {
+        metric: metric.to_string(),
+        rows,
+        wall,
+    }
+}
+
+/// Produces a complete textual run report for the loaded program.
+pub fn run_report(tool: &Paradyn, consultant_config: &ConsultantConfig) -> String {
+    let mut out = String::new();
+
+    // 1. Whole-program metric table.
+    let names: Vec<String> = tool
+        .metrics()
+        .metric_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let requests: Vec<_> = names
+        .iter()
+        .filter_map(|n| tool.request(n, &Focus::whole_program()).ok())
+        .collect();
+    let mut machine = tool.new_machine().expect("program loaded");
+    let summary = machine.run();
+    writeln!(
+        out,
+        "run: {} blocks, {} messages, {} broadcasts, wall {} ticks\n",
+        summary.blocks_dispatched,
+        summary.messages,
+        summary.broadcasts,
+        machine.wall_clock()
+    )
+    .unwrap();
+    let rows: Vec<(String, String, String)> = requests
+        .iter()
+        .map(|r| {
+            let v = r.value(&machine);
+            let value = if r.decl.is_timer() {
+                format!("{v:.6} s")
+            } else {
+                format!("{v}")
+            };
+            (r.decl.name.clone(), value, r.decl.description.clone())
+        })
+        .collect();
+    out.push_str(&visi::table(&rows));
+
+    // 2. Communication profile by resource.
+    out.push('\n');
+    out.push_str(&profile(tool, "Point-to-Point Operations", &Focus::whole_program()).render(24));
+
+    // 3. Where axis (static + whatever dynamic info the run produced).
+    out.push_str("\nwhere axis:\n");
+    out.push_str(&tool.render_where_axis());
+
+    // 4. Consultant conclusions.
+    out.push_str("\nPerformance Consultant:\n");
+    out.push_str(&render_search(&search(tool, consultant_config)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmrts_sim::MachineConfig;
+
+    fn tool() -> Paradyn {
+        let mut t = Paradyn::new(MachineConfig {
+            nodes: 4,
+            ..MachineConfig::default()
+        });
+        t.load_source(cmf_lang::samples::FIGURE4).unwrap();
+        t
+    }
+
+    #[test]
+    fn profile_ranks_arrays_by_traffic() {
+        let t = tool();
+        // Populate dynamic subregions first so candidates exist.
+        let mut m = t.new_machine().unwrap();
+        m.run();
+        let p = profile(&t, "Point-to-Point Operations", &Focus::whole_program());
+        assert!(!p.rows.is_empty());
+        // Sorted descending.
+        assert!(p.rows.windows(2).all(|w| w[0].1 >= w[1].1));
+        // A and B each see 4 messages during their reductions; node#0
+        // (the tree root + CP return) tops the per-node rows or ties.
+        let rendered = p.render(16);
+        assert!(rendered.contains("CMFarrays"), "{rendered}");
+    }
+
+    #[test]
+    fn run_report_contains_all_sections() {
+        let t = tool();
+        let report = run_report(
+            &t,
+            &ConsultantConfig {
+                threshold: 0.2,
+                max_depth: 0,
+            },
+        );
+        assert!(report.contains("Metric"));
+        assert!(report.contains("Summations"));
+        assert!(report.contains("by resource"));
+        assert!(report.contains("where axis"));
+        assert!(report.contains("Performance Consultant"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The tool facade: one object wiring compiler output, the data manager,
+//! the metric manager, mapping instrumentation, and machines together —
+//! the in-process equivalent of the Paradyn front end plus its daemon.
+
+use crate::datamgr::DataManager;
+use crate::metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
+use crate::stream::{run_sampled, Stream};
+use cmf_lang::{CompileOptions, Compiled};
+use cmrts_sim::{Machine, MachineConfig, Program, RunSummary};
+use dyninst_sim::InstrumentationManager;
+use pdmap::hierarchy::Focus;
+use pdmap::model::Namespace;
+use std::sync::Arc;
+
+/// Errors from loading a program into the tool.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Compilation failed.
+    Compile(cmf_lang::CompileError),
+    /// PIF import failed.
+    Pif(pdmap_pif::ApplyError),
+    /// The lowered program failed machine validation.
+    Ir(cmrts_sim::IrError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Compile(e) => write!(f, "compile error: {e}"),
+            LoadError::Pif(e) => write!(f, "PIF import error: {e}"),
+            LoadError::Ir(e) => write!(f, "IR error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// The assembled measurement tool.
+pub struct Paradyn {
+    ns: Namespace,
+    mgr: Arc<InstrumentationManager>,
+    data: Arc<DataManager>,
+    metrics: MetricManager,
+    mapping: Option<MappingInstrumentation>,
+    config: MachineConfig,
+    program: Option<Program>,
+}
+
+impl Paradyn {
+    /// Creates a tool for machines of the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let ns = Namespace::new();
+        let mgr = Arc::new(InstrumentationManager::new());
+        let data = Arc::new(DataManager::new(ns.clone(), "CM Fortran"));
+        let metrics = MetricManager::new(mgr.clone());
+        Self {
+            ns,
+            mgr,
+            data,
+            metrics,
+            mapping: None,
+            config,
+            program: None,
+        }
+    }
+
+    /// The shared namespace.
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// The shared instrumentation manager.
+    pub fn manager(&self) -> &Arc<InstrumentationManager> {
+        &self.mgr
+    }
+
+    /// The data manager.
+    pub fn data(&self) -> &Arc<DataManager> {
+        &self.data
+    }
+
+    /// The metric manager.
+    pub fn metrics(&self) -> &MetricManager {
+        &self.metrics
+    }
+
+    /// Mutable metric manager (for adding user MDL).
+    pub fn metrics_mut(&mut self) -> &mut MetricManager {
+        &mut self.metrics
+    }
+
+    /// The machine configuration used for new machines.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Compiles and loads source in one step.
+    pub fn load_source(&mut self, source: &str) -> Result<Compiled, LoadError> {
+        let compiled = cmf_lang::compile(source, &self.ns, &CompileOptions::default())
+            .map_err(LoadError::Compile)?;
+        self.load(&compiled)?;
+        Ok(compiled)
+    }
+
+    /// Loads a compiled program: imports its PIF (static mapping
+    /// information), prepares the Machine hierarchy, and installs the
+    /// dynamic mapping instrumentation.
+    pub fn load(&mut self, compiled: &Compiled) -> Result<(), LoadError> {
+        self.data.import_pif(&compiled.pif).map_err(LoadError::Pif)?;
+        self.data.ensure_machine(self.config.nodes);
+        self.program = Some(compiled.program().clone());
+        if self.mapping.is_none() {
+            self.mapping = Some(MappingInstrumentation::install(&self.mgr));
+        }
+        Ok(())
+    }
+
+    /// Turns all dynamic mapping instrumentation on or off at once (§5).
+    pub fn set_mapping_instrumentation(&mut self, on: bool) {
+        match (on, self.mapping.take()) {
+            (true, None) => self.mapping = Some(MappingInstrumentation::install(&self.mgr)),
+            (true, Some(mi)) => self.mapping = Some(mi),
+            (false, Some(mut mi)) => mi.remove(&self.mgr),
+            (false, None) => {}
+        }
+    }
+
+    /// Builds a fresh machine for the loaded program, wired to the data
+    /// manager's dynamic-mapping sink.
+    pub fn new_machine(&self) -> Result<Machine, LoadError> {
+        let program = self
+            .program
+            .clone()
+            .expect("load a program before creating machines");
+        let mut m = Machine::new(self.config.clone(), self.ns.clone(), self.mgr.clone(), program)
+            .map_err(LoadError::Ir)?;
+        m.set_mapping_sink(self.data.clone());
+        Ok(m)
+    }
+
+    /// Requests a metric constrained to a focus.
+    pub fn request(&self, metric: &str, focus: &Focus) -> Result<MetricRequest, RequestError> {
+        self.metrics.request(
+            metric,
+            &self.data,
+            focus,
+            self.config.cost.ticks_per_second,
+        )
+    }
+
+    /// One-shot experiment: request the metric, run a fresh machine to
+    /// completion, read the value, remove the instrumentation. Returns
+    /// `(value, wall seconds)`.
+    pub fn measure(&self, metric: &str, focus: &Focus) -> Result<(f64, f64), RequestError> {
+        let mut req = self.request(metric, focus)?;
+        let mut m = self.new_machine().expect("program loaded");
+        m.run();
+        let value = req.value(&m);
+        let wall = m.wall_clock() as f64 / self.config.cost.ticks_per_second;
+        req.cancel(&self.mgr);
+        Ok((value, wall))
+    }
+
+    /// Runs a fresh machine while sampling the given requests.
+    pub fn run_sampled(
+        &self,
+        requests: &[MetricRequest],
+        every_steps: usize,
+    ) -> (Vec<Stream>, RunSummary, Machine) {
+        let mut m = self.new_machine().expect("program loaded");
+        let (streams, summary) = run_sampled(&mut m, requests, every_steps);
+        (streams, summary, m)
+    }
+
+    /// Renders the current where axis (Figure 8).
+    pub fn render_where_axis(&self) -> String {
+        self.data.render_where_axis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tool() -> Paradyn {
+        let mut t = Paradyn::new(MachineConfig {
+            nodes: 4,
+            ..MachineConfig::default()
+        });
+        t.load_source(cmf_lang::samples::FIGURE4).unwrap();
+        t
+    }
+
+    #[test]
+    fn load_and_measure_whole_program() {
+        let t = tool();
+        let (v, wall) = t.measure("Summations", &Focus::whole_program()).unwrap();
+        assert_eq!(v, 4.0);
+        assert!(wall > 0.0);
+    }
+
+    #[test]
+    fn array_constrained_measure_through_facade() {
+        let t = tool();
+        let focus_a = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A");
+        let (msgs_a, _) = t
+            .measure("Point-to-Point Operations", &focus_a)
+            .unwrap();
+        assert_eq!(msgs_a, 4.0, "messages during SUM(A)'s block only");
+    }
+
+    #[test]
+    fn dynamic_mapping_builds_subregions_after_run() {
+        let t = tool();
+        let mut m = t.new_machine().unwrap();
+        m.run();
+        let axis = t.render_where_axis();
+        assert!(axis.contains("sub#0"), "axis:\n{axis}");
+        assert!(axis.contains("node#3"));
+        assert_eq!(t.data().dynamic_arrays().len(), 2);
+    }
+
+    #[test]
+    fn mapping_toggle_controls_sas_feed() {
+        let mut t = tool();
+        t.set_mapping_instrumentation(false);
+        let focus_a = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A");
+        let (v, _) = t.measure("Summations", &focus_a).unwrap();
+        assert_eq!(v, 0.0, "no SAS feed, no attribution");
+        t.set_mapping_instrumentation(true);
+        let (v, _) = t.measure("Summations", &focus_a).unwrap();
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn sampled_run_produces_streams() {
+        let t = tool();
+        let reqs = vec![t
+            .request("Broadcasts", &Focus::whole_program())
+            .unwrap()];
+        let (streams, summary, _m) = t.run_sampled(&reqs, 1);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].last_value(), summary.broadcasts as f64);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let mut t = Paradyn::new(MachineConfig::default());
+        let e = t.load_source("PROGRAM P\nX = NOPE(1)\nEND\n").unwrap_err();
+        assert!(matches!(e, LoadError::Compile(_)));
+    }
+}

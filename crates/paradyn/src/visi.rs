@@ -1,0 +1,154 @@
+//! ASCII visualisation modules.
+//!
+//! §5: "Paradyn includes performance display modules that allow users to
+//! view performance metric streams graphically" — time plots (time
+//! histograms), bar charts, and tables (§6.1). The originals were X11
+//! widgets; these render to text so every figure regeneration works in a
+//! terminal and in golden tests.
+
+use crate::stream::Stream;
+use std::fmt::Write as _;
+
+/// Renders a time plot of one or more streams: per-interval rates bucketed
+/// over the run, one row per bucket, one column of bars per stream.
+pub fn time_plot(streams: &[Stream], buckets: usize, width: usize) -> String {
+    let mut out = String::new();
+    if streams.is_empty() || streams.iter().all(|s| s.samples.len() < 2) {
+        return "(no samples)\n".to_string();
+    }
+    let t_max = streams
+        .iter()
+        .filter_map(|s| s.samples.last().map(|&(t, _)| t))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let buckets = buckets.max(1);
+    writeln!(out, "time plot ({} buckets, {} ticks total)", buckets, t_max).unwrap();
+    for s in streams {
+        writeln!(out, "  [{}] {} / {}", s.units, s.metric, s.focus).unwrap();
+    }
+    // Bucketise each stream's deltas.
+    let mut grid = vec![vec![0.0f64; streams.len()]; buckets];
+    for (si, s) in streams.iter().enumerate() {
+        for (t, d) in s.deltas() {
+            let b = ((t.saturating_sub(1)) as u128 * buckets as u128 / t_max as u128) as usize;
+            grid[b.min(buckets - 1)][si] += d;
+        }
+    }
+    let max_cell = grid
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for (b, row) in grid.iter().enumerate() {
+        let t0 = t_max as u128 * b as u128 / buckets as u128;
+        write!(out, "{:>12} |", t0).unwrap();
+        for &v in row {
+            let n = ((v / max_cell) * width as f64).round() as usize;
+            write!(out, "{:<w$}|", "#".repeat(n), w = width).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar chart of final values, one row per stream.
+pub fn bar_chart(streams: &[Stream], width: usize) -> String {
+    let mut out = String::new();
+    let max = streams
+        .iter()
+        .map(Stream::last_value)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = streams
+        .iter()
+        .map(|s| s.metric.len() + s.focus.len() + 3)
+        .max()
+        .unwrap_or(8);
+    for s in streams {
+        let label = format!("{} / {}", s.metric, s.focus);
+        let v = s.last_value();
+        let n = ((v / max) * width as f64).round() as usize;
+        writeln!(
+            out,
+            "{:<label_w$} {:<width$} {:.4} {}",
+            label,
+            "#".repeat(n),
+            v,
+            s.units,
+            label_w = label_w,
+            width = width
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a metric × value table.
+pub fn table(rows: &[(String, String, String)]) -> String {
+    let mut out = String::new();
+    let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(6).max(6);
+    let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(5).max(5);
+    writeln!(out, "{:<w0$}  {:>w1$}  Description", "Metric", "Value").unwrap();
+    writeln!(out, "{}  {}  {}", "-".repeat(w0), "-".repeat(w1), "-".repeat(24)).unwrap();
+    for (name, value, desc) in rows {
+        writeln!(out, "{name:<w0$}  {value:>w1$}  {desc}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(metric: &str, samples: &[(u64, f64)]) -> Stream {
+        Stream {
+            metric: metric.into(),
+            focus: "<whole program>".into(),
+            units: "operations".into(),
+            samples: samples.to_vec(),
+        }
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s1 = stream("A", &[(0, 0.0), (10, 10.0)]);
+        let s2 = stream("B", &[(0, 0.0), (10, 5.0)]);
+        let chart = bar_chart(&[s1, s2], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hashes = |l: &str| l.matches('#').count();
+        assert_eq!(hashes(lines[0]), 10);
+        assert_eq!(hashes(lines[1]), 5);
+    }
+
+    #[test]
+    fn time_plot_buckets_deltas() {
+        let s = stream("A", &[(0, 0.0), (50, 5.0), (100, 5.0)]);
+        let plot = time_plot(&[s], 2, 8);
+        assert!(plot.contains("time plot"));
+        let rows: Vec<&str> = plot.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 2);
+        // All activity lands in the first bucket.
+        assert!(rows[0].contains('#'));
+        assert!(!rows[1].contains('#'));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        assert_eq!(time_plot(&[], 4, 8), "(no samples)\n");
+        let s = stream("A", &[(0, 0.0)]);
+        assert_eq!(time_plot(&[s], 4, 8), "(no samples)\n");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            ("Summations".into(), "4".into(), "Count of array summations.".into()),
+            ("Idle Time".into(), "0.001".into(), "Time spent waiting.".into()),
+        ]);
+        assert!(t.contains("Metric"));
+        assert!(t.lines().count() >= 4);
+        assert!(t.contains("Summations"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Applying parsed PIF records to a tool's live data structures.
+//!
+//! Paper §5: "PIF files allow such tools to explain to Paradyn how it should
+//! map requests for high-level language resources and metrics into requests
+//! for base resources and metrics". Application is exactly that import step:
+//! noun/verb records populate the [`Namespace`], mapping records populate a
+//! [`MappingTable`], resource records populate the [`WhereAxis`], and metric
+//! records are returned for the metric manager to install.
+
+use crate::error::ApplyError;
+use crate::model::{MetricRecord, PifFile, Record, SentenceRef};
+use pdmap::hierarchy::WhereAxis;
+use pdmap::mapping::{MappingDef, MappingTable};
+use pdmap::model::{Namespace, NounId, SentenceId, VerbId};
+
+/// What an [`apply`] call added.
+#[derive(Clone, Debug, Default)]
+pub struct Applied {
+    /// Mapping definitions added to the table.
+    pub mappings: Vec<MappingDef>,
+    /// Nouns defined (or re-found) by noun records.
+    pub nouns: Vec<NounId>,
+    /// Verbs defined (or re-found) by verb records.
+    pub verbs: Vec<VerbId>,
+    /// Metric records, for the metric manager.
+    pub metrics: Vec<MetricRecord>,
+}
+
+fn resolve_verb(ns: &Namespace, name: &str) -> Result<VerbId, ApplyError> {
+    let mut found: Option<VerbId> = None;
+    for li in 0..ns.num_levels() {
+        let level = pdmap::model::LevelId::from_index(li);
+        if let Some(v) = ns.find_verb(level, name) {
+            if found.is_some() {
+                return Err(ApplyError::Ambiguous {
+                    name: name.to_string(),
+                    kind: "verb",
+                });
+            }
+            found = Some(v);
+        }
+    }
+    found.ok_or_else(|| ApplyError::UnknownVerb {
+        verb: name.to_string(),
+    })
+}
+
+fn resolve_noun(
+    ns: &Namespace,
+    name: &str,
+    preferred_level: pdmap::model::LevelId,
+) -> Result<NounId, ApplyError> {
+    if let Some(n) = ns.find_noun(preferred_level, name) {
+        return Ok(n);
+    }
+    let mut found: Option<NounId> = None;
+    for li in 0..ns.num_levels() {
+        let level = pdmap::model::LevelId::from_index(li);
+        if let Some(n) = ns.find_noun(level, name) {
+            if found.is_some() {
+                return Err(ApplyError::Ambiguous {
+                    name: name.to_string(),
+                    kind: "noun",
+                });
+            }
+            found = Some(n);
+        }
+    }
+    found.ok_or_else(|| ApplyError::UnknownNoun {
+        noun: name.to_string(),
+    })
+}
+
+/// Resolves a sentence reference against the namespace, interning the
+/// resulting sentence. Nouns are looked up at the verb's level first, then
+/// uniquely across levels (Figure 2's mapping sources name Base-level nouns
+/// with Base-level verbs, but cross-level sentences occur in dynamic maps).
+pub fn resolve_sentence(ns: &Namespace, sref: &SentenceRef) -> Result<SentenceId, ApplyError> {
+    let verb = resolve_verb(ns, &sref.verb)?;
+    let level = ns.verb_def(verb).level;
+    let mut nouns = Vec::with_capacity(sref.nouns.len());
+    for n in &sref.nouns {
+        nouns.push(resolve_noun(ns, n, level)?);
+    }
+    Ok(ns.say(verb, nouns))
+}
+
+/// Imports every record of `file`. Definitions are interned into `ns`,
+/// mappings added to `table`, resources placed in `axis`; metric records are
+/// collected into the returned [`Applied`].
+pub fn apply(
+    file: &PifFile,
+    ns: &Namespace,
+    table: &mut MappingTable,
+    axis: &mut WhereAxis,
+) -> Result<Applied, ApplyError> {
+    let mut out = Applied::default();
+    for record in &file.records {
+        match record {
+            Record::Noun(n) => {
+                let level = ns.level(&n.abstraction);
+                out.nouns.push(ns.noun(level, &n.name, &n.description));
+            }
+            Record::Verb(v) => {
+                let level = ns.level(&v.abstraction);
+                out.verbs.push(ns.verb(level, &v.name, &v.description));
+            }
+            Record::Mapping(m) => {
+                let source = resolve_sentence(ns, &m.source)?;
+                let destination = resolve_sentence(ns, &m.destination)?;
+                let def = MappingDef {
+                    source,
+                    destination,
+                };
+                table.add(def);
+                out.mappings.push(def);
+            }
+            Record::Resource(r) => {
+                let level = ns.level(&r.abstraction);
+                let components: Vec<&str> =
+                    r.path.split('/').filter(|c| !c.is_empty()).collect();
+                let tree = axis.tree_mut(&r.hierarchy);
+                let node = tree.add_path(&components);
+                let noun_name = r
+                    .noun
+                    .as_deref()
+                    .or_else(|| components.last().copied())
+                    .unwrap_or("");
+                if !noun_name.is_empty() {
+                    // Define the noun on demand so RESOURCE records are
+                    // self-contained.
+                    let noun = ns.noun(level, noun_name, &r.path);
+                    tree.set_noun(node, noun);
+                }
+            }
+            Record::Metric(m) => {
+                // Ensure the metric's level exists; the record itself is
+                // interpreted by the metric manager.
+                ns.level(&m.abstraction);
+                out.metrics.push(m.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use pdmap::mapping::MappingShape;
+
+    #[test]
+    fn applying_figure2_builds_one_to_many_mapping() {
+        let file = samples::figure2();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let applied = apply(&file, &ns, &mut table, &mut axis).unwrap();
+        assert_eq!(applied.nouns.len(), 3);
+        assert_eq!(applied.verbs.len(), 2);
+        assert_eq!(applied.mappings.len(), 2);
+        // One low-level function to two source lines: one-to-many.
+        let src = applied.mappings[0].source;
+        assert_eq!(table.shape_of(src), Some(MappingShape::OneToMany));
+        // Levels got created.
+        assert!(ns.find_level("CM Fortran").is_some());
+        assert!(ns.find_level("Base").is_some());
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let file = samples::figure2();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        apply(&file, &ns, &mut table, &mut axis).unwrap();
+        apply(&file, &ns, &mut table, &mut axis).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(ns.num_nouns(), 3);
+    }
+
+    #[test]
+    fn mapping_with_undefined_verb_fails() {
+        let text = "MAPPING\nsource = {a, NoSuchVerb}\ndestination = {b, AlsoMissing}\n";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let err = apply(&file, &ns, &mut table, &mut axis).unwrap_err();
+        assert_eq!(
+            err,
+            ApplyError::UnknownVerb {
+                verb: "NoSuchVerb".into()
+            }
+        );
+    }
+
+    #[test]
+    fn mapping_with_undefined_noun_fails() {
+        let text = "\
+VERB
+name = V
+abstraction = L
+
+MAPPING
+source = {ghost, V}
+destination = {ghost, V}
+";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let err = apply(&file, &ns, &mut table, &mut axis).unwrap_err();
+        assert!(matches!(err, ApplyError::UnknownNoun { .. }));
+    }
+
+    #[test]
+    fn noun_resolution_prefers_verb_level() {
+        // "A" exists at both levels; the mapping's verb fixes the level.
+        let text = "\
+NOUN
+name = A
+abstraction = L1
+
+NOUN
+name = A
+abstraction = L2
+
+VERB
+name = V1
+abstraction = L1
+
+VERB
+name = V2
+abstraction = L2
+
+MAPPING
+source = {A, V1}
+destination = {A, V2}
+";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let applied = apply(&file, &ns, &mut table, &mut axis).unwrap();
+        let def = applied.mappings[0];
+        assert_ne!(def.source, def.destination);
+        let l1 = ns.find_level("L1").unwrap();
+        let l2 = ns.find_level("L2").unwrap();
+        assert_eq!(ns.sentence_level(def.source), l1);
+        assert_eq!(ns.sentence_level(def.destination), l2);
+    }
+
+    #[test]
+    fn ambiguous_verb_reference_fails() {
+        let text = "\
+VERB
+name = V
+abstraction = L1
+
+VERB
+name = V
+abstraction = L2
+
+NOUN
+name = a
+abstraction = L1
+
+MAPPING
+source = {a, V}
+destination = {a, V}
+";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let err = apply(&file, &ns, &mut table, &mut axis).unwrap_err();
+        assert!(matches!(err, ApplyError::Ambiguous { kind: "verb", .. }));
+    }
+
+    #[test]
+    fn resource_records_populate_where_axis() {
+        let text = "\
+RESOURCE
+hierarchy = CMFarrays
+path = /bow.fcm/CORNER/TOT
+abstraction = CM Fortran
+
+RESOURCE
+hierarchy = CMFarrays
+path = /bow.fcm/CORNER/SRM
+abstraction = CM Fortran
+";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        apply(&file, &ns, &mut table, &mut axis).unwrap();
+        let tree = axis.tree("CMFarrays").unwrap();
+        let tot = tree.resolve("/bow.fcm/CORNER/TOT").unwrap();
+        assert!(tree.noun(tot).is_some());
+        assert_eq!(tree.resolve("/bow.fcm/CORNER").map(|n| tree.children(n).len()), Some(2));
+        // Noun got defined with the path as description.
+        let lvl = ns.find_level("CM Fortran").unwrap();
+        assert!(ns.find_noun(lvl, "TOT").is_some());
+    }
+
+    #[test]
+    fn metric_records_are_collected() {
+        let text = "\
+METRIC
+name = Summations
+abstraction = CM Fortran
+units = operations
+aggregate = sum
+description = Count of array summations.
+";
+        let file = crate::text::parse(text).unwrap();
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let applied = apply(&file, &ns, &mut table, &mut axis).unwrap();
+        assert_eq!(applied.metrics.len(), 1);
+        assert_eq!(applied.metrics[0].name, "Summations");
+        assert!(ns.find_level("CM Fortran").is_some());
+    }
+}

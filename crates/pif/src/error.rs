@@ -1,0 +1,84 @@
+//! Error types for PIF parsing and application.
+
+use std::fmt;
+
+/// A parse failure, with 1-based line number context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PIF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A failure while applying parsed records to a namespace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A mapping record referenced a verb never defined (in the file or the
+    /// pre-existing namespace).
+    UnknownVerb {
+        /// The undefined verb name.
+        verb: String,
+    },
+    /// A mapping record referenced a noun never defined.
+    UnknownNoun {
+        /// The undefined noun name.
+        noun: String,
+    },
+    /// A name was defined at several levels and the reference is ambiguous.
+    Ambiguous {
+        /// The ambiguous name.
+        name: String,
+        /// Whether it names a noun or a verb.
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::UnknownVerb { verb } => write!(f, "unknown verb '{verb}' in mapping"),
+            ApplyError::UnknownNoun { noun } => write!(f, "unknown noun '{noun}' in mapping"),
+            ApplyError::Ambiguous { name, kind } => {
+                write!(f, "{kind} name '{name}' is ambiguous across levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ParseError::new(7, "bad record");
+        assert_eq!(e.to_string(), "PIF parse error at line 7: bad record");
+        let a = ApplyError::UnknownVerb { verb: "X".into() };
+        assert!(a.to_string().contains("'X'"));
+        let b = ApplyError::Ambiguous {
+            name: "A".into(),
+            kind: "noun",
+        };
+        assert!(b.to_string().contains("ambiguous"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pdmap-pif — the Paradyn Information Format
+//!
+//! Static mapping information (paper §3 and §5): record model (Figure 3),
+//! a textual serialisation matching Figure 2, application of records to a
+//! live [`pdmap::model::Namespace`]/[`pdmap::mapping::MappingTable`]/
+//! [`pdmap::hierarchy::WhereAxis`], and the §6.2 compiler-listing scanner
+//! that turns compiler output into PIF.
+//!
+//! ```
+//! use pdmap::{hierarchy::WhereAxis, mapping::MappingTable, model::Namespace};
+//!
+//! let text = pdmap_pif::write(&pdmap_pif::samples::figure2());
+//! let file = pdmap_pif::parse(&text).unwrap();
+//! let ns = Namespace::new();
+//! let mut table = MappingTable::new();
+//! let mut axis = WhereAxis::new();
+//! let applied = pdmap_pif::apply(&file, &ns, &mut table, &mut axis).unwrap();
+//! assert_eq!(applied.mappings.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apply;
+pub mod error;
+pub mod listing;
+pub mod model;
+pub mod samples;
+pub mod text;
+
+pub use apply::{apply, resolve_sentence, Applied};
+pub use error::{ApplyError, ParseError};
+pub use listing::{listing_to_pif, parse_listing, Listing, ScanOptions};
+pub use model::{
+    MappingRecord, MetricAggregate, MetricRecord, NounRecord, PifFile, Record, ResourceRecord,
+    SentenceRef, VerbRecord,
+};
+pub use text::{parse, parse_sentence_ref, write};

@@ -1,0 +1,430 @@
+//! The compiler-listing scanner (paper §6.2).
+//!
+//! "We create CM Fortran PIF files with a simple utility that parses CM
+//! Fortran compiler output files. The utility scans the compiler output
+//! files for lists of parallel statements, parallel arrays, and node-code
+//! blocks. It then produces a PIF file that defines the statements and
+//! arrays for Paradyn and describes the mappings from statements to code
+//! blocks."
+//!
+//! The listing format is the one emitted by the `cmf-lang` compiler:
+//!
+//! ```text
+//! CMF LISTING v1
+//! file = bow.fcm
+//! statement line=1160 fn=CORNER text=ASUM = SUM(A)
+//! array name=TOT fn=CORNER rank=2 extents=64,64 dist=block
+//! block name=cmpe_corner_6_ lines=1160,1161 arrays=TOT,SRM
+//! ```
+//!
+//! Because our compiler also records which arrays each node-code block
+//! touches, the generated PIF includes the statement→data-structure mapping
+//! the paper laments is "typically not available" from symbolic debugging
+//! information (§1).
+
+use crate::error::ParseError;
+use crate::model::{
+    MappingRecord, NounRecord, PifFile, Record, ResourceRecord, SentenceRef, VerbRecord,
+};
+use std::collections::BTreeSet;
+
+/// A parallel statement entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatementEntry {
+    /// Source line number.
+    pub line: u32,
+    /// Enclosing function (empty for top level).
+    pub function: String,
+    /// Source text of the statement.
+    pub text: String,
+}
+
+/// A parallel array entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayEntry {
+    /// Array name.
+    pub name: String,
+    /// Enclosing function (empty for top level / common).
+    pub function: String,
+    /// Number of dimensions.
+    pub rank: u32,
+    /// Extent per dimension.
+    pub extents: Vec<u64>,
+    /// Distribution ("block", "cyclic", ...).
+    pub dist: String,
+}
+
+/// A node-code-block entry: one compiler-generated function that runs on
+/// every processing node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Mangled block name (e.g. `cmpe_corner_6_`).
+    pub name: String,
+    /// Source lines the block implements.
+    pub lines: Vec<u32>,
+    /// Arrays the block touches.
+    pub arrays: Vec<String>,
+}
+
+/// A parsed compiler listing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Listing {
+    /// Source file name.
+    pub file: String,
+    /// Parallel statements.
+    pub statements: Vec<StatementEntry>,
+    /// Parallel arrays.
+    pub arrays: Vec<ArrayEntry>,
+    /// Node code blocks.
+    pub blocks: Vec<BlockEntry>,
+}
+
+fn kv<'a>(token: &'a str, key: &str, lineno: usize) -> Result<&'a str, ParseError> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| ParseError::new(lineno, format!("expected '{key}=...', got '{token}'")))
+}
+
+fn parse_u32(s: &str, lineno: usize) -> Result<u32, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError::new(lineno, format!("expected integer, got '{s}'")))
+}
+
+fn parse_list<T>(
+    s: &str,
+    lineno: usize,
+    f: impl Fn(&str, usize) -> Result<T, ParseError>,
+) -> Result<Vec<T>, ParseError> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| f(p.trim(), lineno))
+        .collect()
+}
+
+/// Parses a compiler listing.
+pub fn parse_listing(input: &str) -> Result<Listing, ParseError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::new(1, "empty listing"))?;
+    if header.trim() != "CMF LISTING v1" {
+        return Err(ParseError::new(1, "expected 'CMF LISTING v1' header"));
+    }
+    let mut listing = Listing::default();
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("file =") {
+            listing.file = rest.trim().to_string();
+            continue;
+        }
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| ParseError::new(lineno, format!("malformed entry '{line}'")))?;
+        match kind {
+            "statement" => {
+                // Fields are positional because `text=` swallows the rest.
+                let rest = rest.trim_start();
+                let (line_tok, rest) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ParseError::new(lineno, "statement missing fields"))?;
+                let line_no = parse_u32(kv(line_tok, "line", lineno)?, lineno)?;
+                let (function, rest) = if let Some(after) = rest.strip_prefix("fn=") {
+                    let (f, r) = after
+                        .split_once(' ')
+                        .ok_or_else(|| ParseError::new(lineno, "statement missing text="))?;
+                    (f.to_string(), r)
+                } else {
+                    (String::new(), rest)
+                };
+                let text = kv(rest, "text", lineno)?.to_string();
+                listing.statements.push(StatementEntry {
+                    line: line_no,
+                    function,
+                    text,
+                });
+            }
+            "array" => {
+                let mut name = None;
+                let mut function = String::new();
+                let mut rank = 1u32;
+                let mut extents = Vec::new();
+                let mut dist = "block".to_string();
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("name=") {
+                        name = Some(v.to_string());
+                    } else if let Some(v) = tok.strip_prefix("fn=") {
+                        function = v.to_string();
+                    } else if let Some(v) = tok.strip_prefix("rank=") {
+                        rank = parse_u32(v, lineno)?;
+                    } else if let Some(v) = tok.strip_prefix("extents=") {
+                        extents = parse_list(v, lineno, |s, l| {
+                            s.parse::<u64>()
+                                .map_err(|_| ParseError::new(l, format!("bad extent '{s}'")))
+                        })?;
+                    } else if let Some(v) = tok.strip_prefix("dist=") {
+                        dist = v.to_string();
+                    } else {
+                        return Err(ParseError::new(lineno, format!("unknown array field '{tok}'")));
+                    }
+                }
+                let name = name
+                    .ok_or_else(|| ParseError::new(lineno, "array entry missing name="))?;
+                listing.arrays.push(ArrayEntry {
+                    name,
+                    function,
+                    rank,
+                    extents,
+                    dist,
+                });
+            }
+            "block" => {
+                let mut name = None;
+                let mut block_lines = Vec::new();
+                let mut arrays = Vec::new();
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("name=") {
+                        name = Some(v.to_string());
+                    } else if let Some(v) = tok.strip_prefix("lines=") {
+                        block_lines = parse_list(v, lineno, parse_u32)?;
+                    } else if let Some(v) = tok.strip_prefix("arrays=") {
+                        arrays = parse_list(v, lineno, |s, _| Ok(s.to_string()))?;
+                    } else {
+                        return Err(ParseError::new(lineno, format!("unknown block field '{tok}'")));
+                    }
+                }
+                let name =
+                    name.ok_or_else(|| ParseError::new(lineno, "block entry missing name="))?;
+                listing.blocks.push(BlockEntry {
+                    name,
+                    lines: block_lines,
+                    arrays,
+                });
+            }
+            other => {
+                return Err(ParseError::new(lineno, format!("unknown entry kind '{other}'")));
+            }
+        }
+    }
+    Ok(listing)
+}
+
+/// Options controlling PIF generation from a listing.
+#[derive(Clone, Debug)]
+pub struct ScanOptions {
+    /// Name of the source level of abstraction.
+    pub source_level: String,
+    /// Name of the base level of abstraction.
+    pub base_level: String,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        Self {
+            source_level: "CM Fortran".to_string(),
+            base_level: "Base".to_string(),
+        }
+    }
+}
+
+/// Converts a parsed listing to PIF records: noun definitions for lines,
+/// arrays, and node-code blocks; `Executes`/`Touches`/`CPU Utilization`
+/// verbs; block→line and block→array mappings; and where-axis resource
+/// records for the `CMFstmts` and `CMFarrays` hierarchies (Figure 8).
+pub fn listing_to_pif(listing: &Listing, opts: &ScanOptions) -> PifFile {
+    let mut f = PifFile::new();
+    let src = &opts.source_level;
+    let base = &opts.base_level;
+
+    f.push(Record::Verb(VerbRecord {
+        name: "Executes".into(),
+        abstraction: src.clone(),
+        description: "units are \"% CPU\"".into(),
+    }));
+    f.push(Record::Verb(VerbRecord {
+        name: "Touches".into(),
+        abstraction: src.clone(),
+        description: "array is referenced by executing code".into(),
+    }));
+    f.push(Record::Verb(VerbRecord {
+        name: "CPU Utilization".into(),
+        abstraction: base.clone(),
+        description: "units are \"% CPU\"".into(),
+    }));
+
+    for s in &listing.statements {
+        f.push(Record::Noun(NounRecord {
+            name: format!("line{}", s.line),
+            abstraction: src.clone(),
+            description: format!("line #{} in source file {}: {}", s.line, listing.file, s.text),
+        }));
+        let scope = if s.function.is_empty() {
+            listing.file.clone()
+        } else {
+            format!("{}/{}", listing.file, s.function)
+        };
+        f.push(Record::Resource(ResourceRecord {
+            hierarchy: "CMFstmts".into(),
+            path: format!("/{scope}/line#{}", s.line),
+            abstraction: src.clone(),
+            noun: Some(format!("line{}", s.line)),
+        }));
+    }
+
+    for a in &listing.arrays {
+        f.push(Record::Noun(NounRecord {
+            name: a.name.clone(),
+            abstraction: src.clone(),
+            description: format!(
+                "parallel array {} rank {} extents {:?} dist {}",
+                a.name, a.rank, a.extents, a.dist
+            ),
+        }));
+        let scope = if a.function.is_empty() {
+            listing.file.clone()
+        } else {
+            format!("{}/{}", listing.file, a.function)
+        };
+        f.push(Record::Resource(ResourceRecord {
+            hierarchy: "CMFarrays".into(),
+            path: format!("/{scope}/{}", a.name),
+            abstraction: src.clone(),
+            noun: Some(a.name.clone()),
+        }));
+    }
+
+    let known_arrays: BTreeSet<&str> =
+        listing.arrays.iter().map(|a| a.name.as_str()).collect();
+
+    for b in &listing.blocks {
+        let block_noun = format!("{}()", b.name);
+        f.push(Record::Noun(NounRecord {
+            name: block_noun.clone(),
+            abstraction: base.clone(),
+            description: "compiler generated function, source code not available".into(),
+        }));
+        let source = SentenceRef::new(vec![block_noun.clone()], "CPU Utilization");
+        for &line in &b.lines {
+            f.push(Record::Mapping(MappingRecord {
+                source: source.clone(),
+                destination: SentenceRef::new(vec![format!("line{line}")], "Executes"),
+            }));
+        }
+        for array in &b.arrays {
+            // Skip arrays the listing never declared (defensive against
+            // hand-edited listings).
+            if known_arrays.contains(array.as_str()) {
+                f.push(Record::Mapping(MappingRecord {
+                    source: source.clone(),
+                    destination: SentenceRef::new(vec![array.clone()], "Touches"),
+                }));
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+CMF LISTING v1
+file = main.fcm
+statement line=1160 fn=CORR text=X = A + B
+statement line=1161 fn=CORR text=Y = A - B
+array name=A fn=CORR rank=1 extents=1024 dist=block
+array name=B fn=CORR rank=1 extents=1024 dist=block
+block name=cmpe_corr_6_ lines=1160,1161 arrays=A,B
+";
+
+    #[test]
+    fn parses_sample_listing() {
+        let l = parse_listing(SAMPLE).unwrap();
+        assert_eq!(l.file, "main.fcm");
+        assert_eq!(l.statements.len(), 2);
+        assert_eq!(l.statements[0].line, 1160);
+        assert_eq!(l.statements[0].function, "CORR");
+        assert_eq!(l.statements[0].text, "X = A + B");
+        assert_eq!(l.arrays.len(), 2);
+        assert_eq!(l.arrays[0].extents, vec![1024]);
+        assert_eq!(l.blocks.len(), 1);
+        assert_eq!(l.blocks[0].lines, vec![1160, 1161]);
+        assert_eq!(l.blocks[0].arrays, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn statement_text_may_contain_spaces_and_equals() {
+        let l = parse_listing("CMF LISTING v1\nstatement line=5 text=ASUM = SUM(A)\n").unwrap();
+        assert_eq!(l.statements[0].text, "ASUM = SUM(A)");
+        assert_eq!(l.statements[0].function, "");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_listing("LISTING\n").is_err());
+        assert!(parse_listing("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entries() {
+        let e = parse_listing("CMF LISTING v1\nwidget name=x\n").unwrap_err();
+        assert!(e.message.contains("unknown entry kind"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn pif_generation_reproduces_figure2_shape() {
+        let l = parse_listing(SAMPLE).unwrap();
+        let pif = listing_to_pif(&l, &ScanOptions::default());
+        // Statements + arrays + block nouns.
+        assert_eq!(pif.nouns().count(), 2 + 2 + 1);
+        // Block -> 2 lines + 2 arrays.
+        assert_eq!(pif.mappings().count(), 4);
+        let text = crate::text::write(&pif);
+        assert!(text.contains("source = {cmpe_corr_6_(), CPU Utilization}"));
+        assert!(text.contains("destination = {line1160, Executes}"));
+        assert!(text.contains("destination = {A, Touches}"));
+    }
+
+    #[test]
+    fn pif_applies_cleanly() {
+        use pdmap::hierarchy::WhereAxis;
+        use pdmap::mapping::MappingTable;
+        use pdmap::model::Namespace;
+        let l = parse_listing(SAMPLE).unwrap();
+        let pif = listing_to_pif(&l, &ScanOptions::default());
+        let ns = Namespace::new();
+        let mut table = MappingTable::new();
+        let mut axis = WhereAxis::new();
+        let applied = crate::apply::apply(&pif, &ns, &mut table, &mut axis).unwrap();
+        assert_eq!(applied.mappings.len(), 4);
+        let stmts = axis.tree("CMFstmts").unwrap();
+        assert!(stmts.resolve("/main.fcm/CORR/line#1160").is_some());
+        let arrays = axis.tree("CMFarrays").unwrap();
+        assert!(arrays.resolve("/main.fcm/CORR/A").is_some());
+    }
+
+    #[test]
+    fn unknown_block_arrays_are_skipped() {
+        let src = "CMF LISTING v1\nblock name=b lines=1 arrays=GHOST\nstatement line=1 text=x\n";
+        let l = parse_listing(src).unwrap();
+        let pif = listing_to_pif(&l, &ScanOptions::default());
+        // Only the line mapping, not the ghost-array mapping.
+        assert_eq!(pif.mappings().count(), 1);
+    }
+
+    #[test]
+    fn listing_roundtrip_stability() {
+        // parse → to_pif → write → parse(PIF) should be stable.
+        let l = parse_listing(SAMPLE).unwrap();
+        let pif = listing_to_pif(&l, &ScanOptions::default());
+        let text = crate::text::write(&pif);
+        let parsed = crate::text::parse(&text).unwrap();
+        assert_eq!(pif, parsed);
+    }
+}

@@ -1,0 +1,257 @@
+//! The record model of the Paradyn Information Format (PIF).
+//!
+//! Paper §5: "Paradyn daemons import static mapping information via Paradyn
+//! Information Format (PIF) files just after they load each application
+//! executable. PIF files are emitted by compilers, programming environments,
+//! or other external sources..."
+//!
+//! Figure 3 gives the three core record types — noun definitions, verb
+//! definitions, and mapping definitions (source sentence → destination
+//! sentence). Two auxiliary record types carry the rest of what §5 says PIF
+//! communicates: `RESOURCE` records place nouns in where-axis hierarchies,
+//! and `METRIC` records describe language-specific metrics so "language-
+//! dependent and application-dependent visualization modules can receive
+//! descriptive information".
+
+use std::fmt;
+
+/// A noun definition record (Figure 2, first records).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NounRecord {
+    /// Noun name, unique within its level (e.g. `line1160`).
+    pub name: String,
+    /// Level of abstraction (e.g. `CM Fortran`, `Base`).
+    pub abstraction: String,
+    /// Free-form description.
+    pub description: String,
+}
+
+/// A verb definition record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerbRecord {
+    /// Verb name (e.g. `Executes`, `CPU Utilization`).
+    pub name: String,
+    /// Level of abstraction.
+    pub abstraction: String,
+    /// Free-form description (often the measurement units).
+    pub description: String,
+}
+
+/// A sentence reference inside a mapping record: `{noun, ..., verb}` with
+/// the verb written last, as in Figure 2's
+/// `source = {cmpe_corr_6_(), CPU Utilization}`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SentenceRef {
+    /// Participating noun names.
+    pub nouns: Vec<String>,
+    /// The verb name.
+    pub verb: String,
+}
+
+impl SentenceRef {
+    /// Builds a reference from nouns + verb.
+    pub fn new(nouns: Vec<String>, verb: impl Into<String>) -> Self {
+        Self {
+            nouns,
+            verb: verb.into(),
+        }
+    }
+}
+
+impl fmt::Display for SentenceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for n in &self.nouns {
+            write!(f, "{n}, ")?;
+        }
+        write!(f, "{}}}", self.verb)
+    }
+}
+
+/// A mapping definition record: source sentence ↦ destination sentence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MappingRecord {
+    /// The measured sentence.
+    pub source: SentenceRef,
+    /// The sentence measurements may also be presented for.
+    pub destination: SentenceRef,
+}
+
+/// A where-axis placement record: positions a noun in a resource hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Hierarchy name (e.g. `CMFarrays`, `CMFstmts`).
+    pub hierarchy: String,
+    /// `/`-separated path below the hierarchy root.
+    pub path: String,
+    /// Level of abstraction of the named resource.
+    pub abstraction: String,
+    /// Optional noun this resource corresponds to (defaults to the path's
+    /// final component).
+    pub noun: Option<String>,
+}
+
+/// How samples of a metric combine across foci/time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricAggregate {
+    /// Summable quantities (counts, times).
+    Sum,
+    /// Averaged quantities (utilisations).
+    Average,
+}
+
+impl fmt::Display for MetricAggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MetricAggregate::Sum => "sum",
+            MetricAggregate::Average => "average",
+        })
+    }
+}
+
+/// A metric description record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricRecord {
+    /// Metric name (e.g. `Summation Time`).
+    pub name: String,
+    /// Level of abstraction the metric belongs to.
+    pub abstraction: String,
+    /// Unit string (e.g. `seconds`, `operations`).
+    pub units: String,
+    /// Aggregation rule.
+    pub aggregate: MetricAggregate,
+    /// Free-form description (Figure 9's right column).
+    pub description: String,
+}
+
+/// Any PIF record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// Noun definition.
+    Noun(NounRecord),
+    /// Verb definition.
+    Verb(VerbRecord),
+    /// Mapping definition.
+    Mapping(MappingRecord),
+    /// Where-axis placement.
+    Resource(ResourceRecord),
+    /// Metric description.
+    Metric(MetricRecord),
+}
+
+impl Record {
+    /// The record-type keyword used in the textual format.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Record::Noun(_) => "NOUN",
+            Record::Verb(_) => "VERB",
+            Record::Mapping(_) => "MAPPING",
+            Record::Resource(_) => "RESOURCE",
+            Record::Metric(_) => "METRIC",
+        }
+    }
+}
+
+/// An in-memory PIF file: an ordered sequence of records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PifFile {
+    /// The records, in file order.
+    pub records: Vec<Record>,
+}
+
+impl PifFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: Record) {
+        self.records.push(r);
+    }
+
+    /// Iterates over noun records.
+    pub fn nouns(&self) -> impl Iterator<Item = &NounRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Noun(n) => Some(n),
+            _ => None,
+        })
+    }
+
+    /// Iterates over verb records.
+    pub fn verbs(&self) -> impl Iterator<Item = &VerbRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Verb(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Iterates over mapping records.
+    pub fn mappings(&self) -> impl Iterator<Item = &MappingRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Mapping(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Iterates over resource records.
+    pub fn resources(&self) -> impl Iterator<Item = &ResourceRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Resource(x) => Some(x),
+            _ => None,
+        })
+    }
+
+    /// Iterates over metric records.
+    pub fn metrics(&self) -> impl Iterator<Item = &MetricRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Metric(m) => Some(m),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_ref_display_matches_figure2() {
+        let s = SentenceRef::new(vec!["cmpe_corr_6_()".into()], "CPU Utilization");
+        assert_eq!(s.to_string(), "{cmpe_corr_6_(), CPU Utilization}");
+    }
+
+    #[test]
+    fn record_keywords() {
+        let n = Record::Noun(NounRecord {
+            name: "x".into(),
+            abstraction: "L".into(),
+            description: String::new(),
+        });
+        assert_eq!(n.keyword(), "NOUN");
+    }
+
+    #[test]
+    fn file_iterators_filter_by_kind() {
+        let mut f = PifFile::new();
+        f.push(Record::Noun(NounRecord {
+            name: "a".into(),
+            abstraction: "L".into(),
+            description: String::new(),
+        }));
+        f.push(Record::Verb(VerbRecord {
+            name: "v".into(),
+            abstraction: "L".into(),
+            description: String::new(),
+        }));
+        f.push(Record::Mapping(MappingRecord {
+            source: SentenceRef::new(vec!["a".into()], "v"),
+            destination: SentenceRef::new(vec!["a".into()], "v"),
+        }));
+        assert_eq!(f.nouns().count(), 1);
+        assert_eq!(f.verbs().count(), 1);
+        assert_eq!(f.mappings().count(), 1);
+        assert_eq!(f.resources().count(), 0);
+        assert_eq!(f.metrics().count(), 0);
+    }
+}

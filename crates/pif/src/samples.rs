@@ -1,0 +1,66 @@
+//! Programmatic copies of the paper's example records, used by tests and by
+//! the figure-regeneration binaries.
+
+use crate::model::{
+    MappingRecord, NounRecord, PifFile, Record, SentenceRef, VerbRecord,
+};
+
+/// The static mapping information of the paper's Figure 2: two CM Fortran
+/// source lines implemented by one compiler-generated function.
+pub fn figure2() -> PifFile {
+    let mut f = PifFile::new();
+    f.push(Record::Noun(NounRecord {
+        name: "line1160".into(),
+        abstraction: "CM Fortran".into(),
+        description: "line #1160 in source file /usr/src/prog/main.fcm".into(),
+    }));
+    f.push(Record::Noun(NounRecord {
+        name: "line1161".into(),
+        abstraction: "CM Fortran".into(),
+        description: "line #1161 in source file /usr/src/prog/main.fcm".into(),
+    }));
+    f.push(Record::Verb(VerbRecord {
+        name: "Executes".into(),
+        abstraction: "CM Fortran".into(),
+        description: "units are \"% CPU\"".into(),
+    }));
+    f.push(Record::Noun(NounRecord {
+        name: "cmpe_corr_6_()".into(),
+        abstraction: "Base".into(),
+        description: "compiler generated function, source code not available".into(),
+    }));
+    f.push(Record::Verb(VerbRecord {
+        name: "CPU Utilization".into(),
+        abstraction: "Base".into(),
+        description: "units are \"% CPU\"".into(),
+    }));
+    for line in ["line1160", "line1161"] {
+        f.push(Record::Mapping(MappingRecord {
+            source: SentenceRef::new(vec!["cmpe_corr_6_()".into()], "CPU Utilization"),
+            destination: SentenceRef::new(vec![line.into()], "Executes"),
+        }));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text;
+
+    #[test]
+    fn figure2_roundtrips_through_text() {
+        let f = figure2();
+        let parsed = text::parse(&text::write(&f)).unwrap();
+        assert_eq!(f, parsed);
+    }
+
+    #[test]
+    fn figure2_text_matches_paper_fields() {
+        let s = text::write(&figure2());
+        assert!(s.contains("name = line1160"));
+        assert!(s.contains("description = compiler generated function, source code not available"));
+        assert!(s.contains("source = {cmpe_corr_6_(), CPU Utilization}"));
+        assert!(s.contains("destination = {line1161, Executes}"));
+    }
+}

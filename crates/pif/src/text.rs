@@ -1,0 +1,376 @@
+//! The textual PIF format: writer and parser.
+//!
+//! The format follows Figure 2 of the paper: records are blocks separated by
+//! blank lines; the first line of a block is the record-type keyword, and
+//! the remaining lines are `key = value` pairs. Sentence references use the
+//! brace form with the verb last: `{cmpe_corr_6_(), CPU Utilization}`.
+//!
+//! ```text
+//! NOUN
+//! name = line1160
+//! abstraction = CM Fortran
+//! description = line #1160 in source file /usr/src/prog/main.fcm
+//!
+//! MAPPING
+//! source = {cmpe_corr_6_(), CPU Utilization}
+//! destination = {line1160, Executes}
+//! ```
+
+use crate::error::ParseError;
+use crate::model::{
+    MappingRecord, MetricAggregate, MetricRecord, NounRecord, PifFile, Record, ResourceRecord,
+    SentenceRef, VerbRecord,
+};
+use std::fmt::Write as _;
+
+/// Serialises a PIF file to its textual form.
+pub fn write(file: &PifFile) -> String {
+    let mut out = String::new();
+    for (i, record) in file.records.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match record {
+            Record::Noun(n) => {
+                writeln!(out, "NOUN").unwrap();
+                writeln!(out, "name = {}", n.name).unwrap();
+                writeln!(out, "abstraction = {}", n.abstraction).unwrap();
+                writeln!(out, "description = {}", n.description).unwrap();
+            }
+            Record::Verb(v) => {
+                writeln!(out, "VERB").unwrap();
+                writeln!(out, "name = {}", v.name).unwrap();
+                writeln!(out, "abstraction = {}", v.abstraction).unwrap();
+                writeln!(out, "description = {}", v.description).unwrap();
+            }
+            Record::Mapping(m) => {
+                writeln!(out, "MAPPING").unwrap();
+                writeln!(out, "source = {}", m.source).unwrap();
+                writeln!(out, "destination = {}", m.destination).unwrap();
+            }
+            Record::Resource(r) => {
+                writeln!(out, "RESOURCE").unwrap();
+                writeln!(out, "hierarchy = {}", r.hierarchy).unwrap();
+                writeln!(out, "path = {}", r.path).unwrap();
+                writeln!(out, "abstraction = {}", r.abstraction).unwrap();
+                if let Some(noun) = &r.noun {
+                    writeln!(out, "noun = {noun}").unwrap();
+                }
+            }
+            Record::Metric(m) => {
+                writeln!(out, "METRIC").unwrap();
+                writeln!(out, "name = {}", m.name).unwrap();
+                writeln!(out, "abstraction = {}", m.abstraction).unwrap();
+                writeln!(out, "units = {}", m.units).unwrap();
+                writeln!(out, "aggregate = {}", m.aggregate).unwrap();
+                writeln!(out, "description = {}", m.description).unwrap();
+            }
+        }
+    }
+    out
+}
+
+struct Block<'a> {
+    keyword: &'a str,
+    keyword_line: usize,
+    fields: Vec<(usize, &'a str, &'a str)>,
+}
+
+impl<'a> Block<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.fields
+            .iter()
+            .find(|(_, k, _)| *k == key)
+            .map(|&(_, _, v)| v)
+    }
+
+    fn require(&self, key: &str) -> Result<&'a str, ParseError> {
+        self.get(key).ok_or_else(|| {
+            ParseError::new(
+                self.keyword_line,
+                format!("{} record is missing '{key}'", self.keyword),
+            )
+        })
+    }
+}
+
+/// Parses a sentence reference of the form `{noun, noun, verb}`.
+pub fn parse_sentence_ref(s: &str, line: usize) -> Result<SentenceRef, ParseError> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix('{')
+        .and_then(|x| x.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new(line, format!("expected {{...}} sentence, got '{s}'")))?;
+    let mut parts: Vec<String> = inner
+        .split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if parts.is_empty() {
+        return Err(ParseError::new(line, "empty sentence reference"));
+    }
+    let verb = parts.pop().expect("non-empty");
+    Ok(SentenceRef::new(parts, verb))
+}
+
+/// Parses the textual PIF format.
+pub fn parse(input: &str) -> Result<PifFile, ParseError> {
+    let mut file = PifFile::new();
+    for block in blocks(input)? {
+        let record = match block.keyword {
+            "NOUN" => Record::Noun(NounRecord {
+                name: block.require("name")?.to_string(),
+                abstraction: block.require("abstraction")?.to_string(),
+                description: block.get("description").unwrap_or("").to_string(),
+            }),
+            "VERB" => Record::Verb(VerbRecord {
+                name: block.require("name")?.to_string(),
+                abstraction: block.require("abstraction")?.to_string(),
+                description: block.get("description").unwrap_or("").to_string(),
+            }),
+            "MAPPING" => {
+                let src_line = field_line(&block, "source");
+                let dst_line = field_line(&block, "destination");
+                Record::Mapping(MappingRecord {
+                    source: parse_sentence_ref(block.require("source")?, src_line)?,
+                    destination: parse_sentence_ref(block.require("destination")?, dst_line)?,
+                })
+            }
+            "RESOURCE" => Record::Resource(ResourceRecord {
+                hierarchy: block.require("hierarchy")?.to_string(),
+                path: block.require("path")?.to_string(),
+                abstraction: block.require("abstraction")?.to_string(),
+                noun: block.get("noun").map(str::to_string),
+            }),
+            "METRIC" => {
+                let agg_line = field_line(&block, "aggregate");
+                let aggregate = match block.get("aggregate").unwrap_or("sum") {
+                    "sum" => MetricAggregate::Sum,
+                    "average" | "avg" => MetricAggregate::Average,
+                    other => {
+                        return Err(ParseError::new(
+                            agg_line,
+                            format!("unknown aggregate '{other}' (expected sum|average)"),
+                        ))
+                    }
+                };
+                Record::Metric(MetricRecord {
+                    name: block.require("name")?.to_string(),
+                    abstraction: block.require("abstraction")?.to_string(),
+                    units: block.get("units").unwrap_or("").to_string(),
+                    aggregate,
+                    description: block.get("description").unwrap_or("").to_string(),
+                })
+            }
+            other => {
+                return Err(ParseError::new(
+                    block.keyword_line,
+                    format!("unknown record type '{other}'"),
+                ))
+            }
+        };
+        file.push(record);
+    }
+    Ok(file)
+}
+
+fn field_line(block: &Block<'_>, key: &str) -> usize {
+    block
+        .fields
+        .iter()
+        .find(|(_, k, _)| *k == key)
+        .map(|&(l, _, _)| l)
+        .unwrap_or(block.keyword_line)
+}
+
+fn blocks(input: &str) -> Result<Vec<Block<'_>>, ParseError> {
+    let mut out: Vec<Block<'_>> = Vec::new();
+    let mut current: Option<Block<'_>> = None;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            if let Some(b) = current.take() {
+                out.push(b);
+            }
+            continue;
+        }
+        match &mut current {
+            None => {
+                if line.contains('=') {
+                    return Err(ParseError::new(
+                        lineno,
+                        "expected a record-type keyword before fields",
+                    ));
+                }
+                current = Some(Block {
+                    keyword: line,
+                    keyword_line: lineno,
+                    fields: Vec::new(),
+                });
+            }
+            Some(block) => {
+                let Some(eq) = raw.find('=') else {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("expected 'key = value' inside {} record", block.keyword),
+                    ));
+                };
+                let key = raw[..eq].trim();
+                let value = raw[eq + 1..].trim();
+                if key.is_empty() {
+                    return Err(ParseError::new(lineno, "empty field key"));
+                }
+                block.fields.push((lineno, key, value));
+            }
+        }
+    }
+    if let Some(b) = current.take() {
+        out.push(b);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact content of the paper's Figure 2.
+    pub(crate) const FIGURE2: &str = "\
+NOUN
+name = line1160
+abstraction = CM Fortran
+description = line #1160 in source file /usr/src/prog/main.fcm
+
+NOUN
+name = line1161
+abstraction = CM Fortran
+description = line #1161 in source file /usr/src/prog/main.fcm
+
+VERB
+name = Executes
+abstraction = CM Fortran
+description = units are \"% CPU\"
+
+NOUN
+name = cmpe_corr_6_()
+abstraction = Base
+description = compiler generated function, source code not available
+
+VERB
+name = CPU Utilization
+abstraction = Base
+description = units are \"% CPU\"
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1160, Executes}
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1161, Executes}
+";
+
+    #[test]
+    fn parses_figure2() {
+        let f = parse(FIGURE2).unwrap();
+        assert_eq!(f.records.len(), 7);
+        assert_eq!(f.nouns().count(), 3);
+        assert_eq!(f.verbs().count(), 2);
+        let maps: Vec<_> = f.mappings().collect();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].source.nouns, vec!["cmpe_corr_6_()"]);
+        assert_eq!(maps[0].source.verb, "CPU Utilization");
+        assert_eq!(maps[1].destination.nouns, vec!["line1161"]);
+        assert_eq!(maps[1].destination.verb, "Executes");
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let f = parse(FIGURE2).unwrap();
+        let text = write(&f);
+        let f2 = parse(&text).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn parses_resource_and_metric_records() {
+        let input = "\
+RESOURCE
+hierarchy = CMFarrays
+path = /bow.fcm/CORNER/TOT
+abstraction = CM Fortran
+noun = TOT
+
+METRIC
+name = Summation Time
+abstraction = CM Fortran
+units = seconds
+aggregate = sum
+description = Time spent summing arrays.
+";
+        let f = parse(input).unwrap();
+        let r = f.resources().next().unwrap();
+        assert_eq!(r.path, "/bow.fcm/CORNER/TOT");
+        assert_eq!(r.noun.as_deref(), Some("TOT"));
+        let m = f.metrics().next().unwrap();
+        assert_eq!(m.name, "Summation Time");
+        assert_eq!(m.aggregate, MetricAggregate::Sum);
+        // Round-trip these too.
+        assert_eq!(parse(&write(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn multi_noun_sentence_ref() {
+        let s = parse_sentence_ref("{A, B, Sums}", 1).unwrap();
+        assert_eq!(s.nouns, vec!["A", "B"]);
+        assert_eq!(s.verb, "Sums");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let input = "# produced by cmf-lang\n\nVERB\nname = v\nabstraction = L\n\n# end\n";
+        let f = parse(input).unwrap();
+        assert_eq!(f.verbs().count(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_record_type() {
+        let e = parse("BOGUS\nname = x\n").unwrap_err();
+        assert!(e.message.contains("unknown record type"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn error_on_missing_field() {
+        let e = parse("NOUN\nname = x\n").unwrap_err();
+        assert!(e.message.contains("missing 'abstraction'"));
+    }
+
+    #[test]
+    fn error_on_field_before_keyword() {
+        let e = parse("name = x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("keyword"));
+    }
+
+    #[test]
+    fn error_on_bad_sentence_syntax() {
+        let e = parse("MAPPING\nsource = cmpe(), CPU\ndestination = {a, v}\n").unwrap_err();
+        assert!(e.message.contains("expected {"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn error_on_bad_aggregate() {
+        let e = parse("METRIC\nname = m\nabstraction = L\naggregate = median\n").unwrap_err();
+        assert!(e.message.contains("unknown aggregate"));
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn values_may_contain_equals() {
+        let f = parse("NOUN\nname = x\nabstraction = L\ndescription = a = b\n").unwrap();
+        assert_eq!(f.nouns().next().unwrap().description, "a = b");
+    }
+}

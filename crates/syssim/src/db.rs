@@ -1,0 +1,218 @@
+//! The §4.2.3 distributed-database scenario.
+//!
+//! "In a distributed database system, if a server process performs disk
+//! reads on behalf of clients, then we may wish to measure server disk
+//! reads that correspond to a particular client or a particular query. The
+//! SAS information that is necessary to answer such a performance question
+//! (*server reads from disk, client query is active*) would be distributed
+//! between the SAS on the client and the SAS on the server. ... the
+//! client's SAS would need to send one sentence (i.e., *client query is
+//! active*) to the server's SAS whenever that sentence became active or
+//! inactive."
+//!
+//! [`DbSystem`] wires a client node and a server node through a
+//! [`DistributedSas`] with exactly that forwarding rule and measures
+//! per-query server disk reads.
+
+use pdmap::model::{Namespace, NounId, SentenceId, VerbId};
+use pdmap::sas::{
+    DistributedSas, ForwardingRule, Question, QuestionId, SentencePattern,
+};
+use std::collections::BTreeMap;
+
+/// Node indices.
+pub const CLIENT: usize = 0;
+/// Node indices.
+pub const SERVER: usize = 1;
+
+/// A two-node client/server database with a distributed SAS.
+pub struct DbSystem {
+    ns: Namespace,
+    sas: DistributedSas,
+    runs_query: VerbId,
+    reads_disk: VerbId,
+    disk: NounId,
+    read_sentence: SentenceId,
+    /// Per-query measurement questions on the server.
+    query_questions: BTreeMap<u32, QuestionId>,
+    /// Per-query attributed read counts.
+    attributed: BTreeMap<u32, u64>,
+    total_reads: u64,
+}
+
+impl DbSystem {
+    /// Builds the system. `forward_queries` installs the client→server
+    /// forwarding rule; without it, cross-node questions silently fail
+    /// (the ablation measured in the benches).
+    pub fn new(ns: Namespace, forward_queries: bool) -> Self {
+        let db = ns.level("DB");
+        let runs_query = ns.verb(db, "RunsQuery", "client query is active");
+        let reads_disk = ns.verb(db, "ReadsDisk", "server reads from disk");
+        let disk = ns.noun(db, "disk0", "server disk");
+        let read_sentence = ns.say(reads_disk, [disk]);
+        let sas = DistributedSas::new(ns.clone(), 2);
+        sas.set_auto_deliver(true);
+        if forward_queries {
+            sas.add_rule(
+                CLIENT,
+                ForwardingRule {
+                    pattern: SentencePattern::any_noun(runs_query),
+                    to_node: SERVER,
+                },
+            );
+        }
+        Self {
+            ns,
+            sas,
+            runs_query,
+            reads_disk,
+            disk,
+            read_sentence,
+            query_questions: BTreeMap::new(),
+            attributed: BTreeMap::new(),
+            total_reads: 0,
+        }
+    }
+
+    /// The namespace.
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// The underlying distributed SAS.
+    pub fn sas(&self) -> &DistributedSas {
+        &self.sas
+    }
+
+    fn query_sentence(&self, query: u32) -> SentenceId {
+        let db = self.ns.level("DB");
+        let noun = self.ns.noun(db, &format!("query#{query}"), "client query");
+        self.ns.say(self.runs_query, [noun])
+    }
+
+    /// Asks the §4.2.3 performance question for one query: *server reads
+    /// from disk, client query is active*. Registered on every node (the
+    /// server's SAS answers it).
+    pub fn watch_query(&mut self, query: u32) -> QuestionId {
+        let db = self.ns.level("DB");
+        let noun = self.ns.noun(db, &format!("query#{query}"), "client query");
+        let q = Question::new(
+            &format!("server disk reads for query#{query}"),
+            vec![
+                SentencePattern::noun_verb(self.disk, self.reads_disk),
+                SentencePattern::noun_verb(noun, self.runs_query),
+            ],
+        );
+        let qid = self.sas.register_question_all(&q);
+        self.query_questions.insert(query, qid);
+        qid
+    }
+
+    /// Runs one client query that triggers `reads` server disk reads.
+    pub fn run_query(&mut self, query: u32, reads: usize) {
+        let qs = self.query_sentence(query);
+        self.sas.activate(CLIENT, qs);
+        for _ in 0..reads {
+            self.server_disk_read();
+        }
+        self.sas.deactivate(CLIENT, qs);
+    }
+
+    /// A server disk read not on behalf of any query (background work).
+    pub fn background_read(&mut self) {
+        self.server_disk_read();
+    }
+
+    fn server_disk_read(&mut self) {
+        self.sas.activate(SERVER, self.read_sentence);
+        self.total_reads += 1;
+        for (&query, &qid) in &self.query_questions {
+            if self.sas.satisfied_on(SERVER, qid) {
+                *self.attributed.entry(query).or_insert(0) += 1;
+            }
+        }
+        self.sas.deactivate(SERVER, self.read_sentence);
+    }
+
+    /// Reads attributed to `query` so far.
+    pub fn attributed_reads(&self, query: u32) -> u64 {
+        self.attributed.get(&query).copied().unwrap_or(0)
+    }
+
+    /// Total server disk reads.
+    pub fn total_reads(&self) -> u64 {
+        self.total_reads
+    }
+
+    /// SAS forwarding messages exchanged so far.
+    pub fn messages(&self) -> u64 {
+        self.sas.messages_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_query_reads_are_attributed() {
+        let mut db = DbSystem::new(Namespace::new(), true);
+        db.watch_query(17);
+        db.watch_query(18);
+        db.run_query(17, 5);
+        db.background_read();
+        db.run_query(18, 2);
+        assert_eq!(db.attributed_reads(17), 5);
+        assert_eq!(db.attributed_reads(18), 2);
+        assert_eq!(db.total_reads(), 8);
+    }
+
+    #[test]
+    fn without_forwarding_nothing_is_attributed() {
+        let mut db = DbSystem::new(Namespace::new(), false);
+        db.watch_query(17);
+        db.run_query(17, 5);
+        assert_eq!(db.attributed_reads(17), 0);
+        assert_eq!(db.messages(), 0);
+    }
+
+    #[test]
+    fn forwarding_cost_is_two_messages_per_query() {
+        // One activation + one deactivation forwarded per query — the
+        // paper's "send one sentence ... whenever that sentence became
+        // active or inactive".
+        let mut db = DbSystem::new(Namespace::new(), true);
+        db.watch_query(1);
+        db.run_query(1, 3);
+        db.run_query(1, 2);
+        assert_eq!(db.messages(), 4);
+    }
+
+    #[test]
+    fn unwatched_queries_cost_messages_but_no_attribution() {
+        let mut db = DbSystem::new(Namespace::new(), true);
+        db.watch_query(1);
+        db.run_query(2, 4); // forwarded, but nobody asked about query#2
+        assert_eq!(db.attributed_reads(2), 0);
+        assert_eq!(db.attributed_reads(1), 0);
+        assert_eq!(db.messages(), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_both_attributed() {
+        let mut db = DbSystem::new(Namespace::new(), true);
+        db.watch_query(1);
+        db.watch_query(2);
+        // Manually interleave: both queries active during one read.
+        let q1 = db.query_sentence(1);
+        let q2 = db.query_sentence(2);
+        db.sas.activate(CLIENT, q1);
+        db.sas.activate(CLIENT, q2);
+        db.server_disk_read();
+        db.sas.deactivate(CLIENT, q2);
+        db.server_disk_read();
+        db.sas.deactivate(CLIENT, q1);
+        assert_eq!(db.attributed_reads(1), 2);
+        assert_eq!(db.attributed_reads(2), 1);
+    }
+}

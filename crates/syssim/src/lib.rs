@@ -1,0 +1,20 @@
+//! # sys-sim — auxiliary system models for the SAS edge cases
+//!
+//! Two small simulated systems the paper uses to delimit the Set of Active
+//! Sentences:
+//!
+//! * [`kernel`] — the §4.2.4/Figure 7 UNIX process+kernel with a delayed
+//!   buffer-cache flush, demonstrating the asynchronous-activation
+//!   limitation (and our causal-token extension that repairs it);
+//! * [`db`] — the §4.2.3 client/server database whose cross-node question
+//!   (*server reads from disk, client query is active*) requires SAS
+//!   forwarding.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod db;
+pub mod kernel;
+
+pub use db::{DbSystem, CLIENT, SERVER};
+pub use kernel::{Actor, AttributionStats, TimelineEntry, UnixConfig, UnixSim};

@@ -1,0 +1,42 @@
+//! Limitation 1 of the SAS (§4.2.4, Figure 7): asynchronous sentence
+//! activations. A user function buffers writes; the kernel flushes them to
+//! disk after the function has returned, so the plain SAS never holds both
+//! sentences at once. The causal-token extension repairs it.
+//!
+//! ```sh
+//! cargo run --example async_limitation
+//! ```
+
+use pdmap::model::Namespace;
+use sys_sim::{UnixConfig, UnixSim};
+
+fn run(causal: bool) {
+    let mut sim = UnixSim::new(
+        Namespace::new(),
+        UnixConfig {
+            causal_tokens: causal,
+            ..UnixConfig::default()
+        },
+    );
+    sim.watch_function("func");
+    sim.run_figure7(3);
+    println!(
+        "\n=== {} ===",
+        if causal {
+            "causal tokens ON (our extension beyond the paper)"
+        } else {
+            "plain SAS (as in the paper)"
+        }
+    );
+    print!("{}", sim.render_timeline());
+    let st = sim.stats();
+    println!(
+        "kernel disk writes: {}   attributed to func(): {}",
+        st.disk_writes, st.attributed
+    );
+}
+
+fn main() {
+    run(false);
+    run(true);
+}

@@ -1,0 +1,11 @@
+//! Workspace-root convenience crate: re-exports the member crates so the
+//! examples and integration tests read naturally. Library users should
+//! depend on the member crates directly.
+
+pub use cmf_lang;
+pub use cmrts_sim;
+pub use dyninst_sim;
+pub use paradyn_tool;
+pub use pdmap;
+pub use pdmap_pif;
+pub use sys_sim;

@@ -1,0 +1,288 @@
+//! End-to-end integration: source → compiler → PIF → machine → metrics,
+//! validated against the simulator's ground-truth event trace.
+
+use cmrts_sim::{Event, MachineConfig, ReduceKind};
+use paradyn_tool::tool::Paradyn;
+use pdmap::aggregate::AssignPolicy;
+use pdmap::cost::Cost;
+use pdmap::hierarchy::Focus;
+
+fn tool_for(src: &str, nodes: usize) -> Paradyn {
+    let mut tool = Paradyn::new(MachineConfig {
+        nodes,
+        ..MachineConfig::default()
+    });
+    tool.load_source(src).expect("sample compiles");
+    tool
+}
+
+#[test]
+fn counters_match_ground_truth_trace() {
+    let tool = tool_for(cmf_lang::samples::ALL_VERBS, 4);
+    let names = [
+        "Summations",
+        "MAXVAL Count",
+        "MINVAL Count",
+        "Rotations",
+        "Shifts",
+        "Transposes",
+        "Scans",
+        "Sorts",
+        "Point-to-Point Operations",
+        "Broadcasts",
+        "Node Activations",
+        "Cleanups",
+    ];
+    let requests: Vec<_> = names
+        .iter()
+        .map(|n| tool.request(n, &Focus::whole_program()).unwrap())
+        .collect();
+    let mut m = tool.new_machine().unwrap();
+    let summary = m.run();
+
+    let count = |f: &dyn Fn(&Event) -> bool| -> f64 {
+        m.trace().events().iter().filter(|e| f(e)).count() as f64
+    };
+    let expected = [
+        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Sum, .. })),
+        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Max, .. })),
+        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Min, .. })),
+        count(&|e| matches!(e, Event::Transform { kind: "rotate", .. })),
+        count(&|e| matches!(e, Event::Transform { kind: "shift", .. })),
+        count(&|e| matches!(e, Event::Transform { kind: "transpose", .. })),
+        count(&|e| matches!(e, Event::Scan { .. })),
+        count(&|e| matches!(e, Event::Sort { .. })),
+        summary.messages as f64,
+        summary.broadcasts as f64,
+        count(&|e| matches!(e, Event::NodeActivate { .. })),
+        count(&|e| matches!(e, Event::Cleanup { .. })),
+    ];
+    for ((name, req), want) in names.iter().zip(&requests).zip(&expected) {
+        assert_eq!(req.value(&m), *want, "metric {name} disagrees with trace");
+        assert!(*want > 0.0, "workload must exercise {name}");
+    }
+}
+
+#[test]
+fn computed_results_match_sequential_reference() {
+    // The simulator's collectives produce real answers.
+    let src = "\
+PROGRAM CHECK
+REAL A(100), B(100)
+FORALL (I = 1:100) A(I) = 3*I - 2
+B = SCAN_ADD(A)
+S = SUM(A)
+MX = MAXVAL(A)
+MN = MINVAL(A)
+LAST = MAXVAL(B)
+END
+";
+    let tool = tool_for(src, 4);
+    let mut m = tool.new_machine().unwrap();
+    m.run();
+    let a: Vec<f64> = (1..=100).map(|i| 3.0 * i as f64 - 2.0).collect();
+    let sum: f64 = a.iter().sum();
+    assert_eq!(m.scalar("S"), Some(sum));
+    assert_eq!(m.scalar("MX"), Some(298.0));
+    assert_eq!(m.scalar("MN"), Some(1.0));
+    assert_eq!(m.scalar("LAST"), Some(sum), "scan's last element is the sum");
+}
+
+#[test]
+fn per_array_attribution_counts_exact_events() {
+    // A is summed twice, B once; attribution must separate them.
+    let src = "\
+PROGRAM TWICE
+REAL A(256), B(256)
+A = 1.0
+B = 2.0
+S1 = SUM(A)
+S2 = SUM(A)
+S3 = SUM(B)
+END
+";
+    let nodes = 4;
+    let tool = tool_for(src, nodes);
+    let fa = Focus::whole_program().select("CMFarrays", "/twice.fcm/TWICE/A");
+    let fb = Focus::whole_program().select("CMFarrays", "/twice.fcm/TWICE/B");
+    let ra = tool.request("Summations", &fa).unwrap();
+    let rb = tool.request("Summations", &fb).unwrap();
+    let mut m = tool.new_machine().unwrap();
+    m.run();
+    assert_eq!(ra.value(&m), (2 * nodes) as f64);
+    assert_eq!(rb.value(&m), nodes as f64);
+}
+
+#[test]
+fn mapping_upward_assigns_block_time_to_lines() {
+    // Measure per-block processing time (guarded timers on the block
+    // sentences fed by mapping instrumentation), then push the costs
+    // upward through the PIF mapping table to source lines.
+    let src = "\
+PROGRAM UPWARD
+REAL A(512), B(512)
+A = 1.0
+B = 2.0
+S = SUM(A)
+END
+";
+    let tool = tool_for(src, 2);
+    let ns = tool.namespace().clone();
+    let base = ns.find_level("Base").unwrap();
+    let runs = ns.find_verb(base, "Runs").unwrap();
+    let util = ns.find_verb(base, "CPU Utilization").unwrap();
+
+    // One custom timer per generated block, gated on its block sentence.
+    let block_names = ["cmpe_upward_1_()", "cmpe_upward_2_()"];
+    let mut mm_src = String::new();
+    for (i, _) in block_names.iter().enumerate() {
+        mm_src.push_str(&format!(
+            r#"metric blk{i} {{ name "Block {i} Time"; units seconds;
+               foreach point "cmrts::block:entry" {{ startProcessTimer; }}
+               foreach point "cmrts::block:exit" {{ stopProcessTimer; }} }}"#,
+        ));
+        mm_src.push('\n');
+    }
+    let mut tool = tool;
+    tool.metrics_mut().add_mdl(&mm_src).unwrap();
+    let requests: Vec<_> = block_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let noun = ns.find_noun(base, name).unwrap();
+            let sentence = ns.say(runs, [noun]);
+            let decl = tool.metrics().decl(&format!("blk{i}")).unwrap().clone();
+            dyninst_sim::instantiate(
+                tool.manager(),
+                &decl,
+                vec![dyninst_sim::Pred::SentenceActive(sentence)],
+            )
+        })
+        .collect();
+
+    let mut m = tool.new_machine().unwrap();
+    m.run();
+    let prims = tool.manager().primitives();
+    let now = m.wall_clock();
+
+    // Build measured (PIF source sentence, cost) pairs and map upward.
+    let measured: Vec<(pdmap::model::SentenceId, Cost)> = block_names
+        .iter()
+        .zip(&requests)
+        .map(|(name, inst)| {
+            let noun = ns.find_noun(base, name).unwrap();
+            let sid = ns.say(util, [noun]);
+            let secs = inst.read_raw(prims, now) as f64 / 1e9;
+            (sid, Cost::seconds(secs))
+        })
+        .collect();
+    assert!(measured.iter().all(|(_, c)| c.value > 0.0), "{measured:?}");
+
+    let res = tool
+        .data()
+        .map_upward(&measured, AssignPolicy::Merge)
+        .unwrap();
+    assert!(res.unmapped.is_empty(), "all blocks map: {:?}", res.unmapped);
+    // Block 1 (fused fills) maps to the merged {line3, line4}; block 2 (the
+    // reduction) to line5.
+    let cmf = ns.find_level("CM Fortran").unwrap();
+    let executes = ns.find_verb(cmf, "Executes").unwrap();
+    let line5 = ns.say(executes, [ns.find_noun(cmf, "line5").unwrap()]);
+    assert!(res.cost_for(line5).is_some(), "line5 received cost");
+    let merged = res
+        .assignments
+        .iter()
+        .find(|a| a.target.members().len() == 2)
+        .expect("fused block yields a merged two-line target");
+    assert!(merged.cost.value > 0.0);
+}
+
+#[test]
+fn node_scaling_changes_message_counts() {
+    // Reduction trees grow with node count (log tree + per-node leaf msgs).
+    let mut last = 0;
+    for nodes in [2usize, 4, 8] {
+        let tool = tool_for(cmf_lang::samples::FIGURE4, nodes);
+        let mut m = tool.new_machine().unwrap();
+        let s = m.run();
+        assert!(
+            s.messages > last,
+            "messages must grow with node count: {} !> {last} at P={nodes}",
+            s.messages
+        );
+        last = s.messages;
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let tool = tool_for(cmf_lang::samples::ALL_VERBS, 4);
+    let run = || {
+        let mut m = tool.new_machine().unwrap();
+        let s = m.run();
+        (
+            s,
+            m.scalar("S"),
+            m.scalar("MX"),
+            m.scalar("MN"),
+            m.trace().events().len(),
+            m.wall_clock(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "simulation must be deterministic");
+}
+
+#[test]
+fn fusion_ablation_changes_block_structure_not_results() {
+    let ns1 = pdmap::model::Namespace::new();
+    let ns2 = pdmap::model::Namespace::new();
+    let fused = cmf_lang::compile(
+        cmf_lang::samples::ALL_VERBS,
+        &ns1,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .unwrap();
+    let unfused = cmf_lang::compile(
+        cmf_lang::samples::ALL_VERBS,
+        &ns2,
+        &cmf_lang::CompileOptions {
+            lower: cmf_lang::LowerOptions {
+                fuse_elementwise: false,
+                ..cmf_lang::LowerOptions::default()
+            },
+        },
+    )
+    .unwrap();
+    assert!(unfused.lowered.blocks.len() > fused.lowered.blocks.len());
+
+    // Same computed answers either way.
+    let run = |compiled: &cmf_lang::Compiled, ns: &pdmap::model::Namespace| {
+        let mgr = std::sync::Arc::new(dyninst_sim::InstrumentationManager::new());
+        let mut m = cmrts_sim::Machine::new(
+            MachineConfig {
+                nodes: 4,
+                ..MachineConfig::default()
+            },
+            ns.clone(),
+            mgr,
+            compiled.program().clone(),
+        )
+        .unwrap();
+        m.run();
+        (m.scalar("S"), m.scalar("MX"), m.scalar("MN"))
+    };
+    assert_eq!(run(&fused, &ns1), run(&unfused, &ns2));
+}
+
+#[test]
+fn where_axis_matches_figure8_after_run() {
+    let tool = tool_for(cmf_lang::samples::BOW, 4);
+    let mut m = tool.new_machine().unwrap();
+    m.run();
+    let axis = tool.render_where_axis();
+    for needle in ["CMFarrays", "CORNER", "TOT", "SRM", "WGHT", "SCL", "TMP", "sub#3"] {
+        assert!(axis.contains(needle), "missing {needle} in:\n{axis}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Golden tests on the deterministic tool-chain artifacts: the compiler
+//! listing, the scanned PIF, and the daemon wire format. These formats are
+//! interfaces between components (and, in the paper's world, between
+//! separate tools), so silent drift is a compatibility break.
+
+use pdmap::model::Namespace;
+
+#[test]
+fn figure4_listing_golden() {
+    let ns = Namespace::new();
+    let c = cmf_lang::compile(
+        cmf_lang::samples::FIGURE4,
+        &ns,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .unwrap();
+    let expected = "\
+CMF LISTING v1
+file = hpfex.fcm
+statement line=3 fn=HPFEX text=A = 1.0
+statement line=4 fn=HPFEX text=B = 2.0
+statement line=5 fn=HPFEX text=ASUM = SUM(A)
+statement line=6 fn=HPFEX text=BMAX = MAXVAL(B)
+array name=A fn=HPFEX rank=1 extents=1024 dist=block
+array name=B fn=HPFEX rank=1 extents=1024 dist=block
+block name=cmpe_hpfex_1_ lines=3,4 arrays=A,B
+block name=cmpe_hpfex_2_ lines=5 arrays=A
+block name=cmpe_hpfex_3_ lines=6 arrays=B
+";
+    assert_eq!(c.listing, expected);
+}
+
+#[test]
+fn figure4_pif_mappings_golden() {
+    let ns = Namespace::new();
+    let c = cmf_lang::compile(
+        cmf_lang::samples::FIGURE4,
+        &ns,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .unwrap();
+    // Every mapping record the scanner should produce, in order.
+    let mappings: Vec<String> = c
+        .pif
+        .mappings()
+        .map(|m| format!("{} -> {}", m.source, m.destination))
+        .collect();
+    assert_eq!(
+        mappings,
+        vec![
+            "{cmpe_hpfex_1_(), CPU Utilization} -> {line3, Executes}",
+            "{cmpe_hpfex_1_(), CPU Utilization} -> {line4, Executes}",
+            "{cmpe_hpfex_1_(), CPU Utilization} -> {A, Touches}",
+            "{cmpe_hpfex_1_(), CPU Utilization} -> {B, Touches}",
+            "{cmpe_hpfex_2_(), CPU Utilization} -> {line5, Executes}",
+            "{cmpe_hpfex_2_(), CPU Utilization} -> {A, Touches}",
+            "{cmpe_hpfex_3_(), CPU Utilization} -> {line6, Executes}",
+            "{cmpe_hpfex_3_(), CPU Utilization} -> {B, Touches}",
+        ]
+    );
+}
+
+#[test]
+fn paper_figure2_pif_text_golden() {
+    let text = pdmap_pif::write(&pdmap_pif::samples::figure2());
+    let expected = "\
+NOUN
+name = line1160
+abstraction = CM Fortran
+description = line #1160 in source file /usr/src/prog/main.fcm
+
+NOUN
+name = line1161
+abstraction = CM Fortran
+description = line #1161 in source file /usr/src/prog/main.fcm
+
+VERB
+name = Executes
+abstraction = CM Fortran
+description = units are \"% CPU\"
+
+NOUN
+name = cmpe_corr_6_()
+abstraction = Base
+description = compiler generated function, source code not available
+
+VERB
+name = CPU Utilization
+abstraction = Base
+description = units are \"% CPU\"
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1160, Executes}
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1161, Executes}
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn daemon_wire_format_golden() {
+    use paradyn_tool::DaemonMsg;
+    let msg = DaemonMsg::ArrayAllocated {
+        id: 7,
+        name: "TOT".into(),
+        extents: vec![64, 64],
+        dist: cmrts_sim::Distribution::Block,
+        subgrids: vec![(0, 32, 2048), (1, 32, 2048)],
+    };
+    assert_eq!(msg.encode(), "ALLOC|7|TOT|64,64|block|0:32:2048,1:32:2048");
+    let free = DaemonMsg::ArrayFreed { id: 7 };
+    assert_eq!(free.encode(), "FREE|7");
+    let sample = DaemonMsg::Sample {
+        metric: "Idle Time".into(),
+        focus: "<whole program>".into(),
+        wall: 42,
+        value: 0.5,
+    };
+    assert_eq!(sample.encode(), "SAMPLE|Idle Time|<whole program>|42|0.5");
+}
+
+#[test]
+fn mdl_catalogue_emits_stably() {
+    // emit(parse(x)) is a fixed point: emitting twice gives identical text.
+    let f1 = paradyn_tool::figure9_catalogue();
+    let text1 = f1.emit();
+    let f2 = dyninst_sim::parse_mdl(&text1).unwrap();
+    let text2 = f2.emit();
+    assert_eq!(text1, text2);
+}
+
+#[test]
+fn deterministic_run_summary_golden() {
+    // The Figure 4 program on 4 nodes with the default cost model: the
+    // exact event counts the rest of the documentation quotes.
+    let ns = Namespace::new();
+    let c = cmf_lang::compile(
+        cmf_lang::samples::FIGURE4,
+        &ns,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .unwrap();
+    let mgr = std::sync::Arc::new(dyninst_sim::InstrumentationManager::new());
+    let mut m = cmrts_sim::Machine::new(
+        cmrts_sim::MachineConfig {
+            nodes: 4,
+            ..cmrts_sim::MachineConfig::default()
+        },
+        ns,
+        mgr,
+        c.program().clone(),
+    )
+    .unwrap();
+    let s = m.run();
+    assert_eq!(s.blocks_dispatched, 3);
+    assert_eq!(s.broadcasts, 3);
+    assert_eq!(s.messages, 8, "two 4-node reduction trees incl. CP returns");
+    assert_eq!(m.scalar("ASUM"), Some(1024.0));
+    assert_eq!(m.scalar("BMAX"), Some(2.0));
+}

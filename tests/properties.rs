@@ -1,0 +1,529 @@
+//! Property-based tests on cross-crate invariants.
+
+use cmrts_sim::{
+    BinOpKind, Distribution, MachineConfig, NodeOp, Operand, ProgramBuilder, ReduceKind,
+};
+use dyninst_sim::InstrumentationManager;
+use pdmap::aggregate::{assign_per_source, AssignPolicy};
+use pdmap::cost::Cost;
+use pdmap::mapping::MappingTable;
+use pdmap::model::Namespace;
+use pdmap::sas::{LocalSas, Question, SentencePattern};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// --------------------------------------------------------------------------
+// Cost conservation under upward mapping.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any bipartite mapping graph and any measurements, both policies
+    /// conserve total cost (assignments + unmapped == measured).
+    #[test]
+    fn upward_mapping_conserves_cost(
+        edges in proptest::collection::vec((0usize..6, 0usize..5), 0..20),
+        costs in proptest::collection::vec((0usize..6, 0.0f64..100.0), 1..10),
+        merge in any::<bool>(),
+    ) {
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let v = ns.verb(l, "v", "");
+        let src_ids: Vec<_> = (0..6)
+            .map(|i| ns.say(v, [ns.noun(l, &format!("s{i}"), "")]))
+            .collect();
+        let dst_ids: Vec<_> = (0..5)
+            .map(|i| ns.say(v, [ns.noun(l, &format!("d{i}"), "")]))
+            .collect();
+        let mut table = MappingTable::new();
+        for (s, d) in edges {
+            table.map(src_ids[s], dst_ids[d]);
+        }
+        let measured: Vec<_> = costs
+            .iter()
+            .map(|&(s, c)| (src_ids[s], Cost::seconds(c)))
+            .collect();
+        let policy = if merge { AssignPolicy::Merge } else { AssignPolicy::SplitEvenly };
+        let res = assign_per_source(&table, &measured, policy).unwrap();
+        let total_in: f64 = costs.iter().map(|&(_, c)| c).sum();
+        let total_out = pdmap::aggregate::total_cost(&res).unwrap()
+            .map(|c| c.value)
+            .unwrap_or(0.0);
+        prop_assert!((total_in - total_out).abs() < 1e-6 * total_in.max(1.0),
+            "in={total_in} out={total_out}");
+    }
+
+    /// Destination sentences never receive cost unless some mapped source
+    /// was measured.
+    #[test]
+    fn no_cost_from_nothing(
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 0..12),
+    ) {
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let v = ns.verb(l, "v", "");
+        let src_ids: Vec<_> = (0..4)
+            .map(|i| ns.say(v, [ns.noun(l, &format!("s{i}"), "")]))
+            .collect();
+        let dst_ids: Vec<_> = (0..4)
+            .map(|i| ns.say(v, [ns.noun(l, &format!("d{i}"), "")]))
+            .collect();
+        let mut table = MappingTable::new();
+        for (s, d) in edges {
+            table.map(src_ids[s], dst_ids[d]);
+        }
+        let res = assign_per_source(&table, &[], AssignPolicy::SplitEvenly).unwrap();
+        prop_assert!(res.assignments.is_empty());
+        prop_assert!(res.unmapped.is_empty());
+    }
+}
+
+// --------------------------------------------------------------------------
+// SAS multiset invariants under arbitrary interleavings.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Activations and deactivations balance: after undoing every
+    /// activation the SAS is empty, counts never go negative (unbalanced
+    /// deactivations are dropped), and `is_active` always agrees with the
+    /// running count.
+    #[test]
+    fn sas_multiset_invariants(ops in proptest::collection::vec((0usize..5, any::<bool>()), 0..200)) {
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let v = ns.verb(l, "v", "");
+        let sids: Vec<_> = (0..5)
+            .map(|i| ns.say(v, [ns.noun(l, &format!("n{i}"), "")]))
+            .collect();
+        let mut sas = LocalSas::new(ns);
+        let mut model = [0u32; 5];
+        for (i, activate) in ops {
+            if activate {
+                sas.activate(sids[i]);
+                model[i] += 1;
+            } else {
+                sas.deactivate(sids[i]);
+                model[i] = model[i].saturating_sub(1);
+            }
+            for (k, sid) in sids.iter().enumerate() {
+                prop_assert_eq!(sas.active_count(*sid), model[k]);
+                prop_assert_eq!(sas.is_active(*sid), model[k] > 0);
+            }
+            let distinct = model.iter().filter(|&&c| c > 0).count();
+            prop_assert_eq!(sas.snapshot().len(), distinct);
+        }
+        // Drain.
+        for (i, sid) in sids.iter().enumerate() {
+            for _ in 0..model[i] {
+                sas.deactivate(*sid);
+            }
+        }
+        prop_assert!(sas.is_empty());
+    }
+
+    /// A single-pattern question is satisfied exactly when some matching
+    /// sentence is active, regardless of interleaving and of when the
+    /// question was registered.
+    #[test]
+    fn question_tracks_activity(
+        pre_ops in proptest::collection::vec((0usize..4, any::<bool>()), 0..40),
+        post_ops in proptest::collection::vec((0usize..4, any::<bool>()), 0..40),
+        target in 0usize..4,
+    ) {
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let v = ns.verb(l, "v", "");
+        let nouns: Vec<_> = (0..4).map(|i| ns.noun(l, &format!("n{i}"), "")).collect();
+        let sids: Vec<_> = nouns.iter().map(|&n| ns.say(v, [n])).collect();
+        let mut sas = LocalSas::new(ns);
+        let mut model = [0i64; 4];
+        let apply = |sas: &mut LocalSas, model: &mut [i64; 4], i: usize, a: bool| {
+            if a {
+                sas.activate(sids[i]);
+                model[i] += 1;
+            } else {
+                sas.deactivate(sids[i]);
+                if model[i] > 0 { model[i] -= 1; }
+            }
+        };
+        for &(i, a) in &pre_ops {
+            apply(&mut sas, &mut model, i, a);
+        }
+        let qid = sas.register_question(&Question::new(
+            "q",
+            vec![SentencePattern::noun_verb(nouns[target], v)],
+        ));
+        prop_assert_eq!(sas.satisfied(qid), model[target] > 0);
+        for &(i, a) in &post_ops {
+            apply(&mut sas, &mut model, i, a);
+            prop_assert_eq!(sas.satisfied(qid), model[target] > 0);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// PIF text round-trips.
+// --------------------------------------------------------------------------
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_()#]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pif_roundtrip(
+        nouns in proptest::collection::vec((name_strategy(), name_strategy()), 0..6),
+        mappings in proptest::collection::vec(
+            (proptest::collection::vec(name_strategy(), 1..3), name_strategy(),
+             proptest::collection::vec(name_strategy(), 1..3), name_strategy()), 0..4),
+    ) {
+        use pdmap_pif::{MappingRecord, NounRecord, PifFile, Record, SentenceRef};
+        let mut f = PifFile::new();
+        for (name, level) in nouns {
+            f.push(Record::Noun(NounRecord {
+                name,
+                abstraction: level,
+                description: "desc with spaces and = signs".into(),
+            }));
+        }
+        for (sn, sv, dn, dv) in mappings {
+            f.push(Record::Mapping(MappingRecord {
+                source: SentenceRef::new(sn, sv),
+                destination: SentenceRef::new(dn, dv),
+            }));
+        }
+        let text = pdmap_pif::write(&f);
+        let parsed = pdmap_pif::parse(&text).unwrap();
+        prop_assert_eq!(f, parsed);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Simulator results equal a sequential reference on random programs.
+// --------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RandOp {
+    Fill(f64),
+    Ramp(f64, f64),
+    AddConst(f64),
+    MulConst(f64),
+    AddOther,
+    Shift(i64, bool),
+    ScanAdd,
+    Sort,
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    prop_oneof![
+        (-10.0f64..10.0).prop_map(RandOp::Fill),
+        ((-5.0f64..5.0), (-2.0f64..2.0)).prop_map(|(a, b)| RandOp::Ramp(a, b)),
+        (-3.0f64..3.0).prop_map(RandOp::AddConst),
+        (-2.0f64..2.0).prop_map(RandOp::MulConst),
+        Just(RandOp::AddOther),
+        ((-7i64..7), any::<bool>()).prop_map(|(k, c)| RandOp::Shift(k, c)),
+        Just(RandOp::ScanAdd),
+        Just(RandOp::Sort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machine_matches_reference(
+        n in 1usize..48,
+        nodes in 1usize..6,
+        ops in proptest::collection::vec(rand_op(), 1..8),
+    ) {
+        // Build the IR program and a sequential reference side by side.
+        let mut b = ProgramBuilder::new("prop");
+        let a = b.alloc("A", &[n], Distribution::Block);
+        let o = b.alloc("O", &[n], Distribution::Block);
+        let s = b.scalar("S");
+        let mut ref_a = vec![0.0f64; n];
+        let mut ref_o = vec![0.0f64; n];
+        // Give O deterministic content.
+        b.simple_ncb("init", &[o], NodeOp::Ramp { dst: o, start: 1.0, step: 0.5 });
+        for (i, v) in ref_o.iter_mut().enumerate() {
+            *v = 1.0 + 0.5 * i as f64;
+        }
+        for op in &ops {
+            match *op {
+                RandOp::Fill(v) => {
+                    b.simple_ncb("f", &[a], NodeOp::Fill { dst: a, value: Operand::Const(v) });
+                    ref_a.iter_mut().for_each(|x| *x = v);
+                }
+                RandOp::Ramp(start, step) => {
+                    b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start, step });
+                    for (i, x) in ref_a.iter_mut().enumerate() {
+                        *x = start + step * i as f64;
+                    }
+                }
+                RandOp::AddConst(c) => {
+                    b.simple_ncb("ac", &[a], NodeOp::BinOp {
+                        dst: a, a: Operand::Array(a), b: Operand::Const(c), op: BinOpKind::Add,
+                    });
+                    ref_a.iter_mut().for_each(|x| *x += c);
+                }
+                RandOp::MulConst(c) => {
+                    b.simple_ncb("mc", &[a], NodeOp::BinOp {
+                        dst: a, a: Operand::Array(a), b: Operand::Const(c), op: BinOpKind::Mul,
+                    });
+                    ref_a.iter_mut().for_each(|x| *x *= c);
+                }
+                RandOp::AddOther => {
+                    b.simple_ncb("ao", &[a, o], NodeOp::BinOp {
+                        dst: a, a: Operand::Array(a), b: Operand::Array(o), op: BinOpKind::Add,
+                    });
+                    for (x, y) in ref_a.iter_mut().zip(&ref_o) {
+                        *x += *y;
+                    }
+                }
+                RandOp::Shift(k, circular) => {
+                    b.simple_ncb("sh", &[a], NodeOp::Shift {
+                        dst: a, src: a, offset: k, circular, dim: 0,
+                    });
+                    let old = ref_a.clone();
+                    let rows = n as i64;
+                    for r in 0..rows {
+                        let src = r - k;
+                        ref_a[r as usize] = if circular {
+                            old[src.rem_euclid(rows) as usize]
+                        } else if (0..rows).contains(&src) {
+                            old[src as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                RandOp::ScanAdd => {
+                    b.simple_ncb("sc", &[a], NodeOp::Scan {
+                        kind: ReduceKind::Sum, src: a, dst: a,
+                    });
+                    let mut acc = 0.0;
+                    for x in ref_a.iter_mut() {
+                        acc += *x;
+                        *x = acc;
+                    }
+                }
+                RandOp::Sort => {
+                    b.simple_ncb("so", &[a], NodeOp::Sort { dst: a, src: a });
+                    ref_a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                }
+            }
+        }
+        b.simple_ncb("red", &[a], NodeOp::Reduce { kind: ReduceKind::Sum, src: a, dst: s });
+        let ref_sum: f64 = ref_a.iter().sum();
+
+        let ns = Namespace::new();
+        let mgr = Arc::new(InstrumentationManager::new());
+        let mut m = cmrts_sim::Machine::new(
+            MachineConfig { nodes, trace: false, ..MachineConfig::default() },
+            ns,
+            mgr,
+            b.build().unwrap(),
+        )
+        .unwrap();
+        m.run();
+        let got = m.gather(a);
+        for (i, (g, r)) in got.iter().zip(&ref_a).enumerate() {
+            prop_assert!((g - r).abs() <= 1e-9 * r.abs().max(1.0),
+                "element {i}: got {g}, want {r} (n={n}, nodes={nodes}, ops={ops:?})");
+        }
+        let got_sum = m.scalar("S").unwrap();
+        prop_assert!((got_sum - ref_sum).abs() <= 1e-6 * ref_sum.abs().max(1.0));
+    }
+}
+
+// --------------------------------------------------------------------------
+// MDL: generated source parses back to the same declaration.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mdl_emit_parse_roundtrip(
+        id in "[a-z][a-z0-9_]{0,10}",
+        name in "[A-Za-z][A-Za-z0-9 ]{0,14}",
+        seconds in any::<bool>(),
+        points in proptest::collection::vec("[a-z][a-z:_]{0,10}", 1..4),
+    ) {
+        let (units, actions_entry, actions_exit) = if seconds {
+            ("seconds", "startProcessTimer;", Some("stopProcessTimer;"))
+        } else {
+            ("operations", "incrCounter 1;", None)
+        };
+        let mut src = format!("metric {id} {{ name \"{name}\"; units {units};\n");
+        for (i, p) in points.iter().enumerate() {
+            src.push_str(&format!("foreach point \"{p}:{i}\" {{ {actions_entry} }}\n"));
+            if let Some(stop) = actions_exit {
+                src.push_str(&format!("foreach point \"{p}:{i}:x\" {{ {stop} }}\n"));
+            }
+        }
+        src.push('}');
+        let parsed = dyninst_sim::parse_mdl(&src).unwrap();
+        prop_assert_eq!(parsed.metrics.len(), 1);
+        let m = &parsed.metrics[0];
+        prop_assert_eq!(&m.id, &id);
+        prop_assert_eq!(&m.name, &name.to_string());
+        prop_assert_eq!(m.is_timer(), seconds);
+        let expected_blocks = if seconds { points.len() * 2 } else { points.len() };
+        prop_assert_eq!(m.points.len(), expected_blocks);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Distributed SAS: forwarded proxies mirror the source node exactly.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any interleaving of activations/deactivations on the source
+    /// node, after pumping, the destination's proxy count equals the
+    /// source's active count for every forwarded sentence — and messages
+    /// number exactly the operations on matching sentences.
+    #[test]
+    fn forwarding_mirrors_source(ops in proptest::collection::vec((0usize..4, any::<bool>()), 0..80)) {
+        use pdmap::sas::{DistributedSas, ForwardingRule, SentencePattern};
+        let ns = Namespace::new();
+        let l = ns.level("L");
+        let fwd_verb = ns.verb(l, "forwarded", "");
+        let loc_verb = ns.verb(l, "local", "");
+        // Sentences 0,1 are forwarded; 2,3 are local-only.
+        let sids = [
+            ns.say(fwd_verb, [ns.noun(l, "a", "")]),
+            ns.say(fwd_verb, [ns.noun(l, "b", "")]),
+            ns.say(loc_verb, [ns.noun(l, "c", "")]),
+            ns.say(loc_verb, [ns.noun(l, "d", "")]),
+        ];
+        let d = DistributedSas::new(ns, 2);
+        d.add_rule(0, ForwardingRule {
+            pattern: SentencePattern::any_noun(fwd_verb),
+            to_node: 1,
+        });
+        let mut model = [0i64; 4];
+        let mut matching_ops = 0u64;
+        for (i, activate) in ops {
+            if activate {
+                d.activate(0, sids[i]);
+                model[i] += 1;
+                if i < 2 { matching_ops += 1; }
+            } else {
+                // Only deactivate when active, to keep the model simple
+                // (unbalanced deactivations are dropped locally but WOULD
+                // be forwarded; that asymmetry is tested separately).
+                if model[i] > 0 {
+                    d.deactivate(0, sids[i]);
+                    model[i] -= 1;
+                    if i < 2 { matching_ops += 1; }
+                }
+            }
+        }
+        prop_assert_eq!(d.messages_sent(), matching_ops);
+        d.pump();
+        for (i, sid) in sids.iter().enumerate() {
+            let src = d.sharded().with_node(0, |s| s.active_count(*sid));
+            let dst = d.sharded().with_node(1, |s| s.active_count(*sid));
+            prop_assert_eq!(src as i64, model[i]);
+            if i < 2 {
+                prop_assert_eq!(dst, src, "proxy mirrors source for forwarded sentences");
+            } else {
+                prop_assert_eq!(dst, 0, "local sentences never cross nodes");
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Where-axis covering is a partial order compatible with refinement.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn focus_covering_laws(path in proptest::collection::vec(0usize..3, 0..5)) {
+        use pdmap::hierarchy::{Focus, WhereAxis};
+        // Build a ternary tree 3 levels deep.
+        let mut axis = WhereAxis::new();
+        {
+            let t = axis.tree_mut("H");
+            for a in 0..3 {
+                for b in 0..3 {
+                    for c in 0..3 {
+                        t.add_path(&[&format!("n{a}"), &format!("n{b}"), &format!("n{c}")]);
+                    }
+                }
+            }
+        }
+        // Truncate the random path to depth ≤ 3 and build focus chain.
+        let depth = path.len().min(3);
+        let mut p = String::new();
+        let mut foci = vec![Focus::whole_program()];
+        for &seg in path.iter().take(depth) {
+            p.push_str(&format!("/n{seg}"));
+            foci.push(Focus::whole_program().select("H", &p));
+        }
+        // Every prefix covers every extension; never the reverse (unless equal).
+        for i in 0..foci.len() {
+            for j in i..foci.len() {
+                prop_assert!(foci[i].covers(&foci[j], &axis), "{} !>= {}", foci[i], foci[j]);
+                if i != j {
+                    prop_assert!(!foci[j].covers(&foci[i], &axis));
+                }
+            }
+            // Reflexive.
+            prop_assert!(foci[i].covers(&foci[i], &axis));
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Cyclic distribution: reductions agree with the sequential reference.
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cyclic_reduce_matches_reference(
+        n in 1usize..64,
+        nodes in 1usize..6,
+        start in -10.0f64..10.0,
+        step in -2.0f64..2.0,
+    ) {
+        let mut b = ProgramBuilder::new("cyc");
+        let a = b.alloc("A", &[n], Distribution::Cyclic);
+        let s = b.scalar("S");
+        let mx = b.scalar("MX");
+        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start, step });
+        b.simple_ncb("s", &[a], NodeOp::Reduce { kind: ReduceKind::Sum, src: a, dst: s });
+        b.simple_ncb("m", &[a], NodeOp::Reduce { kind: ReduceKind::Max, src: a, dst: mx });
+        let ns = Namespace::new();
+        let mgr = Arc::new(InstrumentationManager::new());
+        let mut m = cmrts_sim::Machine::new(
+            MachineConfig { nodes, trace: false, ..MachineConfig::default() },
+            ns, mgr, b.build().unwrap(),
+        ).unwrap();
+        m.run();
+        let data: Vec<f64> = (0..n).map(|i| start + step * i as f64).collect();
+        let want_sum: f64 = data.iter().sum();
+        let want_max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let got_sum = m.scalar("S").unwrap();
+        prop_assert!((got_sum - want_sum).abs() <= 1e-9 * want_sum.abs().max(1.0));
+        prop_assert_eq!(m.scalar("MX").unwrap(), want_max);
+        // Gather respects the cyclic layout too.
+        let gathered = m.gather(a);
+        for (g, w) in gathered.iter().zip(&data) {
+            prop_assert!((g - w).abs() < 1e-12);
+        }
+    }
+}

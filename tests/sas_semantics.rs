@@ -1,0 +1,169 @@
+//! Focused semantic tests for the Set of Active Sentences beyond the
+//! in-crate unit tests: multiset rendering, ordered-question edge cases,
+//! trait-object handles, and cross-shard expression questions.
+
+use pdmap::model::Namespace;
+use pdmap::sas::{
+    ActiveGuard, GlobalSas, LocalSas, Question, QuestionExpr, SasHandle, SentencePattern,
+    ShardedSas,
+};
+
+fn vocab() -> (Namespace, pdmap::model::VerbId, Vec<pdmap::model::NounId>) {
+    let ns = Namespace::new();
+    let l = ns.level("L");
+    let v = ns.verb(l, "Runs", "");
+    let nouns = (0..4).map(|i| ns.noun(l, &format!("n{i}"), "")).collect();
+    (ns, v, nouns)
+}
+
+#[test]
+fn snapshot_render_marks_nested_counts() {
+    let (ns, v, nouns) = vocab();
+    let s = ns.say(v, [nouns[0]]);
+    let mut sas = LocalSas::new(ns.clone());
+    sas.activate(s);
+    sas.activate(s);
+    sas.activate(s);
+    let shown = sas.snapshot().render(&ns);
+    assert!(shown.contains("(x3)"), "{shown}");
+}
+
+#[test]
+fn multi_noun_sentences_render_sorted_participants() {
+    let (ns, v, nouns) = vocab();
+    let s = ns.say(v, [nouns[2], nouns[0]]);
+    let shown = ns.render_sentence(s);
+    assert_eq!(shown, "L: {n0, n2} Runs");
+}
+
+#[test]
+fn ordered_question_survives_reactivation_cycles() {
+    let (ns, v, nouns) = vocab();
+    let a = ns.say(v, [nouns[0]]);
+    let b = ns.say(v, [nouns[1]]);
+    let mut sas = LocalSas::new(ns.clone());
+    let q = Question::new_ordered(
+        "a then b",
+        vec![
+            SentencePattern::exact(&ns.sentence_def(a)),
+            SentencePattern::exact(&ns.sentence_def(b)),
+        ],
+    );
+    let qid = sas.register_question(&q);
+    for _ in 0..5 {
+        // Correct order.
+        sas.activate(a);
+        sas.activate(b);
+        assert!(sas.satisfied(qid));
+        sas.deactivate(b);
+        sas.deactivate(a);
+        assert!(!sas.satisfied(qid));
+        // Wrong order.
+        sas.activate(b);
+        sas.activate(a);
+        assert!(!sas.satisfied(qid));
+        sas.deactivate(a);
+        sas.deactivate(b);
+    }
+}
+
+#[test]
+fn ordered_question_with_nested_instances() {
+    // a(seq1) b(seq2) a(seq3): ordered [a, b] satisfiable via seq1 < seq2
+    // even though a later a-instance postdates b.
+    let (ns, v, nouns) = vocab();
+    let a = ns.say(v, [nouns[0]]);
+    let b = ns.say(v, [nouns[1]]);
+    let mut sas = LocalSas::new(ns.clone());
+    let qid = sas.register_question(&Question::new_ordered(
+        "a before b",
+        vec![
+            SentencePattern::exact(&ns.sentence_def(a)),
+            SentencePattern::exact(&ns.sentence_def(b)),
+        ],
+    ));
+    sas.activate(a);
+    sas.activate(b);
+    sas.activate(a);
+    assert!(sas.satisfied(qid));
+    // Remove the EARLIER a (deactivate pops the most recent instance, so
+    // pop twice and re-add one *after* b).
+    sas.deactivate(a);
+    sas.deactivate(a);
+    sas.activate(a); // now the only a postdates b
+    assert!(!sas.satisfied(qid), "no a-instance precedes b anymore");
+}
+
+#[test]
+fn guards_work_through_dyn_handles() {
+    let (ns, v, nouns) = vocab();
+    let s = ns.say(v, [nouns[0]]);
+    let global = GlobalSas::new(ns.clone());
+    let handle: &dyn SasHandle = &global;
+    {
+        let _g = ActiveGuard::enter(handle, s);
+        assert!(handle.is_active(s));
+        let snap = handle.snapshot();
+        assert_eq!(snap.len(), 1);
+    }
+    assert!(!handle.is_active(s));
+}
+
+#[test]
+fn expression_questions_register_identically_across_shards() {
+    let (ns, v, nouns) = vocab();
+    let sas = ShardedSas::new(ns.clone(), 3);
+    let e = QuestionExpr::pat(SentencePattern::noun_verb(nouns[0], v))
+        .or(QuestionExpr::pat(SentencePattern::noun_verb(nouns[1], v)));
+    let qid = sas.register_expr_all("either", &e);
+    let s1 = ns.say(v, [nouns[1]]);
+    sas.node(2).activate(s1);
+    assert!(sas.satisfied_on(2, qid));
+    assert!(!sas.satisfied_on(0, qid));
+}
+
+#[test]
+fn question_counts_transitions_not_duration() {
+    let (ns, v, nouns) = vocab();
+    let s = ns.say(v, [nouns[0]]);
+    let mut sas = LocalSas::new(ns.clone());
+    let qid = sas.register_question(&Question::new(
+        "q",
+        vec![SentencePattern::exact(&ns.sentence_def(s))],
+    ));
+    for _ in 0..7 {
+        sas.activate(s);
+        sas.activate(s); // nesting must not double-count the transition
+        sas.deactivate(s);
+        sas.deactivate(s);
+    }
+    assert_eq!(sas.satisfied_transitions(qid), 7);
+}
+
+#[test]
+fn dynamic_mappings_change_as_context_changes() {
+    // "Any two sentences contained in the SAS concurrently are considered
+    // to dynamically map to one another" — the mapping set is a function
+    // of time.
+    let (ns, v, nouns) = vocab();
+    let line = ns.say(v, [nouns[0]]);
+    let msg = ns.say(v, [nouns[1]]);
+    let other = ns.say(v, [nouns[2]]);
+    let mut sas = LocalSas::new(ns.clone());
+    sas.activate(line);
+    sas.activate(msg);
+    assert_eq!(sas.dynamic_mappings_for(msg), vec![line]);
+    sas.deactivate(line);
+    sas.activate(other);
+    assert_eq!(sas.dynamic_mappings_for(msg), vec![other]);
+}
+
+#[test]
+fn namespace_definitions_are_stable_across_clones() {
+    let (ns, v, nouns) = vocab();
+    let ns2 = ns.clone();
+    let s1 = ns.say(v, [nouns[3]]);
+    let s2 = ns2.say(v, [nouns[3]]);
+    assert_eq!(s1, s2, "clones share the interner");
+    assert_eq!(ns.num_sentences(), ns2.num_sentences());
+}
