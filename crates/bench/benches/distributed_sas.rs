@@ -2,9 +2,9 @@
 //! communication; cross-node questions pay one message per activation and
 //! one per deactivation of each remotely interesting sentence.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmap::model::Namespace;
 use pdmap::sas::{DistributedSas, ForwardingRule, SentencePattern};
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use sys_sim::DbSystem;
 
@@ -27,27 +27,31 @@ fn bench_forwarding_pump(c: &mut Criterion) {
     let mut g = c.benchmark_group("forwarding_pump");
     g.sample_size(30);
     for &batch in &[16usize, 128, 1024] {
-        g.bench_with_input(BenchmarkId::new("queued_messages", batch), &batch, |b, &n| {
-            let ns = Namespace::new();
-            let l = ns.level("L");
-            let v = ns.verb(l, "v", "");
-            let s = ns.say(v, [ns.noun(l, "x", "")]);
-            let d = DistributedSas::new(ns, 2);
-            d.add_rule(
-                0,
-                ForwardingRule {
-                    pattern: SentencePattern::any_noun(v),
-                    to_node: 1,
-                },
-            );
-            b.iter(|| {
-                for _ in 0..n / 2 {
-                    d.activate(0, s);
-                    d.deactivate(0, s);
-                }
-                black_box(d.pump())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("queued_messages", batch),
+            &batch,
+            |b, &n| {
+                let ns = Namespace::new();
+                let l = ns.level("L");
+                let v = ns.verb(l, "v", "");
+                let s = ns.say(v, [ns.noun(l, "x", "")]);
+                let d = DistributedSas::new(ns, 2);
+                d.add_rule(
+                    0,
+                    ForwardingRule {
+                        pattern: SentencePattern::any_noun(v),
+                        to_node: 1,
+                    },
+                );
+                b.iter(|| {
+                    for _ in 0..n / 2 {
+                        d.activate(0, s);
+                        d.deactivate(0, s);
+                    }
+                    black_box(d.pump())
+                });
+            },
+        );
     }
     g.finish();
 }

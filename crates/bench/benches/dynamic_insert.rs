@@ -4,10 +4,10 @@
 //! execution and leave it in, or insert and delete mapping instrumentation
 //! throughout execution".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyninst_sim::{ExecCtx, InstrumentationManager, Op, Snippet};
 use paradyn_tool::MappingInstrumentation;
 use pdmap::hierarchy::Focus;
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_insert_remove(c: &mut Criterion) {
@@ -68,10 +68,14 @@ fn bench_run_duty_cycle(c: &mut Criterion) {
         tool.load_source(cmf_lang::samples::ALL_VERBS).unwrap();
         tool.set_mapping_instrumentation(mapping);
         let _reqs: Vec<_> = if with_metrics {
-            ["Summations", "Point-to-Point Operations", "Computation Time"]
-                .iter()
-                .map(|m| tool.request(m, &Focus::whole_program()).unwrap())
-                .collect()
+            [
+                "Summations",
+                "Point-to-Point Operations",
+                "Computation Time",
+            ]
+            .iter()
+            .map(|m| tool.request(m, &Focus::whole_program()).unwrap())
+            .collect()
         } else {
             Vec::new()
         };

@@ -6,12 +6,10 @@
 //! * limitation 2 of §4.2.4 — a notification the SAS ignores still costs
 //!   time, recoverable by removing the snippet dynamically.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dyninst_sim::{
-    ExecCtx, InstrumentationManager, Op, Pred, SentenceArg, Snippet,
-};
+use dyninst_sim::{ExecCtx, InstrumentationManager, Op, Pred, SentenceArg, Snippet};
 use pdmap::model::Namespace;
 use pdmap::sas::{LocalSas, Question, SentencePattern};
+use pdmap_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_point_execution(c: &mut Criterion) {
@@ -93,7 +91,10 @@ fn bench_guards_and_sas(c: &mut Criterion) {
         ));
         m.insert(
             p,
-            Snippet::guarded(vec![Pred::QuestionSatisfied(qid)], vec![Op::IncrCounter(cnt, 1)]),
+            Snippet::guarded(
+                vec![Pred::QuestionSatisfied(qid)],
+                vec![Op::IncrCounter(cnt, 1)],
+            ),
         );
         b.iter(|| {
             let mut ctx = ExecCtx::basic(0, 0);
@@ -114,7 +115,10 @@ fn bench_guards_and_sas(c: &mut Criterion) {
         sas.activate(sid);
         m.insert(
             p,
-            Snippet::guarded(vec![Pred::QuestionSatisfied(qid)], vec![Op::IncrCounter(cnt, 1)]),
+            Snippet::guarded(
+                vec![Pred::QuestionSatisfied(qid)],
+                vec![Op::IncrCounter(cnt, 1)],
+            ),
         );
         b.iter(|| {
             let mut ctx = ExecCtx::basic(0, 0);
@@ -128,8 +132,14 @@ fn bench_guards_and_sas(c: &mut Criterion) {
         let m = InstrumentationManager::new();
         let enter = m.point("enter");
         let exit = m.point("exit");
-        m.insert(enter, Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]));
-        m.insert(exit, Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]));
+        m.insert(
+            enter,
+            Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]),
+        );
+        m.insert(
+            exit,
+            Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]),
+        );
         let mut sas = LocalSas::new(ns.clone());
         b.iter(|| {
             let mut ctx = ExecCtx::basic(0, 0);
@@ -172,8 +182,14 @@ fn bench_ignored_notifications(c: &mut Criterion) {
     g.bench_function("notification_ignored_by_sas", |b| {
         let m = InstrumentationManager::new();
         let p = m.point("b_active");
-        m.insert(p, Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]));
-        m.insert(p, Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]));
+        m.insert(
+            p,
+            Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]),
+        );
+        m.insert(
+            p,
+            Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]),
+        );
         let mut sas = with_question(false);
         b.iter(|| {
             let mut ctx = ExecCtx::basic(0, 0);
@@ -186,8 +202,14 @@ fn bench_ignored_notifications(c: &mut Criterion) {
     g.bench_function("notification_filtered_by_sas", |b| {
         let m = InstrumentationManager::new();
         let p = m.point("b_active");
-        m.insert(p, Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]));
-        m.insert(p, Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]));
+        m.insert(
+            p,
+            Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]),
+        );
+        m.insert(
+            p,
+            Snippet::new(vec![Op::SasDeactivate(SentenceArg::FromContext)]),
+        );
         let mut sas = with_question(true);
         b.iter(|| {
             let mut ctx = ExecCtx::basic(0, 0);
@@ -200,7 +222,10 @@ fn bench_ignored_notifications(c: &mut Criterion) {
     g.bench_function("notification_removed", |b| {
         let m = InstrumentationManager::new();
         let p = m.point("b_active");
-        let h1 = m.insert(p, Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]));
+        let h1 = m.insert(
+            p,
+            Snippet::new(vec![Op::SasActivate(SentenceArg::FromContext)]),
+        );
         m.remove(h1); // the dynamic-removal fix
         let mut sas = with_question(false);
         b.iter(|| {

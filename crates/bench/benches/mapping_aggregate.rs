@@ -1,11 +1,11 @@
 //! Mapping-table and cost-assignment throughput: the Figure 1 reduction at
 //! scale, split vs merge policies, and shape classification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmap::aggregate::{assign_componentwise, assign_per_source, AssignPolicy};
 use pdmap::cost::{Aggregation, Cost};
 use pdmap::mapping::MappingTable;
 use pdmap::model::{Namespace, SentenceId};
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// Builds a mapping table of `n` sources fanned out to `n/2` destinations
@@ -40,26 +40,17 @@ fn bench_assignment(c: &mut Criterion) {
         let (table, measured) = build(n);
         g.bench_with_input(BenchmarkId::new("split_evenly", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    assign_per_source(&table, &measured, AssignPolicy::SplitEvenly).unwrap(),
-                )
+                black_box(assign_per_source(&table, &measured, AssignPolicy::SplitEvenly).unwrap())
             })
         });
         g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(assign_per_source(&table, &measured, AssignPolicy::Merge).unwrap())
-            })
+            b.iter(|| black_box(assign_per_source(&table, &measured, AssignPolicy::Merge).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("componentwise", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    assign_componentwise(
-                        &table,
-                        &measured,
-                        AssignPolicy::Merge,
-                        Aggregation::Sum,
-                    )
-                    .unwrap(),
+                    assign_componentwise(&table, &measured, AssignPolicy::Merge, Aggregation::Sum)
+                        .unwrap(),
                 )
             })
         });

@@ -1,8 +1,8 @@
 //! SPMD engine scaling: simulated-run throughput as node count grows, and
 //! the compile pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pdmap::model::Namespace;
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -20,8 +20,7 @@ END
 
 fn machine_for(nodes: usize) -> (Namespace, cmrts_sim::Program) {
     let ns = Namespace::new();
-    let compiled =
-        cmf_lang::compile(WORKLOAD, &ns, &cmf_lang::CompileOptions::default()).unwrap();
+    let compiled = cmf_lang::compile(WORKLOAD, &ns, &cmf_lang::CompileOptions::default()).unwrap();
     let _ = nodes;
     (ns, compiled.program().clone())
 }

@@ -3,7 +3,7 @@
 //! application's critical path — but it must still be fast enough for
 //! interactive tools.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn big_pif(n: usize) -> String {
@@ -15,10 +15,7 @@ fn big_pif(n: usize) -> String {
             description: format!("line #{i} in source file main.fcm"),
         }));
         f.push(pdmap_pif::Record::Mapping(pdmap_pif::MappingRecord {
-            source: pdmap_pif::SentenceRef::new(
-                vec![format!("cmpe_f_{i}_()")],
-                "CPU Utilization",
-            ),
+            source: pdmap_pif::SentenceRef::new(vec![format!("cmpe_f_{i}_()")], "CPU Utilization"),
             destination: pdmap_pif::SentenceRef::new(vec![format!("line{i}")], "Executes"),
         }));
     }
@@ -48,8 +45,15 @@ fn bench_listing_scan(c: &mut Criterion) {
     // A listing like a large compiler output file.
     let mut listing = String::from("CMF LISTING v1\nfile = big.fcm\n");
     for i in 0..500 {
-        listing.push_str(&format!("statement line={} fn=F text=A = A + {}\n", i + 10, i));
-        listing.push_str(&format!("block name=cmpe_f_{i}_ lines={} arrays=A\n", i + 10));
+        listing.push_str(&format!(
+            "statement line={} fn=F text=A = A + {}\n",
+            i + 10,
+            i
+        ));
+        listing.push_str(&format!(
+            "block name=cmpe_f_{i}_ lines={} arrays=A\n",
+            i + 10
+        ));
     }
     listing.push_str("array name=A fn=F rank=1 extents=1024 dist=block\n");
     g.throughput(Throughput::Bytes(listing.len() as u64));

@@ -2,9 +2,9 @@
 //! matching, the boolean-expression extension, and the ordered-question
 //! extension.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmap::model::Namespace;
 use pdmap::sas::{LocalSas, Question, QuestionExpr, SentencePattern};
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn setup(n_nouns: usize) -> (Namespace, LocalSas, Vec<pdmap::model::SentenceId>) {
@@ -88,7 +88,9 @@ fn bench_ordered_extension(c: &mut Criterion) {
     for &s in sids.iter().take(3) {
         sas.activate(s);
     }
-    g.bench_function("unordered", |b| b.iter(|| black_box(sas.satisfied(unordered))));
+    g.bench_function("unordered", |b| {
+        b.iter(|| black_box(sas.satisfied(unordered)))
+    });
     g.bench_function("ordered", |b| b.iter(|| black_box(sas.satisfied(ordered))));
     g.finish();
 }
@@ -100,23 +102,27 @@ fn bench_wildcard_matching(c: &mut Criterion) {
     // atoms (first activation computes the match mask; later ones hit the
     // cache — measure both).
     for &atoms in &[4usize, 32, 128] {
-        g.bench_with_input(BenchmarkId::new("cached_mask_atoms", atoms), &atoms, |b, &n| {
-            let ns = Namespace::new();
-            let l = ns.level("L");
-            let verbs: Vec<_> = (0..n).map(|i| ns.verb(l, &format!("v{i}"), "")).collect();
-            let noun = ns.noun(l, "a", "");
-            let mut sas = LocalSas::new(ns.clone());
-            for &v in &verbs {
-                sas.register_question(&Question::new("q", vec![SentencePattern::any_noun(v)]));
-            }
-            let sid = ns.say(verbs[0], [noun]);
-            sas.activate(sid); // warm the mask cache
-            sas.deactivate(sid);
-            b.iter(|| {
-                sas.activate(black_box(sid));
-                sas.deactivate(black_box(sid));
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cached_mask_atoms", atoms),
+            &atoms,
+            |b, &n| {
+                let ns = Namespace::new();
+                let l = ns.level("L");
+                let verbs: Vec<_> = (0..n).map(|i| ns.verb(l, &format!("v{i}"), "")).collect();
+                let noun = ns.noun(l, "a", "");
+                let mut sas = LocalSas::new(ns.clone());
+                for &v in &verbs {
+                    sas.register_question(&Question::new("q", vec![SentencePattern::any_noun(v)]));
+                }
+                let sid = ns.say(verbs[0], [noun]);
+                sas.activate(sid); // warm the mask cache
+                sas.deactivate(sid);
+                b.iter(|| {
+                    sas.activate(black_box(sid));
+                    sas.deactivate(black_box(sid));
+                });
+            },
+        );
     }
     g.finish();
 }

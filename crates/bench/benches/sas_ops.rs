@@ -2,9 +2,9 @@
 //! (the paper's per-notification overhead), snapshots, and the §4.2.3
 //! storage ablation — one globally shared SAS vs per-node SASes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmap::model::{Namespace, SentenceId};
 use pdmap::sas::{GlobalSas, LocalSas, Question, SasHandle, SentencePattern, ShardedSas};
+use pdmap_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn vocabulary(n: usize) -> (Namespace, Vec<SentenceId>) {
@@ -51,14 +51,18 @@ fn bench_snapshot(c: &mut Criterion) {
     let mut g = c.benchmark_group("sas_snapshot");
     g.sample_size(40);
     for &depth in &[4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("active_sentences", depth), &depth, |b, &d| {
-            let (ns, sids) = vocabulary(d);
-            let mut sas = LocalSas::new(ns);
-            for &s in &sids {
-                sas.activate(s);
-            }
-            b.iter(|| black_box(sas.snapshot()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("active_sentences", depth),
+            &depth,
+            |b, &d| {
+                let (ns, sids) = vocabulary(d);
+                let mut sas = LocalSas::new(ns);
+                for &s in &sids {
+                    sas.activate(s);
+                }
+                b.iter(|| black_box(sas.snapshot()));
+            },
+        );
     }
     g.finish();
 }

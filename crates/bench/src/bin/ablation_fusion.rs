@@ -106,7 +106,10 @@ fn main() {
             "--- fusion {} ---",
             if fuse { "ON (default)" } else { "OFF" }
         );
-        println!("  node code blocks:        {}", compiled.lowered.blocks.len());
+        println!(
+            "  node code blocks:        {}",
+            compiled.lowered.blocks.len()
+        );
         println!("  blocks dispatched:       {}", summary.blocks_dispatched);
         println!("  broadcasts:              {}", summary.broadcasts);
         println!("  wall clock (ticks):      {}", machine.wall_clock());
@@ -117,10 +120,7 @@ fn main() {
         for a in &res.assignments {
             match &a.target {
                 AssignTarget::Merged(set) => {
-                    let names: Vec<String> = set
-                        .iter()
-                        .map(|&s| ns.render_sentence(s))
-                        .collect();
+                    let names: Vec<String> = set.iter().map(|&s| ns.render_sentence(s)).collect();
                     println!("    merged: {}", names.join(" + "));
                 }
                 AssignTarget::Single(s) => {

@@ -1,0 +1,146 @@
+//! Transport throughput measurement: frames/sec and bytes/sec for both
+//! backends across a queue-depth sweep, printed as JSON to stdout.
+//!
+//! ```sh
+//! cargo run -p pdmap-bench --release --bin transport_throughput
+//! cargo run -p pdmap-bench --release --bin transport_throughput -- 200 64,256
+//! ```
+//!
+//! Arg 1 (optional): per-cell measurement budget in milliseconds (default
+//! 100). Arg 2 (optional): comma-separated queue capacities to sweep
+//! (default `16,64,256,1024`). The workload is a sender thread pushing
+//! fixed-size [`PifBlob`] frames as fast as the bounded queue admits them
+//! (Block backpressure — nothing drops, so frames/sec measures true
+//! end-to-end delivery) while the main thread drains the server end.
+
+use pdmap_transport::{drain_frames, send_wire, Backend, PifBlob, TransportConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAYLOAD_LEN: usize = 128;
+
+struct Cell {
+    backend: &'static str,
+    capacity: usize,
+    frames: u64,
+    bytes: u64,
+    elapsed: Duration,
+    max_queue_depth: u64,
+}
+
+impl Cell {
+    fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backend\":\"{}\",\"queue_capacity\":{},",
+                "\"frames\":{},\"wire_bytes\":{},\"elapsed_ms\":{:.3},",
+                "\"frames_per_sec\":{:.1},\"bytes_per_sec\":{:.1},",
+                "\"max_queue_depth\":{}}}"
+            ),
+            self.backend,
+            self.capacity,
+            self.frames,
+            self.bytes,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.frames_per_sec(),
+            self.bytes_per_sec(),
+            self.max_queue_depth,
+        )
+    }
+}
+
+/// Runs one (backend, capacity) cell for roughly `budget`, returning the
+/// measured delivery rate.
+fn run_cell(backend: Backend, capacity: usize, budget: Duration) -> Cell {
+    let cfg = TransportConfig::with_capacity(capacity);
+    let link = backend.link(&cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let sender = {
+        let client = Arc::clone(&link.client);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let blob = PifBlob(vec![0xAB; PAYLOAD_LEN]);
+            while !stop.load(Ordering::Relaxed) {
+                if send_wire(client.as_ref(), &blob).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let start = Instant::now();
+    let mut frames = 0u64;
+    while start.elapsed() < budget {
+        let drained = drain_frames(link.server.as_ref());
+        if drained.is_empty() {
+            std::thread::yield_now();
+        }
+        frames += drained.len() as u64;
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    // Unblock a sender stuck on a full queue, then drain its tail so the
+    // thread can observe the stop flag and exit.
+    for f in drain_frames(link.server.as_ref()) {
+        drop(f);
+    }
+    sender.join().expect("sender thread must not panic");
+
+    let stats = link.client.stats();
+    link.close();
+    Cell {
+        backend: match backend {
+            Backend::InProc => "inproc",
+            Backend::Tcp => "tcp",
+        },
+        capacity,
+        frames,
+        bytes: frames * (PAYLOAD_LEN as u64 + 4), // put::bytes length prefix
+        elapsed,
+        max_queue_depth: stats.max_queue_depth,
+    }
+}
+
+fn main() {
+    let budget_ms: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("budget must be an integer (milliseconds)"))
+        .unwrap_or(100);
+    let capacities: Vec<usize> = std::env::args()
+        .nth(2)
+        .map(|s| {
+            s.split(',')
+                .map(|c| c.parse().expect("capacities must be integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![16, 64, 256, 1024]);
+    let budget = Duration::from_millis(budget_ms);
+
+    let mut cells = Vec::new();
+    for backend in [Backend::InProc, Backend::Tcp] {
+        for &capacity in &capacities {
+            cells.push(run_cell(backend, capacity, budget));
+        }
+    }
+
+    println!("{{");
+    println!("  \"payload_len\": {PAYLOAD_LEN},");
+    println!("  \"budget_ms\": {budget_ms},");
+    println!("  \"cells\": [");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        println!("    {}{}", cell.json(), comma);
+    }
+    println!("  ]");
+    println!("}}");
+}

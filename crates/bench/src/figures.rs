@@ -55,8 +55,7 @@ pub fn figure1() -> String {
         t.map(f, r2);
         let split =
             assign_per_source(&t, &[(f, Cost::seconds(1.0))], AssignPolicy::SplitEvenly).unwrap();
-        let merge =
-            assign_per_source(&t, &[(f, Cost::seconds(1.0))], AssignPolicy::Merge).unwrap();
+        let merge = assign_per_source(&t, &[(f, Cost::seconds(1.0))], AssignPolicy::Merge).unwrap();
         writeln!(
             out,
             "one-to-many   | F -> {{R1, R2}}           | shape={} | split: R1={} R2={}",
@@ -125,7 +124,11 @@ pub fn figure1() -> String {
     }
 
     // The same shapes, observed in a real compiled program.
-    writeln!(out, "\nShapes in the compiled Figure 4 program (from its PIF):").unwrap();
+    writeln!(
+        out,
+        "\nShapes in the compiled Figure 4 program (from its PIF):"
+    )
+    .unwrap();
     let ns2 = Namespace::new();
     let compiled = cmf_lang::compile(
         cmf_lang::samples::FIGURE4,
@@ -292,8 +295,14 @@ pub fn figure6() -> String {
     let rows = [
         (q_a_sum.render(&ns), "Cost of summations of A?"),
         (q_p_send.render(&ns), "Cost of sends by processor P?"),
-        (q_conj.render(&ns), "Cost of sends by P while A is being summed?"),
-        (q_wild.render(&ns), "Cost of sends by P while anything is being summed?"),
+        (
+            q_conj.render(&ns),
+            "Cost of sends by P while A is being summed?",
+        ),
+        (
+            q_wild.render(&ns),
+            "Cost of sends by P while anything is being summed?",
+        ),
     ];
     writeln!(out, "(P = node#1; program sums both A and B)\n").unwrap();
     for (i, (question, meaning)) in rows.iter().enumerate() {
@@ -466,10 +475,22 @@ mod tests {
     #[test]
     fn figure9_reports_every_metric_nonnegative() {
         let s = figure9();
-        for name in ["Summations", "MAXVAL Count", "MINVAL Count", "Rotations",
-                      "Shifts", "Transposes", "Scans", "Sorts", "Broadcasts",
-                      "Node Activations", "Point-to-Point Operations", "Idle Time",
-                      "Cleanups", "Argument Processing Time"] {
+        for name in [
+            "Summations",
+            "MAXVAL Count",
+            "MINVAL Count",
+            "Rotations",
+            "Shifts",
+            "Transposes",
+            "Scans",
+            "Sorts",
+            "Broadcasts",
+            "Node Activations",
+            "Point-to-Point Operations",
+            "Idle Time",
+            "Cleanups",
+            "Argument Processing Time",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
         // The all-verbs workload makes the counts positive.

@@ -1,0 +1,267 @@
+//! A dependency-free micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace must build and test offline, so the benches cannot pull
+//! the real Criterion from a registry. This module re-creates the small
+//! slice of its surface the `benches/` files use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a plain calibrate-then-measure timing
+//! loop. Numbers print to stdout as `name: time/iter [throughput]` lines;
+//! there is no statistical machinery, which is fine for the comparative
+//! figures these benches feed.
+//!
+//! Set `PDMAP_BENCH_MS` to change the per-benchmark measurement budget
+//! (milliseconds, default 50; use a small value to smoke-test quickly).
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scan", 64)` renders as `scan/64`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Drives the timed loop inside a benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean time per iteration from the measured run.
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates, then measures `f` for roughly the configured budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One untimed warm-up + calibration pass.
+        let t0 = Instant::now();
+        black_box(f());
+        let probe = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.per_iter = elapsed / iters as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_iter: Duration, throughput: Throughput) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Elements(n) => format!("{:.3e} elem/s", n as f64 / secs),
+        Throughput::Bytes(n) => format!("{:.3e} B/s", n as f64 / secs),
+    }
+}
+
+/// The harness entry point: owns configuration and prints results.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("PDMAP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(50);
+        Self {
+            budget: Duration::from_millis(ms.max(1)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let budget = self.budget;
+        run_one(&id.into().name, None, budget, f);
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        budget,
+        per_iter: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let rate = throughput
+        .map(|t| format!("  {}", fmt_rate(b.per_iter, t)))
+        .unwrap_or_default();
+    println!(
+        "{name}: {}/iter  ({} iters){rate}",
+        fmt_duration(b.per_iter),
+        b.iters
+    );
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for Criterion compatibility; this harness sizes runs by
+    /// time budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput, reported as a
+    /// rate next to the time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(&full, self.throughput, self.criterion.budget, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(&full, self.throughput, self.criterion.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        let id = BenchmarkId::new("scan", 64);
+        assert_eq!(id.name, "scan/64");
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_rate(Duration::from_micros(1), Throughput::Bytes(1000)).contains("B/s"));
+    }
+}

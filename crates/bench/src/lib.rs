@@ -7,6 +7,9 @@ use cmrts_sim::MachineConfig;
 use paradyn_tool::tool::Paradyn;
 
 pub mod figures;
+pub mod harness;
+
+pub use harness::{Bencher, BenchmarkId, Criterion, Throughput};
 
 /// Standard machine configuration used by the figure binaries.
 pub fn standard_config(nodes: usize) -> MachineConfig {

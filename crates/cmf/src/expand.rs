@@ -68,9 +68,7 @@ fn spend(budget: &mut usize, line: u32) -> Result<(), CompileError> {
     if *budget == 0 {
         return Err(CompileError::new(
             line,
-            format!(
-                "loop expansion exceeds {MAX_EXPANDED_STATEMENTS} statements"
-            ),
+            format!("loop expansion exceeds {MAX_EXPANDED_STATEMENTS} statements"),
         ));
     }
     *budget -= 1;
@@ -129,10 +127,7 @@ mod tests {
 
     #[test]
     fn do_loop_unrolls_with_substitution() {
-        let unit = parse(
-            "PROGRAM P\nREAL A(8)\nDO I = 1:3\nA = A + I\nENDDO\nEND\n",
-        )
-        .unwrap();
+        let unit = parse("PROGRAM P\nREAL A(8)\nDO I = 1:3\nA = A + I\nENDDO\nEND\n").unwrap();
         let expanded = expand_unit(&unit).unwrap();
         // decl + 3 unrolled assignments.
         assert_eq!(expanded.stmts.len(), 4);
@@ -175,20 +170,17 @@ mod tests {
 
     #[test]
     fn expansion_budget_is_enforced() {
-        let unit = parse(
-            "PROGRAM P\nREAL A(8)\nDO I = 1:200000\nA = A + 1.0\nENDDO\nEND\n",
-        )
-        .unwrap();
+        let unit =
+            parse("PROGRAM P\nREAL A(8)\nDO I = 1:200000\nA = A + 1.0\nENDDO\nEND\n").unwrap();
         let e = expand_unit(&unit).unwrap_err();
         assert!(e.message.contains("exceeds"));
     }
 
     #[test]
     fn forall_index_shadows_do_index() {
-        let unit = parse(
-            "PROGRAM P\nREAL A(4)\nDO I = 1:2\nFORALL (I = 1:4) A(I) = I\nENDDO\nEND\n",
-        )
-        .unwrap();
+        let unit =
+            parse("PROGRAM P\nREAL A(4)\nDO I = 1:2\nFORALL (I = 1:4) A(I) = I\nENDDO\nEND\n")
+                .unwrap();
         let expanded = expand_unit(&unit).unwrap();
         // The FORALL's own I survives (not replaced by the DO constant).
         match &expanded.stmts[1].kind {

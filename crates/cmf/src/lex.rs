@@ -132,27 +132,45 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: Tok::EqEq, line });
+                        out.push(Token {
+                            kind: Tok::EqEq,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: Tok::Eq, line });
+                        out.push(Token {
+                            kind: Tok::Eq,
+                            line,
+                        });
                     }
                 }
                 '<' => {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: Tok::Le, line });
+                        out.push(Token {
+                            kind: Tok::Le,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: Tok::Lt, line });
+                        out.push(Token {
+                            kind: Tok::Lt,
+                            line,
+                        });
                     }
                 }
                 '>' => {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: Tok::Ge, line });
+                        out.push(Token {
+                            kind: Tok::Ge,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: Tok::Gt, line });
+                        out.push(Token {
+                            kind: Tok::Gt,
+                            line,
+                        });
                     }
                 }
                 ':' => push(&mut out, Tok::Colon, line, &mut chars),
@@ -163,9 +181,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: Tok::Ne, line });
+                        out.push(Token {
+                            kind: Tok::Ne,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: Tok::Slash, line });
+                        out.push(Token {
+                            kind: Tok::Slash,
+                            line,
+                        });
                     }
                 }
                 c if c.is_ascii_digit() || c == '.' => {
@@ -174,10 +198,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         if d.is_ascii_digit() || d == '.' {
                             s.push(d);
                             chars.next();
-                        } else if (d == 'e' || d == 'E')
-                            && !s.is_empty()
-                            && !s.contains('e')
-                        {
+                        } else if (d == 'e' || d == 'E') && !s.is_empty() && !s.contains('e') {
                             s.push('e');
                             chars.next();
                             if let Some(&sign) = chars.peek() {

@@ -234,7 +234,9 @@ mod tests {
                 for i in &b.body {
                     match i.op {
                         NodeOp::Shift { circular: true, .. } => seen_rotate = true,
-                        NodeOp::Shift { circular: false, .. } => seen_shift = true,
+                        NodeOp::Shift {
+                            circular: false, ..
+                        } => seen_shift = true,
                         NodeOp::Transpose { .. } => seen_transpose = true,
                         NodeOp::Scan { .. } => seen_scan = true,
                         NodeOp::Sort { .. } => seen_sort = true,
@@ -257,7 +259,10 @@ mod tests {
         assert_eq!(c.unit.subroutines.len(), 6);
         for a in ["TOT", "SRM", "WGHT", "SCL", "TMP"] {
             assert!(c.symbols.is_array(a), "{a}");
-            assert_eq!(c.symbols.array_home.get(a).map(String::as_str), Some("CORNER"));
+            assert_eq!(
+                c.symbols.array_home.get(a).map(String::as_str),
+                Some("CORNER")
+            );
         }
         // The listing attributes statements and arrays to their functions.
         assert!(c.listing.contains("fn=CORNER"));
@@ -385,12 +390,7 @@ END
         )
         .unwrap_err();
         assert!(e.message.contains("comparison"));
-        let e = compile(
-            "PROGRAM P\nWHERE (X > 1.0) Y = 2.0\nEND\n",
-            &ns,
-            &opts,
-        )
-        .unwrap_err();
+        let e = compile("PROGRAM P\nWHERE (X > 1.0) Y = 2.0\nEND\n", &ns, &opts).unwrap_err();
         assert!(e.message.contains("not a declared array"));
     }
 

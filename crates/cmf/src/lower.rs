@@ -95,7 +95,10 @@ impl CmfVocab {
         let v = |name: &str, desc: &str| ns.verb(source_level, name, desc);
         Self {
             executes: v("Executes", "units are \"% CPU\""),
-            active: v("Active", "array participates in the running node code block"),
+            active: v(
+                "Active",
+                "array participates in the running node code block",
+            ),
             assigns: v("Assigns", "element-wise parallel assignment"),
             sums: v("Sums", "SUM reduction"),
             maxvals: v("MaxVals", "MAXVAL reduction"),
@@ -430,7 +433,8 @@ impl<'a> Lowerer<'a> {
                 stmt_arrays.insert(name.clone());
                 match dest {
                     Some(d) if d != src => {
-                        let sentence = self.op_sentence(self.vocab.assigns, &self.provenance_of(src));
+                        let sentence =
+                            self.op_sentence(self.vocab.assigns, &self.provenance_of(src));
                         ew.push(Instr {
                             op: NodeOp::Copy { dst: d, src },
                             sentence,
@@ -450,9 +454,8 @@ impl<'a> Lowerer<'a> {
                         t
                     }
                 };
-                let src = self.lower_array_expr(
-                    inner, None, line, line_texts, ew, stmt_arrays, temps,
-                )?;
+                let src =
+                    self.lower_array_expr(inner, None, line, line_texts, ew, stmt_arrays, temps)?;
                 let prov = self.provenance_of(src);
                 let sentence = self.op_sentence(self.vocab.assigns, &prov);
                 self.provenance.insert(d, prov);
@@ -542,13 +545,22 @@ impl<'a> Lowerer<'a> {
                         });
                         Ok(d)
                     }
-                    Intrinsic::Scan(_) | Intrinsic::Sort | Intrinsic::CShift
-                    | Intrinsic::EoShift | Intrinsic::Transpose => {
+                    Intrinsic::Scan(_)
+                    | Intrinsic::Sort
+                    | Intrinsic::CShift
+                    | Intrinsic::EoShift
+                    | Intrinsic::Transpose => {
                         // Communication piece: its own block. First lower
                         // the inner array, flushing element-wise work that
                         // produces it.
                         let src = self.lower_array_expr(
-                            &args[0], None, line, line_texts, ew, stmt_arrays, temps,
+                            &args[0],
+                            None,
+                            line,
+                            line_texts,
+                            ew,
+                            stmt_arrays,
+                            temps,
                         )?;
                         // Flush accumulated element-wise work (it must run
                         // before the communication op).
@@ -573,14 +585,9 @@ impl<'a> Lowerer<'a> {
                         };
                         let prov = self.provenance_of(src);
                         let (op, verb) = match intr {
-                            Intrinsic::Scan(kind) => (
-                                NodeOp::Scan {
-                                    kind,
-                                    src,
-                                    dst: d,
-                                },
-                                self.vocab.scans,
-                            ),
+                            Intrinsic::Scan(kind) => {
+                                (NodeOp::Scan { kind, src, dst: d }, self.vocab.scans)
+                            }
                             Intrinsic::Sort => (NodeOp::Sort { dst: d, src }, self.vocab.sorts),
                             Intrinsic::CShift | Intrinsic::EoShift => {
                                 let offset = const_int(&args[1]);
@@ -603,10 +610,9 @@ impl<'a> Lowerer<'a> {
                                     },
                                 )
                             }
-                            Intrinsic::Transpose => (
-                                NodeOp::Transpose { dst: d, src },
-                                self.vocab.transposes,
-                            ),
+                            Intrinsic::Transpose => {
+                                (NodeOp::Transpose { dst: d, src }, self.vocab.transposes)
+                            }
                             _ => unreachable!(),
                         };
                         let sentence = self.op_sentence(verb, &prov);
@@ -722,7 +728,13 @@ impl<'a> Lowerer<'a> {
                 let mut ew = Vec::new();
                 let mut temps = Vec::new();
                 let src = self.lower_array_expr(
-                    &args[0], None, line, line_texts, &mut ew, stmt_arrays, &mut temps,
+                    &args[0],
+                    None,
+                    line,
+                    line_texts,
+                    &mut ew,
+                    stmt_arrays,
+                    &mut temps,
                 )?;
                 if !ew.is_empty() {
                     self.pending.instrs.extend(ew);
@@ -770,10 +782,7 @@ impl<'a> Lowerer<'a> {
             }
             StmtKind::Dist { .. } => Ok(()), // consumed by sema
             StmtKind::Call { name } => {
-                let sub = self
-                    .unit
-                    .subroutine(name)
-                    .expect("checked by sema");
+                let sub = self.unit.subroutine(name).expect("checked by sema");
                 for stmt in &sub.stmts {
                     self.lower_stmt(stmt, line_texts)?;
                 }
@@ -890,14 +899,25 @@ impl<'a> Lowerer<'a> {
                 let mut temps = Vec::new();
                 let mut stmt_arrays: BTreeSet<String> = BTreeSet::new();
                 stmt_arrays.insert(target.clone());
-                let oa = self.lower_operand(lhs, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
-                let ob = self.lower_operand(rhs, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
+                let oa = self.lower_operand(
+                    lhs,
+                    line,
+                    line_texts,
+                    &mut ew,
+                    &mut stmt_arrays,
+                    &mut temps,
+                )?;
+                let ob = self.lower_operand(
+                    rhs,
+                    line,
+                    line_texts,
+                    &mut ew,
+                    &mut stmt_arrays,
+                    &mut temps,
+                )?;
                 let mask = self.fresh_temp_array(&extents, Distribution::Block);
                 temps.push(mask);
-                let sentence = self.op_sentence(
-                    self.vocab.assigns,
-                    &stmt_arrays.clone(),
-                );
+                let sentence = self.op_sentence(self.vocab.assigns, &stmt_arrays.clone());
                 ew.push(Instr {
                     op: NodeOp::Compare {
                         dst: mask,
@@ -907,12 +927,15 @@ impl<'a> Lowerer<'a> {
                     },
                     sentence,
                 });
-                let val =
-                    self.lower_operand(expr, line, line_texts, &mut ew, &mut stmt_arrays, &mut temps)?;
-                let sentence = self.op_sentence(
-                    self.vocab.assigns,
-                    &stmt_arrays.clone(),
-                );
+                let val = self.lower_operand(
+                    expr,
+                    line,
+                    line_texts,
+                    &mut ew,
+                    &mut stmt_arrays,
+                    &mut temps,
+                )?;
+                let sentence = self.op_sentence(self.vocab.assigns, &stmt_arrays.clone());
                 ew.push(Instr {
                     op: NodeOp::Select {
                         dst,
@@ -1139,7 +1162,10 @@ mod tests {
             fuse_elementwise: false,
             ..LowerOptions::default()
         };
-        let l = lowered_opts("PROGRAM CORR\nREAL A(64), B(64)\nA = 1.5\nB = 2.5\nEND\n", &opts);
+        let l = lowered_opts(
+            "PROGRAM CORR\nREAL A(64), B(64)\nA = 1.5\nB = 2.5\nEND\n",
+            &opts,
+        );
         assert_eq!(ncbs(&l).len(), 2);
     }
 
@@ -1167,8 +1193,17 @@ mod tests {
         let blocks = ncbs(&l);
         assert_eq!(blocks.len(), 2); // fill block + reduce block
         let reduce = blocks[1];
-        assert!(matches!(reduce.body[0].op, NodeOp::Reduce { kind: ReduceKind::Sum, .. }));
-        assert!(reduce.body[0].sentence.is_some(), "reduce carries {{A}} Sums");
+        assert!(matches!(
+            reduce.body[0].op,
+            NodeOp::Reduce {
+                kind: ReduceKind::Sum,
+                ..
+            }
+        ));
+        assert!(
+            reduce.body[0].sentence.is_some(),
+            "reduce carries {{A}} Sums"
+        );
         // Final CP assignment of ASUM from the temp scalar.
         assert!(l
             .program
@@ -1185,8 +1220,20 @@ mod tests {
         let blocks = ncbs(&l);
         // fused fill block + SUM block + MAXVAL block.
         assert_eq!(blocks.len(), 3);
-        assert!(matches!(blocks[1].body[0].op, NodeOp::Reduce { kind: ReduceKind::Sum, .. }));
-        assert!(matches!(blocks[2].body[0].op, NodeOp::Reduce { kind: ReduceKind::Max, .. }));
+        assert!(matches!(
+            blocks[1].body[0].op,
+            NodeOp::Reduce {
+                kind: ReduceKind::Sum,
+                ..
+            }
+        ));
+        assert!(matches!(
+            blocks[2].body[0].op,
+            NodeOp::Reduce {
+                kind: ReduceKind::Max,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1208,8 +1255,20 @@ mod tests {
         let l = lowered("PROGRAM P\nREAL A(16)\nREAD A\nWRITE A\nEND\n");
         let blocks = ncbs(&l);
         assert_eq!(blocks.len(), 2);
-        assert!(matches!(blocks[0].body[0].op, NodeOp::FileIo { bytes: 128, write: false }));
-        assert!(matches!(blocks[1].body[0].op, NodeOp::FileIo { bytes: 128, write: true }));
+        assert!(matches!(
+            blocks[0].body[0].op,
+            NodeOp::FileIo {
+                bytes: 128,
+                write: false
+            }
+        ));
+        assert!(matches!(
+            blocks[1].body[0].op,
+            NodeOp::FileIo {
+                bytes: 128,
+                write: true
+            }
+        ));
     }
 
     #[test]
@@ -1229,7 +1288,11 @@ mod tests {
             .count();
         assert_eq!(allocs, 2); // A + temp
         assert_eq!(frees, 1); // temp freed after the reduction
-        assert!(l.program.arrays.iter().any(|a| a.name.starts_with("CMF_TMP")));
+        assert!(l
+            .program
+            .arrays
+            .iter()
+            .any(|a| a.name.starts_with("CMF_TMP")));
     }
 
     #[test]

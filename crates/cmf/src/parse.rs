@@ -37,7 +37,10 @@ impl Parser {
                 t.line,
                 format!("expected {want}, found {}", t.kind),
             )),
-            None => Err(CompileError::new(0, format!("expected {want}, found end of input"))),
+            None => Err(CompileError::new(
+                0,
+                format!("expected {want}, found end of input"),
+            )),
         }
     }
 
@@ -51,7 +54,10 @@ impl Parser {
                 t.line,
                 format!("expected {what}, found {}", t.kind),
             )),
-            None => Err(CompileError::new(0, format!("expected {what}, found end of input"))),
+            None => Err(CompileError::new(
+                0,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -67,7 +73,10 @@ impl Parser {
                 t.line,
                 format!("expected {what}, found {}", t.kind),
             )),
-            None => Err(CompileError::new(0, format!("expected {what}, found end of input"))),
+            None => Err(CompileError::new(
+                0,
+                format!("expected {what}, found end of input"),
+            )),
         }
     }
 
@@ -97,7 +106,10 @@ pub fn parse(src: &str) -> Result<Unit, CompileError> {
 
     let (kw, line) = p.ident("'PROGRAM'")?;
     if kw != "PROGRAM" {
-        return Err(CompileError::new(line, format!("expected 'PROGRAM', found '{kw}'")));
+        return Err(CompileError::new(
+            line,
+            format!("expected 'PROGRAM', found '{kw}'"),
+        ));
     }
     let (name, _) = p.ident("program name")?;
     p.end_statement()?;
@@ -141,10 +153,7 @@ pub fn parse(src: &str) -> Result<Unit, CompileError> {
                             break;
                         }
                         Some(Tok::Ident(id)) if id == "SUBROUTINE" => {
-                            return Err(CompileError::new(
-                                p.line(),
-                                "subroutines cannot nest",
-                            ))
+                            return Err(CompileError::new(p.line(), "subroutines cannot nest"))
                         }
                         Some(Tok::Ident(id)) if id == "END" => {
                             return Err(CompileError::new(
@@ -174,218 +183,221 @@ pub fn parse(src: &str) -> Result<Unit, CompileError> {
 /// Parses one simple statement (not SUBROUTINE/END/ENDSUB).
 fn parse_one(p: &mut Parser) -> Result<Stmt, CompileError> {
     let Some(tok) = p.peek() else {
-        return Err(CompileError::new(0, "expected a statement, found end of input"));
+        return Err(CompileError::new(
+            0,
+            "expected a statement, found end of input",
+        ));
     };
     let line = p.line();
     match tok {
-            Tok::Ident(id) if id == "REAL" => {
-                p.next();
-                let mut entries = Vec::new();
-                loop {
-                    let (name, _) = p.ident("declaration name")?;
-                    let mut extents = Vec::new();
-                    if p.peek() == Some(&Tok::LParen) {
-                        p.next();
-                        loop {
-                            let n = p.number("array extent")?;
-                            if n < 1.0 || n.fract() != 0.0 {
-                                return Err(CompileError::new(
-                                    line,
-                                    format!("array extent must be a positive integer, got {n}"),
-                                ));
-                            }
-                            extents.push(n as usize);
-                            match p.next() {
-                                Some(t) if t.kind == Tok::Comma => continue,
-                                Some(t) if t.kind == Tok::RParen => break,
-                                other => {
-                                    return Err(CompileError::new(
-                                        line,
-                                        format!(
-                                            "expected ',' or ')' in extents, found {:?}",
-                                            other.map(|t| t.kind)
-                                        ),
-                                    ))
-                                }
-                            }
-                        }
-                        if extents.len() > 2 {
+        Tok::Ident(id) if id == "REAL" => {
+            p.next();
+            let mut entries = Vec::new();
+            loop {
+                let (name, _) = p.ident("declaration name")?;
+                let mut extents = Vec::new();
+                if p.peek() == Some(&Tok::LParen) {
+                    p.next();
+                    loop {
+                        let n = p.number("array extent")?;
+                        if n < 1.0 || n.fract() != 0.0 {
                             return Err(CompileError::new(
                                 line,
-                                "only 1-D and 2-D arrays are supported",
+                                format!("array extent must be a positive integer, got {n}"),
                             ));
                         }
-                    }
-                    entries.push(DeclEntry { name, extents });
-                    if p.peek() == Some(&Tok::Comma) {
-                        p.next();
-                        continue;
-                    }
-                    break;
-                }
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Decl { entries },
-                })
-            }
-            Tok::Ident(id) if id == "DIST" => {
-                p.next();
-                let (name, _) = p.ident("array name")?;
-                let (d, dl) = p.ident("distribution")?;
-                let dist = Distribution::parse(&d.to_lowercase()).ok_or_else(|| {
-                    CompileError::new(dl, format!("unknown distribution '{d}' (BLOCK|CYCLIC)"))
-                })?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Dist { name, dist },
-                })
-            }
-            Tok::Ident(id) if id == "FORALL" => {
-                p.next();
-                p.eat(&Tok::LParen)?;
-                let (index, _) = p.ident("index variable")?;
-                p.eat(&Tok::Eq)?;
-                let lo = p.number("lower bound")? as i64;
-                p.eat(&Tok::Colon)?;
-                let hi = p.number("upper bound")? as i64;
-                p.eat(&Tok::RParen)?;
-                let (target, _) = p.ident("target array")?;
-                p.eat(&Tok::LParen)?;
-                let (ivar, il) = p.ident("index variable")?;
-                if ivar != index {
-                    return Err(CompileError::new(
-                        il,
-                        format!("FORALL target index '{ivar}' does not match '{index}'"),
-                    ));
-                }
-                p.eat(&Tok::RParen)?;
-                p.eat(&Tok::Eq)?;
-                let expr = parse_expr(p)?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Forall {
-                        index,
-                        lo,
-                        hi,
-                        target,
-                        expr,
-                    },
-                })
-            }
-            Tok::Ident(id) if id == "READ" || id == "WRITE" => {
-                let write = id == "WRITE";
-                p.next();
-                let (name, _) = p.ident("array name")?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: if write {
-                        StmtKind::Write { name }
-                    } else {
-                        StmtKind::Read { name }
-                    },
-                })
-            }
-            Tok::Ident(id) if id == "DO" => {
-                p.next();
-                let (index, _) = p.ident("index variable")?;
-                p.eat(&Tok::Eq)?;
-                let lo = p.number("lower bound")? as i64;
-                p.eat(&Tok::Colon)?;
-                let hi = p.number("upper bound")? as i64;
-                p.end_statement()?;
-                let mut body = Vec::new();
-                loop {
-                    p.skip_newlines();
-                    match p.peek() {
-                        None => {
-                            return Err(CompileError::new(line, "DO is missing ENDDO"))
+                        extents.push(n as usize);
+                        match p.next() {
+                            Some(t) if t.kind == Tok::Comma => continue,
+                            Some(t) if t.kind == Tok::RParen => break,
+                            other => {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!(
+                                        "expected ',' or ')' in extents, found {:?}",
+                                        other.map(|t| t.kind)
+                                    ),
+                                ))
+                            }
                         }
-                        Some(Tok::Ident(id)) if id == "ENDDO" => {
-                            p.next();
-                            p.end_statement()?;
-                            break;
-                        }
-                        Some(Tok::Ident(id)) if id == "END" || id == "ENDSUB" => {
-                            return Err(CompileError::new(p.line(), "DO is missing ENDDO"))
-                        }
-                        _ => body.push(parse_one(p)?),
                     }
-                }
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Do {
-                        index,
-                        lo,
-                        hi,
-                        body,
-                    },
-                })
-            }
-            Tok::Ident(id) if id == "WHERE" => {
-                p.next();
-                p.eat(&Tok::LParen)?;
-                let lhs = parse_expr(p)?;
-                let cmp = match p.next() {
-                    Some(Token { kind: Tok::Lt, .. }) => cmrts_sim::CmpKind::Lt,
-                    Some(Token { kind: Tok::Gt, .. }) => cmrts_sim::CmpKind::Gt,
-                    Some(Token { kind: Tok::Le, .. }) => cmrts_sim::CmpKind::Le,
-                    Some(Token { kind: Tok::Ge, .. }) => cmrts_sim::CmpKind::Ge,
-                    Some(Token { kind: Tok::EqEq, .. }) => cmrts_sim::CmpKind::Eq,
-                    Some(Token { kind: Tok::Ne, .. }) => cmrts_sim::CmpKind::Ne,
-                    other => {
+                    if extents.len() > 2 {
                         return Err(CompileError::new(
                             line,
-                            format!(
-                                "expected a comparison in WHERE, found {:?}",
-                                other.map(|t| t.kind)
-                            ),
-                        ))
+                            "only 1-D and 2-D arrays are supported",
+                        ));
                     }
-                };
-                let rhs = parse_expr(p)?;
-                p.eat(&Tok::RParen)?;
-                let (target, _) = p.ident("target array")?;
-                p.eat(&Tok::Eq)?;
-                let expr = parse_expr(p)?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Where {
-                        lhs,
-                        cmp,
-                        rhs,
-                        target,
-                        expr,
-                    },
-                })
+                }
+                entries.push(DeclEntry { name, extents });
+                if p.peek() == Some(&Tok::Comma) {
+                    p.next();
+                    continue;
+                }
+                break;
             }
-            Tok::Ident(id) if id == "CALL" => {
-                p.next();
-                let (name, _) = p.ident("subroutine name")?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Call { name },
-                })
-            }
-            Tok::Ident(_) => {
-                let (target, _) = p.ident("assignment target")?;
-                p.eat(&Tok::Eq)?;
-                let expr = parse_expr(p)?;
-                p.end_statement()?;
-                Ok(Stmt {
-                    line,
-                    kind: StmtKind::Assign { target, expr },
-                })
-            }
-            other => Err(CompileError::new(
+            p.end_statement()?;
+            Ok(Stmt {
                 line,
-                format!("expected a statement, found {other}"),
-            )),
+                kind: StmtKind::Decl { entries },
+            })
+        }
+        Tok::Ident(id) if id == "DIST" => {
+            p.next();
+            let (name, _) = p.ident("array name")?;
+            let (d, dl) = p.ident("distribution")?;
+            let dist = Distribution::parse(&d.to_lowercase()).ok_or_else(|| {
+                CompileError::new(dl, format!("unknown distribution '{d}' (BLOCK|CYCLIC)"))
+            })?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Dist { name, dist },
+            })
+        }
+        Tok::Ident(id) if id == "FORALL" => {
+            p.next();
+            p.eat(&Tok::LParen)?;
+            let (index, _) = p.ident("index variable")?;
+            p.eat(&Tok::Eq)?;
+            let lo = p.number("lower bound")? as i64;
+            p.eat(&Tok::Colon)?;
+            let hi = p.number("upper bound")? as i64;
+            p.eat(&Tok::RParen)?;
+            let (target, _) = p.ident("target array")?;
+            p.eat(&Tok::LParen)?;
+            let (ivar, il) = p.ident("index variable")?;
+            if ivar != index {
+                return Err(CompileError::new(
+                    il,
+                    format!("FORALL target index '{ivar}' does not match '{index}'"),
+                ));
+            }
+            p.eat(&Tok::RParen)?;
+            p.eat(&Tok::Eq)?;
+            let expr = parse_expr(p)?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Forall {
+                    index,
+                    lo,
+                    hi,
+                    target,
+                    expr,
+                },
+            })
+        }
+        Tok::Ident(id) if id == "READ" || id == "WRITE" => {
+            let write = id == "WRITE";
+            p.next();
+            let (name, _) = p.ident("array name")?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: if write {
+                    StmtKind::Write { name }
+                } else {
+                    StmtKind::Read { name }
+                },
+            })
+        }
+        Tok::Ident(id) if id == "DO" => {
+            p.next();
+            let (index, _) = p.ident("index variable")?;
+            p.eat(&Tok::Eq)?;
+            let lo = p.number("lower bound")? as i64;
+            p.eat(&Tok::Colon)?;
+            let hi = p.number("upper bound")? as i64;
+            p.end_statement()?;
+            let mut body = Vec::new();
+            loop {
+                p.skip_newlines();
+                match p.peek() {
+                    None => return Err(CompileError::new(line, "DO is missing ENDDO")),
+                    Some(Tok::Ident(id)) if id == "ENDDO" => {
+                        p.next();
+                        p.end_statement()?;
+                        break;
+                    }
+                    Some(Tok::Ident(id)) if id == "END" || id == "ENDSUB" => {
+                        return Err(CompileError::new(p.line(), "DO is missing ENDDO"))
+                    }
+                    _ => body.push(parse_one(p)?),
+                }
+            }
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Do {
+                    index,
+                    lo,
+                    hi,
+                    body,
+                },
+            })
+        }
+        Tok::Ident(id) if id == "WHERE" => {
+            p.next();
+            p.eat(&Tok::LParen)?;
+            let lhs = parse_expr(p)?;
+            let cmp = match p.next() {
+                Some(Token { kind: Tok::Lt, .. }) => cmrts_sim::CmpKind::Lt,
+                Some(Token { kind: Tok::Gt, .. }) => cmrts_sim::CmpKind::Gt,
+                Some(Token { kind: Tok::Le, .. }) => cmrts_sim::CmpKind::Le,
+                Some(Token { kind: Tok::Ge, .. }) => cmrts_sim::CmpKind::Ge,
+                Some(Token {
+                    kind: Tok::EqEq, ..
+                }) => cmrts_sim::CmpKind::Eq,
+                Some(Token { kind: Tok::Ne, .. }) => cmrts_sim::CmpKind::Ne,
+                other => {
+                    return Err(CompileError::new(
+                        line,
+                        format!(
+                            "expected a comparison in WHERE, found {:?}",
+                            other.map(|t| t.kind)
+                        ),
+                    ))
+                }
+            };
+            let rhs = parse_expr(p)?;
+            p.eat(&Tok::RParen)?;
+            let (target, _) = p.ident("target array")?;
+            p.eat(&Tok::Eq)?;
+            let expr = parse_expr(p)?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Where {
+                    lhs,
+                    cmp,
+                    rhs,
+                    target,
+                    expr,
+                },
+            })
+        }
+        Tok::Ident(id) if id == "CALL" => {
+            p.next();
+            let (name, _) = p.ident("subroutine name")?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Call { name },
+            })
+        }
+        Tok::Ident(_) => {
+            let (target, _) = p.ident("assignment target")?;
+            p.eat(&Tok::Eq)?;
+            let expr = parse_expr(p)?;
+            p.end_statement()?;
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Assign { target, expr },
+            })
+        }
+        other => Err(CompileError::new(
+            line,
+            format!("expected a statement, found {other}"),
+        )),
     }
 }
 
@@ -461,7 +473,10 @@ fn parse_factor(p: &mut Parser) -> Result<Expr, CompileError> {
             t.line,
             format!("expected an expression, found {}", t.kind),
         )),
-        None => Err(CompileError::new(0, "expected an expression, found end of input")),
+        None => Err(CompileError::new(
+            0,
+            "expected an expression, found end of input",
+        )),
     }
 }
 

@@ -2,10 +2,10 @@
 //! signatures, and FORALL linearity.
 
 use crate::ast::{BinKind, Expr, Stmt, StmtKind, Unit};
-use std::collections::BTreeSet;
 use crate::lex::CompileError;
 use cmrts_sim::Distribution;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// What a name denotes.
 #[derive(Clone, Debug, PartialEq)]
@@ -147,7 +147,10 @@ pub fn infer_shape(
         }
         Expr::Call { name, args } => {
             let Some(intr) = Intrinsic::by_name(name) else {
-                return Err(CompileError::new(line, format!("unknown intrinsic '{name}'")));
+                return Err(CompileError::new(
+                    line,
+                    format!("unknown intrinsic '{name}'"),
+                ));
             };
             let array_arg = |k: usize| -> Result<Vec<usize>, CompileError> {
                 let a = args.get(k).ok_or_else(|| {
@@ -181,7 +184,8 @@ pub fn infer_shape(
                     let e = array_arg(0)?;
                     match &args[1] {
                         Expr::Num(n) if n.fract() == 0.0 => {}
-                        Expr::Neg(inner) if matches!(**inner, Expr::Num(n) if n.fract() == 0.0) => {}
+                        Expr::Neg(inner) if matches!(**inner, Expr::Num(n) if n.fract() == 0.0) => {
+                        }
                         _ => {
                             return Err(CompileError::new(
                                 line,
@@ -243,9 +247,7 @@ fn expect_arity(name: &str, args: &[Expr], n: usize, line: u32) -> Result<(), Co
 fn join_shapes(a: Shape, b: Shape, line: u32) -> Result<Shape, CompileError> {
     match (a, b) {
         (Shape::Scalar, Shape::Scalar) => Ok(Shape::Scalar),
-        (Shape::Array(e), Shape::Scalar) | (Shape::Scalar, Shape::Array(e)) => {
-            Ok(Shape::Array(e))
-        }
+        (Shape::Array(e), Shape::Scalar) | (Shape::Scalar, Shape::Array(e)) => Ok(Shape::Array(e)),
         (Shape::Array(ea), Shape::Array(eb)) => {
             if ea == eb {
                 Ok(Shape::Array(ea))
@@ -285,7 +287,10 @@ pub fn linear_of_index(expr: &Expr, index: &str, line: u32) -> Result<(f64, f64)
                     } else if cb == 0.0 {
                         Ok((ca * ob, oa * ob))
                     } else {
-                        Err(CompileError::new(line, "FORALL expression must be linear in the index"))
+                        Err(CompileError::new(
+                            line,
+                            "FORALL expression must be linear in the index",
+                        ))
                     }
                 }
                 BinKind::Div => {
@@ -622,29 +627,41 @@ mod tests {
     fn cshift_dim_argument() {
         ok("PROGRAM P\nREAL M(4,4), T(4,4)\nM = 1.0\nT = CSHIFT(M, 1, 2)\nEND\n");
         ok("PROGRAM P\nREAL A(8), B(8)\nA = 1.0\nB = EOSHIFT(A, 2, 1)\nEND\n");
-        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2)\nEND\n")
-            .message
-            .contains("DIM must be between"));
-        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, A)\nEND\n")
-            .message
-            .contains("integer constant"));
-        assert!(fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2, 3)\nEND\n")
-            .message
-            .contains("2 or 3"));
+        assert!(
+            fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2)\nEND\n")
+                .message
+                .contains("DIM must be between")
+        );
+        assert!(
+            fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, A)\nEND\n")
+                .message
+                .contains("integer constant")
+        );
+        assert!(
+            fail("PROGRAM P\nREAL A(8), B(8)\nB = CSHIFT(A, 1, 2, 3)\nEND\n")
+                .message
+                .contains("2 or 3")
+        );
     }
 
     #[test]
     fn forall_rules() {
         ok("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = 3*I - 2\nEND\n");
-        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:4) A(I) = I\nEND\n")
-            .message
-            .contains("whole array"));
-        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = I*I\nEND\n")
-            .message
-            .contains("linear"));
-        assert!(fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = SUM(A)\nEND\n")
-            .message
-            .contains("not allowed"));
+        assert!(
+            fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:4) A(I) = I\nEND\n")
+                .message
+                .contains("whole array")
+        );
+        assert!(
+            fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = I*I\nEND\n")
+                .message
+                .contains("linear")
+        );
+        assert!(
+            fail("PROGRAM P\nREAL A(8)\nFORALL (I = 1:8) A(I) = SUM(A)\nEND\n")
+                .message
+                .contains("not allowed")
+        );
         assert!(
             fail("PROGRAM P\nREAL M(2,2)\nFORALL (I = 1:2) M(I) = I\nEND\n")
                 .message
@@ -664,7 +681,10 @@ mod tests {
             )),
             Box::new(Expr::Num(1.0)),
         );
-        assert_eq!(linear_of_index(&two_i_plus_one, "I", 1).unwrap(), (2.0, 1.0));
+        assert_eq!(
+            linear_of_index(&two_i_plus_one, "I", 1).unwrap(),
+            (2.0, 1.0)
+        );
         let half_i = Expr::Bin(
             BinKind::Div,
             Box::new(Expr::Ident("I".into())),
@@ -691,6 +711,8 @@ mod tests {
 
     #[test]
     fn read_write_targets_checked() {
-        assert!(fail("PROGRAM P\nREAD A\nEND\n").message.contains("not a declared array"));
+        assert!(fail("PROGRAM P\nREAD A\nEND\n")
+            .message
+            .contains("not a declared array"));
     }
 }

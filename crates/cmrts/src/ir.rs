@@ -543,7 +543,14 @@ mod tests {
     fn unallocated_arg_is_rejected() {
         let mut b = ProgramBuilder::new("t");
         let a = b.array("A", &[10], Distribution::Block); // declared, not allocated
-        b.simple_ncb("blk", &[a], NodeOp::Fill { dst: a, value: Operand::Const(0.0) });
+        b.simple_ncb(
+            "blk",
+            &[a],
+            NodeOp::Fill {
+                dst: a,
+                value: Operand::Const(0.0),
+            },
+        );
         let err = b.build().unwrap_err();
         assert!(err.0.contains("unallocated"));
     }

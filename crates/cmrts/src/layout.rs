@@ -172,7 +172,7 @@ impl Layout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pdmap::util::SplitMix64;
 
     #[test]
     fn block_partition_is_balanced() {
@@ -214,48 +214,75 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn every_row_owned_exactly_once(
-            rows in 0usize..200,
-            nodes in 1usize..17,
-            dist in prop_oneof![Just(Distribution::Block), Just(Distribution::Cyclic)],
-        ) {
+    fn rand_dist(rng: &mut SplitMix64) -> Distribution {
+        if rng.bool() {
+            Distribution::Block
+        } else {
+            Distribution::Cyclic
+        }
+    }
+
+    #[test]
+    fn every_row_owned_exactly_once() {
+        let mut rng = SplitMix64::new(0xC3A1);
+        for _ in 0..256 {
+            let rows = rng.usize_in(0..200);
+            let nodes = rng.usize_in(1..17);
+            let dist = rand_dist(&mut rng);
             let l = Layout::new(rows, 1, nodes, dist);
             let mut owned = vec![0u32; rows];
             for n in 0..nodes {
                 for r in l.owned_rows(n).iter() {
-                    prop_assert_eq!(l.owner(r), n);
+                    assert_eq!(l.owner(r), n, "rows={rows} nodes={nodes} {dist:?}");
                     owned[r] += 1;
                 }
             }
-            prop_assert!(owned.iter().all(|&c| c == 1));
+            assert!(
+                owned.iter().all(|&c| c == 1),
+                "rows={rows} nodes={nodes} {dist:?}"
+            );
         }
+    }
 
-        #[test]
-        fn local_global_roundtrip(
-            rows in 1usize..200,
-            nodes in 1usize..17,
-            dist in prop_oneof![Just(Distribution::Block), Just(Distribution::Cyclic)],
-        ) {
+    #[test]
+    fn local_global_roundtrip() {
+        let mut rng = SplitMix64::new(0xC3A2);
+        for _ in 0..256 {
+            let rows = rng.usize_in(1..200);
+            let nodes = rng.usize_in(1..17);
+            let dist = rand_dist(&mut rng);
             let l = Layout::new(rows, 1, nodes, dist);
             for n in 0..nodes {
                 for (local, global) in l.owned_rows(n).iter().enumerate() {
-                    prop_assert_eq!(l.local_row(global), local);
-                    prop_assert_eq!(l.global_row(n, local), global);
+                    assert_eq!(
+                        l.local_row(global),
+                        local,
+                        "rows={rows} nodes={nodes} {dist:?}"
+                    );
+                    assert_eq!(
+                        l.global_row(n, local),
+                        global,
+                        "rows={rows} nodes={nodes} {dist:?}"
+                    );
                 }
             }
         }
+    }
 
-        #[test]
-        fn elems_partition_total(
-            rows in 0usize..200,
-            width in 1usize..8,
-            nodes in 1usize..17,
-        ) {
+    #[test]
+    fn elems_partition_total() {
+        let mut rng = SplitMix64::new(0xC3A3);
+        for _ in 0..256 {
+            let rows = rng.usize_in(0..200);
+            let width = rng.usize_in(1..8);
+            let nodes = rng.usize_in(1..17);
             let l = Layout::new(rows, width, nodes, Distribution::Block);
             let sum: usize = (0..nodes).map(|n| l.elems_on(n)).sum();
-            prop_assert_eq!(sum, l.total_elems());
+            assert_eq!(
+                sum,
+                l.total_elems(),
+                "rows={rows} width={width} nodes={nodes}"
+            );
         }
     }
 }

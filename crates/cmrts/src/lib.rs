@@ -36,8 +36,8 @@ pub mod types;
 
 pub use cost::CostModel;
 pub use ir::{
-    ArrayDecl, Instr, IrError, NodeCodeBlock, NodeOp, Operand, Program, ProgramBuilder,
-    ScalarExpr, Step,
+    ArrayDecl, Instr, IrError, NodeCodeBlock, NodeOp, Operand, Program, ProgramBuilder, ScalarExpr,
+    Step,
 };
 pub use layout::{Layout, OwnedRows};
 pub use machine::{

@@ -364,8 +364,9 @@ impl Machine {
                 .as_mut()
                 .expect("scatter to unallocated array");
             for (local, global) in layout.owned_rows(node).iter().enumerate() {
-                chunk[local * layout.row_width..(local + 1) * layout.row_width]
-                    .copy_from_slice(&data[global * layout.row_width..(global + 1) * layout.row_width]);
+                chunk[local * layout.row_width..(local + 1) * layout.row_width].copy_from_slice(
+                    &data[global * layout.row_width..(global + 1) * layout.row_width],
+                );
             }
         }
     }
@@ -612,9 +613,7 @@ impl Machine {
             }
             NodeOp::Copy { dst, src } => {
                 let src = *src;
-                self.elementwise(instr, *dst, &[src], move |_| {
-                    move |_, srcs: &[f64]| srcs[0]
-                })
+                self.elementwise(instr, *dst, &[src], move |_| move |_, srcs: &[f64]| srcs[0])
             }
             NodeOp::BinOp { dst, a, b, op } => {
                 let (a, b, op) = (*a, *b, *op);
@@ -767,9 +766,19 @@ impl Machine {
         for node in 0..self.config.nodes {
             let elems = layout.elems_on(node) as u64;
             let t0 = self.nodes[node].clock;
-            self.fire(Some(node), self.points.compute_entry, instr.sentence, elems as i64);
+            self.fire(
+                Some(node),
+                self.points.compute_entry,
+                instr.sentence,
+                elems as i64,
+            );
             self.nodes[node].clock += elems * cost.elem_compute;
-            self.fire(Some(node), self.points.compute_exit, instr.sentence, elems as i64);
+            self.fire(
+                Some(node),
+                self.points.compute_exit,
+                instr.sentence,
+                elems as i64,
+            );
             let t1 = self.nodes[node].clock;
             self.trace.push_with(|| Event::Compute {
                 node: node as u32,
@@ -820,7 +829,13 @@ impl Machine {
         t_recv
     }
 
-    fn reduce(&mut self, instr: &Instr, kind: ReduceKind, src: ArrayId, dst: crate::types::ScalarId) {
+    fn reduce(
+        &mut self,
+        instr: &Instr,
+        kind: ReduceKind,
+        src: ArrayId,
+        dst: crate::types::ScalarId,
+    ) {
         let cost = self.config.cost;
         let (entry, exit) = self.reduce_points(kind);
         let p = self.config.nodes;
@@ -1164,8 +1179,8 @@ impl Machine {
                     self.send_message(i + 1, i, bytes_r);
                     // Merge cost on both nodes; they synchronise.
                     let merged = (layout.elems_on(i) + layout.elems_on(i + 1)) as u64;
-                    let t = self.nodes[i].clock.max(self.nodes[i + 1].clock)
-                        + merged * cost.elem_move;
+                    let t =
+                        self.nodes[i].clock.max(self.nodes[i + 1].clock) + merged * cost.elem_move;
                     self.nodes[i].clock = t;
                     self.nodes[i + 1].clock = t;
                 }
@@ -1294,7 +1309,15 @@ mod tests {
     fn fill_ramp_and_gather() {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[10], Distribution::Block);
-        b.simple_ncb("blk1", &[a], NodeOp::Ramp { dst: a, start: 1.0, step: 1.0 });
+        b.simple_ncb(
+            "blk1",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 1.0,
+                step: 1.0,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 4);
         m.run();
         let data = m.gather(a);
@@ -1306,7 +1329,15 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[8], Distribution::Block);
         let c = b.alloc("C", &[8], Distribution::Block);
-        b.simple_ncb("blk1", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
+        b.simple_ncb(
+            "blk1",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
         b.simple_ncb(
             "blk2",
             &[a, c],
@@ -1329,7 +1360,15 @@ mod tests {
         let ssum = b.scalar("S");
         let smax = b.scalar("MAX");
         let smin = b.scalar("MIN");
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: -3.0, step: 1.5 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: -3.0,
+                step: 1.5,
+            },
+        );
         for (kind, dst) in [
             (ReduceKind::Sum, ssum),
             (ReduceKind::Max, smax),
@@ -1351,7 +1390,15 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[16], Distribution::Block);
         let s = b.scalar("S");
-        b.simple_ncb("r", &[a], NodeOp::Reduce { kind: ReduceKind::Sum, src: a, dst: s });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Reduce {
+                kind: ReduceKind::Sum,
+                src: a,
+                dst: s,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 4);
         m.run();
         // Tree: 4 nodes -> 3 internal messages (2 then 1), + 1 to the CP.
@@ -1370,15 +1417,32 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[10], Distribution::Block);
         let d = b.alloc("D", &[10], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 1.0, step: 1.0 });
-        b.simple_ncb("s", &[a, d], NodeOp::Scan { kind: ReduceKind::Sum, src: a, dst: d });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 1.0,
+                step: 1.0,
+            },
+        );
+        b.simple_ncb(
+            "s",
+            &[a, d],
+            NodeOp::Scan {
+                kind: ReduceKind::Sum,
+                src: a,
+                dst: d,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 4);
         m.run();
-        let expect: Vec<f64> = (1..=10).scan(0.0, |acc, i| {
-            *acc += i as f64;
-            Some(*acc)
-        })
-        .collect();
+        let expect: Vec<f64> = (1..=10)
+            .scan(0.0, |acc, i| {
+                *acc += i as f64;
+                Some(*acc)
+            })
+            .collect();
         assert_eq!(m.gather(d), expect);
     }
 
@@ -1388,9 +1452,37 @@ mod tests {
         let a = b.alloc("A", &[6], Distribution::Block);
         let r = b.alloc("R", &[6], Distribution::Block);
         let e = b.alloc("E", &[6], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
-        b.simple_ncb("c", &[a, r], NodeOp::Shift { dst: r, src: a, offset: 2, circular: true, dim: 0 });
-        b.simple_ncb("o", &[a, e], NodeOp::Shift { dst: e, src: a, offset: -1, circular: false, dim: 0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
+        b.simple_ncb(
+            "c",
+            &[a, r],
+            NodeOp::Shift {
+                dst: r,
+                src: a,
+                offset: 2,
+                circular: true,
+                dim: 0,
+            },
+        );
+        b.simple_ncb(
+            "o",
+            &[a, e],
+            NodeOp::Shift {
+                dst: e,
+                src: a,
+                offset: -1,
+                circular: false,
+                dim: 0,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 3);
         m.run();
         assert_eq!(m.gather(r), vec![4.0, 5.0, 0.0, 1.0, 2.0, 3.0]);
@@ -1402,19 +1494,30 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let m2 = b.alloc("M", &[2, 4], Distribution::Block);
         let d = b.alloc("D", &[2, 4], Distribution::Block);
-        b.simple_ncb("r", &[m2], NodeOp::Ramp { dst: m2, start: 0.0, step: 1.0 });
+        b.simple_ncb(
+            "r",
+            &[m2],
+            NodeOp::Ramp {
+                dst: m2,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
         b.simple_ncb(
             "c",
             &[m2, d],
-            NodeOp::Shift { dst: d, src: m2, offset: 1, circular: true, dim: 1 },
+            NodeOp::Shift {
+                dst: d,
+                src: m2,
+                offset: 1,
+                circular: true,
+                dim: 1,
+            },
         );
         let mut m = machine_for(b.build().unwrap(), 2);
         m.run();
         // Row 0: [0,1,2,3] rotated by 1 -> [3,0,1,2]; row 1 similarly.
-        assert_eq!(
-            m.gather(d),
-            vec![3.0, 0.0, 1.0, 2.0, 7.0, 4.0, 5.0, 6.0]
-        );
+        assert_eq!(m.gather(d), vec![3.0, 0.0, 1.0, 2.0, 7.0, 4.0, 5.0, 6.0]);
         // No messages beyond zero: within-row shifts never communicate.
         assert_eq!(m.summary().messages, 0);
     }
@@ -1426,7 +1529,13 @@ mod tests {
         b.simple_ncb(
             "c",
             &[a],
-            NodeOp::Shift { dst: a, src: a, offset: 1, circular: true, dim: 1 },
+            NodeOp::Shift {
+                dst: a,
+                src: a,
+                offset: 1,
+                circular: true,
+                dim: 1,
+            },
         );
         assert!(b.build().unwrap_err().0.contains("2-D"));
     }
@@ -1436,8 +1545,26 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[8], Distribution::Block);
         let d = b.alloc("D", &[8], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
-        b.simple_ncb("c", &[a, d], NodeOp::Shift { dst: d, src: a, offset: 1, circular: true, dim: 0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
+        b.simple_ncb(
+            "c",
+            &[a, d],
+            NodeOp::Shift {
+                dst: d,
+                src: a,
+                offset: 1,
+                circular: true,
+                dim: 0,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 4);
         m.run();
         // Each boundary row crosses: 4 node pairs exchange (3 forward + wrap).
@@ -1449,7 +1576,15 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[2, 3], Distribution::Block);
         let t = b.alloc("T", &[3, 2], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
         b.simple_ncb("t", &[a, t], NodeOp::Transpose { dst: t, src: a });
         let mut m = machine_for(b.build().unwrap(), 2);
         m.run();
@@ -1462,7 +1597,15 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[9], Distribution::Block);
         let d = b.alloc("D", &[9], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 8.0, step: -1.0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 8.0,
+                step: -1.0,
+            },
+        );
         b.simple_ncb("s", &[a, d], NodeOp::Sort { dst: d, src: a });
         let mut m = machine_for(b.build().unwrap(), 3);
         m.run();
@@ -1474,7 +1617,10 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let x = b.scalar("X");
         let y = b.scalar("Y");
-        b.step(Step::ScalarAssign { dst: x, expr: ScalarExpr::Const(21.0) });
+        b.step(Step::ScalarAssign {
+            dst: x,
+            expr: ScalarExpr::Const(21.0),
+        });
         b.step(Step::ScalarAssign {
             dst: y,
             expr: ScalarExpr::Bin(
@@ -1492,8 +1638,23 @@ mod tests {
     fn clocks_advance_and_idle_is_recorded() {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[64], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
-        b.simple_ncb("f", &[a], NodeOp::Fill { dst: a, value: Operand::Const(0.0) });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
+        b.simple_ncb(
+            "f",
+            &[a],
+            NodeOp::Fill {
+                dst: a,
+                value: Operand::Const(0.0),
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 4);
         let s = m.run();
         assert!(s.cp_clock > 0);
@@ -1512,23 +1673,29 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.step(Step::Ncb(NodeCodeBlock {
             name: "io".into(),
-            body: vec![Instr::bare(NodeOp::FileIo { bytes: 100, write: true })],
+            body: vec![Instr::bare(NodeOp::FileIo {
+                bytes: 100,
+                write: true,
+            })],
             ..NodeCodeBlock::default()
         }));
         let mut m = machine_for(b.build().unwrap(), 2);
         let before = m.cp_clock;
         m.run();
         assert!(m.cp_clock > before);
-        assert!(m
-            .trace()
-            .events()
-            .iter()
-            .any(|e| matches!(e, Event::FileIo { bytes: 100, write: true, .. })));
+        assert!(m.trace().events().iter().any(|e| matches!(
+            e,
+            Event::FileIo {
+                bytes: 100,
+                write: true,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn alloc_notifies_mapping_sink_when_enabled() {
-        use parking_lot::Mutex;
+        use pdmap::util::Mutex;
         #[derive(Default)]
         struct Recorder {
             allocs: Mutex<Vec<ArrayAllocInfo>>,
@@ -1589,8 +1756,24 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[32], Distribution::Block);
         let s = b.scalar("S");
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 1.0, step: 0.0 });
-        b.simple_ncb("red", &[a], NodeOp::Reduce { kind: ReduceKind::Sum, src: a, dst: s });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 1.0,
+                step: 0.0,
+            },
+        );
+        b.simple_ncb(
+            "red",
+            &[a],
+            NodeOp::Reduce {
+                kind: ReduceKind::Sum,
+                src: a,
+                dst: s,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 8);
         m.run();
         assert_eq!(m.scalar("S"), Some(32.0));
@@ -1606,8 +1789,24 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[5], Distribution::Block);
         let s = b.scalar("S");
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 1.0, step: 1.0 });
-        b.simple_ncb("red", &[a], NodeOp::Reduce { kind: ReduceKind::Sum, src: a, dst: s });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 1.0,
+                step: 1.0,
+            },
+        );
+        b.simple_ncb(
+            "red",
+            &[a],
+            NodeOp::Reduce {
+                kind: ReduceKind::Sum,
+                src: a,
+                dst: s,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 1);
         m.run();
         assert_eq!(m.scalar("S"), Some(15.0));
@@ -1619,7 +1818,15 @@ mod tests {
     fn cyclic_distribution_elementwise() {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[7], Distribution::Cyclic);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 2.0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 2.0,
+            },
+        );
         let mut m = machine_for(b.build().unwrap(), 3);
         m.run();
         assert_eq!(m.gather(a), vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
@@ -1629,7 +1836,15 @@ mod tests {
     fn in_place_binop_src_equals_dst() {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[6], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 1.0, step: 1.0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 1.0,
+                step: 1.0,
+            },
+        );
         b.simple_ncb(
             "sq",
             &[a],
@@ -1652,7 +1867,15 @@ mod tests {
         let a = b.alloc("A", &[8], Distribution::Block);
         let mask = b.alloc("MASK", &[8], Distribution::Block);
         let out = b.alloc("OUT", &[8], Distribution::Block);
-        b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.0, step: 1.0 });
+        b.simple_ncb(
+            "r",
+            &[a],
+            NodeOp::Ramp {
+                dst: a,
+                start: 0.0,
+                step: 1.0,
+            },
+        );
         b.simple_ncb(
             "c",
             &[a, mask],
@@ -1689,7 +1912,15 @@ mod tests {
             let a = b.alloc("A", &[1000], Distribution::Block);
             let c = b.alloc("C", &[1000], Distribution::Block);
             let s = b.scalar("S");
-            b.simple_ncb("r", &[a], NodeOp::Ramp { dst: a, start: 0.5, step: 0.25 });
+            b.simple_ncb(
+                "r",
+                &[a],
+                NodeOp::Ramp {
+                    dst: a,
+                    start: 0.5,
+                    step: 0.25,
+                },
+            );
             b.simple_ncb(
                 "m",
                 &[a, c],
@@ -1700,8 +1931,26 @@ mod tests {
                     op: BinOpKind::Mul,
                 },
             );
-            b.simple_ncb("sh", &[c], NodeOp::Shift { dst: c, src: c, offset: 5, circular: true, dim: 0 });
-            b.simple_ncb("red", &[c], NodeOp::Reduce { kind: ReduceKind::Sum, src: c, dst: s });
+            b.simple_ncb(
+                "sh",
+                &[c],
+                NodeOp::Shift {
+                    dst: c,
+                    src: c,
+                    offset: 5,
+                    circular: true,
+                    dim: 0,
+                },
+            );
+            b.simple_ncb(
+                "red",
+                &[c],
+                NodeOp::Reduce {
+                    kind: ReduceKind::Sum,
+                    src: c,
+                    dst: s,
+                },
+            );
             (b.build().unwrap(), a, c)
         };
         let run = |threaded: bool| {
@@ -1720,7 +1969,12 @@ mod tests {
             )
             .unwrap();
             let summary = m.run();
-            (m.gather(c), m.scalar("S"), summary, m.trace().events().len())
+            (
+                m.gather(c),
+                m.scalar("S"),
+                summary,
+                m.trace().events().len(),
+            )
         };
         let seq = run(false);
         let thr = run(true);
@@ -1735,11 +1989,17 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let a = b.alloc("A", &[4], Distribution::Block);
         let s = b.scalar("S");
-        b.step(Step::ScalarAssign { dst: s, expr: ScalarExpr::Const(10.0) });
+        b.step(Step::ScalarAssign {
+            dst: s,
+            expr: ScalarExpr::Const(10.0),
+        });
         b.simple_ncb(
             "f",
             &[a],
-            NodeOp::Fill { dst: a, value: Operand::Scalar(s) },
+            NodeOp::Fill {
+                dst: a,
+                value: Operand::Scalar(s),
+            },
         );
         let mut m = machine_for(b.build().unwrap(), 2);
         m.run();

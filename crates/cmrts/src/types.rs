@@ -190,9 +190,18 @@ mod tests {
 
     #[test]
     fn reduce_identities_and_combine() {
-        assert_eq!(ReduceKind::Sum.combine(ReduceKind::Sum.identity(), 5.0), 5.0);
-        assert_eq!(ReduceKind::Max.combine(ReduceKind::Max.identity(), -3.0), -3.0);
-        assert_eq!(ReduceKind::Min.combine(ReduceKind::Min.identity(), 7.0), 7.0);
+        assert_eq!(
+            ReduceKind::Sum.combine(ReduceKind::Sum.identity(), 5.0),
+            5.0
+        );
+        assert_eq!(
+            ReduceKind::Max.combine(ReduceKind::Max.identity(), -3.0),
+            -3.0
+        );
+        assert_eq!(
+            ReduceKind::Min.combine(ReduceKind::Min.identity(), 7.0),
+            7.0
+        );
         assert_eq!(ReduceKind::Sum.combine(2.0, 3.0), 5.0);
         assert_eq!(ReduceKind::Max.combine(2.0, 3.0), 3.0);
         assert_eq!(ReduceKind::Min.combine(2.0, 3.0), 2.0);
@@ -217,7 +226,14 @@ mod tests {
         assert!(CmpKind::Ge.apply(2.0, 2.0));
         assert!(CmpKind::Eq.apply(2.0, 2.0));
         assert!(CmpKind::Ne.apply(2.0, 3.0));
-        for c in [CmpKind::Lt, CmpKind::Gt, CmpKind::Le, CmpKind::Ge, CmpKind::Eq, CmpKind::Ne] {
+        for c in [
+            CmpKind::Lt,
+            CmpKind::Gt,
+            CmpKind::Le,
+            CmpKind::Ge,
+            CmpKind::Eq,
+            CmpKind::Ne,
+        ] {
             assert!(!c.symbol().is_empty());
         }
     }

@@ -158,7 +158,11 @@ pub fn assign_componentwise(
             .copied()
             .filter(|d| table.destinations(*d).is_empty())
             .collect();
-        let final_dests = if final_dests.is_empty() { dests } else { final_dests };
+        let final_dests = if final_dests.is_empty() {
+            dests
+        } else {
+            final_dests
+        };
         push_assignment(&mut result, &final_dests, agg, policy);
     }
     Ok(result)
@@ -364,7 +368,14 @@ mod tests {
         table.map(f, r1);
         table.map(f, r2);
         table.map(f2, r1);
-        Fixture { ns, f, f2, r1, r2, table }
+        Fixture {
+            ns,
+            f,
+            f2,
+            r1,
+            r2,
+            table,
+        }
     }
 
     #[test]
@@ -478,10 +489,7 @@ mod tests {
     #[test]
     fn conservation_under_split() {
         let fx = fixture();
-        let measured = [
-            (fx.f, Cost::ops(9.0)),
-            (fx.f2, Cost::ops(3.0)),
-        ];
+        let measured = [(fx.f, Cost::ops(9.0)), (fx.f2, Cost::ops(3.0))];
         for policy in [AssignPolicy::SplitEvenly, AssignPolicy::Merge] {
             let res = assign_per_source(&fx.table, &measured, policy).unwrap();
             let total = total_cost(&res).unwrap().unwrap();

@@ -74,15 +74,11 @@ impl ResourceTree {
 
     /// Adds (or returns the existing) child `name` under `parent`.
     pub fn child(&mut self, parent: ResourceIdx, name: &str) -> ResourceIdx {
-        if let Some(&existing) = self
-            .nodes
-            .get(parent.index())
-            .and_then(|p| {
-                p.children
-                    .iter()
-                    .find(|&&c| self.nodes[c.index()].name == name)
-            })
-        {
+        if let Some(&existing) = self.nodes.get(parent.index()).and_then(|p| {
+            p.children
+                .iter()
+                .find(|&&c| self.nodes[c.index()].name == name)
+        }) {
             return existing;
         }
         let idx = ResourceIdx(self.nodes.len() as u32);
@@ -119,7 +115,11 @@ impl ResourceTree {
 
     /// Resolves a `/`-separated path (relative to the root) to a node.
     pub fn resolve(&self, path: &str) -> Option<ResourceIdx> {
-        let norm = if path == "/" { "" } else { path.trim_end_matches('/') };
+        let norm = if path == "/" {
+            ""
+        } else {
+            path.trim_end_matches('/')
+        };
         let norm = if norm.starts_with('/') || norm.is_empty() {
             norm.to_string()
         } else {
@@ -298,11 +298,7 @@ impl Focus {
         } else {
             format!("/{path}")
         };
-        if let Some(entry) = self
-            .selections
-            .iter_mut()
-            .find(|(h, _)| h == hierarchy)
-        {
+        if let Some(entry) = self.selections.iter_mut().find(|(h, _)| h == hierarchy) {
             entry.1 = norm;
         } else {
             self.selections.push((hierarchy.to_string(), norm));
@@ -329,8 +325,12 @@ impl Focus {
     /// ancestor-or-equal of the corresponding selection of `other`.
     pub fn covers(&self, other: &Focus, axis: &WhereAxis) -> bool {
         for (h, p) in &self.selections {
-            let Some(tree) = axis.tree(h) else { return false };
-            let Some(mine) = tree.resolve(p) else { return false };
+            let Some(tree) = axis.tree(h) else {
+                return false;
+            };
+            let Some(mine) = tree.resolve(p) else {
+                return false;
+            };
             let theirs = match tree.resolve(other.selection(h)) {
                 Some(t) => t,
                 None => return false,

@@ -67,9 +67,7 @@ pub mod prelude {
     pub use crate::cost::{Aggregation, Cost, CostUnit};
     pub use crate::hierarchy::{Focus, ResourceIdx, ResourceTree, WhereAxis};
     pub use crate::mapping::{MappingDef, MappingShape, MappingTable};
-    pub use crate::model::{
-        LevelId, Namespace, NounId, Sentence, SentenceId, VerbId,
-    };
+    pub use crate::model::{LevelId, Namespace, NounId, Sentence, SentenceId, VerbId};
     pub use crate::sas::{
         ActiveGuard, DistributedSas, ForwardingRule, GlobalSas, LocalSas, Question, QuestionExpr,
         QuestionId, SasHandle, SentencePattern, ShardedSas, Snapshot,

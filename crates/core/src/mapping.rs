@@ -75,8 +75,14 @@ impl MappingTable {
             return false;
         }
         self.defs.push(def);
-        self.forward.entry(def.source).or_default().push(def.destination);
-        self.reverse.entry(def.destination).or_default().push(def.source);
+        self.forward
+            .entry(def.source)
+            .or_default()
+            .push(def.destination);
+        self.reverse
+            .entry(def.destination)
+            .or_default()
+            .push(def.source);
         true
     }
 

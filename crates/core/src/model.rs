@@ -21,7 +21,7 @@ use crate::util::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::util::RwLock;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident) => {

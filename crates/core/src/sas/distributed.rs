@@ -8,17 +8,24 @@
 //!
 //! [`DistributedSas`] pairs a [`ShardedSas`] with per-node **forwarding
 //! rules**. When a sentence matching a rule becomes (in)active on the rule's
-//! source node, an activation/deactivation message is enqueued toward the
-//! destination node; the destination applies it to its own SAS as a proxy
-//! sentence. Delivery is explicit ([`DistributedSas::pump`]) for
-//! deterministic tests, or immediate in auto-deliver mode.
+//! source node, an activation/deactivation message is sent toward the
+//! destination node over a `pdmap-transport` link; the destination applies
+//! it to its own SAS as a proxy sentence. Delivery is explicit
+//! ([`DistributedSas::pump`]) for deterministic tests, or immediate in
+//! auto-deliver mode (which, over an asynchronous backend such as TCP,
+//! waits until every sent message has been applied, so the observable
+//! semantics match the in-process backend exactly).
 
 use crate::model::{Namespace, SentenceId};
 use crate::sas::question::{Question, QuestionId, SentencePattern};
 use crate::sas::shared::{SasHandle, ShardedSas};
-use parking_lot::Mutex;
-use std::collections::VecDeque;
+use crate::util::Mutex;
+use pdmap_transport::{
+    send_wire, Backend, CodecError, FrameKind, Link, PayloadReader, TransportConfig,
+    TransportStats, WirePayload,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Forward sentences matching `pattern` from one node's SAS to `to_node`'s.
 #[derive(Clone, Debug)]
@@ -50,25 +57,72 @@ pub struct SasMessage {
     pub sid: SentenceId,
 }
 
+impl WirePayload for SasMessage {
+    const KIND: FrameKind = FrameKind::SasForward;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        use pdmap_transport::wire::put;
+        put::u64(out, self.from_node as u64);
+        put::u8(
+            out,
+            match self.op {
+                SasOp::Activate => 0,
+                SasOp::Deactivate => 1,
+            },
+        );
+        put::u64(out, self.sid.index() as u64);
+    }
+
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        let from_node = r.u64()? as usize;
+        let op = match r.u8()? {
+            0 => SasOp::Activate,
+            1 => SasOp::Deactivate,
+            tag => return Err(CodecError::new(format!("unknown SasOp tag {tag}"))),
+        };
+        let sid = SentenceId::from_index(r.u64()? as usize);
+        Ok(SasMessage { from_node, op, sid })
+    }
+}
+
 /// Per-node SASes plus the forwarding machinery.
 pub struct DistributedSas {
     sharded: ShardedSas,
     /// rules[n] = rules whose source node is n.
     rules: Mutex<Vec<Vec<ForwardingRule>>>,
-    /// inboxes[n] = messages awaiting delivery to node n.
-    inboxes: Vec<Mutex<VecDeque<SasMessage>>>,
+    /// links[n] = the transport link carrying messages toward node n:
+    /// senders use `links[n].client`, node n's pump drains `links[n].server`.
+    links: Vec<Link>,
     auto_deliver: AtomicBool,
     messages_sent: AtomicU64,
     messages_delivered: AtomicU64,
 }
 
 impl DistributedSas {
-    /// Creates `nodes` per-node SASes with no forwarding rules.
+    /// Creates `nodes` per-node SASes with no forwarding rules, linked by
+    /// in-process transports (the seed's single-process topology).
     pub fn new(ns: Namespace, nodes: usize) -> Self {
+        Self::with_backend(ns, nodes, Backend::InProc)
+    }
+
+    /// As [`DistributedSas::new`], but choosing the transport backend the
+    /// forwarding messages cross.
+    pub fn with_backend(ns: Namespace, nodes: usize, backend: Backend) -> Self {
+        Self::with_backend_cfg(ns, nodes, backend, &TransportConfig::default())
+    }
+
+    /// As [`DistributedSas::with_backend`], with explicit transport
+    /// configuration.
+    pub fn with_backend_cfg(
+        ns: Namespace,
+        nodes: usize,
+        backend: Backend,
+        cfg: &TransportConfig,
+    ) -> Self {
         Self {
             sharded: ShardedSas::new(ns, nodes),
             rules: Mutex::new(vec![Vec::new(); nodes]),
-            inboxes: (0..nodes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            links: (0..nodes).map(|_| backend.link(cfg)).collect(),
             auto_deliver: AtomicBool::new(false),
             messages_sent: AtomicU64::new(0),
             messages_delivered: AtomicU64::new(0),
@@ -120,23 +174,28 @@ impl DistributedSas {
                     op,
                     sid,
                 };
-                self.messages_sent.fetch_add(1, Ordering::Relaxed);
-                self.inboxes[rule.to_node].lock().push_back(msg);
+                if send_wire(&*self.links[rule.to_node].client, &msg).is_ok() {
+                    self.messages_sent.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         drop(rules);
         if self.auto_deliver.load(Ordering::Acquire) {
-            self.pump();
+            // Match the synchronous semantics of the in-process path on any
+            // backend: wait until everything sent has been applied.
+            self.pump_settled(Duration::from_secs(10));
         }
     }
 
-    /// Delivers all queued messages to node `node`'s SAS, returning how many
-    /// were applied.
+    /// Delivers all messages currently arrived at node `node`'s SAS,
+    /// returning how many were applied. Over an asynchronous backend a
+    /// message that was sent but is still in flight is NOT delivered by
+    /// this call — use [`DistributedSas::pump_settled`] to wait for it.
     pub fn pump_node(&self, node: usize) -> usize {
         let mut delivered = 0;
-        loop {
-            let msg = self.inboxes[node].lock().pop_front();
-            let Some(msg) = msg else { break };
+        while let Ok(Some(frame)) = self.links[node].server.try_recv() {
+            let msg = SasMessage::from_frame(&frame)
+                .expect("SAS forwarding frames are encoded by this module");
             let h = self.sharded.node(node);
             match msg.op {
                 SasOp::Activate => h.activate(msg.sid),
@@ -149,9 +208,56 @@ impl DistributedSas {
         delivered
     }
 
-    /// Delivers all queued messages on all nodes.
+    /// Delivers all arrived messages on all nodes.
     pub fn pump(&self) -> usize {
         (0..self.num_nodes()).map(|n| self.pump_node(n)).sum()
+    }
+
+    /// Pumps until every sent message has been delivered (or `timeout`
+    /// elapses), returning how many were applied. On the in-process backend
+    /// a single pass suffices; over TCP this absorbs delivery latency so
+    /// both backends observe identical final states.
+    pub fn pump_settled(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut delivered = self.pump();
+        while self.messages_delivered.load(Ordering::Relaxed)
+            < self.messages_sent.load(Ordering::Relaxed)
+        {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            delivered += self.pump();
+        }
+        delivered
+    }
+
+    /// Aggregated transport self-metrics over every per-node link
+    /// (sender side), e.g. for the tool's Transport metric catalogue.
+    pub fn transport_stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for link in &self.links {
+            let s = link.client.stats();
+            total.frames_sent += s.frames_sent;
+            total.bytes_sent += s.bytes_sent;
+            total.drops += s.drops;
+            total.retries += s.retries;
+            total.reconnects += s.reconnects;
+            let r = link.server.stats();
+            total.frames_received += r.frames_received;
+            total.bytes_received += r.bytes_received;
+            total.duplicates += r.duplicates;
+            total.max_queue_depth = total.max_queue_depth.max(s.max_queue_depth);
+        }
+        total
+    }
+
+    /// Which backend the forwarding links run over.
+    pub fn backend_name(&self) -> &'static str {
+        self.links
+            .first()
+            .map(|l| l.client.backend_name())
+            .unwrap_or("none")
     }
 
     /// Registers a conjunction question on every node.
@@ -307,6 +413,51 @@ mod tests {
                 to_node: 7,
             },
         );
+    }
+
+    /// Runs the client/server scenario over a backend and returns every
+    /// observable: per-node activity, question verdicts, message counts.
+    fn observe(backend: Backend) -> (Vec<bool>, bool, u64, u64) {
+        let f = fx();
+        let d = DistributedSas::with_backend(f.ns.clone(), 2, backend);
+        d.add_rule(
+            CLIENT,
+            ForwardingRule {
+                pattern: SentencePattern::any_noun(f.query),
+                to_node: SERVER,
+            },
+        );
+        let qid = d.register_question_all(&Question::new(
+            "reads for q17",
+            vec![
+                SentencePattern::noun_verb(f.disk, f.read),
+                SentencePattern::noun_verb(f.q17, f.query),
+            ],
+        ));
+        let query = f.ns.say(f.query, [f.q17]);
+        let read = f.ns.say(f.read, [f.disk]);
+        d.activate(SERVER, read);
+        d.activate(CLIENT, query);
+        d.pump_settled(Duration::from_secs(10));
+        let active = vec![
+            d.sharded().node(CLIENT).is_active(query),
+            d.sharded().node(SERVER).is_active(query),
+            d.sharded().node(SERVER).is_active(read),
+        ];
+        (
+            active,
+            d.satisfied_on(SERVER, qid),
+            d.messages_sent(),
+            d.messages_delivered(),
+        )
+    }
+
+    #[test]
+    fn both_backends_observe_identical_results() {
+        let inproc = observe(Backend::InProc);
+        let tcp = observe(Backend::Tcp);
+        assert_eq!(inproc, tcp);
+        assert_eq!(inproc, (vec![true, true, true], true, 1, 1));
     }
 
     #[test]

@@ -187,8 +187,7 @@ impl LocalSas {
         if self.counts.len() < need {
             self.counts.resize(need, 0);
             self.last_seq.resize(need, 0);
-            self.match_cache
-                .resize(need, (0, BitSet::new()));
+            self.match_cache.resize(need, (0, BitSet::new()));
         }
     }
 

@@ -86,9 +86,7 @@ impl SentencePattern {
         }
         match &self.nouns {
             NounsPattern::Any => true,
-            NounsPattern::Contains(required) => {
-                required.iter().all(|&n| sentence.contains_noun(n))
-            }
+            NounsPattern::Contains(required) => required.iter().all(|&n| sentence.contains_noun(n)),
         }
     }
 
@@ -297,7 +295,14 @@ mod tests {
         let a = ns.noun(hpf, "A", "");
         let b = ns.noun(hpf, "B", "");
         let p0 = ns.noun(base, "Processor_P", "");
-        Fx { ns, sum, send, a, b, p0 }
+        Fx {
+            ns,
+            sum,
+            send,
+            a,
+            b,
+            p0,
+        }
     }
 
     #[test]

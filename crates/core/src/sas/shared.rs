@@ -13,8 +13,7 @@
 use crate::model::{Namespace, SentenceId};
 use crate::sas::local::{LocalSas, SasStats, Snapshot};
 use crate::sas::question::{Question, QuestionExpr, QuestionId};
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
+use crate::util::{CachePadded, Mutex};
 use std::sync::Arc;
 
 /// The operations monitoring code performs against a SAS, regardless of how
@@ -234,8 +233,12 @@ mod tests {
     use super::*;
     use crate::sas::question::SentencePattern;
 
-    fn ns_with(
-    ) -> (Namespace, crate::model::VerbId, crate::model::NounId, crate::model::NounId) {
+    fn ns_with() -> (
+        Namespace,
+        crate::model::VerbId,
+        crate::model::NounId,
+        crate::model::NounId,
+    ) {
         let ns = Namespace::new();
         let l = ns.level("HPF");
         let sum = ns.verb(l, "Sums", "");

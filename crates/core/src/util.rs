@@ -1,10 +1,170 @@
-//! Small utilities shared across the crate: a fast non-cryptographic hasher
-//! for integer-ish keys (the standard library's SipHash is needlessly slow
-//! for interned ids) and a growable bitset used by the question-matching
-//! cache.
+//! Small utilities shared across the workspace: a fast non-cryptographic
+//! hasher for integer-ish keys (the standard library's SipHash is needlessly
+//! slow for interned ids), a growable bitset used by the question-matching
+//! cache, poison-transparent lock wrappers, a cache-line-padded cell, and a
+//! seeded SplitMix64 PRNG for deterministic tests and benchmarks.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Range;
+use std::sync::PoisonError;
+
+/// A mutex with the ergonomics of `parking_lot`: `lock()` returns the guard
+/// directly. Poisoning is deliberately ignored — a panicking holder in this
+/// tool leaves only counters behind, never a torn invariant worth halting
+/// every other thread for.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock with the ergonomics of `parking_lot`: `read()` and
+/// `write()` return guards directly, ignoring poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Pads and aligns a value to 128 bytes so adjacent cells never share a
+/// cache line (two lines to defeat adjacent-line prefetchers, matching what
+/// `crossbeam::CachePadded` does on x86-64 and aarch64).
+#[derive(Clone, Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value in padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// A small, fast, seedable PRNG (SplitMix64). Statistically solid for test
+/// data generation and backoff jitter; emphatically not cryptographic.
+/// Deterministic across platforms for a given seed.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed `usize` in `range` (must be non-empty).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(!range.is_empty(), "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// A uniformly distributed `i64` in `range` (must be non-empty).
+    pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// One element of a non-empty slice, by value.
+    pub fn pick<T: Copy>(&mut self, of: &[T]) -> T {
+        of[self.usize_in(0..of.len())]
+    }
+
+    /// One char of a non-empty alphabet string.
+    pub fn pick_char(&mut self, alphabet: &str) -> char {
+        let chars: Vec<char> = alphabet.chars().collect();
+        chars[self.usize_in(0..chars.len())]
+    }
+
+    /// An identifier-ish string: one char of `first`, then `0..=max_rest`
+    /// chars of `rest`.
+    pub fn ident(&mut self, first: &str, rest: &str, max_rest: usize) -> String {
+        let mut s = String::new();
+        s.push(self.pick_char(first));
+        for _ in 0..self.usize_in(0..max_rest + 1) {
+            s.push(self.pick_char(rest));
+        }
+        s
+    }
+}
 
 /// An implementation of the FxHash algorithm used by rustc. Fast and of
 /// adequate quality for interned-id and short-string keys; HashDoS is not a
@@ -197,5 +357,63 @@ mod tests {
         let mut b = BitSet::new();
         b.remove(1000);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1u32);
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let c = CachePadded::new(42u8);
+        assert_eq!(*c, 42);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(c.into_inner(), 42);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(0xDEAD_BEEF);
+        let mut b = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let u = a.usize_in(3..17);
+            assert!((3..17).contains(&u));
+            let i = a.i64_in(-7..7);
+            assert!((-7..7).contains(&i));
+            let f = a.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        // Seeds diverge.
+        let mut c = SplitMix64::new(1);
+        let mut d = SplitMix64::new(2);
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn splitmix_ident_shape() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..50 {
+            let s = r.ident("abc", "xyz0", 5);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!("abc".contains(s.chars().next().unwrap()));
+        }
     }
 }

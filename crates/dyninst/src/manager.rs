@@ -19,7 +19,7 @@
 use crate::point::{PointId, PointRegistry};
 use crate::primitive::PrimitiveStore;
 use crate::snippet::{run_snippet, ExecCtx, Snippet};
-use parking_lot::RwLock;
+use pdmap::util::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -124,7 +124,10 @@ impl MetricDecl {
         out.push_str(&format!("    aggregate {};\n", self.aggregate));
         out.push_str(&format!("    level \"{}\";\n", escape(&self.level)));
         if !self.description.is_empty() {
-            out.push_str(&format!("    description \"{}\";\n", escape(&self.description)));
+            out.push_str(&format!(
+                "    description \"{}\";\n",
+                escape(&self.description)
+            ));
         }
         for pa in &self.points {
             out.push_str(&format!("    foreach point \"{}\" {{ ", escape(&pa.point)));

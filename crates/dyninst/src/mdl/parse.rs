@@ -371,7 +371,10 @@ metric p2p_ops {
                foreach point "p" { incrCounterArg; } }"#,
         )
         .unwrap();
-        assert_eq!(f.metrics[0].points[0].actions, vec![MdlAction::IncrCounterArg]);
+        assert_eq!(
+            f.metrics[0].points[0].actions,
+            vec![MdlAction::IncrCounterArg]
+        );
     }
 
     #[test]
@@ -449,8 +452,8 @@ metric p2p_ops {
 
     #[test]
     fn defaults_apply() {
-        let f = parse_mdl(r#"metric m { name "M"; foreach point "p" { incrCounter 1; } }"#)
-            .unwrap();
+        let f =
+            parse_mdl(r#"metric m { name "M"; foreach point "p" { incrCounter 1; } }"#).unwrap();
         let m = &f.metrics[0];
         assert_eq!(m.units, MdlUnit::Operations);
         assert_eq!(m.aggregate, MdlAgg::Sum);

@@ -10,8 +10,8 @@
 //! §4.1 are simply points that report mapping information). Point names are
 //! interned to dense ids so the execution fast path is an array index.
 
-use parking_lot::RwLock;
 use pdmap::util::FxHashMap;
+use pdmap::util::RwLock;
 use std::fmt;
 use std::sync::Arc;
 

@@ -52,8 +52,8 @@ struct Timer {
 /// timer is running, and the exact value once stopped.
 #[derive(Default)]
 pub struct PrimitiveStore {
-    counters: parking_lot::RwLock<Vec<std::sync::Arc<AtomicI64>>>,
-    timers: parking_lot::RwLock<Vec<std::sync::Arc<Timer>>>,
+    counters: pdmap::util::RwLock<Vec<std::sync::Arc<AtomicI64>>>,
+    timers: pdmap::util::RwLock<Vec<std::sync::Arc<Timer>>>,
 }
 
 impl PrimitiveStore {

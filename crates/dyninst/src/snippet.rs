@@ -119,11 +119,7 @@ impl<'a> ExecCtx<'a> {
 /// Evaluates a snippet's guard against the context.
 pub fn preds_hold(preds: &[Pred], ctx: &ExecCtx<'_>) -> bool {
     preds.iter().all(|p| match *p {
-        Pred::QuestionSatisfied(q) => ctx
-            .sas
-            .as_ref()
-            .map(|s| s.satisfied(q))
-            .unwrap_or(false),
+        Pred::QuestionSatisfied(q) => ctx.sas.as_ref().map(|s| s.satisfied(q)).unwrap_or(false),
         Pred::SentenceActive(s) => ctx
             .sas
             .as_ref()

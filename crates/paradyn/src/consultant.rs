@@ -106,9 +106,7 @@ fn test_hypothesis(
     focus: &Focus,
     depth: usize,
 ) -> ExperimentNode {
-    let (value, wall) = tool
-        .measure(h.metric, focus)
-        .unwrap_or((0.0, 1.0));
+    let (value, wall) = tool.measure(h.metric, focus).unwrap_or((0.0, 1.0));
     let ratio = if wall > 0.0 { value / wall } else { 0.0 };
     let verdict = ratio > config.threshold;
     let mut node = ExperimentNode {

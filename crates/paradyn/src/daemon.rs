@@ -9,18 +9,22 @@
 //! the mapping information to the Paradyn daemons, and the daemons forward
 //! the mapping information to the Data Manager."
 //!
-//! In the original system this crossed process boundaries; here the
-//! application (simulated machine) and tool share a process, but the same
-//! architecture is preserved: the [`InstrLibEndpoint`] — installed as the
-//! machine's [`MappingSink`] — *encodes* mapping information and metric
-//! samples onto a line-oriented wire, and the [`Daemon`] decodes the stream
-//! and forwards to the [`DataManager`]. Everything crossing the channel is
-//! plain text, so the protocol is inspectable and versionable.
+//! In the original system this crossed process boundaries; here the channel
+//! is a `pdmap-transport` link, so the same endpoint/daemon pair runs over
+//! an in-process bounded queue or a real TCP socket with identical
+//! observable behaviour. Messages ride [`FrameKind::Daemon`] frames as
+//! length-prefixed binary payloads ([`WirePayload`]); the older
+//! line-oriented text rendering is kept as [`DaemonMsg::encode`] /
+//! [`DaemonMsg::decode`] for logs and tooling, and both codecs reject
+//! malformed input instead of guessing.
 
 use crate::datamgr::DataManager;
 use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
 use cmrts_sim::{ArrayId, Distribution};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use pdmap_transport::{
+    send_wire, Backend, CodecError, FrameKind, Link, PayloadReader, Transport, TransportConfig,
+    TransportStats, WirePayload,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -71,10 +75,15 @@ impl fmt::Display for ProtoError {
 impl std::error::Error for ProtoError {}
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('|', "\\p").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('|', "\\p")
+        .replace('\n', "\\n")
 }
 
-fn unescape(s: &str) -> String {
+/// Inverts [`escape`]. Only `\\`, `\p` and `\n` are valid sequences; any
+/// other escape — including a trailing lone backslash — is corruption and
+/// is rejected rather than passed through.
+fn unescape(s: &str) -> Result<String, ProtoError> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -84,16 +93,17 @@ fn unescape(s: &str) -> String {
                 Some('n') => out.push('\n'),
                 Some('\\') => out.push('\\'),
                 Some(other) => {
-                    out.push('\\');
-                    out.push(other);
+                    return Err(ProtoError(format!("invalid escape sequence '\\{other}'")));
                 }
-                None => out.push('\\'),
+                None => {
+                    return Err(ProtoError("trailing backslash in field".into()));
+                }
             }
         } else {
             out.push(c);
         }
     }
-    out
+    Ok(out)
 }
 
 impl DaemonMsg {
@@ -141,7 +151,7 @@ impl DaemonMsg {
                 let id: u32 = next_field(&mut parts, "id")?
                     .parse()
                     .map_err(|_| ProtoError("bad id".into()))?;
-                let name = unescape(&next_field(&mut parts, "name")?);
+                let name = unescape(&next_field(&mut parts, "name")?)?;
                 let extents = parse_list(&next_field(&mut parts, "extents")?, "extent")?;
                 let dist_s = next_field(&mut parts, "dist")?;
                 let dist = Distribution::parse(&dist_s)
@@ -170,8 +180,8 @@ impl DaemonMsg {
                 Ok(DaemonMsg::ArrayFreed { id })
             }
             "SAMPLE" => {
-                let metric = unescape(&next_field(&mut parts, "metric")?);
-                let focus = unescape(&next_field(&mut parts, "focus")?);
+                let metric = unescape(&next_field(&mut parts, "metric")?)?;
+                let focus = unescape(&next_field(&mut parts, "focus")?)?;
                 let wall: u64 = next_field(&mut parts, "wall")?
                     .parse()
                     .map_err(|_| ProtoError("bad wall tick".into()))?;
@@ -190,16 +200,94 @@ impl DaemonMsg {
     }
 }
 
+impl WirePayload for DaemonMsg {
+    const KIND: FrameKind = FrameKind::Daemon;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        use pdmap_transport::wire::put;
+        match self {
+            DaemonMsg::ArrayAllocated {
+                id,
+                name,
+                extents,
+                dist,
+                subgrids,
+            } => {
+                put::u8(out, 0);
+                put::u32(out, *id);
+                put::str(out, name);
+                put::u32(out, extents.len() as u32);
+                for &e in extents {
+                    put::u64(out, e as u64);
+                }
+                put::str(out, dist.name());
+                put::u32(out, subgrids.len() as u32);
+                for &(n, r, e) in subgrids {
+                    put::u64(out, n as u64);
+                    put::u64(out, r as u64);
+                    put::u64(out, e as u64);
+                }
+            }
+            DaemonMsg::ArrayFreed { id } => {
+                put::u8(out, 1);
+                put::u32(out, *id);
+            }
+            DaemonMsg::Sample {
+                metric,
+                focus,
+                wall,
+                value,
+            } => {
+                put::u8(out, 2);
+                put::str(out, metric);
+                put::str(out, focus);
+                put::u64(out, *wall);
+                put::f64(out, *value);
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => {
+                let id = r.u32()?;
+                let name = r.str()?;
+                let extents = (0..r.u32()?)
+                    .map(|_| r.u64().map(|v| v as usize))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let dist_s = r.str()?;
+                let dist = Distribution::parse(&dist_s)
+                    .ok_or_else(|| CodecError::new(format!("bad distribution '{dist_s}'")))?;
+                let subgrids = (0..r.u32()?)
+                    .map(|_| Ok((r.u64()? as usize, r.u64()? as usize, r.u64()? as usize)))
+                    .collect::<Result<Vec<_>, CodecError>>()?;
+                Ok(DaemonMsg::ArrayAllocated {
+                    id,
+                    name,
+                    extents,
+                    dist,
+                    subgrids,
+                })
+            }
+            1 => Ok(DaemonMsg::ArrayFreed { id: r.u32()? }),
+            2 => Ok(DaemonMsg::Sample {
+                metric: r.str()?,
+                focus: r.str()?,
+                wall: r.u64()?,
+                value: r.f64()?,
+            }),
+            tag => Err(CodecError::new(format!("unknown DaemonMsg tag {tag}"))),
+        }
+    }
+}
+
 fn split_unescaped(line: &str) -> impl Iterator<Item = String> + '_ {
     // '|' separators are escaped as "\p" inside fields, so a plain split is
     // unambiguous.
     line.split('|').map(str::to_string)
 }
 
-fn next_field(
-    parts: &mut impl Iterator<Item = String>,
-    what: &str,
-) -> Result<String, ProtoError> {
+fn next_field(parts: &mut impl Iterator<Item = String>, what: &str) -> Result<String, ProtoError> {
     parts
         .next()
         .ok_or_else(|| ProtoError(format!("missing field '{what}'")))
@@ -224,7 +312,7 @@ fn parse_sub(s: Option<&str>, what: &str) -> Result<usize, ProtoError> {
 /// The application side: encodes mapping information onto the wire. Install
 /// as the machine's [`MappingSink`].
 pub struct InstrLibEndpoint {
-    tx: Sender<String>,
+    tx: Arc<dyn Transport>,
 }
 
 impl MappingSink for InstrLibEndpoint {
@@ -236,11 +324,11 @@ impl MappingSink for InstrLibEndpoint {
             dist: info.dist,
             subgrids: info.subgrids.clone(),
         };
-        let _ = self.tx.send(msg.encode());
+        let _ = send_wire(&*self.tx, &msg);
     }
 
     fn array_freed(&self, array: ArrayId) {
-        let _ = self.tx.send(DaemonMsg::ArrayFreed { id: array.0 }.encode());
+        let _ = send_wire(&*self.tx, &DaemonMsg::ArrayFreed { id: array.0 });
     }
 }
 
@@ -248,35 +336,58 @@ impl InstrLibEndpoint {
     /// Sends a metric sample over the same channel (performance data and
     /// mapping information share the wire, as in the paper).
     pub fn send_sample(&self, metric: &str, focus: &str, wall: u64, value: f64) {
-        let _ = self.tx.send(
-            DaemonMsg::Sample {
+        let _ = send_wire(
+            &*self.tx,
+            &DaemonMsg::Sample {
                 metric: metric.to_string(),
                 focus: focus.to_string(),
                 wall,
                 value,
-            }
-            .encode(),
+            },
         );
+    }
+
+    /// This end's transport self-metrics.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.tx.stats()
     }
 }
 
 /// The tool side: decodes the stream and forwards mapping information to
 /// the Data Manager; metric samples are collected for the front end.
 pub struct Daemon {
-    rx: Receiver<String>,
+    link: Link,
     data: Arc<DataManager>,
     samples: Vec<DaemonMsg>,
     decode_errors: Vec<ProtoError>,
 }
 
 impl Daemon {
-    /// Creates a connected endpoint/daemon pair over an in-process wire.
+    /// Creates a connected endpoint/daemon pair over an in-process wire
+    /// (the single-process topology of the seed).
     pub fn pair(data: Arc<DataManager>) -> (InstrLibEndpoint, Daemon) {
-        let (tx, rx) = unbounded();
+        Self::over(Backend::InProc, data)
+    }
+
+    /// Creates a connected endpoint/daemon pair over the chosen backend
+    /// with default transport configuration.
+    pub fn over(backend: Backend, data: Arc<DataManager>) -> (InstrLibEndpoint, Daemon) {
+        Self::over_with(backend, &TransportConfig::default(), data)
+    }
+
+    /// As [`Daemon::over`], with explicit transport configuration.
+    pub fn over_with(
+        backend: Backend,
+        cfg: &TransportConfig,
+        data: Arc<DataManager>,
+    ) -> (InstrLibEndpoint, Daemon) {
+        let link = backend.link(cfg);
         (
-            InstrLibEndpoint { tx },
+            InstrLibEndpoint {
+                tx: link.client.clone(),
+            },
             Daemon {
-                rx,
+                link,
                 data,
                 samples: Vec::new(),
                 decode_errors: Vec::new(),
@@ -284,39 +395,58 @@ impl Daemon {
         )
     }
 
-    /// Drains the wire, forwarding mapping messages to the Data Manager.
-    /// Returns how many messages were processed.
+    /// Drains everything currently on the wire, forwarding mapping messages
+    /// to the Data Manager. Returns how many messages were processed.
     pub fn pump(&mut self) -> usize {
         let mut n = 0;
-        while let Ok(line) = self.rx.try_recv() {
+        while let Ok(Some(frame)) = self.link.server.try_recv() {
             n += 1;
-            match DaemonMsg::decode(&line) {
-                Ok(DaemonMsg::ArrayAllocated {
-                    id,
+            match DaemonMsg::from_frame(&frame) {
+                Ok(msg) => self.dispatch(msg),
+                Err(e) => self.decode_errors.push(ProtoError(e.0)),
+            }
+        }
+        n
+    }
+
+    /// Pumps until `want` messages have been processed in total or
+    /// `timeout` elapses — needed over TCP, where delivery is asynchronous.
+    /// Returns the total processed during this call.
+    pub fn pump_until(&mut self, want: usize, timeout: std::time::Duration) -> usize {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut n = self.pump();
+        while n < want && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            n += self.pump();
+        }
+        n
+    }
+
+    fn dispatch(&mut self, msg: DaemonMsg) {
+        match msg {
+            DaemonMsg::ArrayAllocated {
+                id,
+                name,
+                extents,
+                dist,
+                subgrids,
+            } => {
+                let info = ArrayAllocInfo {
+                    array: ArrayId(id),
                     name,
                     extents,
                     dist,
                     subgrids,
-                }) => {
-                    let info = ArrayAllocInfo {
-                        array: ArrayId(id),
-                        name,
-                        extents,
-                        dist,
-                        subgrids,
-                    };
-                    // Forward "in exactly the same way as ... static
-                    // mapping information" — via the sink interface.
-                    self.data.array_allocated(&info);
-                }
-                Ok(DaemonMsg::ArrayFreed { id }) => {
-                    self.data.array_freed(ArrayId(id));
-                }
-                Ok(sample @ DaemonMsg::Sample { .. }) => self.samples.push(sample),
-                Err(e) => self.decode_errors.push(e),
+                };
+                // Forward "in exactly the same way as ... static mapping
+                // information" — via the sink interface.
+                self.data.array_allocated(&info);
             }
+            DaemonMsg::ArrayFreed { id } => {
+                self.data.array_freed(ArrayId(id));
+            }
+            sample @ DaemonMsg::Sample { .. } => self.samples.push(sample),
         }
-        n
     }
 
     /// Metric samples received so far.
@@ -324,9 +454,19 @@ impl Daemon {
         &self.samples
     }
 
-    /// Undecodable lines encountered (kept for diagnosis, never fatal).
+    /// Undecodable frames encountered (kept for diagnosis, never fatal).
     pub fn decode_errors(&self) -> &[ProtoError] {
         &self.decode_errors
+    }
+
+    /// The daemon side's transport self-metrics.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.link.server.stats()
+    }
+
+    /// Which backend this daemon's link runs over.
+    pub fn backend_name(&self) -> &'static str {
+        self.link.server.backend_name()
     }
 }
 
@@ -345,6 +485,7 @@ mod tests {
             subgrids: vec![(0, 16, 1024), (1, 16, 1024)],
         };
         assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+        assert_eq!(DaemonMsg::from_frame(&m.to_frame()).unwrap(), m);
     }
 
     #[test]
@@ -356,6 +497,7 @@ mod tests {
             value: 0.0625,
         };
         assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+        assert_eq!(DaemonMsg::from_frame(&m.to_frame()).unwrap(), m);
     }
 
     #[test]
@@ -370,9 +512,36 @@ mod tests {
 
     #[test]
     fn escape_unescape_roundtrip() {
-        for s in ["plain", "with|pipe", "back\\slash", "new\nline", "\\p"] {
-            assert_eq!(unescape(&escape(s)), s);
+        for s in ["plain", "with|pipe", "back\\slash", "new\nline", "\\p", ""] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_input() {
+        // Unknown escape sequences are corruption, not literals.
+        assert!(unescape("bad\\q").is_err());
+        assert!(unescape("\\x41").is_err());
+        // A trailing lone backslash can never be produced by `escape`.
+        assert!(unescape("trailing\\").is_err());
+        assert!(unescape("\\").is_err());
+        // And the errors surface through full-message decoding.
+        assert!(DaemonMsg::decode("SAMPLE|bad\\q|f|1|1.0").is_err());
+        assert!(DaemonMsg::decode("SAMPLE|m|trailing\\|1|1.0").is_err());
+        assert!(DaemonMsg::decode("ALLOC|1|bad\\z|8|block|").is_err());
+    }
+
+    #[test]
+    fn binary_codec_rejects_corrupt_payloads() {
+        let m = DaemonMsg::ArrayFreed { id: 1 };
+        let mut frame = m.to_frame();
+        frame.payload[0] = 77; // unknown tag
+        assert!(DaemonMsg::from_frame(&frame).is_err());
+        let mut frame = m.to_frame();
+        frame.payload.push(0); // trailing garbage
+        assert!(DaemonMsg::from_frame(&frame).is_err());
+        let frame = pdmap_transport::Frame::data(FrameKind::Daemon, vec![0, 1]); // truncated
+        assert!(DaemonMsg::from_frame(&frame).is_err());
     }
 
     #[test]
@@ -392,6 +561,8 @@ mod tests {
         assert_eq!(dm.dynamic_arrays().len(), 1);
         assert_eq!(daemon.samples().len(), 1);
         assert!(daemon.decode_errors().is_empty());
+        assert_eq!(daemon.transport_stats().frames_received, 2);
+        assert_eq!(endpoint.transport_stats().frames_sent, 2);
         // Where axis gained the subregions via the wire.
         let axis = dm.render_where_axis();
         assert!(axis.contains("sub#1"), "{axis}");
@@ -414,5 +585,26 @@ mod tests {
         assert!(n >= 2, "A and B allocations crossed the wire, got {n}");
         let axis = tool.render_where_axis();
         assert!(axis.contains("sub#0"));
+    }
+
+    #[test]
+    fn daemon_runs_identically_over_tcp() {
+        let ns = Namespace::new();
+        let dm = Arc::new(DataManager::new(ns, "CM Fortran"));
+        let (endpoint, mut daemon) = Daemon::over(Backend::Tcp, dm.clone());
+        assert_eq!(daemon.backend_name(), "tcp-server");
+        endpoint.array_allocated(&ArrayAllocInfo {
+            array: ArrayId(0),
+            name: "A".into(),
+            extents: vec![32],
+            dist: Distribution::Block,
+            subgrids: vec![(0, 16, 16), (1, 16, 16)],
+        });
+        endpoint.send_sample("Summations", "<whole program>", 10, 4.0);
+        let n = daemon.pump_until(2, std::time::Duration::from_secs(5));
+        assert_eq!(n, 2);
+        assert_eq!(dm.dynamic_arrays().len(), 1);
+        assert_eq!(daemon.samples().len(), 1);
+        assert!(daemon.decode_errors().is_empty());
     }
 }

@@ -17,12 +17,12 @@
 use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
 use cmrts_sim::ArrayId;
 use dyninst_sim::Pred;
-use parking_lot::Mutex;
 use pdmap::aggregate::{assign_per_source, AssignPolicy, AssignmentResult};
 use pdmap::cost::{Cost, UnitMismatch};
 use pdmap::hierarchy::{Focus, WhereAxis};
 use pdmap::mapping::MappingTable;
 use pdmap::model::{Namespace, SentenceId};
+use pdmap::util::Mutex;
 use pdmap_pif::{Applied, ApplyError, MetricRecord, PifFile};
 use std::fmt;
 
@@ -93,9 +93,7 @@ impl DataManager {
     /// Imports a PIF file (static mapping information, §3/§5).
     pub fn import_pif(&self, file: &PifFile) -> Result<Applied, ApplyError> {
         let mut g = self.inner.lock();
-        let DmInner {
-            mappings, axis, ..
-        } = &mut *g;
+        let DmInner { mappings, axis, .. } = &mut *g;
         let applied = pdmap_pif::apply(file, &self.ns, mappings, axis)?;
         g.pif_metrics.extend(applied.metrics.iter().cloned());
         Ok(applied)
@@ -391,7 +389,10 @@ mod tests {
     #[test]
     fn whole_program_focus_has_no_preds() {
         let dm = dm_with_program();
-        assert!(dm.resolve_focus(&Focus::whole_program()).unwrap().is_empty());
+        assert!(dm
+            .resolve_focus(&Focus::whole_program())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -403,7 +404,10 @@ mod tests {
             Err(FocusError::UnknownHierarchy(_))
         ));
         let f = Focus::whole_program().select("CMFarrays", "/nope/nope");
-        assert!(matches!(dm.resolve_focus(&f), Err(FocusError::UnknownPath(_))));
+        assert!(matches!(
+            dm.resolve_focus(&f),
+            Err(FocusError::UnknownPath(_))
+        ));
         // Interior module node: not constrainable.
         let f = Focus::whole_program().select("CMFarrays", "/hpfex.fcm");
         assert!(matches!(

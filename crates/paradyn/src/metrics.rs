@@ -453,7 +453,12 @@ mod tests {
             .request("Point-to-Point Operations", &f.dm, &focus, 1e9)
             .unwrap();
         let all = mm
-            .request("Point-to-Point Operations", &f.dm, &Focus::whole_program(), 1e9)
+            .request(
+                "Point-to-Point Operations",
+                &f.dm,
+                &Focus::whole_program(),
+                1e9,
+            )
             .unwrap();
         let mut m = machine(&f);
         m.run();

@@ -32,8 +32,13 @@ impl Profile {
         let mut out = format!("{} by resource:\n", self.metric);
         for (focus, v) in &self.rows {
             let n = ((v / max) * width as f64).round() as usize;
-            writeln!(out, "  {:<44} {:<width$} {v:.6}", focus.to_string(), "#".repeat(n))
-                .unwrap();
+            writeln!(
+                out,
+                "  {:<44} {:<width$} {v:.6}",
+                focus.to_string(),
+                "#".repeat(n)
+            )
+            .unwrap();
         }
         out
     }

@@ -102,8 +102,13 @@ mod tests {
         dm.ensure_machine(4);
         let mm = MetricManager::new(mgr.clone());
         let reqs = vec![
-            mm.request("Point-to-Point Operations", &dm, &Focus::whole_program(), 1e9)
-                .unwrap(),
+            mm.request(
+                "Point-to-Point Operations",
+                &dm,
+                &Focus::whole_program(),
+                1e9,
+            )
+            .unwrap(),
             mm.request("Node Activations", &dm, &Focus::whole_program(), 1e9)
                 .unwrap(),
         ];

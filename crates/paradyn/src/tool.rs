@@ -106,7 +106,9 @@ impl Paradyn {
     /// information), prepares the Machine hierarchy, and installs the
     /// dynamic mapping instrumentation.
     pub fn load(&mut self, compiled: &Compiled) -> Result<(), LoadError> {
-        self.data.import_pif(&compiled.pif).map_err(LoadError::Pif)?;
+        self.data
+            .import_pif(&compiled.pif)
+            .map_err(LoadError::Pif)?;
         self.data.ensure_machine(self.config.nodes);
         self.program = Some(compiled.program().clone());
         if self.mapping.is_none() {
@@ -132,20 +134,21 @@ impl Paradyn {
             .program
             .clone()
             .expect("load a program before creating machines");
-        let mut m = Machine::new(self.config.clone(), self.ns.clone(), self.mgr.clone(), program)
-            .map_err(LoadError::Ir)?;
+        let mut m = Machine::new(
+            self.config.clone(),
+            self.ns.clone(),
+            self.mgr.clone(),
+            program,
+        )
+        .map_err(LoadError::Ir)?;
         m.set_mapping_sink(self.data.clone());
         Ok(m)
     }
 
     /// Requests a metric constrained to a focus.
     pub fn request(&self, metric: &str, focus: &Focus) -> Result<MetricRequest, RequestError> {
-        self.metrics.request(
-            metric,
-            &self.data,
-            focus,
-            self.config.cost.ticks_per_second,
-        )
+        self.metrics
+            .request(metric, &self.data, focus, self.config.cost.ticks_per_second)
     }
 
     /// One-shot experiment: request the metric, run a fresh machine to
@@ -203,9 +206,7 @@ mod tests {
     fn array_constrained_measure_through_facade() {
         let t = tool();
         let focus_a = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A");
-        let (msgs_a, _) = t
-            .measure("Point-to-Point Operations", &focus_a)
-            .unwrap();
+        let (msgs_a, _) = t.measure("Point-to-Point Operations", &focus_a).unwrap();
         assert_eq!(msgs_a, 4.0, "messages during SUM(A)'s block only");
     }
 
@@ -235,9 +236,7 @@ mod tests {
     #[test]
     fn sampled_run_produces_streams() {
         let t = tool();
-        let reqs = vec![t
-            .request("Broadcasts", &Focus::whole_program())
-            .unwrap()];
+        let reqs = vec![t.request("Broadcasts", &Focus::whole_program()).unwrap()];
         let (streams, summary, _m) = t.run_sampled(&reqs, 1);
         assert_eq!(streams.len(), 1);
         assert_eq!(streams[0].last_value(), summary.broadcasts as f64);

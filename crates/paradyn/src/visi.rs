@@ -23,7 +23,12 @@ pub fn time_plot(streams: &[Stream], buckets: usize, width: usize) -> String {
         .unwrap_or(1)
         .max(1);
     let buckets = buckets.max(1);
-    writeln!(out, "time plot ({} buckets, {} ticks total)", buckets, t_max).unwrap();
+    writeln!(
+        out,
+        "time plot ({} buckets, {} ticks total)",
+        buckets, t_max
+    )
+    .unwrap();
     for s in streams {
         writeln!(out, "  [{}] {} / {}", s.units, s.metric, s.focus).unwrap();
     }
@@ -90,7 +95,14 @@ pub fn table(rows: &[(String, String, String)]) -> String {
     let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(6).max(6);
     let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(5).max(5);
     writeln!(out, "{:<w0$}  {:>w1$}  Description", "Metric", "Value").unwrap();
-    writeln!(out, "{}  {}  {}", "-".repeat(w0), "-".repeat(w1), "-".repeat(24)).unwrap();
+    writeln!(
+        out,
+        "{}  {}  {}",
+        "-".repeat(w0),
+        "-".repeat(w1),
+        "-".repeat(24)
+    )
+    .unwrap();
     for (name, value, desc) in rows {
         writeln!(out, "{name:<w0$}  {value:>w1$}  {desc}").unwrap();
     }
@@ -144,8 +156,16 @@ mod tests {
     #[test]
     fn table_aligns_columns() {
         let t = table(&[
-            ("Summations".into(), "4".into(), "Count of array summations.".into()),
-            ("Idle Time".into(), "0.001".into(), "Time spent waiting.".into()),
+            (
+                "Summations".into(),
+                "4".into(),
+                "Count of array summations.".into(),
+            ),
+            (
+                "Idle Time".into(),
+                "0.001".into(),
+                "Time spent waiting.".into(),
+            ),
         ]);
         assert!(t.contains("Metric"));
         assert!(t.lines().count() >= 4);

@@ -117,8 +117,7 @@ pub fn apply(
             }
             Record::Resource(r) => {
                 let level = ns.level(&r.abstraction);
-                let components: Vec<&str> =
-                    r.path.split('/').filter(|c| !c.is_empty()).collect();
+                let components: Vec<&str> = r.path.split('/').filter(|c| !c.is_empty()).collect();
                 let tree = axis.tree_mut(&r.hierarchy);
                 let node = tree.add_path(&components);
                 let noun_name = r
@@ -300,7 +299,11 @@ abstraction = CM Fortran
         let tree = axis.tree("CMFarrays").unwrap();
         let tot = tree.resolve("/bow.fcm/CORNER/TOT").unwrap();
         assert!(tree.noun(tot).is_some());
-        assert_eq!(tree.resolve("/bow.fcm/CORNER").map(|n| tree.children(n).len()), Some(2));
+        assert_eq!(
+            tree.resolve("/bow.fcm/CORNER")
+                .map(|n| tree.children(n).len()),
+            Some(2)
+        );
         // Noun got defined with the path as description.
         let lvl = ns.find_level("CM Fortran").unwrap();
         assert!(ns.find_noun(lvl, "TOT").is_some());

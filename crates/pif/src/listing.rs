@@ -169,11 +169,14 @@ pub fn parse_listing(input: &str) -> Result<Listing, ParseError> {
                     } else if let Some(v) = tok.strip_prefix("dist=") {
                         dist = v.to_string();
                     } else {
-                        return Err(ParseError::new(lineno, format!("unknown array field '{tok}'")));
+                        return Err(ParseError::new(
+                            lineno,
+                            format!("unknown array field '{tok}'"),
+                        ));
                     }
                 }
-                let name = name
-                    .ok_or_else(|| ParseError::new(lineno, "array entry missing name="))?;
+                let name =
+                    name.ok_or_else(|| ParseError::new(lineno, "array entry missing name="))?;
                 listing.arrays.push(ArrayEntry {
                     name,
                     function,
@@ -194,7 +197,10 @@ pub fn parse_listing(input: &str) -> Result<Listing, ParseError> {
                     } else if let Some(v) = tok.strip_prefix("arrays=") {
                         arrays = parse_list(v, lineno, |s, _| Ok(s.to_string()))?;
                     } else {
-                        return Err(ParseError::new(lineno, format!("unknown block field '{tok}'")));
+                        return Err(ParseError::new(
+                            lineno,
+                            format!("unknown block field '{tok}'"),
+                        ));
                     }
                 }
                 let name =
@@ -206,7 +212,10 @@ pub fn parse_listing(input: &str) -> Result<Listing, ParseError> {
                 });
             }
             other => {
-                return Err(ParseError::new(lineno, format!("unknown entry kind '{other}'")));
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unknown entry kind '{other}'"),
+                ));
             }
         }
     }
@@ -260,7 +269,10 @@ pub fn listing_to_pif(listing: &Listing, opts: &ScanOptions) -> PifFile {
         f.push(Record::Noun(NounRecord {
             name: format!("line{}", s.line),
             abstraction: src.clone(),
-            description: format!("line #{} in source file {}: {}", s.line, listing.file, s.text),
+            description: format!(
+                "line #{} in source file {}: {}",
+                s.line, listing.file, s.text
+            ),
         }));
         let scope = if s.function.is_empty() {
             listing.file.clone()
@@ -297,8 +309,7 @@ pub fn listing_to_pif(listing: &Listing, opts: &ScanOptions) -> PifFile {
         }));
     }
 
-    let known_arrays: BTreeSet<&str> =
-        listing.arrays.iter().map(|a| a.name.as_str()).collect();
+    let known_arrays: BTreeSet<&str> = listing.arrays.iter().map(|a| a.name.as_str()).collect();
 
     for b in &listing.blocks {
         let block_noun = format!("{}()", b.name);

@@ -1,9 +1,7 @@
 //! Programmatic copies of the paper's example records, used by tests and by
 //! the figure-regeneration binaries.
 
-use crate::model::{
-    MappingRecord, NounRecord, PifFile, Record, SentenceRef, VerbRecord,
-};
+use crate::model::{MappingRecord, NounRecord, PifFile, Record, SentenceRef, VerbRecord};
 
 /// The static mapping information of the paper's Figure 2: two CM Fortran
 /// source lines implemented by one compiler-generated function.

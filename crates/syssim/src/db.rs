@@ -15,9 +15,8 @@
 //! per-query server disk reads.
 
 use pdmap::model::{Namespace, NounId, SentenceId, VerbId};
-use pdmap::sas::{
-    DistributedSas, ForwardingRule, Question, QuestionId, SentencePattern,
-};
+use pdmap::sas::{DistributedSas, ForwardingRule, Question, QuestionId, SentencePattern};
+use pdmap_transport::Backend;
 use std::collections::BTreeMap;
 
 /// Node indices.
@@ -41,16 +40,23 @@ pub struct DbSystem {
 }
 
 impl DbSystem {
-    /// Builds the system. `forward_queries` installs the client→server
-    /// forwarding rule; without it, cross-node questions silently fail
-    /// (the ablation measured in the benches).
+    /// Builds the system over in-process transport links. `forward_queries`
+    /// installs the client→server forwarding rule; without it, cross-node
+    /// questions silently fail (the ablation measured in the benches).
     pub fn new(ns: Namespace, forward_queries: bool) -> Self {
+        Self::over(ns, forward_queries, Backend::InProc)
+    }
+
+    /// As [`DbSystem::new`], but choosing the transport backend carrying
+    /// the client→server SAS forwarding messages. Observable behaviour is
+    /// identical across backends (auto-deliver waits for settlement).
+    pub fn over(ns: Namespace, forward_queries: bool, backend: Backend) -> Self {
         let db = ns.level("DB");
         let runs_query = ns.verb(db, "RunsQuery", "client query is active");
         let reads_disk = ns.verb(db, "ReadsDisk", "server reads from disk");
         let disk = ns.noun(db, "disk0", "server disk");
         let read_sentence = ns.say(reads_disk, [disk]);
-        let sas = DistributedSas::new(ns.clone(), 2);
+        let sas = DistributedSas::with_backend(ns.clone(), 2, backend);
         sas.set_auto_deliver(true);
         if forward_queries {
             sas.add_rule(
@@ -196,6 +202,30 @@ mod tests {
         assert_eq!(db.attributed_reads(2), 0);
         assert_eq!(db.attributed_reads(1), 0);
         assert_eq!(db.messages(), 2);
+    }
+
+    /// Runs the same workload over a backend, returning every observable.
+    fn workload(backend: Backend) -> (u64, u64, u64, u64) {
+        let mut db = DbSystem::over(Namespace::new(), true, backend);
+        db.watch_query(17);
+        db.watch_query(18);
+        db.run_query(17, 5);
+        db.background_read();
+        db.run_query(18, 2);
+        (
+            db.attributed_reads(17),
+            db.attributed_reads(18),
+            db.total_reads(),
+            db.messages(),
+        )
+    }
+
+    #[test]
+    fn tcp_backend_attributes_identically() {
+        let inproc = workload(Backend::InProc);
+        let tcp = workload(Backend::Tcp);
+        assert_eq!(inproc, tcp);
+        assert_eq!(inproc, (5, 2, 8, 4));
     }
 
     #[test]

@@ -234,7 +234,10 @@ impl UnixSim {
                 self.stats.attributed += 1;
             }
         }
-        self.record(Actor::Kernel, format!("kernel writes {} bytes to disk", w.bytes));
+        self.record(
+            Actor::Kernel,
+            format!("kernel writes {} bytes to disk", w.bytes),
+        );
         self.clock += self.config.disk_write_cost;
         self.sas.deactivate(self.disk_sentence);
         for &t in w.tokens.iter().rev() {
@@ -275,7 +278,10 @@ impl UnixSim {
             } else {
                 sas.join(" | ")
             };
-            out.push_str(&format!("{:>10}  {:<38} {:<38} {}\n", e.t, user, kernel, sas));
+            out.push_str(&format!(
+                "{:>10}  {:<38} {:<38} {}\n",
+                e.t, user, kernel, sas
+            ));
         }
         out
     }

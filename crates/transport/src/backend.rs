@@ -1,0 +1,116 @@
+//! Backend selection: one factory that yields a connected duplex link over
+//! either implementation, so migrated subsystems are written once and run
+//! over both.
+
+use crate::config::TransportConfig;
+use crate::inproc::InProcEnd;
+use crate::tcp::{TcpClient, TcpServer};
+use crate::Transport;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which transport implementation to use for a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Bounded in-process channels (the seed's single-process wiring).
+    InProc,
+    /// TCP over loopback/network via `std::net`.
+    Tcp,
+}
+
+impl Backend {
+    /// Parses a backend name (`"inproc"` / `"tcp"`), as used by example and
+    /// bench binaries.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "inproc" | "in-proc" | "channel" => Some(Backend::InProc),
+            "tcp" => Some(Backend::Tcp),
+            _ => None,
+        }
+    }
+
+    /// Builds a connected duplex link: `client` is the measured-program end,
+    /// `server` the tool end. For [`Backend::Tcp`] this binds an ephemeral
+    /// loopback port and waits until the connection is established.
+    pub fn link(self, cfg: &TransportConfig) -> Link {
+        match self {
+            Backend::InProc => {
+                let (client, server) = InProcEnd::pair(cfg);
+                Link {
+                    client,
+                    server,
+                    tcp_server: None,
+                }
+            }
+            Backend::Tcp => {
+                let server = TcpServer::bind("127.0.0.1:0").expect("bind loopback transport");
+                let client = TcpClient::connect(server.local_addr(), *cfg);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while server.connections() == 0 && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Link {
+                    client,
+                    server: server.clone(),
+                    tcp_server: Some(server),
+                }
+            }
+        }
+    }
+}
+
+/// A connected duplex link between a "program" end and a "tool" end.
+pub struct Link {
+    /// The sending/measured-program end.
+    pub client: Arc<dyn Transport>,
+    /// The receiving/tool end.
+    pub server: Arc<dyn Transport>,
+    /// Kept so TCP-specific hooks ([`TcpServer::kick_all`]) stay reachable.
+    pub tcp_server: Option<Arc<TcpServer>>,
+}
+
+impl Link {
+    /// Closes both ends.
+    pub fn close(&self) {
+        self.client.close();
+        self.server.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+
+    fn roundtrip(backend: Backend) {
+        let link = backend.link(&TransportConfig::default());
+        link.client.send(FrameKind::Daemon, b"m".to_vec()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let frame = loop {
+            if let Some(f) = link.server.try_recv().unwrap() {
+                break f;
+            }
+            assert!(Instant::now() < deadline, "frame never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(frame.payload, b"m");
+        link.close();
+    }
+
+    #[test]
+    fn inproc_link_roundtrips() {
+        roundtrip(Backend::InProc);
+    }
+
+    #[test]
+    fn tcp_link_roundtrips() {
+        roundtrip(Backend::Tcp);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Backend::parse("inproc"), Some(Backend::InProc));
+        assert_eq!(Backend::parse("tcp"), Some(Backend::Tcp));
+        assert_eq!(Backend::parse("smoke-signals"), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Transport tuning knobs shared by every backend.
+
+use crate::queue::Backpressure;
+use std::time::Duration;
+
+/// Reconnection behaviour for the TCP client end.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconnectPolicy {
+    /// Consecutive failed attempts before the link is abandoned (queued and
+    /// in-flight frames are then counted as drops).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter (so tests replay identically).
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x7072_6F74_6F63_6F6C, // "protocol"
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// backoff capped at `max_delay`, plus deterministic jitter in
+    /// `[0, 25%)` derived from the seed — decorrelates reconnect storms
+    /// without sacrificing replayability.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let base = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let jitter_unit = splitmix64(self.jitter_seed.wrapping_add(attempt as u64)) >> 11;
+        let jitter = base.mul_f64(0.25 * jitter_unit as f64 / (1u64 << 53) as f64);
+        base + jitter
+    }
+}
+
+/// One step of SplitMix64 — enough PRNG for jitter without a dependency
+/// (the workspace's test PRNG lives in `pdmap::util`, above this crate).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration for one transport link.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportConfig {
+    /// Bounded send-queue capacity in frames.
+    pub capacity: usize,
+    /// Policy when the send queue is full.
+    pub backpressure: Backpressure,
+    /// How often the client emits heartbeat probes when idle.
+    pub heartbeat_every: Duration,
+    /// Peer silence longer than this marks the link not-alive.
+    pub liveness_timeout: Duration,
+    /// Reconnection behaviour (TCP only).
+    pub reconnect: ReconnectPolicy,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            backpressure: Backpressure::Block,
+            heartbeat_every: Duration::from_millis(200),
+            liveness_timeout: Duration::from_secs(2),
+            reconnect: ReconnectPolicy::default(),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// A config with the given queue capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the backpressure policy.
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = ReconnectPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 42,
+        };
+        let d0 = p.delay_for(0);
+        let d1 = p.delay_for(1);
+        let d9 = p.delay_for(9);
+        assert!(d0 >= Duration::from_millis(10) && d0 < Duration::from_millis(13));
+        assert!(d1 >= Duration::from_millis(20) && d1 < Duration::from_millis(25));
+        // Capped at max + 25% jitter.
+        assert!(d9 >= Duration::from_millis(200) && d9 <= Duration::from_millis(250));
+        // Deterministic for a fixed seed.
+        assert_eq!(p.delay_for(3), p.delay_for(3));
+        // Different seeds give different jitter.
+        let q = ReconnectPolicy {
+            jitter_seed: 43,
+            ..p
+        };
+        assert_ne!(p.delay_for(0), q.delay_for(0));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = ReconnectPolicy::default();
+        assert!(p.delay_for(u32::MAX) <= p.max_delay.mul_f64(1.25));
+    }
+}

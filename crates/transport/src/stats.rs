@@ -1,0 +1,193 @@
+//! Transport self-metrics.
+//!
+//! A measurement tool must be able to measure itself: every backend keeps a
+//! [`StatsCell`] of atomic counters, snapshotted into the plain
+//! [`TransportStats`] that the tool layer exports through its metric
+//! catalogue (the Figure-9-style "Transport" level).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters updated by the transport hot paths.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+    drops: AtomicU64,
+    duplicates: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    heartbeats_received: AtomicU64,
+    acks_sent: AtomicU64,
+    acks_received: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl StatsCell {
+    /// Records a sent data frame of `bytes` encoded bytes.
+    pub fn on_send(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received data frame of `bytes` encoded bytes.
+    pub fn on_recv(&self, bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` dropped frames (backpressure policy or link failure).
+    pub fn on_drop(&self, n: u64) {
+        self.drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate data frame suppressed by sequence tracking.
+    pub fn on_duplicate(&self) {
+        self.duplicates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed connection attempt.
+    pub fn on_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful re-establishment of a lost connection.
+    pub fn on_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a heartbeat probe sent.
+    pub fn on_heartbeat_sent(&self) {
+        self.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a heartbeat probe received.
+    pub fn on_heartbeat_received(&self) {
+        self.heartbeats_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an acknowledgement sent.
+    pub fn on_ack_sent(&self) {
+        self.acks_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an acknowledgement received.
+    pub fn on_ack_received(&self) {
+        self.acks_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds an observed queue depth into the high-water mark.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            heartbeats_received: self.heartbeats_received.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            acks_received: self.acks_received.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of transport self-metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Data frames accepted for delivery and written to the wire/queue.
+    pub frames_sent: u64,
+    /// Encoded bytes of those frames.
+    pub bytes_sent: u64,
+    /// Data frames delivered to the receiving application.
+    pub frames_received: u64,
+    /// Encoded bytes of those frames.
+    pub bytes_received: u64,
+    /// Frames discarded: backpressure (`DropOldest`) or link give-up.
+    pub drops: u64,
+    /// Redelivered frames suppressed by sequence tracking after reconnect.
+    pub duplicates: u64,
+    /// Failed connection attempts.
+    pub retries: u64,
+    /// Connections re-established after a loss.
+    pub reconnects: u64,
+    /// Heartbeat probes sent.
+    pub heartbeats_sent: u64,
+    /// Heartbeat probes received (includes echoes).
+    pub heartbeats_received: u64,
+    /// Acknowledgements sent.
+    pub acks_sent: u64,
+    /// Acknowledgements received.
+    pub acks_received: u64,
+    /// High-water mark of the bounded send queue.
+    pub max_queue_depth: u64,
+}
+
+impl TransportStats {
+    /// `(metric name, value)` rows in catalogue order — the names match the
+    /// "Transport" level of the tool's metric catalogue.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("Transport Frames Sent", self.frames_sent),
+            ("Transport Bytes Sent", self.bytes_sent),
+            ("Transport Frames Received", self.frames_received),
+            ("Transport Bytes Received", self.bytes_received),
+            ("Transport Drops", self.drops),
+            ("Transport Duplicates", self.duplicates),
+            ("Transport Retries", self.retries),
+            ("Transport Reconnects", self.reconnects),
+            ("Transport Heartbeats Sent", self.heartbeats_sent),
+            ("Transport Heartbeats Received", self.heartbeats_received),
+            ("Transport Acks Sent", self.acks_sent),
+            ("Transport Acks Received", self.acks_received),
+            ("Transport Max Queue Depth", self.max_queue_depth),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = StatsCell::default();
+        c.on_send(100);
+        c.on_send(20);
+        c.on_recv(100);
+        c.on_drop(3);
+        c.on_retry();
+        c.on_reconnect();
+        c.observe_queue_depth(5);
+        c.observe_queue_depth(2);
+        let s = c.snapshot();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.bytes_sent, 120);
+        assert_eq!(s.frames_received, 1);
+        assert_eq!(s.drops, 3);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.reconnects, 1);
+        assert_eq!(s.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn rows_cover_every_field() {
+        let s = TransportStats::default();
+        assert_eq!(s.rows().len(), 13);
+        let names: std::collections::BTreeSet<_> = s.rows().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names.len(), 13, "metric names must be distinct");
+    }
+}

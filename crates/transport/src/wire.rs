@@ -1,0 +1,237 @@
+//! Payload codec: how typed messages become frame payload bytes.
+//!
+//! The transport crate stays at the bottom of the dependency graph, so it
+//! does not know the concrete message types. Higher layers implement
+//! [`WirePayload`] for their types (`DaemonMsg` in `paradyn-tool`,
+//! `SasMessage` in `pdmap`) using the little-endian primitives here.
+
+use crate::frame::{Frame, FrameKind};
+use std::fmt;
+
+/// A payload-level decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl CodecError {
+    /// Shorthand constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A message type that can ride a frame payload.
+pub trait WirePayload: Sized {
+    /// Which frame kind carries this type.
+    const KIND: FrameKind;
+
+    /// Appends the encoded message to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decodes a message from a payload reader. Implementations should
+    /// consume exactly what they encoded.
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes into a ready-to-send frame (sequence stamped by the
+    /// transport at send time).
+    fn to_frame(&self) -> Frame {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        Frame::data(Self::KIND, payload)
+    }
+
+    /// Decodes from a received frame, checking the kind and that the whole
+    /// payload is consumed.
+    fn from_frame(frame: &Frame) -> Result<Self, CodecError> {
+        if frame.kind != Self::KIND {
+            return Err(CodecError::new(format!(
+                "expected {:?} frame, got {:?}",
+                Self::KIND,
+                frame.kind
+            )));
+        }
+        let mut r = PayloadReader::new(&frame.payload);
+        let msg = Self::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Little-endian write primitives.
+pub mod put {
+    /// Appends a `u8`.
+    pub fn u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (IEEE-754 bits).
+    pub fn f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(out: &mut Vec<u8>, s: &str) {
+        u32(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn bytes(out: &mut Vec<u8>, b: &[u8]) {
+        u32(out, b.len() as u32);
+        out.extend_from_slice(b);
+    }
+}
+
+/// A checked cursor over payload bytes.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::new(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::new("string field is not UTF-8"))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Errors unless the payload was fully consumed (trailing garbage means
+    /// a version skew or corruption — never silently ignore it).
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.pos != self.buf.len() {
+            return Err(CodecError::new(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An opaque PIF blob: text records shipped as bytes. The transport gives
+/// them a typed wrapper so file imports can share the wire with everything
+/// else, as the paper's daemons do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PifBlob(pub Vec<u8>);
+
+impl WirePayload for PifBlob {
+    const KIND: FrameKind = FrameKind::PifBlob;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put::bytes(out, &self.0);
+    }
+
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        Ok(PifBlob(r.bytes()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut out = Vec::new();
+        put::u8(&mut out, 7);
+        put::u32(&mut out, 0xDEAD_BEEF);
+        put::u64(&mut out, u64::MAX - 1);
+        put::f64(&mut out, -0.5);
+        put::str(&mut out, "héllo|wörld\n");
+        put::bytes(&mut out, &[1, 2, 3]);
+        let mut r = PayloadReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.str().unwrap(), "héllo|wörld\n");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut out = Vec::new();
+        put::str(&mut out, "abcdef");
+        let mut r = PayloadReader::new(&out[..5]);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let blob = PifBlob(b"noun A level L".to_vec());
+        let mut frame = blob.to_frame();
+        assert_eq!(PifBlob::from_frame(&frame).unwrap(), blob);
+        frame.payload.push(0);
+        assert!(PifBlob::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut frame = PifBlob(vec![1]).to_frame();
+        frame.kind = FrameKind::Daemon;
+        assert!(PifBlob::from_frame(&frame).is_err());
+    }
+}

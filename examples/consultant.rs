@@ -33,7 +33,10 @@ fn main() {
         threshold: 0.10,
         max_depth: 1,
     };
-    println!("searching (threshold {:.0}%)...\n", config.threshold * 100.0);
+    println!(
+        "searching (threshold {:.0}%)...\n",
+        config.threshold * 100.0
+    );
     let results = search(&tool, &config);
     print!("{}", render(&results));
 

@@ -57,8 +57,10 @@ metric bcast_bytes {
     println!("installed {n} user-defined metrics");
 
     let reqs = [
-        tool.request("Block Dispatches", &Focus::whole_program()).unwrap(),
-        tool.request("Broadcast Bytes", &Focus::whole_program()).unwrap(),
+        tool.request("Block Dispatches", &Focus::whole_program())
+            .unwrap(),
+        tool.request("Broadcast Bytes", &Focus::whole_program())
+            .unwrap(),
     ];
 
     // 2. Ordered questions (limitation 3 of the paper): distinguish
@@ -86,8 +88,16 @@ metric bcast_bytes {
         ],
     ));
     let counters = [
-        ("sends during SUM(A)      ", sum_then_send, "cmrts::msg:send"),
-        ("SUM(A) starts during send", send_then_sum, "cmrts::reduce:sum:entry"),
+        (
+            "sends during SUM(A)      ",
+            sum_then_send,
+            "cmrts::msg:send",
+        ),
+        (
+            "SUM(A) starts during send",
+            send_then_sum,
+            "cmrts::reduce:sum:entry",
+        ),
     ];
     let insts: Vec<_> = counters
         .iter()

@@ -3,16 +3,27 @@
 //! "client query is active" sentence to the server.
 //!
 //! ```sh
-//! cargo run --example distributed_db
+//! cargo run --example distributed_db            # in-process transport
+//! cargo run --example distributed_db -- tcp    # same system over TCP
 //! ```
 
 use pdmap::model::Namespace;
+use pdmap_transport::Backend;
 use sys_sim::DbSystem;
 
 fn main() {
+    let backend = match std::env::args().nth(1).as_deref() {
+        Some(name) => Backend::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown backend '{name}' (expected 'inproc' or 'tcp')");
+            std::process::exit(2);
+        }),
+        None => Backend::InProc,
+    };
+
     // With forwarding: the server's SAS receives the client's query
-    // sentences and can attribute its disk reads.
-    let mut db = DbSystem::new(Namespace::new(), true);
+    // sentences and can attribute its disk reads. The same system runs
+    // over either transport backend with identical results.
+    let mut db = DbSystem::over(Namespace::new(), true, backend);
     db.watch_query(17);
     db.watch_query(18);
 
@@ -22,14 +33,29 @@ fn main() {
     db.run_query(17, 2);
 
     println!("-- with sentence forwarding (the paper's solution) --");
+    println!(
+        "transport backend:              {}",
+        db.sas().backend_name()
+    );
     println!("total server disk reads:        {}", db.total_reads());
-    println!("reads attributed to query#17:   {}", db.attributed_reads(17));
-    println!("reads attributed to query#18:   {}", db.attributed_reads(18));
+    println!(
+        "reads attributed to query#17:   {}",
+        db.attributed_reads(17)
+    );
+    println!(
+        "reads attributed to query#18:   {}",
+        db.attributed_reads(18)
+    );
     println!("SAS forwarding messages:        {}", db.messages());
+    let t = db.sas().transport_stats();
+    println!(
+        "transport frames sent/received: {}/{} ({} bytes on the wire)",
+        t.frames_sent, t.frames_received, t.bytes_sent
+    );
 
     // Without forwarding, the same question silently measures nothing —
     // each node's SAS only sees local activity.
-    let mut isolated = DbSystem::new(Namespace::new(), false);
+    let mut isolated = DbSystem::over(Namespace::new(), false, backend);
     isolated.watch_query(17);
     isolated.run_query(17, 5);
     println!("\n-- without forwarding (isolated per-node SASes) --");

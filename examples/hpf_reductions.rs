@@ -87,8 +87,14 @@ fn main() {
 
     let prims = mgr.primitives();
     let now = machine.wall_clock();
-    println!("messages sent for summations of A: {}", msgs_for_a.read_raw(prims, now));
-    println!("messages sent for MAXVAL of B:     {}", msgs_for_b.read_raw(prims, now));
+    println!(
+        "messages sent for summations of A: {}",
+        msgs_for_a.read_raw(prims, now)
+    );
+    println!(
+        "messages sent for MAXVAL of B:     {}",
+        msgs_for_b.read_raw(prims, now)
+    );
     println!(
         "time sending messages for SUM(A):  {:.6} s",
         time_for_a.value(prims, now, machine.cost_model().ticks_per_second)

@@ -52,8 +52,14 @@ fn main() {
         summary.broadcasts,
         machine.wall_clock()
     );
-    println!("\nfinal values:\n{}", paradyn_tool::visi::bar_chart(&streams, 32));
-    println!("time plot:\n{}", paradyn_tool::visi::time_plot(&streams, 8, 12));
+    println!(
+        "\nfinal values:\n{}",
+        paradyn_tool::visi::bar_chart(&streams, 32)
+    );
+    println!(
+        "time plot:\n{}",
+        paradyn_tool::visi::time_plot(&streams, 8, 12)
+    );
 
     // 4. The program's answers are real: the machine computed them.
     println!(

@@ -35,7 +35,8 @@ fn main() {
     let line5 = Focus::whole_program().select("CMFstmts", "/stencil.fcm/STENCIL/line#5");
     let line7 = Focus::whole_program().select("CMFstmts", "/stencil.fcm/STENCIL/line#7");
     let requests = vec![
-        tool.request("Point-to-Point Operations", &Focus::whole_program()).unwrap(),
+        tool.request("Point-to-Point Operations", &Focus::whole_program())
+            .unwrap(),
         tool.request("Point-to-Point Operations", &line5).unwrap(),
         tool.request("Computation Time", &line7).unwrap(),
         tool.request("Rotations", &Focus::whole_program()).unwrap(),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fusion-9baa94f9c37351f1.d: crates/bench/src/bin/ablation_fusion.rs
+
+/root/repo/target/debug/deps/ablation_fusion-9baa94f9c37351f1: crates/bench/src/bin/ablation_fusion.rs
+
+crates/bench/src/bin/ablation_fusion.rs:

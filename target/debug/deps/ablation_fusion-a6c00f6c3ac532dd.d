@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fusion-a6c00f6c3ac532dd.d: crates/bench/src/bin/ablation_fusion.rs
+
+/root/repo/target/debug/deps/ablation_fusion-a6c00f6c3ac532dd: crates/bench/src/bin/ablation_fusion.rs
+
+crates/bench/src/bin/ablation_fusion.rs:

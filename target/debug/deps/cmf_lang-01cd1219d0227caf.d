@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cmf_lang-01cd1219d0227caf.d: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+/root/repo/target/debug/deps/libcmf_lang-01cd1219d0227caf.rlib: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+/root/repo/target/debug/deps/libcmf_lang-01cd1219d0227caf.rmeta: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+crates/cmf/src/lib.rs:
+crates/cmf/src/ast.rs:
+crates/cmf/src/expand.rs:
+crates/cmf/src/lex.rs:
+crates/cmf/src/listing.rs:
+crates/cmf/src/lower.rs:
+crates/cmf/src/parse.rs:
+crates/cmf/src/sema.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cmf_lang-30f44e9d9d51d1de.d: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmf_lang-30f44e9d9d51d1de.rmeta: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs Cargo.toml
+
+crates/cmf/src/lib.rs:
+crates/cmf/src/ast.rs:
+crates/cmf/src/expand.rs:
+crates/cmf/src/lex.rs:
+crates/cmf/src/listing.rs:
+crates/cmf/src/lower.rs:
+crates/cmf/src/parse.rs:
+crates/cmf/src/sema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

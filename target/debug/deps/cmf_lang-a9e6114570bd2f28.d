@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cmf_lang-a9e6114570bd2f28.d: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+/root/repo/target/debug/deps/cmf_lang-a9e6114570bd2f28: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+crates/cmf/src/lib.rs:
+crates/cmf/src/ast.rs:
+crates/cmf/src/expand.rs:
+crates/cmf/src/lex.rs:
+crates/cmf/src/listing.rs:
+crates/cmf/src/lower.rs:
+crates/cmf/src/parse.rs:
+crates/cmf/src/sema.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cmrts_sim-324553a28e2d4edc.d: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+/root/repo/target/debug/deps/cmrts_sim-324553a28e2d4edc: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+crates/cmrts/src/lib.rs:
+crates/cmrts/src/cost.rs:
+crates/cmrts/src/ir.rs:
+crates/cmrts/src/layout.rs:
+crates/cmrts/src/machine.rs:
+crates/cmrts/src/points.rs:
+crates/cmrts/src/trace.rs:
+crates/cmrts/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cmrts_sim-3b3f7e73af923f6e.d: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmrts_sim-3b3f7e73af923f6e.rmeta: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs Cargo.toml
+
+crates/cmrts/src/lib.rs:
+crates/cmrts/src/cost.rs:
+crates/cmrts/src/ir.rs:
+crates/cmrts/src/layout.rs:
+crates/cmrts/src/machine.rs:
+crates/cmrts/src/points.rs:
+crates/cmrts/src/trace.rs:
+crates/cmrts/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cmrts_sim-7f20a97c339342e4.d: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+/root/repo/target/debug/deps/libcmrts_sim-7f20a97c339342e4.rlib: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+/root/repo/target/debug/deps/libcmrts_sim-7f20a97c339342e4.rmeta: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+crates/cmrts/src/lib.rs:
+crates/cmrts/src/cost.rs:
+crates/cmrts/src/ir.rs:
+crates/cmrts/src/layout.rs:
+crates/cmrts/src/machine.rs:
+crates/cmrts/src/points.rs:
+crates/cmrts/src/trace.rs:
+crates/cmrts/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_sas-86e5a0ec71969360.d: crates/bench/benches/distributed_sas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_sas-86e5a0ec71969360.rmeta: crates/bench/benches/distributed_sas.rs Cargo.toml
+
+crates/bench/benches/distributed_sas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

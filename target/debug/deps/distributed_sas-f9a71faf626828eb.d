@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_sas-f9a71faf626828eb.d: crates/bench/benches/distributed_sas.rs
+
+/root/repo/target/debug/deps/distributed_sas-f9a71faf626828eb: crates/bench/benches/distributed_sas.rs
+
+crates/bench/benches/distributed_sas.rs:

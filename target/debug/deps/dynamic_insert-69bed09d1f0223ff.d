@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_insert-69bed09d1f0223ff.d: crates/bench/benches/dynamic_insert.rs
+
+/root/repo/target/debug/deps/dynamic_insert-69bed09d1f0223ff: crates/bench/benches/dynamic_insert.rs
+
+crates/bench/benches/dynamic_insert.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_insert-e734af8ac2950b78.d: crates/bench/benches/dynamic_insert.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_insert-e734af8ac2950b78.rmeta: crates/bench/benches/dynamic_insert.rs Cargo.toml
+
+crates/bench/benches/dynamic_insert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

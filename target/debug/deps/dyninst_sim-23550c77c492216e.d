@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dyninst_sim-23550c77c492216e.d: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyninst_sim-23550c77c492216e.rmeta: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs Cargo.toml
+
+crates/dyninst/src/lib.rs:
+crates/dyninst/src/manager.rs:
+crates/dyninst/src/mdl/mod.rs:
+crates/dyninst/src/mdl/ast.rs:
+crates/dyninst/src/mdl/lex.rs:
+crates/dyninst/src/mdl/parse.rs:
+crates/dyninst/src/metrics.rs:
+crates/dyninst/src/point.rs:
+crates/dyninst/src/primitive.rs:
+crates/dyninst/src/snippet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

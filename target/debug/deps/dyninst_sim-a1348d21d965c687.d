@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dyninst_sim-a1348d21d965c687.d: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+/root/repo/target/debug/deps/libdyninst_sim-a1348d21d965c687.rlib: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+/root/repo/target/debug/deps/libdyninst_sim-a1348d21d965c687.rmeta: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+crates/dyninst/src/lib.rs:
+crates/dyninst/src/manager.rs:
+crates/dyninst/src/mdl/mod.rs:
+crates/dyninst/src/mdl/ast.rs:
+crates/dyninst/src/mdl/lex.rs:
+crates/dyninst/src/mdl/parse.rs:
+crates/dyninst/src/metrics.rs:
+crates/dyninst/src/point.rs:
+crates/dyninst/src/primitive.rs:
+crates/dyninst/src/snippet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e4471414a3382f7f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e4471414a3382f7f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_mapping_types-88b5b5c69f0b7968.d: crates/bench/src/bin/fig1_mapping_types.rs
+
+/root/repo/target/debug/deps/fig1_mapping_types-88b5b5c69f0b7968: crates/bench/src/bin/fig1_mapping_types.rs
+
+crates/bench/src/bin/fig1_mapping_types.rs:

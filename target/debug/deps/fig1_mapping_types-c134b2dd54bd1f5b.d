@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_mapping_types-c134b2dd54bd1f5b.d: crates/bench/src/bin/fig1_mapping_types.rs
+
+/root/repo/target/debug/deps/fig1_mapping_types-c134b2dd54bd1f5b: crates/bench/src/bin/fig1_mapping_types.rs
+
+crates/bench/src/bin/fig1_mapping_types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_mapping_types-d7ca797acc5469a1.d: crates/bench/src/bin/fig1_mapping_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_mapping_types-d7ca797acc5469a1.rmeta: crates/bench/src/bin/fig1_mapping_types.rs Cargo.toml
+
+crates/bench/src/bin/fig1_mapping_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

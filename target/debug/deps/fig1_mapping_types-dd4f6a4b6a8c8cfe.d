@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_mapping_types-dd4f6a4b6a8c8cfe.d: crates/bench/src/bin/fig1_mapping_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_mapping_types-dd4f6a4b6a8c8cfe.rmeta: crates/bench/src/bin/fig1_mapping_types.rs Cargo.toml
+
+crates/bench/src/bin/fig1_mapping_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

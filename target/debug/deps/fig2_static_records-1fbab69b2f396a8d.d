@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_static_records-1fbab69b2f396a8d.d: crates/bench/src/bin/fig2_static_records.rs
+
+/root/repo/target/debug/deps/fig2_static_records-1fbab69b2f396a8d: crates/bench/src/bin/fig2_static_records.rs
+
+crates/bench/src/bin/fig2_static_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_static_records-2f806e263f5d4502.d: crates/bench/src/bin/fig2_static_records.rs
+
+/root/repo/target/debug/deps/fig2_static_records-2f806e263f5d4502: crates/bench/src/bin/fig2_static_records.rs
+
+crates/bench/src/bin/fig2_static_records.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_static_records-96ef0159e8fe5fb0.d: crates/bench/src/bin/fig2_static_records.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_static_records-96ef0159e8fe5fb0.rmeta: crates/bench/src/bin/fig2_static_records.rs Cargo.toml
+
+crates/bench/src/bin/fig2_static_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_record_types-53a2c501710d4381.d: crates/bench/src/bin/fig3_record_types.rs
+
+/root/repo/target/debug/deps/fig3_record_types-53a2c501710d4381: crates/bench/src/bin/fig3_record_types.rs
+
+crates/bench/src/bin/fig3_record_types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_record_types-b5984d7e5d2b59f3.d: crates/bench/src/bin/fig3_record_types.rs
+
+/root/repo/target/debug/deps/fig3_record_types-b5984d7e5d2b59f3: crates/bench/src/bin/fig3_record_types.rs
+
+crates/bench/src/bin/fig3_record_types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_record_types-e806089de9b474da.d: crates/bench/src/bin/fig3_record_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_record_types-e806089de9b474da.rmeta: crates/bench/src/bin/fig3_record_types.rs Cargo.toml
+
+crates/bench/src/bin/fig3_record_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sas_snapshot-43f20e9cf3888a3e.d: crates/bench/src/bin/fig5_sas_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sas_snapshot-43f20e9cf3888a3e.rmeta: crates/bench/src/bin/fig5_sas_snapshot.rs Cargo.toml
+
+crates/bench/src/bin/fig5_sas_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sas_snapshot-5455102bfe7c4817.d: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+/root/repo/target/debug/deps/fig5_sas_snapshot-5455102bfe7c4817: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+crates/bench/src/bin/fig5_sas_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sas_snapshot-f64ff5c81971aaf5.d: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+/root/repo/target/debug/deps/fig5_sas_snapshot-f64ff5c81971aaf5: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+crates/bench/src/bin/fig5_sas_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_questions-4f38adc08062026b.d: crates/bench/src/bin/fig6_questions.rs
+
+/root/repo/target/debug/deps/fig6_questions-4f38adc08062026b: crates/bench/src/bin/fig6_questions.rs
+
+crates/bench/src/bin/fig6_questions.rs:

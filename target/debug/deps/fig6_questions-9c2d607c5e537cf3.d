@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_questions-9c2d607c5e537cf3.d: crates/bench/src/bin/fig6_questions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_questions-9c2d607c5e537cf3.rmeta: crates/bench/src/bin/fig6_questions.rs Cargo.toml
+
+crates/bench/src/bin/fig6_questions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_questions-d23dbbd69cc55ae8.d: crates/bench/src/bin/fig6_questions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_questions-d23dbbd69cc55ae8.rmeta: crates/bench/src/bin/fig6_questions.rs Cargo.toml
+
+crates/bench/src/bin/fig6_questions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_questions-fb746e552708e36e.d: crates/bench/src/bin/fig6_questions.rs
+
+/root/repo/target/debug/deps/fig6_questions-fb746e552708e36e: crates/bench/src/bin/fig6_questions.rs
+
+crates/bench/src/bin/fig6_questions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_async_limitation-21aeb2dced66087b.d: crates/bench/src/bin/fig7_async_limitation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_async_limitation-21aeb2dced66087b.rmeta: crates/bench/src/bin/fig7_async_limitation.rs Cargo.toml
+
+crates/bench/src/bin/fig7_async_limitation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

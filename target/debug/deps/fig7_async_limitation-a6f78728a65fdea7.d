@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_async_limitation-a6f78728a65fdea7.d: crates/bench/src/bin/fig7_async_limitation.rs
+
+/root/repo/target/debug/deps/fig7_async_limitation-a6f78728a65fdea7: crates/bench/src/bin/fig7_async_limitation.rs
+
+crates/bench/src/bin/fig7_async_limitation.rs:

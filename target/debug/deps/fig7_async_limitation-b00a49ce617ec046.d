@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_async_limitation-b00a49ce617ec046.d: crates/bench/src/bin/fig7_async_limitation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_async_limitation-b00a49ce617ec046.rmeta: crates/bench/src/bin/fig7_async_limitation.rs Cargo.toml
+
+crates/bench/src/bin/fig7_async_limitation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_async_limitation-ed7977d93306a840.d: crates/bench/src/bin/fig7_async_limitation.rs
+
+/root/repo/target/debug/deps/fig7_async_limitation-ed7977d93306a840: crates/bench/src/bin/fig7_async_limitation.rs
+
+crates/bench/src/bin/fig7_async_limitation.rs:

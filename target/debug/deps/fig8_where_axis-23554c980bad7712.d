@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_where_axis-23554c980bad7712.d: crates/bench/src/bin/fig8_where_axis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_where_axis-23554c980bad7712.rmeta: crates/bench/src/bin/fig8_where_axis.rs Cargo.toml
+
+crates/bench/src/bin/fig8_where_axis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_where_axis-6149f36440063b7f.d: crates/bench/src/bin/fig8_where_axis.rs
+
+/root/repo/target/debug/deps/fig8_where_axis-6149f36440063b7f: crates/bench/src/bin/fig8_where_axis.rs
+
+crates/bench/src/bin/fig8_where_axis.rs:

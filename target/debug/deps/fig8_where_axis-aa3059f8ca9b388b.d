@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_where_axis-aa3059f8ca9b388b.d: crates/bench/src/bin/fig8_where_axis.rs
+
+/root/repo/target/debug/deps/fig8_where_axis-aa3059f8ca9b388b: crates/bench/src/bin/fig8_where_axis.rs
+
+crates/bench/src/bin/fig8_where_axis.rs:

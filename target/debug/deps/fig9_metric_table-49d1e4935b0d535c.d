@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_metric_table-49d1e4935b0d535c.d: crates/bench/src/bin/fig9_metric_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_metric_table-49d1e4935b0d535c.rmeta: crates/bench/src/bin/fig9_metric_table.rs Cargo.toml
+
+crates/bench/src/bin/fig9_metric_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_metric_table-7a2b71f7d621aa13.d: crates/bench/src/bin/fig9_metric_table.rs
+
+/root/repo/target/debug/deps/fig9_metric_table-7a2b71f7d621aa13: crates/bench/src/bin/fig9_metric_table.rs
+
+crates/bench/src/bin/fig9_metric_table.rs:

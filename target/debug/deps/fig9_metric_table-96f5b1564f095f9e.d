@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_metric_table-96f5b1564f095f9e.d: crates/bench/src/bin/fig9_metric_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_metric_table-96f5b1564f095f9e.rmeta: crates/bench/src/bin/fig9_metric_table.rs Cargo.toml
+
+crates/bench/src/bin/fig9_metric_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

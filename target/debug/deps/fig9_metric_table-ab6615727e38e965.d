@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_metric_table-ab6615727e38e965.d: crates/bench/src/bin/fig9_metric_table.rs
+
+/root/repo/target/debug/deps/fig9_metric_table-ab6615727e38e965: crates/bench/src/bin/fig9_metric_table.rs
+
+crates/bench/src/bin/fig9_metric_table.rs:

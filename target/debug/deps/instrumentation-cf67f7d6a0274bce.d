@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-cf67f7d6a0274bce.d: crates/bench/benches/instrumentation.rs
+
+/root/repo/target/debug/deps/instrumentation-cf67f7d6a0274bce: crates/bench/benches/instrumentation.rs
+
+crates/bench/benches/instrumentation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instrumentation-fa314bea17159a33.d: crates/bench/benches/instrumentation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstrumentation-fa314bea17159a33.rmeta: crates/bench/benches/instrumentation.rs Cargo.toml
+
+crates/bench/benches/instrumentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

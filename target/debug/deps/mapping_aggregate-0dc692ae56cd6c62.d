@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_aggregate-0dc692ae56cd6c62.d: crates/bench/benches/mapping_aggregate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_aggregate-0dc692ae56cd6c62.rmeta: crates/bench/benches/mapping_aggregate.rs Cargo.toml
+
+crates/bench/benches/mapping_aggregate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_aggregate-3c9d417f4f7ddb41.d: crates/bench/benches/mapping_aggregate.rs
+
+/root/repo/target/debug/deps/mapping_aggregate-3c9d417f4f7ddb41: crates/bench/benches/mapping_aggregate.rs
+
+crates/bench/benches/mapping_aggregate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/node_scaling-0a55261c62de8c2d.d: crates/bench/benches/node_scaling.rs
+
+/root/repo/target/debug/deps/node_scaling-0a55261c62de8c2d: crates/bench/benches/node_scaling.rs
+
+crates/bench/benches/node_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/node_scaling-3192bbc5c93efd66.d: crates/bench/benches/node_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnode_scaling-3192bbc5c93efd66.rmeta: crates/bench/benches/node_scaling.rs Cargo.toml
+
+crates/bench/benches/node_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

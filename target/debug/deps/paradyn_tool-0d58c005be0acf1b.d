@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/paradyn_tool-0d58c005be0acf1b.d: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparadyn_tool-0d58c005be0acf1b.rmeta: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs Cargo.toml
+
+crates/paradyn/src/lib.rs:
+crates/paradyn/src/catalogue.rs:
+crates/paradyn/src/consultant.rs:
+crates/paradyn/src/daemon.rs:
+crates/paradyn/src/datamgr.rs:
+crates/paradyn/src/metrics.rs:
+crates/paradyn/src/report.rs:
+crates/paradyn/src/stream.rs:
+crates/paradyn/src/tool.rs:
+crates/paradyn/src/visi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/paradyn_tool-c60a503ec6f28368.d: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+/root/repo/target/debug/deps/paradyn_tool-c60a503ec6f28368: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+crates/paradyn/src/lib.rs:
+crates/paradyn/src/catalogue.rs:
+crates/paradyn/src/consultant.rs:
+crates/paradyn/src/daemon.rs:
+crates/paradyn/src/datamgr.rs:
+crates/paradyn/src/metrics.rs:
+crates/paradyn/src/report.rs:
+crates/paradyn/src/stream.rs:
+crates/paradyn/src/tool.rs:
+crates/paradyn/src/visi.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/paradyn_tool-d65b21ac05ad2eb9.d: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+/root/repo/target/debug/deps/libparadyn_tool-d65b21ac05ad2eb9.rlib: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+/root/repo/target/debug/deps/libparadyn_tool-d65b21ac05ad2eb9.rmeta: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+crates/paradyn/src/lib.rs:
+crates/paradyn/src/catalogue.rs:
+crates/paradyn/src/consultant.rs:
+crates/paradyn/src/daemon.rs:
+crates/paradyn/src/datamgr.rs:
+crates/paradyn/src/metrics.rs:
+crates/paradyn/src/report.rs:
+crates/paradyn/src/stream.rs:
+crates/paradyn/src/tool.rs:
+crates/paradyn/src/visi.rs:

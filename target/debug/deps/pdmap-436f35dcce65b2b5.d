@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pdmap-436f35dcce65b2b5.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libpdmap-436f35dcce65b2b5.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libpdmap-436f35dcce65b2b5.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/cost.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/mapping.rs:
+crates/core/src/model.rs:
+crates/core/src/sas/mod.rs:
+crates/core/src/sas/distributed.rs:
+crates/core/src/sas/local.rs:
+crates/core/src/sas/question.rs:
+crates/core/src/sas/shared.rs:
+crates/core/src/sas/token.rs:
+crates/core/src/util.rs:

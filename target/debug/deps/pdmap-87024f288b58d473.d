@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pdmap-87024f288b58d473.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/pdmap-87024f288b58d473: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/cost.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/mapping.rs:
+crates/core/src/model.rs:
+crates/core/src/sas/mod.rs:
+crates/core/src/sas/distributed.rs:
+crates/core/src/sas/local.rs:
+crates/core/src/sas/question.rs:
+crates/core/src/sas/shared.rs:
+crates/core/src/sas/token.rs:
+crates/core/src/util.rs:

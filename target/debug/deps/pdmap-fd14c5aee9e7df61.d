@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pdmap-fd14c5aee9e7df61.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap-fd14c5aee9e7df61.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/cost.rs crates/core/src/hierarchy.rs crates/core/src/mapping.rs crates/core/src/model.rs crates/core/src/sas/mod.rs crates/core/src/sas/distributed.rs crates/core/src/sas/local.rs crates/core/src/sas/question.rs crates/core/src/sas/shared.rs crates/core/src/sas/token.rs crates/core/src/util.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/cost.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/mapping.rs:
+crates/core/src/model.rs:
+crates/core/src/sas/mod.rs:
+crates/core/src/sas/distributed.rs:
+crates/core/src/sas/local.rs:
+crates/core/src/sas/question.rs:
+crates/core/src/sas/shared.rs:
+crates/core/src/sas/token.rs:
+crates/core/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdmap_bench-165a942c99b8878e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap_bench-165a942c99b8878e.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdmap_bench-3b5276c32a885508.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/pdmap_bench-3b5276c32a885508: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdmap_bench-c503becdc1e5f0f6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpdmap_bench-c503becdc1e5f0f6.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpdmap_bench-c503becdc1e5f0f6.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdmap_pif-786d11d9a2c228c7.d: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+/root/repo/target/debug/deps/pdmap_pif-786d11d9a2c228c7: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+crates/pif/src/lib.rs:
+crates/pif/src/apply.rs:
+crates/pif/src/error.rs:
+crates/pif/src/listing.rs:
+crates/pif/src/model.rs:
+crates/pif/src/samples.rs:
+crates/pif/src/text.rs:

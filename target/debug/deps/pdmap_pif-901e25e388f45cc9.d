@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmap_pif-901e25e388f45cc9.d: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap_pif-901e25e388f45cc9.rmeta: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs Cargo.toml
+
+crates/pif/src/lib.rs:
+crates/pif/src/apply.rs:
+crates/pif/src/error.rs:
+crates/pif/src/listing.rs:
+crates/pif/src/model.rs:
+crates/pif/src/samples.rs:
+crates/pif/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmap_pif-9963c22ae4e6eb69.d: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap_pif-9963c22ae4e6eb69.rmeta: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs Cargo.toml
+
+crates/pif/src/lib.rs:
+crates/pif/src/apply.rs:
+crates/pif/src/error.rs:
+crates/pif/src/listing.rs:
+crates/pif/src/model.rs:
+crates/pif/src/samples.rs:
+crates/pif/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

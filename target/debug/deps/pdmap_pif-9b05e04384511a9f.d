@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdmap_pif-9b05e04384511a9f.d: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+/root/repo/target/debug/deps/libpdmap_pif-9b05e04384511a9f.rlib: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+/root/repo/target/debug/deps/libpdmap_pif-9b05e04384511a9f.rmeta: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+crates/pif/src/lib.rs:
+crates/pif/src/apply.rs:
+crates/pif/src/error.rs:
+crates/pif/src/listing.rs:
+crates/pif/src/model.rs:
+crates/pif/src/samples.rs:
+crates/pif/src/text.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdmap_repro-7c1fb8a85a3737cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpdmap_repro-7c1fb8a85a3737cd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpdmap_repro-7c1fb8a85a3737cd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdmap_repro-c16f62c92872f77f.d: src/lib.rs
+
+/root/repo/target/debug/deps/pdmap_repro-c16f62c92872f77f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdmap_repro-c2425ef777767e5b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap_repro-c2425ef777767e5b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

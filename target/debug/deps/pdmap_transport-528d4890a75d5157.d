@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pdmap_transport-528d4890a75d5157.d: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmap_transport-528d4890a75d5157.rmeta: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/backend.rs:
+crates/transport/src/config.rs:
+crates/transport/src/frame.rs:
+crates/transport/src/inproc.rs:
+crates/transport/src/queue.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmap_transport-67f5d53cdd647a9d.d: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+/root/repo/target/debug/deps/libpdmap_transport-67f5d53cdd647a9d.rlib: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+/root/repo/target/debug/deps/libpdmap_transport-67f5d53cdd647a9d.rmeta: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/backend.rs:
+crates/transport/src/config.rs:
+crates/transport/src/frame.rs:
+crates/transport/src/inproc.rs:
+crates/transport/src/queue.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/wire.rs:

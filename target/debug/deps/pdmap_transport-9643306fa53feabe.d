@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdmap_transport-9643306fa53feabe.d: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+/root/repo/target/debug/deps/pdmap_transport-9643306fa53feabe: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/backend.rs:
+crates/transport/src/config.rs:
+crates/transport/src/frame.rs:
+crates/transport/src/inproc.rs:
+crates/transport/src/queue.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/wire.rs:

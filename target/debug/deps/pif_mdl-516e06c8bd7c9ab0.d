@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pif_mdl-516e06c8bd7c9ab0.d: crates/bench/benches/pif_mdl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpif_mdl-516e06c8bd7c9ab0.rmeta: crates/bench/benches/pif_mdl.rs Cargo.toml
+
+crates/bench/benches/pif_mdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

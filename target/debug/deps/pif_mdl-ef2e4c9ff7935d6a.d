@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pif_mdl-ef2e4c9ff7935d6a.d: crates/bench/benches/pif_mdl.rs
+
+/root/repo/target/debug/deps/pif_mdl-ef2e4c9ff7935d6a: crates/bench/benches/pif_mdl.rs
+
+crates/bench/benches/pif_mdl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_goldens-d1db2270bd189132.d: tests/pipeline_goldens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_goldens-d1db2270bd189132.rmeta: tests/pipeline_goldens.rs Cargo.toml
+
+tests/pipeline_goldens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

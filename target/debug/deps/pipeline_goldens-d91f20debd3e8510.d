@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_goldens-d91f20debd3e8510.d: tests/pipeline_goldens.rs
+
+/root/repo/target/debug/deps/pipeline_goldens-d91f20debd3e8510: tests/pipeline_goldens.rs
+
+tests/pipeline_goldens.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-26325ca8d39270bb.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-26325ca8d39270bb: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/question_eval-a24189ada6e08cf5.d: crates/bench/benches/question_eval.rs
+
+/root/repo/target/debug/deps/question_eval-a24189ada6e08cf5: crates/bench/benches/question_eval.rs
+
+crates/bench/benches/question_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/question_eval-c68ec2045b07fd52.d: crates/bench/benches/question_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquestion_eval-c68ec2045b07fd52.rmeta: crates/bench/benches/question_eval.rs Cargo.toml
+
+crates/bench/benches/question_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-d4a0cfa19d6afbf2.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-d4a0cfa19d6afbf2: tests/robustness.rs
+
+tests/robustness.rs:

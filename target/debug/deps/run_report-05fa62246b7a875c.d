@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_report-05fa62246b7a875c.d: crates/bench/src/bin/run_report.rs
+
+/root/repo/target/debug/deps/run_report-05fa62246b7a875c: crates/bench/src/bin/run_report.rs
+
+crates/bench/src/bin/run_report.rs:

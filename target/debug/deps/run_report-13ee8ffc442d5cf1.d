@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_report-13ee8ffc442d5cf1.d: crates/bench/src/bin/run_report.rs
+
+/root/repo/target/debug/deps/run_report-13ee8ffc442d5cf1: crates/bench/src/bin/run_report.rs
+
+crates/bench/src/bin/run_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_report-5e6890bef490c58c.d: crates/bench/src/bin/run_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_report-5e6890bef490c58c.rmeta: crates/bench/src/bin/run_report.rs Cargo.toml
+
+crates/bench/src/bin/run_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

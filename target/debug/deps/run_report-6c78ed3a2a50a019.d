@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_report-6c78ed3a2a50a019.d: crates/bench/src/bin/run_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_report-6c78ed3a2a50a019.rmeta: crates/bench/src/bin/run_report.rs Cargo.toml
+
+crates/bench/src/bin/run_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

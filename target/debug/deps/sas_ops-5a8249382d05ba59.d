@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sas_ops-5a8249382d05ba59.d: crates/bench/benches/sas_ops.rs
+
+/root/repo/target/debug/deps/sas_ops-5a8249382d05ba59: crates/bench/benches/sas_ops.rs
+
+crates/bench/benches/sas_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sas_ops-781db274ba4c1642.d: crates/bench/benches/sas_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsas_ops-781db274ba4c1642.rmeta: crates/bench/benches/sas_ops.rs Cargo.toml
+
+crates/bench/benches/sas_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

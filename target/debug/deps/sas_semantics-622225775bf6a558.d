@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sas_semantics-622225775bf6a558.d: tests/sas_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsas_semantics-622225775bf6a558.rmeta: tests/sas_semantics.rs Cargo.toml
+
+tests/sas_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sas_semantics-dbfa277bae5200e5.d: tests/sas_semantics.rs
+
+/root/repo/target/debug/deps/sas_semantics-dbfa277bae5200e5: tests/sas_semantics.rs
+
+tests/sas_semantics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sys_sim-4b0286169e818ba8.d: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+/root/repo/target/debug/deps/sys_sim-4b0286169e818ba8: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+crates/syssim/src/lib.rs:
+crates/syssim/src/db.rs:
+crates/syssim/src/kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sys_sim-6c8cc726e408a4bb.d: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+/root/repo/target/debug/deps/libsys_sim-6c8cc726e408a4bb.rlib: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+/root/repo/target/debug/deps/libsys_sim-6c8cc726e408a4bb.rmeta: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+crates/syssim/src/lib.rs:
+crates/syssim/src/db.rs:
+crates/syssim/src/kernel.rs:

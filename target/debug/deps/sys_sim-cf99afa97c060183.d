@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sys_sim-cf99afa97c060183.d: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsys_sim-cf99afa97c060183.rmeta: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs Cargo.toml
+
+crates/syssim/src/lib.rs:
+crates/syssim/src/db.rs:
+crates/syssim/src/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-3055b16201f0fc44.d: tests/transport.rs
+
+/root/repo/target/debug/deps/transport-3055b16201f0fc44: tests/transport.rs
+
+tests/transport.rs:

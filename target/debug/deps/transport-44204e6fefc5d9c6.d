@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport-44204e6fefc5d9c6.d: tests/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-44204e6fefc5d9c6.rmeta: tests/transport.rs Cargo.toml
+
+tests/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_throughput-29d83eaf00ac1d15.d: crates/bench/src/bin/transport_throughput.rs
+
+/root/repo/target/debug/deps/transport_throughput-29d83eaf00ac1d15: crates/bench/src/bin/transport_throughput.rs
+
+crates/bench/src/bin/transport_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_throughput-a490f6138ffa46c2.d: crates/bench/src/bin/transport_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_throughput-a490f6138ffa46c2.rmeta: crates/bench/src/bin/transport_throughput.rs Cargo.toml
+
+crates/bench/src/bin/transport_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_limitation-ba8971931e799404.d: examples/async_limitation.rs
+
+/root/repo/target/debug/examples/async_limitation-ba8971931e799404: examples/async_limitation.rs
+
+examples/async_limitation.rs:

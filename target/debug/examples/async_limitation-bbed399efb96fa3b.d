@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_limitation-bbed399efb96fa3b.d: examples/async_limitation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_limitation-bbed399efb96fa3b.rmeta: examples/async_limitation.rs Cargo.toml
+
+examples/async_limitation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consultant-7ebdb4ba074f15c8.d: examples/consultant.rs
+
+/root/repo/target/debug/examples/consultant-7ebdb4ba074f15c8: examples/consultant.rs
+
+examples/consultant.rs:

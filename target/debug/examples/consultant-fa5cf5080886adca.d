@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/consultant-fa5cf5080886adca.d: examples/consultant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconsultant-fa5cf5080886adca.rmeta: examples/consultant.rs Cargo.toml
+
+examples/consultant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_metrics-7c036505dfbbc382.d: examples/custom_metrics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_metrics-7c036505dfbbc382.rmeta: examples/custom_metrics.rs Cargo.toml
+
+examples/custom_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

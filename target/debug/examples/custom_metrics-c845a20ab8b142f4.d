@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_metrics-c845a20ab8b142f4.d: examples/custom_metrics.rs
+
+/root/repo/target/debug/examples/custom_metrics-c845a20ab8b142f4: examples/custom_metrics.rs
+
+examples/custom_metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_db-0d2b0a0885a68600.d: examples/distributed_db.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_db-0d2b0a0885a68600.rmeta: examples/distributed_db.rs Cargo.toml
+
+examples/distributed_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_db-9d551f6e96c54a60.d: examples/distributed_db.rs
+
+/root/repo/target/debug/examples/distributed_db-9d551f6e96c54a60: examples/distributed_db.rs
+
+examples/distributed_db.rs:

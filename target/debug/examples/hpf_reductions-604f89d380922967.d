@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hpf_reductions-604f89d380922967.d: examples/hpf_reductions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhpf_reductions-604f89d380922967.rmeta: examples/hpf_reductions.rs Cargo.toml
+
+examples/hpf_reductions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

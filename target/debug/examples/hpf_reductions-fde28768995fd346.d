@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpf_reductions-fde28768995fd346.d: examples/hpf_reductions.rs
+
+/root/repo/target/debug/examples/hpf_reductions-fde28768995fd346: examples/hpf_reductions.rs
+
+examples/hpf_reductions.rs:

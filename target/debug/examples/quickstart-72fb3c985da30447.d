@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-72fb3c985da30447.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-72fb3c985da30447: examples/quickstart.rs
+
+examples/quickstart.rs:

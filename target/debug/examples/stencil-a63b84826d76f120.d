@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil-a63b84826d76f120.d: examples/stencil.rs
+
+/root/repo/target/debug/examples/stencil-a63b84826d76f120: examples/stencil.rs
+
+examples/stencil.rs:

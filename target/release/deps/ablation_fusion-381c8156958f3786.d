@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fusion-381c8156958f3786.d: crates/bench/src/bin/ablation_fusion.rs
+
+/root/repo/target/release/deps/ablation_fusion-381c8156958f3786: crates/bench/src/bin/ablation_fusion.rs
+
+crates/bench/src/bin/ablation_fusion.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cmf_lang-e9fbaec3d5cd3c99.d: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+/root/repo/target/release/deps/libcmf_lang-e9fbaec3d5cd3c99.rlib: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+/root/repo/target/release/deps/libcmf_lang-e9fbaec3d5cd3c99.rmeta: crates/cmf/src/lib.rs crates/cmf/src/ast.rs crates/cmf/src/expand.rs crates/cmf/src/lex.rs crates/cmf/src/listing.rs crates/cmf/src/lower.rs crates/cmf/src/parse.rs crates/cmf/src/sema.rs
+
+crates/cmf/src/lib.rs:
+crates/cmf/src/ast.rs:
+crates/cmf/src/expand.rs:
+crates/cmf/src/lex.rs:
+crates/cmf/src/listing.rs:
+crates/cmf/src/lower.rs:
+crates/cmf/src/parse.rs:
+crates/cmf/src/sema.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cmrts_sim-a168a4c1d29b3bb1.d: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+/root/repo/target/release/deps/libcmrts_sim-a168a4c1d29b3bb1.rlib: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+/root/repo/target/release/deps/libcmrts_sim-a168a4c1d29b3bb1.rmeta: crates/cmrts/src/lib.rs crates/cmrts/src/cost.rs crates/cmrts/src/ir.rs crates/cmrts/src/layout.rs crates/cmrts/src/machine.rs crates/cmrts/src/points.rs crates/cmrts/src/trace.rs crates/cmrts/src/types.rs
+
+crates/cmrts/src/lib.rs:
+crates/cmrts/src/cost.rs:
+crates/cmrts/src/ir.rs:
+crates/cmrts/src/layout.rs:
+crates/cmrts/src/machine.rs:
+crates/cmrts/src/points.rs:
+crates/cmrts/src/trace.rs:
+crates/cmrts/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dyninst_sim-cc73779450ab1dfb.d: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+/root/repo/target/release/deps/libdyninst_sim-cc73779450ab1dfb.rlib: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+/root/repo/target/release/deps/libdyninst_sim-cc73779450ab1dfb.rmeta: crates/dyninst/src/lib.rs crates/dyninst/src/manager.rs crates/dyninst/src/mdl/mod.rs crates/dyninst/src/mdl/ast.rs crates/dyninst/src/mdl/lex.rs crates/dyninst/src/mdl/parse.rs crates/dyninst/src/metrics.rs crates/dyninst/src/point.rs crates/dyninst/src/primitive.rs crates/dyninst/src/snippet.rs
+
+crates/dyninst/src/lib.rs:
+crates/dyninst/src/manager.rs:
+crates/dyninst/src/mdl/mod.rs:
+crates/dyninst/src/mdl/ast.rs:
+crates/dyninst/src/mdl/lex.rs:
+crates/dyninst/src/mdl/parse.rs:
+crates/dyninst/src/metrics.rs:
+crates/dyninst/src/point.rs:
+crates/dyninst/src/primitive.rs:
+crates/dyninst/src/snippet.rs:

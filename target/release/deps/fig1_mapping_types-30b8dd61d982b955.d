@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_mapping_types-30b8dd61d982b955.d: crates/bench/src/bin/fig1_mapping_types.rs
+
+/root/repo/target/release/deps/fig1_mapping_types-30b8dd61d982b955: crates/bench/src/bin/fig1_mapping_types.rs
+
+crates/bench/src/bin/fig1_mapping_types.rs:

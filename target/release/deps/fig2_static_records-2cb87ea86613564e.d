@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_static_records-2cb87ea86613564e.d: crates/bench/src/bin/fig2_static_records.rs
+
+/root/repo/target/release/deps/fig2_static_records-2cb87ea86613564e: crates/bench/src/bin/fig2_static_records.rs
+
+crates/bench/src/bin/fig2_static_records.rs:

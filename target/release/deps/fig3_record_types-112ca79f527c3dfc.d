@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_record_types-112ca79f527c3dfc.d: crates/bench/src/bin/fig3_record_types.rs
+
+/root/repo/target/release/deps/fig3_record_types-112ca79f527c3dfc: crates/bench/src/bin/fig3_record_types.rs
+
+crates/bench/src/bin/fig3_record_types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_sas_snapshot-39b19c5007ca102c.d: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+/root/repo/target/release/deps/fig5_sas_snapshot-39b19c5007ca102c: crates/bench/src/bin/fig5_sas_snapshot.rs
+
+crates/bench/src/bin/fig5_sas_snapshot.rs:

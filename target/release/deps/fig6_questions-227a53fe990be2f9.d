@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_questions-227a53fe990be2f9.d: crates/bench/src/bin/fig6_questions.rs
+
+/root/repo/target/release/deps/fig6_questions-227a53fe990be2f9: crates/bench/src/bin/fig6_questions.rs
+
+crates/bench/src/bin/fig6_questions.rs:

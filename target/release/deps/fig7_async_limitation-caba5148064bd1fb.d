@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_async_limitation-caba5148064bd1fb.d: crates/bench/src/bin/fig7_async_limitation.rs
+
+/root/repo/target/release/deps/fig7_async_limitation-caba5148064bd1fb: crates/bench/src/bin/fig7_async_limitation.rs
+
+crates/bench/src/bin/fig7_async_limitation.rs:

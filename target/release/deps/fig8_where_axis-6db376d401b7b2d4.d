@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_where_axis-6db376d401b7b2d4.d: crates/bench/src/bin/fig8_where_axis.rs
+
+/root/repo/target/release/deps/fig8_where_axis-6db376d401b7b2d4: crates/bench/src/bin/fig8_where_axis.rs
+
+crates/bench/src/bin/fig8_where_axis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_metric_table-4b76050ced65e3f4.d: crates/bench/src/bin/fig9_metric_table.rs
+
+/root/repo/target/release/deps/fig9_metric_table-4b76050ced65e3f4: crates/bench/src/bin/fig9_metric_table.rs
+
+crates/bench/src/bin/fig9_metric_table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/paradyn_tool-a731a88c401c58c8.d: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+/root/repo/target/release/deps/libparadyn_tool-a731a88c401c58c8.rlib: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+/root/repo/target/release/deps/libparadyn_tool-a731a88c401c58c8.rmeta: crates/paradyn/src/lib.rs crates/paradyn/src/catalogue.rs crates/paradyn/src/consultant.rs crates/paradyn/src/daemon.rs crates/paradyn/src/datamgr.rs crates/paradyn/src/metrics.rs crates/paradyn/src/report.rs crates/paradyn/src/stream.rs crates/paradyn/src/tool.rs crates/paradyn/src/visi.rs
+
+crates/paradyn/src/lib.rs:
+crates/paradyn/src/catalogue.rs:
+crates/paradyn/src/consultant.rs:
+crates/paradyn/src/daemon.rs:
+crates/paradyn/src/datamgr.rs:
+crates/paradyn/src/metrics.rs:
+crates/paradyn/src/report.rs:
+crates/paradyn/src/stream.rs:
+crates/paradyn/src/tool.rs:
+crates/paradyn/src/visi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pdmap_bench-66c2e3a07760d991.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libpdmap_bench-66c2e3a07760d991.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libpdmap_bench-66c2e3a07760d991.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

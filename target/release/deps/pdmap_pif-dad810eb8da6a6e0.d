@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pdmap_pif-dad810eb8da6a6e0.d: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+/root/repo/target/release/deps/libpdmap_pif-dad810eb8da6a6e0.rlib: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+/root/repo/target/release/deps/libpdmap_pif-dad810eb8da6a6e0.rmeta: crates/pif/src/lib.rs crates/pif/src/apply.rs crates/pif/src/error.rs crates/pif/src/listing.rs crates/pif/src/model.rs crates/pif/src/samples.rs crates/pif/src/text.rs
+
+crates/pif/src/lib.rs:
+crates/pif/src/apply.rs:
+crates/pif/src/error.rs:
+crates/pif/src/listing.rs:
+crates/pif/src/model.rs:
+crates/pif/src/samples.rs:
+crates/pif/src/text.rs:

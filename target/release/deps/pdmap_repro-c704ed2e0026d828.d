@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pdmap_repro-c704ed2e0026d828.d: src/lib.rs
+
+/root/repo/target/release/deps/libpdmap_repro-c704ed2e0026d828.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpdmap_repro-c704ed2e0026d828.rmeta: src/lib.rs
+
+src/lib.rs:

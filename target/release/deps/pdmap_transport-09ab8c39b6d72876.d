@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pdmap_transport-09ab8c39b6d72876.d: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+/root/repo/target/release/deps/libpdmap_transport-09ab8c39b6d72876.rlib: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+/root/repo/target/release/deps/libpdmap_transport-09ab8c39b6d72876.rmeta: crates/transport/src/lib.rs crates/transport/src/backend.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/inproc.rs crates/transport/src/queue.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs crates/transport/src/wire.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/backend.rs:
+crates/transport/src/config.rs:
+crates/transport/src/frame.rs:
+crates/transport/src/inproc.rs:
+crates/transport/src/queue.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_report-7c2a74ec71fcfd8b.d: crates/bench/src/bin/run_report.rs
+
+/root/repo/target/release/deps/run_report-7c2a74ec71fcfd8b: crates/bench/src/bin/run_report.rs
+
+crates/bench/src/bin/run_report.rs:

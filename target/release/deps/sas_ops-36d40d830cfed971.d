@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sas_ops-36d40d830cfed971.d: crates/bench/benches/sas_ops.rs
+
+/root/repo/target/release/deps/sas_ops-36d40d830cfed971: crates/bench/benches/sas_ops.rs
+
+crates/bench/benches/sas_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sas_ops-f121332cb556ac3c.d: crates/bench/benches/sas_ops.rs
+
+/root/repo/target/release/deps/sas_ops-f121332cb556ac3c: crates/bench/benches/sas_ops.rs
+
+crates/bench/benches/sas_ops.rs:

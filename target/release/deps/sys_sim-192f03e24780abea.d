@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sys_sim-192f03e24780abea.d: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+/root/repo/target/release/deps/libsys_sim-192f03e24780abea.rlib: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+/root/repo/target/release/deps/libsys_sim-192f03e24780abea.rmeta: crates/syssim/src/lib.rs crates/syssim/src/db.rs crates/syssim/src/kernel.rs
+
+crates/syssim/src/lib.rs:
+crates/syssim/src/db.rs:
+crates/syssim/src/kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_throughput-c3a40b8c7d541c25.d: crates/bench/src/bin/transport_throughput.rs
+
+/root/repo/target/release/deps/transport_throughput-c3a40b8c7d541c25: crates/bench/src/bin/transport_throughput.rs
+
+crates/bench/src/bin/transport_throughput.rs:

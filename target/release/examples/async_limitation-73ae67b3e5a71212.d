@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/async_limitation-73ae67b3e5a71212.d: examples/async_limitation.rs
+
+/root/repo/target/release/examples/async_limitation-73ae67b3e5a71212: examples/async_limitation.rs
+
+examples/async_limitation.rs:

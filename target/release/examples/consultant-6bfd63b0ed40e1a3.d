@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/consultant-6bfd63b0ed40e1a3.d: examples/consultant.rs
+
+/root/repo/target/release/examples/consultant-6bfd63b0ed40e1a3: examples/consultant.rs
+
+examples/consultant.rs:

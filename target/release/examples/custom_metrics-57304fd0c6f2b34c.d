@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_metrics-57304fd0c6f2b34c.d: examples/custom_metrics.rs
+
+/root/repo/target/release/examples/custom_metrics-57304fd0c6f2b34c: examples/custom_metrics.rs
+
+examples/custom_metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_db-91737cc3d94b3b42.d: examples/distributed_db.rs
+
+/root/repo/target/release/examples/distributed_db-91737cc3d94b3b42: examples/distributed_db.rs
+
+examples/distributed_db.rs:

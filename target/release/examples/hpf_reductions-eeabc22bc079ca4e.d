@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hpf_reductions-eeabc22bc079ca4e.d: examples/hpf_reductions.rs
+
+/root/repo/target/release/examples/hpf_reductions-eeabc22bc079ca4e: examples/hpf_reductions.rs
+
+examples/hpf_reductions.rs:

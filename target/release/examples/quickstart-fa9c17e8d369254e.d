@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fa9c17e8d369254e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fa9c17e8d369254e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stencil-98cf6ac9a9264489.d: examples/stencil.rs
+
+/root/repo/target/release/examples/stencil-98cf6ac9a9264489: examples/stencil.rs
+
+examples/stencil.rs:

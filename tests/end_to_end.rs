@@ -44,12 +44,44 @@ fn counters_match_ground_truth_trace() {
         m.trace().events().iter().filter(|e| f(e)).count() as f64
     };
     let expected = [
-        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Sum, .. })),
-        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Max, .. })),
-        count(&|e| matches!(e, Event::Reduce { kind: ReduceKind::Min, .. })),
+        count(&|e| {
+            matches!(
+                e,
+                Event::Reduce {
+                    kind: ReduceKind::Sum,
+                    ..
+                }
+            )
+        }),
+        count(&|e| {
+            matches!(
+                e,
+                Event::Reduce {
+                    kind: ReduceKind::Max,
+                    ..
+                }
+            )
+        }),
+        count(&|e| {
+            matches!(
+                e,
+                Event::Reduce {
+                    kind: ReduceKind::Min,
+                    ..
+                }
+            )
+        }),
         count(&|e| matches!(e, Event::Transform { kind: "rotate", .. })),
         count(&|e| matches!(e, Event::Transform { kind: "shift", .. })),
-        count(&|e| matches!(e, Event::Transform { kind: "transpose", .. })),
+        count(&|e| {
+            matches!(
+                e,
+                Event::Transform {
+                    kind: "transpose",
+                    ..
+                }
+            )
+        }),
         count(&|e| matches!(e, Event::Scan { .. })),
         count(&|e| matches!(e, Event::Sort { .. })),
         summary.messages as f64,
@@ -85,7 +117,11 @@ END
     assert_eq!(m.scalar("S"), Some(sum));
     assert_eq!(m.scalar("MX"), Some(298.0));
     assert_eq!(m.scalar("MN"), Some(1.0));
-    assert_eq!(m.scalar("LAST"), Some(sum), "scan's last element is the sum");
+    assert_eq!(
+        m.scalar("LAST"),
+        Some(sum),
+        "scan's last element is the sum"
+    );
 }
 
 #[test]
@@ -182,7 +218,11 @@ END
         .data()
         .map_upward(&measured, AssignPolicy::Merge)
         .unwrap();
-    assert!(res.unmapped.is_empty(), "all blocks map: {:?}", res.unmapped);
+    assert!(
+        res.unmapped.is_empty(),
+        "all blocks map: {:?}",
+        res.unmapped
+    );
     // Block 1 (fused fills) maps to the merged {line3, line4}; block 2 (the
     // reduction) to line5.
     let cmf = ns.find_level("CM Fortran").unwrap();
@@ -282,7 +322,16 @@ fn where_axis_matches_figure8_after_run() {
     let mut m = tool.new_machine().unwrap();
     m.run();
     let axis = tool.render_where_axis();
-    for needle in ["CMFarrays", "CORNER", "TOT", "SRM", "WGHT", "SCL", "TMP", "sub#3"] {
+    for needle in [
+        "CMFarrays",
+        "CORNER",
+        "TOT",
+        "SRM",
+        "WGHT",
+        "SCL",
+        "TMP",
+        "sub#3",
+    ] {
         assert!(axis.contains(needle), "missing {needle} in:\n{axis}");
     }
 }

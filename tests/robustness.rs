@@ -149,7 +149,14 @@ fn division_by_zero_propagates_as_float_semantics() {
     // the data like it would on real hardware.
     let mut b = ProgramBuilder::new("div");
     let a = b.alloc("A", &[4], Distribution::Block);
-    b.simple_ncb("f", &[a], NodeOp::Fill { dst: a, value: Operand::Const(1.0) });
+    b.simple_ncb(
+        "f",
+        &[a],
+        NodeOp::Fill {
+            dst: a,
+            value: Operand::Const(1.0),
+        },
+    );
     b.simple_ncb(
         "d",
         &[a],
@@ -162,8 +169,8 @@ fn division_by_zero_propagates_as_float_semantics() {
     );
     let ns = Namespace::new();
     let mgr = Arc::new(dyninst_sim::InstrumentationManager::new());
-    let mut m = cmrts_sim::Machine::new(MachineConfig::default(), ns, mgr, b.build().unwrap())
-        .unwrap();
+    let mut m =
+        cmrts_sim::Machine::new(MachineConfig::default(), ns, mgr, b.build().unwrap()).unwrap();
     m.run();
     assert!(m.gather(a).iter().all(|v| v.is_infinite()));
 }
@@ -173,7 +180,10 @@ fn consultant_on_quiet_program_confirms_nothing_interesting() {
     // A compute-dominated program on one node: no communication, sort,
     // or IO hypothesis should survive a high threshold (tiny programs are
     // legitimately dispatch-dominated, so give it real work).
-    let tool = tool_for("PROGRAM CALM\nREAL A(65536)\nA = 1.0\nA = A * 2.0\nA = A + 1.0\nEND\n", 1);
+    let tool = tool_for(
+        "PROGRAM CALM\nREAL A(65536)\nA = 1.0\nA = A * 2.0\nA = A + 1.0\nEND\n",
+        1,
+    );
     let results = paradyn_tool::consultant::search(
         &tool,
         &paradyn_tool::consultant::ConsultantConfig {
