@@ -25,7 +25,28 @@ use pdmap_transport::{
     TransportStats, WirePayload,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Span sites for the SAS hot operations, interned once (see
+/// `pdmap-obs`). Sentences about the tool's own SAS activity flow from
+/// here into the `OBS_MDL` self-mapping.
+struct SasObs {
+    push: pdmap_obs::SpanSite,
+    pop: pdmap_obs::SpanSite,
+    evaluate: pdmap_obs::SpanSite,
+    deliver: pdmap_obs::SpanSite,
+}
+
+fn sas_obs() -> &'static SasObs {
+    static OBS: OnceLock<SasObs> = OnceLock::new();
+    OBS.get_or_init(|| SasObs {
+        push: pdmap_obs::span_site("sas", "push"),
+        pop: pdmap_obs::span_site("sas", "pop"),
+        evaluate: pdmap_obs::span_site("sas", "evaluate"),
+        deliver: pdmap_obs::span_site("sas", "deliver"),
+    })
+}
 
 /// Forward sentences matching `pattern` from one node's SAS to `to_node`'s.
 #[derive(Clone, Debug)]
@@ -154,12 +175,14 @@ impl DistributedSas {
 
     /// Activates `sid` on `node`, forwarding to any interested remote SAS.
     pub fn activate(&self, node: usize, sid: SentenceId) {
+        let _span = pdmap_obs::span(&sas_obs().push);
         self.sharded.node(node).activate(sid);
         self.forward(node, sid, SasOp::Activate);
     }
 
     /// Deactivates `sid` on `node`, forwarding the deactivation too.
     pub fn deactivate(&self, node: usize, sid: SentenceId) {
+        let _span = pdmap_obs::span(&sas_obs().pop);
         self.sharded.node(node).deactivate(sid);
         self.forward(node, sid, SasOp::Deactivate);
     }
@@ -192,6 +215,13 @@ impl DistributedSas {
     /// message that was sent but is still in flight is NOT delivered by
     /// this call — use [`DistributedSas::pump_settled`] to wait for it.
     pub fn pump_node(&self, node: usize) -> usize {
+        // Timed manually: pump_settled polls this in a tight loop, so an
+        // empty pass records nothing (only actual deliveries are spans).
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         let mut delivered = 0;
         while let Ok(Some(frame)) = self.links[node].server.try_recv() {
             let msg = SasMessage::from_frame(&frame)
@@ -205,6 +235,12 @@ impl DistributedSas {
         }
         self.messages_delivered
             .fetch_add(delivered as u64, Ordering::Relaxed);
+        if delivered > 0 {
+            if let Some(t0) = t0 {
+                let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                pdmap_obs::record_span(&sas_obs().deliver, t0, dur);
+            }
+        }
         delivered
     }
 
@@ -268,6 +304,7 @@ impl DistributedSas {
     /// Is `qid` satisfied on `node` (given the forwarded proxies delivered
     /// so far)?
     pub fn satisfied_on(&self, node: usize, qid: QuestionId) -> bool {
+        let _span = pdmap_obs::span(&sas_obs().evaluate);
         self.sharded.satisfied_on(node, qid)
     }
 

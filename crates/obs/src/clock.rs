@@ -1,0 +1,36 @@
+//! Monotonic nanosecond clock shared by every recorder.
+//!
+//! All timestamps in this crate are nanoseconds since a process-wide
+//! origin (the first call to [`now_ns`]). Using one origin keeps spans
+//! from different threads on a single comparable timeline, which is what
+//! the Chrome trace exporter needs.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process-wide origin. Monotonic and
+/// comparable across threads.
+pub fn now_ns() -> u64 {
+    origin().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_shared_across_threads() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        let h = std::thread::spawn(now_ns);
+        let c = h.join().unwrap();
+        let d = now_ns();
+        assert!(d >= c || d >= a, "one origin serves every thread");
+    }
+}

@@ -1,0 +1,296 @@
+//! Named counters and log2-bucketed latency histograms.
+//!
+//! Both are plain atomics: recording is lock-free and wait-free, and a
+//! snapshot is just a relaxed load of every cell — writers are never
+//! stopped, so a snapshot taken mid-burst is approximate in the same way
+//! the transport's [`StatsCell`](../../pdmap_transport/stats/struct.StatsCell.html)
+//! snapshots are.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`, so `u64::MAX` lands
+/// in bucket 64.
+pub const BUCKETS: usize = 65;
+
+/// Returns the bucket index for a value.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (`0` for bucket 0, else `2^(i-1)`).
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing named event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free histogram with power-of-two buckets, plus exact count, sum,
+/// min and max. Built for latencies in nanoseconds but unit-agnostic.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy. Writers are not stopped, so totals may trail
+    /// bucket counts by in-flight updates; never torn per cell.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wraps on overflow; latencies in ns
+    /// would need ~584 years of recorded time to wrap).
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket holding the `q`-th observation, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The difference `self - earlier`, for windowed measurements over a
+    /// shared histogram (e.g. one bench cell). Saturates at zero so a
+    /// mismatched pair cannot underflow.
+    pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i]));
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            // min/max cannot be windowed from totals; keep the later view.
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_max() {
+        // The three edge values the bucketing must place exactly.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Boundaries between buckets.
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert_eq!(bucket_of(1 << 63), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_edges() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 + 1 + MAX wraps the sum; count is exact regardless.
+        assert_eq!(s.sum, 0u64.wrapping_add(1).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4 (8..=15)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10 (512..=1023)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 15);
+        assert_eq!(s.quantile(0.99), 1000); // clamped to observed max
+        assert_eq!(s.mean(), (90 * 10 + 10 * 1000) / 100);
+        assert_eq!(s.quantile(0.0), 15); // first observation's bucket
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn minus_gives_window() {
+        let h = Histogram::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(5);
+        h.record(7);
+        let win = h.snapshot().minus(&before);
+        assert_eq!(win.count, 2);
+        assert_eq!(win.sum, 12);
+        assert_eq!(win.buckets[bucket_of(5)], 2);
+    }
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+}

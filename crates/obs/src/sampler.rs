@@ -1,0 +1,200 @@
+//! Drop-driven adaptive sampling interval (MIAD).
+//!
+//! Closes the ROADMAP backpressure item: instead of letting a saturated
+//! transport drop sample frames blindly, the producer consults an
+//! [`AdaptiveSampler`] fed with the transport's cumulative
+//! `TransportStats.drops` counter. When drops rise inside an observation
+//! window the sampling interval grows multiplicatively (shedding load
+//! fast); after a clean window it shrinks additively (probing back
+//! towards full resolution). The multiplicative-increase /
+//! additive-decrease shape is deliberately the inverse of TCP's AIMD —
+//! here the *interval* is the controlled quantity, so MI on congestion
+//! and AD on recovery yields the same conservative backoff.
+
+/// Tuning for [`AdaptiveSampler`]. All intervals are in the caller's
+/// unit (steps, frames, ns — the sampler only compares and scales them).
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Interval when the transport is healthy; also the floor.
+    pub base_interval: u64,
+    /// Hard ceiling for the interval.
+    pub max_interval: u64,
+    /// Multiplier applied when a window saw new drops (> 1).
+    pub increase_factor: u64,
+    /// Amount subtracted after a clean window.
+    pub decrease_step: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            base_interval: 1,
+            max_interval: 1024,
+            increase_factor: 2,
+            decrease_step: 1,
+        }
+    }
+}
+
+/// One observation window's outcome, kept for bench trajectories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplerWindow {
+    /// Cumulative drops reported at the end of the window.
+    pub drops_total: u64,
+    /// New drops inside the window.
+    pub drops_delta: u64,
+    /// Interval chosen for the next window.
+    pub interval: u64,
+}
+
+/// Multiplicative-increase / additive-decrease sampling interval driven
+/// by a cumulative drop counter.
+#[derive(Clone, Debug)]
+pub struct AdaptiveSampler {
+    config: SamplerConfig,
+    interval: u64,
+    /// Last seen cumulative drops; `None` until the first observation,
+    /// which only sets the baseline (a pre-existing drop total must not
+    /// count as a fresh spike).
+    last_drops: Option<u64>,
+    windows: Vec<SamplerWindow>,
+}
+
+impl AdaptiveSampler {
+    /// Creates a sampler starting at `config.base_interval`.
+    pub fn new(config: SamplerConfig) -> Self {
+        let config = SamplerConfig {
+            base_interval: config.base_interval.max(1),
+            max_interval: config.max_interval.max(config.base_interval.max(1)),
+            increase_factor: config.increase_factor.max(2),
+            decrease_step: config.decrease_step.max(1),
+        };
+        Self {
+            interval: config.base_interval,
+            config,
+            last_drops: None,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The interval to sample at right now.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The active (normalised) configuration.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Feeds the cumulative drop counter at the end of an observation
+    /// window and returns the interval for the next window. The first
+    /// call establishes the baseline without reacting.
+    pub fn observe_drops(&mut self, drops_total: u64) -> u64 {
+        let delta = match self.last_drops {
+            None => 0,
+            Some(prev) => drops_total.saturating_sub(prev),
+        };
+        self.last_drops = Some(drops_total);
+        if delta > 0 {
+            self.interval = self
+                .interval
+                .saturating_mul(self.config.increase_factor)
+                .min(self.config.max_interval);
+        } else {
+            self.interval = self
+                .interval
+                .saturating_sub(self.config.decrease_step)
+                .max(self.config.base_interval);
+        }
+        self.windows.push(SamplerWindow {
+            drops_total,
+            drops_delta: delta,
+            interval: self.interval,
+        });
+        self.interval
+    }
+
+    /// The per-window trajectory observed so far.
+    pub fn windows(&self) -> &[SamplerWindow] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_sets_baseline_without_spiking() {
+        let mut s = AdaptiveSampler::new(SamplerConfig::default());
+        assert_eq!(s.interval(), 1);
+        // A large pre-existing total is baseline, not a fresh spike.
+        assert_eq!(s.observe_drops(10_000), 1);
+    }
+
+    #[test]
+    fn drop_ramp_lengthens_then_recovers() {
+        let mut s = AdaptiveSampler::new(SamplerConfig {
+            base_interval: 2,
+            max_interval: 64,
+            increase_factor: 2,
+            decrease_step: 3,
+        });
+        // Baseline first, then a synthetic ramp: drops grow each window.
+        s.observe_drops(0);
+        let mut total = 0;
+        let mut last = s.interval();
+        for step in [5u64, 9, 2, 40] {
+            total += step;
+            let next = s.observe_drops(total);
+            assert!(next > last, "rising drops must lengthen the interval");
+            last = next;
+        }
+        assert_eq!(last, 32, "2 -> 4 -> 8 -> 16 -> 32");
+        // Saturation at the ceiling.
+        total += 1;
+        assert_eq!(s.observe_drops(total), 64);
+        total += 1;
+        assert_eq!(s.observe_drops(total), 64, "capped at max_interval");
+        // Recovery: clean windows walk back additively to the floor.
+        let mut seq = Vec::new();
+        for _ in 0..25 {
+            seq.push(s.observe_drops(total));
+        }
+        assert_eq!(seq[0], 61);
+        assert_eq!(seq[1], 58);
+        assert_eq!(*seq.last().unwrap(), 2, "returns to base interval");
+        assert!(seq.windows(2).all(|w| w[1] <= w[0]), "monotone recovery");
+    }
+
+    #[test]
+    fn trajectory_is_recorded() {
+        let mut s = AdaptiveSampler::new(SamplerConfig::default());
+        s.observe_drops(0);
+        s.observe_drops(4);
+        s.observe_drops(4);
+        let w = s.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].drops_delta, 0);
+        assert_eq!(w[1].drops_delta, 4);
+        assert_eq!(w[1].interval, 2);
+        assert_eq!(w[2].drops_delta, 0);
+        assert_eq!(w[2].interval, 1);
+    }
+
+    #[test]
+    fn config_is_normalised() {
+        let s = AdaptiveSampler::new(SamplerConfig {
+            base_interval: 0,
+            max_interval: 0,
+            increase_factor: 0,
+            decrease_step: 0,
+        });
+        let c = s.config();
+        assert_eq!(c.base_interval, 1);
+        assert!(c.max_interval >= c.base_interval);
+        assert!(c.increase_factor >= 2);
+        assert!(c.decrease_step >= 1);
+    }
+}

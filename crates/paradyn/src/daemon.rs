@@ -26,7 +26,21 @@ use pdmap_transport::{
     TransportStats, WirePayload,
 };
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Span sites for the daemon channel, interned once (see `pdmap-obs`).
+struct DaemonObs {
+    send: pdmap_obs::SpanSite,
+    deliver: pdmap_obs::SpanSite,
+}
+
+fn daemon_obs() -> &'static DaemonObs {
+    static OBS: OnceLock<DaemonObs> = OnceLock::new();
+    OBS.get_or_init(|| DaemonObs {
+        send: pdmap_obs::span_site("daemon", "send"),
+        deliver: pdmap_obs::span_site("daemon", "deliver"),
+    })
+}
 
 /// A message on the daemon channel.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,17 +76,75 @@ pub enum DaemonMsg {
     },
 }
 
-/// A decode failure.
+/// A decode failure on the daemon channel, classified so error *rates*
+/// per failure mode are observable, not just totals. Every construction
+/// bumps the `daemon.error.<kind>` counter in `pdmap-obs`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ProtoError(pub String);
+pub enum DaemonError {
+    /// A required field (or message kind) was absent.
+    MissingField(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// An unrecognised distribution name.
+    BadDistribution(String),
+    /// An invalid escape sequence inside a text field.
+    BadEscape(String),
+    /// An unknown message kind or payload tag.
+    UnknownKind(String),
+    /// A binary payload codec failure (wrong frame kind, truncation,
+    /// trailing garbage).
+    Codec(String),
+}
 
-impl fmt::Display for ProtoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "daemon protocol error: {}", self.0)
+/// Source-compatibility alias for the pre-enum error name.
+pub type ProtoError = DaemonError;
+
+impl DaemonError {
+    /// Stable lowercase variant name, used to key the per-variant error
+    /// counter (`daemon.error.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DaemonError::MissingField(_) => "missing_field",
+            DaemonError::BadNumber(_) => "bad_number",
+            DaemonError::BadDistribution(_) => "bad_distribution",
+            DaemonError::BadEscape(_) => "bad_escape",
+            DaemonError::UnknownKind(_) => "unknown_kind",
+            DaemonError::Codec(_) => "codec",
+        }
+    }
+
+    /// The human-readable detail carried by the variant.
+    pub fn detail(&self) -> &str {
+        match self {
+            DaemonError::MissingField(s)
+            | DaemonError::BadNumber(s)
+            | DaemonError::BadDistribution(s)
+            | DaemonError::BadEscape(s)
+            | DaemonError::UnknownKind(s)
+            | DaemonError::Codec(s) => s,
+        }
     }
 }
 
-impl std::error::Error for ProtoError {}
+/// Bumps the per-variant error counter and passes the error through —
+/// every `DaemonError` construction site routes here.
+fn track(e: DaemonError) -> DaemonError {
+    pdmap_obs::counter(&format!("daemon.error.{}", e.kind())).incr();
+    e
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "daemon protocol error ({}): {}",
+            self.kind(),
+            self.detail()
+        )
+    }
+}
+
+impl std::error::Error for DaemonError {}
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\")
@@ -93,10 +165,14 @@ fn unescape(s: &str) -> Result<String, ProtoError> {
                 Some('n') => out.push('\n'),
                 Some('\\') => out.push('\\'),
                 Some(other) => {
-                    return Err(ProtoError(format!("invalid escape sequence '\\{other}'")));
+                    return Err(track(DaemonError::BadEscape(format!(
+                        "invalid escape sequence '\\{other}'"
+                    ))));
                 }
                 None => {
-                    return Err(ProtoError("trailing backslash in field".into()));
+                    return Err(track(DaemonError::BadEscape(
+                        "trailing backslash in field".into(),
+                    )));
                 }
             }
         } else {
@@ -145,17 +221,20 @@ impl DaemonMsg {
         let mut parts = split_unescaped(line);
         let kind = parts
             .next()
-            .ok_or_else(|| ProtoError("empty message".into()))?;
+            .ok_or_else(|| track(DaemonError::MissingField("message kind".into())))?;
         match kind.as_str() {
             "ALLOC" => {
                 let id: u32 = next_field(&mut parts, "id")?
                     .parse()
-                    .map_err(|_| ProtoError("bad id".into()))?;
+                    .map_err(|_| track(DaemonError::BadNumber("id".into())))?;
                 let name = unescape(&next_field(&mut parts, "name")?)?;
                 let extents = parse_list(&next_field(&mut parts, "extents")?, "extent")?;
                 let dist_s = next_field(&mut parts, "dist")?;
-                let dist = Distribution::parse(&dist_s)
-                    .ok_or_else(|| ProtoError(format!("bad distribution '{dist_s}'")))?;
+                let dist = Distribution::parse(&dist_s).ok_or_else(|| {
+                    track(DaemonError::BadDistribution(format!(
+                        "bad distribution '{dist_s}'"
+                    )))
+                })?;
                 let subs_s = next_field(&mut parts, "subgrids")?;
                 let mut subgrids = Vec::new();
                 for part in subs_s.split(',').filter(|p| !p.is_empty()) {
@@ -176,7 +255,7 @@ impl DaemonMsg {
             "FREE" => {
                 let id: u32 = next_field(&mut parts, "id")?
                     .parse()
-                    .map_err(|_| ProtoError("bad id".into()))?;
+                    .map_err(|_| track(DaemonError::BadNumber("id".into())))?;
                 Ok(DaemonMsg::ArrayFreed { id })
             }
             "SAMPLE" => {
@@ -184,10 +263,10 @@ impl DaemonMsg {
                 let focus = unescape(&next_field(&mut parts, "focus")?)?;
                 let wall: u64 = next_field(&mut parts, "wall")?
                     .parse()
-                    .map_err(|_| ProtoError("bad wall tick".into()))?;
+                    .map_err(|_| track(DaemonError::BadNumber("wall tick".into())))?;
                 let value: f64 = next_field(&mut parts, "value")?
                     .parse()
-                    .map_err(|_| ProtoError("bad value".into()))?;
+                    .map_err(|_| track(DaemonError::BadNumber("value".into())))?;
                 Ok(DaemonMsg::Sample {
                     metric,
                     focus,
@@ -195,7 +274,9 @@ impl DaemonMsg {
                     value,
                 })
             }
-            other => Err(ProtoError(format!("unknown message kind '{other}'"))),
+            other => Err(track(DaemonError::UnknownKind(format!(
+                "unknown message kind '{other}'"
+            )))),
         }
     }
 }
@@ -287,26 +368,26 @@ fn split_unescaped(line: &str) -> impl Iterator<Item = String> + '_ {
     line.split('|').map(str::to_string)
 }
 
-fn next_field(parts: &mut impl Iterator<Item = String>, what: &str) -> Result<String, ProtoError> {
+fn next_field(parts: &mut impl Iterator<Item = String>, what: &str) -> Result<String, DaemonError> {
     parts
         .next()
-        .ok_or_else(|| ProtoError(format!("missing field '{what}'")))
+        .ok_or_else(|| track(DaemonError::MissingField(format!("missing field '{what}'"))))
 }
 
-fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, ProtoError> {
+fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, DaemonError> {
     s.split(',')
         .filter(|p| !p.is_empty())
         .map(|p| {
             p.parse()
-                .map_err(|_| ProtoError(format!("bad {what} '{p}'")))
+                .map_err(|_| track(DaemonError::BadNumber(format!("bad {what} '{p}'"))))
         })
         .collect()
 }
 
-fn parse_sub(s: Option<&str>, what: &str) -> Result<usize, ProtoError> {
-    s.ok_or_else(|| ProtoError(format!("missing subgrid {what}")))?
+fn parse_sub(s: Option<&str>, what: &str) -> Result<usize, DaemonError> {
+    s.ok_or_else(|| track(DaemonError::MissingField(format!("missing subgrid {what}"))))?
         .parse()
-        .map_err(|_| ProtoError(format!("bad subgrid {what}")))
+        .map_err(|_| track(DaemonError::BadNumber(format!("bad subgrid {what}"))))
 }
 
 /// The application side: encodes mapping information onto the wire. Install
@@ -317,6 +398,7 @@ pub struct InstrLibEndpoint {
 
 impl MappingSink for InstrLibEndpoint {
     fn array_allocated(&self, info: &ArrayAllocInfo) {
+        let _span = pdmap_obs::span(&daemon_obs().send);
         let msg = DaemonMsg::ArrayAllocated {
             id: info.array.0,
             name: info.name.clone(),
@@ -328,6 +410,7 @@ impl MappingSink for InstrLibEndpoint {
     }
 
     fn array_freed(&self, array: ArrayId) {
+        let _span = pdmap_obs::span(&daemon_obs().send);
         let _ = send_wire(&*self.tx, &DaemonMsg::ArrayFreed { id: array.0 });
     }
 }
@@ -336,6 +419,7 @@ impl InstrLibEndpoint {
     /// Sends a metric sample over the same channel (performance data and
     /// mapping information share the wire, as in the paper).
     pub fn send_sample(&self, metric: &str, focus: &str, wall: u64, value: f64) {
+        let _span = pdmap_obs::span(&daemon_obs().send);
         let _ = send_wire(
             &*self.tx,
             &DaemonMsg::Sample {
@@ -398,12 +482,25 @@ impl Daemon {
     /// Drains everything currently on the wire, forwarding mapping messages
     /// to the Data Manager. Returns how many messages were processed.
     pub fn pump(&mut self) -> usize {
+        // Timed manually: pump_until polls in a tight loop, so an empty
+        // pass records no span (only actual request handling is costed).
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         let mut n = 0;
         while let Ok(Some(frame)) = self.link.server.try_recv() {
             n += 1;
             match DaemonMsg::from_frame(&frame) {
                 Ok(msg) => self.dispatch(msg),
-                Err(e) => self.decode_errors.push(ProtoError(e.0)),
+                Err(e) => self.decode_errors.push(track(DaemonError::Codec(e.0))),
+            }
+        }
+        if n > 0 {
+            if let Some(t0) = t0 {
+                let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                pdmap_obs::record_span(&daemon_obs().deliver, t0, dur);
             }
         }
         n
@@ -508,6 +605,27 @@ mod tests {
         assert!(DaemonMsg::decode("BOGUS|1").is_err());
         assert!(DaemonMsg::decode("ALLOC|x|A|8|block|").is_err());
         assert!(DaemonMsg::decode("SAMPLE|m|f|notanumber|1").is_err());
+    }
+
+    #[test]
+    fn every_error_variant_bumps_its_counter() {
+        // The registry is global to the test binary, so compare before and
+        // after rather than asserting absolute values.
+        let get = |kind: &str| pdmap_obs::counter(&format!("daemon.error.{kind}")).get();
+        let cases: &[(&str, &str)] = &[
+            ("BOGUS|1", "unknown_kind"),
+            ("SAMPLE|m|f|notanumber|1", "bad_number"),
+            ("ALLOC|1|A|8|diagonal|", "bad_distribution"),
+            ("SAMPLE|m\\q|f|1|1", "bad_escape"),
+            ("SAMPLE|m|f", "missing_field"),
+        ];
+        for &(line, kind) in cases {
+            let before = get(kind);
+            let err = DaemonMsg::decode(line).unwrap_err();
+            assert_eq!(err.kind(), kind, "decoding {line:?}");
+            assert_eq!(get(kind), before + 1, "counter for {kind}");
+            assert!(err.to_string().contains(kind), "{err}");
+        }
     }
 
     #[test]

@@ -52,6 +52,13 @@ impl fmt::Display for FocusError {
 
 impl std::error::Error for FocusError {}
 
+/// Span site for mapping-information import (static PIF and dynamic
+/// allocations both count as `datamgr`/`import` in the self-mapping).
+fn datamgr_import_site() -> &'static pdmap_obs::SpanSite {
+    static SITE: std::sync::OnceLock<pdmap_obs::SpanSite> = std::sync::OnceLock::new();
+    SITE.get_or_init(|| pdmap_obs::span_site("datamgr", "import"))
+}
+
 struct DmInner {
     mappings: MappingTable,
     axis: WhereAxis,
@@ -92,6 +99,7 @@ impl DataManager {
 
     /// Imports a PIF file (static mapping information, §3/§5).
     pub fn import_pif(&self, file: &PifFile) -> Result<Applied, ApplyError> {
+        let _span = pdmap_obs::span(datamgr_import_site());
         let mut g = self.inner.lock();
         let DmInner { mappings, axis, .. } = &mut *g;
         let applied = pdmap_pif::apply(file, &self.ns, mappings, axis)?;
@@ -263,6 +271,7 @@ impl MappingSink for DataManager {
     /// Dynamic mapping information (§6.1 step 1): a new array and its
     /// node subregions arrive from the run-time system.
     fn array_allocated(&self, info: &ArrayAllocInfo) {
+        let _span = pdmap_obs::span(datamgr_import_site());
         if info.name.starts_with("CMF_TMP") {
             return; // compiler temporaries are not user resources
         }

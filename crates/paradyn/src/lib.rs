@@ -39,14 +39,16 @@ pub mod daemon;
 pub mod datamgr;
 pub mod metrics;
 pub mod report;
+pub mod selfmap;
 pub mod stream;
 pub mod tool;
 pub mod visi;
 
 pub use catalogue::{figure9_catalogue, FIGURE9_MDL};
-pub use daemon::{Daemon, DaemonMsg, InstrLibEndpoint, ProtoError};
+pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use datamgr::{DataManager, FocusError};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 pub use report::{profile, run_report, Profile};
-pub use stream::{run_sampled, Stream};
+pub use selfmap::{ask_obs, export_obs, obs_catalogue, obs_sentences, OBS_MDL};
+pub use stream::{run_sampled, run_sampled_adaptive, Stream};
 pub use tool::{LoadError, Paradyn};

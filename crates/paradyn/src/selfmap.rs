@@ -1,0 +1,449 @@
+//! Self-mapped observability: the tool measured with its own mechanisms.
+//!
+//! §7 of the paper notes that the mapping mechanisms "are not specific to
+//! CM Fortran" — here we turn them on the tool itself. Every span site the
+//! [`pdmap_obs`] runtime knows about ([`pdmap_obs::KNOWN_SITES`]) becomes a
+//! pair of MDL metrics at a "Tool" level, and the same sites become
+//! Noun-Verb sentences (noun = tool component, verb = operation) so that a
+//! performance question such as *"is the tool spending time in
+//! transport/tcp send?"* runs through exactly the SAS machinery the paper
+//! describes for application programs.
+//!
+//! Time metrics are declared with `units seconds` because MDL has no
+//! nanosecond unit; the exported **values are nanoseconds** (the raw
+//! [`pdmap_obs`] span totals). Consumers that want seconds divide by 1e9.
+
+use dyninst_sim::mdl::{parse_mdl, MdlFile, MetricDecl};
+use pdmap::model::{Namespace, SentenceId};
+use pdmap::sas::{LocalSas, Question, SentencePattern};
+use pdmap_obs::ObsSnapshot;
+
+/// The level name used for every self-observation metric and NV term.
+pub const OBS_LEVEL: &str = "Tool";
+
+/// The MDL source for the tool self-observation catalogue: one Time and one
+/// Count metric per [`pdmap_obs::KNOWN_SITES`] entry, in the same order.
+///
+/// The point names (`obs::<component>:<verb>`) are the observability
+/// runtime's span sites, not CMRTS instrumentation points; the exporter
+/// supplies their values directly from an [`ObsSnapshot`].
+pub const OBS_MDL: &str = r#"
+// ------------------------------ Tool level ------------------------------
+
+metric obs_transport_inproc_send_time {
+    name "Obs transport/inproc send Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent enqueueing frames on the in-process backend.";
+    foreach point "obs::transport/inproc:send:enter" { startWallTimer; }
+    foreach point "obs::transport/inproc:send:exit" { stopWallTimer; }
+}
+
+metric obs_transport_inproc_send_count {
+    name "Obs transport/inproc send Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded enqueueing frames on the in-process backend.";
+    foreach point "obs::transport/inproc:send" { incrCounter 1; }
+}
+
+metric obs_transport_inproc_deliver_time {
+    name "Obs transport/inproc deliver Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent delivering frames from the in-process backend.";
+    foreach point "obs::transport/inproc:deliver:enter" { startWallTimer; }
+    foreach point "obs::transport/inproc:deliver:exit" { stopWallTimer; }
+}
+
+metric obs_transport_inproc_deliver_count {
+    name "Obs transport/inproc deliver Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded delivering frames from the in-process backend.";
+    foreach point "obs::transport/inproc:deliver" { incrCounter 1; }
+}
+
+metric obs_transport_tcp_send_time {
+    name "Obs transport/tcp send Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent sending frames on the TCP backend.";
+    foreach point "obs::transport/tcp:send:enter" { startWallTimer; }
+    foreach point "obs::transport/tcp:send:exit" { stopWallTimer; }
+}
+
+metric obs_transport_tcp_send_count {
+    name "Obs transport/tcp send Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded sending frames on the TCP backend.";
+    foreach point "obs::transport/tcp:send" { incrCounter 1; }
+}
+
+metric obs_transport_tcp_deliver_time {
+    name "Obs transport/tcp deliver Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent delivering frames from the TCP backend.";
+    foreach point "obs::transport/tcp:deliver:enter" { startWallTimer; }
+    foreach point "obs::transport/tcp:deliver:exit" { stopWallTimer; }
+}
+
+metric obs_transport_tcp_deliver_count {
+    name "Obs transport/tcp deliver Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded delivering frames from the TCP backend.";
+    foreach point "obs::transport/tcp:deliver" { incrCounter 1; }
+}
+
+metric obs_transport_tcp_reconnect_time {
+    name "Obs transport/tcp reconnect Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent re-establishing lost TCP connections.";
+    foreach point "obs::transport/tcp:reconnect:enter" { startWallTimer; }
+    foreach point "obs::transport/tcp:reconnect:exit" { stopWallTimer; }
+}
+
+metric obs_transport_tcp_reconnect_count {
+    name "Obs transport/tcp reconnect Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded re-establishing lost TCP connections.";
+    foreach point "obs::transport/tcp:reconnect" { incrCounter 1; }
+}
+
+metric obs_daemon_send_time {
+    name "Obs daemon send Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds the instrumentation library spent encoding and sending daemon messages.";
+    foreach point "obs::daemon:send:enter" { startWallTimer; }
+    foreach point "obs::daemon:send:exit" { stopWallTimer; }
+}
+
+metric obs_daemon_send_count {
+    name "Obs daemon send Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded encoding and sending daemon messages.";
+    foreach point "obs::daemon:send" { incrCounter 1; }
+}
+
+metric obs_daemon_deliver_time {
+    name "Obs daemon deliver Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds the daemon spent pumping and decoding inbound messages.";
+    foreach point "obs::daemon:deliver:enter" { startWallTimer; }
+    foreach point "obs::daemon:deliver:exit" { stopWallTimer; }
+}
+
+metric obs_daemon_deliver_count {
+    name "Obs daemon deliver Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded pumping and decoding inbound daemon messages.";
+    foreach point "obs::daemon:deliver" { incrCounter 1; }
+}
+
+metric obs_sas_push_time {
+    name "Obs sas push Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent activating sentences, including forwarding.";
+    foreach point "obs::sas:push:enter" { startWallTimer; }
+    foreach point "obs::sas:push:exit" { stopWallTimer; }
+}
+
+metric obs_sas_push_count {
+    name "Obs sas push Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded activating sentences.";
+    foreach point "obs::sas:push" { incrCounter 1; }
+}
+
+metric obs_sas_pop_time {
+    name "Obs sas pop Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent deactivating sentences, including forwarding.";
+    foreach point "obs::sas:pop:enter" { startWallTimer; }
+    foreach point "obs::sas:pop:exit" { stopWallTimer; }
+}
+
+metric obs_sas_pop_count {
+    name "Obs sas pop Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded deactivating sentences.";
+    foreach point "obs::sas:pop" { incrCounter 1; }
+}
+
+metric obs_sas_evaluate_time {
+    name "Obs sas evaluate Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent evaluating performance questions.";
+    foreach point "obs::sas:evaluate:enter" { startWallTimer; }
+    foreach point "obs::sas:evaluate:exit" { stopWallTimer; }
+}
+
+metric obs_sas_evaluate_count {
+    name "Obs sas evaluate Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded evaluating performance questions.";
+    foreach point "obs::sas:evaluate" { incrCounter 1; }
+}
+
+metric obs_sas_deliver_time {
+    name "Obs sas deliver Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds spent applying forwarded sentence updates on receiving nodes.";
+    foreach point "obs::sas:deliver:enter" { startWallTimer; }
+    foreach point "obs::sas:deliver:exit" { stopWallTimer; }
+}
+
+metric obs_sas_deliver_count {
+    name "Obs sas deliver Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded applying forwarded sentence updates.";
+    foreach point "obs::sas:deliver" { incrCounter 1; }
+}
+
+metric obs_datamgr_import_time {
+    name "Obs datamgr import Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds the Data Manager spent importing mapping information.";
+    foreach point "obs::datamgr:import:enter" { startWallTimer; }
+    foreach point "obs::datamgr:import:exit" { stopWallTimer; }
+}
+
+metric obs_datamgr_import_count {
+    name "Obs datamgr import Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Spans recorded importing mapping information.";
+    foreach point "obs::datamgr:import" { incrCounter 1; }
+}
+"#;
+
+/// Parses the self-observation catalogue. Panics only if the embedded
+/// source is broken (covered by tests).
+pub fn obs_catalogue() -> MdlFile {
+    parse_mdl(OBS_MDL).expect("embedded OBS MDL must parse")
+}
+
+/// The display name of the Time metric for a span site.
+pub fn obs_time_metric(component: &str, verb: &str) -> String {
+    format!("Obs {component} {verb} Time")
+}
+
+/// The display name of the Count metric for a span site.
+pub fn obs_count_metric(component: &str, verb: &str) -> String {
+    format!("Obs {component} {verb} Count")
+}
+
+/// Renders an [`ObsSnapshot`] as `(metric name, value)` rows in catalogue
+/// order: for every known site, its Time row (total nanoseconds) then its
+/// Count row (span count). Sites the snapshot has never seen report zero.
+pub fn obs_rows(snap: &ObsSnapshot) -> Vec<(String, u64)> {
+    let mut rows = Vec::with_capacity(pdmap_obs::KNOWN_SITES.len() * 2);
+    for &(component, verb) in pdmap_obs::KNOWN_SITES {
+        let (count, total_ns) = snap
+            .site(component, verb)
+            .map(|s| (s.count, s.total_ns))
+            .unwrap_or((0, 0));
+        rows.push((obs_time_metric(component, verb), total_ns));
+        rows.push((obs_count_metric(component, verb), count));
+    }
+    rows
+}
+
+/// Exports an observability snapshot as `(metric, value)` samples in
+/// catalogue order, pairing each "Tool"-level metric with its span site.
+/// Time metrics carry nanosecond totals (see the module docs); Count
+/// metrics carry span counts.
+pub fn export_obs(snap: &ObsSnapshot) -> Vec<(MetricDecl, u64)> {
+    let catalogue = obs_catalogue();
+    let rows = obs_rows(snap);
+    catalogue
+        .metrics
+        .into_iter()
+        .filter_map(|m| {
+            rows.iter()
+                .find(|(name, _)| *name == m.name)
+                .map(|&(_, v)| (m, v))
+        })
+        .collect()
+}
+
+/// Projects an observability snapshot into the Noun-Verb model: each known
+/// span site becomes a sentence (noun = component, verb = operation) at the
+/// "Tool" level, with the site's total nanoseconds as its cost. Sites with
+/// no recorded spans are skipped, so only sentences that were actually
+/// "spoken" by the tool appear.
+pub fn obs_sentences(ns: &Namespace, snap: &ObsSnapshot) -> Vec<(SentenceId, u64)> {
+    let level = ns.level(OBS_LEVEL);
+    let mut out = Vec::new();
+    for &(component, verb) in pdmap_obs::KNOWN_SITES {
+        let Some(site) = snap.site(component, verb) else {
+            continue;
+        };
+        if site.count == 0 {
+            continue;
+        }
+        let noun = ns.noun(level, component, "tool component");
+        let vb = ns.verb(level, verb, "tool operation");
+        out.push((ns.say(vb, [noun]), site.total_ns));
+    }
+    out
+}
+
+/// Asks a performance question about the tool itself: *"did `component`
+/// spend time in `verb`, and how much?"*
+///
+/// The question is answered with the paper's own machinery — the sentences
+/// from [`obs_sentences`] are activated in a [`LocalSas`], a
+/// [`Question`] with a single noun-verb [`SentencePattern`] is registered,
+/// and the answer is the summed cost (nanoseconds) of the active sentences
+/// matching the pattern. Returns `None` when the question is not satisfied
+/// (the site never ran), `Some(total_ns)` otherwise.
+pub fn ask_obs(ns: &Namespace, snap: &ObsSnapshot, component: &str, verb: &str) -> Option<u64> {
+    let level = ns.level(OBS_LEVEL);
+    let noun = ns.noun(level, component, "tool component");
+    let vb = ns.verb(level, verb, "tool operation");
+    let pattern = SentencePattern::noun_verb(noun, vb);
+    let question = Question::new(
+        &format!("is the tool spending time in {component} {verb}?"),
+        vec![pattern.clone()],
+    );
+
+    let sentences = obs_sentences(ns, snap);
+    let mut sas = LocalSas::new(ns.clone());
+    let qid = sas.register_question(&question);
+    for &(sid, _) in &sentences {
+        sas.activate(sid);
+    }
+    if !sas.satisfied(qid) {
+        return None;
+    }
+    let total: u64 = sentences
+        .iter()
+        .filter(|&&(sid, _)| pattern.matches(&ns.sentence_def(sid)))
+        .map(|&(_, cost)| cost)
+        .sum();
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_catalogue_parses_and_roundtrips() {
+        let f = obs_catalogue();
+        assert_eq!(f.metrics.len(), pdmap_obs::KNOWN_SITES.len() * 2);
+        let reparsed = parse_mdl(&f.emit()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn obs_catalogue_matches_known_sites_exactly() {
+        // Every known span site must have a Time and a Count metric, in
+        // site order, and nothing else — the exporter relies on the
+        // pairing just as the transport exporter does.
+        let f = obs_catalogue();
+        let snap = pdmap_obs::snapshot();
+        let row_names: Vec<String> = obs_rows(&snap).into_iter().map(|(n, _)| n).collect();
+        let metric_names: Vec<&str> = f.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(metric_names, row_names);
+        for m in &f.metrics {
+            assert_eq!(m.level, OBS_LEVEL, "metric {} has wrong level", m.id);
+        }
+    }
+
+    #[test]
+    fn exporter_pairs_every_site() {
+        // The registry is global to the test binary, so assert lower
+        // bounds rather than exact values.
+        let site = pdmap_obs::span_site("datamgr", "import");
+        pdmap_obs::record_span(&site, pdmap_obs::now_ns(), 1_000);
+        pdmap_obs::record_span(&site, pdmap_obs::now_ns(), 2_000);
+        let snap = pdmap_obs::snapshot();
+        let samples = export_obs(&snap);
+        assert_eq!(samples.len(), pdmap_obs::KNOWN_SITES.len() * 2);
+        let lookup = |name: &str| {
+            samples
+                .iter()
+                .find(|(m, _)| m.name == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(lookup("Obs datamgr import Time") >= 3_000);
+        assert!(lookup("Obs datamgr import Count") >= 2);
+    }
+
+    #[test]
+    fn ask_obs_answers_through_the_sas() {
+        let site = pdmap_obs::span_site("transport/tcp", "send");
+        pdmap_obs::record_span(&site, pdmap_obs::now_ns(), 5_000);
+        let snap = pdmap_obs::snapshot();
+        let ns = Namespace::new();
+        let cost = ask_obs(&ns, &snap, "transport/tcp", "send")
+            .expect("question about a recorded site must be satisfied");
+        assert!(cost >= 5_000, "got {cost}");
+        // A site that never ran is not satisfied. No code path records
+        // spans for this fictitious pairing.
+        let ns2 = Namespace::new();
+        assert_eq!(ask_obs(&ns2, &snap, "transport/inproc", "reconnect"), None);
+    }
+
+    #[test]
+    fn sentences_render_as_noun_verb_text() {
+        let site = pdmap_obs::span_site("sas", "evaluate");
+        pdmap_obs::record_span(&site, pdmap_obs::now_ns(), 100);
+        let snap = pdmap_obs::snapshot();
+        let ns = Namespace::new();
+        let sentences = obs_sentences(&ns, &snap);
+        let rendered: Vec<String> = sentences
+            .iter()
+            .map(|&(sid, _)| ns.render_sentence(sid))
+            .collect();
+        assert!(
+            rendered.iter().any(|r| r.contains("evaluate")),
+            "got {rendered:?}"
+        );
+    }
+}

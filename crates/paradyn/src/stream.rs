@@ -76,6 +76,47 @@ pub fn run_sampled(
     (streams, summary)
 }
 
+/// Drives a machine while sampling at an interval governed by an
+/// [`pdmap_obs::AdaptiveSampler`] — the ROADMAP's backpressure-aware
+/// sampling. `drops` reads the current cumulative transport drop count
+/// (e.g. `DistributedSas::transport_stats().drops`); at every sample the
+/// sampler observes it and, when drops are rising, multiplicatively
+/// lengthens the interval so the tool sheds its own load instead of
+/// dropping frames blindly. When the link is clean the interval creeps
+/// back down additively.
+///
+/// The returned streams have the same shape as [`run_sampled`]'s, but the
+/// spacing between samples varies with transport health.
+pub fn run_sampled_adaptive(
+    machine: &mut Machine,
+    requests: &[MetricRequest],
+    sampler: &mut pdmap_obs::AdaptiveSampler,
+    mut drops: impl FnMut(&Machine) -> u64,
+) -> (Vec<Stream>, RunSummary) {
+    let mut streams: Vec<Stream> = requests
+        .iter()
+        .map(|r| Stream {
+            metric: r.decl.name.clone(),
+            focus: r.focus.to_string(),
+            units: r.decl.units.to_string(),
+            samples: Vec::new(),
+        })
+        .collect();
+    let total_steps = machine.program().steps.len();
+    let mut next_sample = 0usize;
+    let summary = machine.run_with(|m, step| {
+        if step >= next_sample || step + 1 == total_steps {
+            let interval = sampler.observe_drops(drops(m));
+            let t = m.wall_clock();
+            for (s, r) in streams.iter_mut().zip(requests) {
+                s.samples.push((t, r.value(m)));
+            }
+            next_sample = step + usize::try_from(interval).unwrap_or(usize::MAX).max(1);
+        }
+    });
+    (streams, summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +181,86 @@ mod tests {
         );
         let deltas = streams[0].deltas();
         assert!(!deltas.is_empty());
+    }
+
+    fn adaptive_fixture() -> (Vec<MetricRequest>, cmrts_sim::Machine) {
+        let ns = Namespace::new();
+        let mgr = Arc::new(InstrumentationManager::new());
+        let compiled = cmf_lang::compile(
+            cmf_lang::samples::ALL_VERBS,
+            &ns,
+            &cmf_lang::CompileOptions::default(),
+        )
+        .unwrap();
+        let dm = DataManager::new(ns.clone(), "CM Fortran");
+        dm.import_pif(&compiled.pif).unwrap();
+        dm.ensure_machine(4);
+        let mm = MetricManager::new(mgr.clone());
+        let reqs = vec![mm
+            .request(
+                "Point-to-Point Operations",
+                &dm,
+                &Focus::whole_program(),
+                1e9,
+            )
+            .unwrap()];
+        let m = cmrts_sim::Machine::new(
+            MachineConfig {
+                nodes: 4,
+                ..MachineConfig::default()
+            },
+            ns,
+            mgr,
+            compiled.program().clone(),
+        )
+        .unwrap();
+        (reqs, m)
+    }
+
+    #[test]
+    fn adaptive_sampling_backs_off_under_drops_and_stays_dense_when_clean() {
+        use pdmap_obs::{AdaptiveSampler, SamplerConfig};
+        let cfg = SamplerConfig {
+            base_interval: 1,
+            max_interval: 64,
+            increase_factor: 2,
+            decrease_step: 1,
+        };
+
+        // A clean link: drops never move, so the interval stays at base
+        // and every step is sampled.
+        let (reqs, mut clean_machine) = adaptive_fixture();
+        let mut clean_sampler = AdaptiveSampler::new(cfg);
+        let (clean_streams, clean_summary) =
+            run_sampled_adaptive(&mut clean_machine, &reqs, &mut clean_sampler, |_| 0);
+        assert_eq!(clean_sampler.interval(), 1);
+        assert_eq!(
+            clean_streams[0].last_value(),
+            clean_summary.messages as f64,
+            "final sample still equals ground truth"
+        );
+
+        // A degrading link: drops rise on every observation, so the
+        // interval lengthens multiplicatively and far fewer samples land.
+        let (reqs, mut lossy_machine) = adaptive_fixture();
+        let mut lossy_sampler = AdaptiveSampler::new(cfg);
+        let mut fake_drops = 0u64;
+        let (lossy_streams, lossy_summary) =
+            run_sampled_adaptive(&mut lossy_machine, &reqs, &mut lossy_sampler, |_| {
+                fake_drops += 10;
+                fake_drops
+            });
+        assert!(lossy_sampler.interval() > 1);
+        assert!(
+            lossy_streams[0].len() < clean_streams[0].len(),
+            "rising drops must thin the stream: {} vs {}",
+            lossy_streams[0].len(),
+            clean_streams[0].len()
+        );
+        assert_eq!(
+            lossy_streams[0].last_value(),
+            lossy_summary.messages as f64,
+            "the last step is always sampled, so totals survive back-off"
+        );
     }
 }

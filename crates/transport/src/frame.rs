@@ -46,7 +46,30 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
-    fn to_u8(self) -> u8 {
+    /// Every kind, in wire-byte order (`ALL[k.to_u8()] == k`).
+    pub const ALL: [FrameKind; 6] = [
+        FrameKind::Daemon,
+        FrameKind::SasForward,
+        FrameKind::PifBlob,
+        FrameKind::Heartbeat,
+        FrameKind::Ack,
+        FrameKind::Hello,
+    ];
+
+    /// Stable lowercase identifier, used to key per-kind metrics
+    /// (`transport.send_ns.daemon` and friends).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Daemon => "daemon",
+            FrameKind::SasForward => "sas_forward",
+            FrameKind::PifBlob => "pif_blob",
+            FrameKind::Heartbeat => "heartbeat",
+            FrameKind::Ack => "ack",
+            FrameKind::Hello => "hello",
+        }
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             FrameKind::Daemon => 0,
             FrameKind::SasForward => 1,
@@ -57,7 +80,7 @@ impl FrameKind {
         }
     }
 
-    fn from_u8(b: u8) -> Option<Self> {
+    pub(crate) fn from_u8(b: u8) -> Option<Self> {
         Some(match b {
             0 => FrameKind::Daemon,
             1 => FrameKind::SasForward,
@@ -153,12 +176,22 @@ impl Frame {
 
     /// Appends the encoded frame to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.kind.to_u8());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.payload);
+        if let Some(t0) = t0 {
+            crate::obs::obs()
+                .encode_ns
+                .record(pdmap_obs::now_ns().saturating_sub(t0));
+        }
     }
 
     /// Encodes to a fresh buffer.
@@ -171,6 +204,11 @@ impl Frame {
     /// Decodes one frame from the front of `buf`, returning it and the
     /// number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
         }
@@ -190,6 +228,11 @@ impl Frame {
             return Err(FrameError::Truncated);
         }
         let payload = buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        if let Some(t0) = t0 {
+            crate::obs::obs()
+                .decode_ns
+                .record(pdmap_obs::now_ns().saturating_sub(t0));
+        }
         Ok((Frame { kind, seq, payload }, HEADER_LEN + len))
     }
 
@@ -208,6 +251,13 @@ impl Frame {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e),
         }
+        // Decode timing starts once the header has arrived, so blocking for
+        // an idle link does not pollute the histogram.
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         if header[0..2] != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -233,6 +283,11 @@ impl Frame {
         }
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload)?;
+        if let Some(t0) = t0 {
+            crate::obs::obs()
+                .decode_ns
+                .record(pdmap_obs::now_ns().saturating_sub(t0));
+        }
         Ok(Some(Frame { kind, seq, payload }))
     }
 }

@@ -64,18 +64,40 @@ impl Transport for InProcEnd {
         if !self.open.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         let mut frame = Frame::data(kind, payload);
         frame.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let bytes = frame.encoded_len();
         self.out.push(frame).map_err(|_| TransportError::Closed)?;
         self.stats.on_send(bytes);
+        if let Some(t0) = t0 {
+            let o = crate::obs::obs();
+            let dur = pdmap_obs::now_ns().saturating_sub(t0);
+            pdmap_obs::record_span(&o.inproc_send, t0, dur);
+            o.send_ns[kind.to_u8() as usize].record(dur);
+        }
         Ok(())
     }
 
     fn try_recv(&self) -> Result<Option<Frame>, TransportError> {
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         match self.inc.try_pop() {
             Some(f) => {
                 self.stats.on_recv(f.encoded_len());
+                if let Some(t0) = t0 {
+                    let o = crate::obs::obs();
+                    let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                    pdmap_obs::record_span(&o.inproc_deliver, t0, dur);
+                    o.recv_ns[f.kind.to_u8() as usize].record(dur);
+                }
                 Ok(Some(f))
             }
             None if !self.open.load(Ordering::Acquire) => Err(TransportError::Closed),

@@ -16,9 +16,11 @@
 //! * self-metrics ([`stats`]) so the transport can be measured by the same
 //!   catalogue machinery as the programs it carries.
 //!
-//! The crate is dependency-free and std-only by design: it sits below
-//! `pdmap` in the workspace graph and must build offline anywhere the
-//! toolchain does.
+//! The crate is std-only with a single in-workspace dependency,
+//! `pdmap-obs`, through which the hot paths record spans and latency
+//! histograms (frame encode/decode, per-kind send/receive, queue waits,
+//! reconnects). It sits near the bottom of the workspace graph and must
+//! build offline anywhere the toolchain does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod backend;
 pub mod config;
 pub mod frame;
 pub mod inproc;
+mod obs;
 pub mod queue;
 pub mod stats;
 pub mod tcp;

@@ -57,8 +57,12 @@ impl BoundedQueue {
     /// [`BoundedQueue::close`].
     pub fn push(&self, frame: Frame) -> Result<(), Closed> {
         let mut g = self.lock();
+        // Time actually spent blocked on a full queue (recorded only when
+        // the Block policy made us wait at least once).
+        let mut wait_start: Option<u64> = None;
         loop {
             if self.closed.load(Ordering::Acquire) {
+                record_queue_wait(wait_start);
                 return Err(Closed);
             }
             if g.len() < self.capacity {
@@ -71,6 +75,9 @@ impl BoundedQueue {
                     break;
                 }
                 Backpressure::Block => {
+                    if wait_start.is_none() && pdmap_obs::enabled() {
+                        wait_start = Some(pdmap_obs::now_ns());
+                    }
                     let (guard, _timeout) = self
                         .not_full
                         .wait_timeout(g, Duration::from_millis(50))
@@ -79,6 +86,7 @@ impl BoundedQueue {
                 }
             }
         }
+        record_queue_wait(wait_start);
         g.push_back(frame);
         self.stats.observe_queue_depth(g.len());
         drop(g);
@@ -159,6 +167,15 @@ impl BoundedQueue {
         self.closed.store(true, Ordering::Release);
         self.not_full.notify_all();
         self.not_empty.notify_all();
+    }
+}
+
+#[inline]
+fn record_queue_wait(start: Option<u64>) {
+    if let Some(t0) = start {
+        crate::obs::obs()
+            .queue_wait_ns
+            .record(pdmap_obs::now_ns().saturating_sub(t0));
     }
 }
 

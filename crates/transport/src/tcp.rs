@@ -143,6 +143,13 @@ fn establish(
     ever_connected: &mut bool,
     attempt: &mut u32,
 ) -> Option<TcpStream> {
+    // A re-establishment (not the first connect) is a reconnect span: it
+    // covers every failed attempt and backoff sleep until the link is back.
+    let reconnect_start = if *ever_connected && pdmap_obs::enabled() {
+        Some(pdmap_obs::now_ns())
+    } else {
+        None
+    };
     loop {
         if shared.closed.load(Ordering::Acquire) {
             return None;
@@ -152,6 +159,10 @@ fn establish(
                 let _ = stream.set_nodelay(true);
                 if *ever_connected {
                     shared.stats.on_reconnect();
+                    if let Some(t0) = reconnect_start {
+                        let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                        pdmap_obs::record_span(&crate::obs::obs().tcp_reconnect, t0, dur);
+                    }
                 }
                 *ever_connected = true;
                 *attempt = 0;
@@ -309,16 +320,43 @@ impl Transport for TcpClient {
         if sh.closed.load(Ordering::Acquire) || sh.failed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         let mut frame = Frame::data(kind, payload);
         frame.seq = sh.next_seq.fetch_add(1, Ordering::Relaxed);
         let bytes = frame.encoded_len();
         sh.queue.push(frame).map_err(|_| TransportError::Closed)?;
         sh.stats.on_send(bytes);
+        if let Some(t0) = t0 {
+            let o = crate::obs::obs();
+            let dur = pdmap_obs::now_ns().saturating_sub(t0);
+            pdmap_obs::record_span(&o.tcp_send, t0, dur);
+            o.send_ns[kind.to_u8() as usize].record(dur);
+        }
         Ok(())
     }
 
     fn try_recv(&self) -> Result<Option<Frame>, TransportError> {
-        Ok(lock(&self.shared.recv).pop_front())
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
+        match lock(&self.shared.recv).pop_front() {
+            Some(f) => {
+                if let Some(t0) = t0 {
+                    let o = crate::obs::obs();
+                    let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                    pdmap_obs::record_span(&o.tcp_deliver, t0, dur);
+                    o.recv_ns[f.kind.to_u8() as usize].record(dur);
+                }
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
     }
 
     fn stats(&self) -> TransportStats {
@@ -546,6 +584,11 @@ impl Transport for TcpServer {
         if self.shared.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
         let mut frame = Frame::data(kind, payload);
         frame.seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
         let bytes = frame.encoded_len();
@@ -558,6 +601,12 @@ impl Transport for TcpServer {
         }
         if wrote {
             self.shared.stats.on_send(bytes);
+            if let Some(t0) = t0 {
+                let o = crate::obs::obs();
+                let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                pdmap_obs::record_span(&o.tcp_send, t0, dur);
+                o.send_ns[kind.to_u8() as usize].record(dur);
+            }
             Ok(())
         } else {
             Err(TransportError::Io("no live connections".into()))
@@ -565,7 +614,23 @@ impl Transport for TcpServer {
     }
 
     fn try_recv(&self) -> Result<Option<Frame>, TransportError> {
-        Ok(lock(&self.shared.recv).pop_front())
+        let t0 = if pdmap_obs::enabled() {
+            Some(pdmap_obs::now_ns())
+        } else {
+            None
+        };
+        match lock(&self.shared.recv).pop_front() {
+            Some(f) => {
+                if let Some(t0) = t0 {
+                    let o = crate::obs::obs();
+                    let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                    pdmap_obs::record_span(&o.tcp_deliver, t0, dur);
+                    o.recv_ns[f.kind.to_u8() as usize].record(dur);
+                }
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
     }
 
     fn stats(&self) -> TransportStats {
