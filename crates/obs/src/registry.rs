@@ -15,7 +15,15 @@ use crate::metrics::{Counter, Histogram, HistogramSnapshot};
 use crate::span::{SiteId, SiteSnapshot, SpanEvent, SpanRing, SpanSite, DEFAULT_RING_CAPACITY};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Locks a registry table, recovering from poisoning. A panic while a
+/// holder had the lock leaves only interned handles and counters behind —
+/// never a torn invariant — so observability must keep working instead of
+/// cascading the panic into every later span or counter call.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The span sites the tool stack instruments, as `(component, verb)`
 /// pairs. Components double as NV nouns and verbs as NV verbs in the
@@ -88,7 +96,7 @@ pub fn set_enabled(on: bool) {
 /// # Panics
 /// Panics if more than `u16::MAX` distinct sites are registered.
 pub fn span_site(component: &str, verb: &str) -> SpanSite {
-    let mut table = global().sites.lock().unwrap();
+    let mut table = lock(&global().sites);
     let key = (component.to_string(), verb.to_string());
     if let Some(&id) = table.by_name.get(&key) {
         return SpanSite {
@@ -113,7 +121,7 @@ pub fn span_site(component: &str, verb: &str) -> SpanSite {
 /// Resolves a site id back to its `(component, verb)` names, or `None`
 /// for an id never interned (e.g. from a stale snapshot).
 pub fn site_name(id: SiteId) -> Option<(String, String)> {
-    let table = global().sites.lock().unwrap();
+    let table = lock(&global().sites);
     table
         .entries
         .get(id.index())
@@ -122,7 +130,7 @@ pub fn site_name(id: SiteId) -> Option<(String, String)> {
 
 /// Interns (or finds) the named counter. Cache the handle.
 pub fn counter(name: &str) -> Arc<Counter> {
-    let mut map = global().counters.lock().unwrap();
+    let mut map = lock(&global().counters);
     Arc::clone(
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Counter::new())),
@@ -131,7 +139,7 @@ pub fn counter(name: &str) -> Arc<Counter> {
 
 /// Interns (or finds) the named histogram. Cache the handle.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    let mut map = global().histograms.lock().unwrap();
+    let mut map = lock(&global().histograms);
     Arc::clone(
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new())),
@@ -151,7 +159,7 @@ impl RingHandle {
         let reg = global();
         let tid = reg.next_tid.fetch_add(1, Ordering::Relaxed);
         let ring = Arc::new(SpanRing::new(tid, DEFAULT_RING_CAPACITY));
-        reg.rings.lock().unwrap().push(Arc::clone(&ring));
+        lock(&reg.rings).push(Arc::clone(&ring));
         Self { ring }
     }
 }
@@ -234,7 +242,7 @@ pub fn snapshot() -> ObsSnapshot {
     let taken_ns = now_ns();
 
     let sites = {
-        let table = reg.sites.lock().unwrap();
+        let table = lock(&reg.sites);
         table
             .entries
             .iter()
@@ -249,20 +257,20 @@ pub fn snapshot() -> ObsSnapshot {
     };
 
     let mut counters: Vec<(String, u64)> = {
-        let map = reg.counters.lock().unwrap();
+        let map = lock(&reg.counters);
         map.iter().map(|(n, c)| (n.clone(), c.get())).collect()
     };
     counters.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut histograms: Vec<(String, HistogramSnapshot)> = {
-        let map = reg.histograms.lock().unwrap();
+        let map = lock(&reg.histograms);
         map.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
     };
     histograms.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut spans = Vec::new();
     let mut spans_dropped = 0u64;
-    let rings: Vec<Arc<SpanRing>> = reg.rings.lock().unwrap().clone();
+    let rings: Vec<Arc<SpanRing>> = lock(&reg.rings).clone();
     for ring in &rings {
         spans_dropped += ring.snapshot_into(&mut spans);
     }

@@ -74,6 +74,26 @@ pub enum DaemonMsg {
         /// Sampled value.
         value: f64,
     },
+    /// Clock-offset probe (tool → daemon): the tool stamps its own clock
+    /// and a token; the daemon must echo both back immediately. Used by
+    /// multi-daemon sessions to align per-daemon `wall` stamps onto the
+    /// tool clock (bounded by the probe's round trip).
+    ClockProbe {
+        /// Correlates a reply with its probe.
+        token: u64,
+        /// Tool clock (`pdmap_obs::now_ns`) at probe send.
+        t_tool_ns: u64,
+    },
+    /// Clock-offset reply (daemon → tool): the echoed probe plus the
+    /// daemon's clock at the moment it handled the probe.
+    ClockReply {
+        /// Token copied from the probe.
+        token: u64,
+        /// Tool clock copied from the probe.
+        t_tool_ns: u64,
+        /// Daemon clock when the probe was handled.
+        t_daemon_ns: u64,
+    },
 }
 
 /// A decode failure on the daemon channel, classified so error *rates*
@@ -94,6 +114,9 @@ pub enum DaemonError {
     /// A binary payload codec failure (wrong frame kind, truncation,
     /// trailing garbage).
     Codec(String),
+    /// The transport itself failed while receiving (link closed, I/O
+    /// error) — distinct from a bad frame, since the *link* is at fault.
+    Recv(String),
 }
 
 /// Source-compatibility alias for the pre-enum error name.
@@ -110,6 +133,7 @@ impl DaemonError {
             DaemonError::BadEscape(_) => "bad_escape",
             DaemonError::UnknownKind(_) => "unknown_kind",
             DaemonError::Codec(_) => "codec",
+            DaemonError::Recv(_) => "recv",
         }
     }
 
@@ -121,7 +145,8 @@ impl DaemonError {
             | DaemonError::BadDistribution(s)
             | DaemonError::BadEscape(s)
             | DaemonError::UnknownKind(s)
-            | DaemonError::Codec(s) => s,
+            | DaemonError::Codec(s)
+            | DaemonError::Recv(s) => s,
         }
     }
 }
@@ -131,6 +156,12 @@ impl DaemonError {
 fn track(e: DaemonError) -> DaemonError {
     pdmap_obs::counter(&format!("daemon.error.{}", e.kind())).incr();
     e
+}
+
+/// Crate-internal alias so other modules (the multi-daemon session) route
+/// their error constructions through the same counters.
+pub(crate) fn track_error(e: DaemonError) -> DaemonError {
+    track(e)
 }
 
 impl fmt::Display for DaemonError {
@@ -213,6 +244,14 @@ impl DaemonMsg {
                 wall,
                 value,
             } => format!("SAMPLE|{}|{}|{wall}|{value}", escape(metric), escape(focus)),
+            DaemonMsg::ClockProbe { token, t_tool_ns } => {
+                format!("CLOCKP|{token}|{t_tool_ns}")
+            }
+            DaemonMsg::ClockReply {
+                token,
+                t_tool_ns,
+                t_daemon_ns,
+            } => format!("CLOCKR|{token}|{t_tool_ns}|{t_daemon_ns}"),
         }
     }
 
@@ -274,6 +313,15 @@ impl DaemonMsg {
                     value,
                 })
             }
+            "CLOCKP" => Ok(DaemonMsg::ClockProbe {
+                token: parse_u64_field(&mut parts, "token")?,
+                t_tool_ns: parse_u64_field(&mut parts, "t_tool_ns")?,
+            }),
+            "CLOCKR" => Ok(DaemonMsg::ClockReply {
+                token: parse_u64_field(&mut parts, "token")?,
+                t_tool_ns: parse_u64_field(&mut parts, "t_tool_ns")?,
+                t_daemon_ns: parse_u64_field(&mut parts, "t_daemon_ns")?,
+            }),
             other => Err(track(DaemonError::UnknownKind(format!(
                 "unknown message kind '{other}'"
             )))),
@@ -325,6 +373,21 @@ impl WirePayload for DaemonMsg {
                 put::u64(out, *wall);
                 put::f64(out, *value);
             }
+            DaemonMsg::ClockProbe { token, t_tool_ns } => {
+                put::u8(out, 3);
+                put::u64(out, *token);
+                put::u64(out, *t_tool_ns);
+            }
+            DaemonMsg::ClockReply {
+                token,
+                t_tool_ns,
+                t_daemon_ns,
+            } => {
+                put::u8(out, 4);
+                put::u64(out, *token);
+                put::u64(out, *t_tool_ns);
+                put::u64(out, *t_daemon_ns);
+            }
         }
     }
 
@@ -357,6 +420,15 @@ impl WirePayload for DaemonMsg {
                 wall: r.u64()?,
                 value: r.f64()?,
             }),
+            3 => Ok(DaemonMsg::ClockProbe {
+                token: r.u64()?,
+                t_tool_ns: r.u64()?,
+            }),
+            4 => Ok(DaemonMsg::ClockReply {
+                token: r.u64()?,
+                t_tool_ns: r.u64()?,
+                t_daemon_ns: r.u64()?,
+            }),
             tag => Err(CodecError::new(format!("unknown DaemonMsg tag {tag}"))),
         }
     }
@@ -382,6 +454,15 @@ fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, DaemonError> {
                 .map_err(|_| track(DaemonError::BadNumber(format!("bad {what} '{p}'"))))
         })
         .collect()
+}
+
+fn parse_u64_field(
+    parts: &mut impl Iterator<Item = String>,
+    what: &str,
+) -> Result<u64, DaemonError> {
+    next_field(parts, what)?
+        .parse()
+        .map_err(|_| track(DaemonError::BadNumber(what.into())))
 }
 
 fn parse_sub(s: Option<&str>, what: &str) -> Result<usize, DaemonError> {
@@ -416,6 +497,21 @@ impl MappingSink for InstrLibEndpoint {
 }
 
 impl InstrLibEndpoint {
+    /// Wraps an already-connected transport — how `pdmapd` builds its
+    /// endpoint over the TCP server it listens on, rather than over one
+    /// half of an in-process [`Link`].
+    pub fn over_transport(tx: Arc<dyn Transport>) -> Self {
+        Self { tx }
+    }
+
+    /// Sends any daemon-channel message, surfacing transport failures
+    /// (the sink paths deliberately swallow them; process drivers that own
+    /// their lifecycle want to see a dead link).
+    pub fn send_msg(&self, msg: &DaemonMsg) -> Result<(), pdmap_transport::TransportError> {
+        let _span = pdmap_obs::span(&daemon_obs().send);
+        send_wire(&*self.tx, msg)
+    }
+
     /// Sends a metric sample over the same channel (performance data and
     /// mapping information share the wire, as in the paper).
     pub fn send_sample(&self, metric: &str, focus: &str, wall: u64, value: f64) {
@@ -490,11 +586,28 @@ impl Daemon {
             None
         };
         let mut n = 0;
-        while let Ok(Some(frame)) = self.link.server.try_recv() {
-            n += 1;
-            match DaemonMsg::from_frame(&frame) {
-                Ok(msg) => self.dispatch(msg),
-                Err(e) => self.decode_errors.push(track(DaemonError::Codec(e.0))),
+        loop {
+            match self.link.server.try_recv() {
+                Ok(Some(frame)) => {
+                    n += 1;
+                    match DaemonMsg::from_frame(&frame) {
+                        Ok(msg) => self.dispatch(msg),
+                        Err(e) => self.decode_errors.push(track(DaemonError::Codec(e.0))),
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // A receive failure is the *link*'s fault, not a bad
+                    // frame — record it (`daemon.error.recv`) instead of
+                    // exiting silently, and end only this drain pass so
+                    // later pumps retry. Link errors are sticky, so dedupe
+                    // consecutive repeats to keep the log bounded.
+                    let err = track(DaemonError::Recv(e.to_string()));
+                    if self.decode_errors.last() != Some(&err) {
+                        self.decode_errors.push(err);
+                    }
+                    break;
+                }
             }
         }
         if n > 0 {
@@ -509,12 +622,27 @@ impl Daemon {
     /// Pumps until `want` messages have been processed in total or
     /// `timeout` elapses — needed over TCP, where delivery is asynchronous.
     /// Returns the total processed during this call.
+    ///
+    /// Drains before ever sleeping and returns the moment `want` is met;
+    /// while short, it spins on `yield_now` and then falls back to brief
+    /// parks, so a message arriving right after a drain costs microseconds
+    /// to notice, not a fixed multi-millisecond poll.
     pub fn pump_until(&mut self, want: usize, timeout: std::time::Duration) -> usize {
         let deadline = std::time::Instant::now() + timeout;
         let mut n = self.pump();
+        let mut spins = 0u32;
         while n < want && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(2));
-            n += self.pump();
+            if spins < 64 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let got = self.pump();
+            if got > 0 {
+                spins = 0; // traffic is flowing; stay in the fast path
+            }
+            n += got;
         }
         n
     }
@@ -543,6 +671,21 @@ impl Daemon {
                 self.data.array_freed(ArrayId(id));
             }
             sample @ DaemonMsg::Sample { .. } => self.samples.push(sample),
+            DaemonMsg::ClockProbe { token, t_tool_ns } => {
+                // Answer on the same link so in-process daemons support the
+                // multi-daemon clock handshake too.
+                let _ = send_wire(
+                    &*self.link.server,
+                    &DaemonMsg::ClockReply {
+                        token,
+                        t_tool_ns,
+                        t_daemon_ns: pdmap_obs::now_ns(),
+                    },
+                );
+            }
+            // A stray reply reaching a daemon (not a tool) carries no data
+            // to forward; ignore it.
+            DaemonMsg::ClockReply { .. } => {}
         }
     }
 
@@ -660,6 +803,91 @@ mod tests {
         assert!(DaemonMsg::from_frame(&frame).is_err());
         let frame = pdmap_transport::Frame::data(FrameKind::Daemon, vec![0, 1]); // truncated
         assert!(DaemonMsg::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn clock_messages_roundtrip_both_codecs() {
+        let probe = DaemonMsg::ClockProbe {
+            token: 7,
+            t_tool_ns: 123,
+        };
+        let reply = DaemonMsg::ClockReply {
+            token: 7,
+            t_tool_ns: 123,
+            t_daemon_ns: 456,
+        };
+        for m in [probe, reply] {
+            assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+            assert_eq!(DaemonMsg::from_frame(&m.to_frame()).unwrap(), m);
+        }
+        assert!(DaemonMsg::decode("CLOCKP|x|1").is_err());
+        assert!(DaemonMsg::decode("CLOCKR|1|2").is_err());
+    }
+
+    #[test]
+    fn daemon_answers_clock_probes_on_the_same_link() {
+        let dm = Arc::new(DataManager::new(Namespace::new(), "CM Fortran"));
+        let (endpoint, mut daemon) = Daemon::pair(dm);
+        endpoint
+            .send_msg(&DaemonMsg::ClockProbe {
+                token: 42,
+                t_tool_ns: 5,
+            })
+            .unwrap();
+        assert_eq!(daemon.pump(), 1);
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Ok(Some(m)) = pdmap_transport::recv_wire::<DaemonMsg>(&*endpoint.tx) {
+                got = Some(m);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        match got {
+            Some(DaemonMsg::ClockReply {
+                token: 42,
+                t_tool_ns: 5,
+                t_daemon_ns,
+            }) => assert!(t_daemon_ns > 0),
+            other => panic!("expected clock reply, got {other:?}"),
+        }
+        // Probes never pollute the sample stream.
+        assert!(daemon.samples().is_empty());
+    }
+
+    #[test]
+    fn pump_records_receive_errors_and_keeps_working() {
+        let dm = Arc::new(DataManager::new(Namespace::new(), "CM Fortran"));
+        let (_endpoint, mut daemon) = Daemon::pair(dm);
+        let before = pdmap_obs::counter("daemon.error.recv").get();
+        daemon.link.server.close();
+        daemon.pump();
+        assert_eq!(daemon.decode_errors().len(), 1, "error recorded, not lost");
+        assert!(matches!(daemon.decode_errors()[0], DaemonError::Recv(_)));
+        assert_eq!(pdmap_obs::counter("daemon.error.recv").get(), before + 1);
+        // Pumping again still works and does not balloon the error log with
+        // the same sticky failure (the counter keeps counting occurrences).
+        daemon.pump();
+        assert_eq!(daemon.decode_errors().len(), 1);
+        assert_eq!(pdmap_obs::counter("daemon.error.recv").get(), before + 2);
+    }
+
+    #[test]
+    fn pump_until_returns_as_soon_as_want_is_met() {
+        let dm = Arc::new(DataManager::new(Namespace::new(), "CM Fortran"));
+        let (endpoint, mut daemon) = Daemon::pair(dm);
+        for i in 0..4 {
+            endpoint.send_sample("M", "/", i, 0.0);
+        }
+        let t0 = std::time::Instant::now();
+        let n = daemon.pump_until(4, std::time::Duration::from_secs(5));
+        assert_eq!(n, 4);
+        // Everything was already queued: no sleep cycle should be paid.
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(50),
+            "took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -1,0 +1,713 @@
+//! Multi-daemon sessions: N `pdmapd` processes feeding one tool.
+//!
+//! §4.2.3: the real Paradyn runs "a daemon per node" and merges their
+//! sample streams into one Data Manager. A [`DaemonSet`] is the tool side
+//! of that topology: it connects to N daemon addresses over the
+//! `pdmap-transport` frame protocol, pumps every link, routes each
+//! connection's mapping information to its own [`DataManager`] shard, and
+//! aligns each daemon's `wall` stamps onto the tool clock so the merged
+//! stream sorts correctly.
+//!
+//! # Clock alignment
+//!
+//! `pdmap_obs::now_ns` is *per-process* (ns since that process's origin),
+//! so two daemons' wall stamps are mutually meaningless — the offsets
+//! between processes are arbitrary and large. [`DaemonSet::clock_sync`]
+//! runs the classic bounded-round-trip exchange per daemon: the tool sends
+//! [`DaemonMsg::ClockProbe`] carrying its clock `t0`, the daemon echoes it
+//! back with its own clock `t_d`, and on receipt at `t1` the tool computes
+//!
+//! ```text
+//! rtt    = t1 − t0
+//! offset = t_d − (t0 + rtt/2)        // daemon clock − tool clock
+//! ```
+//!
+//! The estimate's error is bounded by `rtt/2`; over several rounds the
+//! minimum-RTT round wins (least queueing noise). Every sample from that
+//! daemon is then mapped to tool time as `aligned = wall − offset`.
+//!
+//! # Sharding
+//!
+//! Connection `i` owns shard `i % shard_count` of the data manager, so N
+//! daemons import mappings and deliver samples concurrently without
+//! sharing a lock (see `datamgr`'s module docs for the invariants).
+
+use crate::daemon::{DaemonError, DaemonMsg};
+use crate::datamgr::DataManager;
+use crate::stream::Stream;
+use cmrts_sim::machine::ArrayAllocInfo;
+use cmrts_sim::ArrayId;
+use pdmap_transport::{
+    send_wire, Frame, FrameKind, PifBlob, TcpClient, Transport, TransportConfig, WirePayload,
+};
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tokens correlate clock probes with replies across all sessions in the
+/// process; uniqueness is all that matters.
+static TOKENS: AtomicU64 = AtomicU64::new(1);
+
+/// A per-daemon clock-offset estimate (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClockEstimate {
+    /// Daemon clock minus tool clock, in ns. Subtract from a daemon wall
+    /// stamp to land on the tool clock.
+    pub offset_ns: i64,
+    /// Round-trip time of the winning (minimum-RTT) probe; the alignment
+    /// error is bounded by half of this.
+    pub rtt_ns: u64,
+    /// Probe rounds that completed.
+    pub rounds: u32,
+}
+
+/// A metric sample stamped onto the tool clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlignedSample {
+    /// Index of the daemon connection that delivered it.
+    pub daemon: usize,
+    /// Metric display name.
+    pub metric: String,
+    /// Focus, rendered.
+    pub focus: String,
+    /// The daemon's original wall stamp (its own clock).
+    pub wall: u64,
+    /// The stamp mapped onto the tool clock (`wall − offset`).
+    pub aligned_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Clock synchronisation failed for one daemon (no reply within the
+/// timeout — link dead or daemon not answering probes).
+#[derive(Clone, Debug)]
+pub struct ClockSyncError {
+    /// Connection index within the set.
+    pub daemon: usize,
+    /// Address (or label) of the connection.
+    pub addr: String,
+}
+
+impl fmt::Display for ClockSyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clock sync with daemon {} ({}) timed out",
+            self.daemon, self.addr
+        )
+    }
+}
+
+impl std::error::Error for ClockSyncError {}
+
+/// One daemon connection: its transport, shard assignment, clock estimate,
+/// and per-connection tallies.
+pub struct DaemonConn {
+    addr: String,
+    tx: Arc<dyn Transport>,
+    shard: usize,
+    clock: ClockEstimate,
+    samples_received: u64,
+    pif_imports: u64,
+    decode_errors: Vec<DaemonError>,
+}
+
+impl DaemonConn {
+    /// Address or label this connection was opened with.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The data-manager shard this connection feeds.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The clock estimate from the last [`DaemonSet::clock_sync`].
+    pub fn clock(&self) -> ClockEstimate {
+        self.clock
+    }
+
+    /// Samples delivered by this daemon so far.
+    pub fn samples_received(&self) -> u64 {
+        self.samples_received
+    }
+
+    /// PIF blobs received from this daemon (including duplicates of
+    /// already-imported catalogues).
+    pub fn pif_imports(&self) -> u64 {
+        self.pif_imports
+    }
+
+    /// Decode/receive errors on this link.
+    pub fn decode_errors(&self) -> &[DaemonError] {
+        &self.decode_errors
+    }
+
+    /// Maps a daemon wall stamp onto the tool clock.
+    fn align(&self, wall: u64) -> u64 {
+        (wall as i64 - self.clock.offset_ns).max(0) as u64
+    }
+
+    /// Drains every frame currently queued on this link into `out`,
+    /// forwarding mapping information to `data`'s shard. If `want_token`
+    /// is set, a matching clock reply is returned (and not dispatched).
+    /// Returns `(frames_processed, matched_reply_t_daemon)`.
+    fn drain(
+        &mut self,
+        data: &DataManager,
+        out: &mut Vec<AlignedSample>,
+        index: usize,
+        want_token: Option<u64>,
+    ) -> (usize, Option<u64>) {
+        let mut n = 0;
+        loop {
+            match self.tx.try_recv() {
+                Ok(Some(frame)) => {
+                    n += 1;
+                    if let Some(t_d) = self.dispatch(frame, data, out, index, want_token) {
+                        return (n, Some(t_d));
+                    }
+                }
+                Ok(None) => return (n, None),
+                Err(e) => {
+                    // Same contract as `Daemon::pump`: a link failure is
+                    // recorded (and counted as `daemon.error.recv`), never
+                    // silently swallowed; sticky repeats are deduped.
+                    let err = crate::daemon::track_error(DaemonError::Recv(e.to_string()));
+                    if self.decode_errors.last() != Some(&err) {
+                        self.decode_errors.push(err);
+                    }
+                    return (n, None);
+                }
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        frame: Frame,
+        data: &DataManager,
+        out: &mut Vec<AlignedSample>,
+        index: usize,
+        want_token: Option<u64>,
+    ) -> Option<u64> {
+        match frame.kind {
+            FrameKind::Daemon => match DaemonMsg::from_frame(&frame) {
+                Ok(DaemonMsg::ArrayAllocated {
+                    id,
+                    name,
+                    extents,
+                    dist,
+                    subgrids,
+                }) => {
+                    data.array_allocated_on(
+                        self.shard,
+                        &ArrayAllocInfo {
+                            array: ArrayId(id),
+                            name,
+                            extents,
+                            dist,
+                            subgrids,
+                        },
+                    );
+                }
+                Ok(DaemonMsg::ArrayFreed { id }) => data.array_freed_on(self.shard, ArrayId(id)),
+                Ok(DaemonMsg::Sample {
+                    metric,
+                    focus,
+                    wall,
+                    value,
+                }) => {
+                    self.samples_received += 1;
+                    data.note_samples_on(self.shard, 1);
+                    out.push(AlignedSample {
+                        daemon: index,
+                        metric,
+                        focus,
+                        wall,
+                        aligned_ns: self.align(wall),
+                        value,
+                    });
+                }
+                Ok(DaemonMsg::ClockReply {
+                    token, t_daemon_ns, ..
+                }) if want_token == Some(token) => return Some(t_daemon_ns),
+                // A reply for an abandoned round, or a probe echoed back:
+                // stale, carries nothing to forward.
+                Ok(DaemonMsg::ClockReply { .. }) | Ok(DaemonMsg::ClockProbe { .. }) => {}
+                Err(e) => self
+                    .decode_errors
+                    .push(crate::daemon::track_error(DaemonError::Codec(e.0))),
+            },
+            FrameKind::PifBlob => {
+                match PifBlob::from_frame(&frame) {
+                    Ok(blob) => {
+                        self.pif_imports += 1;
+                        match String::from_utf8(blob.0) {
+                            Ok(text) => {
+                                if let Err(e) = data.import_pif_text(self.shard, &text) {
+                                    self.decode_errors.push(crate::daemon::track_error(
+                                        DaemonError::Codec(format!("pif parse: {e}")),
+                                    ));
+                                }
+                            }
+                            Err(_) => self.decode_errors.push(crate::daemon::track_error(
+                                DaemonError::Codec("pif blob is not utf-8".into()),
+                            )),
+                        }
+                    }
+                    Err(e) => self
+                        .decode_errors
+                        .push(crate::daemon::track_error(DaemonError::Codec(e.0))),
+                }
+            }
+            // Heartbeats/acks/hellos are consumed inside the transport;
+            // anything else surfacing here has no daemon-channel meaning.
+            _ => {}
+        }
+        None
+    }
+}
+
+/// The tool side of a multi-daemon session (see the module docs).
+pub struct DaemonSet {
+    data: Arc<DataManager>,
+    conns: Vec<DaemonConn>,
+    samples: Vec<AlignedSample>,
+}
+
+impl DaemonSet {
+    /// Connects to `addrs` over TCP, one [`TcpClient`] per daemon,
+    /// assigning connection `i` to data-manager shard `i % shard_count`.
+    /// Connection establishment is asynchronous (the transport reconnects
+    /// until the server appears), so this returns immediately;
+    /// [`DaemonSet::clock_sync`] is the natural "is everyone up" barrier.
+    pub fn connect(addrs: &[SocketAddr], cfg: TransportConfig, data: Arc<DataManager>) -> Self {
+        let transports: Vec<(String, Arc<dyn Transport>)> = addrs
+            .iter()
+            .map(|a| {
+                (
+                    a.to_string(),
+                    TcpClient::connect(*a, cfg) as Arc<dyn Transport>,
+                )
+            })
+            .collect();
+        Self::over_transports(transports, data)
+    }
+
+    /// Builds a set over already-connected transports — the seam used by
+    /// in-process tests (and any future backend): element `i` of
+    /// `transports` is `(label, tool-side transport of daemon i)`.
+    pub fn over_transports(
+        transports: Vec<(String, Arc<dyn Transport>)>,
+        data: Arc<DataManager>,
+    ) -> Self {
+        let shards = data.shard_count();
+        let conns = transports
+            .into_iter()
+            .enumerate()
+            .map(|(i, (addr, tx))| DaemonConn {
+                addr,
+                tx,
+                shard: i % shards,
+                clock: ClockEstimate::default(),
+                samples_received: 0,
+                pif_imports: 0,
+                decode_errors: Vec::new(),
+            })
+            .collect();
+        Self {
+            data,
+            conns,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of daemon connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when the set has no connections.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// The shared data manager.
+    pub fn data(&self) -> &Arc<DataManager> {
+        &self.data
+    }
+
+    /// Connection `i`.
+    pub fn conn(&self, i: usize) -> &DaemonConn {
+        &self.conns[i]
+    }
+
+    /// Runs `rounds` probe rounds against every daemon, keeping each
+    /// daemon's minimum-RTT estimate. `timeout` bounds each round; a
+    /// daemon that never answers fails the sync. Frames that arrive while
+    /// waiting (samples, mappings) are dispatched normally, not dropped.
+    pub fn clock_sync(&mut self, rounds: u32, timeout: Duration) -> Result<(), ClockSyncError> {
+        let data = self.data.clone();
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let mut best: Option<ClockEstimate> = None;
+            let mut done = 0u32;
+            for _ in 0..rounds.max(1) {
+                let token = TOKENS.fetch_add(1, Ordering::Relaxed);
+                let t0 = pdmap_obs::now_ns();
+                if send_wire(
+                    &*conn.tx,
+                    &DaemonMsg::ClockProbe {
+                        token,
+                        t_tool_ns: t0,
+                    },
+                )
+                .is_err()
+                {
+                    continue;
+                }
+                let deadline = Instant::now() + timeout;
+                let mut reply = None;
+                while reply.is_none() && Instant::now() < deadline {
+                    let (n, r) = conn.drain(&data, &mut self.samples, i, Some(token));
+                    reply = r;
+                    if reply.is_none() && n == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                let Some(t_daemon) = reply else { continue };
+                let t1 = pdmap_obs::now_ns();
+                let rtt = t1.saturating_sub(t0);
+                let offset = t_daemon as i64 - (t0 + rtt / 2) as i64;
+                done += 1;
+                if best.is_none() || rtt < best.unwrap().rtt_ns {
+                    best = Some(ClockEstimate {
+                        offset_ns: offset,
+                        rtt_ns: rtt,
+                        rounds: 0,
+                    });
+                }
+            }
+            match best {
+                Some(mut est) => {
+                    est.rounds = done;
+                    conn.clock = est;
+                }
+                None => {
+                    return Err(ClockSyncError {
+                        daemon: i,
+                        addr: conn.addr.clone(),
+                    })
+                }
+            }
+        }
+        // Re-align anything that arrived before (or during) the handshake.
+        for s in &mut self.samples {
+            s.aligned_ns = (s.wall as i64 - self.conns[s.daemon].clock.offset_ns).max(0) as u64;
+        }
+        Ok(())
+    }
+
+    /// Drains every link once, sequentially. Returns frames processed.
+    pub fn pump(&mut self) -> usize {
+        let data = self.data.clone();
+        let mut n = 0;
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            n += conn.drain(&data, &mut self.samples, i, None).0;
+        }
+        n
+    }
+
+    /// Drains every link concurrently — one thread per connection, each
+    /// feeding its own data-manager shard, which is the contention the
+    /// sharded manager exists to absorb. Returns frames processed.
+    pub fn pump_parallel(&mut self) -> usize {
+        let data = &self.data;
+        let mut batches: Vec<Vec<AlignedSample>> = Vec::new();
+        let mut total = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .conns
+                .iter_mut()
+                .enumerate()
+                .map(|(i, conn)| {
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        let n = conn.drain(data, &mut local, i, None).0;
+                        (n, local)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (n, local) = h.join().expect("pump thread panicked");
+                total += n;
+                batches.push(local);
+            }
+        });
+        for local in batches {
+            self.samples.extend(local);
+        }
+        total
+    }
+
+    /// Pumps all links until at least `want` samples have been received in
+    /// total (across the session's lifetime) or `timeout` elapses. Returns
+    /// the session's sample total.
+    pub fn pump_until_samples(&mut self, want: usize, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            let got = self.pump();
+            if self.samples.len() >= want || Instant::now() >= deadline {
+                return self.samples.len();
+            }
+            if got > 0 {
+                spins = 0;
+            } else if spins < 64 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// All samples received so far, in arrival order.
+    pub fn samples(&self) -> &[AlignedSample] {
+        &self.samples
+    }
+
+    /// The merged sample stream, sorted by aligned (tool-clock) time —
+    /// the single stream the paper's front end consumes. Stable, so
+    /// same-instant samples keep arrival order.
+    pub fn merged_samples(&self) -> Vec<AlignedSample> {
+        let mut out = self.samples.clone();
+        out.sort_by_key(|s| s.aligned_ns);
+        out
+    }
+
+    /// Groups the merged stream into one [`Stream`] per (metric, focus)
+    /// pair, with sample times on the tool clock. Units are unknown at
+    /// this layer (the wire protocol does not carry them).
+    pub fn merged_streams(&self) -> Vec<Stream> {
+        let mut out: Vec<Stream> = Vec::new();
+        for s in self.merged_samples() {
+            match out
+                .iter_mut()
+                .find(|st| st.metric == s.metric && st.focus == s.focus)
+            {
+                Some(st) => st.samples.push((s.aligned_ns, s.value)),
+                None => out.push(Stream {
+                    metric: s.metric.clone(),
+                    focus: s.focus.clone(),
+                    units: String::new(),
+                    samples: vec![(s.aligned_ns, s.value)],
+                }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmap::model::Namespace;
+    use pdmap_transport::Backend;
+
+    /// An in-process fake `pdmapd`: answers clock probes with a skewed
+    /// clock and lets the test send samples with the same skew — the
+    /// process-boundary behaviour of `pdmapd` without the processes.
+    struct FakeDaemon {
+        tx: Arc<dyn Transport>,
+        skew_ns: i64,
+    }
+
+    impl FakeDaemon {
+        fn now(&self) -> u64 {
+            (pdmap_obs::now_ns() as i64 + self.skew_ns).max(0) as u64
+        }
+
+        fn answer_probes(&self) {
+            while let Ok(Some(frame)) = self.tx.try_recv() {
+                if let Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) =
+                    DaemonMsg::from_frame(&frame)
+                {
+                    let _ = send_wire(
+                        &*self.tx,
+                        &DaemonMsg::ClockReply {
+                            token,
+                            t_tool_ns,
+                            t_daemon_ns: self.now(),
+                        },
+                    );
+                }
+            }
+        }
+
+        fn send_sample(&self, metric: &str, value: f64) {
+            let _ = send_wire(
+                &*self.tx,
+                &DaemonMsg::Sample {
+                    metric: metric.into(),
+                    focus: "/".into(),
+                    wall: self.now(),
+                    value,
+                },
+            );
+        }
+    }
+
+    fn set_with_skews(skews: &[i64]) -> (DaemonSet, Vec<FakeDaemon>) {
+        let cfg = TransportConfig::default();
+        let mut transports = Vec::new();
+        let mut daemons = Vec::new();
+        for (i, &skew_ns) in skews.iter().enumerate() {
+            let link = Backend::InProc.link(&cfg);
+            transports.push((format!("fake#{i}"), link.client));
+            daemons.push(FakeDaemon {
+                tx: link.server,
+                skew_ns,
+            });
+        }
+        let data = Arc::new(DataManager::sharded(
+            Namespace::new(),
+            "CM Fortran",
+            skews.len(),
+        ));
+        (DaemonSet::over_transports(transports, data), daemons)
+    }
+
+    /// Clock sync + probe answering interleaved: the fake daemons answer
+    /// from a helper thread while the tool syncs.
+    fn sync(set: &mut DaemonSet, daemons: &[FakeDaemon]) {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for d in daemons {
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        d.answer_probes();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            set.clock_sync(5, Duration::from_secs(2)).unwrap();
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn clock_sync_recovers_injected_skew() {
+        let skews = [50_000_000i64, -50_000_000];
+        let (mut set, daemons) = set_with_skews(&skews);
+        sync(&mut set, &daemons);
+        for (i, &skew) in skews.iter().enumerate() {
+            let est = set.conn(i).clock();
+            assert_eq!(est.rounds, 5);
+            let err = (est.offset_ns - skew).unsigned_abs();
+            // The estimate's error is bounded by rtt/2; allow headroom for
+            // a loaded CI box, but ±50 ms skews must be clearly separated.
+            assert!(
+                err <= est.rtt_ns / 2 + 5_000_000,
+                "daemon {i}: offset {} vs skew {skew} (rtt {})",
+                est.offset_ns,
+                est.rtt_ns
+            );
+        }
+    }
+
+    #[test]
+    fn merged_stream_sorts_by_aligned_time_under_skew() {
+        // Daemon 0 runs 50 ms fast, daemon 1 runs 50 ms slow. Samples are
+        // sent alternately with real gaps between them, so the true send
+        // order is 0,1,2,... (encoded in the value). Raw wall stamps order
+        // all of daemon 1 before daemon 0 — a 100 ms split across a ~40 ms
+        // experiment — so an unaligned merge is provably wrong, and the
+        // aligned merge must recover the send order.
+        let (mut set, daemons) = set_with_skews(&[50_000_000, -50_000_000]);
+        sync(&mut set, &daemons);
+        let n = 8usize;
+        for i in 0..n {
+            daemons[i % 2].send_sample("M", i as f64);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(set.pump_until_samples(n, Duration::from_secs(5)), n);
+
+        let merged = set.merged_samples();
+        let aligned_order: Vec<f64> = merged.iter().map(|s| s.value).collect();
+        let want: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_eq!(aligned_order, want, "aligned merge = true send order");
+        assert!(
+            merged
+                .windows(2)
+                .all(|w| w[0].aligned_ns <= w[1].aligned_ns),
+            "merged stream is nondecreasing in aligned time"
+        );
+
+        let mut by_wall = set.samples().to_vec();
+        by_wall.sort_by_key(|s| s.wall);
+        let wall_order: Vec<f64> = by_wall.iter().map(|s| s.value).collect();
+        assert_ne!(
+            wall_order, want,
+            "raw wall stamps mis-order the merge; alignment is load-bearing"
+        );
+        assert_eq!(
+            set.data().shard_stats(0).samples + set.data().shard_stats(1).samples,
+            n as u64
+        );
+    }
+
+    #[test]
+    fn mappings_and_streams_flow_through_the_set() {
+        let (mut set, daemons) = set_with_skews(&[0, 0]);
+        sync(&mut set, &daemons);
+        for (i, d) in daemons.iter().enumerate() {
+            let _ = send_wire(
+                &*d.tx,
+                &DaemonMsg::ArrayAllocated {
+                    id: i as u32,
+                    name: format!("ARR{i}"),
+                    extents: vec![64],
+                    dist: cmrts_sim::Distribution::Block,
+                    subgrids: vec![(i, 32, 32), (i + 2, 32, 32)],
+                },
+            );
+            d.send_sample("Computation Time", 1.0 + i as f64);
+        }
+        set.pump_until_samples(2, Duration::from_secs(5));
+        assert_eq!(set.data().dynamic_arrays().len(), 2);
+        assert_eq!(set.data().shard_stats(0).imports, 1);
+        assert_eq!(set.data().shard_stats(1).imports, 1);
+        let axis = set.data().render_where_axis();
+        assert!(axis.contains("ARR0") && axis.contains("ARR1"), "{axis}");
+        let streams = set.merged_streams();
+        assert_eq!(streams.len(), 1, "one (metric, focus) pair");
+        assert_eq!(streams[0].len(), 2);
+        assert_eq!(streams[0].metric, "Computation Time");
+    }
+
+    #[test]
+    fn pump_parallel_feeds_all_shards() {
+        let (mut set, daemons) = set_with_skews(&[0, 0, 0, 0]);
+        for (i, d) in daemons.iter().enumerate() {
+            for k in 0..8 {
+                d.send_sample("M", (i * 8 + k) as f64);
+            }
+        }
+        let mut total = 0;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while total < 32 && Instant::now() < deadline {
+            set.pump_parallel();
+            total = set.samples().len();
+        }
+        assert_eq!(total, 32);
+        for i in 0..4 {
+            assert_eq!(set.data().shard_stats(i).samples, 8, "shard {i}");
+            assert_eq!(set.conn(i).samples_received(), 8);
+        }
+    }
+}

@@ -13,6 +13,34 @@
 //! the CMFarrays hierarchy of Figure 8 including per-node subregions).
 //! It also resolves where-axis foci into instrumentation guard predicates —
 //! the §6.1 "check the array's node-global boolean variable" step.
+//!
+//! # Sharding (multi-daemon sessions)
+//!
+//! The paper's distributed SAS (§4.2.3) runs one daemon per node and merges
+//! their streams in the tool. To let N daemon connections import mapping
+//! information and deliver samples concurrently, the manager is **sharded
+//! by where-axis subtree**: each daemon connection owns one [`Shard`] —
+//! a small mutex-protected store for the dynamic arrays that daemon
+//! allocated (its subtree of `CMFarrays`, plus its `Machine` nodes) — while
+//! the **read-mostly shared catalogue** (mapping table, PIF metrics, the
+//! merged where axis) sits behind one `RwLock`. The write paths taken per
+//! message (`array_allocated_on`, `note_samples_on`) touch only their
+//! shard: allocations are appended locally and queued as *pending axis
+//! updates*; readers ([`DataManager::render_where_axis`],
+//! [`DataManager::resolve_focus`], …) merge every shard's pending queue
+//! into the shared axis before reading — per-subtree state, merged at the
+//! edges. Two daemons therefore never contend on the import path, which is
+//! what the per-shard `lock_wait_ns` counter makes visible.
+//!
+//! Invariants:
+//! * an array name maps to exactly one axis node no matter which shard
+//!   announced it (merge is idempotent, like [`ResourceTree::child`]);
+//! * `dynamic_arrays()` is the shard-order concatenation, so the 1-shard
+//!   manager behaves exactly like the pre-sharding one;
+//! * sample delivery never takes any DataManager lock — only per-shard
+//!   relaxed counters move.
+//!
+//! [`ResourceTree::child`]: pdmap::hierarchy::ResourceTree::child
 
 use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
 use cmrts_sim::ArrayId;
@@ -22,9 +50,12 @@ use pdmap::cost::{Cost, UnitMismatch};
 use pdmap::hierarchy::{Focus, WhereAxis};
 use pdmap::mapping::MappingTable;
 use pdmap::model::{Namespace, SentenceId};
-use pdmap::util::Mutex;
+use pdmap::util::{FxHasher, Mutex, RwLock};
 use pdmap_pif::{Applied, ApplyError, MetricRecord, PifFile};
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Failure to turn a focus into guard predicates.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,36 +90,111 @@ fn datamgr_import_site() -> &'static pdmap_obs::SpanSite {
     SITE.get_or_init(|| pdmap_obs::span_site("datamgr", "import"))
 }
 
-struct DmInner {
+/// The read-mostly shared catalogue: everything every shard's consumer
+/// needs merged — the mapping table, imported PIF metrics, and the where
+/// axis (static resources plus every merged dynamic subtree).
+struct DmShared {
     mappings: MappingTable,
     axis: WhereAxis,
     pif_metrics: Vec<MetricRecord>,
+    /// Content hashes of PIF texts imported over the wire, so N daemons
+    /// shipping the same executable's PIF populate the catalogue once.
+    imported_pif_hashes: HashSet<u64>,
+}
+
+/// A dynamic allocation's axis contribution, queued in its shard until a
+/// reader merges it into the shared axis.
+struct PendingAlloc {
+    name: String,
+    nodes: Vec<usize>,
+}
+
+#[derive(Default)]
+struct ShardInner {
     dynamic_arrays: Vec<ArrayAllocInfo>,
     freed: Vec<ArrayId>,
+    pending: Vec<PendingAlloc>,
+}
+
+/// Point-in-time counters for one shard (see [`DataManager::shard_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Mapping-information imports routed to this shard (dynamic
+    /// allocations plus wire-shipped PIF files).
+    pub imports: u64,
+    /// Metric samples delivered by this shard's daemon connection.
+    pub samples: u64,
+    /// Nanoseconds spent waiting to acquire this shard's lock — near zero
+    /// while shards really are independent.
+    pub lock_wait_ns: u64,
+}
+
+/// One daemon connection's slice of the manager: private mutable state
+/// behind its own lock, counters mirrored into the global `pdmap-obs`
+/// registry as `datamgr.shard<K>.{imports,samples,lock_wait_ns}`.
+struct Shard {
+    inner: Mutex<ShardInner>,
+    imports: AtomicU64,
+    samples: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    obs_imports: std::sync::Arc<pdmap_obs::Counter>,
+    obs_samples: std::sync::Arc<pdmap_obs::Counter>,
+    obs_lock_wait: std::sync::Arc<pdmap_obs::Counter>,
+}
+
+impl Shard {
+    fn new(index: usize) -> Self {
+        Self {
+            inner: Mutex::new(ShardInner::default()),
+            imports: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+            obs_imports: pdmap_obs::counter(&format!("datamgr.shard{index}.imports")),
+            obs_samples: pdmap_obs::counter(&format!("datamgr.shard{index}.samples")),
+            obs_lock_wait: pdmap_obs::counter(&format!("datamgr.shard{index}.lock_wait_ns")),
+        }
+    }
+
+    /// Locks the shard, charging the acquisition wait to `lock_wait_ns`.
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardInner> {
+        let t0 = pdmap_obs::now_ns();
+        let g = self.inner.lock();
+        let waited = pdmap_obs::now_ns().saturating_sub(t0);
+        self.lock_wait_ns.fetch_add(waited, Ordering::Relaxed);
+        self.obs_lock_wait.add(waited);
+        g
+    }
 }
 
 /// The resource dictionary + mapping store.
 pub struct DataManager {
     ns: Namespace,
     source_level: String,
-    inner: Mutex<DmInner>,
+    shared: RwLock<DmShared>,
+    shards: Box<[Shard]>,
 }
 
 impl DataManager {
-    /// Creates a data manager over a shared namespace. `source_level` is
-    /// the language level name used when resolving foci (default
-    /// `CM Fortran`).
+    /// Creates a single-shard data manager over a shared namespace (the
+    /// seed's single-daemon topology). `source_level` is the language level
+    /// name used when resolving foci (default `CM Fortran`).
     pub fn new(ns: Namespace, source_level: &str) -> Self {
+        Self::sharded(ns, source_level, 1)
+    }
+
+    /// Creates a data manager with `shards` independent shards — one per
+    /// expected daemon connection. `shards` is clamped to at least 1.
+    pub fn sharded(ns: Namespace, source_level: &str, shards: usize) -> Self {
         Self {
             ns,
             source_level: source_level.to_string(),
-            inner: Mutex::new(DmInner {
+            shared: RwLock::new(DmShared {
                 mappings: MappingTable::new(),
                 axis: WhereAxis::new(),
                 pif_metrics: Vec::new(),
-                dynamic_arrays: Vec::new(),
-                freed: Vec::new(),
+                imported_pif_hashes: HashSet::new(),
             }),
+            shards: (0..shards.max(1)).map(Shard::new).collect(),
         }
     }
 
@@ -97,48 +203,138 @@ impl DataManager {
         &self.ns
     }
 
-    /// Imports a PIF file (static mapping information, §3/§5).
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counter snapshot for shard `k` (panics if out of range).
+    pub fn shard_stats(&self, k: usize) -> ShardStats {
+        let s = &self.shards[k];
+        ShardStats {
+            imports: s.imports.load(Ordering::Relaxed),
+            samples: s.samples.load(Ordering::Relaxed),
+            lock_wait_ns: s.lock_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Imports a PIF file (static mapping information, §3/§5). Static
+    /// imports go straight to the shared catalogue.
     pub fn import_pif(&self, file: &PifFile) -> Result<Applied, ApplyError> {
         let _span = pdmap_obs::span(datamgr_import_site());
-        let mut g = self.inner.lock();
-        let DmInner { mappings, axis, .. } = &mut *g;
+        let mut g = self.shared.write();
+        let DmShared { mappings, axis, .. } = &mut *g;
         let applied = pdmap_pif::apply(file, &self.ns, mappings, axis)?;
         g.pif_metrics.extend(applied.metrics.iter().cloned());
         Ok(applied)
     }
 
+    /// Imports PIF text shipped over the wire by daemon `shard` (the §5
+    /// "daemons import static mapping information ... just after they load
+    /// each application executable" path, crossing a process boundary).
+    /// Identical texts arriving from several daemons of one SPMD program
+    /// are applied once; every arrival still counts as that shard's import.
+    /// Returns `Ok(None)` for a duplicate.
+    pub fn import_pif_text(
+        &self,
+        shard: usize,
+        text: &str,
+    ) -> Result<Option<Applied>, pdmap_pif::ParseError> {
+        let s = &self.shards[shard % self.shards.len()];
+        s.imports.fetch_add(1, Ordering::Relaxed);
+        s.obs_imports.incr();
+        let mut h = FxHasher::default();
+        h.write(text.as_bytes());
+        let key = h.finish();
+        if self.shared.read().imported_pif_hashes.contains(&key) {
+            return Ok(None);
+        }
+        let file = pdmap_pif::parse(text)?;
+        // Racing importers may both parse; `apply` runs once per winner of
+        // the hash insertion below.
+        let mut g = self.shared.write();
+        if !g.imported_pif_hashes.insert(key) {
+            return Ok(None);
+        }
+        let _span = pdmap_obs::span(datamgr_import_site());
+        let DmShared { mappings, axis, .. } = &mut *g;
+        match pdmap_pif::apply(&file, &self.ns, mappings, axis) {
+            Ok(applied) => {
+                g.pif_metrics.extend(applied.metrics.iter().cloned());
+                Ok(Some(applied))
+            }
+            // An unapplicable wire PIF is recorded as "seen" but contributes
+            // nothing; daemons are untrusted input, never a panic source.
+            Err(_) => Ok(None),
+        }
+    }
+
     /// Ensures the Machine hierarchy has `nodes` node resources.
     pub fn ensure_machine(&self, nodes: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.shared.write();
         let tree = g.axis.tree_mut("Machine");
         for i in 0..nodes {
             tree.add_path(&[&format!("node#{i}")]);
         }
     }
 
-    /// Runs `f` against the where axis.
+    /// Merges every shard's pending axis updates into the shared axis.
+    /// Called by readers; cheap (one uncontended lock per shard) when
+    /// nothing is pending.
+    fn sync_pending(&self) {
+        let mut pending: Vec<PendingAlloc> = Vec::new();
+        for shard in self.shards.iter() {
+            let mut g = shard.lock();
+            pending.append(&mut g.pending);
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let mut g = self.shared.write();
+        let tree = g.axis.tree_mut("CMFarrays");
+        for p in pending {
+            // The static PIF usually placed the array already; otherwise
+            // park it at the root. Idempotent across shards by name.
+            let array_node = tree
+                .find_by_name(&p.name)
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| tree.add_path(&[&p.name]));
+            for node in p.nodes {
+                tree.child(array_node, &format!("sub#{node}"));
+            }
+        }
+    }
+
+    /// Runs `f` against the (merged) where axis.
     pub fn with_axis<R>(&self, f: impl FnOnce(&WhereAxis) -> R) -> R {
-        f(&self.inner.lock().axis)
+        self.sync_pending();
+        f(&self.shared.read().axis)
     }
 
     /// Runs `f` against the mapping table.
     pub fn with_mappings<R>(&self, f: impl FnOnce(&MappingTable) -> R) -> R {
-        f(&self.inner.lock().mappings)
+        f(&self.shared.read().mappings)
     }
 
     /// Metric records imported from PIF files.
     pub fn pif_metrics(&self) -> Vec<MetricRecord> {
-        self.inner.lock().pif_metrics.clone()
+        self.shared.read().pif_metrics.clone()
     }
 
-    /// Dynamic array-allocation records received so far.
+    /// Dynamic array-allocation records received so far, in shard order.
     pub fn dynamic_arrays(&self) -> Vec<ArrayAllocInfo> {
-        self.inner.lock().dynamic_arrays.clone()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().dynamic_arrays.iter().cloned());
+        }
+        out
     }
 
-    /// Renders the full where-axis display (Figure 8).
+    /// Renders the full (merged) where-axis display (Figure 8).
     pub fn render_where_axis(&self) -> String {
-        self.inner.lock().axis.render()
+        self.sync_pending();
+        self.shared.read().axis.render()
     }
 
     /// Maps measured low-level costs upward through the mapping table.
@@ -147,8 +343,44 @@ impl DataManager {
         measured: &[(SentenceId, Cost)],
         policy: AssignPolicy,
     ) -> Result<AssignmentResult, UnitMismatch> {
-        let g = self.inner.lock();
+        let g = self.shared.read();
         assign_per_source(&g.mappings, measured, policy)
+    }
+
+    /// Dynamic mapping information routed to an explicit shard — the entry
+    /// point used by multi-daemon sessions ([`crate::daemonset::DaemonSet`]
+    /// hands each connection its own shard index). Compiler temporaries are
+    /// filtered exactly as on the [`MappingSink`] path.
+    pub fn array_allocated_on(&self, shard: usize, info: &ArrayAllocInfo) {
+        let _span = pdmap_obs::span(datamgr_import_site());
+        if info.name.starts_with("CMF_TMP") {
+            return; // compiler temporaries are not user resources
+        }
+        let s = &self.shards[shard % self.shards.len()];
+        s.imports.fetch_add(1, Ordering::Relaxed);
+        s.obs_imports.incr();
+        let mut g = s.lock();
+        g.dynamic_arrays.push(info.clone());
+        g.pending.push(PendingAlloc {
+            name: info.name.clone(),
+            nodes: info.subgrids.iter().map(|&(n, _, _)| n).collect(),
+        });
+    }
+
+    /// An array free routed to an explicit shard.
+    pub fn array_freed_on(&self, shard: usize, array: ArrayId) {
+        self.shards[shard % self.shards.len()]
+            .lock()
+            .freed
+            .push(array);
+    }
+
+    /// Records `n` metric samples delivered via `shard`. Lock-free: the
+    /// sample path moves only relaxed counters, never a manager lock.
+    pub fn note_samples_on(&self, shard: usize, n: u64) {
+        let s = &self.shards[shard % self.shards.len()];
+        s.samples.fetch_add(n, Ordering::Relaxed);
+        s.obs_samples.add(n);
     }
 
     fn array_active_sentence(&self, array: &str) -> Option<SentenceId> {
@@ -176,7 +408,8 @@ impl DataManager {
     ///   (Figure 9: metrics constrained to "subsections of arrays");
     /// * `CMFstmts/.../line#N` → `{lineN} Executes` active.
     pub fn resolve_focus(&self, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
-        let g = self.inner.lock();
+        self.sync_pending();
+        let g = self.shared.read();
         self.resolve_focus_locked(&g, focus)
     }
 
@@ -185,7 +418,8 @@ impl DataManager {
     /// their subregions, statement leaves, machine nodes). Used by the
     /// Performance Consultant.
     pub fn refinement_candidates(&self, focus: &Focus) -> Vec<Focus> {
-        let g = self.inner.lock();
+        self.sync_pending();
+        let g = self.shared.read();
         let mut out = Vec::new();
         for tree in g.axis.trees() {
             let hier = tree.name().to_string();
@@ -209,7 +443,7 @@ impl DataManager {
         out
     }
 
-    fn resolve_focus_locked(&self, g: &DmInner, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
+    fn resolve_focus_locked(&self, g: &DmShared, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
         let mut preds = Vec::new();
         for (hier, path) in focus.selections() {
             if path == "/" {
@@ -269,30 +503,15 @@ impl DataManager {
 
 impl MappingSink for DataManager {
     /// Dynamic mapping information (§6.1 step 1): a new array and its
-    /// node subregions arrive from the run-time system.
+    /// node subregions arrive from the run-time system. The sink interface
+    /// carries no connection identity, so it routes to shard 0 — the
+    /// single-daemon topology.
     fn array_allocated(&self, info: &ArrayAllocInfo) {
-        let _span = pdmap_obs::span(datamgr_import_site());
-        if info.name.starts_with("CMF_TMP") {
-            return; // compiler temporaries are not user resources
-        }
-        let mut g = self.inner.lock();
-        g.dynamic_arrays.push(info.clone());
-        let tree = g.axis.tree_mut("CMFarrays");
-        // The static PIF usually placed the array already; otherwise park
-        // it at the root.
-        let array_node = tree
-            .find_by_name(&info.name)
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| tree.add_path(&[&info.name]));
-        for &(node, rows, elems) in &info.subgrids {
-            let sub = tree.child(array_node, &format!("sub#{node}"));
-            let _ = (sub, rows, elems);
-        }
+        self.array_allocated_on(0, info);
     }
 
     fn array_freed(&self, array: ArrayId) {
-        self.inner.lock().freed.push(array);
+        self.array_freed_on(0, array);
     }
 }
 
@@ -315,6 +534,16 @@ mod tests {
         dm
     }
 
+    fn alloc(name: &str, nodes: std::ops::Range<usize>) -> ArrayAllocInfo {
+        ArrayAllocInfo {
+            array: ArrayId(0),
+            name: name.into(),
+            extents: vec![1024],
+            dist: Distribution::Block,
+            subgrids: nodes.map(|n| (n, 256, 256)).collect(),
+        }
+    }
+
     #[test]
     fn pif_import_populates_axis_and_mappings() {
         let dm = dm_with_program();
@@ -328,17 +557,12 @@ mod tests {
     #[test]
     fn dynamic_alloc_adds_subregions() {
         let dm = dm_with_program();
-        dm.array_allocated(&ArrayAllocInfo {
-            array: ArrayId(0),
-            name: "A".into(),
-            extents: vec![1024],
-            dist: Distribution::Block,
-            subgrids: (0..4).map(|n| (n, 256, 256)).collect(),
-        });
+        dm.array_allocated(&alloc("A", 0..4));
         let shown = dm.render_where_axis();
         assert!(shown.contains("sub#0"));
         assert!(shown.contains("sub#3"));
         assert_eq!(dm.dynamic_arrays().len(), 1);
+        assert_eq!(dm.shard_stats(0).imports, 1);
     }
 
     #[test]
@@ -374,13 +598,7 @@ mod tests {
     #[test]
     fn subregion_focus_adds_node_restriction() {
         let dm = dm_with_program();
-        dm.array_allocated(&ArrayAllocInfo {
-            array: ArrayId(0),
-            name: "A".into(),
-            extents: vec![1024],
-            dist: Distribution::Block,
-            subgrids: (0..4).map(|n| (n, 256, 256)).collect(),
-        });
+        dm.array_allocated(&alloc("A", 0..4));
         let f = Focus::whole_program().select("CMFarrays", "/hpfex.fcm/HPFEX/A/sub#1");
         let preds = dm.resolve_focus(&f).unwrap();
         assert_eq!(preds.len(), 2);
@@ -439,5 +657,76 @@ mod tests {
             .unwrap();
         assert_eq!(res.assignments.len(), 1);
         assert_eq!(res.assignments[0].target.members().len(), n_dests);
+    }
+
+    #[test]
+    fn shards_keep_independent_state_and_merge_one_axis() {
+        let dm = DataManager::sharded(Namespace::new(), "CM Fortran", 3);
+        assert_eq!(dm.shard_count(), 3);
+        dm.array_allocated_on(0, &alloc("A", 0..2));
+        dm.array_allocated_on(1, &alloc("B", 2..4));
+        dm.array_allocated_on(2, &alloc("A", 0..2)); // same name, other daemon
+        dm.note_samples_on(1, 5);
+        let shown = dm.render_where_axis();
+        // One axis node per array name, with subregions, regardless of shard.
+        assert_eq!(shown.matches("  A\n").count(), 1, "{shown}");
+        assert!(shown.contains("sub#2"));
+        assert_eq!(dm.dynamic_arrays().len(), 3);
+        assert_eq!(dm.shard_stats(0).imports, 1);
+        assert_eq!(dm.shard_stats(1).imports, 1);
+        assert_eq!(dm.shard_stats(1).samples, 5);
+        assert_eq!(dm.shard_stats(2).samples, 0);
+    }
+
+    #[test]
+    fn wire_pif_import_is_deduplicated_but_counted_per_shard() {
+        let ns = Namespace::new();
+        let compiled = cmf_lang::compile(
+            cmf_lang::samples::FIGURE4,
+            &ns,
+            &cmf_lang::CompileOptions::default(),
+        )
+        .unwrap();
+        let text = pdmap_pif::write(&compiled.pif);
+        let dm = DataManager::sharded(ns, "CM Fortran", 2);
+        let first = dm.import_pif_text(0, &text).unwrap();
+        assert!(first.is_some(), "first wire import applies");
+        let second = dm.import_pif_text(1, &text).unwrap();
+        assert!(second.is_none(), "identical PIF from daemon 1 is a dup");
+        assert_eq!(dm.shard_stats(0).imports, 1);
+        assert_eq!(dm.shard_stats(1).imports, 1);
+        let n = dm.with_mappings(|m| m.len());
+        let _ = dm.import_pif_text(0, &text).unwrap();
+        assert_eq!(dm.with_mappings(|m| m.len()), n, "catalogue applied once");
+        assert!(dm.render_where_axis().contains("CMFarrays"));
+    }
+
+    #[test]
+    fn concurrent_import_and_deliver_on_two_shards_loses_nothing() {
+        const N: usize = 200;
+        let dm = std::sync::Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", 2));
+        std::thread::scope(|s| {
+            for shard in 0..2usize {
+                let dm = dm.clone();
+                s.spawn(move || {
+                    for i in 0..N {
+                        dm.array_allocated_on(shard, &alloc(&format!("S{shard}_{i}"), 0..2));
+                        dm.note_samples_on(shard, 1);
+                        if i % 64 == 0 {
+                            // Readers interleave with writers on the other shard.
+                            let _ = dm.render_where_axis();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(dm.dynamic_arrays().len(), 2 * N);
+        for shard in 0..2 {
+            let st = dm.shard_stats(shard);
+            assert_eq!(st.imports, N as u64, "shard {shard} imports");
+            assert_eq!(st.samples, N as u64, "shard {shard} samples");
+        }
+        let shown = dm.render_where_axis();
+        assert!(shown.contains("S0_0") && shown.contains(&format!("S1_{}", N - 1)));
     }
 }

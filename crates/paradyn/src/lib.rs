@@ -14,6 +14,8 @@
 //! * [`consultant`] — the Performance Consultant's why/where search;
 //! * [`daemon`] — the §5 wire protocol between the application-linked
 //!   instrumentation library and the tool's daemon;
+//! * [`daemonset`] — the §4.2.3 multi-daemon session: N TCP links, clock
+//!   alignment, and one merged sample stream over the sharded manager;
 //! * [`tool`] — the [`Paradyn`](tool::Paradyn) facade tying it together.
 //!
 //! ```
@@ -36,6 +38,7 @@
 pub mod catalogue;
 pub mod consultant;
 pub mod daemon;
+pub mod daemonset;
 pub mod datamgr;
 pub mod metrics;
 pub mod report;
@@ -46,9 +49,13 @@ pub mod visi;
 
 pub use catalogue::{figure9_catalogue, FIGURE9_MDL};
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
-pub use datamgr::{DataManager, FocusError};
+pub use daemonset::{AlignedSample, ClockEstimate, ClockSyncError, DaemonConn, DaemonSet};
+pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 pub use report::{profile, run_report, Profile};
-pub use selfmap::{ask_obs, export_obs, obs_catalogue, obs_sentences, OBS_MDL};
+pub use selfmap::{
+    ask_obs, export_obs, export_shard_obs, obs_catalogue, obs_sentences, shard_obs_catalogue,
+    shard_obs_mdl, OBS_MDL,
+};
 pub use stream::{run_sampled, run_sampled_adaptive, Stream};
 pub use tool::{LoadError, Paradyn};

@@ -265,6 +265,92 @@ pub fn obs_catalogue() -> MdlFile {
     parse_mdl(OBS_MDL).expect("embedded OBS MDL must parse")
 }
 
+/// The per-shard counter fields exported for a sharded
+/// [`crate::datamgr::DataManager`], in catalogue order. `lock_wait_ns`
+/// follows the Time-metric convention (declared `units seconds`, values in
+/// nanoseconds — see the module docs).
+pub const SHARD_OBS_FIELDS: [(&str, &str, &str); 3] = [
+    (
+        "imports",
+        "operations",
+        "Mapping-information imports (dynamic allocations and wire PIFs) routed to this shard.",
+    ),
+    (
+        "samples",
+        "operations",
+        "Metric samples delivered by this shard's daemon connection.",
+    ),
+    (
+        "lock_wait_ns",
+        "seconds",
+        "Nanoseconds spent waiting to acquire this shard's lock.",
+    ),
+];
+
+/// Generates MDL source for the per-shard Data Manager counters of a
+/// session with `shards` shards: one Count-style metric per shard per
+/// [`SHARD_OBS_FIELDS`] entry, named `Obs datamgr shard<K> <field>`. The
+/// shard population is per-session (unlike the fixed [`pdmap_obs::KNOWN_SITES`]),
+/// which is why this catalogue is generated rather than embedded.
+pub fn shard_obs_mdl(shards: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("// ---------------- Tool level: datamgr shards ----------------\n");
+    for k in 0..shards.max(1) {
+        for (field, units, desc) in SHARD_OBS_FIELDS {
+            let ident = field.replace('.', "_");
+            // MDL pairs `seconds` with wall timers and everything else
+            // with counters; mirror the hand-written catalogue above.
+            let body = if units == "seconds" {
+                format!(
+                    "foreach point \"obs::datamgr/shard{k}:{field}:enter\" {{ startWallTimer; }}\n    foreach point \"obs::datamgr/shard{k}:{field}:exit\" {{ stopWallTimer; }}"
+                )
+            } else {
+                format!("foreach point \"obs::datamgr/shard{k}:{field}\" {{ incrCounter 1; }}")
+            };
+            write!(
+                out,
+                r#"
+metric obs_datamgr_shard{k}_{ident} {{
+    name "{}";
+    units {units};
+    aggregate sum;
+    level "Tool";
+    description "Shard {k}: {desc}";
+    {body}
+}}
+"#,
+                shard_obs_metric(k, field),
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    out
+}
+
+/// The display name of a per-shard counter metric.
+pub fn shard_obs_metric(shard: usize, field: &str) -> String {
+    format!("Obs datamgr shard{shard} {field}")
+}
+
+/// Parses the generated per-shard catalogue for `shards` shards.
+pub fn shard_obs_catalogue(shards: usize) -> MdlFile {
+    parse_mdl(&shard_obs_mdl(shards)).expect("generated shard OBS MDL must parse")
+}
+
+/// Exports a data manager's per-shard counters as `(metric, value)`
+/// samples in catalogue order — the sharded counterpart of [`export_obs`],
+/// reading [`crate::datamgr::DataManager::shard_stats`] instead of a span
+/// snapshot.
+pub fn export_shard_obs(dm: &crate::datamgr::DataManager) -> Vec<(MetricDecl, u64)> {
+    let catalogue = shard_obs_catalogue(dm.shard_count());
+    let mut values = Vec::with_capacity(dm.shard_count() * SHARD_OBS_FIELDS.len());
+    for k in 0..dm.shard_count() {
+        let st = dm.shard_stats(k);
+        values.extend([st.imports, st.samples, st.lock_wait_ns]);
+    }
+    catalogue.metrics.into_iter().zip(values).collect()
+}
+
 /// The display name of the Time metric for a span site.
 pub fn obs_time_metric(component: &str, verb: &str) -> String {
     format!("Obs {component} {verb} Time")
@@ -413,6 +499,43 @@ mod tests {
         };
         assert!(lookup("Obs datamgr import Time") >= 3_000);
         assert!(lookup("Obs datamgr import Count") >= 2);
+    }
+
+    #[test]
+    fn shard_catalogue_generates_parses_and_exports() {
+        use pdmap::model::Namespace;
+
+        let f = shard_obs_catalogue(4);
+        assert_eq!(f.metrics.len(), 4 * SHARD_OBS_FIELDS.len());
+        let reparsed = parse_mdl(&f.emit()).unwrap();
+        assert_eq!(f, reparsed);
+        for m in &f.metrics {
+            assert_eq!(m.level, OBS_LEVEL);
+        }
+
+        let dm = crate::datamgr::DataManager::sharded(Namespace::new(), "CM Fortran", 2);
+        dm.array_allocated_on(
+            1,
+            &cmrts_sim::machine::ArrayAllocInfo {
+                array: cmrts_sim::ArrayId(0),
+                name: "A".into(),
+                extents: vec![8],
+                dist: cmrts_sim::Distribution::Block,
+                subgrids: vec![(0, 4, 4)],
+            },
+        );
+        dm.note_samples_on(0, 3);
+        let rows = export_shard_obs(&dm);
+        assert_eq!(rows.len(), 2 * SHARD_OBS_FIELDS.len());
+        let lookup = |name: &str| {
+            rows.iter()
+                .find(|(m, _)| m.name == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(lookup(&shard_obs_metric(0, "samples")), 3);
+        assert_eq!(lookup(&shard_obs_metric(1, "imports")), 1);
+        assert_eq!(lookup(&shard_obs_metric(0, "imports")), 0);
     }
 
     #[test]

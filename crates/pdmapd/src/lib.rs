@@ -1,0 +1,272 @@
+//! # pdmapd — the standalone Paradyn daemon process
+//!
+//! §4.2.3/§5 of the paper: Paradyn runs one daemon per node of the
+//! parallel machine; the application-linked instrumentation library sends
+//! mapping information and performance data to its daemon, and the daemons
+//! forward everything to the tool's Data Manager. The seed reproduced the
+//! protocol but ran every "daemon" as a thread inside the tool process;
+//! `pdmapd` is the real thing — a separate process that
+//!
+//! 1. listens on TCP speaking the `pdmap-transport` frame protocol,
+//! 2. compiles a CM Fortran workload and ships its PIF (static mapping
+//!    information) as a [`PifBlob`] frame,
+//! 3. drives the workload with an [`InstrLibEndpoint`] as its mapping
+//!    sink, so dynamic allocations cross the wire exactly as in §5,
+//! 4. streams periodic metric samples stamped with the **daemon's own
+//!    clock**, and
+//! 5. answers [`DaemonMsg::ClockProbe`]s so the tool can align those
+//!    stamps (`paradyn_tool::daemonset` holds the offset math).
+//!
+//! A configurable `skew_ns` is added to every clock read — in real
+//! deployments the skew between hosts is whatever it is; here it is
+//! injected so tests can prove alignment does something. The library
+//! exposes [`serve`]/[`spawn`] so tests and examples can run daemons
+//! in-process (threads); `src/main.rs` wraps the same loop in a binary
+//! whose first stdout line is `PDMAPD LISTENING <addr>` for parents that
+//! spawn it with `--listen 127.0.0.1:0`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use cmrts_sim::MachineConfig;
+use paradyn_tool::daemon::{DaemonMsg, InstrLibEndpoint};
+use pdmap::model::Namespace;
+use pdmap_transport::{send_wire, PifBlob, TcpServer, Transport, WirePayload};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one daemon process (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub listen: String,
+    /// Injected clock skew (ns), added to every clock read — both probe
+    /// replies and sample stamps, consistently, like a fast/slow host.
+    pub skew_ns: i64,
+    /// Metric samples to stream after the workload runs.
+    pub samples: u32,
+    /// Gap between consecutive samples.
+    pub period: Duration,
+    /// How long to keep answering clock probes after the last sample.
+    pub linger: Duration,
+    /// How long to wait for the tool to connect before giving up.
+    pub connect_timeout: Duration,
+    /// Nodes of the simulated machine driving the workload.
+    pub nodes: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            skew_ns: 0,
+            samples: 16,
+            period: Duration::from_millis(2),
+            linger: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(30),
+            nodes: 4,
+        }
+    }
+}
+
+/// What one [`serve`] run did — printed by the binary, asserted by tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Clock probes answered.
+    pub probes_answered: u64,
+    /// Metric samples sent.
+    pub samples_sent: u32,
+    /// Instruction blocks the workload machine dispatched.
+    pub workload_steps: u64,
+    /// Whether a tool connected before the timeout (nothing is sent
+    /// otherwise).
+    pub tool_connected: bool,
+}
+
+/// A daemon running on a background thread (in-process stand-in for the
+/// `pdmapd` binary, used by tests and examples).
+pub struct RunningDaemon {
+    /// The bound listen address.
+    pub addr: SocketAddr,
+    handle: std::thread::JoinHandle<ServeReport>,
+}
+
+impl RunningDaemon {
+    /// Waits for the daemon to finish and returns its report.
+    pub fn join(self) -> ServeReport {
+        self.handle.join().expect("pdmapd serve thread panicked")
+    }
+}
+
+/// Binds `cfg.listen` and runs [`serve`] on a background thread.
+pub fn spawn(cfg: DaemonConfig) -> std::io::Result<RunningDaemon> {
+    let server = TcpServer::bind(&cfg.listen)?;
+    let addr = server.local_addr();
+    let handle = std::thread::Builder::new()
+        .name("pdmapd-serve".into())
+        .spawn(move || serve(server, &cfg))?;
+    Ok(RunningDaemon { addr, handle })
+}
+
+/// Base added to the daemon clock so a negative skew cannot clamp early
+/// stamps at zero. Real daemon clocks have arbitrary origins relative to
+/// the tool's — this constant just guarantees ours do too; alignment
+/// removes it like any other origin difference.
+pub const CLOCK_BASE_NS: u64 = 1_000_000_000;
+
+/// The daemon's clock: the process monotonic clock plus the base origin
+/// plus the injected skew.
+fn daemon_now(skew_ns: i64) -> u64 {
+    (pdmap_obs::now_ns() as i64 + CLOCK_BASE_NS as i64 + skew_ns).max(0) as u64
+}
+
+/// Drains the server's receive queue, answering clock probes with the
+/// skewed clock. Returns probes answered; everything else inbound is
+/// tool→daemon control this daemon does not consume, and is dropped.
+fn answer_probes(server: &TcpServer, skew_ns: i64) -> u64 {
+    let mut answered = 0;
+    while let Ok(Some(frame)) = server.try_recv() {
+        if let Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) = DaemonMsg::from_frame(&frame) {
+            let reply = DaemonMsg::ClockReply {
+                token,
+                t_tool_ns,
+                t_daemon_ns: daemon_now(skew_ns),
+            };
+            if send_wire(server as &dyn Transport, &reply).is_ok() {
+                answered += 1;
+            }
+        }
+    }
+    answered
+}
+
+/// Runs the daemon loop on the caller's thread until the session completes
+/// (connect → PIF → workload → samples → linger) or the connect timeout
+/// expires.
+pub fn serve(server: Arc<TcpServer>, cfg: &DaemonConfig) -> ServeReport {
+    let mut report = ServeReport::default();
+
+    // Phase 0: wait for the tool. The transport accepts in the background;
+    // sending before a connection exists would just error.
+    let deadline = Instant::now() + cfg.connect_timeout;
+    while server.connections() == 0 {
+        if Instant::now() >= deadline {
+            return report;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    report.tool_connected = true;
+
+    // Phase 1: static mapping information — compile the workload and ship
+    // its PIF, as the real daemon does "just after [it] load[s] each
+    // application executable" (§5).
+    let ns = Namespace::new();
+    let compiled = cmf_lang::compile(
+        cmf_lang::samples::FIGURE4,
+        &ns,
+        &cmf_lang::CompileOptions::default(),
+    )
+    .expect("embedded FIGURE4 workload must compile");
+    let pif_text = pdmap_pif::write(&compiled.pif);
+    let _ = send_wire(&*server as &dyn Transport, &PifBlob(pif_text.into_bytes()));
+
+    // Phase 2: dynamic mapping information — run the workload with the
+    // wire endpoint as its mapping sink, so allocations cross the wire.
+    let endpoint = InstrLibEndpoint::over_transport(server.clone() as Arc<dyn Transport>);
+    let mgr = Arc::new(dyninst_sim::InstrumentationManager::new());
+    let mut machine = cmrts_sim::Machine::new(
+        MachineConfig {
+            nodes: cfg.nodes,
+            ..MachineConfig::default()
+        },
+        ns,
+        mgr,
+        compiled.program().clone(),
+    )
+    .expect("embedded workload must load");
+    machine.set_mapping_sink(Arc::new(endpoint));
+    let summary = machine.run();
+    report.workload_steps = summary.blocks_dispatched;
+    report.probes_answered += answer_probes(&server, cfg.skew_ns);
+
+    // Phase 3: performance data — periodic samples on the daemon clock,
+    // interleaved with probe answering so a concurrent clock_sync works.
+    let endpoint = InstrLibEndpoint::over_transport(server.clone() as Arc<dyn Transport>);
+    for i in 0..cfg.samples {
+        endpoint.send_sample(
+            "Computation Time",
+            "<whole program>",
+            daemon_now(cfg.skew_ns),
+            i as f64,
+        );
+        report.samples_sent += 1;
+        report.probes_answered += answer_probes(&server, cfg.skew_ns);
+        std::thread::sleep(cfg.period);
+    }
+
+    // Phase 4: linger so late probes (and probe rounds racing the final
+    // sample) still get answers, then drop the listener.
+    let linger_until = Instant::now() + cfg.linger;
+    while Instant::now() < linger_until {
+        report.probes_answered += answer_probes(&server, cfg.skew_ns);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradyn_tool::{DaemonSet, DataManager};
+    use pdmap_transport::TransportConfig;
+
+    #[test]
+    fn tool_session_against_two_threaded_daemons_over_tcp() {
+        let mk = |skew_ns: i64| {
+            spawn(DaemonConfig {
+                skew_ns,
+                samples: 6,
+                linger: Duration::from_secs(2),
+                ..DaemonConfig::default()
+            })
+            .expect("bind")
+        };
+        let (d0, d1) = (mk(30_000_000), mk(-30_000_000));
+        let data = Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", 2));
+        let mut set = DaemonSet::connect(&[d0.addr, d1.addr], TransportConfig::default(), data);
+        set.clock_sync(4, Duration::from_secs(10)).expect("sync");
+        set.pump_until_samples(12, Duration::from_secs(10));
+
+        // Mappings from both daemons landed (static PIF + dynamic allocs).
+        assert!(set.data().with_mappings(|m| m.len()) > 0, "PIF imported");
+        for i in 0..2 {
+            assert!(
+                set.data().shard_stats(i).imports > 0,
+                "shard {i} saw imports"
+            );
+            assert!(set.conn(i).samples_received() > 0, "daemon {i} sampled");
+            assert!(set.conn(i).pif_imports() > 0, "daemon {i} shipped a PIF");
+        }
+        let axis = set.data().render_where_axis();
+        assert!(axis.contains("CMFarrays"), "{axis}");
+
+        // The merged stream is one stream, nondecreasing in aligned time,
+        // and the recovered offsets reflect the injected ±30 ms skews.
+        let merged = set.merged_samples();
+        assert!(merged.len() >= 12);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].aligned_ns <= w[1].aligned_ns));
+        let (o0, o1) = (set.conn(0).clock().offset_ns, set.conn(1).clock().offset_ns);
+        assert!(
+            o0 - o1 > 40_000_000,
+            "skew difference must be visible: {o0} vs {o1}"
+        );
+        for d in [d0, d1] {
+            let r = d.join();
+            assert!(r.tool_connected && r.probes_answered > 0);
+            assert_eq!(r.samples_sent, 6);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The `pdmapd` binary: one Paradyn daemon process.
+//!
+//! ```sh
+//! pdmapd --listen 127.0.0.1:0 --skew-ns 50000000 --samples 16
+//! ```
+//!
+//! The first stdout line is `PDMAPD LISTENING <addr>` (flushed), so a
+//! parent that spawned the process with port 0 can read the bound address
+//! and hand it to the tool's `DaemonSet`. Everything else goes to stderr.
+//! Exits nonzero if no tool connects before `--connect-timeout-ms`.
+
+use pdmapd::{serve, DaemonConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pdmapd [--listen ADDR] [--skew-ns N] [--samples N] \
+         [--period-ms N] [--linger-ms N] [--connect-timeout-ms N] [--nodes N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> DaemonConfig {
+    let mut cfg = DaemonConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("pdmapd: {what} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => cfg.listen = val("--listen"),
+            "--skew-ns" => match val("--skew-ns").parse() {
+                Ok(v) => cfg.skew_ns = v,
+                Err(_) => usage(),
+            },
+            "--samples" => match val("--samples").parse() {
+                Ok(v) => cfg.samples = v,
+                Err(_) => usage(),
+            },
+            "--period-ms" => match val("--period-ms").parse() {
+                Ok(v) => cfg.period = Duration::from_millis(v),
+                Err(_) => usage(),
+            },
+            "--linger-ms" => match val("--linger-ms").parse() {
+                Ok(v) => cfg.linger = Duration::from_millis(v),
+                Err(_) => usage(),
+            },
+            "--connect-timeout-ms" => match val("--connect-timeout-ms").parse() {
+                Ok(v) => cfg.connect_timeout = Duration::from_millis(v),
+                Err(_) => usage(),
+            },
+            "--nodes" => match val("--nodes").parse() {
+                Ok(v) => cfg.nodes = v,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pdmapd: unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let server = match pdmap_transport::TcpServer::bind(&cfg.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pdmapd: cannot bind {}: {e}", cfg.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("PDMAPD LISTENING {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let report = serve(server, &cfg);
+    eprintln!(
+        "pdmapd: connected={} samples={} probes={} steps={} skew_ns={}",
+        report.tool_connected,
+        report.samples_sent,
+        report.probes_answered,
+        report.workload_steps,
+        cfg.skew_ns
+    );
+    if report.tool_connected {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pdmapd: no tool connected within the timeout");
+        ExitCode::FAILURE
+    }
+}
