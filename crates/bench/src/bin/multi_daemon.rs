@@ -7,16 +7,32 @@
 //! ```sh
 //! cargo run -p pdmap-bench --release --bin multi_daemon            # 4 daemons
 //! cargo run -p pdmap-bench --release --bin multi_daemon -- 2      # 2 daemons
+//! cargo run -p pdmap-bench --release --bin multi_daemon -- 4 --chaos
+//! cargo run -p pdmap-bench --release --bin multi_daemon -- \
+//!     4 --chaos --fault-plan "seed=42 dup=0.05 delay=0.05x2" --secret hunter2
 //! ```
+//!
+//! `--chaos` runs the fault drill instead of the steady-state session:
+//! SIGKILL one of the N daemons mid-stream, assert the supervisor reports
+//! `Coverage { nodes_reporting: N-1 }` (loss labeled, never a silent
+//! zero), respawn a replacement on a fresh port, and assert readmission
+//! back to N/N. `--fault-plan` additionally wraps every tool→daemon link
+//! in a seeded [`FaultInjector`]; the report carries the injector's
+//! conservation check. `--secret` makes every daemon require the
+//! passphrase at handshake. Exits nonzero on uncovered loss — samples
+//! that vanished without showing up in `samples_lost`.
 //!
 //! Finds the `pdmapd` binary via `$PDMAPD_BIN` or next to this
 //! executable (both live in the same cargo target dir). Prints a JSON
 //! report and exits nonzero on any failed assertion — CI's hard gate for
 //! the multi-process session.
 
-use paradyn_tool::{DaemonSet, DataManager};
+use paradyn_tool::{DaemonHealth, DaemonSet, DataManager, SupervisorPolicy};
 use pdmap::model::Namespace;
-use pdmap_transport::TransportConfig;
+use pdmap_transport::{
+    secret_from_str, FaultInjector, FaultPlan, ReconnectPolicy, TcpClient, Transport,
+    TransportConfig,
+};
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
 use std::process::{Child, Command, ExitCode, Stdio};
@@ -43,22 +59,32 @@ struct DaemonProc {
     skew_ns: i64,
 }
 
-fn spawn_daemon(bin: &std::path::Path, skew_ns: i64) -> DaemonProc {
-    let mut child = Command::new(bin)
-        .args([
-            "--listen",
-            "127.0.0.1:0",
-            "--skew-ns",
-            &skew_ns.to_string(),
-            "--samples",
-            &SAMPLES_PER_DAEMON.to_string(),
-            "--period-ms",
-            "5",
-            "--linger-ms",
-            "2000",
-            "--connect-timeout-ms",
-            "30000",
-        ])
+fn spawn_daemon(
+    bin: &std::path::Path,
+    skew_ns: i64,
+    samples: usize,
+    linger_ms: u64,
+    secret: Option<&str>,
+) -> DaemonProc {
+    let mut cmd = Command::new(bin);
+    cmd.args([
+        "--listen",
+        "127.0.0.1:0",
+        "--skew-ns",
+        &skew_ns.to_string(),
+        "--samples",
+        &samples.to_string(),
+        "--period-ms",
+        "5",
+        "--linger-ms",
+        &linger_ms.to_string(),
+        "--connect-timeout-ms",
+        "30000",
+    ]);
+    if let Some(phrase) = secret {
+        cmd.args(["--secret", phrase]);
+    }
+    let mut child = cmd
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -82,23 +108,73 @@ fn spawn_daemon(bin: &std::path::Path, skew_ns: i64) -> DaemonProc {
     }
 }
 
+/// Flags parsed from the command line.
+struct Options {
+    n: usize,
+    chaos: bool,
+    plan: FaultPlan,
+    secret: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        n: 4,
+        chaos: false,
+        plan: FaultPlan::none(),
+        secret: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chaos" => opts.chaos = true,
+            "--fault-plan" => {
+                let spec = args.next().expect("--fault-plan requires a value");
+                opts.plan =
+                    FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("bad --fault-plan: {e}"));
+            }
+            "--secret" => {
+                opts.secret = Some(args.next().expect("--secret requires a value"));
+            }
+            other => {
+                opts.n = other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unknown argument '{other}'"));
+            }
+        }
+    }
+    opts
+}
+
 fn main() -> ExitCode {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("daemon count must be an integer"))
-        .unwrap_or(4);
+    let opts = parse_options();
+    if opts.chaos {
+        return chaos_main(&opts);
+    }
+    let n = opts.n;
     let bin = pdmapd_path();
     let t0 = Instant::now();
 
     // Skews straddle zero, 40 ms apart, so every pair is clearly split.
     let mut procs: Vec<DaemonProc> = (0..n)
-        .map(|i| spawn_daemon(&bin, (i as i64 - (n as i64 - 1) / 2) * 40_000_000))
+        .map(|i| {
+            spawn_daemon(
+                &bin,
+                (i as i64 - (n as i64 - 1) / 2) * 40_000_000,
+                SAMPLES_PER_DAEMON,
+                2000,
+                opts.secret.as_deref(),
+            )
+        })
         .collect();
     let addrs: Vec<SocketAddr> = procs.iter().map(|p| p.addr).collect();
     eprintln!("spawned {n} pdmapd processes: {addrs:?}");
 
     let data = Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", n));
-    let mut set = DaemonSet::connect(&addrs, TransportConfig::default(), data);
+    let cfg = TransportConfig {
+        secret: opts.secret.as_deref().map(secret_from_str),
+        ..TransportConfig::default()
+    };
+    let mut set = DaemonSet::connect(&addrs, cfg, data);
     let t_session_lo = pdmap_obs::now_ns();
     if let Err(e) = set.clock_sync(5, DEADLINE / 4) {
         eprintln!("error: {e}");
@@ -238,5 +314,207 @@ fn kill_all(procs: &mut [DaemonProc]) {
     for p in procs {
         let _ = p.child.kill();
         let _ = p.child.wait();
+    }
+}
+
+/// A transport tuned for fast failure detection (a dead peer is declared
+/// not-alive after 400 ms instead of 2 s), optionally carrying a secret.
+fn chaos_transport(secret: Option<&str>) -> TransportConfig {
+    TransportConfig {
+        liveness_timeout: Duration::from_millis(400),
+        heartbeat_every: Duration::from_millis(50),
+        secret: secret.map(secret_from_str),
+        reconnect: ReconnectPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: 0xC0FFEE,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+/// The fault drill: kill one daemon, demand labeled loss, respawn, demand
+/// readmission. Exits nonzero on any failed check — in particular on
+/// *uncovered* loss, samples gone without a trace in `samples_lost`.
+fn chaos_main(opts: &Options) -> ExitCode {
+    let n = opts.n.max(2);
+    let bin = pdmapd_path();
+    let secret = opts.secret.as_deref();
+    let t0 = Instant::now();
+    let deadline = t0 + DEADLINE * 2;
+
+    // Long-running daemons: the session must survive the whole drill.
+    let mut procs: Vec<Option<DaemonProc>> = (0..n)
+        .map(|i| {
+            Some(spawn_daemon(
+                &bin,
+                i as i64 * 10_000_000,
+                2000,
+                60_000,
+                secret,
+            ))
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = procs.iter().map(|p| p.as_ref().unwrap().addr).collect();
+    eprintln!("chaos: spawned {n} pdmapd processes: {addrs:?}");
+
+    // Tool→daemon links, each optionally behind a seeded fault injector.
+    let mut injectors: Vec<Arc<FaultInjector>> = Vec::new();
+    let transports: Vec<(String, Arc<dyn Transport>)> = addrs
+        .iter()
+        .map(|addr| {
+            let client = TcpClient::connect(*addr, chaos_transport(secret)) as Arc<dyn Transport>;
+            let tx = if opts.plan.is_nop() {
+                client
+            } else {
+                let inj = FaultInjector::wrap(client, opts.plan.clone());
+                injectors.push(inj.clone());
+                inj as Arc<dyn Transport>
+            };
+            (addr.to_string(), tx)
+        })
+        .collect();
+    let data = Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", n));
+    let mut set = DaemonSet::over_transports(transports, data);
+    set.set_policy(SupervisorPolicy {
+        degrade_after: Duration::from_millis(200),
+        quarantine_after: Duration::from_millis(400),
+        retry: ReconnectPolicy {
+            max_attempts: 20,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 7,
+        },
+        retry_sync_rounds: 3,
+        retry_sync_timeout: Duration::from_secs(2),
+        ..SupervisorPolicy::default()
+    });
+
+    let mut ok = true;
+    let mut check = |what: &str, cond: bool| {
+        if !cond {
+            eprintln!("FAIL: {what}");
+            ok = false;
+        }
+    };
+
+    if let Err(e) = set.clock_sync(5, DEADLINE / 4) {
+        eprintln!("error: {e}");
+        let mut all: Vec<DaemonProc> = procs.into_iter().flatten().collect();
+        kill_all(&mut all);
+        return ExitCode::FAILURE;
+    }
+    set.pump_until_samples(2 * n, DEADLINE / 4);
+    check(
+        "pre-kill coverage is complete",
+        set.coverage().is_complete(),
+    );
+    let mappings_before = set.data().with_mappings(|m| m.len());
+
+    // SIGKILL the last daemon: no drain, no Goodbye — a crash.
+    let victim = n - 1;
+    let mut dead = procs[victim].take().unwrap();
+    dead.child.kill().expect("kill pdmapd");
+    dead.child.wait().expect("reap pdmapd");
+    eprintln!("chaos: killed pdmapd at {}", dead.addr);
+
+    while set.health(victim) != DaemonHealth::Quarantined && Instant::now() < deadline {
+        set.pump_parallel();
+        set.supervise();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let cov_during = set.coverage();
+    check(
+        &format!("kill is covered, not silent ({cov_during})"),
+        cov_during.nodes_reporting == n - 1 && cov_during.nodes_total == n,
+    );
+    check(
+        "merged output carries the degraded label",
+        set.merged_samples().coverage().nodes_reporting == n - 1,
+    );
+
+    // Respawn on a fresh port and point the victim's reconnect factory at it.
+    let replacement = spawn_daemon(&bin, victim as i64 * 10_000_000, 2000, 60_000, secret);
+    let new_addr = replacement.addr;
+    eprintln!("chaos: respawned replacement at {new_addr}");
+    let secret_owned = secret.map(str::to_owned);
+    set.set_reconnect(
+        victim,
+        Box::new(move || {
+            TcpClient::connect(new_addr, chaos_transport(secret_owned.as_deref()))
+                as Arc<dyn Transport>
+        }),
+    );
+    procs[victim] = Some(replacement);
+    while set.health(victim) == DaemonHealth::Quarantined && Instant::now() < deadline {
+        set.pump_parallel();
+        set.supervise();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let cov_after = set.coverage();
+    check(
+        &format!("replacement readmitted ({cov_after})"),
+        cov_after.is_complete(),
+    );
+    check(
+        "readmission was logged",
+        set.recoveries().iter().any(|r| r.daemon == victim),
+    );
+    check(
+        "re-shipped PIF deduplicated",
+        set.data().with_mappings(|m| m.len()) == mappings_before,
+    );
+
+    // Graceful wind-down: every survivor announces its send count, and
+    // everything announced is either received or labeled lost.
+    let final_cov = set.shutdown_all(DEADLINE / 2);
+    let mut announced_total = 0u64;
+    let mut received_total = 0u64;
+    for i in 0..n {
+        if let Some(a) = set.conn(i).announced_sent() {
+            announced_total += a;
+            received_total += set.conn(i).samples_received();
+        } else {
+            check(&format!("daemon {i} announced its send count"), false);
+        }
+    }
+    check(
+        &format!(
+            "no uncovered loss: announced {announced_total} == received {received_total} + lost {}",
+            final_cov.samples_lost
+        ),
+        announced_total <= received_total + final_cov.samples_lost,
+    );
+
+    // Injector books (tool→daemon direction) must balance too.
+    let mut conservation_ok = true;
+    let mut faults_injected = 0u64;
+    for inj in &injectors {
+        inj.flush_delayed();
+        let st = inj.fault_stats();
+        conservation_ok &= st.conservation_ok();
+        faults_injected += st.total_injected();
+    }
+    check("fault injector conservation law", conservation_ok);
+
+    println!(
+        r#"{{"chaos":true,"daemons":{n},"coverage_during":"{}/{}","coverage_after":"{}/{}","samples_lost":{},"recoveries":{},"fault_plan":"{}","faults_injected":{faults_injected},"conservation_ok":{conservation_ok},"elapsed_ms":{},"ok":{ok}}}"#,
+        cov_during.nodes_reporting,
+        cov_during.nodes_total,
+        cov_after.nodes_reporting,
+        cov_after.nodes_total,
+        final_cov.samples_lost,
+        set.recoveries().len(),
+        opts.plan,
+        t0.elapsed().as_millis(),
+    );
+
+    let mut all: Vec<DaemonProc> = procs.into_iter().flatten().collect();
+    kill_all(&mut all);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -474,6 +474,15 @@ metric transport_max_queue_depth {
     description "High-water mark of the bounded send queue.";
     foreach point "transport::queue:observe" { incrCounterArg; }
 }
+
+metric transport_auth_failures {
+    name "Transport Auth Failures";
+    units operations;
+    aggregate sum;
+    level "Transport";
+    description "Peers rejected by the authenticated Hello handshake.";
+    foreach point "transport::auth:reject" { incrCounter 1; }
+}
 "#;
 
 /// Parses the transport catalogue. Panics only if the embedded source is

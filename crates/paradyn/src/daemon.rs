@@ -94,6 +94,18 @@ pub enum DaemonMsg {
         /// Daemon clock when the probe was handled.
         t_daemon_ns: u64,
     },
+    /// Graceful-shutdown request (tool → daemon): the SIGTERM-equivalent on
+    /// a wire with no process signals. The daemon should stop sampling,
+    /// drain, and answer with a [`DaemonMsg::Goodbye`] before exiting.
+    Shutdown,
+    /// Final flush frame (daemon → tool): announces how many samples the
+    /// daemon sent over its lifetime, so the tool can compute the exact
+    /// sample-sequence gap (`announced - received`) instead of guessing.
+    Goodbye {
+        /// Samples the daemon sent on this session (its side of the
+        /// conservation law).
+        samples_sent: u32,
+    },
 }
 
 /// A decode failure on the daemon channel, classified so error *rates*
@@ -252,6 +264,8 @@ impl DaemonMsg {
                 t_tool_ns,
                 t_daemon_ns,
             } => format!("CLOCKR|{token}|{t_tool_ns}|{t_daemon_ns}"),
+            DaemonMsg::Shutdown => "SHUTDOWN".to_string(),
+            DaemonMsg::Goodbye { samples_sent } => format!("GOODBYE|{samples_sent}"),
         }
     }
 
@@ -322,6 +336,12 @@ impl DaemonMsg {
                 t_tool_ns: parse_u64_field(&mut parts, "t_tool_ns")?,
                 t_daemon_ns: parse_u64_field(&mut parts, "t_daemon_ns")?,
             }),
+            "SHUTDOWN" => Ok(DaemonMsg::Shutdown),
+            "GOODBYE" => Ok(DaemonMsg::Goodbye {
+                samples_sent: next_field(&mut parts, "samples_sent")?
+                    .parse()
+                    .map_err(|_| track(DaemonError::BadNumber("samples_sent".into())))?,
+            }),
             other => Err(track(DaemonError::UnknownKind(format!(
                 "unknown message kind '{other}'"
             )))),
@@ -388,6 +408,11 @@ impl WirePayload for DaemonMsg {
                 put::u64(out, *t_tool_ns);
                 put::u64(out, *t_daemon_ns);
             }
+            DaemonMsg::Shutdown => put::u8(out, 5),
+            DaemonMsg::Goodbye { samples_sent } => {
+                put::u8(out, 6);
+                put::u32(out, *samples_sent);
+            }
         }
     }
 
@@ -428,6 +453,10 @@ impl WirePayload for DaemonMsg {
                 token: r.u64()?,
                 t_tool_ns: r.u64()?,
                 t_daemon_ns: r.u64()?,
+            }),
+            5 => Ok(DaemonMsg::Shutdown),
+            6 => Ok(DaemonMsg::Goodbye {
+                samples_sent: r.u32()?,
             }),
             tag => Err(CodecError::new(format!("unknown DaemonMsg tag {tag}"))),
         }
@@ -684,8 +713,9 @@ impl Daemon {
                 );
             }
             // A stray reply reaching a daemon (not a tool) carries no data
-            // to forward; ignore it.
-            DaemonMsg::ClockReply { .. } => {}
+            // to forward; ignore it. Shutdown/Goodbye are session-lifecycle
+            // messages the in-process daemon has no lifecycle for.
+            DaemonMsg::ClockReply { .. } | DaemonMsg::Shutdown | DaemonMsg::Goodbye { .. } => {}
         }
     }
 
@@ -822,6 +852,16 @@ mod tests {
         }
         assert!(DaemonMsg::decode("CLOCKP|x|1").is_err());
         assert!(DaemonMsg::decode("CLOCKR|1|2").is_err());
+    }
+
+    #[test]
+    fn lifecycle_messages_roundtrip_both_codecs() {
+        for m in [DaemonMsg::Shutdown, DaemonMsg::Goodbye { samples_sent: 42 }] {
+            assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
+            assert_eq!(DaemonMsg::from_frame(&m.to_frame()).unwrap(), m);
+        }
+        assert!(DaemonMsg::decode("GOODBYE|x").is_err());
+        assert!(DaemonMsg::decode("GOODBYE").is_err());
     }
 
     #[test]

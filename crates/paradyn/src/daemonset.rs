@@ -31,6 +31,39 @@
 //! Connection `i` owns shard `i % shard_count` of the data manager, so N
 //! daemons import mappings and deliver samples concurrently without
 //! sharing a lock (see `datamgr`'s module docs for the invariants).
+//!
+//! # Supervision and partial failure
+//!
+//! §4.2.4 concedes that mapping information can be lost or delayed; a set
+//! that assumes every daemon stays up silently biases every merged metric
+//! the moment one dies. Each connection therefore carries a supervisor
+//! state machine ([`DaemonHealth`]):
+//!
+//! ```text
+//!            silence/errors            dead link or error burst
+//! Healthy ──────────────────▶ Degraded ─────────────────────▶ Quarantined
+//!    ▲                           │                                 │
+//!    │                           ▼ (recovers on traffic)           │ retry with
+//!    │◀──────────────────────────┘                                 │ capped backoff
+//!    │                                                             ▼
+//!    └──────────────────────── Recovered ◀─────────── reconnect + clock re-sync
+//! ```
+//!
+//! [`DaemonSet::supervise`] drives the transitions from heartbeat age,
+//! decode-error rate and clock-sync failures (thresholds in
+//! [`SupervisorPolicy`]). Quarantined daemons are excluded from pumping
+//! and retried with capped exponential backoff + jitter; a successful
+//! retry re-dials (via the connection's reconnect factory), re-syncs the
+//! clock, relies on the data manager's content-hash dedup to absorb the
+//! re-shipped PIF, and logs a [`RecoveryReport`] with the sample-sequence
+//! gap. Every transition bumps a `daemonset.*` counter so the tool's
+//! self-mapping (`selfmap`) can display its own failure handling.
+//!
+//! Loss is *accounted*, never silent: [`Coverage`] labels every merged
+//! result with how many nodes actually reported and a lower bound on the
+//! samples lost (exact when the daemon announced its send count in a
+//! [`DaemonMsg::Goodbye`]; otherwise the missing node itself is the
+//! signal). A lost shard's cost is a bound, never silently zero.
 
 use crate::daemon::{DaemonError, DaemonMsg};
 use crate::datamgr::DataManager;
@@ -42,6 +75,7 @@ use pdmap_transport::{
 };
 use std::fmt;
 use std::net::SocketAddr;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,8 +136,125 @@ impl fmt::Display for ClockSyncError {
 
 impl std::error::Error for ClockSyncError {}
 
+/// Supervisor state of one daemon connection (see the module docs for the
+/// transition diagram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DaemonHealth {
+    /// Reporting normally.
+    Healthy,
+    /// Suspicious (stale heartbeat or elevated decode-error rate) but still
+    /// pumped; recovers to Healthy on its own when traffic resumes.
+    Degraded,
+    /// Excluded from pumping; retried with capped backoff.
+    Quarantined,
+    /// Readmitted after a successful retry (fresh link, clock re-synced);
+    /// becomes Healthy at the next supervision pass.
+    Recovered,
+}
+
+impl DaemonHealth {
+    /// Stable lowercase name, used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DaemonHealth::Healthy => "healthy",
+            DaemonHealth::Degraded => "degraded",
+            DaemonHealth::Quarantined => "quarantined",
+            DaemonHealth::Recovered => "recovered",
+        }
+    }
+}
+
+/// Thresholds driving the supervisor state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorPolicy {
+    /// Silence (no frame received) after which a connection is Degraded.
+    pub degrade_after: Duration,
+    /// Silence with a dead transport after which it is Quarantined.
+    pub quarantine_after: Duration,
+    /// Decode errors in the current life after which it is Degraded.
+    pub degrade_errors: usize,
+    /// Decode errors in the current life after which it is Quarantined.
+    pub quarantine_errors: usize,
+    /// Backoff schedule for readmission retries (capped exponential with
+    /// deterministic jitter — the transport's own reconnect curve).
+    pub retry: pdmap_transport::ReconnectPolicy,
+    /// Clock-probe rounds a readmission retry must complete.
+    pub retry_sync_rounds: u32,
+    /// Budget for those rounds; an unanswered retry fails and backs off.
+    pub retry_sync_timeout: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            degrade_after: Duration::from_secs(2),
+            quarantine_after: Duration::from_secs(4),
+            degrade_errors: 8,
+            quarantine_errors: 64,
+            retry: pdmap_transport::ReconnectPolicy::default(),
+            retry_sync_rounds: 3,
+            retry_sync_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How much of the fleet a merged answer actually covers. Attached to
+/// [`DaemonSet::merged_samples`]/[`DaemonSet::merged_streams`] (and, via
+/// the tool layer, to metric request results) so a degraded answer is
+/// *labeled* degraded: a lost shard shows up as `nodes_reporting <
+/// nodes_total` and a `samples_lost` lower bound, never as a silent zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Daemons currently admitted to the session (not quarantined).
+    pub nodes_reporting: usize,
+    /// Daemons the session was built over.
+    pub nodes_total: usize,
+    /// Lower bound on samples lost: exact per-daemon when the daemon
+    /// announced its send count in a [`DaemonMsg::Goodbye`]; a daemon that
+    /// died unannounced contributes only to the node deficit (its loss is
+    /// unknowable, which is precisely why it must not read as zero).
+    pub samples_lost: u64,
+}
+
+impl Coverage {
+    /// True when every node reported and no announced sample is missing.
+    pub fn is_complete(&self) -> bool {
+        self.nodes_reporting == self.nodes_total && self.samples_lost == 0
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} nodes reporting, >={} samples lost",
+            self.nodes_reporting, self.nodes_total, self.samples_lost
+        )
+    }
+}
+
+/// One successful readmission, recorded by [`DaemonSet::supervise`].
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Connection index within the set.
+    pub daemon: usize,
+    /// Address (or label) of the connection.
+    pub addr: String,
+    /// Failed retries before the one that succeeded.
+    pub attempts: u32,
+    /// The previous life's sample-sequence gap: `Some(n)` when that life
+    /// ended with a Goodbye announcing its send count (n = announced −
+    /// received), `None` when the daemon died without announcing.
+    pub gap: Option<u64>,
+}
+
+/// A factory producing a fresh tool-side transport for a daemon — how a
+/// quarantined connection is re-dialed (possibly at a new address, if the
+/// daemon restarted on a different port).
+pub type ReconnectFn = Box<dyn Fn() -> Arc<dyn Transport> + Send>;
+
 /// One daemon connection: its transport, shard assignment, clock estimate,
-/// and per-connection tallies.
+/// supervisor state, and per-connection tallies.
 pub struct DaemonConn {
     addr: String,
     tx: Arc<dyn Transport>,
@@ -112,6 +263,21 @@ pub struct DaemonConn {
     samples_received: u64,
     pif_imports: u64,
     decode_errors: Vec<DaemonError>,
+    health: DaemonHealth,
+    /// When the last frame (of any kind) arrived on this link.
+    last_frame: Instant,
+    /// `decode_errors.len()` when the current life started, so error-rate
+    /// thresholds look at the current link, not ancient history.
+    errors_at_life_start: usize,
+    /// Samples received in the current life (since connect or readmission).
+    life_received: u64,
+    /// Send count the current life's Goodbye announced, if any.
+    announced_sent: Option<u64>,
+    /// Known losses folded in from previous lives.
+    lost_prior: u64,
+    retry_attempt: u32,
+    next_retry: Option<Instant>,
+    reconnect: Option<ReconnectFn>,
 }
 
 impl DaemonConn {
@@ -146,6 +312,40 @@ impl DaemonConn {
         &self.decode_errors
     }
 
+    /// Current supervisor state.
+    pub fn health(&self) -> DaemonHealth {
+        self.health
+    }
+
+    /// This connection's known sample loss: previous lives' announced gaps
+    /// plus the current life's (once its Goodbye arrives). A lower bound —
+    /// a daemon killed before announcing contributes nothing here, only to
+    /// the coverage node deficit.
+    pub fn samples_lost(&self) -> u64 {
+        self.lost_prior
+            + self
+                .announced_sent
+                .map(|a| a.saturating_sub(self.life_received))
+                .unwrap_or(0)
+    }
+
+    /// The send count announced by this life's Goodbye, if it arrived.
+    pub fn announced_sent(&self) -> Option<u64> {
+        self.announced_sent
+    }
+
+    /// This end's transport self-metrics.
+    pub fn transport_stats(&self) -> pdmap_transport::TransportStats {
+        self.tx.stats()
+    }
+
+    /// Decode errors in the current life (since connect or readmission).
+    fn life_errors(&self) -> usize {
+        self.decode_errors
+            .len()
+            .saturating_sub(self.errors_at_life_start)
+    }
+
     /// Maps a daemon wall stamp onto the tool clock.
     fn align(&self, wall: u64) -> u64 {
         (wall as i64 - self.clock.offset_ns).max(0) as u64
@@ -167,6 +367,7 @@ impl DaemonConn {
             match self.tx.try_recv() {
                 Ok(Some(frame)) => {
                     n += 1;
+                    self.last_frame = Instant::now();
                     if let Some(t_d) = self.dispatch(frame, data, out, index, want_token) {
                         return (n, Some(t_d));
                     }
@@ -222,6 +423,7 @@ impl DaemonConn {
                     value,
                 }) => {
                     self.samples_received += 1;
+                    self.life_received += 1;
                     data.note_samples_on(self.shard, 1);
                     out.push(AlignedSample {
                         daemon: index,
@@ -235,9 +437,17 @@ impl DaemonConn {
                 Ok(DaemonMsg::ClockReply {
                     token, t_daemon_ns, ..
                 }) if want_token == Some(token) => return Some(t_daemon_ns),
-                // A reply for an abandoned round, or a probe echoed back:
-                // stale, carries nothing to forward.
-                Ok(DaemonMsg::ClockReply { .. }) | Ok(DaemonMsg::ClockProbe { .. }) => {}
+                Ok(DaemonMsg::Goodbye { samples_sent }) => {
+                    // The daemon's final flush frame: its side of the
+                    // conservation law, making this life's loss exact.
+                    self.announced_sent = Some(samples_sent as u64);
+                }
+                // A reply for an abandoned round, a probe echoed back, or a
+                // shutdown request bouncing to the tool side: stale, carries
+                // nothing to forward.
+                Ok(DaemonMsg::ClockReply { .. })
+                | Ok(DaemonMsg::ClockProbe { .. })
+                | Ok(DaemonMsg::Shutdown) => {}
                 Err(e) => self
                     .decode_errors
                     .push(crate::daemon::track_error(DaemonError::Codec(e.0))),
@@ -272,11 +482,88 @@ impl DaemonConn {
     }
 }
 
+/// Cached `pdmap-obs` counters for supervisor transitions, so the tool's
+/// own failure handling shows up in its self-mapping.
+struct SetObs {
+    quarantine: Arc<pdmap_obs::Counter>,
+    degraded: Arc<pdmap_obs::Counter>,
+    recovered: Arc<pdmap_obs::Counter>,
+    retry: Arc<pdmap_obs::Counter>,
+}
+
+fn set_obs() -> &'static SetObs {
+    static OBS: std::sync::OnceLock<SetObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| SetObs {
+        quarantine: pdmap_obs::counter("daemonset.quarantine"),
+        degraded: pdmap_obs::counter("daemonset.degraded"),
+        recovered: pdmap_obs::counter("daemonset.recovered"),
+        retry: pdmap_obs::counter("daemonset.retry"),
+    })
+}
+
+/// Runs `rounds` bounded-round-trip probe rounds against one daemon and
+/// returns the minimum-RTT estimate, or `None` if no round completed.
+/// Frames that arrive while waiting (samples, mappings) are dispatched
+/// normally, not dropped.
+fn sync_conn(
+    conn: &mut DaemonConn,
+    data: &DataManager,
+    out: &mut Vec<AlignedSample>,
+    index: usize,
+    rounds: u32,
+    timeout: Duration,
+) -> Option<ClockEstimate> {
+    let mut best: Option<ClockEstimate> = None;
+    let mut done = 0u32;
+    for _ in 0..rounds.max(1) {
+        let token = TOKENS.fetch_add(1, Ordering::Relaxed);
+        let t0 = pdmap_obs::now_ns();
+        if send_wire(
+            &*conn.tx,
+            &DaemonMsg::ClockProbe {
+                token,
+                t_tool_ns: t0,
+            },
+        )
+        .is_err()
+        {
+            continue;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut reply = None;
+        while reply.is_none() && Instant::now() < deadline {
+            let (n, r) = conn.drain(data, out, index, Some(token));
+            reply = r;
+            if reply.is_none() && n == 0 {
+                std::thread::yield_now();
+            }
+        }
+        let Some(t_daemon) = reply else { continue };
+        let t1 = pdmap_obs::now_ns();
+        let rtt = t1.saturating_sub(t0);
+        let offset = t_daemon as i64 - (t0 + rtt / 2) as i64;
+        done += 1;
+        if best.is_none() || rtt < best.unwrap().rtt_ns {
+            best = Some(ClockEstimate {
+                offset_ns: offset,
+                rtt_ns: rtt,
+                rounds: 0,
+            });
+        }
+    }
+    best.map(|mut est| {
+        est.rounds = done;
+        est
+    })
+}
+
 /// The tool side of a multi-daemon session (see the module docs).
 pub struct DaemonSet {
     data: Arc<DataManager>,
     conns: Vec<DaemonConn>,
     samples: Vec<AlignedSample>,
+    policy: SupervisorPolicy,
+    recoveries: Vec<RecoveryReport>,
 }
 
 impl DaemonSet {
@@ -285,6 +572,11 @@ impl DaemonSet {
     /// Connection establishment is asynchronous (the transport reconnects
     /// until the server appears), so this returns immediately;
     /// [`DaemonSet::clock_sync`] is the natural "is everyone up" barrier.
+    ///
+    /// Each connection gets a default reconnect factory that re-dials the
+    /// same address with the same config, so [`DaemonSet::supervise`] can
+    /// readmit a quarantined daemon that restarted on its old port;
+    /// [`DaemonSet::set_reconnect`] overrides it for restarts elsewhere.
     pub fn connect(addrs: &[SocketAddr], cfg: TransportConfig, data: Arc<DataManager>) -> Self {
         let transports: Vec<(String, Arc<dyn Transport>)> = addrs
             .iter()
@@ -295,7 +587,13 @@ impl DaemonSet {
                 )
             })
             .collect();
-        Self::over_transports(transports, data)
+        let mut set = Self::over_transports(transports, data);
+        for (conn, &addr) in set.conns.iter_mut().zip(addrs) {
+            conn.reconnect = Some(Box::new(move || {
+                TcpClient::connect(addr, cfg) as Arc<dyn Transport>
+            }));
+        }
+        set
     }
 
     /// Builds a set over already-connected transports — the seam used by
@@ -317,12 +615,23 @@ impl DaemonSet {
                 samples_received: 0,
                 pif_imports: 0,
                 decode_errors: Vec::new(),
+                health: DaemonHealth::Healthy,
+                last_frame: Instant::now(),
+                errors_at_life_start: 0,
+                life_received: 0,
+                announced_sent: None,
+                lost_prior: 0,
+                retry_attempt: 0,
+                next_retry: None,
+                reconnect: None,
             })
             .collect();
         Self {
             data,
             conns,
             samples: Vec::new(),
+            policy: SupervisorPolicy::default(),
+            recoveries: Vec::new(),
         }
     }
 
@@ -346,61 +655,73 @@ impl DaemonSet {
         &self.conns[i]
     }
 
-    /// Runs `rounds` probe rounds against every daemon, keeping each
-    /// daemon's minimum-RTT estimate. `timeout` bounds each round; a
-    /// daemon that never answers fails the sync. Frames that arrive while
-    /// waiting (samples, mappings) are dispatched normally, not dropped.
+    /// The active supervisor thresholds.
+    pub fn policy(&self) -> SupervisorPolicy {
+        self.policy
+    }
+
+    /// Replaces the supervisor thresholds (tests shrink them to make
+    /// failure detection immediate).
+    pub fn set_policy(&mut self, policy: SupervisorPolicy) {
+        self.policy = policy;
+    }
+
+    /// Installs the reconnect factory used to re-dial daemon `i` after
+    /// quarantine — e.g. pointing at the new port of a restarted daemon.
+    pub fn set_reconnect(&mut self, i: usize, f: ReconnectFn) {
+        self.conns[i].reconnect = Some(f);
+    }
+
+    /// Supervisor state of daemon `i`.
+    pub fn health(&self, i: usize) -> DaemonHealth {
+        self.conns[i].health
+    }
+
+    /// Readmissions logged so far (in the order they happened).
+    pub fn recoveries(&self) -> &[RecoveryReport] {
+        &self.recoveries
+    }
+
+    /// How much of the fleet the session currently covers — attach this to
+    /// anything computed from the merged stream.
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            nodes_reporting: self
+                .conns
+                .iter()
+                .filter(|c| c.health != DaemonHealth::Quarantined)
+                .count(),
+            nodes_total: self.conns.len(),
+            samples_lost: self.conns.iter().map(|c| c.samples_lost()).sum(),
+        }
+    }
+
+    /// Runs `rounds` probe rounds against every admitted daemon, keeping
+    /// each daemon's minimum-RTT estimate. `timeout` bounds each round; a
+    /// daemon that never answers is quarantined (scheduled for retry) and
+    /// reported in the returned error — the *other* daemons still get
+    /// their estimates, so the set stays usable around the failure.
     pub fn clock_sync(&mut self, rounds: u32, timeout: Duration) -> Result<(), ClockSyncError> {
         let data = self.data.clone();
+        let policy = self.policy;
+        let mut first_err: Option<ClockSyncError> = None;
         for (i, conn) in self.conns.iter_mut().enumerate() {
-            let mut best: Option<ClockEstimate> = None;
-            let mut done = 0u32;
-            for _ in 0..rounds.max(1) {
-                let token = TOKENS.fetch_add(1, Ordering::Relaxed);
-                let t0 = pdmap_obs::now_ns();
-                if send_wire(
-                    &*conn.tx,
-                    &DaemonMsg::ClockProbe {
-                        token,
-                        t_tool_ns: t0,
-                    },
-                )
-                .is_err()
-                {
-                    continue;
-                }
-                let deadline = Instant::now() + timeout;
-                let mut reply = None;
-                while reply.is_none() && Instant::now() < deadline {
-                    let (n, r) = conn.drain(&data, &mut self.samples, i, Some(token));
-                    reply = r;
-                    if reply.is_none() && n == 0 {
-                        std::thread::yield_now();
-                    }
-                }
-                let Some(t_daemon) = reply else { continue };
-                let t1 = pdmap_obs::now_ns();
-                let rtt = t1.saturating_sub(t0);
-                let offset = t_daemon as i64 - (t0 + rtt / 2) as i64;
-                done += 1;
-                if best.is_none() || rtt < best.unwrap().rtt_ns {
-                    best = Some(ClockEstimate {
-                        offset_ns: offset,
-                        rtt_ns: rtt,
-                        rounds: 0,
-                    });
-                }
+            if conn.health == DaemonHealth::Quarantined {
+                continue;
             }
-            match best {
-                Some(mut est) => {
-                    est.rounds = done;
-                    conn.clock = est;
-                }
+            match sync_conn(conn, &data, &mut self.samples, i, rounds, timeout) {
+                Some(est) => conn.clock = est,
                 None => {
-                    return Err(ClockSyncError {
-                        daemon: i,
-                        addr: conn.addr.clone(),
-                    })
+                    conn.health = DaemonHealth::Quarantined;
+                    conn.retry_attempt = 0;
+                    conn.next_retry = Some(Instant::now() + policy.retry.delay_for(0));
+                    set_obs().quarantine.incr();
+                    if first_err.is_none() {
+                        first_err = Some(ClockSyncError {
+                            daemon: i,
+                            addr: conn.addr.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -408,22 +729,158 @@ impl DaemonSet {
         for s in &mut self.samples {
             s.aligned_ns = (s.wall as i64 - self.conns[s.daemon].clock.offset_ns).max(0) as u64;
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Drains every link once, sequentially. Returns frames processed.
+    /// One supervision pass: drives every connection's state machine (see
+    /// the module docs) and attempts due readmission retries. Call it from
+    /// the same loop that pumps; it is cheap when nothing is wrong.
+    /// Returns the post-pass [`Coverage`].
+    pub fn supervise(&mut self) -> Coverage {
+        let now = Instant::now();
+        let policy = self.policy;
+        let data = self.data.clone();
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            match conn.health {
+                // Readmitted last pass; traffic (or its absence) now speaks
+                // for itself again.
+                DaemonHealth::Recovered => conn.health = DaemonHealth::Healthy,
+                DaemonHealth::Healthy | DaemonHealth::Degraded => {
+                    let silence = now.duration_since(conn.last_frame);
+                    let errs = conn.life_errors();
+                    let dead = !conn.tx.is_alive();
+                    if errs >= policy.quarantine_errors
+                        || (dead && silence >= policy.quarantine_after)
+                    {
+                        conn.health = DaemonHealth::Quarantined;
+                        conn.retry_attempt = 0;
+                        conn.next_retry = Some(now + policy.retry.delay_for(0));
+                        set_obs().quarantine.incr();
+                    } else if dead
+                        || errs >= policy.degrade_errors
+                        || silence >= policy.degrade_after
+                    {
+                        if conn.health == DaemonHealth::Healthy {
+                            conn.health = DaemonHealth::Degraded;
+                            set_obs().degraded.incr();
+                        }
+                    } else if conn.health == DaemonHealth::Degraded {
+                        conn.health = DaemonHealth::Healthy;
+                    }
+                }
+                DaemonHealth::Quarantined => {
+                    if !conn.next_retry.map(|t| now >= t).unwrap_or(true) {
+                        continue;
+                    }
+                    set_obs().retry.incr();
+                    let Some(factory) = conn.reconnect.as_ref() else {
+                        // No way back; keep backing off so we don't spin.
+                        conn.retry_attempt = conn.retry_attempt.saturating_add(1);
+                        conn.next_retry = Some(now + policy.retry.delay_for(conn.retry_attempt));
+                        continue;
+                    };
+                    // Fold the dead life's announced gap into the prior-loss
+                    // tally, then start a fresh life over a fresh link. The
+                    // daemon re-ships its PIF on reconnect; the data
+                    // manager's content-hash dedup absorbs the duplicate.
+                    let gap = conn
+                        .announced_sent
+                        .map(|a| a.saturating_sub(conn.life_received));
+                    let fresh = factory();
+                    conn.tx.close();
+                    conn.tx = fresh;
+                    conn.lost_prior += gap.unwrap_or(0);
+                    conn.life_received = 0;
+                    conn.announced_sent = None;
+                    conn.errors_at_life_start = conn.decode_errors.len();
+                    match sync_conn(
+                        conn,
+                        &data,
+                        &mut self.samples,
+                        i,
+                        policy.retry_sync_rounds,
+                        policy.retry_sync_timeout,
+                    ) {
+                        Some(est) => {
+                            conn.clock = est;
+                            conn.health = DaemonHealth::Recovered;
+                            conn.last_frame = now;
+                            let attempts = conn.retry_attempt;
+                            conn.retry_attempt = 0;
+                            conn.next_retry = None;
+                            set_obs().recovered.incr();
+                            self.recoveries.push(RecoveryReport {
+                                daemon: i,
+                                addr: conn.addr.clone(),
+                                attempts,
+                                gap,
+                            });
+                        }
+                        None => {
+                            conn.tx.close();
+                            conn.retry_attempt = conn.retry_attempt.saturating_add(1);
+                            conn.next_retry =
+                                Some(now + policy.retry.delay_for(conn.retry_attempt));
+                        }
+                    }
+                }
+            }
+        }
+        self.coverage()
+    }
+
+    /// Asks daemon `i` to shut down gracefully (drain, then announce its
+    /// send count in a [`DaemonMsg::Goodbye`]). Returns false if the
+    /// request could not even be queued.
+    pub fn shutdown(&self, i: usize) -> bool {
+        send_wire(&*self.conns[i].tx, &DaemonMsg::Shutdown).is_ok()
+    }
+
+    /// Asks every admitted daemon to shut down, then pumps until each has
+    /// announced its send count (or `timeout` elapses). The returned
+    /// [`Coverage`] is the session's final conservation report.
+    pub fn shutdown_all(&mut self, timeout: Duration) -> Coverage {
+        for conn in &self.conns {
+            if conn.health != DaemonHealth::Quarantined {
+                let _ = send_wire(&*conn.tx, &DaemonMsg::Shutdown);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump();
+            let all_announced = self
+                .conns
+                .iter()
+                .all(|c| c.health == DaemonHealth::Quarantined || c.announced_sent.is_some());
+            if all_announced || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.coverage()
+    }
+
+    /// Drains every admitted (non-quarantined) link once, sequentially.
+    /// Returns frames processed.
     pub fn pump(&mut self) -> usize {
         let data = self.data.clone();
         let mut n = 0;
         for (i, conn) in self.conns.iter_mut().enumerate() {
+            if conn.health == DaemonHealth::Quarantined {
+                continue;
+            }
             n += conn.drain(&data, &mut self.samples, i, None).0;
         }
         n
     }
 
-    /// Drains every link concurrently — one thread per connection, each
-    /// feeding its own data-manager shard, which is the contention the
-    /// sharded manager exists to absorb. Returns frames processed.
+    /// Drains every admitted link concurrently — one thread per
+    /// connection, each feeding its own data-manager shard, which is the
+    /// contention the sharded manager exists to absorb. Quarantined
+    /// connections get no thread at all. Returns frames processed.
     pub fn pump_parallel(&mut self) -> usize {
         let data = &self.data;
         let mut batches: Vec<Vec<AlignedSample>> = Vec::new();
@@ -433,6 +890,7 @@ impl DaemonSet {
                 .conns
                 .iter_mut()
                 .enumerate()
+                .filter(|(_, conn)| conn.health != DaemonHealth::Quarantined)
                 .map(|(i, conn)| {
                     s.spawn(move || {
                         let mut local = Vec::new();
@@ -482,17 +940,23 @@ impl DaemonSet {
 
     /// The merged sample stream, sorted by aligned (tool-clock) time —
     /// the single stream the paper's front end consumes. Stable, so
-    /// same-instant samples keep arrival order.
-    pub fn merged_samples(&self) -> Vec<AlignedSample> {
+    /// same-instant samples keep arrival order. The result carries the
+    /// session's [`Coverage`], so a merge computed over a degraded fleet
+    /// is labeled as such instead of silently reading low.
+    pub fn merged_samples(&self) -> Merged {
         let mut out = self.samples.clone();
         out.sort_by_key(|s| s.aligned_ns);
-        out
+        Merged {
+            samples: out,
+            coverage: self.coverage(),
+        }
     }
 
     /// Groups the merged stream into one [`Stream`] per (metric, focus)
     /// pair, with sample times on the tool clock. Units are unknown at
-    /// this layer (the wire protocol does not carry them).
-    pub fn merged_streams(&self) -> Vec<Stream> {
+    /// this layer (the wire protocol does not carry them). Carries the
+    /// same [`Coverage`] label as [`DaemonSet::merged_samples`].
+    pub fn merged_streams(&self) -> MergedStreams {
         let mut out: Vec<Stream> = Vec::new();
         for s in self.merged_samples() {
             match out
@@ -508,7 +972,96 @@ impl DaemonSet {
                 }),
             }
         }
-        out
+        MergedStreams {
+            streams: out,
+            coverage: self.coverage(),
+        }
+    }
+}
+
+/// The merged, aligned sample stream plus the [`Coverage`] it was computed
+/// under. Derefs to the sample vector, so existing slice-style consumers
+/// keep working; the label rides along for anyone who asks.
+#[derive(Clone, Debug)]
+pub struct Merged {
+    samples: Vec<AlignedSample>,
+    coverage: Coverage,
+}
+
+impl Merged {
+    /// How much of the fleet this merge covers.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage
+    }
+
+    /// Consumes the wrapper, keeping just the samples.
+    pub fn into_vec(self) -> Vec<AlignedSample> {
+        self.samples
+    }
+}
+
+impl Deref for Merged {
+    type Target = Vec<AlignedSample>;
+    fn deref(&self) -> &Vec<AlignedSample> {
+        &self.samples
+    }
+}
+
+impl IntoIterator for Merged {
+    type Item = AlignedSample;
+    type IntoIter = std::vec::IntoIter<AlignedSample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Merged {
+    type Item = &'a AlignedSample;
+    type IntoIter = std::slice::Iter<'a, AlignedSample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// The merged per-(metric, focus) streams plus their [`Coverage`] label.
+#[derive(Clone, Debug)]
+pub struct MergedStreams {
+    streams: Vec<Stream>,
+    coverage: Coverage,
+}
+
+impl MergedStreams {
+    /// How much of the fleet these streams cover.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage
+    }
+
+    /// Consumes the wrapper, keeping just the streams.
+    pub fn into_vec(self) -> Vec<Stream> {
+        self.streams
+    }
+}
+
+impl Deref for MergedStreams {
+    type Target = Vec<Stream>;
+    fn deref(&self) -> &Vec<Stream> {
+        &self.streams
+    }
+}
+
+impl IntoIterator for MergedStreams {
+    type Item = Stream;
+    type IntoIter = std::vec::IntoIter<Stream>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.streams.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MergedStreams {
+    type Item = &'a Stream;
+    type IntoIter = std::slice::Iter<'a, Stream>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.streams.iter()
     }
 }
 
@@ -709,5 +1262,191 @@ mod tests {
             assert_eq!(set.data().shard_stats(i).samples, 8, "shard {i}");
             assert_eq!(set.conn(i).samples_received(), 8);
         }
+    }
+
+    /// Thresholds shrunk so a test detects failure in milliseconds, not
+    /// seconds.
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            degrade_after: Duration::from_millis(5),
+            quarantine_after: Duration::from_millis(10),
+            degrade_errors: 2,
+            quarantine_errors: 4,
+            retry: pdmap_transport::ReconnectPolicy {
+                max_attempts: 10,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                jitter_seed: 1,
+            },
+            retry_sync_rounds: 2,
+            retry_sync_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Spawns a throwaway fake daemon behind a reconnect factory: each
+    /// call opens a fresh in-process link with an answering thread on the
+    /// far end, exactly what a restarted `pdmapd` looks like to the tool.
+    fn reconnectable_fake(skew_ns: i64) -> ReconnectFn {
+        Box::new(move || {
+            let link = Backend::InProc.link(&TransportConfig::default());
+            let server = link.server.clone();
+            std::thread::spawn(move || {
+                let fd = FakeDaemon {
+                    tx: server,
+                    skew_ns,
+                };
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while fd.tx.is_alive() && Instant::now() < deadline {
+                    fd.answer_probes();
+                    std::thread::yield_now();
+                }
+            });
+            link.client
+        })
+    }
+
+    #[test]
+    fn dead_daemon_is_quarantined_then_readmitted() {
+        let (mut set, daemons) = set_with_skews(&[0, 0]);
+        sync(&mut set, &daemons);
+        set.set_policy(fast_policy());
+        assert!(set.coverage().is_complete());
+
+        // Kill daemon 0's link; daemon 1 keeps talking (its samples keep
+        // its heartbeat fresh, so only the dead link degrades).
+        daemons[0].tx.close();
+        std::thread::sleep(Duration::from_millis(15));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.health(0) != DaemonHealth::Quarantined && Instant::now() < deadline {
+            daemons[1].send_sample("keepalive", 0.0);
+            set.pump();
+            set.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(set.health(0), DaemonHealth::Quarantined);
+        assert_eq!(set.health(1), DaemonHealth::Healthy);
+        let cov = set.coverage();
+        assert_eq!(
+            (cov.nodes_reporting, cov.nodes_total),
+            (1, 2),
+            "lost node must show in coverage: {cov}"
+        );
+        assert!(!cov.is_complete());
+
+        // The daemon "restarts": readmission re-dials through the factory,
+        // re-syncs the clock, and coverage returns to complete.
+        set.set_reconnect(0, reconnectable_fake(0));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.health(0) == DaemonHealth::Quarantined && Instant::now() < deadline {
+            set.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            matches!(
+                set.health(0),
+                DaemonHealth::Recovered | DaemonHealth::Healthy
+            ),
+            "daemon 0 should be readmitted, is {:?}",
+            set.health(0)
+        );
+        assert_eq!(set.coverage().nodes_reporting, 2);
+        let rec = &set.recoveries()[0];
+        assert_eq!(rec.daemon, 0);
+        assert_eq!(rec.gap, None, "died unannounced: gap unknowable");
+        assert!(set.conn(0).clock().rounds > 0, "clock re-synced on readmit");
+    }
+
+    #[test]
+    fn clock_sync_failure_names_the_daemon_and_spares_the_rest() {
+        // Daemon 1 never answers probes; daemon 0 is healthy.
+        let (mut set, daemons) = set_with_skews(&[0, 0]);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let err = std::thread::scope(|s| {
+            let stop = &stop;
+            let d0 = &daemons[0];
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    d0.answer_probes();
+                    std::thread::yield_now();
+                }
+            });
+            let err = set
+                .clock_sync(2, Duration::from_millis(100))
+                .expect_err("daemon 1 must fail the sync");
+            stop.store(true, Ordering::Relaxed);
+            err
+        });
+        assert_eq!(err.daemon, 1);
+        assert_eq!(err.addr, "fake#1");
+        assert!(err.to_string().contains("fake#1"), "{err}");
+        // The failure quarantined 1 but daemon 0 is synced and usable.
+        assert_eq!(set.health(1), DaemonHealth::Quarantined);
+        assert_eq!(set.health(0), DaemonHealth::Healthy);
+        assert!(set.conn(0).clock().rounds > 0);
+        daemons[0].send_sample("M", 7.0);
+        assert_eq!(set.pump_until_samples(1, Duration::from_secs(5)), 1);
+        let cov = set.merged_samples().coverage();
+        assert_eq!((cov.nodes_reporting, cov.nodes_total), (1, 2));
+    }
+
+    #[test]
+    fn goodbye_makes_sample_loss_exact() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        for i in 0..3 {
+            daemons[0].send_sample("M", i as f64);
+        }
+        set.pump_until_samples(3, Duration::from_secs(5));
+        assert_eq!(set.coverage().samples_lost, 0);
+
+        // The daemon claims it sent 5; we saw 3 — exactly 2 lost.
+        let _ = send_wire(&*daemons[0].tx, &DaemonMsg::Goodbye { samples_sent: 5 });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.conn(0).announced_sent().is_none() && Instant::now() < deadline {
+            set.pump();
+            std::thread::yield_now();
+        }
+        assert_eq!(set.conn(0).announced_sent(), Some(5));
+        assert_eq!(set.conn(0).samples_lost(), 2);
+        let cov = set.merged_samples().coverage();
+        assert_eq!(cov.samples_lost, 2, "loss is a bound, never silent: {cov}");
+        assert!(!cov.is_complete());
+    }
+
+    #[test]
+    fn shutdown_all_collects_goodbyes() {
+        let (mut set, daemons) = set_with_skews(&[0, 0]);
+        sync(&mut set, &daemons);
+        for (i, d) in daemons.iter().enumerate() {
+            d.send_sample("M", i as f64);
+        }
+        set.pump_until_samples(2, Duration::from_secs(5));
+
+        // Fake the daemon side of graceful shutdown: on Shutdown, reply
+        // with a Goodbye announcing the true send count.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let cov = std::thread::scope(|s| {
+            let stop = &stop;
+            for d in &daemons {
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        while let Ok(Some(frame)) = d.tx.try_recv() {
+                            if matches!(DaemonMsg::from_frame(&frame), Ok(DaemonMsg::Shutdown)) {
+                                let _ = send_wire(&*d.tx, &DaemonMsg::Goodbye { samples_sent: 1 });
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let cov = set.shutdown_all(Duration::from_secs(5));
+            stop.store(true, Ordering::Relaxed);
+            cov
+        });
+        assert_eq!((cov.nodes_reporting, cov.nodes_total), (2, 2));
+        assert_eq!(cov.samples_lost, 0, "everything announced was received");
+        assert!(cov.is_complete());
+        assert_eq!(set.conn(0).announced_sent(), Some(1));
+        assert_eq!(set.conn(1).announced_sent(), Some(1));
     }
 }

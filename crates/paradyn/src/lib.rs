@@ -49,13 +49,16 @@ pub mod visi;
 
 pub use catalogue::{figure9_catalogue, FIGURE9_MDL};
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
-pub use daemonset::{AlignedSample, ClockEstimate, ClockSyncError, DaemonConn, DaemonSet};
+pub use daemonset::{
+    AlignedSample, ClockEstimate, ClockSyncError, Coverage, DaemonConn, DaemonHealth, DaemonSet,
+    Merged, MergedStreams, ReconnectFn, RecoveryReport, SupervisorPolicy,
+};
 pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 pub use report::{profile, run_report, Profile};
 pub use selfmap::{
-    ask_obs, export_obs, export_shard_obs, obs_catalogue, obs_sentences, shard_obs_catalogue,
-    shard_obs_mdl, OBS_MDL,
+    ask_obs, chaos_catalogue, export_chaos_obs, export_obs, export_shard_obs, obs_catalogue,
+    obs_sentences, shard_obs_catalogue, shard_obs_mdl, CHAOS_MDL, CHAOS_OBS_COUNTERS, OBS_MDL,
 };
 pub use stream::{run_sampled, run_sampled_adaptive, Stream};
 pub use tool::{LoadError, Paradyn};

@@ -52,6 +52,12 @@ pub struct MetricRequest {
     pub decl: MetricDecl,
     /// The focus it is constrained to.
     pub focus: Focus,
+    /// How much of the fleet this request's value covers. A local
+    /// (single-process) request is complete by construction; a
+    /// multi-daemon frontend stamps the session's coverage here so a
+    /// value computed while a node is quarantined is labeled, never
+    /// silently low (see `daemonset::Coverage`).
+    pub coverage: crate::daemonset::Coverage,
     instance: MetricInstance,
     ticks_per_second: f64,
 }
@@ -159,6 +165,7 @@ impl MetricManager {
         Ok(MetricRequest {
             decl,
             focus: focus.clone(),
+            coverage: crate::daemonset::Coverage::default(),
             instance,
             ticks_per_second,
         })

@@ -145,10 +145,20 @@ impl Paradyn {
         Ok(m)
     }
 
-    /// Requests a metric constrained to a focus.
+    /// Requests a metric constrained to a focus. The local tool runs in
+    /// one process, so the result is stamped with complete coverage
+    /// (`nodes/nodes`, zero lost); multi-daemon frontends overwrite the
+    /// stamp with the session's real [`crate::daemonset::Coverage`].
     pub fn request(&self, metric: &str, focus: &Focus) -> Result<MetricRequest, RequestError> {
-        self.metrics
-            .request(metric, &self.data, focus, self.config.cost.ticks_per_second)
+        let mut req =
+            self.metrics
+                .request(metric, &self.data, focus, self.config.cost.ticks_per_second)?;
+        req.coverage = crate::daemonset::Coverage {
+            nodes_reporting: self.config.nodes,
+            nodes_total: self.config.nodes,
+            samples_lost: 0,
+        };
+        Ok(req)
     }
 
     /// One-shot experiment: request the metric, run a fresh machine to
@@ -200,6 +210,15 @@ mod tests {
         let (v, wall) = t.measure("Summations", &Focus::whole_program()).unwrap();
         assert_eq!(v, 4.0);
         assert!(wall > 0.0);
+    }
+
+    #[test]
+    fn local_requests_are_stamped_with_complete_coverage() {
+        let t = tool();
+        let req = t.request("Summations", &Focus::whole_program()).unwrap();
+        assert!(req.coverage.is_complete());
+        assert_eq!(req.coverage.nodes_reporting, 4);
+        assert_eq!(req.coverage.nodes_total, 4);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use paradyn_tool::daemon::{DaemonMsg, InstrLibEndpoint};
 use pdmap::model::Namespace;
 use pdmap_transport::{send_wire, PifBlob, TcpServer, Transport, WirePayload};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,6 +55,9 @@ pub struct DaemonConfig {
     pub connect_timeout: Duration,
     /// Nodes of the simulated machine driving the workload.
     pub nodes: usize,
+    /// Shared secret for the transport's challenge/response handshake;
+    /// `None` accepts any peer (the pre-auth protocol).
+    pub secret: Option<[u8; 16]>,
 }
 
 impl Default for DaemonConfig {
@@ -66,6 +70,7 @@ impl Default for DaemonConfig {
             linger: Duration::from_millis(500),
             connect_timeout: Duration::from_secs(30),
             nodes: 4,
+            secret: None,
         }
     }
 }
@@ -82,6 +87,12 @@ pub struct ServeReport {
     /// Whether a tool connected before the timeout (nothing is sent
     /// otherwise).
     pub tool_connected: bool,
+    /// Whether the session ended with the drain + final-flush handshake:
+    /// a [`DaemonMsg::Goodbye`] announcing `samples_sent` was delivered
+    /// (on request, or as the natural end's final flush). A crashed or
+    /// killed daemon leaves this false — its loss stays unannounced,
+    /// which is what the tool's coverage accounting expects.
+    pub graceful_shutdown: bool,
 }
 
 /// A daemon running on a background thread (in-process stand-in for the
@@ -89,6 +100,8 @@ pub struct ServeReport {
 pub struct RunningDaemon {
     /// The bound listen address.
     pub addr: SocketAddr,
+    server: Arc<TcpServer>,
+    stop: Arc<AtomicBool>,
     handle: std::thread::JoinHandle<ServeReport>,
 }
 
@@ -97,16 +110,42 @@ impl RunningDaemon {
     pub fn join(self) -> ServeReport {
         self.handle.join().expect("pdmapd serve thread panicked")
     }
+
+    /// SIGTERM-equivalent: asks the serve loop to drain and send its
+    /// final-flush [`DaemonMsg::Goodbye`], then exit. Returns immediately;
+    /// [`RunningDaemon::join`] collects the report.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// SIGKILL-equivalent: tears the transport down mid-session — no
+    /// drain, no Goodbye, exactly what a crashed daemon looks like to the
+    /// tool — and reaps the serve thread.
+    pub fn kill(self) -> ServeReport {
+        self.server.close();
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("pdmapd serve thread panicked")
+    }
 }
 
-/// Binds `cfg.listen` and runs [`serve`] on a background thread.
+/// Binds `cfg.listen` and runs [`serve_until`] on a background thread.
 pub fn spawn(cfg: DaemonConfig) -> std::io::Result<RunningDaemon> {
-    let server = TcpServer::bind(&cfg.listen)?;
+    let server = TcpServer::bind_with_secret(&cfg.listen, cfg.secret)?;
     let addr = server.local_addr();
-    let handle = std::thread::Builder::new()
-        .name("pdmapd-serve".into())
-        .spawn(move || serve(server, &cfg))?;
-    Ok(RunningDaemon { addr, handle })
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let server = server.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("pdmapd-serve".into())
+            .spawn(move || serve_until(server, &cfg, &stop))?
+    };
+    Ok(RunningDaemon {
+        addr,
+        server,
+        stop,
+        handle,
+    })
 }
 
 /// Base added to the daemon clock so a negative skew cannot clamp early
@@ -122,36 +161,72 @@ fn daemon_now(skew_ns: i64) -> u64 {
 }
 
 /// Drains the server's receive queue, answering clock probes with the
-/// skewed clock. Returns probes answered; everything else inbound is
-/// tool→daemon control this daemon does not consume, and is dropped.
-fn answer_probes(server: &TcpServer, skew_ns: i64) -> u64 {
+/// skewed clock. Returns `(probes_answered, shutdown_requested)`; a
+/// [`DaemonMsg::Shutdown`] frame raises the second flag (the wire-level
+/// SIGTERM). Everything else inbound is tool→daemon control this daemon
+/// does not consume, and is dropped.
+fn answer_probes(server: &TcpServer, skew_ns: i64) -> (u64, bool) {
     let mut answered = 0;
+    let mut shutdown = false;
     while let Ok(Some(frame)) = server.try_recv() {
-        if let Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) = DaemonMsg::from_frame(&frame) {
-            let reply = DaemonMsg::ClockReply {
-                token,
-                t_tool_ns,
-                t_daemon_ns: daemon_now(skew_ns),
-            };
-            if send_wire(server as &dyn Transport, &reply).is_ok() {
-                answered += 1;
+        match DaemonMsg::from_frame(&frame) {
+            Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) => {
+                let reply = DaemonMsg::ClockReply {
+                    token,
+                    t_tool_ns,
+                    t_daemon_ns: daemon_now(skew_ns),
+                };
+                if send_wire(server as &dyn Transport, &reply).is_ok() {
+                    answered += 1;
+                }
             }
+            Ok(DaemonMsg::Shutdown) => shutdown = true,
+            _ => {}
         }
     }
-    answered
+    (answered, shutdown)
+}
+
+/// Drains late probes, then announces the session's send count in a
+/// [`DaemonMsg::Goodbye`] — the final flush frame that lets the tool close
+/// the conservation law (`announced == received + lost`). Returns whether
+/// the Goodbye was actually delivered to the transport.
+fn flush_goodbye(server: &TcpServer, report: &mut ServeReport, skew_ns: i64) -> bool {
+    let (answered, _) = answer_probes(server, skew_ns);
+    report.probes_answered += answered;
+    send_wire(
+        server as &dyn Transport,
+        &DaemonMsg::Goodbye {
+            samples_sent: report.samples_sent,
+        },
+    )
+    .is_ok()
 }
 
 /// Runs the daemon loop on the caller's thread until the session completes
 /// (connect → PIF → workload → samples → linger) or the connect timeout
-/// expires.
+/// expires. Equivalent to [`serve_until`] with a stop flag nobody sets.
 pub fn serve(server: Arc<TcpServer>, cfg: &DaemonConfig) -> ServeReport {
+    serve_until(server, cfg, &AtomicBool::new(false))
+}
+
+/// [`serve`], but interruptible: `stop` is the process's SIGTERM-equivalent
+/// (the binary cannot install real signal handlers without adding a libc
+/// dependency, so the flag — or a wire-level [`DaemonMsg::Shutdown`] —
+/// plays that role). When raised, the loop drains late probes, sends its
+/// final-flush [`DaemonMsg::Goodbye`], and returns; a torn-down transport
+/// (crash) makes it return without the Goodbye.
+pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool) -> ServeReport {
     let mut report = ServeReport::default();
+    let stopping = |shutdown_msg: bool| shutdown_msg || stop.load(Ordering::Acquire);
 
     // Phase 0: wait for the tool. The transport accepts in the background;
-    // sending before a connection exists would just error.
+    // sending before a connection exists would just error. (`is_alive` is
+    // false here by definition — no connections yet — so only the timeout
+    // and the stop flag can end the wait.)
     let deadline = Instant::now() + cfg.connect_timeout;
     while server.connections() == 0 {
-        if Instant::now() >= deadline {
+        if Instant::now() >= deadline || stopping(false) {
             return report;
         }
         std::thread::sleep(Duration::from_millis(1));
@@ -188,12 +263,17 @@ pub fn serve(server: Arc<TcpServer>, cfg: &DaemonConfig) -> ServeReport {
     machine.set_mapping_sink(Arc::new(endpoint));
     let summary = machine.run();
     report.workload_steps = summary.blocks_dispatched;
-    report.probes_answered += answer_probes(&server, cfg.skew_ns);
+    let (answered, mut shutdown_msg) = answer_probes(&server, cfg.skew_ns);
+    report.probes_answered += answered;
 
     // Phase 3: performance data — periodic samples on the daemon clock,
     // interleaved with probe answering so a concurrent clock_sync works.
+    // A stop request (flag or wire Shutdown) breaks out to the drain.
     let endpoint = InstrLibEndpoint::over_transport(server.clone() as Arc<dyn Transport>);
     for i in 0..cfg.samples {
+        if stopping(shutdown_msg) || !server.is_alive() {
+            break;
+        }
         endpoint.send_sample(
             "Computation Time",
             "<whole program>",
@@ -201,17 +281,27 @@ pub fn serve(server: Arc<TcpServer>, cfg: &DaemonConfig) -> ServeReport {
             i as f64,
         );
         report.samples_sent += 1;
-        report.probes_answered += answer_probes(&server, cfg.skew_ns);
+        let (answered, sd) = answer_probes(&server, cfg.skew_ns);
+        report.probes_answered += answered;
+        shutdown_msg |= sd;
         std::thread::sleep(cfg.period);
     }
 
     // Phase 4: linger so late probes (and probe rounds racing the final
-    // sample) still get answers, then drop the listener.
+    // sample) still get answers; a stop request skips straight to the
+    // final flush.
     let linger_until = Instant::now() + cfg.linger;
-    while Instant::now() < linger_until {
-        report.probes_answered += answer_probes(&server, cfg.skew_ns);
+    while Instant::now() < linger_until && !stopping(shutdown_msg) && server.is_alive() {
+        let (answered, sd) = answer_probes(&server, cfg.skew_ns);
+        report.probes_answered += answered;
+        shutdown_msg |= sd;
         std::thread::sleep(Duration::from_millis(1));
     }
+
+    // Phase 5: the final flush — graceful on request *and* at the natural
+    // end of the session, so the tool can always close the conservation
+    // law. Only a crash (dead transport) leaves the loss unannounced.
+    report.graceful_shutdown = flush_goodbye(&server, &mut report, cfg.skew_ns);
     report
 }
 

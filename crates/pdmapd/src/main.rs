@@ -7,19 +7,36 @@
 //! The first stdout line is `PDMAPD LISTENING <addr>` (flushed), so a
 //! parent that spawned the process with port 0 can read the bound address
 //! and hand it to the tool's `DaemonSet`. Everything else goes to stderr.
-//! Exits nonzero if no tool connects before `--connect-timeout-ms`.
+//!
+//! Exit codes are distinct per failure class, so a supervisor (or the
+//! chaos bench) can tell them apart without parsing stderr:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | session completed |
+//! | 2    | bad arguments |
+//! | 3    | could not bind the listen address |
+//! | 4    | session error: no tool connected before `--connect-timeout-ms` |
 
 use pdmapd::{serve, DaemonConfig};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Bad arguments.
+const EXIT_USAGE: u8 = 2;
+/// The listen address could not be bound.
+const EXIT_BIND: u8 = 3;
+/// The session failed (no tool connected within the timeout).
+const EXIT_SESSION: u8 = 4;
+
 fn usage() -> ! {
     eprintln!(
         "usage: pdmapd [--listen ADDR] [--skew-ns N] [--samples N] \
-         [--period-ms N] [--linger-ms N] [--connect-timeout-ms N] [--nodes N]"
+         [--period-ms N] [--linger-ms N] [--connect-timeout-ms N] [--nodes N] \
+         [--secret PASSPHRASE]"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE as i32);
 }
 
 fn parse_args() -> DaemonConfig {
@@ -58,6 +75,9 @@ fn parse_args() -> DaemonConfig {
                 Ok(v) => cfg.nodes = v,
                 Err(_) => usage(),
             },
+            "--secret" => {
+                cfg.secret = Some(pdmap_transport::secret_from_str(&val("--secret")));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("pdmapd: unknown flag '{other}'");
@@ -70,11 +90,11 @@ fn parse_args() -> DaemonConfig {
 
 fn main() -> ExitCode {
     let cfg = parse_args();
-    let server = match pdmap_transport::TcpServer::bind(&cfg.listen) {
+    let server = match pdmap_transport::TcpServer::bind_with_secret(&cfg.listen, cfg.secret) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pdmapd: cannot bind {}: {e}", cfg.listen);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BIND);
         }
     };
     println!("PDMAPD LISTENING {}", server.local_addr());
@@ -82,17 +102,18 @@ fn main() -> ExitCode {
 
     let report = serve(server, &cfg);
     eprintln!(
-        "pdmapd: connected={} samples={} probes={} steps={} skew_ns={}",
+        "pdmapd: connected={} samples={} probes={} steps={} graceful={} skew_ns={}",
         report.tool_connected,
         report.samples_sent,
         report.probes_answered,
         report.workload_steps,
+        report.graceful_shutdown,
         cfg.skew_ns
     );
     if report.tool_connected {
         ExitCode::SUCCESS
     } else {
         eprintln!("pdmapd: no tool connected within the timeout");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_SESSION)
     }
 }

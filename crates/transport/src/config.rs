@@ -46,11 +46,53 @@ impl ReconnectPolicy {
 
 /// One step of SplitMix64 — enough PRNG for jitter without a dependency
 /// (the workspace's test PRNG lives in `pdmap::util`, above this crate).
-fn splitmix64(seed: u64) -> u64 {
+pub(crate) fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives a 16-byte shared secret from a passphrase by chaining SplitMix64
+/// over its bytes — a key-stretching convenience for CLI flags, **not** a
+/// password hash. Both ends must derive from the same passphrase.
+pub fn secret_from_str(passphrase: &str) -> [u8; 16] {
+    let mut lo = 0x8A91_77DA_E150_23F1u64;
+    let mut hi = 0x41C6_4E6D_9C2B_7A05u64;
+    for (i, b) in passphrase.bytes().enumerate() {
+        lo = splitmix64(lo ^ ((b as u64) << (8 * (i % 8))));
+        hi = splitmix64(hi ^ lo);
+    }
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hi.to_le_bytes());
+    out
+}
+
+/// The challenge/response tag for the authenticated Hello: a keyed chain of
+/// SplitMix64 steps over (secret, server nonce, client id). Pre-shared-key
+/// session gating for a trusted measurement network, not cryptography — the
+/// point is that a peer without the secret cannot produce a valid tag and
+/// therefore never reaches the session (see `tcp`'s handshake).
+pub(crate) fn auth_tag(secret: &[u8; 16], nonce: u64, client_id: u64) -> u64 {
+    let k0 = u64::from_le_bytes(secret[..8].try_into().expect("8 bytes"));
+    let k1 = u64::from_le_bytes(secret[8..].try_into().expect("8 bytes"));
+    let mut t = splitmix64(k0 ^ nonce);
+    t = splitmix64(t ^ k1 ^ client_id);
+    splitmix64(t ^ k0.rotate_left(32) ^ nonce.rotate_left(17))
+}
+
+/// Constant-time byte-slice equality: accumulates the XOR of every byte pair
+/// so the comparison cost never depends on where the first mismatch is.
+pub(crate) fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
 }
 
 /// Configuration for one transport link.
@@ -66,6 +108,11 @@ pub struct TransportConfig {
     pub liveness_timeout: Duration,
     /// Reconnection behaviour (TCP only).
     pub reconnect: ReconnectPolicy,
+    /// Optional pre-shared secret gating the TCP session. When set on both
+    /// ends, every connection starts with a server challenge the client
+    /// must answer (see the `tcp` module); a peer that answers wrongly is
+    /// counted in `auth_failures` and never reaches the session.
+    pub secret: Option<[u8; 16]>,
 }
 
 impl Default for TransportConfig {
@@ -76,6 +123,7 @@ impl Default for TransportConfig {
             heartbeat_every: Duration::from_millis(200),
             liveness_timeout: Duration::from_secs(2),
             reconnect: ReconnectPolicy::default(),
+            secret: None,
         }
     }
 }
@@ -92,6 +140,12 @@ impl TransportConfig {
     /// Replaces the backpressure policy.
     pub fn backpressure(mut self, policy: Backpressure) -> Self {
         self.backpressure = policy;
+        self
+    }
+
+    /// Sets the pre-shared secret for the authenticated Hello handshake.
+    pub fn with_secret(mut self, secret: [u8; 16]) -> Self {
+        self.secret = Some(secret);
         self
     }
 }
@@ -129,5 +183,31 @@ mod tests {
     fn huge_attempt_does_not_overflow() {
         let p = ReconnectPolicy::default();
         assert!(p.delay_for(u32::MAX) <= p.max_delay.mul_f64(1.25));
+    }
+
+    #[test]
+    fn secret_derivation_is_stable_and_sensitive() {
+        let a = secret_from_str("chaos-matrix");
+        assert_eq!(a, secret_from_str("chaos-matrix"), "deterministic");
+        assert_ne!(a, secret_from_str("chaos-matriy"), "input-sensitive");
+        assert_ne!(a, secret_from_str(""), "non-trivial for empty input");
+    }
+
+    #[test]
+    fn auth_tag_depends_on_every_input() {
+        let s = secret_from_str("k");
+        let t = auth_tag(&s, 1, 2);
+        assert_eq!(t, auth_tag(&s, 1, 2));
+        assert_ne!(t, auth_tag(&s, 3, 2), "nonce matters");
+        assert_ne!(t, auth_tag(&s, 1, 3), "client id matters");
+        assert_ne!(t, auth_tag(&secret_from_str("k2"), 1, 2), "secret matters");
+    }
+
+    #[test]
+    fn ct_eq_compares_correctly() {
+        assert!(ct_eq(b"abcd", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abce"));
+        assert!(!ct_eq(b"abcd", b"abc"));
+        assert!(ct_eq(b"", b""));
     }
 }

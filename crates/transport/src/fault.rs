@@ -1,0 +1,698 @@
+//! Deterministic fault injection: a [`Transport`] wrapper that drops,
+//! delays, duplicates, corrupts and partitions frames per a seeded
+//! [`FaultPlan`].
+//!
+//! McKenney's validation rule — you do not have fault tolerance until you
+//! have injected the fault — applied to the daemon wire. The injector sits
+//! between a sender and any real backend, so every chaos experiment runs
+//! against the same transport code paths production uses. Two properties
+//! make the injected chaos *measurable* rather than merely destructive:
+//!
+//! 1. **Determinism.** Every decision is a pure function of
+//!    `(plan.seed, frame index)` via SplitMix64, so the same plan replays
+//!    the same fault sequence byte for byte — a failing chaos run is a
+//!    reproducible test case, not an anecdote.
+//! 2. **Accounting.** Every injected fault increments a counter (both in
+//!    [`FaultStats`] and the `transport.faults_injected` obs counter), and
+//!    [`FaultInjector::stats`] folds injected drops back into the
+//!    transport conservation law (`sent == delivered + drops`): chaos never
+//!    makes a frame *silently* disappear.
+//!
+//! Delay is expressed in *frames*, not wall time — a delayed frame is
+//! released just before the `k`-th subsequent send — so reordering is also
+//! deterministic and independent of scheduler timing.
+
+use crate::frame::{Frame, FrameKind};
+use crate::stats::TransportStats;
+use crate::{Transport, TransportError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One step of SplitMix64 (same constants as `config::splitmix64`; kept
+/// local so the fault path has no coupling to reconnect jitter).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` for decision `salt` about frame `index`.
+fn unit(seed: u64, index: u64, salt: u64) -> f64 {
+    let z = splitmix64(
+        seed ^ index.wrapping_mul(0xD605_0BC5_5B4E_3F91) ^ salt.wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_CORRUPT: u64 = 3;
+const SALT_DELAY: u64 = 4;
+const SALT_MANGLE: u64 = 5;
+
+/// What the plan decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Forward unchanged.
+    Deliver,
+    /// The frame index falls inside a partition window: nothing crosses.
+    Partitioned,
+    /// Discard the frame (the network ate it).
+    Drop,
+    /// Forward the frame twice.
+    Duplicate,
+    /// Flip a payload byte before forwarding.
+    Corrupt,
+    /// Hold the frame and release it before the send `delay_frames` later.
+    Delay,
+}
+
+impl FaultDecision {
+    /// Stable lowercase name, used in fault logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultDecision::Deliver => "deliver",
+            FaultDecision::Partitioned => "partition",
+            FaultDecision::Drop => "drop",
+            FaultDecision::Duplicate => "duplicate",
+            FaultDecision::Corrupt => "corrupt",
+            FaultDecision::Delay => "delay",
+        }
+    }
+}
+
+/// A seeded, declarative chaos schedule.
+///
+/// The textual grammar (see [`FaultPlan::parse`]) is whitespace- or
+/// comma-separated `key=value` terms:
+///
+/// ```text
+/// plan      := term (("," | " ") term)*
+/// term      := "seed=" u64
+///            | "drop=" prob            # per-frame drop probability
+///            | "dup=" prob             # per-frame duplication probability
+///            | "corrupt=" prob         # per-frame payload-corruption probability
+///            | "delay=" prob ["x" u64] # hold probability, release after k sends (default 2)
+///            | "partition=" u64 ".." u64  # [lo, hi) frame-index window, repeatable
+/// prob      := f64 in [0, 1]
+/// ```
+///
+/// Example: `seed=42 drop=0.05 dup=0.02 corrupt=0.02 delay=0.1x3 partition=40..60`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every decision; same seed, same fault sequence.
+    pub seed: u64,
+    /// Per-frame drop probability.
+    pub drop: f64,
+    /// Per-frame duplication probability.
+    pub dup: f64,
+    /// Per-frame payload-corruption probability.
+    pub corrupt: f64,
+    /// Per-frame delay probability.
+    pub delay: f64,
+    /// How many subsequent sends a delayed frame waits before release.
+    pub delay_frames: u64,
+    /// Half-open `[lo, hi)` frame-index windows during which every frame is
+    /// dropped — a network partition as seen from this sender.
+    pub partitions: Vec<(u64, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every decision is `Deliver`).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_frames: 2,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// True when the plan can never inject a fault.
+    pub fn is_nop(&self) -> bool {
+        self.drop == 0.0
+            && self.dup == 0.0
+            && self.corrupt == 0.0
+            && self.delay == 0.0
+            && self.partitions.is_empty()
+    }
+
+    /// Parses the plan grammar (see the type docs). Unknown keys, bad
+    /// numbers and out-of-range probabilities are errors, not warnings —
+    /// a chaos run against a mistyped plan proves nothing.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for term in s.split([',', ' ']).filter(|t| !t.is_empty()) {
+            let (key, value) = term
+                .split_once('=')
+                .ok_or_else(|| format!("fault term '{term}' is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad probability '{v}' in '{term}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability '{v}' outside [0, 1] in '{term}'"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("bad seed '{value}' in '{term}'"))?;
+                }
+                "drop" => plan.drop = prob(value)?,
+                "dup" => plan.dup = prob(value)?,
+                "corrupt" => plan.corrupt = prob(value)?,
+                "delay" => match value.split_once('x') {
+                    Some((p, k)) => {
+                        plan.delay = prob(p)?;
+                        plan.delay_frames = k
+                            .parse()
+                            .map_err(|_| format!("bad delay frame count '{k}' in '{term}'"))?;
+                    }
+                    None => plan.delay = prob(value)?,
+                },
+                "partition" => {
+                    let (lo, hi) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("partition '{value}' is not lo..hi in '{term}'"))?;
+                    let lo: u64 = lo
+                        .parse()
+                        .map_err(|_| format!("bad partition start '{lo}' in '{term}'"))?;
+                    let hi: u64 = hi
+                        .parse()
+                        .map_err(|_| format!("bad partition end '{hi}' in '{term}'"))?;
+                    if hi <= lo {
+                        return Err(format!("empty partition window in '{term}'"));
+                    }
+                    plan.partitions.push((lo, hi));
+                }
+                other => return Err(format!("unknown fault key '{other}' in '{term}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when frame `index` falls inside a partition window.
+    pub fn in_partition(&self, index: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(lo, hi)| index >= lo && index < hi)
+    }
+
+    /// The plan's decision for frame `index` — a pure function, so replays
+    /// and offline analyses agree with the injector byte for byte.
+    pub fn decision(&self, index: u64) -> FaultDecision {
+        if self.in_partition(index) {
+            return FaultDecision::Partitioned;
+        }
+        if self.drop > 0.0 && unit(self.seed, index, SALT_DROP) < self.drop {
+            return FaultDecision::Drop;
+        }
+        if self.dup > 0.0 && unit(self.seed, index, SALT_DUP) < self.dup {
+            return FaultDecision::Duplicate;
+        }
+        if self.corrupt > 0.0 && unit(self.seed, index, SALT_CORRUPT) < self.corrupt {
+            return FaultDecision::Corrupt;
+        }
+        if self.delay > 0.0 && unit(self.seed, index, SALT_DELAY) < self.delay {
+            return FaultDecision::Delay;
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Deterministically corrupts payload bytes in place (the `Corrupt`
+    /// decision): one byte at a seed-chosen offset is XOR-flipped. Empty
+    /// payloads are left alone (there is nothing to corrupt; the decision
+    /// still counts as an injected fault).
+    pub fn corrupt_payload(&self, index: u64, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let r = splitmix64(self.seed ^ index.wrapping_mul(0xD605_0BC5_5B4E_3F91) ^ SALT_CORRUPT);
+        let pos = (r as usize) % payload.len();
+        payload[pos] ^= ((r >> 8) as u8) | 1; // never a zero XOR
+    }
+
+    /// Deterministically mangles an *encoded* frame — the byte-level
+    /// corruption a codec must reject. Rotates through three modes by
+    /// seed: truncation mid-frame, a corrupted (huge) length prefix, and a
+    /// flipped magic byte. Returns the mode name for assertions.
+    pub fn mangle_encoded(&self, index: u64, bytes: &mut Vec<u8>) -> &'static str {
+        let r = splitmix64(self.seed ^ index.wrapping_mul(0xD605_0BC5_5B4E_3F91) ^ SALT_MANGLE);
+        match r % 3 {
+            0 => {
+                // Cut strictly inside the frame, so a decoder must see
+                // Truncated (never a clean boundary).
+                let cut = (r >> 8) as usize % bytes.len().max(1);
+                bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+                "truncate"
+            }
+            1 if bytes.len() >= crate::frame::HEADER_LEN => {
+                // Corrupt the u32 length prefix to claim gigabytes.
+                bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+                "length-prefix"
+            }
+            _ => {
+                if !bytes.is_empty() {
+                    bytes[0] ^= 0x5A;
+                }
+                "magic"
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} drop={} dup={} corrupt={} delay={}x{}",
+            self.seed, self.drop, self.dup, self.corrupt, self.delay, self.delay_frames
+        )?;
+        for (lo, hi) in &self.partitions {
+            write!(f, " partition={lo}..{hi}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time copy of what the injector has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames accepted by [`Transport::send`] on the injector.
+    pub accepted: u64,
+    /// Frames forwarded to the inner transport (including duplicates and
+    /// released delayed frames).
+    pub forwarded: u64,
+    /// Frames discarded by a `Drop` decision.
+    pub dropped: u64,
+    /// Frames discarded by a partition window.
+    pub partition_dropped: u64,
+    /// Extra copies sent by `Duplicate` decisions.
+    pub duplicated: u64,
+    /// Frames whose payload was corrupted before forwarding.
+    pub corrupted: u64,
+    /// Frames held by a `Delay` decision (released ones still count here).
+    pub delayed: u64,
+    /// Delayed frames still held (not yet released or flushed).
+    pub pending_delayed: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of every kind.
+    pub fn total_injected(&self) -> u64 {
+        self.dropped + self.partition_dropped + self.duplicated + self.corrupted + self.delayed
+    }
+
+    /// The injector-level conservation law: every accepted frame was
+    /// forwarded (possibly late or corrupted), is still held, or is
+    /// explained by a drop counter. Duplicates are extra forwards.
+    pub fn conservation_ok(&self) -> bool {
+        self.accepted + self.duplicated
+            == self.forwarded + self.dropped + self.partition_dropped + self.pending_delayed
+    }
+}
+
+fn faults_injected_counter() -> &'static Arc<pdmap_obs::Counter> {
+    static C: OnceLock<Arc<pdmap_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| pdmap_obs::counter("transport.faults_injected"))
+}
+
+struct Held {
+    release_at: u64,
+    kind: FrameKind,
+    payload: Vec<u8>,
+}
+
+/// The fault-injecting [`Transport`] wrapper (see the module docs).
+pub struct FaultInjector {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    index: AtomicU64,
+    held: Mutex<Vec<Held>>,
+    accepted: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    partition_dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    log: Mutex<Vec<(u64, FaultDecision)>>,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` so every outbound frame is subject to `plan`.
+    pub fn wrap(inner: Arc<dyn Transport>, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            plan,
+            index: AtomicU64::new(0),
+            held: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            partition_dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &Arc<dyn Transport> {
+        &self.inner
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injector counters (the inner transport keeps its own
+    /// [`TransportStats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            partition_dropped: self.partition_dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            pending_delayed: self.held.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+        }
+    }
+
+    /// The injected fault sequence so far: `(frame index, decision)` for
+    /// every non-`Deliver` decision, in order. Byte-for-byte reproducible
+    /// for a fixed plan and send sequence.
+    pub fn fault_log(&self) -> Vec<(u64, FaultDecision)> {
+        self.log.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Releases every frame still held by a `Delay` decision, in original
+    /// order. Called automatically as later sends pass the release point
+    /// and on [`Transport::close`]; exposed for drain-style shutdown.
+    pub fn flush_delayed(&self) -> usize {
+        let drained: Vec<Held> = {
+            let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+            held.drain(..).collect()
+        };
+        let n = drained.len();
+        for h in drained {
+            if self.inner.send(h.kind, h.payload).is_ok() {
+                self.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        n
+    }
+
+    fn release_due(&self, now_index: u64) {
+        let due: Vec<Held> = {
+            let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+            if held.iter().all(|h| h.release_at > now_index) {
+                return;
+            }
+            let mut due = Vec::new();
+            held.retain_mut(|h| {
+                if h.release_at <= now_index {
+                    due.push(Held {
+                        release_at: h.release_at,
+                        kind: h.kind,
+                        payload: std::mem::take(&mut h.payload),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for h in due {
+            if self.inner.send(h.kind, h.payload).is_ok() {
+                self.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn note(&self, index: u64, d: FaultDecision) {
+        faults_injected_counter().incr();
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((index, d));
+    }
+}
+
+impl Transport for FaultInjector {
+    fn send(&self, kind: FrameKind, mut payload: Vec<u8>) -> Result<(), TransportError> {
+        let index = self.index.fetch_add(1, Ordering::Relaxed);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.release_due(index);
+        match self.plan.decision(index) {
+            FaultDecision::Deliver => {
+                self.inner.send(kind, payload)?;
+                self.forwarded.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            d @ FaultDecision::Partitioned => {
+                self.partition_dropped.fetch_add(1, Ordering::Relaxed);
+                self.note(index, d);
+                Ok(())
+            }
+            d @ FaultDecision::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.note(index, d);
+                Ok(())
+            }
+            d @ FaultDecision::Duplicate => {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.note(index, d);
+                self.inner.send(kind, payload.clone())?;
+                self.inner.send(kind, payload)?;
+                self.forwarded.fetch_add(2, Ordering::Relaxed);
+                Ok(())
+            }
+            d @ FaultDecision::Corrupt => {
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
+                self.note(index, d);
+                self.plan.corrupt_payload(index, &mut payload);
+                self.inner.send(kind, payload)?;
+                self.forwarded.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            d @ FaultDecision::Delay => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                self.note(index, d);
+                self.held
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Held {
+                        release_at: index + self.plan.delay_frames,
+                        kind,
+                        payload,
+                    });
+                Ok(())
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Frame>, TransportError> {
+        self.inner.try_recv()
+    }
+
+    /// The inner snapshot with injected drops folded in, so the end-to-end
+    /// conservation law (`frames_sent == frames_received + drops`) still
+    /// holds across an injected fault sequence: a frame the injector ate
+    /// counts as both sent and dropped, exactly like a backpressure drop.
+    fn stats(&self) -> TransportStats {
+        let mut s = self.inner.stats();
+        let eaten = self.dropped.load(Ordering::Relaxed)
+            + self.partition_dropped.load(Ordering::Relaxed)
+            + self.fault_stats().pending_delayed;
+        s.frames_sent += eaten;
+        s.drops += eaten;
+        s
+    }
+
+    /// Alive only when the inner link is alive *and* the current frame
+    /// index is outside every partition window — a partitioned link looks
+    /// dead to the supervisor, as a real partition would.
+    fn is_alive(&self) -> bool {
+        self.inner.is_alive() && !self.plan.in_partition(self.index.load(Ordering::Relaxed))
+    }
+
+    fn close(&self) {
+        self.flush_delayed();
+        self.inner.close();
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "fault-injector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransportConfig;
+    use crate::inproc::InProcEnd;
+
+    fn plan(s: &str) -> FaultPlan {
+        FaultPlan::parse(s).expect("plan parses")
+    }
+
+    #[test]
+    fn grammar_roundtrips_and_rejects_garbage() {
+        let p = plan("seed=42 drop=0.1 dup=0.05 corrupt=0.02 delay=0.2x3 partition=10..20");
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.delay_frames, 3);
+        assert_eq!(p.partitions, vec![(10, 20)]);
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        assert_eq!(plan("seed=7,drop=0.5").drop, 0.5);
+        assert!(FaultPlan::parse("drop=2.0").is_err());
+        assert!(FaultPlan::parse("drop=x").is_err());
+        assert!(FaultPlan::parse("banana=1").is_err());
+        assert!(FaultPlan::parse("partition=5..5").is_err());
+        assert!(FaultPlan::parse("partition=5").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+        assert!(plan("").is_nop());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let p = plan("seed=1 drop=0.2 dup=0.1 corrupt=0.1 delay=0.1");
+        let a: Vec<FaultDecision> = (0..512).map(|i| p.decision(i)).collect();
+        let b: Vec<FaultDecision> = (0..512).map(|i| p.decision(i)).collect();
+        assert_eq!(a, b, "same seed, same sequence");
+        let q = plan("seed=2 drop=0.2 dup=0.1 corrupt=0.1 delay=0.1");
+        let c: Vec<FaultDecision> = (0..512).map(|i| q.decision(i)).collect();
+        assert_ne!(a, c, "different seed, different sequence");
+        // Every fault kind actually occurs at these rates over 512 draws.
+        for want in [
+            FaultDecision::Drop,
+            FaultDecision::Duplicate,
+            FaultDecision::Corrupt,
+            FaultDecision::Delay,
+            FaultDecision::Deliver,
+        ] {
+            assert!(a.contains(&want), "{want:?} never drawn");
+        }
+    }
+
+    #[test]
+    fn injector_replays_identically_and_accounts_everything() {
+        let run = || {
+            let (client, server) = InProcEnd::pair(&TransportConfig::with_capacity(4096));
+            let inj = FaultInjector::wrap(
+                client,
+                plan("seed=99 drop=0.15 dup=0.1 corrupt=0.1 delay=0.1x2 partition=50..60"),
+            );
+            for i in 0..200u32 {
+                inj.send(FrameKind::Daemon, i.to_le_bytes().to_vec())
+                    .unwrap();
+            }
+            inj.flush_delayed();
+            let mut delivered = Vec::new();
+            while let Ok(Some(f)) = server.try_recv() {
+                delivered.push(f.payload);
+            }
+            (inj.fault_log(), inj.fault_stats(), delivered)
+        };
+        let (log1, stats1, frames1) = run();
+        let (log2, stats2, frames2) = run();
+        assert_eq!(log1, log2, "fault sequence replays byte for byte");
+        assert_eq!(stats1, stats2);
+        assert_eq!(frames1, frames2, "delivered byte stream replays too");
+        assert!(!log1.is_empty());
+        assert!(stats1.partition_dropped >= 9, "{stats1:?}");
+        assert!(stats1.conservation_ok(), "{stats1:?}");
+        // The injector's stats view preserves the end-to-end law.
+        assert_eq!(stats1.accepted, 200);
+        assert_eq!(
+            stats1.forwarded,
+            frames1.len() as u64,
+            "all forwarded frames delivered in-proc"
+        );
+    }
+
+    #[test]
+    fn nop_plan_is_transparent() {
+        let (client, server) = InProcEnd::pair(&TransportConfig::default());
+        let inj = FaultInjector::wrap(client, FaultPlan::none());
+        for i in 0..32u8 {
+            inj.send(FrameKind::Daemon, vec![i]).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(Some(f)) = server.try_recv() {
+            got.push(f.payload[0]);
+        }
+        assert_eq!(got, (0..32).collect::<Vec<u8>>());
+        assert_eq!(inj.fault_stats().total_injected(), 0);
+        assert!(inj.fault_log().is_empty());
+    }
+
+    #[test]
+    fn partition_window_reports_not_alive() {
+        let (client, _server) = InProcEnd::pair(&TransportConfig::default());
+        let inj = FaultInjector::wrap(client, plan("seed=1 partition=2..4"));
+        assert!(inj.is_alive());
+        inj.send(FrameKind::Daemon, vec![0]).unwrap();
+        inj.send(FrameKind::Daemon, vec![1]).unwrap();
+        // Index now 2: inside the window.
+        assert!(!inj.is_alive());
+        inj.send(FrameKind::Daemon, vec![2]).unwrap();
+        inj.send(FrameKind::Daemon, vec![3]).unwrap();
+        assert!(inj.is_alive());
+        assert_eq!(inj.fault_stats().partition_dropped, 2);
+    }
+
+    #[test]
+    fn delayed_frames_are_reordered_then_released() {
+        let (client, server) = InProcEnd::pair(&TransportConfig::default());
+        // delay=1.0 would hold everything; use a window-free plan where
+        // only index 0 is delayed via seed hunting is fragile — instead
+        // hold everything with delay=1 and flush explicitly.
+        let inj = FaultInjector::wrap(client, plan("seed=3 delay=1.0x2"));
+        inj.send(FrameKind::Daemon, vec![7]).unwrap();
+        assert_eq!(server.try_recv().unwrap(), None, "held, not delivered");
+        assert_eq!(inj.fault_stats().pending_delayed, 1);
+        assert_eq!(inj.flush_delayed(), 1);
+        assert_eq!(server.try_recv().unwrap().unwrap().payload, vec![7]);
+        assert!(inj.fault_stats().conservation_ok());
+    }
+
+    #[test]
+    fn mangle_encoded_defeats_the_decoder_every_mode() {
+        let p = plan("seed=11");
+        let mut modes = std::collections::BTreeSet::new();
+        for i in 0..32u64 {
+            let mut bytes = Frame::data(FrameKind::Daemon, vec![9; 24]).encode();
+            let mode = p.mangle_encoded(i, &mut bytes);
+            modes.insert(mode);
+            assert!(
+                Frame::decode(&bytes).is_err(),
+                "mangled frame (mode {mode}) must not decode"
+            );
+        }
+        assert_eq!(
+            modes.into_iter().collect::<Vec<_>>(),
+            vec!["length-prefix", "magic", "truncate"],
+            "all three mangle modes exercised"
+        );
+    }
+}

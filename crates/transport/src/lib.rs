@@ -27,6 +27,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
 mod obs;
@@ -36,7 +37,8 @@ pub mod tcp;
 pub mod wire;
 
 pub use backend::{Backend, Link};
-pub use config::{ReconnectPolicy, TransportConfig};
+pub use config::{secret_from_str, ReconnectPolicy, TransportConfig};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats};
 pub use frame::{Frame, FrameError, FrameKind};
 pub use inproc::InProcEnd;
 pub use queue::Backpressure;

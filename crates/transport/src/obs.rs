@@ -7,7 +7,7 @@
 //! disabled).
 
 use crate::frame::FrameKind;
-use pdmap_obs::{Histogram, SpanSite};
+use pdmap_obs::{Counter, Histogram, SpanSite};
 use std::sync::{Arc, OnceLock};
 
 pub(crate) struct TransportObs {
@@ -29,6 +29,9 @@ pub(crate) struct TransportObs {
     pub(crate) send_ns: [Arc<Histogram>; FrameKind::ALL.len()],
     /// Per-frame-kind receive latency (`transport.recv_ns.<kind>`).
     pub(crate) recv_ns: [Arc<Histogram>; FrameKind::ALL.len()],
+    /// Peers rejected by the authenticated Hello handshake
+    /// (`transport.auth_failures`).
+    pub(crate) auth_failures: Arc<Counter>,
 }
 
 pub(crate) fn obs() -> &'static TransportObs {
@@ -46,5 +49,6 @@ pub(crate) fn obs() -> &'static TransportObs {
             .map(|k| pdmap_obs::histogram(&format!("transport.send_ns.{}", k.name()))),
         recv_ns: FrameKind::ALL
             .map(|k| pdmap_obs::histogram(&format!("transport.recv_ns.{}", k.name()))),
+        auth_failures: pdmap_obs::counter("transport.auth_failures"),
     })
 }

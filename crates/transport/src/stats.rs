@@ -23,6 +23,7 @@ pub struct StatsCell {
     acks_sent: AtomicU64,
     acks_received: AtomicU64,
     max_queue_depth: AtomicU64,
+    auth_failures: AtomicU64,
 }
 
 impl StatsCell {
@@ -79,6 +80,11 @@ impl StatsCell {
         self.acks_received.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a peer rejected by the authenticated Hello handshake.
+    pub fn on_auth_failure(&self) {
+        self.auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds an observed queue depth into the high-water mark.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.max_queue_depth
@@ -101,6 +107,7 @@ impl StatsCell {
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
             acks_received: self.acks_received.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +141,9 @@ pub struct TransportStats {
     pub acks_received: u64,
     /// High-water mark of the bounded send queue.
     pub max_queue_depth: u64,
+    /// Peers rejected by the authenticated Hello handshake (wrong or
+    /// missing tag); a rejected peer never reaches the session.
+    pub auth_failures: u64,
 }
 
 impl TransportStats {
@@ -154,6 +164,7 @@ impl TransportStats {
             ("Transport Acks Sent", self.acks_sent),
             ("Transport Acks Received", self.acks_received),
             ("Transport Max Queue Depth", self.max_queue_depth),
+            ("Transport Auth Failures", self.auth_failures),
         ]
     }
 }
@@ -186,8 +197,8 @@ mod tests {
     #[test]
     fn rows_cover_every_field() {
         let s = TransportStats::default();
-        assert_eq!(s.rows().len(), 13);
+        assert_eq!(s.rows().len(), 14);
         let names: std::collections::BTreeSet<_> = s.rows().iter().map(|&(n, _)| n).collect();
-        assert_eq!(names.len(), 13, "metric names must be distinct");
+        assert_eq!(names.len(), 14, "metric names must be distinct");
     }
 }

@@ -15,7 +15,7 @@
 //! exactly once or counted in `drops` (backpressure or link give-up) —
 //! never silently lost.
 
-use crate::config::TransportConfig;
+use crate::config::{auth_tag, ct_eq, splitmix64, TransportConfig};
 use crate::frame::{Frame, FrameKind};
 use crate::queue::BoundedQueue;
 use crate::stats::{StatsCell, TransportStats};
@@ -138,6 +138,50 @@ impl TcpClient {
     }
 }
 
+/// Runs the client half of the connection handshake on a fresh stream:
+/// when a secret is configured, awaits the server's challenge Hello and
+/// computes the response tag; then sends our Hello (id, or id + tag) and
+/// replays the unacknowledged suffix. `false` means this connection is
+/// unusable and the attempt failed.
+fn client_handshake(shared: &ClientShared, s: &mut TcpStream) -> bool {
+    let hello_payload = match shared.cfg.secret {
+        Some(secret) => {
+            // The challenge must arrive promptly; without a timeout a
+            // server that accepts but never challenges (e.g. one not
+            // configured for auth) would wedge the writer thread.
+            let _ = s.set_read_timeout(Some(shared.cfg.liveness_timeout));
+            let nonce = match Frame::read_from(s) {
+                Ok(Some(f)) if f.kind == FrameKind::Hello && f.payload.len() == 8 => {
+                    u64::from_le_bytes(f.payload[..8].try_into().expect("8 bytes"))
+                }
+                _ => return false,
+            };
+            let _ = s.set_read_timeout(None);
+            let mut p = shared.client_id.to_le_bytes().to_vec();
+            p.extend_from_slice(&auth_tag(&secret, nonce, shared.client_id).to_le_bytes());
+            p
+        }
+        None => shared.client_id.to_le_bytes().to_vec(),
+    };
+    let mut hello = Frame::data(FrameKind::Hello, hello_payload);
+    hello.seq = 0;
+    if hello.write_to(s).is_err() {
+        return false;
+    }
+    let pending: Vec<Frame> = lock(&shared.inflight).iter().cloned().collect();
+    pending.iter().all(|f| f.write_to(s).is_ok())
+}
+
+/// Abandons the link: everything still queued or in flight is now an
+/// accounted loss.
+fn give_up(shared: &ClientShared) {
+    shared.failed.store(true, Ordering::Release);
+    let queued = shared.queue.drain().len();
+    let inflight = lock(&shared.inflight).drain(..).count();
+    shared.stats.on_drop((queued + inflight) as u64);
+    shared.queue.close();
+}
+
 fn establish(
     shared: &ClientShared,
     ever_connected: &mut bool,
@@ -154,62 +198,42 @@ fn establish(
         if shared.closed.load(Ordering::Acquire) {
             return None;
         }
-        match TcpStream::connect(shared.addr) {
+        let attempt_failed = match TcpStream::connect(shared.addr) {
             Ok(stream) => {
                 let _ = stream.set_nodelay(true);
-                if *ever_connected {
-                    shared.stats.on_reconnect();
-                    if let Some(t0) = reconnect_start {
-                        let dur = pdmap_obs::now_ns().saturating_sub(t0);
-                        pdmap_obs::record_span(&crate::obs::obs().tcp_reconnect, t0, dur);
-                    }
-                }
-                *ever_connected = true;
-                *attempt = 0;
-                // Identify ourselves, then replay the unacknowledged suffix.
                 let mut s = stream;
-                let mut hello =
-                    Frame::data(FrameKind::Hello, shared.client_id.to_le_bytes().to_vec());
-                hello.seq = 0;
-                if hello.write_to(&mut s).is_err() {
-                    continue;
-                }
-                let pending: Vec<Frame> = lock(&shared.inflight).iter().cloned().collect();
-                let mut replay_ok = true;
-                for f in &pending {
-                    if f.write_to(&mut s).is_err() {
-                        replay_ok = false;
-                        break;
+                if client_handshake(shared, &mut s) {
+                    if *ever_connected {
+                        shared.stats.on_reconnect();
+                        if let Some(t0) = reconnect_start {
+                            let dur = pdmap_obs::now_ns().saturating_sub(t0);
+                            pdmap_obs::record_span(&crate::obs::obs().tcp_reconnect, t0, dur);
+                        }
                     }
+                    *ever_connected = true;
+                    *attempt = 0;
+                    // Publish to the reader.
+                    {
+                        let mut slot = lock(&shared.conn);
+                        slot.stream = Some(s.try_clone().expect("clone TCP stream"));
+                        slot.generation += 1;
+                    }
+                    shared.conn_cv.notify_all();
+                    *lock(&shared.last_seen) = Instant::now();
+                    return Some(s);
                 }
-                if !replay_ok {
-                    continue;
-                }
-                // Publish to the reader.
-                {
-                    let mut slot = lock(&shared.conn);
-                    slot.stream = Some(s.try_clone().expect("clone TCP stream"));
-                    slot.generation += 1;
-                }
-                shared.conn_cv.notify_all();
-                *lock(&shared.last_seen) = Instant::now();
-                return Some(s);
+                true // connected but the handshake failed
             }
-            Err(_) => {
-                shared.stats.on_retry();
-                *attempt += 1;
-                if *attempt >= shared.cfg.reconnect.max_attempts {
-                    // Abandon the link: everything still queued or in
-                    // flight is now an accounted loss.
-                    shared.failed.store(true, Ordering::Release);
-                    let queued = shared.queue.drain().len();
-                    let inflight = lock(&shared.inflight).drain(..).count();
-                    shared.stats.on_drop((queued + inflight) as u64);
-                    shared.queue.close();
-                    return None;
-                }
-                sleep_unless(shared.cfg.reconnect.delay_for(*attempt - 1), &shared.closed);
+            Err(_) => true,
+        };
+        if attempt_failed {
+            shared.stats.on_retry();
+            *attempt += 1;
+            if *attempt >= shared.cfg.reconnect.max_attempts {
+                give_up(shared);
+                return None;
             }
+            sleep_unless(shared.cfg.reconnect.delay_for(*attempt - 1), &shared.closed);
         }
     }
 }
@@ -414,6 +438,10 @@ impl ConnHandle {
 struct ServerShared {
     recv: Mutex<VecDeque<Frame>>,
     conns: Mutex<Vec<Arc<ConnHandle>>>,
+    /// When set, every accepted connection must pass the challenge/response
+    /// handshake before its handle is registered (before any of its frames
+    /// can reach the session).
+    secret: Option<[u8; 16]>,
     /// Highest contiguous sequence delivered, per client id — survives the
     /// client's reconnects, which is what makes redelivery detectable.
     delivered: Mutex<HashMap<u64, u64>>,
@@ -434,11 +462,23 @@ impl TcpServer {
     /// Binds and starts the accept loop. Use `"127.0.0.1:0"` to let the OS
     /// pick a port, then read it back with [`TcpServer::local_addr`].
     pub fn bind(addr: &str) -> std::io::Result<Arc<Self>> {
+        Self::bind_with_secret(addr, None)
+    }
+
+    /// Like [`TcpServer::bind`], but when `secret` is set every accepted
+    /// connection must answer the challenge/response Hello before it is
+    /// admitted: the server sends an 8-byte nonce, the client must reply
+    /// with `client_id || tag(secret, nonce, client_id)`, compared in
+    /// constant time. A peer that answers wrongly (or not at all within the
+    /// handshake timeout) is counted in `auth_failures` and disconnected
+    /// without ever reaching the session.
+    pub fn bind_with_secret(addr: &str, secret: Option<[u8; 16]>) -> std::io::Result<Arc<Self>> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             recv: Mutex::new(VecDeque::new()),
             conns: Mutex::new(Vec::new()),
+            secret,
             delivered: Mutex::new(HashMap::new()),
             last_seen: Mutex::new(Instant::now()),
             closed: AtomicBool::new(false),
@@ -498,7 +538,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                     stream: Mutex::new(stream),
                     alive: AtomicBool::new(true),
                 });
-                lock(&shared.conns).push(handle.clone());
+                // With auth enabled, registration waits until the peer has
+                // answered the challenge (conn_loop) — an unauthenticated
+                // peer must never receive broadcasts or count as a
+                // connection.
+                if shared.secret.is_none() {
+                    lock(&shared.conns).push(handle.clone());
+                }
                 let sh = shared.clone();
                 std::thread::Builder::new()
                     .name("pdmap-transport-conn".into())
@@ -514,10 +560,59 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
+/// Process-wide nonce sequence for auth challenges; mixed with the clock so
+/// two servers in one process still challenge differently.
+static NONCE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Runs the server half of the challenge/response handshake. Returns the
+/// authenticated client id, or `None` if the peer failed (wrong tag, no
+/// Hello, or silence past the handshake timeout).
+fn server_auth(stream: &mut TcpStream, handle: &ConnHandle, secret: &[u8; 16]) -> Option<u64> {
+    let nonce = splitmix64(
+        pdmap_obs::now_ns()
+            ^ NONCE_COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut challenge = Frame::data(FrameKind::Hello, nonce.to_le_bytes().to_vec());
+    challenge.seq = 0;
+    if !handle.write(&challenge) {
+        return None;
+    }
+    // Bound the wait for the response so a silent peer cannot pin this
+    // thread; the timeout is cleared once the peer is admitted.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let verdict = match Frame::read_from(stream) {
+        Ok(Some(f)) if f.kind == FrameKind::Hello && f.payload.len() == 16 => {
+            let client_id = u64::from_le_bytes(f.payload[..8].try_into().expect("8 bytes"));
+            let expect = auth_tag(secret, nonce, client_id).to_le_bytes();
+            ct_eq(&f.payload[8..], &expect).then_some(client_id)
+        }
+        _ => None,
+    };
+    let _ = stream.set_read_timeout(None);
+    verdict
+}
+
 fn conn_loop(mut stream: TcpStream, handle: &Arc<ConnHandle>, shared: &Arc<ServerShared>) {
     // Client id 0 = a peer that never said Hello (still works, but its
     // dedup state is shared with other anonymous peers).
     let mut client_id = 0u64;
+    if let Some(secret) = &shared.secret {
+        match server_auth(&mut stream, handle, secret) {
+            Some(id) => {
+                client_id = id;
+                lock(&shared.conns).push(handle.clone());
+            }
+            None => {
+                shared.stats.on_auth_failure();
+                crate::obs::obs().auth_failures.incr();
+                handle.alive.store(false, Ordering::Release);
+                let _ = lock(&handle.stream).shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
     loop {
         if shared.closed.load(Ordering::Acquire) {
             break;
@@ -783,6 +878,76 @@ mod tests {
             client.send(FrameKind::Daemon, vec![0]).unwrap_err(),
             TransportError::Closed
         );
+    }
+
+    #[test]
+    fn auth_admits_matching_secret_and_session_works() {
+        let secret = crate::config::secret_from_str("chaos-matrix");
+        let server = TcpServer::bind_with_secret("127.0.0.1:0", Some(secret)).unwrap();
+        let client = TcpClient::connect(
+            server.local_addr(),
+            TransportConfig::default().with_secret(secret),
+        );
+        for i in 0..10u8 {
+            client.send(FrameKind::Daemon, vec![i]).unwrap();
+        }
+        let got = recv_all(&server, 10, Duration::from_secs(5));
+        assert_eq!(got.len(), 10);
+        assert_eq!(server.stats().auth_failures, 0);
+        assert!(wait_until(Duration::from_secs(2), || server.connections() == 1));
+        // The server → client direction works post-auth too.
+        server.send(FrameKind::PifBlob, b"ok".to_vec()).unwrap();
+        assert!(wait_until(Duration::from_secs(2), || {
+            client.stats().frames_received >= 1
+        }));
+        client.close();
+    }
+
+    #[test]
+    fn wrong_secret_is_rejected_before_any_session_frame() {
+        let server = TcpServer::bind_with_secret(
+            "127.0.0.1:0",
+            Some(crate::config::secret_from_str("right")),
+        )
+        .unwrap();
+        let mut cfg =
+            TransportConfig::default().with_secret(crate::config::secret_from_str("wrong"));
+        cfg.reconnect.max_attempts = 3;
+        cfg.reconnect.base_delay = Duration::from_millis(1);
+        let client = TcpClient::connect(server.local_addr(), cfg);
+        let _ = client.send(FrameKind::Daemon, vec![1]);
+        assert!(
+            wait_until(Duration::from_secs(5), || server.stats().auth_failures >= 1),
+            "server must count the rejection: {:?}",
+            server.stats()
+        );
+        // The rejected peer never reached the session: no registered
+        // connection, no delivered frame.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(server.connections(), 0);
+        assert_eq!(server.stats().frames_received, 0);
+        assert!(server.try_recv().unwrap().is_none());
+        client.close();
+    }
+
+    #[test]
+    fn secretless_client_rejected_by_auth_server() {
+        let server = TcpServer::bind_with_secret(
+            "127.0.0.1:0",
+            Some(crate::config::secret_from_str("right")),
+        )
+        .unwrap();
+        // A legacy 8-byte Hello (no tag) must fail the handshake.
+        let mut cfg = TransportConfig::default();
+        cfg.reconnect.max_attempts = 2;
+        cfg.reconnect.base_delay = Duration::from_millis(1);
+        let client = TcpClient::connect(server.local_addr(), cfg);
+        let _ = client.send(FrameKind::Daemon, vec![1]);
+        assert!(wait_until(Duration::from_secs(5), || {
+            server.stats().auth_failures >= 1
+        }));
+        assert_eq!(server.stats().frames_received, 0);
+        client.close();
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! clock alignment under injected skew, sharded concurrent import/deliver,
 //! and the per-shard observability exports.
 
-use paradyn_tool::{export_shard_obs, DaemonSet, DataManager};
+use paradyn_tool::{export_shard_obs, DaemonMsg, DaemonSet, DataManager};
 use pdmap::model::Namespace;
-use pdmap_transport::TransportConfig;
+use pdmap_transport::{
+    send_wire, Backend, FaultDecision, FaultInjector, FaultPlan, Transport, TransportConfig,
+    WirePayload,
+};
 use pdmapd::{DaemonConfig, CLOCK_BASE_NS};
 use std::sync::Arc;
 use std::time::Duration;
@@ -128,4 +131,117 @@ fn four_daemons_import_and_deliver_into_parallel_shards() {
     for d in daemons {
         d.join();
     }
+}
+
+#[test]
+fn partition_loss_obeys_the_conservation_law() {
+    // A fake daemon sends through a FaultInjector whose plan carves a
+    // partition window out of the send sequence, then announces its send
+    // count with a Goodbye. The books must close exactly:
+    //
+    //   announced == received + samples_lost
+    //   samples_lost == injector.partition_dropped
+    //
+    // No silent zero: the partitioned frames show up as labeled loss, not
+    // as a smaller-but-complete-looking measurement.
+    let plan = FaultPlan::parse("seed=42 partition=8..16").expect("plan parses");
+    assert_eq!(
+        plan,
+        FaultPlan {
+            seed: 42,
+            partitions: vec![(8, 16)],
+            ..FaultPlan::none()
+        },
+        "the plan grammar is byte-reproducible"
+    );
+
+    let cfg = TransportConfig::default();
+    let link = Backend::InProc.link(&cfg);
+    let injector = FaultInjector::wrap(link.server.clone(), plan);
+    let data = Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", 1));
+    let mut set = DaemonSet::over_transports(vec![("fake#0".into(), link.client)], data);
+
+    // Clock sync first: with 3 rounds the replies occupy injector indices
+    // 0..3, clear of the partition window at [8, 16).
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let answerer = &injector;
+        let stop_ref = &stop;
+        s.spawn(move || {
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                while let Ok(Some(frame)) = answerer.try_recv() {
+                    if let Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) =
+                        DaemonMsg::from_frame(&frame)
+                    {
+                        let _ = send_wire(
+                            &**answerer,
+                            &DaemonMsg::ClockReply {
+                                token,
+                                t_tool_ns,
+                                t_daemon_ns: pdmap_obs::now_ns(),
+                            },
+                        );
+                    }
+                }
+                std::thread::yield_now();
+            }
+        });
+        set.clock_sync(3, Duration::from_secs(5)).expect("sync");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // 20 samples through the partition, then the announcement.
+    const SENT: u32 = 20;
+    for i in 0..SENT {
+        send_wire(
+            &*injector,
+            &DaemonMsg::Sample {
+                metric: "cpu".into(),
+                focus: "/".into(),
+                wall: pdmap_obs::now_ns(),
+                value: f64::from(i),
+            },
+        )
+        .expect("send through injector");
+    }
+    send_wire(&*injector, &DaemonMsg::Goodbye { samples_sent: SENT }).expect("goodbye");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while set.conn(0).announced_sent().is_none() && std::time::Instant::now() < deadline {
+        set.pump();
+        std::thread::yield_now();
+    }
+    assert_eq!(set.conn(0).announced_sent(), Some(u64::from(SENT)));
+
+    // The injector's own books balance, and its fault log is exactly the
+    // partition window — reproducible from the seed, frame for frame.
+    let stats = injector.fault_stats();
+    assert!(stats.conservation_ok(), "{stats:?}");
+    assert!(
+        stats.partition_dropped > 0,
+        "the window must have eaten sends"
+    );
+    assert_eq!(
+        injector.fault_log(),
+        (8..16)
+            .map(|i| (i, FaultDecision::Partitioned))
+            .collect::<Vec<_>>()
+    );
+
+    // The tool's books balance against the announcement: every announced
+    // sample is either received or counted lost, and the loss equals what
+    // the injector ate.
+    let received = set.conn(0).samples_received();
+    let cov = set.coverage();
+    assert_eq!(
+        u64::from(SENT),
+        received + cov.samples_lost,
+        "announced == received + lost ({cov})"
+    );
+    assert_eq!(cov.samples_lost, stats.partition_dropped);
+    assert!(!cov.is_complete() || cov.samples_lost == 0);
+    assert_eq!(
+        set.merged_samples().coverage().samples_lost,
+        cov.samples_lost
+    );
 }

@@ -100,6 +100,7 @@ fn question_registered_after_filtering_misses_history() {
 #[test]
 fn daemon_tolerates_garbage_on_the_wire() {
     use paradyn_tool::daemon::Daemon;
+    use pdmap_transport::{FaultPlan, Frame, FrameError, FrameKind};
     let ns = Namespace::new();
     let dm = Arc::new(paradyn_tool::DataManager::new(ns, "CM Fortran"));
     let (endpoint, mut daemon) = Daemon::pair(dm.clone());
@@ -111,6 +112,52 @@ fn daemon_tolerates_garbage_on_the_wire() {
     daemon.pump();
     assert_eq!(daemon.samples().len(), 1);
     assert!(paradyn_tool::DaemonMsg::decode("GARBAGE|x").is_err());
+
+    // Byte-level garbage: run the seeded mangler over many frames and
+    // check every mode lands in the decode-error class it aims at —
+    // truncation mid-frame, a length prefix claiming gigabytes, and a
+    // flipped magic byte. Same seed, same mangle sequence.
+    let plan = FaultPlan {
+        seed: 0xBAD5EED,
+        ..FaultPlan::none()
+    };
+    let mut modes_seen = std::collections::BTreeSet::new();
+    for index in 0..64u64 {
+        let frame = Frame::data(FrameKind::Daemon, b"SAMPLE|cpu|/Machine|7|1.5".to_vec());
+        let mut bytes = frame.encode();
+        let mode = plan.mangle_encoded(index, &mut bytes);
+        modes_seen.insert(mode);
+        let err = Frame::decode(&bytes).expect_err("mangled frame must not decode");
+        match mode {
+            "truncate" => assert_eq!(err, FrameError::Truncated, "index {index}"),
+            "length-prefix" => {
+                assert!(
+                    matches!(err, FrameError::TooLarge(_)),
+                    "index {index}: {err:?}"
+                )
+            }
+            "magic" => assert!(
+                matches!(err, FrameError::BadMagic(_)),
+                "index {index}: {err:?}"
+            ),
+            other => panic!("unknown mangle mode {other}"),
+        }
+        // The mangler is deterministic: a replay mangles identically.
+        let mut replay = frame.encode();
+        assert_eq!(plan.mangle_encoded(index, &mut replay), mode);
+        assert_eq!(replay, bytes, "index {index}: mangle must be reproducible");
+    }
+    assert_eq!(
+        modes_seen.into_iter().collect::<Vec<_>>(),
+        ["length-prefix", "magic", "truncate"],
+        "64 frames must exercise all three mangle modes"
+    );
+
+    // And garbage never wedges the session: valid traffic still flows
+    // after the codec has rejected a pile of mangled bytes.
+    endpoint.send_sample("ok", "f", 2, 3.0);
+    daemon.pump();
+    assert_eq!(daemon.samples().len(), 2);
 }
 
 #[test]
