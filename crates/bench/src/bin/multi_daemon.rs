@@ -310,6 +310,86 @@ fn main() -> ExitCode {
     }
 }
 
+/// Runs the consultant twice over an in-process workload — once at full
+/// coverage, once stamped with the drill's degraded [`SessionCoverage`] —
+/// and checks the flip rules: decided verdicts may weaken to Unknown but
+/// never cross to the opposite decided answer, at least one borderline
+/// hypothesis *does* weaken, and the audit invariant (no decided verdict
+/// from a straddling interval) holds. Returns `(flips_to_unknown,
+/// audit_ok)` for the JSON report.
+fn verdict_drill(
+    n: usize,
+    session: paradyn_tool::SessionCoverage,
+    check: &mut impl FnMut(&str, bool),
+) -> (usize, bool) {
+    use paradyn_tool::consultant::{audit, render, search, ConsultantConfig, Verdict};
+
+    let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: n,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    tool.load_source(cmf_lang::samples::ALL_VERBS)
+        .expect("sample program loads");
+
+    // Pick the threshold just above the largest full-coverage ratio, close
+    // enough that one missing node's widening (hi = ratio × n/(n-1))
+    // crosses it: the top hypothesis is decidedly False at n/n and must
+    // straddle at (n-1)/n, whatever n the drill ran with.
+    let probe = search(&tool, &ConsultantConfig::default());
+    let r_max = probe.iter().map(|e| e.ratio).fold(0.0f64, f64::max);
+    if r_max <= 0.0 {
+        check("verdict drill found a nonzero ratio to straddle", false);
+        return (0, false);
+    }
+    let config = ConsultantConfig {
+        threshold: r_max * (1.0 + 0.5 / (n as f64 - 1.0)),
+        max_depth: 1,
+    };
+
+    let full = search(&tool, &config);
+    check(
+        "full-coverage verdicts are all decided",
+        full.iter().all(|e| e.verdict.is_decided()),
+    );
+
+    tool.set_session_coverage(Some(session));
+    let degraded = search(&tool, &config);
+    let mut flips_to_unknown = 0;
+    for (f, d) in full.iter().zip(&degraded) {
+        match (f.verdict, d.verdict) {
+            (Verdict::True, Verdict::False) | (Verdict::False, Verdict::True) => {
+                check(
+                    &format!(
+                        "{}: verdict crossed {:?} -> {:?}",
+                        d.hypothesis, f.verdict, d.verdict
+                    ),
+                    false,
+                );
+            }
+            (v, Verdict::Unknown) if v.is_decided() => flips_to_unknown += 1,
+            _ => {}
+        }
+    }
+    check(
+        "killing a daemon flips borderline verdicts to Unknown",
+        flips_to_unknown >= 1,
+    );
+    let violations = audit(&degraded, config.threshold);
+    let audit_ok = violations.is_empty();
+    for v in &violations {
+        eprintln!("FAIL: verdict audit: {v}");
+    }
+    check(
+        "no decided verdict rests on a straddling interval",
+        audit_ok,
+    );
+    check(
+        "degraded verdicts render their coverage",
+        render(&degraded).contains(&format!("{}/{} nodes", n - 1, n)),
+    );
+    (flips_to_unknown, audit_ok)
+}
+
 fn kill_all(procs: &mut [DaemonProc]) {
     for p in procs {
         let _ = p.child.kill();
@@ -434,6 +514,11 @@ fn chaos_main(opts: &Options) -> ExitCode {
         set.merged_samples().coverage().nodes_reporting == n - 1,
     );
 
+    // Verdict drill: the consultant over this degraded session must weaken
+    // borderline answers to Unknown — killing a daemon may never flip a
+    // verdict to a *different decided* answer.
+    let (flips_to_unknown, audit_ok) = verdict_drill(n, set.session_coverage(), &mut check);
+
     // Respawn on a fresh port and point the victim's reconnect factory at it.
     let replacement = spawn_daemon(&bin, victim as i64 * 10_000_000, 2000, 60_000, secret);
     let new_addr = replacement.addr;
@@ -499,7 +584,7 @@ fn chaos_main(opts: &Options) -> ExitCode {
     check("fault injector conservation law", conservation_ok);
 
     println!(
-        r#"{{"chaos":true,"daemons":{n},"coverage_during":"{}/{}","coverage_after":"{}/{}","samples_lost":{},"recoveries":{},"fault_plan":"{}","faults_injected":{faults_injected},"conservation_ok":{conservation_ok},"elapsed_ms":{},"ok":{ok}}}"#,
+        r#"{{"chaos":true,"daemons":{n},"coverage_during":"{}/{}","coverage_after":"{}/{}","samples_lost":{},"recoveries":{},"fault_plan":"{}","faults_injected":{faults_injected},"conservation_ok":{conservation_ok},"verdict_flips_to_unknown":{flips_to_unknown},"verdict_audit_ok":{audit_ok},"elapsed_ms":{},"ok":{ok}}}"#,
         cov_during.nodes_reporting,
         cov_during.nodes_total,
         cov_after.nodes_reporting,

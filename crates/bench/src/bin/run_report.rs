@@ -6,13 +6,81 @@
 //! cargo run -p pdmap-bench --bin run_report -- bow     # bow.fcm sample
 //! cargo run -p pdmap-bench --bin run_report -- my.fcm  # your own program
 //! ```
+//!
+//! A degraded fleet can be simulated to exercise the coverage-aware
+//! consultant (`--coverage R/N`, `--lost L`, `--max-sample-cost X`); the
+//! report then carries a coverage banner and interval-backed verdicts,
+//! and the exit status is nonzero if any verdict violates the
+//! partial-coverage invariant (a decided answer from a straddling
+//! interval — see `consultant::audit`).
 
-use paradyn_tool::consultant::ConsultantConfig;
+use paradyn_tool::consultant::{audit, search, ConsultantConfig};
 use paradyn_tool::run_report;
+use paradyn_tool::{Coverage, SessionCoverage};
+
+struct Options {
+    source_arg: Option<String>,
+    coverage: Option<(usize, usize)>,
+    lost: u64,
+    max_sample_cost: f64,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        source_arg: None,
+        coverage: None,
+        lost: 0,
+        max_sample_cost: 0.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--coverage" => {
+                let v = value_for("--coverage");
+                let parsed = v
+                    .split_once('/')
+                    .and_then(|(r, n)| Some((r.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+                match parsed {
+                    Some((r, n)) if n > 0 && r <= n => opts.coverage = Some((r, n)),
+                    _ => {
+                        eprintln!("--coverage expects R/N with R <= N, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--lost" => {
+                opts.lost = value_for("--lost").parse().unwrap_or_else(|e| {
+                    eprintln!("--lost expects a count: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--max-sample-cost" => {
+                opts.max_sample_cost = value_for("--max-sample-cost").parse().unwrap_or_else(|e| {
+                    eprintln!("--max-sample-cost expects a number: {e}");
+                    std::process::exit(2);
+                });
+            }
+            other if opts.source_arg.is_none() && !other.starts_with("--") => {
+                opts.source_arg = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let source = match arg.as_deref() {
+    let opts = parse_options();
+    let source = match opts.source_arg.as_deref() {
         None | Some("all_verbs") => cmf_lang::samples::ALL_VERBS.to_string(),
         Some("figure4") => cmf_lang::samples::FIGURE4.to_string(),
         Some("bow") => cmf_lang::samples::BOW.to_string(),
@@ -21,22 +89,40 @@ fn main() {
             std::process::exit(1);
         }),
     };
+    let nodes = opts.coverage.map(|(_, n)| n).unwrap_or(4);
     let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
-        nodes: 4,
+        nodes,
         ..cmrts_sim::MachineConfig::default()
     });
     if let Err(e) = tool.load_source(&source) {
         eprintln!("load failed: {e}");
         std::process::exit(1);
     }
-    print!(
-        "{}",
-        run_report(
-            &tool,
-            &ConsultantConfig {
-                threshold: 0.10,
-                max_depth: 1,
+    if let Some((reporting, total)) = opts.coverage {
+        tool.set_session_coverage(Some(SessionCoverage {
+            coverage: Coverage {
+                nodes_reporting: reporting,
+                nodes_total: total,
+                samples_lost: opts.lost,
             },
-        )
-    );
+            max_sample_cost: opts.max_sample_cost,
+        }));
+    }
+    let config = ConsultantConfig {
+        threshold: 0.10,
+        max_depth: 1,
+    };
+    print!("{}", run_report(&tool, &config));
+
+    // The partial-coverage invariant gate: no decided verdict may rest on
+    // an interval that straddles the threshold. CI runs this against a
+    // degraded fleet and fails the build on any violation.
+    let violations = audit(&search(&tool, &config), config.threshold);
+    if !violations.is_empty() {
+        eprintln!("verdict audit FAILED:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(3);
+    }
 }

@@ -1,0 +1,167 @@
+//! Interval estimates for partially observed measurements.
+//!
+//! §4.2.4 of the paper concedes that mapping information can be lost or
+//! delayed; a cost computed from an incomplete merge is a *bound*, not a
+//! point. An [`Interval`] carries both ends of that bound so downstream
+//! consumers (the Performance Consultant's hypothesis tests, §6 question
+//! answers) can distinguish "definitely above threshold", "definitely
+//! below", and "the data cannot tell" — instead of collapsing a degraded
+//! measurement into a confidently wrong point estimate.
+//!
+//! The widening itself (how node deficits and lost samples grow the
+//! interval) lives with the coverage bookkeeping in `paradyn-tool`; this
+//! module is the pure arithmetic.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` bounding an imperfectly observed value.
+///
+/// A complete observation is the degenerate case `lo == hi`; every
+/// operation below treats that case as an exact point, so code written
+/// against intervals reproduces point-estimate behaviour bit-for-bit when
+/// coverage is complete.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive; may be `f64::INFINITY` when nothing at all
+    /// was observed).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The degenerate interval of a completely observed value.
+    pub fn point(v: f64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// An interval from explicit bounds; the ends are reordered if given
+    /// backwards so the invariant `lo <= hi` always holds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Self { lo, hi }
+        } else {
+            Self { lo: hi, hi: lo }
+        }
+    }
+
+    /// The completely uninformative interval `[0, +inf)` — nothing was
+    /// observed, so nothing is ruled out (for nonnegative quantities).
+    pub fn unknown() -> Self {
+        Self {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// True when the interval is a single point (a complete observation).
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `hi - lo`; zero for points, infinite for [`Interval::unknown`].
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Scales both ends by a nonnegative factor (e.g. dividing a mass
+    /// bound by a wall time to get a ratio bound).
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(self.lo * k, self.hi * k)
+    }
+
+    /// Where the interval sits relative to a threshold: entirely above
+    /// (every value it admits exceeds `threshold`), entirely at-or-below,
+    /// or straddling — the three-way answer that backs tri-state verdicts.
+    ///
+    /// The comparison mirrors the point test `v > threshold`: a point
+    /// interval classifies `Above` exactly when the point test is true.
+    pub fn classify(&self, threshold: f64) -> Side {
+        if self.lo > threshold {
+            Side::Above
+        } else if self.hi <= threshold {
+            Side::Below
+        } else {
+            Side::Straddles
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// The three-way position of an [`Interval`] relative to a threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Every admitted value exceeds the threshold.
+    Above,
+    /// Every admitted value is at or below the threshold.
+    Below,
+    /// The threshold lies strictly inside the interval: the observation
+    /// cannot decide.
+    Straddles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_reproduces_the_scalar_test() {
+        // classify(t) on a point must agree with `v > t` in both directions.
+        for (v, t) in [(0.3, 0.1), (0.1, 0.1), (0.05, 0.1)] {
+            let side = Interval::point(v).classify(t);
+            if v > t {
+                assert_eq!(side, Side::Above, "v={v} t={t}");
+            } else {
+                assert_eq!(side, Side::Below, "v={v} t={t}");
+            }
+        }
+        assert!(Interval::point(1.0).is_point());
+        assert_eq!(Interval::point(1.0).width(), 0.0);
+    }
+
+    #[test]
+    fn straddling_is_detected() {
+        let iv = Interval::new(0.05, 0.15);
+        assert_eq!(iv.classify(0.10), Side::Straddles);
+        assert_eq!(iv.classify(0.01), Side::Above);
+        assert_eq!(iv.classify(0.20), Side::Below);
+        assert!(iv.contains(0.10));
+        assert!(!iv.contains(0.30));
+    }
+
+    #[test]
+    fn unknown_straddles_every_positive_threshold() {
+        let iv = Interval::unknown();
+        assert_eq!(iv.classify(0.0), Side::Straddles);
+        assert_eq!(iv.classify(1e9), Side::Straddles);
+        assert!(iv.width().is_infinite());
+    }
+
+    #[test]
+    fn new_normalizes_and_scale_preserves_order() {
+        let iv = Interval::new(0.3, 0.1);
+        assert_eq!((iv.lo, iv.hi), (0.1, 0.3));
+        let s = iv.scale(2.0);
+        assert_eq!((s.lo, s.hi), (0.2, 0.6));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::point(0.5).to_string(), "[0.5]");
+        assert_eq!(Interval::new(0.1, 0.2).to_string(), "[0.1, 0.2]");
+    }
+}

@@ -53,6 +53,7 @@
 pub mod aggregate;
 pub mod cost;
 pub mod hierarchy;
+pub mod interval;
 pub mod mapping;
 pub mod model;
 pub mod sas;
@@ -66,6 +67,7 @@ pub mod prelude {
     };
     pub use crate::cost::{Aggregation, Cost, CostUnit};
     pub use crate::hierarchy::{Focus, ResourceIdx, ResourceTree, WhereAxis};
+    pub use crate::interval::{Interval, Side};
     pub use crate::mapping::{MappingDef, MappingShape, MappingTable};
     pub use crate::model::{LevelId, Namespace, NounId, Sentence, SentenceId, VerbId};
     pub use crate::sas::{

@@ -11,9 +11,30 @@
 //! and deterministic, so each experiment instruments a fresh run instead —
 //! the instrumentation economy (only the hypotheses currently under test
 //! are instrumented) is the same.
+//!
+//! # Coverage-aware verdicts
+//!
+//! A hypothesis test over a degraded fleet must not produce a confidently
+//! wrong answer. Every experiment therefore measures through
+//! [`Paradyn::measure_with_coverage`] and tests an *interval* estimate
+//! `[lo, hi]` of the ratio against the threshold, widened by the session's
+//! [`Coverage`] (see [`Coverage::bound_mass`] for the widening rule): the
+//! verdict is [`Verdict::True`] only when the whole interval is above the
+//! threshold, [`Verdict::False`] only when it is entirely at-or-below, and
+//! [`Verdict::Unknown`] when the interval straddles it — the honest answer
+//! when missing nodes or lost samples could move the ratio across the
+//! line. With complete coverage the interval is a point and the verdicts
+//! are exactly the classic boolean ones.
+//!
+//! Failed experiments are `Unknown` too: a `measure` error or a zero-wall
+//! run yields no evidence, so the node carries an explanatory note instead
+//! of a fabricated ratio (zero-wall experiments are counted under the
+//! `consultant.zero_wall` self-observation counter).
 
+use crate::daemonset::Coverage;
 use crate::tool::Paradyn;
 use pdmap::hierarchy::Focus;
+use pdmap::interval::{Interval, Side};
 use std::fmt::Write as _;
 
 /// A "why" hypothesis: a time metric whose share of the wall clock is
@@ -72,6 +93,43 @@ impl Default for ConsultantConfig {
     }
 }
 
+/// A tri-state hypothesis verdict: the boolean of the classic consultant
+/// plus the honest third answer for experiments whose evidence cannot
+/// decide (degraded coverage straddling the threshold, failed or zero-wall
+/// measurements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The whole interval estimate is above the threshold.
+    True,
+    /// The whole interval estimate is at or below the threshold.
+    False,
+    /// The evidence cannot decide: the interval straddles the threshold,
+    /// or the experiment produced no usable measurement.
+    Unknown,
+}
+
+impl Verdict {
+    /// True for [`Verdict::True`] only.
+    pub fn is_true(self) -> bool {
+        self == Verdict::True
+    }
+
+    /// True when the verdict is decided either way (not `Unknown`).
+    pub fn is_decided(self) -> bool {
+        self != Verdict::Unknown
+    }
+
+    /// The fixed-width marker used by [`render`]: `[TRUE ]`, `[false]`,
+    /// or `[?????]`.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Verdict::True => "[TRUE ]",
+            Verdict::False => "[false]",
+            Verdict::Unknown => "[?????]",
+        }
+    }
+}
+
 /// One node of the search tree.
 #[derive(Clone, Debug)]
 pub struct ExperimentNode {
@@ -83,11 +141,20 @@ pub struct ExperimentNode {
     pub value: f64,
     /// Wall time of the experiment's run (seconds).
     pub wall: f64,
-    /// `value / wall`.
+    /// `value / wall` — the observed point estimate (a lower bound on the
+    /// true ratio when coverage is incomplete).
     pub ratio: f64,
-    /// True when above threshold.
-    pub verdict: bool,
-    /// Refinements explored under a true verdict.
+    /// The coverage-widened bound on the true ratio; degenerate (`lo ==
+    /// hi == ratio`) with complete coverage.
+    pub interval: Interval,
+    /// The fleet coverage the experiment ran under.
+    pub coverage: Coverage,
+    /// Tri-state verdict from testing `interval` against the threshold.
+    pub verdict: Verdict,
+    /// Why the verdict is `Unknown` when no measurement backs it (a
+    /// `measure` error or a zero-wall run); `None` for measured nodes.
+    pub note: Option<String>,
+    /// Refinements explored under a true (or threshold-straddling) verdict.
     pub children: Vec<ExperimentNode>,
 }
 
@@ -106,19 +173,72 @@ fn test_hypothesis(
     focus: &Focus,
     depth: usize,
 ) -> ExperimentNode {
-    let (value, wall) = tool.measure(h.metric, focus).unwrap_or((0.0, 1.0));
-    let ratio = if wall > 0.0 { value / wall } else { 0.0 };
-    let verdict = ratio > config.threshold;
-    let mut node = ExperimentNode {
-        hypothesis: h.name.to_string(),
-        focus: focus.clone(),
-        value,
-        wall,
-        ratio,
-        verdict,
-        children: Vec::new(),
+    let mut node = match tool.measure_with_coverage(h.metric, focus) {
+        // A failed experiment is evidence of nothing: Unknown, with the
+        // error preserved — never a fabricated 0.0/1.0 ratio.
+        Err(e) => ExperimentNode {
+            hypothesis: h.name.to_string(),
+            focus: focus.clone(),
+            value: 0.0,
+            wall: 0.0,
+            ratio: 0.0,
+            interval: Interval::unknown(),
+            coverage: tool.session_coverage(),
+            verdict: Verdict::Unknown,
+            note: Some(format!("measurement failed: {e}")),
+            children: Vec::new(),
+        },
+        Ok((value, wall, coverage)) if wall <= 0.0 => {
+            // A zero-wall run cannot support a ratio; count it and answer
+            // honestly instead of collapsing to 0.0 (= a false verdict).
+            pdmap_obs::counter("consultant.zero_wall").incr();
+            ExperimentNode {
+                hypothesis: h.name.to_string(),
+                focus: focus.clone(),
+                value,
+                wall,
+                ratio: 0.0,
+                interval: Interval::unknown(),
+                coverage,
+                verdict: Verdict::Unknown,
+                note: Some("zero-wall experiment".to_string()),
+                children: Vec::new(),
+            }
+        }
+        Ok((value, wall, coverage)) => {
+            let ratio = value / wall;
+            let interval = coverage
+                .bound_mass(value, tool.session_max_sample_cost())
+                .scale(1.0 / wall);
+            let verdict = match interval.classify(config.threshold) {
+                Side::Above => Verdict::True,
+                Side::Below => Verdict::False,
+                Side::Straddles => Verdict::Unknown,
+            };
+            ExperimentNode {
+                hypothesis: h.name.to_string(),
+                focus: focus.clone(),
+                value,
+                wall,
+                ratio,
+                interval,
+                coverage,
+                verdict,
+                note: None,
+                children: Vec::new(),
+            }
+        }
     };
-    if verdict && depth < config.max_depth {
+    // True verdicts refine as always; a *measured* straddling verdict also
+    // refines (the flagged subtree may still localise the suspect), but an
+    // unmeasured Unknown is terminal — repeating a failed experiment at
+    // child foci yields no new evidence.
+    let explore = match node.verdict {
+        Verdict::True => true,
+        Verdict::Unknown => node.note.is_none(),
+        Verdict::False => false,
+    };
+    if explore && depth < config.max_depth {
         for refined in refinement_candidates(tool, focus) {
             let child = test_hypothesis(tool, config, h, &refined, depth + 1);
             node.children.push(child);
@@ -132,7 +252,34 @@ pub fn refinement_candidates(tool: &Paradyn, focus: &Focus) -> Vec<Focus> {
     tool.data().refinement_candidates(focus)
 }
 
-/// Renders the search tree, Performance Consultant style.
+/// Walks a search forest and returns a violation report for every node
+/// whose decided verdict is *not* backed by its interval — a `True`/`False`
+/// answer while the interval straddles the threshold, which the
+/// coverage-aware consultant must never emit. Empty means the invariant
+/// holds; the chaos drill and CI fail on any entry.
+pub fn audit(results: &[ExperimentNode], threshold: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    fn walk(node: &ExperimentNode, threshold: f64, out: &mut Vec<String>) {
+        if node.verdict.is_decided() && node.interval.classify(threshold) == Side::Straddles {
+            out.push(format!(
+                "{} @ {}: verdict {:?} from straddling interval {} (coverage {})",
+                node.hypothesis, node.focus, node.verdict, node.interval, node.coverage
+            ));
+        }
+        for c in &node.children {
+            walk(c, threshold, out);
+        }
+    }
+    for node in results {
+        walk(node, threshold, &mut violations);
+    }
+    violations
+}
+
+/// Renders the search tree, Performance Consultant style. Nodes measured
+/// under complete coverage render exactly as the classic consultant did;
+/// degraded or undecidable nodes carry their interval and coverage so a
+/// degraded-fleet report is *visibly* degraded.
 pub fn render(results: &[ExperimentNode]) -> String {
     let mut out = String::new();
     for node in results {
@@ -141,19 +288,44 @@ pub fn render(results: &[ExperimentNode]) -> String {
     out
 }
 
+/// Formats a ratio bound end as a percentage, tolerating the unbounded
+/// upper end of an unmeasured experiment.
+fn pct(x: f64) -> String {
+    if x.is_infinite() {
+        "?".to_string()
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
+}
+
 fn render_node(node: &ExperimentNode, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
-    writeln!(
+    write!(
         out,
         "{} {} @ {} — {:.1}% of wall time",
-        if node.verdict { "[TRUE ]" } else { "[false]" },
+        node.verdict.marker(),
         node.hypothesis,
         node.focus,
         node.ratio * 100.0
     )
     .unwrap();
+    if let Some(note) = &node.note {
+        write!(out, " ({note})").unwrap();
+    } else if !node.coverage.is_complete() || !node.interval.is_point() {
+        write!(
+            out,
+            " in [{}, {}] ({}/{} nodes, >={} samples lost)",
+            pct(node.interval.lo),
+            pct(node.interval.hi),
+            node.coverage.nodes_reporting,
+            node.coverage.nodes_total,
+            node.coverage.samples_lost
+        )
+        .unwrap();
+    }
+    out.push('\n');
     for c in &node.children {
         render_node(c, depth + 1, out);
     }
@@ -162,6 +334,7 @@ fn render_node(node: &ExperimentNode, depth: usize, out: &mut String) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::daemonset::SessionCoverage;
     use cmrts_sim::MachineConfig;
 
     /// A communication-heavy program: sorts and transposes dominate.
@@ -192,12 +365,13 @@ END
             .iter()
             .find(|r| r.hypothesis == "ExcessiveCommunication")
             .unwrap();
-        assert!(comm.verdict, "ratio was {}", comm.ratio);
+        assert!(comm.verdict.is_true(), "ratio was {}", comm.ratio);
+        assert!(comm.interval.is_point(), "full coverage, point estimate");
         let sorty = results
             .iter()
             .find(|r| r.hypothesis == "ExcessiveSortTime")
             .unwrap();
-        assert!(sorty.verdict);
+        assert!(sorty.verdict.is_true());
     }
 
     #[test]
@@ -229,7 +403,7 @@ END
             .iter()
             .find(|r| r.hypothesis == "ExcessiveIOTime")
             .unwrap();
-        assert!(!io.verdict);
+        assert_eq!(io.verdict, Verdict::False);
         assert!(io.children.is_empty());
     }
 
@@ -253,5 +427,92 @@ END
             .unwrap();
         let deeper = refinement_candidates(&t, array_focus);
         assert!(deeper.iter().any(|f| f.to_string().contains("sub#")));
+    }
+
+    #[test]
+    fn degraded_fleet_flips_borderline_verdicts_to_unknown() {
+        let t = tool_for(COMM_HEAVY, 4);
+        let full = search(&t, &ConsultantConfig::default());
+        // 3 of 4 nodes reporting: every False whose hi = ratio × 4/3 crosses
+        // the threshold must become Unknown; clear-cut ones stay decided.
+        t.set_session_coverage(Some(SessionCoverage {
+            coverage: Coverage {
+                nodes_reporting: 3,
+                nodes_total: 4,
+                samples_lost: 0,
+            },
+            max_sample_cost: 0.0,
+        }));
+        let degraded = search(&t, &ConsultantConfig::default());
+        for (f, d) in full.iter().zip(&degraded) {
+            match f.verdict {
+                // lo is the observed ratio, unchanged by widening: True holds.
+                Verdict::True => assert_eq!(d.verdict, Verdict::True, "{}", d.hypothesis),
+                Verdict::False => assert!(
+                    d.verdict != Verdict::True,
+                    "{}: False may weaken to Unknown, never flip to True",
+                    d.hypothesis
+                ),
+                Verdict::Unknown => {}
+            }
+            assert!(!d.coverage.is_complete());
+            assert!(d.interval.hi >= d.interval.lo);
+        }
+        // The report is visibly degraded and the invariant audit is clean.
+        let shown = render(&degraded);
+        assert!(shown.contains("3/4 nodes"), "{shown}");
+        assert!(audit(&degraded, 0.10).is_empty());
+    }
+
+    #[test]
+    fn unknown_verdict_for_failed_measurement() {
+        // A tool with no loaded program measures nothing — but exercising
+        // that would panic in new_machine; instead request a metric the
+        // catalogue lacks by searching over a custom hypothesis.
+        let t = tool_for(COMM_HEAVY, 2);
+        let bogus = Hypothesis {
+            name: "ExcessivePhantomTime",
+            metric: "No Such Metric",
+        };
+        let node = test_hypothesis(
+            &t,
+            &ConsultantConfig::default(),
+            &bogus,
+            &Focus::whole_program(),
+            0,
+        );
+        assert_eq!(node.verdict, Verdict::Unknown);
+        let note = node
+            .note
+            .clone()
+            .expect("failed measurement carries a note");
+        assert!(note.contains("measurement failed"), "{note}");
+        assert!(node.children.is_empty(), "unmeasured Unknown is terminal");
+        let shown = render(&[node]);
+        assert!(shown.contains("[?????]"), "{shown}");
+        assert!(shown.contains("measurement failed"), "{shown}");
+    }
+
+    #[test]
+    fn audit_flags_handcrafted_violations() {
+        let bad = ExperimentNode {
+            hypothesis: "Fabricated".into(),
+            focus: Focus::whole_program(),
+            value: 0.09,
+            wall: 1.0,
+            ratio: 0.09,
+            interval: Interval::new(0.09, 0.12),
+            coverage: Coverage {
+                nodes_reporting: 3,
+                nodes_total: 4,
+                samples_lost: 0,
+            },
+            verdict: Verdict::False,
+            note: None,
+            children: Vec::new(),
+        };
+        let v = audit(&[bad], 0.10);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("Fabricated"), "{v:?}");
     }
 }

@@ -70,6 +70,7 @@ use crate::datamgr::DataManager;
 use crate::stream::Stream;
 use cmrts_sim::machine::ArrayAllocInfo;
 use cmrts_sim::ArrayId;
+use pdmap::interval::Interval;
 use pdmap_transport::{
     send_wire, Frame, FrameKind, PifBlob, TcpClient, Transport, TransportConfig, WirePayload,
 };
@@ -221,6 +222,71 @@ impl Coverage {
     pub fn is_complete(&self) -> bool {
         self.nodes_reporting == self.nodes_total && self.samples_lost == 0
     }
+
+    /// Complete coverage over `nodes` nodes — what a single-process tool
+    /// stamps on its own results.
+    pub fn complete(nodes: usize) -> Self {
+        Self {
+            nodes_reporting: nodes,
+            nodes_total: nodes,
+            samples_lost: 0,
+        }
+    }
+
+    /// The fraction of the fleet that is *not* reporting:
+    /// `1 - nodes_reporting/nodes_total` (zero for an empty fleet).
+    pub fn missing_fraction(&self) -> f64 {
+        if self.nodes_total == 0 {
+            0.0
+        } else {
+            1.0 - self.nodes_reporting as f64 / self.nodes_total as f64
+        }
+    }
+
+    /// Bounds the true total metric mass given what was actually observed.
+    ///
+    /// `observed` is the mass accumulated from the reporting part of the
+    /// fleet; `max_per_sample` is the largest per-sample contribution seen
+    /// (so lost samples can be bounded). The returned interval:
+    ///
+    /// * `lo = observed` — missing contributions are nonnegative, so the
+    ///   observed mass is a genuine lower bound;
+    /// * `hi = (observed + samples_lost × max_per_sample) × total/reporting`
+    ///   — lost samples each contributed at most the max observed cost,
+    ///   and each silent node at most as much, pro-rata, as the reporting
+    ///   ones plus their share of the lost mass.
+    ///
+    /// Complete coverage collapses to the point `[observed, observed]`, so
+    /// interval-aware consumers reproduce point-estimate behaviour exactly
+    /// when nothing was lost. A fleet with *no* reporting nodes yields
+    /// `[0, +inf)`: nothing was observed, nothing is ruled out. The width
+    /// is monotone in both `samples_lost` and the node deficit.
+    pub fn bound_mass(&self, observed: f64, max_per_sample: f64) -> Interval {
+        if self.nodes_reporting == 0 && self.nodes_total > 0 {
+            return Interval::unknown();
+        }
+        let lost_mass = self.samples_lost as f64 * max_per_sample.max(0.0);
+        let scale = if self.nodes_reporting > 0 {
+            self.nodes_total as f64 / self.nodes_reporting as f64
+        } else {
+            1.0
+        };
+        Interval::new(observed, (observed + lost_mass) * scale)
+    }
+}
+
+/// The per-session label a multi-daemon frontend pushes into a
+/// [`crate::tool::Paradyn`]: the fleet's [`Coverage`] plus the largest
+/// per-sample metric contribution observed so far (the bound used to price
+/// lost samples in [`Coverage::bound_mass`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionCoverage {
+    /// How much of the fleet is reporting.
+    pub coverage: Coverage,
+    /// Largest per-sample value seen on the merged stream; `0.0` when the
+    /// session has seen no samples (the lost-mass term then vanishes, but
+    /// the node-deficit widening still applies).
+    pub max_sample_cost: f64,
 }
 
 impl fmt::Display for Coverage {
@@ -938,6 +1004,22 @@ impl DaemonSet {
         &self.samples
     }
 
+    /// The largest per-sample value received so far — the per-sample cost
+    /// bound [`Coverage::bound_mass`] prices lost samples at.
+    pub fn max_sample_value(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).fold(0.0, f64::max)
+    }
+
+    /// The session label to stamp on a coverage-aware tool
+    /// ([`crate::tool::Paradyn::set_session_coverage`]): the current
+    /// [`Coverage`] plus the max observed per-sample cost.
+    pub fn session_coverage(&self) -> SessionCoverage {
+        SessionCoverage {
+            coverage: self.coverage(),
+            max_sample_cost: self.max_sample_value(),
+        }
+    }
+
     /// The merged sample stream, sorted by aligned (tool-clock) time —
     /// the single stream the paper's front end consumes. Stable, so
     /// same-instant samples keep arrival order. The result carries the
@@ -1411,6 +1493,82 @@ mod tests {
         let cov = set.merged_samples().coverage();
         assert_eq!(cov.samples_lost, 2, "loss is a bound, never silent: {cov}");
         assert!(!cov.is_complete());
+    }
+
+    #[test]
+    fn complete_coverage_bounds_collapse_to_points() {
+        let cov = Coverage::complete(4);
+        assert_eq!(cov.missing_fraction(), 0.0);
+        let iv = cov.bound_mass(3.5, 10.0);
+        assert!(iv.is_point(), "{iv}");
+        assert_eq!(iv.lo, 3.5);
+    }
+
+    #[test]
+    fn node_deficit_and_lost_samples_widen_monotonically() {
+        // 3 of 4 reporting, no lost samples: hi scales by 4/3, lo stays.
+        let cov34 = Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 0,
+        };
+        let iv = cov34.bound_mass(3.0, 1.0);
+        assert_eq!(iv.lo, 3.0);
+        assert!((iv.hi - 4.0).abs() < 1e-12, "{iv}");
+
+        // Lost samples add max-cost mass before the node scaling.
+        let mut widths = Vec::new();
+        for lost in 0..5u64 {
+            let cov = Coverage {
+                samples_lost: lost,
+                ..cov34
+            };
+            widths.push(cov.bound_mass(3.0, 1.0).width());
+        }
+        assert!(
+            widths.windows(2).all(|w| w[0] < w[1]),
+            "width monotone in loss: {widths:?}"
+        );
+
+        // And monotone in the node deficit too.
+        let mut deficit_widths = Vec::new();
+        for reporting in (1..=4usize).rev() {
+            let cov = Coverage {
+                nodes_reporting: reporting,
+                nodes_total: 4,
+                samples_lost: 0,
+            };
+            deficit_widths.push(cov.bound_mass(3.0, 1.0).width());
+        }
+        assert!(
+            deficit_widths.windows(2).all(|w| w[0] < w[1]),
+            "width monotone in deficit: {deficit_widths:?}"
+        );
+    }
+
+    #[test]
+    fn zero_reporting_nodes_bound_nothing() {
+        let cov = Coverage {
+            nodes_reporting: 0,
+            nodes_total: 4,
+            samples_lost: 0,
+        };
+        let iv = cov.bound_mass(0.0, 1.0);
+        assert_eq!(iv.lo, 0.0);
+        assert!(iv.hi.is_infinite());
+    }
+
+    #[test]
+    fn session_coverage_tracks_max_sample() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        daemons[0].send_sample("M", 2.0);
+        daemons[0].send_sample("M", 7.0);
+        daemons[0].send_sample("M", 3.0);
+        set.pump_until_samples(3, Duration::from_secs(5));
+        let label = set.session_coverage();
+        assert_eq!(label.max_sample_cost, 7.0);
+        assert!(label.coverage.is_complete());
     }
 
     #[test]

@@ -48,10 +48,13 @@ pub mod tool;
 pub mod visi;
 
 pub use catalogue::{figure9_catalogue, FIGURE9_MDL};
+pub use consultant::{
+    audit, render as render_search, search, ConsultantConfig, ExperimentNode, Verdict,
+};
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use daemonset::{
     AlignedSample, ClockEstimate, ClockSyncError, Coverage, DaemonConn, DaemonHealth, DaemonSet,
-    Merged, MergedStreams, ReconnectFn, RecoveryReport, SupervisorPolicy,
+    Merged, MergedStreams, ReconnectFn, RecoveryReport, SessionCoverage, SupervisorPolicy,
 };
 pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};

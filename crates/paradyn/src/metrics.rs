@@ -79,6 +79,21 @@ impl MetricRequest {
             .read_raw(machine.manager().primitives(), machine.wall_clock())
     }
 
+    /// The §6 answer as an interval: [`MetricRequest::value`] widened by
+    /// the request's [`Coverage`](crate::daemonset::Coverage) stamp
+    /// (`max_per_sample` prices lost samples — pass the session's max
+    /// observed per-sample cost, or `0.0` when no samples were lost).
+    /// Complete coverage yields the degenerate point, so this is a strict
+    /// generalisation of the scalar answer.
+    pub fn value_interval(
+        &self,
+        machine: &Machine,
+        max_per_sample: f64,
+    ) -> pdmap::interval::Interval {
+        self.coverage
+            .bound_mass(self.value(machine), max_per_sample)
+    }
+
     /// Removes the request's instrumentation (idempotent).
     pub fn cancel(&mut self, mgr: &InstrumentationManager) {
         self.instance.uninstall(mgr);
@@ -300,6 +315,29 @@ mod tests {
         m.run();
         // One SUM on 4 nodes: each node participates once.
         assert_eq!(req.value(&m), 4.0);
+    }
+
+    #[test]
+    fn request_interval_widens_with_its_coverage_stamp() {
+        let f = fixture();
+        let mm = MetricManager::new(f.mgr.clone());
+        let mut req = mm
+            .request("Summations", &f.dm, &Focus::whole_program(), 1e9)
+            .unwrap();
+        let mut m = machine(&f);
+        m.run();
+        // The default stamp is zero-valued Coverage (0/0 nodes): complete
+        // by convention, so the interval is a point.
+        assert!(req.value_interval(&m, 1.0).is_point());
+        // Restamping with a degraded fleet widens the same answer.
+        req.coverage = crate::daemonset::Coverage {
+            nodes_reporting: 2,
+            nodes_total: 4,
+            samples_lost: 1,
+        };
+        let iv = req.value_interval(&m, 1.0);
+        assert_eq!(iv.lo, 4.0, "observed mass is the lower bound");
+        assert!((iv.hi - 10.0).abs() < 1e-12, "(4 + 1×1) × 4/2 = 10: {iv}");
     }
 
     #[test]

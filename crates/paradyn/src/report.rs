@@ -83,13 +83,20 @@ pub fn run_report(tool: &Paradyn, consultant_config: &ConsultantConfig) -> Strin
     let summary = machine.run();
     writeln!(
         out,
-        "run: {} blocks, {} messages, {} broadcasts, wall {} ticks\n",
+        "run: {} blocks, {} messages, {} broadcasts, wall {} ticks",
         summary.blocks_dispatched,
         summary.messages,
         summary.broadcasts,
         machine.wall_clock()
     )
     .unwrap();
+    // A degraded fleet must be visible at the top of the report; with
+    // complete coverage the line is omitted and the report is unchanged.
+    let coverage = tool.session_coverage();
+    if !coverage.is_complete() {
+        writeln!(out, "coverage: {coverage}").unwrap();
+    }
+    out.push('\n');
     let rows: Vec<(String, String, String)> = requests
         .iter()
         .map(|r| {
@@ -163,5 +170,34 @@ mod tests {
         assert!(report.contains("by resource"));
         assert!(report.contains("where axis"));
         assert!(report.contains("Performance Consultant"));
+        // Complete coverage stays invisible: no degradation banner.
+        assert!(!report.contains("coverage:"), "{report}");
+    }
+
+    #[test]
+    fn degraded_session_shows_coverage_banner() {
+        use crate::daemonset::{Coverage, SessionCoverage};
+        let t = tool();
+        let cfg = ConsultantConfig {
+            threshold: 0.2,
+            max_depth: 0,
+        };
+        let full = run_report(&t, &cfg);
+        t.set_session_coverage(Some(SessionCoverage {
+            coverage: Coverage {
+                nodes_reporting: 3,
+                nodes_total: 4,
+                samples_lost: 2,
+            },
+            max_sample_cost: 0.5,
+        }));
+        let degraded = run_report(&t, &cfg);
+        assert!(
+            degraded.contains("coverage: 3/4 nodes reporting, >=2 samples lost"),
+            "{degraded}"
+        );
+        // Clearing the label restores the exact full-coverage report.
+        t.set_session_coverage(None);
+        assert_eq!(run_report(&t, &cfg), full);
     }
 }

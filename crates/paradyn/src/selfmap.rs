@@ -271,13 +271,14 @@ pub fn obs_catalogue() -> MdlFile {
 /// `FaultInjector`, the authenticated handshake), self-mapped so the
 /// tool's own chaos handling is measurable with the same machinery as the
 /// application.
-pub const CHAOS_OBS_COUNTERS: [(&str, &str); 6] = [
+pub const CHAOS_OBS_COUNTERS: [(&str, &str); 7] = [
     ("daemonset.quarantine", "Chaos Daemons Quarantined"),
     ("daemonset.degraded", "Chaos Daemons Degraded"),
     ("daemonset.recovered", "Chaos Daemons Recovered"),
     ("daemonset.retry", "Chaos Readmission Retries"),
     ("transport.faults_injected", "Chaos Faults Injected"),
     ("transport.auth_failures", "Chaos Auth Failures"),
+    ("consultant.zero_wall", "Chaos Zero-Wall Experiments"),
 ];
 
 /// The MDL source for the chaos/self-healing catalogue: one Count metric
@@ -337,6 +338,15 @@ metric chaos_auth_failures {
     level "Tool";
     description "Peers rejected by the authenticated transport handshake before any session frame.";
     foreach point "obs::transport:auth_reject" { incrCounter 1; }
+}
+
+metric chaos_zero_wall_experiments {
+    name "Chaos Zero-Wall Experiments";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Consultant experiments whose run reported no wall time and so answered Unknown instead of a ratio.";
+    foreach point "obs::consultant:zero_wall" { incrCounter 1; }
 }
 "#;
 

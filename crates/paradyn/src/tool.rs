@@ -2,6 +2,7 @@
 //! the metric manager, mapping instrumentation, and machines together —
 //! the in-process equivalent of the Paradyn front end plus its daemon.
 
+use crate::daemonset::{Coverage, SessionCoverage};
 use crate::datamgr::DataManager;
 use crate::metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 use crate::stream::{run_sampled, Stream};
@@ -10,7 +11,7 @@ use cmrts_sim::{Machine, MachineConfig, Program, RunSummary};
 use dyninst_sim::InstrumentationManager;
 use pdmap::hierarchy::Focus;
 use pdmap::model::Namespace;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Errors from loading a program into the tool.
 #[derive(Debug)]
@@ -44,6 +45,11 @@ pub struct Paradyn {
     mapping: Option<MappingInstrumentation>,
     config: MachineConfig,
     program: Option<Program>,
+    /// The session's fleet label, when a multi-daemon frontend drives this
+    /// tool: every request is stamped with it so downstream verdicts widen
+    /// with the fleet's real coverage. `None` means single-process — the
+    /// tool *is* the whole fleet and stamps complete coverage.
+    session: Mutex<Option<SessionCoverage>>,
 }
 
 impl Paradyn {
@@ -61,6 +67,7 @@ impl Paradyn {
             mapping: None,
             config,
             program: None,
+            session: Mutex::new(None),
         }
     }
 
@@ -145,19 +152,46 @@ impl Paradyn {
         Ok(m)
     }
 
-    /// Requests a metric constrained to a focus. The local tool runs in
-    /// one process, so the result is stamped with complete coverage
-    /// (`nodes/nodes`, zero lost); multi-daemon frontends overwrite the
-    /// stamp with the session's real [`crate::daemonset::Coverage`].
+    /// Installs (or clears, with `None`) the session's fleet label. A
+    /// multi-daemon frontend refreshes this from
+    /// [`crate::daemonset::DaemonSet::session_coverage`] as the fleet's
+    /// health changes; every subsequent [`Paradyn::request`] and
+    /// [`Paradyn::measure_with_coverage`] is stamped with it.
+    pub fn set_session_coverage(&self, session: Option<SessionCoverage>) {
+        *self.session.lock().expect("session label poisoned") = session;
+    }
+
+    /// The coverage every request is currently stamped with: the session
+    /// label if one is installed, otherwise complete coverage over this
+    /// tool's own nodes (a single process cannot lose part of itself).
+    pub fn session_coverage(&self) -> Coverage {
+        self.session
+            .lock()
+            .expect("session label poisoned")
+            .map(|s| s.coverage)
+            .unwrap_or_else(|| Coverage::complete(self.config.nodes))
+    }
+
+    /// The largest per-sample cost observed by the session (`0.0` for a
+    /// single-process tool) — the bound used to price lost samples.
+    pub fn session_max_sample_cost(&self) -> f64 {
+        self.session
+            .lock()
+            .expect("session label poisoned")
+            .map(|s| s.max_sample_cost)
+            .unwrap_or(0.0)
+    }
+
+    /// Requests a metric constrained to a focus. The result is stamped
+    /// with the session's [`Coverage`] — complete for a single-process
+    /// tool, the fleet's real coverage when a multi-daemon frontend
+    /// installed one via [`Paradyn::set_session_coverage`] — so §6
+    /// question answers carry how much of the fleet they actually cover.
     pub fn request(&self, metric: &str, focus: &Focus) -> Result<MetricRequest, RequestError> {
         let mut req =
             self.metrics
                 .request(metric, &self.data, focus, self.config.cost.ticks_per_second)?;
-        req.coverage = crate::daemonset::Coverage {
-            nodes_reporting: self.config.nodes,
-            nodes_total: self.config.nodes,
-            samples_lost: 0,
-        };
+        req.coverage = self.session_coverage();
         Ok(req)
     }
 
@@ -165,13 +199,27 @@ impl Paradyn {
     /// completion, read the value, remove the instrumentation. Returns
     /// `(value, wall seconds)`.
     pub fn measure(&self, metric: &str, focus: &Focus) -> Result<(f64, f64), RequestError> {
+        self.measure_with_coverage(metric, focus)
+            .map(|(v, w, _)| (v, w))
+    }
+
+    /// [`Paradyn::measure`] plus the [`Coverage`] the value was computed
+    /// under — what coverage-aware consumers (the Performance Consultant's
+    /// hypothesis tests) use so a degraded fleet widens their verdict
+    /// intervals instead of silently biasing the point estimate.
+    pub fn measure_with_coverage(
+        &self,
+        metric: &str,
+        focus: &Focus,
+    ) -> Result<(f64, f64, Coverage), RequestError> {
         let mut req = self.request(metric, focus)?;
         let mut m = self.new_machine().expect("program loaded");
         m.run();
         let value = req.value(&m);
         let wall = m.wall_clock() as f64 / self.config.cost.ticks_per_second;
+        let coverage = req.coverage;
         req.cancel(&self.mgr);
-        Ok((value, wall))
+        Ok((value, wall, coverage))
     }
 
     /// Runs a fresh machine while sampling the given requests.
@@ -219,6 +267,33 @@ mod tests {
         assert!(req.coverage.is_complete());
         assert_eq!(req.coverage.nodes_reporting, 4);
         assert_eq!(req.coverage.nodes_total, 4);
+    }
+
+    #[test]
+    fn session_label_overrides_the_stamp() {
+        let t = tool();
+        let degraded = Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 2,
+        };
+        t.set_session_coverage(Some(SessionCoverage {
+            coverage: degraded,
+            max_sample_cost: 1.5,
+        }));
+        let req = t.request("Summations", &Focus::whole_program()).unwrap();
+        assert_eq!(req.coverage, degraded);
+        assert_eq!(t.session_max_sample_cost(), 1.5);
+        let (v, wall, cov) = t
+            .measure_with_coverage("Summations", &Focus::whole_program())
+            .unwrap();
+        assert_eq!(v, 4.0);
+        assert!(wall > 0.0);
+        assert_eq!(cov, degraded);
+        // Clearing the label restores single-process completeness.
+        t.set_session_coverage(None);
+        assert!(t.session_coverage().is_complete());
+        assert_eq!(t.session_max_sample_cost(), 0.0);
     }
 
     #[test]

@@ -40,11 +40,20 @@ fn main() {
     let results = search(&tool, &config);
     print!("{}", render(&results));
 
-    // Summarise the confirmed bottlenecks.
+    // Summarise the confirmed bottlenecks; undecided hypotheses (possible
+    // only over a degraded fleet) are listed apart, never as "confirmed".
     let confirmed: Vec<&str> = results
         .iter()
-        .filter(|r| r.verdict)
+        .filter(|r| r.verdict.is_true())
         .map(|r| r.hypothesis.as_str())
         .collect();
     println!("\nconfirmed hypotheses: {confirmed:?}");
+    let undecided: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.verdict.is_decided())
+        .map(|r| r.hypothesis.as_str())
+        .collect();
+    if !undecided.is_empty() {
+        println!("undecided (insufficient coverage): {undecided:?}");
+    }
 }

@@ -133,6 +133,56 @@ fn mdl_catalogue_emits_stably() {
 }
 
 #[test]
+fn consultant_render_goldens() {
+    // The consultant's rendered answer is an interface too: the report
+    // quotes it verbatim and CI greps it. Two frames of the same search —
+    // complete coverage must render exactly as the classic boolean
+    // consultant always has, and a degraded session must annotate every
+    // line with its interval and coverage. The degraded frame also pins
+    // the tri-state semantics: clear True stays True, the borderline 8.5%
+    // False straddles the 10% threshold and weakens to Unknown, and
+    // zero-ratio hypotheses stay decidedly False.
+    use paradyn_tool::consultant::{render, search, ConsultantConfig};
+    use paradyn_tool::{Coverage, SessionCoverage};
+    let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: 4,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    tool.load_source(cmf_lang::samples::FIGURE4).unwrap();
+    let cfg = ConsultantConfig {
+        threshold: 0.10,
+        max_depth: 0,
+    };
+    let full = "\
+[TRUE ] ExcessiveCommunication @ <whole program> — 55.4% of wall time
+[TRUE ] ExcessiveBroadcast @ <whole program> — 38.4% of wall time
+[TRUE ] ExcessiveIdleTime @ <whole program> — 210.9% of wall time
+[false] ExcessiveReductionTime @ <whole program> — 8.5% of wall time
+[false] ExcessiveSortTime @ <whole program> — 0.0% of wall time
+[false] ExcessiveIOTime @ <whole program> — 0.0% of wall time
+";
+    assert_eq!(render(&search(&tool, &cfg)), full);
+
+    tool.set_session_coverage(Some(SessionCoverage {
+        coverage: Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 2,
+        },
+        max_sample_cost: 1e-6,
+    }));
+    let degraded = "\
+[TRUE ] ExcessiveCommunication @ <whole program> — 55.4% of wall time in [55.4%, 76.0%] (3/4 nodes, >=2 samples lost)
+[TRUE ] ExcessiveBroadcast @ <whole program> — 38.4% of wall time in [38.4%, 53.4%] (3/4 nodes, >=2 samples lost)
+[TRUE ] ExcessiveIdleTime @ <whole program> — 210.9% of wall time in [210.9%, 283.4%] (3/4 nodes, >=2 samples lost)
+[?????] ExcessiveReductionTime @ <whole program> — 8.5% of wall time in [8.5%, 13.5%] (3/4 nodes, >=2 samples lost)
+[false] ExcessiveSortTime @ <whole program> — 0.0% of wall time in [0.0%, 2.2%] (3/4 nodes, >=2 samples lost)
+[false] ExcessiveIOTime @ <whole program> — 0.0% of wall time in [0.0%, 2.2%] (3/4 nodes, >=2 samples lost)
+";
+    assert_eq!(render(&search(&tool, &cfg)), degraded);
+}
+
+#[test]
 fn deterministic_run_summary_golden() {
     // The Figure 4 program on 4 nodes with the default cost model: the
     // exact event counts the rest of the documentation quotes.

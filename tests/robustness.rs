@@ -240,9 +240,10 @@ fn consultant_on_quiet_program_confirms_nothing_interesting() {
     );
     for r in &results {
         assert!(
-            !r.verdict,
+            !r.verdict.is_true(),
             "hypothesis {} unexpectedly true at {:.2}",
-            r.hypothesis, r.ratio
+            r.hypothesis,
+            r.ratio
         );
     }
 }
