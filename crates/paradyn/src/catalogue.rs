@@ -483,6 +483,24 @@ metric transport_auth_failures {
     description "Peers rejected by the authenticated Hello handshake.";
     foreach point "transport::auth:reject" { incrCounter 1; }
 }
+
+metric transport_batched_samples_sent {
+    name "Transport Batched Samples Sent";
+    units operations;
+    aggregate sum;
+    level "Transport";
+    description "Samples carried out in SampleBatch frames (per sample, not per frame).";
+    foreach point "transport::batch:send" { incrCounterArg; }
+}
+
+metric transport_batched_samples_received {
+    name "Transport Batched Samples Received";
+    units operations;
+    aggregate sum;
+    level "Transport";
+    description "Samples carried in by SampleBatch frames.";
+    foreach point "transport::batch:recv" { incrCounterArg; }
+}
 "#;
 
 /// Parses the transport catalogue. Panics only if the embedded source is

@@ -106,6 +106,19 @@ pub enum DaemonMsg {
         /// conservation law).
         samples_sent: u32,
     },
+    /// Aggregated coverage report (relay → parent): how much of the
+    /// subtree below a relay is alive and how many samples it lost. A leaf
+    /// daemon never sends this; its parent derives `1/1` coverage from the
+    /// link itself. Relays resend it whenever the subtree changes, so the
+    /// parent composes fleet coverage from the latest report per child.
+    SubtreeCoverage {
+        /// Leaf daemons below this peer that are currently reporting.
+        nodes_reporting: u32,
+        /// Leaf daemons the subtree was configured with.
+        nodes_total: u32,
+        /// Samples known lost below this peer (bounded estimates included).
+        samples_lost: u64,
+    },
 }
 
 /// A decode failure on the daemon channel, classified so error *rates*
@@ -266,6 +279,11 @@ impl DaemonMsg {
             } => format!("CLOCKR|{token}|{t_tool_ns}|{t_daemon_ns}"),
             DaemonMsg::Shutdown => "SHUTDOWN".to_string(),
             DaemonMsg::Goodbye { samples_sent } => format!("GOODBYE|{samples_sent}"),
+            DaemonMsg::SubtreeCoverage {
+                nodes_reporting,
+                nodes_total,
+                samples_lost,
+            } => format!("COVER|{nodes_reporting}|{nodes_total}|{samples_lost}"),
         }
     }
 
@@ -342,6 +360,15 @@ impl DaemonMsg {
                     .parse()
                     .map_err(|_| track(DaemonError::BadNumber("samples_sent".into())))?,
             }),
+            "COVER" => Ok(DaemonMsg::SubtreeCoverage {
+                nodes_reporting: next_field(&mut parts, "nodes_reporting")?
+                    .parse()
+                    .map_err(|_| track(DaemonError::BadNumber("nodes_reporting".into())))?,
+                nodes_total: next_field(&mut parts, "nodes_total")?
+                    .parse()
+                    .map_err(|_| track(DaemonError::BadNumber("nodes_total".into())))?,
+                samples_lost: parse_u64_field(&mut parts, "samples_lost")?,
+            }),
             other => Err(track(DaemonError::UnknownKind(format!(
                 "unknown message kind '{other}'"
             )))),
@@ -413,6 +440,16 @@ impl WirePayload for DaemonMsg {
                 put::u8(out, 6);
                 put::u32(out, *samples_sent);
             }
+            DaemonMsg::SubtreeCoverage {
+                nodes_reporting,
+                nodes_total,
+                samples_lost,
+            } => {
+                put::u8(out, 7);
+                put::u32(out, *nodes_reporting);
+                put::u32(out, *nodes_total);
+                put::u64(out, *samples_lost);
+            }
         }
     }
 
@@ -457,6 +494,11 @@ impl WirePayload for DaemonMsg {
             5 => Ok(DaemonMsg::Shutdown),
             6 => Ok(DaemonMsg::Goodbye {
                 samples_sent: r.u32()?,
+            }),
+            7 => Ok(DaemonMsg::SubtreeCoverage {
+                nodes_reporting: r.u32()?,
+                nodes_total: r.u32()?,
+                samples_lost: r.u64()?,
             }),
             tag => Err(CodecError::new(format!("unknown DaemonMsg tag {tag}"))),
         }
@@ -713,9 +755,13 @@ impl Daemon {
                 );
             }
             // A stray reply reaching a daemon (not a tool) carries no data
-            // to forward; ignore it. Shutdown/Goodbye are session-lifecycle
-            // messages the in-process daemon has no lifecycle for.
-            DaemonMsg::ClockReply { .. } | DaemonMsg::Shutdown | DaemonMsg::Goodbye { .. } => {}
+            // to forward; ignore it. Shutdown/Goodbye/SubtreeCoverage are
+            // session-lifecycle messages the in-process daemon has no
+            // lifecycle for.
+            DaemonMsg::ClockReply { .. }
+            | DaemonMsg::Shutdown
+            | DaemonMsg::Goodbye { .. }
+            | DaemonMsg::SubtreeCoverage { .. } => {}
         }
     }
 
@@ -856,12 +902,22 @@ mod tests {
 
     #[test]
     fn lifecycle_messages_roundtrip_both_codecs() {
-        for m in [DaemonMsg::Shutdown, DaemonMsg::Goodbye { samples_sent: 42 }] {
+        for m in [
+            DaemonMsg::Shutdown,
+            DaemonMsg::Goodbye { samples_sent: 42 },
+            DaemonMsg::SubtreeCoverage {
+                nodes_reporting: 7,
+                nodes_total: 8,
+                samples_lost: 12_000,
+            },
+        ] {
             assert_eq!(DaemonMsg::decode(&m.encode()).unwrap(), m);
             assert_eq!(DaemonMsg::from_frame(&m.to_frame()).unwrap(), m);
         }
         assert!(DaemonMsg::decode("GOODBYE|x").is_err());
         assert!(DaemonMsg::decode("GOODBYE").is_err());
+        assert!(DaemonMsg::decode("COVER|1|2").is_err());
+        assert!(DaemonMsg::decode("COVER|x|2|0").is_err());
     }
 
     #[test]

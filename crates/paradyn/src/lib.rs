@@ -53,8 +53,9 @@ pub use consultant::{
 };
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use daemonset::{
-    AlignedSample, ClockEstimate, ClockSyncError, Coverage, DaemonConn, DaemonHealth, DaemonSet,
-    Merged, MergedStreams, ReconnectFn, RecoveryReport, SessionCoverage, SupervisorPolicy,
+    AlignedSample, ClockEstimate, ClockSyncError, ConnRef, Coverage, DaemonConn, DaemonHealth,
+    DaemonSet, Merged, MergedStreams, ReconnectFn, RecoveryReport, SessionCoverage,
+    SupervisorPolicy,
 };
 pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};

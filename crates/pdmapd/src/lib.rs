@@ -28,10 +28,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod relay;
+
 use cmrts_sim::MachineConfig;
 use paradyn_tool::daemon::{DaemonMsg, InstrLibEndpoint};
 use pdmap::model::Namespace;
-use pdmap_transport::{send_wire, PifBlob, TcpServer, Transport, WirePayload};
+use pdmap_transport::{
+    send_wire, BatchSample, PifBlob, SampleBatch, TcpServer, Transport, WirePayload,
+};
+pub use relay::{serve_relay_until, spawn_relay, RelayConfig, RelayReport, RunningRelay};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -55,6 +60,11 @@ pub struct DaemonConfig {
     pub connect_timeout: Duration,
     /// Nodes of the simulated machine driving the workload.
     pub nodes: usize,
+    /// Samples per outgoing frame. `1` sends classic per-sample
+    /// [`DaemonMsg::Sample`] frames (the flat-session baseline); anything
+    /// larger accumulates [`SampleBatch`] frames of up to this many
+    /// samples, flushed at the batch boundary and at session end.
+    pub batch: u32,
     /// Shared secret for the transport's challenge/response handshake;
     /// `None` accepts any peer (the pre-auth protocol).
     pub secret: Option<[u8; 16]>,
@@ -70,6 +80,7 @@ impl Default for DaemonConfig {
             linger: Duration::from_millis(500),
             connect_timeout: Duration::from_secs(30),
             nodes: 4,
+            batch: 1,
             secret: None,
         }
     }
@@ -82,6 +93,8 @@ pub struct ServeReport {
     pub probes_answered: u64,
     /// Metric samples sent.
     pub samples_sent: u32,
+    /// [`SampleBatch`] frames sent (zero when `batch` is 1).
+    pub batches_sent: u32,
     /// Instruction blocks the workload machine dispatched.
     pub workload_steps: u64,
     /// Whether a tool connected before the timeout (nothing is sent
@@ -156,7 +169,7 @@ pub const CLOCK_BASE_NS: u64 = 1_000_000_000;
 
 /// The daemon's clock: the process monotonic clock plus the base origin
 /// plus the injected skew.
-fn daemon_now(skew_ns: i64) -> u64 {
+pub(crate) fn daemon_now(skew_ns: i64) -> u64 {
     (pdmap_obs::now_ns() as i64 + CLOCK_BASE_NS as i64 + skew_ns).max(0) as u64
 }
 
@@ -268,24 +281,52 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
 
     // Phase 3: performance data — periodic samples on the daemon clock,
     // interleaved with probe answering so a concurrent clock_sync works.
+    // With `batch > 1`, samples accumulate into SampleBatch frames (one
+    // frame per `batch` samples plus a final partial flush) instead of one
+    // frame each — the leaf's half of the relay tree's frame economy.
     // A stop request (flag or wire Shutdown) breaks out to the drain.
     let endpoint = InstrLibEndpoint::over_transport(server.clone() as Arc<dyn Transport>);
+    let mut pending: Vec<BatchSample> = Vec::new();
+    let flush_batch = |pending: &mut Vec<BatchSample>, report: &mut ServeReport| {
+        if pending.is_empty() {
+            return;
+        }
+        let batch = SampleBatch {
+            samples: std::mem::take(pending),
+        };
+        if send_wire(&*server as &dyn Transport, &batch).is_ok() {
+            report.batches_sent += 1;
+        }
+    };
     for i in 0..cfg.samples {
         if stopping(shutdown_msg) || !server.is_alive() {
             break;
         }
-        endpoint.send_sample(
-            "Computation Time",
-            "<whole program>",
-            daemon_now(cfg.skew_ns),
-            i as f64,
-        );
+        if cfg.batch > 1 {
+            pending.push(BatchSample {
+                metric: "Computation Time".into(),
+                focus: "<whole program>".into(),
+                wall: daemon_now(cfg.skew_ns),
+                value: i as f64,
+            });
+            if pending.len() >= cfg.batch as usize {
+                flush_batch(&mut pending, &mut report);
+            }
+        } else {
+            endpoint.send_sample(
+                "Computation Time",
+                "<whole program>",
+                daemon_now(cfg.skew_ns),
+                i as f64,
+            );
+        }
         report.samples_sent += 1;
         let (answered, sd) = answer_probes(&server, cfg.skew_ns);
         report.probes_answered += answered;
         shutdown_msg |= sd;
         std::thread::sleep(cfg.period);
     }
+    flush_batch(&mut pending, &mut report);
 
     // Phase 4: linger so late probes (and probe rounds racing the final
     // sample) still get answers; a stop request skips straight to the

@@ -1,0 +1,664 @@
+//! # Relay mode — hierarchical aggregation of daemon streams
+//!
+//! Flat sessions connect the tool to every daemon directly, which stops
+//! scaling exactly where the paper's machines start: hundreds of nodes
+//! means hundreds of sockets, clock handshakes, and per-sample frames all
+//! terminating in one process. `pdmapd --relay` interposes a fan-in tree:
+//! each relay dials a handful of children (leaf daemons or further
+//! relays), merges their streams, and forwards **one** aggregated stream
+//! upward. The tool sees a relay as a single high-volume daemon.
+//!
+//! Three invariants make the tree transparent to the analyses upstream:
+//!
+//! 1. **Transitive clock alignment.** The relay probes each child with
+//!    [`DaemonMsg::ClockProbe`]s stamped from its *own reported clock*
+//!    (the skewed clock it answers its parent's probes with) and keeps the
+//!    minimum-RTT offset, exactly like `DaemonSet::clock_sync`. Every
+//!    forwarded sample's wall stamp is rewritten by that offset, so it
+//!    lands on the relay's reported clock — and the parent's ordinary sync
+//!    of the relay completes the chain. Skew correction composes level by
+//!    level; no one needs a global clock.
+//! 2. **Conservation at every level.** Children announce their send
+//!    counts in [`DaemonMsg::Goodbye`]; the relay computes per-child loss
+//!    (`announced − received`), folds it into the
+//!    [`DaemonMsg::SubtreeCoverage`] it sends upward, and announces its
+//!    *own* forwarded count in its final Goodbye. At every tree level
+//!    `announced == received + lost` — a silent gap anywhere becomes a
+//!    visible coverage deficit at the root.
+//! 3. **Batched forwarding.** Samples travel upward in
+//!    [`SampleBatch`] frames (shared metric/focus dictionary,
+//!    delta-encoded stamps), so a relay with `F` children costs the
+//!    parent roughly one frame per flush instead of one per sample.
+//!
+//! Mapping information is forwarded too: dynamic allocation messages pass
+//! through verbatim, and PIF blobs are deduplicated by content — a fleet
+//! running one executable ships its static mapping once per relay, not
+//! once per leaf.
+
+use crate::daemon_now;
+use paradyn_tool::daemon::DaemonMsg;
+use pdmap_transport::{
+    send_wire, BatchSample, FrameKind, PifBlob, SampleBatch, TcpClient, TcpServer, Transport,
+    TransportConfig, WirePayload,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one relay process (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct RelayConfig {
+    /// Listen address for the parent (tool or higher relay); port 0 lets
+    /// the OS pick.
+    pub listen: String,
+    /// Child endpoints to dial — leaf daemons or further relays.
+    pub children: Vec<SocketAddr>,
+    /// Injected skew (ns) on the relay's own reported clock, so tests can
+    /// prove the transitive correction does something.
+    pub skew_ns: i64,
+    /// Maximum samples per upward [`SampleBatch`] frame.
+    pub batch: u32,
+    /// Flush a partial batch after this long, so a trickle of samples
+    /// never waits for a full frame.
+    pub flush_interval: Duration,
+    /// How long to wait for the parent to connect before giving up.
+    pub connect_timeout: Duration,
+    /// Clock-probe rounds per child during the initial sync.
+    pub sync_rounds: u32,
+    /// Bound on the whole child sync phase (and on each drain-for-goodbye
+    /// wait during shutdown).
+    pub sync_timeout: Duration,
+    /// How long to keep answering parent probes after the subtree ends.
+    pub linger: Duration,
+    /// Shared secret for both the upward listener and the child dials.
+    pub secret: Option<[u8; 16]>,
+    /// Transport tuning for the child dials (liveness timeout, reconnect
+    /// policy). Tests shrink these so dead-child detection is immediate;
+    /// the secret is applied on top.
+    pub child_transport: TransportConfig,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            children: Vec::new(),
+            skew_ns: 0,
+            batch: 64,
+            flush_interval: Duration::from_millis(5),
+            connect_timeout: Duration::from_secs(30),
+            sync_rounds: 4,
+            sync_timeout: Duration::from_secs(10),
+            linger: Duration::from_millis(500),
+            secret: None,
+            child_transport: TransportConfig::default(),
+        }
+    }
+}
+
+/// What one relay session did — printed by the binary, asserted by tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RelayReport {
+    /// Whether a parent connected before the timeout.
+    pub parent_connected: bool,
+    /// Children whose clock sync completed.
+    pub children_synced: usize,
+    /// Samples forwarded upward (the count the final Goodbye announces).
+    pub samples_forwarded: u64,
+    /// Upward [`SampleBatch`] frames sent.
+    pub batches_sent: u64,
+    /// Parent clock probes answered.
+    pub probes_answered: u64,
+    /// Children that announced a [`DaemonMsg::Goodbye`].
+    pub child_goodbyes: usize,
+    /// Samples known lost below this relay (children's announced minus
+    /// received, plus their own reported subtree losses).
+    pub samples_lost: u64,
+    /// Whether the session ended with the final-flush handshake (last
+    /// [`DaemonMsg::SubtreeCoverage`] + [`DaemonMsg::Goodbye`] delivered).
+    pub graceful_shutdown: bool,
+}
+
+/// One child link and everything the relay knows about its subtree.
+struct Child {
+    tx: Arc<TcpClient>,
+    /// Minimum-RTT clock offset of the child's reported clock relative to
+    /// this relay's reported clock (meaningful once `synced`).
+    offset_ns: i64,
+    best_rtt_ns: u64,
+    rounds_done: u32,
+    synced: bool,
+    /// Probe in flight: `(token, t0_on_relay_clock)`.
+    pending_probe: Option<(u64, u64)>,
+    /// Frames that arrived before the child's sync finished; replayed
+    /// through the normal dispatch once the offset is known.
+    backlog: Vec<pdmap_transport::Frame>,
+    /// Samples received from this child (the relay's side of the child's
+    /// conservation law).
+    samples_received: u64,
+    /// The child's announced send count, once it said Goodbye.
+    announced: Option<u64>,
+    /// Latest subtree coverage report, if the child is itself a relay.
+    subtree: Option<(u32, u32, u64)>,
+}
+
+impl Child {
+    /// `(reporting, total, lost)` this child contributes to the relay's
+    /// composed coverage. A leaf is a `1/1` subtree; a child relay
+    /// contributes its whole last-reported subtree. A child that neither
+    /// said Goodbye nor keeps its transport alive is dark — its entire
+    /// subtree stops reporting, never silently one node.
+    fn coverage(&self) -> (u32, u32, u64) {
+        let (rep, tot, sub_lost) = self.subtree.unwrap_or((1, 1, 0));
+        let own_lost = self
+            .announced
+            .map_or(0, |a| a.saturating_sub(self.samples_received));
+        let reporting = if self.announced.is_some() || self.tx.is_alive() {
+            rep
+        } else {
+            0
+        };
+        (reporting, tot, own_lost + sub_lost)
+    }
+
+    /// The child finished: announced its Goodbye, or went dark.
+    fn done(&self) -> bool {
+        self.announced.is_some() || !self.tx.is_alive()
+    }
+}
+
+/// A relay running on a background thread (in-process stand-in for the
+/// `pdmapd --relay` binary, used by tests and the fleet bench).
+pub struct RunningRelay {
+    /// The bound upward listen address.
+    pub addr: SocketAddr,
+    server: Arc<TcpServer>,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<RelayReport>,
+}
+
+impl RunningRelay {
+    /// Waits for the relay to finish and returns its report.
+    pub fn join(self) -> RelayReport {
+        self.handle.join().expect("relay serve thread panicked")
+    }
+
+    /// SIGTERM-equivalent: drain the subtree, flush, send the final
+    /// coverage + Goodbye upward, exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// SIGKILL-equivalent: tears the upward transport down mid-session —
+    /// no flush, no Goodbye — and reaps the serve thread. The parent sees
+    /// the whole subtree go dark at once.
+    pub fn kill(self) -> RelayReport {
+        self.server.close();
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("relay serve thread panicked")
+    }
+}
+
+/// Binds `cfg.listen` and runs [`serve_relay_until`] on a background
+/// thread.
+pub fn spawn_relay(cfg: RelayConfig) -> std::io::Result<RunningRelay> {
+    let server = TcpServer::bind_with_secret(&cfg.listen, cfg.secret)?;
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let server = server.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("pdmapd-relay".into())
+            .spawn(move || serve_relay_until(server, &cfg, &stop))?
+    };
+    Ok(RunningRelay {
+        addr,
+        server,
+        stop,
+        handle,
+    })
+}
+
+/// Everything mutable the relay session threads through its loop.
+struct RelaySession<'a> {
+    server: &'a TcpServer,
+    cfg: &'a RelayConfig,
+    report: RelayReport,
+    children: Vec<Child>,
+    /// Samples rewritten onto the relay clock, awaiting the next flush.
+    pending: Vec<BatchSample>,
+    last_flush: Instant,
+    /// Content hashes of PIF blobs already forwarded.
+    pifs_seen: HashSet<u64>,
+    /// The last `(reporting, total, lost)` sent upward, to only resend on
+    /// change.
+    last_coverage: Option<(u32, u32, u64)>,
+    /// Raised by a wire-level [`DaemonMsg::Shutdown`] from the parent.
+    shutdown_msg: bool,
+}
+
+impl RelaySession<'_> {
+    fn now(&self) -> u64 {
+        daemon_now(self.cfg.skew_ns)
+    }
+
+    /// Drains parent→relay control frames: answers clock probes from the
+    /// relay's reported clock, notes a Shutdown request.
+    fn serve_parent(&mut self) {
+        while let Ok(Some(frame)) = self.server.try_recv() {
+            match DaemonMsg::from_frame(&frame) {
+                Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) => {
+                    let reply = DaemonMsg::ClockReply {
+                        token,
+                        t_tool_ns,
+                        t_daemon_ns: self.now(),
+                    };
+                    if send_wire(self.server as &dyn Transport, &reply).is_ok() {
+                        self.report.probes_answered += 1;
+                    }
+                }
+                Ok(DaemonMsg::Shutdown) => self.shutdown_msg = true,
+                _ => {}
+            }
+        }
+    }
+
+    /// One probe round against child `i` using the relay's reported clock
+    /// as the reference — the step that makes alignment transitive.
+    fn probe_child(&mut self, i: usize) {
+        let token = (i as u64) << 32 | u64::from(self.children[i].rounds_done);
+        let t0 = self.now();
+        let probe = DaemonMsg::ClockProbe {
+            token,
+            t_tool_ns: t0,
+        };
+        if send_wire(&*self.children[i].tx as &dyn Transport, &probe).is_ok() {
+            self.children[i].pending_probe = Some((token, t0));
+        }
+    }
+
+    /// Pumps child `i` once. During sync, `ClockReply`s feed the offset
+    /// estimate and everything else is backlogged; after sync, frames go
+    /// straight to [`RelaySession::dispatch_child_frame`].
+    fn pump_child(&mut self, i: usize) {
+        while let Ok(Some(frame)) = self.children[i].tx.try_recv() {
+            if self.children[i].synced {
+                self.dispatch_child_frame(i, &frame);
+                continue;
+            }
+            if frame.kind == FrameKind::Daemon {
+                if let Ok(DaemonMsg::ClockReply {
+                    token, t_daemon_ns, ..
+                }) = DaemonMsg::from_frame(&frame)
+                {
+                    let child = &mut self.children[i];
+                    if let Some((want, t0)) = child.pending_probe {
+                        if token == want {
+                            let t1 = daemon_now(self.cfg.skew_ns);
+                            let rtt = t1.saturating_sub(t0);
+                            if rtt < child.best_rtt_ns {
+                                child.best_rtt_ns = rtt;
+                                child.offset_ns = t_daemon_ns as i64 - (t0 + rtt / 2) as i64;
+                            }
+                            child.pending_probe = None;
+                            child.rounds_done += 1;
+                            if child.rounds_done >= self.cfg.sync_rounds {
+                                child.synced = true;
+                                self.report.children_synced += 1;
+                                self.replay_backlog(i);
+                            } else {
+                                self.probe_child(i);
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            self.children[i].backlog.push(frame);
+        }
+    }
+
+    fn replay_backlog(&mut self, i: usize) {
+        for frame in std::mem::take(&mut self.children[i].backlog) {
+            self.dispatch_child_frame(i, &frame);
+        }
+    }
+
+    /// Routes one post-sync child frame: samples are rewritten onto the
+    /// relay clock and batched, mapping info is forwarded (PIFs deduped by
+    /// content), Goodbye and SubtreeCoverage update the conservation
+    /// ledger.
+    fn dispatch_child_frame(&mut self, i: usize, frame: &pdmap_transport::Frame) {
+        match frame.kind {
+            FrameKind::SampleBatch => {
+                if let Ok(batch) = SampleBatch::from_frame(frame) {
+                    let offset = self.children[i].offset_ns;
+                    self.children[i].samples_received += batch.samples.len() as u64;
+                    for mut s in batch.samples {
+                        s.wall = rewrite(s.wall, offset);
+                        self.pending.push(s);
+                    }
+                }
+            }
+            FrameKind::PifBlob => {
+                let mut h = DefaultHasher::new();
+                frame.payload.hash(&mut h);
+                if self.pifs_seen.insert(h.finish()) {
+                    let _ = send_wire(
+                        self.server as &dyn Transport,
+                        &PifBlob(frame.payload.clone()),
+                    );
+                }
+            }
+            FrameKind::Daemon => match DaemonMsg::from_frame(frame) {
+                Ok(DaemonMsg::Sample {
+                    metric,
+                    focus,
+                    wall,
+                    value,
+                }) => {
+                    self.children[i].samples_received += 1;
+                    self.pending.push(BatchSample {
+                        metric: metric.into(),
+                        focus: focus.into(),
+                        wall: rewrite(wall, self.children[i].offset_ns),
+                        value,
+                    });
+                }
+                Ok(DaemonMsg::Goodbye { samples_sent }) => {
+                    if self.children[i].announced.is_none() {
+                        self.report.child_goodbyes += 1;
+                    }
+                    self.children[i].announced = Some(u64::from(samples_sent));
+                }
+                Ok(DaemonMsg::SubtreeCoverage {
+                    nodes_reporting,
+                    nodes_total,
+                    samples_lost,
+                }) => {
+                    self.children[i].subtree = Some((nodes_reporting, nodes_total, samples_lost));
+                }
+                Ok(msg @ (DaemonMsg::ArrayAllocated { .. } | DaemonMsg::ArrayFreed { .. })) => {
+                    let _ = send_wire(self.server as &dyn Transport, &msg);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// Composes the subtree's coverage from every child's contribution.
+    fn coverage(&self) -> (u32, u32, u64) {
+        let mut cov = (0u32, 0u32, 0u64);
+        for c in &self.children {
+            let (rep, tot, lost) = c.coverage();
+            cov.0 += rep;
+            cov.1 += tot;
+            cov.2 += lost;
+        }
+        cov
+    }
+
+    /// Sends [`DaemonMsg::SubtreeCoverage`] upward iff it changed since
+    /// the last send (`force` for the final flush).
+    fn report_coverage(&mut self, force: bool) {
+        let cov = self.coverage();
+        if !force && self.last_coverage == Some(cov) {
+            return;
+        }
+        let msg = DaemonMsg::SubtreeCoverage {
+            nodes_reporting: cov.0,
+            nodes_total: cov.1,
+            samples_lost: cov.2,
+        };
+        if send_wire(self.server as &dyn Transport, &msg).is_ok() {
+            self.last_coverage = Some(cov);
+        }
+        self.report.samples_lost = cov.2;
+    }
+
+    /// Flushes pending samples upward as one [`SampleBatch`] frame.
+    fn flush(&mut self, force: bool) {
+        let due = self.pending.len() >= self.cfg.batch.max(1) as usize
+            || (!self.pending.is_empty()
+                && (force || self.last_flush.elapsed() >= self.cfg.flush_interval));
+        if !due {
+            return;
+        }
+        let batch = SampleBatch {
+            samples: std::mem::take(&mut self.pending),
+        };
+        let n = batch.samples.len() as u64;
+        if send_wire(self.server as &dyn Transport, &batch).is_ok() {
+            self.report.samples_forwarded += n;
+            self.report.batches_sent += 1;
+        }
+        self.last_flush = Instant::now();
+    }
+}
+
+/// Wall stamp minus the child's offset, saturating at zero: the child's
+/// clock rewritten onto this relay's reported clock.
+fn rewrite(wall: u64, offset_ns: i64) -> u64 {
+    (wall as i64 - offset_ns).max(0) as u64
+}
+
+/// Runs the relay loop on the caller's thread until the subtree completes,
+/// the parent requests shutdown, or `stop` is raised. See the module docs
+/// for the invariants; the phase structure mirrors [`crate::serve_until`]:
+/// wait for the parent, sync the children, stream, drain, final flush.
+pub fn serve_relay_until(
+    server: Arc<TcpServer>,
+    cfg: &RelayConfig,
+    stop: &AtomicBool,
+) -> RelayReport {
+    let mut s = RelaySession {
+        server: &server,
+        cfg,
+        report: RelayReport::default(),
+        children: Vec::new(),
+        pending: Vec::new(),
+        last_flush: Instant::now(),
+        pifs_seen: HashSet::new(),
+        last_coverage: None,
+        shutdown_msg: false,
+    };
+
+    // Phase 0: wait for the parent, exactly like a leaf waits for its tool.
+    let deadline = Instant::now() + cfg.connect_timeout;
+    while server.connections() == 0 {
+        if Instant::now() >= deadline || stop.load(Ordering::Acquire) {
+            return s.report;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    s.report.parent_connected = true;
+
+    // Phase 1: dial the children and start their clock sync. The relay is
+    // the "tool" of its children: the same transport handshake, the same
+    // probe protocol, just referenced to this relay's reported clock.
+    let mut tcfg = cfg.child_transport;
+    if let Some(secret) = cfg.secret {
+        tcfg = tcfg.with_secret(secret);
+    }
+    for (i, &addr) in cfg.children.iter().enumerate() {
+        s.children.push(Child {
+            tx: TcpClient::connect(addr, tcfg),
+            offset_ns: 0,
+            best_rtt_ns: u64::MAX,
+            rounds_done: 0,
+            synced: false,
+            pending_probe: None,
+            backlog: Vec::new(),
+            samples_received: 0,
+            announced: None,
+            subtree: None,
+        });
+        s.probe_child(i);
+    }
+    let sync_deadline = Instant::now() + cfg.sync_timeout;
+    loop {
+        s.serve_parent();
+        for i in 0..s.children.len() {
+            s.pump_child(i);
+            // Leaves answer probes only once their workload phase ends, so
+            // a probe can sit unanswered for a while; re-send rather than
+            // stall the round.
+            if !s.children[i].synced && s.children[i].pending_probe.is_none() {
+                s.probe_child(i);
+            }
+        }
+        let all = s.children.iter().all(|c| c.synced || !c.tx.is_alive());
+        if all || Instant::now() >= sync_deadline || stop.load(Ordering::Acquire) || s.shutdown_msg
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    // A child that never synced is treated as dark from the start; replay
+    // whatever it did send (mapping info is offset-free).
+    for i in 0..s.children.len() {
+        if !s.children[i].synced {
+            s.replay_backlog(i);
+        }
+    }
+    s.report_coverage(true);
+
+    // Phase 2: stream. Merge child frames, flush batches, answer parent
+    // probes, resend coverage when the subtree changes, until every child
+    // is done (Goodbye or dark) or a shutdown is requested.
+    loop {
+        s.serve_parent();
+        for i in 0..s.children.len() {
+            s.pump_child(i);
+        }
+        s.flush(false);
+        s.report_coverage(false);
+        let stopping = stop.load(Ordering::Acquire) || s.shutdown_msg;
+        if stopping || !server.is_alive() {
+            break;
+        }
+        if s.children.iter().all(Child::done) {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    // Phase 3: drain. Forward the shutdown downward if we are stopping
+    // early, then give children until the sync timeout to flush and say
+    // Goodbye — their conservation counts feed our final coverage.
+    if !server.is_alive() {
+        // Parent tore the link down (our SIGKILL shape): nothing to flush
+        // to; report what happened and leave the loss unannounced.
+        return s.report;
+    }
+    for c in &s.children {
+        if c.announced.is_none() && c.tx.is_alive() {
+            let _ = send_wire(&*c.tx as &dyn Transport, &DaemonMsg::Shutdown);
+        }
+    }
+    let drain_deadline = Instant::now() + cfg.sync_timeout;
+    while !s.children.iter().all(Child::done) && Instant::now() < drain_deadline {
+        s.serve_parent();
+        for i in 0..s.children.len() {
+            s.pump_child(i);
+        }
+        s.flush(false);
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    for i in 0..s.children.len() {
+        s.pump_child(i);
+    }
+
+    // Phase 4: linger so parent probe rounds racing the end still get
+    // answers, then the final flush: last batch, final coverage, Goodbye
+    // announcing the forwarded count — in that order, so the parent's
+    // conservation check sees a complete ledger.
+    let linger_until = Instant::now() + cfg.linger;
+    while Instant::now() < linger_until && server.is_alive() && !s.shutdown_msg {
+        s.serve_parent();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    s.serve_parent();
+    s.flush(true);
+    s.report_coverage(true);
+    let goodbye = DaemonMsg::Goodbye {
+        samples_sent: u32::try_from(s.report.samples_forwarded).unwrap_or(u32::MAX),
+    };
+    s.report.graceful_shutdown = send_wire(&*server as &dyn Transport, &goodbye).is_ok();
+    s.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn child_with(
+        announced: Option<u64>,
+        received: u64,
+        subtree: Option<(u32, u32, u64)>,
+        alive: bool,
+    ) -> Child {
+        let tx = TcpClient::connect(
+            "127.0.0.1:9".parse().unwrap(),
+            TransportConfig {
+                reconnect: pdmap_transport::ReconnectPolicy {
+                    max_attempts: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        if !alive {
+            tx.close();
+        }
+        Child {
+            tx,
+            offset_ns: 0,
+            best_rtt_ns: u64::MAX,
+            rounds_done: 0,
+            synced: true,
+            pending_probe: None,
+            backlog: Vec::new(),
+            samples_received: received,
+            announced,
+            subtree,
+        }
+    }
+
+    #[test]
+    fn leaf_child_coverage_is_one_of_one() {
+        let c = child_with(Some(10), 10, None, false);
+        assert_eq!(c.coverage(), (1, 1, 0), "goodbye'd leaf reports fully");
+        let c = child_with(Some(10), 7, None, false);
+        assert_eq!(c.coverage(), (1, 1, 3), "announced minus received is lost");
+    }
+
+    #[test]
+    fn dark_child_loses_its_whole_subtree() {
+        let c = child_with(None, 5, Some((4, 4, 0)), false);
+        assert_eq!(
+            c.coverage(),
+            (0, 4, 0),
+            "no goodbye + dead link = whole subtree dark, loss unannounced"
+        );
+        let c = child_with(Some(9), 9, Some((3, 4, 2)), false);
+        assert_eq!(
+            c.coverage(),
+            (3, 4, 2),
+            "a goodbye'd child relay passes its subtree report through"
+        );
+    }
+
+    #[test]
+    fn wall_rewrite_saturates_at_zero() {
+        assert_eq!(rewrite(100, 40), 60);
+        assert_eq!(rewrite(100, -40), 140);
+        assert_eq!(rewrite(100, 500), 0);
+    }
+}

@@ -43,17 +43,22 @@ pub enum FrameKind {
     /// Client identification sent on every (re)connect; the payload is the
     /// stable 8-byte client id that keys receiver-side dedup state.
     Hello,
+    /// Many metric samples in one frame: a dictionary of (metric, focus)
+    /// pairs plus delta-encoded timestamps, prefixed with the sample count
+    /// so conservation audits can account batches without decoding them.
+    SampleBatch,
 }
 
 impl FrameKind {
     /// Every kind, in wire-byte order (`ALL[k.to_u8()] == k`).
-    pub const ALL: [FrameKind; 6] = [
+    pub const ALL: [FrameKind; 7] = [
         FrameKind::Daemon,
         FrameKind::SasForward,
         FrameKind::PifBlob,
         FrameKind::Heartbeat,
         FrameKind::Ack,
         FrameKind::Hello,
+        FrameKind::SampleBatch,
     ];
 
     /// Stable lowercase identifier, used to key per-kind metrics
@@ -66,6 +71,7 @@ impl FrameKind {
             FrameKind::Heartbeat => "heartbeat",
             FrameKind::Ack => "ack",
             FrameKind::Hello => "hello",
+            FrameKind::SampleBatch => "sample_batch",
         }
     }
 
@@ -77,6 +83,7 @@ impl FrameKind {
             FrameKind::Heartbeat => 3,
             FrameKind::Ack => 4,
             FrameKind::Hello => 5,
+            FrameKind::SampleBatch => 6,
         }
     }
 
@@ -88,6 +95,7 @@ impl FrameKind {
             3 => FrameKind::Heartbeat,
             4 => FrameKind::Ack,
             5 => FrameKind::Hello,
+            6 => FrameKind::SampleBatch,
             _ => return None,
         })
     }
@@ -297,8 +305,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn all_table_matches_wire_bytes() {
+        for (i, k) in FrameKind::ALL.iter().enumerate() {
+            assert_eq!(k.to_u8() as usize, i);
+            assert_eq!(FrameKind::from_u8(i as u8), Some(*k));
+        }
+        assert_eq!(FrameKind::from_u8(FrameKind::ALL.len() as u8), None);
+    }
+
+    #[test]
     fn roundtrip_all_kinds() {
-        for kind in [FrameKind::Daemon, FrameKind::SasForward, FrameKind::PifBlob] {
+        for kind in [
+            FrameKind::Daemon,
+            FrameKind::SasForward,
+            FrameKind::PifBlob,
+            FrameKind::SampleBatch,
+        ] {
             let f = Frame {
                 kind,
                 seq: 42,

@@ -72,8 +72,16 @@ impl Transport for InProcEnd {
         let mut frame = Frame::data(kind, payload);
         frame.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let bytes = frame.encoded_len();
+        let batched = if kind == FrameKind::SampleBatch {
+            crate::wire::SampleBatch::peek_count(&frame.payload).unwrap_or(0) as u64
+        } else {
+            0
+        };
         self.out.push(frame).map_err(|_| TransportError::Closed)?;
         self.stats.on_send(bytes);
+        if batched > 0 {
+            self.stats.on_batched_samples_sent(batched);
+        }
         if let Some(t0) = t0 {
             let o = crate::obs::obs();
             let dur = pdmap_obs::now_ns().saturating_sub(t0);
@@ -92,6 +100,11 @@ impl Transport for InProcEnd {
         match self.inc.try_pop() {
             Some(f) => {
                 self.stats.on_recv(f.encoded_len());
+                if f.kind == FrameKind::SampleBatch {
+                    if let Some(n) = crate::wire::SampleBatch::peek_count(&f.payload) {
+                        self.stats.on_batched_samples_received(n as u64);
+                    }
+                }
                 if let Some(t0) = t0 {
                     let o = crate::obs::obs();
                     let dur = pdmap_obs::now_ns().saturating_sub(t0);

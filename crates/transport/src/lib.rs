@@ -44,7 +44,7 @@ pub use inproc::InProcEnd;
 pub use queue::Backpressure;
 pub use stats::{StatsCell, TransportStats};
 pub use tcp::{TcpClient, TcpServer};
-pub use wire::{CodecError, PayloadReader, PifBlob, WirePayload};
+pub use wire::{BatchSample, CodecError, PayloadReader, PifBlob, SampleBatch, WirePayload};
 
 use std::fmt;
 

@@ -24,6 +24,8 @@ pub struct StatsCell {
     acks_received: AtomicU64,
     max_queue_depth: AtomicU64,
     auth_failures: AtomicU64,
+    samples_batched_sent: AtomicU64,
+    samples_batched_received: AtomicU64,
 }
 
 impl StatsCell {
@@ -85,6 +87,17 @@ impl StatsCell {
         self.auth_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` samples leaving in a [`crate::wire::SampleBatch`] frame.
+    pub fn on_batched_samples_sent(&self, n: u64) {
+        self.samples_batched_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` samples arriving in a [`crate::wire::SampleBatch`] frame.
+    pub fn on_batched_samples_received(&self, n: u64) {
+        self.samples_batched_received
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Folds an observed queue depth into the high-water mark.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.max_queue_depth
@@ -108,6 +121,8 @@ impl StatsCell {
             acks_received: self.acks_received.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             auth_failures: self.auth_failures.load(Ordering::Relaxed),
+            samples_batched_sent: self.samples_batched_sent.load(Ordering::Relaxed),
+            samples_batched_received: self.samples_batched_received.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +159,11 @@ pub struct TransportStats {
     /// Peers rejected by the authenticated Hello handshake (wrong or
     /// missing tag); a rejected peer never reaches the session.
     pub auth_failures: u64,
+    /// Samples carried out in `SampleBatch` frames (counted per sample, not
+    /// per frame — this is the conservation-relevant unit).
+    pub samples_batched_sent: u64,
+    /// Samples carried in by `SampleBatch` frames.
+    pub samples_batched_received: u64,
 }
 
 impl TransportStats {
@@ -165,6 +185,11 @@ impl TransportStats {
             ("Transport Acks Received", self.acks_received),
             ("Transport Max Queue Depth", self.max_queue_depth),
             ("Transport Auth Failures", self.auth_failures),
+            ("Transport Batched Samples Sent", self.samples_batched_sent),
+            (
+                "Transport Batched Samples Received",
+                self.samples_batched_received,
+            ),
         ]
     }
 }
@@ -197,8 +222,19 @@ mod tests {
     #[test]
     fn rows_cover_every_field() {
         let s = TransportStats::default();
-        assert_eq!(s.rows().len(), 14);
+        assert_eq!(s.rows().len(), 16);
         let names: std::collections::BTreeSet<_> = s.rows().iter().map(|&(n, _)| n).collect();
-        assert_eq!(names.len(), 14, "metric names must be distinct");
+        assert_eq!(names.len(), 16, "metric names must be distinct");
+    }
+
+    #[test]
+    fn batched_sample_counters_accumulate() {
+        let c = StatsCell::default();
+        c.on_batched_samples_sent(64);
+        c.on_batched_samples_sent(3);
+        c.on_batched_samples_received(64);
+        let s = c.snapshot();
+        assert_eq!(s.samples_batched_sent, 67);
+        assert_eq!(s.samples_batched_received, 64);
     }
 }

@@ -331,6 +331,11 @@ fn reader_loop(shared: &ClientShared) {
                 FrameKind::Hello => {}
                 _ => {
                     shared.stats.on_recv(frame.encoded_len());
+                    if frame.kind == FrameKind::SampleBatch {
+                        if let Some(n) = crate::wire::SampleBatch::peek_count(&frame.payload) {
+                            shared.stats.on_batched_samples_received(n as u64);
+                        }
+                    }
                     lock(&shared.recv).push_back(frame);
                 }
             }
@@ -352,8 +357,16 @@ impl Transport for TcpClient {
         let mut frame = Frame::data(kind, payload);
         frame.seq = sh.next_seq.fetch_add(1, Ordering::Relaxed);
         let bytes = frame.encoded_len();
+        let batched = if kind == FrameKind::SampleBatch {
+            crate::wire::SampleBatch::peek_count(&frame.payload).unwrap_or(0) as u64
+        } else {
+            0
+        };
         sh.queue.push(frame).map_err(|_| TransportError::Closed)?;
         sh.stats.on_send(bytes);
+        if batched > 0 {
+            sh.stats.on_batched_samples_sent(batched);
+        }
         if let Some(t0) = t0 {
             let o = crate::obs::obs();
             let dur = pdmap_obs::now_ns().saturating_sub(t0);
@@ -651,6 +664,13 @@ fn conn_loop(mut stream: TcpStream, handle: &Arc<ConnHandle>, shared: &Arc<Serve
                         };
                         if fresh {
                             shared.stats.on_recv(frame.encoded_len());
+                            if frame.kind == FrameKind::SampleBatch {
+                                if let Some(n) =
+                                    crate::wire::SampleBatch::peek_count(&frame.payload)
+                                {
+                                    shared.stats.on_batched_samples_received(n as u64);
+                                }
+                            }
                             lock(&shared.recv).push_back(frame);
                         } else {
                             shared.stats.on_duplicate();
@@ -696,6 +716,11 @@ impl Transport for TcpServer {
         }
         if wrote {
             self.shared.stats.on_send(bytes);
+            if frame.kind == FrameKind::SampleBatch {
+                if let Some(n) = crate::wire::SampleBatch::peek_count(&frame.payload) {
+                    self.shared.stats.on_batched_samples_sent(n as u64);
+                }
+            }
             if let Some(t0) = t0 {
                 let o = crate::obs::obs();
                 let dur = pdmap_obs::now_ns().saturating_sub(t0);

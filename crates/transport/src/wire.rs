@@ -7,6 +7,7 @@
 
 use crate::frame::{Frame, FrameKind};
 use std::fmt;
+use std::sync::Arc;
 
 /// A payload-level decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +98,22 @@ pub mod put {
         u32(out, b.len() as u32);
         out.extend_from_slice(b);
     }
+
+    /// Appends an LEB128 variable-length `u64` (1 byte for values < 128).
+    pub fn varint(out: &mut Vec<u8>, mut v: u64) {
+        while v >= 0x80 {
+            out.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        out.push(v as u8);
+    }
+
+    /// Appends a zigzag-mapped variable-length `i64` (small magnitudes of
+    /// either sign stay short — timestamp deltas in a merged stream go
+    /// backwards as often as forwards).
+    pub fn zigzag(out: &mut Vec<u8>, v: i64) {
+        varint(out, ((v << 1) ^ (v >> 63)) as u64);
+    }
 }
 
 /// A checked cursor over payload bytes.
@@ -157,6 +174,33 @@ impl<'a> PayloadReader<'a> {
         Ok(self.take(n)?.to_vec())
     }
 
+    /// Reads an LEB128 variable-length `u64`.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                if shift == 63 && b > 1 {
+                    return Err(CodecError::new("varint overflows u64"));
+                }
+                return Ok(v);
+            }
+        }
+        Err(CodecError::new("varint longer than 10 bytes"))
+    }
+
+    /// Reads a zigzag-mapped variable-length `i64`.
+    pub fn zigzag(&mut self) -> Result<i64, CodecError> {
+        let v = self.varint()?;
+        Ok((v >> 1) as i64 ^ -((v & 1) as i64))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Errors unless the payload was fully consumed (trailing garbage means
     /// a version skew or corruption — never silently ignore it).
     pub fn finish(&self) -> Result<(), CodecError> {
@@ -185,6 +229,131 @@ impl WirePayload for PifBlob {
 
     fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
         Ok(PifBlob(r.bytes()?))
+    }
+}
+
+/// One metric sample inside a [`SampleBatch`].
+///
+/// Names are `Arc<str>` so decoding a batch allocates once per *distinct*
+/// (metric, focus) pair in the frame's dictionary; every sample referencing
+/// the pair is a refcount bump. That is where batched drains win at scale —
+/// the per-sample cost at the root drops from two string allocations to two
+/// pointer copies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSample {
+    /// Metric display name (e.g. `"Computation Time"`).
+    pub metric: Arc<str>,
+    /// Focus the sample maps to (e.g. `"<whole program>"`).
+    pub focus: Arc<str>,
+    /// Sender-clock wall timestamp in nanoseconds.
+    pub wall: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Many samples in one frame.
+///
+/// Wire layout, chosen so conservation accounting never requires a full
+/// decode and repeated (metric, focus) pairs cost one varint each:
+///
+/// ```text
+/// u32 count                       -- FIRST, so peek_count() works
+/// u32 dict_len
+/// dict_len x (str metric, str focus)
+/// u64 base_wall                   -- wall of the first sample (0 if empty)
+/// count x (varint dict_idx, zigzag wall_delta, f64 value)
+/// ```
+///
+/// `wall_delta` is relative to the previous sample's wall (the first
+/// sample's to `base_wall`, so it is zero). Deltas are signed because a
+/// relay merges child streams whose corrected timestamps interleave
+/// non-monotonically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleBatch {
+    /// The batched samples, in send order.
+    pub samples: Vec<BatchSample>,
+}
+
+impl SampleBatch {
+    /// Reads the sample count off the front of an encoded payload without
+    /// decoding the batch — the hook transports use to account batched
+    /// samples on their hot paths.
+    pub fn peek_count(payload: &[u8]) -> Option<u32> {
+        let head = payload.get(0..4)?;
+        Some(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+}
+
+impl WirePayload for SampleBatch {
+    const KIND: FrameKind = FrameKind::SampleBatch;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put::u32(out, self.samples.len() as u32);
+        // Dictionary of distinct (metric, focus) pairs, in first-seen order.
+        let mut dict: Vec<(&str, &str)> = Vec::new();
+        let mut idxs: Vec<u64> = Vec::with_capacity(self.samples.len());
+        for s in &self.samples {
+            let key = (&*s.metric, &*s.focus);
+            let idx = match dict.iter().position(|&k| k == key) {
+                Some(i) => i,
+                None => {
+                    dict.push(key);
+                    dict.len() - 1
+                }
+            };
+            idxs.push(idx as u64);
+        }
+        put::u32(out, dict.len() as u32);
+        for (metric, focus) in dict {
+            put::str(out, metric);
+            put::str(out, focus);
+        }
+        let base_wall = self.samples.first().map_or(0, |s| s.wall);
+        put::u64(out, base_wall);
+        let mut prev = base_wall;
+        for (s, idx) in self.samples.iter().zip(idxs) {
+            put::varint(out, idx);
+            put::zigzag(out, s.wall.wrapping_sub(prev) as i64);
+            put::f64(out, s.value);
+            prev = s.wall;
+        }
+    }
+
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        let count = r.u32()? as usize;
+        let dict_len = r.u32()? as usize;
+        if dict_len > count {
+            return Err(CodecError::new(format!(
+                "batch dictionary of {dict_len} entries exceeds sample count {count}"
+            )));
+        }
+        let mut dict: Vec<(Arc<str>, Arc<str>)> = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            let metric: Arc<str> = r.str()?.into();
+            let focus: Arc<str> = r.str()?.into();
+            dict.push((metric, focus));
+        }
+        let base_wall = r.u64()?;
+        // Each sample needs >= 10 encoded bytes, so a corrupt count cannot
+        // ask for a larger allocation than the payload could carry.
+        let mut samples = Vec::with_capacity(count.min(r.remaining() / 10 + 1));
+        let mut prev = base_wall;
+        for _ in 0..count {
+            let idx = r.varint()? as usize;
+            let (metric, focus) = dict
+                .get(idx)
+                .ok_or_else(|| CodecError::new(format!("batch dict index {idx} out of range")))?;
+            let wall = prev.wrapping_add(r.zigzag()? as u64);
+            let value = r.f64()?;
+            samples.push(BatchSample {
+                metric: metric.clone(),
+                focus: focus.clone(),
+                wall,
+                value,
+            });
+            prev = wall;
+        }
+        Ok(SampleBatch { samples })
     }
 }
 
@@ -233,5 +402,105 @@ mod tests {
         let mut frame = PifBlob(vec![1]).to_frame();
         frame.kind = FrameKind::Daemon;
         assert!(PifBlob::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn varint_and_zigzag_roundtrip() {
+        let cases_u = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let cases_i = [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN];
+        let mut out = Vec::new();
+        for v in cases_u {
+            put::varint(&mut out, v);
+        }
+        for v in cases_i {
+            put::zigzag(&mut out, v);
+        }
+        let mut r = PayloadReader::new(&out);
+        for v in cases_u {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        for v in cases_i {
+            assert_eq!(r.zigzag().unwrap(), v);
+        }
+        r.finish().unwrap();
+        // Small values stay one byte.
+        let mut one = Vec::new();
+        put::varint(&mut one, 100);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes never terminate within u64.
+        let bytes = [0xFFu8; 11];
+        assert!(PayloadReader::new(&bytes).varint().is_err());
+    }
+
+    fn sample(metric: &str, focus: &str, wall: u64, value: f64) -> BatchSample {
+        BatchSample {
+            metric: metric.into(),
+            focus: focus.into(),
+            wall,
+            value,
+        }
+    }
+
+    #[test]
+    fn sample_batch_roundtrips_and_peeks() {
+        let batch = SampleBatch {
+            samples: vec![
+                sample("Computation Time", "<whole program>", 1_000_000, 1.0),
+                sample("Computation Time", "<whole program>", 1_000_500, 2.0),
+                // Out-of-order wall from a merged sibling stream.
+                sample("Messages", "node 3", 999_000, 3.0),
+                sample("Computation Time", "<whole program>", 1_001_000, 4.0),
+            ],
+        };
+        let frame = batch.to_frame();
+        assert_eq!(frame.kind, FrameKind::SampleBatch);
+        assert_eq!(SampleBatch::peek_count(&frame.payload), Some(4));
+        assert_eq!(SampleBatch::from_frame(&frame).unwrap(), batch);
+        // Dictionary makes repeats cheap: 4 samples, 2 dict entries.
+        let empty = SampleBatch::default();
+        let ef = empty.to_frame();
+        assert_eq!(SampleBatch::peek_count(&ef.payload), Some(0));
+        assert_eq!(SampleBatch::from_frame(&ef).unwrap(), empty);
+    }
+
+    #[test]
+    fn sample_batch_rejects_corrupt_dict_index() {
+        let batch = SampleBatch {
+            samples: vec![sample("m", "f", 10, 1.0)],
+        };
+        let mut frame = batch.to_frame();
+        // The dict index is the first byte after count, dict, and base_wall.
+        // Corrupt the count instead: claim more samples than encoded.
+        frame.payload[0] = 9;
+        assert!(SampleBatch::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn sample_batch_dictionary_amortizes_repeats() {
+        let many = SampleBatch {
+            samples: (0..1000)
+                .map(|i| {
+                    sample(
+                        "Computation Time",
+                        "<whole program>",
+                        5_000 + i * 7,
+                        i as f64,
+                    )
+                })
+                .collect(),
+        };
+        let encoded = many.to_frame().payload;
+        // ~11 bytes/sample amortized vs ~50+ for per-sample frames with
+        // repeated strings and headers.
+        assert!(
+            encoded.len() < many.samples.len() * 16,
+            "len={}",
+            encoded.len()
+        );
+        assert_eq!(SampleBatch::from_frame(&many.to_frame()).unwrap(), many);
     }
 }
