@@ -35,6 +35,20 @@
 //! each, and the drill fails unless the tree drains ≥ 5× the baseline's
 //! samples/sec.
 //!
+//! ```sh
+//! cargo run -p pdmap-bench --release --bin multi_daemon -- --health
+//! ```
+//!
+//! `--health` runs the fleet health drill: a 16-daemon session without
+//! telemetry, then the same session with `--obs-period` self-sampling on
+//! every leaf. Asserts every node's health reaches the tool's
+//! [`FleetHealth`](paradyn_tool::FleetHealth) view, remote `ask_obs`
+//! questions answer from the streamed snapshots, the aggregated
+//! perturbation stays under 5% of reported span time, and the
+//! per-process span dumps merge into one clock-aligned Chrome trace
+//! (written to `TRACE_fleet.json`). Prints the `BENCH_health.json`
+//! document on stdout.
+//!
 //! Finds the `pdmapd` binary via `$PDMAPD_BIN` or next to this
 //! executable (both live in the same cargo target dir). Prints a JSON
 //! report and exits nonzero on any failed assertion — CI's hard gate for
@@ -132,6 +146,7 @@ fn spawn_daemon(
 struct Options {
     n: usize,
     chaos: bool,
+    health: bool,
     relay_fanout: Option<usize>,
     plan: FaultPlan,
     secret: Option<String>,
@@ -141,6 +156,7 @@ fn parse_options() -> Options {
     let mut opts = Options {
         n: 4,
         chaos: false,
+        health: false,
         relay_fanout: None,
         plan: FaultPlan::none(),
         secret: None,
@@ -149,6 +165,7 @@ fn parse_options() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--chaos" => opts.chaos = true,
+            "--health" => opts.health = true,
             "--relay-fanout" => {
                 let f = args.next().expect("--relay-fanout requires a value");
                 opts.relay_fanout =
@@ -176,6 +193,9 @@ fn main() -> ExitCode {
     let opts = parse_options();
     if opts.chaos {
         return chaos_main(&opts);
+    }
+    if opts.health {
+        return health_main();
     }
     if opts.relay_fanout.is_some() {
         return fleet_main(&opts);
@@ -968,6 +988,238 @@ fn fleet_main(opts: &Options) -> ExitCode {
         r#"{{"fleet":true,"fanout":{f},"relays":{f},"leaf_processes":{leaves_n},"baseline":{},"tree":{},"speedup":{speedup:.2},"elapsed_ms":{},"ok":{ok}}}"#,
         flat.json(FLAT_BASELINE_N, FLAT_BASELINE_N, &flat_cov),
         tree.json(f, leaves_n, &tree_cov),
+        t0.elapsed().as_millis(),
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---- Fleet health drill (`--health`) -----------------------------------
+
+/// Leaf width for the health drill — the same 16+ the fleet baseline
+/// uses, so its drain rates are comparable.
+const HEALTH_N: usize = 16;
+/// Samples each leaf streams in the health drill.
+const HEALTH_SAMPLES: usize = 500;
+/// Self-sampling period handed to the telemetry session's leaves.
+const HEALTH_OBS_PERIOD_MS: u64 = 50;
+
+fn health_leaf_args(skew_ns: i64, obs_trace: Option<&std::path::Path>) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--skew-ns",
+        &skew_ns.to_string(),
+        "--samples",
+        &HEALTH_SAMPLES.to_string(),
+        "--period-ms",
+        "1",
+        "--batch",
+        "8",
+        "--linger-ms",
+        "400",
+        "--connect-timeout-ms",
+        "60000",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    if let Some(path) = obs_trace {
+        args.extend(["--obs-period".into(), HEALTH_OBS_PERIOD_MS.to_string()]);
+        args.extend(["--obs-trace".into(), path.display().to_string()]);
+    }
+    args
+}
+
+/// One flat health-drill session: spawn `HEALTH_N` leaves (self-observing
+/// when `obs_dir` is set), sync, let them run their budget out, drain the
+/// backlog through the pooled path, and audit conservation. Returns the
+/// drained set and its measurements for inspection.
+fn health_session(
+    label: &str,
+    bin: &std::path::Path,
+    obs_dir: Option<&std::path::Path>,
+    deadline: Instant,
+    check: &mut impl FnMut(&str, bool),
+) -> Option<(DaemonSet, Vec<SocketAddr>, Drained, paradyn_tool::Coverage)> {
+    let mut procs: Vec<DaemonProc> = (0..HEALTH_N)
+        .map(|i| {
+            let skew = (i as i64 - HEALTH_N as i64 / 2) * 10_000_000;
+            let trace = obs_dir.map(|d| d.join(format!("obs_leaf_{i}.txt")));
+            spawn_proc(bin, skew, &health_leaf_args(skew, trace.as_deref()))
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = procs.iter().map(|p| p.addr).collect();
+    let data = Arc::new(DataManager::sharded(
+        Namespace::new(),
+        "CM Fortran",
+        HEALTH_N,
+    ));
+    let mut set = DaemonSet::connect(&addrs, TransportConfig::default(), data);
+    if let Err(e) = set.clock_sync(3, DEADLINE) {
+        eprintln!("error: {label} sync: {e}");
+        kill_all(&mut procs);
+        return None;
+    }
+    set.pump_parallel(); // warm the drain pool off the timed path
+    reap_ok(label, &mut procs, check);
+    let drained = drive(&mut set, HEALTH_N * HEALTH_SAMPLES, deadline, true);
+    let cov = set.shutdown_all(DEADLINE);
+    conservation_audit(label, &set, HEALTH_N, HEALTH_N, &cov, check);
+    check(
+        &format!("{label}: every application sample arrived"),
+        set.samples()
+            .iter()
+            .filter(|s| !s.focus.starts_with(paradyn_tool::selfmap::OBS_FOCUS_PREFIX))
+            .count()
+            >= HEALTH_N * HEALTH_SAMPLES,
+    );
+    Some((set, addrs, drained, cov))
+}
+
+/// The fleet health drill: a 16-leaf session without telemetry, then the
+/// same session with `--obs-period` on — asserting every node's health is
+/// visible at the tool, remote `ask_obs` answers from streamed snapshots,
+/// the aggregated perturbation stays under 5%, and the per-process span
+/// dumps merge into one clock-aligned Chrome trace (`TRACE_fleet.json`).
+/// Prints `BENCH_health.json` on stdout.
+fn health_main() -> ExitCode {
+    use paradyn_tool::selfmap;
+
+    let bin = pdmapd_path();
+    let t0 = Instant::now();
+    let deadline = t0 + DEADLINE * 4;
+    let mut ok = true;
+    let mut check = |what: &str, cond: bool| {
+        if !cond {
+            eprintln!("FAIL: {what}");
+            ok = false;
+        }
+    };
+    let obs_dir = std::env::temp_dir().join(format!("pdmap_health_{}", std::process::id()));
+    std::fs::create_dir_all(&obs_dir).expect("create obs trace dir");
+
+    // ---- Phase A: telemetry off — the reference drain rate -------------
+    eprintln!("health: baseline session over {HEALTH_N} daemons, telemetry off");
+    let Some((_, _, baseline, baseline_cov)) =
+        health_session("baseline", &bin, None, deadline, &mut check)
+    else {
+        return ExitCode::FAILURE;
+    };
+
+    // ---- Phase B: telemetry on -----------------------------------------
+    eprintln!(
+        "health: telemetry session, --obs-period {HEALTH_OBS_PERIOD_MS} ms, span dumps in {}",
+        obs_dir.display()
+    );
+    let Some((set, addrs, telemetry, telemetry_cov)) =
+        health_session("telemetry", &bin, Some(&obs_dir), deadline, &mut check)
+    else {
+        return ExitCode::FAILURE;
+    };
+
+    // Every node's health is visible at the tool...
+    let nodes_reporting = addrs
+        .iter()
+        .filter(|a| {
+            set.fleet_health()
+                .node(&selfmap::obs_focus("daemon", &a.to_string()))
+                .is_some()
+        })
+        .count();
+    check(
+        &format!("every leaf's telemetry reached the tool ({nodes_reporting}/{HEALTH_N})"),
+        nodes_reporting == HEALTH_N,
+    );
+    // ...and queryable through the SAS machinery: each leaf spent time
+    // sending frames over TCP, and the tool can ask it so.
+    let ns = Namespace::new();
+    let ask_obs_nonzero = addrs
+        .iter()
+        .filter(|a| {
+            set.ask_fleet_obs(
+                &ns,
+                &selfmap::obs_focus("daemon", &a.to_string()),
+                "transport/tcp",
+                "send",
+            )
+            .is_some_and(|total_ns| total_ns > 0)
+        })
+        .count();
+    check(
+        &format!(
+            "remote ask_obs reports nonzero transport send cost ({ask_obs_nonzero}/{HEALTH_N})"
+        ),
+        ask_obs_nonzero == HEALTH_N,
+    );
+
+    // Aggregated perturbation: watching must cost < 5% of what the spans
+    // reported — the honest overhead number, immune to CI-box rate noise.
+    let perturbation = set.fleet_perturbation();
+    check(
+        "fleet perturbation aggregated from every node",
+        perturbation.is_some_and(|p| p.nodes == HEALTH_N),
+    );
+    let overhead_pct = perturbation.map_or(100.0, |p| p.overhead_fraction() * 100.0);
+    check(
+        &format!("telemetry overhead under 5% ({overhead_pct:.4}%)"),
+        overhead_pct < 5.0,
+    );
+    let telemetry_samples = set
+        .samples()
+        .iter()
+        .filter(|s| s.focus.starts_with(selfmap::OBS_FOCUS_PREFIX))
+        .count();
+    let telemetry_share_pct = telemetry_samples as f64 * 100.0 / set.samples().len().max(1) as f64;
+
+    // ---- The merged fleet trace ----------------------------------------
+    // Tool spans are already on the tool clock; each daemon's dump carries
+    // its origin delta, and the measured offset chains it the rest of the
+    // way (aligned = start + origin_delta − offset).
+    let mut spans_by_proc = vec![pdmap_obs::ProcessSpans {
+        pid: 0,
+        name: "tool".into(),
+        clock_delta_ns: 0,
+        spans: pdmap_obs::named_spans(&pdmap_obs::snapshot()),
+    }];
+    for (i, addr) in addrs.iter().enumerate() {
+        let path = obs_dir.join(format!("obs_leaf_{i}.txt"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let dump = pdmap_obs::parse_span_dump(&text);
+                let offset = set.conn(i).clock().offset_ns;
+                spans_by_proc.push(pdmap_obs::ProcessSpans {
+                    pid: (i + 1) as u64,
+                    name: format!("daemon:{addr}"),
+                    clock_delta_ns: dump.origin_delta_ns - offset,
+                    spans: dump.spans,
+                });
+            }
+            Err(e) => check(&format!("span dump for leaf {i}: {e}"), false),
+        }
+    }
+    let trace_processes = spans_by_proc.iter().filter(|p| !p.spans.is_empty()).count();
+    check(
+        &format!("merged trace has spans from >=2 processes ({trace_processes})"),
+        trace_processes >= 2,
+    );
+    let trace = pdmap_obs::fleet_chrome_trace(&spans_by_proc);
+    if let Err(e) = std::fs::write("TRACE_fleet.json", &trace) {
+        check(&format!("write TRACE_fleet.json: {e}"), false);
+    }
+    let _ = std::fs::remove_dir_all(&obs_dir);
+
+    let p = perturbation.unwrap_or_default();
+    println!(
+        r#"{{"health":true,"daemons":{HEALTH_N},"obs_period_ms":{HEALTH_OBS_PERIOD_MS},"baseline":{},"telemetry":{},"telemetry_samples":{telemetry_samples},"telemetry_share_pct":{telemetry_share_pct:.2},"nodes_reporting":{nodes_reporting},"ask_obs_nonzero":{ask_obs_nonzero},"perturbation":{{"nodes":{},"spans":{},"overhead_ns":{},"reported_ns":{},"overhead_pct":{overhead_pct:.4}}},"trace_processes":{trace_processes},"trace_path":"TRACE_fleet.json","elapsed_ms":{},"ok":{ok}}}"#,
+        baseline.json(HEALTH_N, HEALTH_N, &baseline_cov),
+        telemetry.json(HEALTH_N, HEALTH_N, &telemetry_cov),
+        p.nodes,
+        p.spans,
+        p.overhead_ns,
+        p.reported_ns,
         t0.elapsed().as_millis(),
     );
     if ok {

@@ -8,7 +8,10 @@
 //! ```
 //!
 //! A degraded fleet can be simulated to exercise the coverage-aware
-//! consultant (`--coverage R/N`, `--lost L`, `--max-sample-cost X`); the
+//! consultant (`--coverage R/N`, `--lost L`, `--max-sample-cost X`), and
+//! a fleet self-observation rollup can be injected to exercise the
+//! perturbation banner (`--perturbation NODES,SPANS,OVERHEAD_NS,REPORTED_NS`);
+//! the
 //! report then carries a coverage banner and interval-backed verdicts,
 //! and the exit status is nonzero if any verdict violates the
 //! partial-coverage invariant (a decided answer from a straddling
@@ -16,13 +19,14 @@
 
 use paradyn_tool::consultant::{audit, search, ConsultantConfig};
 use paradyn_tool::run_report;
-use paradyn_tool::{Coverage, SessionCoverage};
+use paradyn_tool::{Coverage, FleetPerturbation, SessionCoverage};
 
 struct Options {
     source_arg: Option<String>,
     coverage: Option<(usize, usize)>,
     lost: u64,
     max_sample_cost: f64,
+    perturbation: Option<FleetPerturbation>,
 }
 
 fn parse_options() -> Options {
@@ -31,6 +35,7 @@ fn parse_options() -> Options {
         coverage: None,
         lost: 0,
         max_sample_cost: 0.0,
+        perturbation: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +70,27 @@ fn parse_options() -> Options {
                     eprintln!("--max-sample-cost expects a number: {e}");
                     std::process::exit(2);
                 });
+            }
+            "--perturbation" => {
+                let v = value_for("--perturbation");
+                let mut parts = v.split(',');
+                let parsed = (|| {
+                    Some(FleetPerturbation {
+                        nodes: parts.next()?.parse().ok()?,
+                        spans: parts.next()?.parse().ok()?,
+                        overhead_ns: parts.next()?.parse().ok()?,
+                        reported_ns: parts.next()?.parse().ok()?,
+                    })
+                })();
+                match parsed {
+                    Some(p) if parts.next().is_none() => opts.perturbation = Some(p),
+                    _ => {
+                        eprintln!(
+                            "--perturbation expects NODES,SPANS,OVERHEAD_NS,REPORTED_NS, got {v:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
             }
             other if opts.source_arg.is_none() && !other.starts_with("--") => {
                 opts.source_arg = Some(other.to_string());
@@ -107,6 +133,11 @@ fn main() {
             },
             max_sample_cost: opts.max_sample_cost,
         }));
+    }
+    // A fleet self-observation rollup (as `DaemonSet::fleet_perturbation`
+    // would supply) surfaces as the report's perturbation banner.
+    if opts.perturbation.is_some() {
+        tool.set_fleet_perturbation(opts.perturbation);
     }
     let config = ConsultantConfig {
         threshold: 0.10,

@@ -27,7 +27,14 @@ use crate::types::{ArrayId, Distribution, ReduceKind};
 use dyninst_sim::{ExecCtx, InstrumentationManager, PointId};
 use pdmap::model::{Namespace, SentenceId};
 use pdmap::sas::{LocalSas, Question, QuestionExpr, QuestionId, Snapshot};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Span site for one control-processor step, interned once so every
+/// `Machine` in the process shares it (see `pdmap-obs`).
+fn step_obs_site() -> &'static pdmap_obs::SpanSite {
+    static SITE: OnceLock<pdmap_obs::SpanSite> = OnceLock::new();
+    SITE.get_or_init(|| pdmap_obs::span_site("cmrts", "step"))
+}
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -442,6 +449,7 @@ impl Machine {
     }
 
     fn run_step(&mut self, step: &Step) {
+        let _obs = pdmap_obs::span(step_obs_site());
         match step {
             Step::Alloc(a) => self.do_alloc(*a),
             Step::Free(a) => self.do_free(*a),

@@ -49,7 +49,10 @@ pub use registry::{
 pub use report::{calibrate_null_span_ns, perturbation_report, summary_text, PerturbationReport};
 pub use sampler::{AdaptiveSampler, SamplerConfig, SamplerWindow};
 pub use span::{record_span, span, SiteId, SiteSnapshot, SpanEvent, SpanGuard, SpanSite};
-pub use trace::chrome_trace_json;
+pub use trace::{
+    chrome_trace_json, fleet_chrome_trace, named_spans, parse_span_dump, span_dump, NamedSpan,
+    ProcessSpans, SpanDump,
+};
 
 #[cfg(test)]
 mod tests {

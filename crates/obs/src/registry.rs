@@ -41,6 +41,8 @@ pub const KNOWN_SITES: &[(&str, &str)] = &[
     ("sas", "evaluate"),
     ("sas", "deliver"),
     ("datamgr", "import"),
+    ("cmrts", "step"),
+    ("consultant", "experiment"),
 ];
 
 struct Registry {

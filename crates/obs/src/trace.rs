@@ -1,10 +1,19 @@
-//! Chrome `trace_event` JSON exporter.
+//! Chrome `trace_event` JSON exporter, plus the cross-process span-dump
+//! format that feeds the merged fleet trace.
 //!
-//! Emits the snapshot's span events in the Trace Event Format understood
-//! by `chrome://tracing` and <https://ui.perfetto.dev>: one complete
-//! (`"ph":"X"`) event per span, with microsecond timestamps relative to
-//! the process origin. Hand-rolled serialisation — the crate stays
-//! dependency-free.
+//! [`chrome_trace_json`] emits one process's snapshot in the Trace Event
+//! Format understood by `chrome://tracing` and <https://ui.perfetto.dev>:
+//! one complete (`"ph":"X"`) event per span, with microsecond timestamps
+//! relative to the process origin. Hand-rolled serialisation — the crate
+//! stays dependency-free.
+//!
+//! For a *fleet* trace the raw snapshot is not portable: span events
+//! carry process-local site ids and process-origin-relative stamps. So a
+//! daemon writes a [`SpanDump`] (names resolved, plus the delta from its
+//! origin clock to its session clock), the tool reads it back with
+//! [`parse_span_dump`], chains the clock offset it already measured for
+//! that daemon, and [`fleet_chrome_trace`] merges every process's spans
+//! onto the tool clock — one trace pid per process.
 
 use crate::registry::{site_name, ObsSnapshot};
 
@@ -61,6 +70,181 @@ pub fn chrome_trace_json(snap: &ObsSnapshot) -> String {
     out
 }
 
+/// A span event with its site resolved to names — the portable form one
+/// process can write to disk and another process can read back (site ids
+/// are process-local; names are not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedSpan {
+    /// Site component ("transport/tcp", "daemon", ...).
+    pub component: String,
+    /// Site verb ("send", "deliver", ...).
+    pub verb: String,
+    /// Recording thread's registry tid.
+    pub tid: u64,
+    /// Start, ns since the recording process's origin.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// Resolves every span in the snapshot to a [`NamedSpan`]. Spans whose
+/// site id cannot be resolved (impossible in-process) are labelled
+/// `site-N`.
+pub fn named_spans(snap: &ObsSnapshot) -> Vec<NamedSpan> {
+    snap.spans
+        .iter()
+        .map(|e| {
+            let (component, verb) = site_name(e.site)
+                .unwrap_or_else(|| (format!("site-{}", e.site.index()), String::new()));
+            NamedSpan {
+                component,
+                verb,
+                tid: e.tid,
+                start_ns: e.start_ns,
+                dur_ns: e.dur_ns,
+            }
+        })
+        .collect()
+}
+
+/// One process's span dump: its spans plus the delta that maps the
+/// process-origin-relative stamps onto the clock that process exposes to
+/// the tool (for a `pdmapd` daemon, `daemon_now` = origin + base + skew).
+/// A reader chains the tool-measured clock offset on top to land the
+/// spans on the tool clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanDump {
+    /// `session_clock_ns - origin_clock_ns` of the writing process.
+    pub origin_delta_ns: i64,
+    /// The spans, stamps still origin-relative.
+    pub spans: Vec<NamedSpan>,
+}
+
+/// Header line identifying the dump format.
+const SPAN_DUMP_HEADER: &str = "pdmap-obs spans v1";
+
+/// Serialises the snapshot's spans as a plain-text dump: a header, an
+/// `origin <delta>` line, then one tab-separated
+/// `component verb tid start_ns dur_ns` line per span. Text on purpose —
+/// a truncated file (killed daemon) still parses up to the cut.
+pub fn span_dump(snap: &ObsSnapshot, origin_delta_ns: i64) -> String {
+    let mut out = String::with_capacity(64 + snap.spans.len() * 48);
+    out.push_str(SPAN_DUMP_HEADER);
+    out.push('\n');
+    out.push_str(&format!("origin {origin_delta_ns}\n"));
+    for s in named_spans(snap) {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            s.component, s.verb, s.tid, s.start_ns, s.dur_ns
+        ));
+    }
+    out
+}
+
+/// Parses a [`span_dump`] document. Lenient: malformed or truncated
+/// lines are skipped, a missing `origin` line reads as delta 0 — the
+/// dump may come from a process that died mid-write.
+pub fn parse_span_dump(text: &str) -> SpanDump {
+    let mut dump = SpanDump::default();
+    for line in text.lines() {
+        if line.is_empty() || line == SPAN_DUMP_HEADER {
+            continue;
+        }
+        if let Some(delta) = line.strip_prefix("origin ") {
+            if let Ok(d) = delta.trim().parse() {
+                dump.origin_delta_ns = d;
+            }
+            continue;
+        }
+        let mut f = line.split('\t');
+        let (Some(component), Some(verb), Some(tid), Some(start), Some(dur)) =
+            (f.next(), f.next(), f.next(), f.next(), f.next())
+        else {
+            continue;
+        };
+        let (Ok(tid), Ok(start_ns), Ok(dur_ns)) = (tid.parse(), start.parse(), dur.parse()) else {
+            continue;
+        };
+        dump.spans.push(NamedSpan {
+            component: component.to_string(),
+            verb: verb.to_string(),
+            tid,
+            start_ns,
+            dur_ns,
+        });
+    }
+    dump
+}
+
+/// One process's contribution to a merged fleet trace.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessSpans {
+    /// Trace pid (convention: 0 = the tool process).
+    pub pid: u64,
+    /// Human label for the process row ("tool", "daemon:127.0.0.1:4242").
+    pub name: String,
+    /// Added to each span stamp to land it on the tool clock. For a
+    /// daemon this is `dump.origin_delta_ns - measured_clock_offset_ns`
+    /// (origin → session clock, then session clock → tool clock); for
+    /// the tool's own spans it is 0.
+    pub clock_delta_ns: i64,
+    /// The process's spans, stamps origin-relative.
+    pub spans: Vec<NamedSpan>,
+}
+
+/// Merges per-process span streams into one Chrome `trace_event` JSON
+/// document on the tool clock: a `process_name` metadata event per
+/// process, then every span as a complete event under that process's
+/// pid, with `ts` shifted by the process's `clock_delta_ns`. Stamps that
+/// would go negative after alignment clamp to 0 (same saturating rule
+/// the sample path uses).
+pub fn fleet_chrome_trace(procs: &[ProcessSpans]) -> String {
+    let total: usize = procs.iter().map(|p| p.spans.len()).sum();
+    let mut out = String::with_capacity(128 + procs.len() * 96 + total * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&ev);
+    };
+    for p in procs {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                p.pid,
+                json_escape(&p.name)
+            ),
+        );
+        for s in &p.spans {
+            let aligned_ns = (s.start_ns as i128 + p.clock_delta_ns as i128).max(0);
+            let name = if s.verb.is_empty() {
+                s.component.clone()
+            } else {
+                format!("{} {}", s.component, s.verb)
+            };
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"dur_ns\":{}}}}}",
+                    json_escape(&name),
+                    json_escape(&s.component),
+                    aligned_ns / 1000,
+                    s.dur_ns / 1000,
+                    p.pid,
+                    s.tid,
+                    s.dur_ns,
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +280,100 @@ mod tests {
         let snap = ObsSnapshot::default();
         assert_eq!(
             chrome_trace_json(&snap),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn span_dump_round_trips() {
+        let site = span_site("test/dump", "send");
+        record_span(&site, 5_000, 700);
+        let snap = snapshot();
+        let text = span_dump(&snap, 1_000_000_007);
+        let dump = parse_span_dump(&text);
+        assert_eq!(dump.origin_delta_ns, 1_000_000_007);
+        let mine: Vec<&NamedSpan> = dump
+            .spans
+            .iter()
+            .filter(|s| s.component == "test/dump")
+            .collect();
+        assert!(!mine.is_empty());
+        assert!(mine
+            .iter()
+            .any(|s| s.start_ns == 5_000 && s.dur_ns == 700 && s.verb == "send"));
+        // Parsed spans match the resolved originals one-for-one.
+        assert_eq!(dump.spans, named_spans(&snap));
+    }
+
+    #[test]
+    fn parse_is_lenient_about_truncation_and_garbage() {
+        let text = "pdmap-obs spans v1\norigin -42\na\tb\t1\t10\t20\ntrunca";
+        let dump = parse_span_dump(text);
+        assert_eq!(dump.origin_delta_ns, -42);
+        assert_eq!(dump.spans.len(), 1);
+        assert_eq!(dump.spans[0].component, "a");
+
+        let headless = parse_span_dump("x\ty\t2\t30\t40\n");
+        assert_eq!(headless.origin_delta_ns, 0);
+        assert_eq!(headless.spans.len(), 1);
+    }
+
+    #[test]
+    fn fleet_trace_merges_processes_onto_tool_clock() {
+        let procs = vec![
+            ProcessSpans {
+                pid: 0,
+                name: "tool".into(),
+                clock_delta_ns: 0,
+                spans: vec![NamedSpan {
+                    component: "sas".into(),
+                    verb: "evaluate".into(),
+                    tid: 1,
+                    start_ns: 9_000,
+                    dur_ns: 1_000,
+                }],
+            },
+            ProcessSpans {
+                pid: 3,
+                name: "daemon:127.0.0.1:9999".into(),
+                clock_delta_ns: -4_000,
+                spans: vec![
+                    NamedSpan {
+                        component: "transport/tcp".into(),
+                        verb: "send".into(),
+                        tid: 0,
+                        start_ns: 12_000,
+                        dur_ns: 2_000,
+                    },
+                    // Would align to -1_000 ns: clamps to 0.
+                    NamedSpan {
+                        component: "daemon".into(),
+                        verb: "deliver".into(),
+                        tid: 0,
+                        start_ns: 3_000,
+                        dur_ns: 500,
+                    },
+                ],
+            },
+        ];
+        let json = fleet_chrome_trace(&procs);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"tool\""));
+        assert!(json.contains("\"name\":\"daemon:127.0.0.1:9999\""));
+        // 12_000 - 4_000 = 8_000 ns → ts 8 µs under pid 3.
+        assert!(json.contains("\"ts\":8,\"dur\":2,\"pid\":3"));
+        // Clamped event lands at ts 0.
+        assert!(json.contains("\"ts\":0,\"dur\":0,\"pid\":3"));
+        // Tool event under pid 0, unshifted.
+        assert!(json.contains("\"ts\":9,\"dur\":1,\"pid\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_valid_document() {
+        assert_eq!(
+            fleet_chrome_trace(&[]),
             "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
         );
     }

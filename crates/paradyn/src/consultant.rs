@@ -35,7 +35,25 @@ use crate::daemonset::Coverage;
 use crate::tool::Paradyn;
 use pdmap::hierarchy::Focus;
 use pdmap::interval::{Interval, Side};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Span site for one hypothesis experiment, interned once (`pdmap-obs`).
+/// Scoped to the measurement itself, not the recursion below it, so a
+/// trace shows each experiment as its own span rather than one nest.
+fn experiment_obs_site() -> &'static pdmap_obs::SpanSite {
+    static SITE: OnceLock<pdmap_obs::SpanSite> = OnceLock::new();
+    SITE.get_or_init(|| pdmap_obs::span_site("consultant", "experiment"))
+}
+
+/// Memoised where-axis refinements, keyed by rendered focus. Every
+/// hypothesis in a search explores the same foci, so without this the
+/// data manager recomputes identical candidate lists once per hypothesis;
+/// hits and misses are counted under `consultant.cache_hit` /
+/// `consultant.cache_miss`.
+type RefinementCache = HashMap<String, Vec<Focus>>;
 
 /// A "why" hypothesis: a time metric whose share of the wall clock is
 /// tested against a threshold.
@@ -160,9 +178,10 @@ pub struct ExperimentNode {
 
 /// Runs the consultant search over a loaded [`Paradyn`] tool.
 pub fn search(tool: &Paradyn, config: &ConsultantConfig) -> Vec<ExperimentNode> {
+    let mut cache = RefinementCache::new();
     HYPOTHESES
         .iter()
-        .map(|h| test_hypothesis(tool, config, h, &Focus::whole_program(), 0))
+        .map(|h| test_hypothesis(tool, config, h, &Focus::whole_program(), 0, &mut cache))
         .collect()
 }
 
@@ -172,8 +191,13 @@ fn test_hypothesis(
     h: &Hypothesis,
     focus: &Focus,
     depth: usize,
+    cache: &mut RefinementCache,
 ) -> ExperimentNode {
-    let mut node = match tool.measure_with_coverage(h.metric, focus) {
+    let measured = {
+        let _experiment = pdmap_obs::span(experiment_obs_site());
+        tool.measure_with_coverage(h.metric, focus)
+    };
+    let mut node = match measured {
         // A failed experiment is evidence of nothing: Unknown, with the
         // error preserved — never a fabricated 0.0/1.0 ratio.
         Err(e) => ExperimentNode {
@@ -239,8 +263,18 @@ fn test_hypothesis(
         Verdict::False => false,
     };
     if explore && depth < config.max_depth {
-        for refined in refinement_candidates(tool, focus) {
-            let child = test_hypothesis(tool, config, h, &refined, depth + 1);
+        let candidates = match cache.entry(focus.to_string()) {
+            Entry::Occupied(e) => {
+                pdmap_obs::counter("consultant.cache_hit").incr();
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                pdmap_obs::counter("consultant.cache_miss").incr();
+                e.insert(tool.data().refinement_candidates(focus)).clone()
+            }
+        };
+        for refined in candidates {
+            let child = test_hypothesis(tool, config, h, &refined, depth + 1, cache);
             node.children.push(child);
         }
     }
@@ -480,6 +514,7 @@ END
             &bogus,
             &Focus::whole_program(),
             0,
+            &mut RefinementCache::new(),
         );
         assert_eq!(node.verdict, Verdict::Unknown);
         let note = node
@@ -491,6 +526,45 @@ END
         let shown = render(&[node]);
         assert!(shown.contains("[?????]"), "{shown}");
         assert!(shown.contains("measurement failed"), "{shown}");
+    }
+
+    #[test]
+    fn search_reuses_refinements_and_records_experiment_spans() {
+        // The registry is global to the test binary, so measure deltas.
+        let snap0 = pdmap_obs::snapshot();
+        let hits0 = snap0.counter("consultant.cache_hit");
+        let spans0 = snap0
+            .site("consultant", "experiment")
+            .map_or(0, |s| s.count);
+
+        let t = tool_for(COMM_HEAVY, 4);
+        let results = search(
+            &t,
+            &ConsultantConfig {
+                threshold: 0.05,
+                max_depth: 1,
+            },
+        );
+        let experiments: usize = {
+            fn count(n: &ExperimentNode) -> usize {
+                1 + n.children.iter().map(count).sum::<usize>()
+            }
+            results.iter().map(count).sum()
+        };
+
+        let snap = pdmap_obs::snapshot();
+        // Several hypotheses refine the same whole-program focus; all but
+        // the first hit the cache.
+        assert!(
+            snap.counter("consultant.cache_hit") > hits0,
+            "refinements of a repeated focus must come from the cache"
+        );
+        let spans = snap.site("consultant", "experiment").unwrap().count;
+        assert!(
+            spans - spans0 >= experiments as u64,
+            "every experiment records a span: {} new spans for {experiments} experiments",
+            spans - spans0
+        );
     }
 
     #[test]

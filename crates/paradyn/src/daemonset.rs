@@ -67,14 +67,17 @@
 
 use crate::daemon::{DaemonError, DaemonMsg};
 use crate::datamgr::DataManager;
+use crate::selfmap;
 use crate::stream::Stream;
 use cmrts_sim::machine::ArrayAllocInfo;
 use cmrts_sim::ArrayId;
 use pdmap::interval::Interval;
+use pdmap::model::Namespace;
 use pdmap_transport::{
     send_wire, Frame, FrameKind, PifBlob, SampleBatch, TcpClient, Transport, TransportConfig,
     WirePayload,
 };
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::SocketAddr;
 use std::ops::Deref;
@@ -336,6 +339,194 @@ pub struct RecoveryReport {
 /// daemon restarted on a different port).
 pub type ReconnectFn = Box<dyn Fn() -> Arc<dyn Transport> + Send>;
 
+/// Health telemetry about one fleet node, assembled from the `Obs *`
+/// samples the node ships about itself under a
+/// [`selfmap::OBS_FOCUS_PREFIX`] focus (see `pdmapd --obs-period`).
+///
+/// Keyed by the node's focus label, *not* by connection: a relay's link
+/// multiplexes its whole subtree, so one connection can carry many nodes'
+/// telemetry — and a leaf that dies behind a healthy relay goes stale
+/// here while the relay's connection stays green.
+#[derive(Clone, Debug)]
+pub struct NodeHealth {
+    /// Connection index that last delivered this node's telemetry.
+    pub daemon: usize,
+    /// The node's focus label, e.g. `Tool/daemon:127.0.0.1:7001`.
+    pub label: String,
+    /// Tool-side arrival time of the freshest telemetry sample.
+    pub last_seen: Instant,
+    /// Latest aligned (tool-clock) stamp on this node's telemetry.
+    pub last_aligned_ns: u64,
+    /// Telemetry samples received from this node so far.
+    pub samples: u64,
+    /// Latest value per telemetry metric name.
+    metrics: HashMap<Arc<str>, f64>,
+}
+
+impl NodeHealth {
+    /// The latest value of one telemetry metric, if the node reported it.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// All metric names this node has reported (unordered).
+    pub fn metric_names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(|k| &**k)
+    }
+
+    /// Rebuilds `(component, verb, count, total_ns)` span-site totals from
+    /// the node's Time/Count rows — the shape [`selfmap::ask_obs_totals`]
+    /// answers questions over. Counter, perturbation and subtree rows do
+    /// not parse as sites and are excluded by construction.
+    pub fn site_totals(&self) -> Vec<selfmap::SiteTotal> {
+        let mut by_site: HashMap<(String, String), (u64, u64)> = HashMap::new();
+        for (name, &v) in &self.metrics {
+            let Some((component, verb, is_time)) = selfmap::parse_obs_metric(name) else {
+                continue;
+            };
+            let entry = by_site
+                .entry((component.to_string(), verb.to_string()))
+                .or_default();
+            if is_time {
+                entry.1 = v as u64;
+            } else {
+                entry.0 = v as u64;
+            }
+        }
+        by_site
+            .into_iter()
+            .map(|((c, v), (count, total_ns))| (c, v, count, total_ns))
+            .collect()
+    }
+}
+
+/// The tool's live view of fleet self-telemetry: one [`NodeHealth`] per
+/// reporting node, updated as `Obs *` samples drain through the set. A
+/// node that *never* reported is invisible here — heartbeat silence (the
+/// supervisor's existing signal) covers that case; this view catches the
+/// node that was reporting and stopped.
+#[derive(Clone, Debug, Default)]
+pub struct FleetHealth {
+    nodes: Vec<NodeHealth>,
+}
+
+impl FleetHealth {
+    /// Every node seen so far, in first-report order.
+    pub fn nodes(&self) -> &[NodeHealth] {
+        &self.nodes
+    }
+
+    /// The node reporting under `label`, if any.
+    pub fn node(&self, label: &str) -> Option<&NodeHealth> {
+        self.nodes.iter().find(|n| n.label == label)
+    }
+
+    /// Number of nodes that have reported telemetry.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has reported yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes whose freshest telemetry is at least `max_age` old — nodes
+    /// that were reporting and went dark.
+    pub fn stale(&self, max_age: Duration) -> Vec<&NodeHealth> {
+        let now = Instant::now();
+        self.nodes
+            .iter()
+            .filter(|n| now.duration_since(n.last_seen) >= max_age)
+            .collect()
+    }
+
+    /// True when connection `i` has delivered telemetry and *all* of it
+    /// has gone stale — the per-connection degrade signal. One stale leaf
+    /// behind a busy relay does not trip this; the whole link's telemetry
+    /// falling silent does.
+    fn conn_stale(&self, i: usize, now: Instant, max_age: Duration) -> bool {
+        let mut any = false;
+        for n in &self.nodes {
+            if n.daemon == i {
+                any = true;
+                if now.duration_since(n.last_seen) < max_age {
+                    return false;
+                }
+            }
+        }
+        any
+    }
+
+    /// Folds one telemetry sample into the node it describes.
+    fn observe(&mut self, s: &AlignedSample) {
+        match self.nodes.iter_mut().find(|n| *n.label == *s.focus) {
+            Some(n) => {
+                n.daemon = s.daemon;
+                n.last_seen = Instant::now();
+                n.last_aligned_ns = n.last_aligned_ns.max(s.aligned_ns);
+                n.samples += 1;
+                n.metrics.insert(s.metric.clone(), s.value);
+            }
+            None => {
+                let mut metrics = HashMap::new();
+                metrics.insert(s.metric.clone(), s.value);
+                self.nodes.push(NodeHealth {
+                    daemon: s.daemon,
+                    label: s.focus.to_string(),
+                    last_seen: Instant::now(),
+                    last_aligned_ns: s.aligned_ns,
+                    samples: 1,
+                    metrics,
+                });
+            }
+        }
+    }
+}
+
+/// Fleet-wide perturbation rollup: the sum of every reporting node's
+/// self-measured observation cost (see `pdmap_obs::PerturbationReport`),
+/// assembled from the four `Obs perturbation *` telemetry rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FleetPerturbation {
+    /// Nodes whose telemetry included a perturbation estimate.
+    pub nodes: usize,
+    /// Total spans recorded across those nodes.
+    pub spans: u64,
+    /// Estimated total measurement overhead, ns (spans × each node's
+    /// calibrated null-span cost).
+    pub overhead_ns: u64,
+    /// Total span nanoseconds those nodes reported (pre-correction).
+    pub reported_ns: u64,
+}
+
+impl FleetPerturbation {
+    /// Overhead as a fraction of reported span time (0 when nothing was
+    /// reported — no evidence of perturbation is not evidence of none,
+    /// but there is nothing to scale against).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.reported_ns == 0 {
+            0.0
+        } else {
+            self.overhead_ns as f64 / self.reported_ns as f64
+        }
+    }
+}
+
+impl fmt::Display for FleetPerturbation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes self-observing: {} spans, ~{} ns overhead / {} ns reported ({:.2}%)",
+            self.nodes,
+            self.spans,
+            self.overhead_ns,
+            self.reported_ns,
+            self.overhead_fraction() * 100.0
+        )
+    }
+}
+
 /// One daemon connection: its transport, shard assignment, clock estimate,
 /// supervisor state, and per-connection tallies.
 pub struct DaemonConn {
@@ -361,6 +552,12 @@ pub struct DaemonConn {
     retry_attempt: u32,
     next_retry: Option<Instant>,
     reconnect: Option<ReconnectFn>,
+    /// Shared `Arc<str>` names for the *unbatched* sample path: a daemon
+    /// that sends loose [`DaemonMsg::Sample`]s repeats the same handful of
+    /// metric/focus strings per sample, so they are interned here and every
+    /// [`AlignedSample`] shares the allocation — the same economy the
+    /// batched path gets from its frame dictionary.
+    interned: HashSet<Arc<str>>,
     /// The latest [`DaemonMsg::SubtreeCoverage`] this peer reported —
     /// present when the peer is a relay aggregating a subtree, absent for
     /// a leaf daemon (which counts as a 1/1 subtree).
@@ -444,6 +641,20 @@ impl DaemonConn {
         (wall as i64 - self.clock.offset_ns).max(0) as u64
     }
 
+    /// The shared `Arc<str>` for `s`, allocated on first sight only — so
+    /// an unbatched sample costs one allocation per *distinct* name, not
+    /// one per sample.
+    fn intern(&mut self, s: String) -> Arc<str> {
+        match self.interned.get(s.as_str()) {
+            Some(shared) => shared.clone(),
+            None => {
+                let shared: Arc<str> = s.into();
+                self.interned.insert(shared.clone());
+                shared
+            }
+        }
+    }
+
     /// Drains every frame currently queued on this link into `out`,
     /// forwarding mapping information to `data`'s shard. If `want_token`
     /// is set, a matching clock reply is returned (and not dispatched).
@@ -520,8 +731,8 @@ impl DaemonConn {
                     data.note_samples_on(self.shard, 1);
                     out.push(AlignedSample {
                         daemon: index,
-                        metric: metric.into(),
-                        focus: focus.into(),
+                        metric: self.intern(metric),
+                        focus: self.intern(focus),
                         wall,
                         aligned_ns: self.align(wall),
                         value,
@@ -621,6 +832,8 @@ struct SetObs {
     pool_workers: Arc<pdmap_obs::Counter>,
     /// Parallel drain passes dispatched (`daemonset.pool.drains`).
     pool_drains: Arc<pdmap_obs::Counter>,
+    /// Degrades triggered by stale self-telemetry (`daemonset.obs_stale`).
+    obs_stale: Arc<pdmap_obs::Counter>,
 }
 
 fn set_obs() -> &'static SetObs {
@@ -632,6 +845,7 @@ fn set_obs() -> &'static SetObs {
         retry: pdmap_obs::counter("daemonset.retry"),
         pool_workers: pdmap_obs::counter("daemonset.pool.workers"),
         pool_drains: pdmap_obs::counter("daemonset.pool.drains"),
+        obs_stale: pdmap_obs::counter("daemonset.obs_stale"),
     })
 }
 
@@ -865,6 +1079,11 @@ pub struct DaemonSet {
     recoveries: Vec<RecoveryReport>,
     /// Built lazily at the first [`DaemonSet::pump_parallel`].
     pool: Option<DrainPool>,
+    /// Per-node health assembled from streamed `Obs *` telemetry.
+    health_view: FleetHealth,
+    /// Index into `samples` up to which telemetry has been folded into
+    /// `health_view`, so each pump scans only the new arrivals.
+    health_cursor: usize,
 }
 
 /// A borrowed view of one connection — a lock guard that derefs to
@@ -938,6 +1157,7 @@ impl DaemonSet {
                     retry_attempt: 0,
                     next_retry: None,
                     reconnect: None,
+                    interned: HashSet::new(),
                     subtree: None,
                 }))
             })
@@ -949,6 +1169,8 @@ impl DaemonSet {
             policy: SupervisorPolicy::default(),
             recoveries: Vec::new(),
             pool: None,
+            health_view: FleetHealth::default(),
+            health_cursor: 0,
         }
     }
 
@@ -1076,9 +1298,16 @@ impl DaemonSet {
     /// the same loop that pumps; it is cheap when nothing is wrong.
     /// Returns the post-pass [`Coverage`].
     pub fn supervise(&mut self) -> Coverage {
+        self.update_fleet_health();
         let now = Instant::now();
         let policy = self.policy;
         let data = self.data.clone();
+        // Telemetry staleness per connection: a link whose self-reports
+        // all went dark is degraded even while other frames keep its
+        // heartbeat fresh — the daemon's watchdog stopped barking.
+        let obs_stale: Vec<bool> = (0..self.conns.len())
+            .map(|i| self.health_view.conn_stale(i, now, policy.degrade_after))
+            .collect();
         for (i, cell) in self.conns.iter().enumerate() {
             let mut conn = lock(cell);
             match conn.health {
@@ -1099,10 +1328,14 @@ impl DaemonSet {
                     } else if dead
                         || errs >= policy.degrade_errors
                         || silence >= policy.degrade_after
+                        || obs_stale[i]
                     {
                         if conn.health == DaemonHealth::Healthy {
                             conn.health = DaemonHealth::Degraded;
                             set_obs().degraded.incr();
+                            if obs_stale[i] {
+                                set_obs().obs_stale.incr();
+                            }
                         }
                     } else if conn.health == DaemonHealth::Degraded {
                         conn.health = DaemonHealth::Healthy;
@@ -1220,6 +1453,7 @@ impl DaemonSet {
             }
             n += conn.drain(&data, &mut self.samples, i, None).0;
         }
+        self.update_fleet_health();
         n
     }
 
@@ -1248,6 +1482,7 @@ impl DaemonSet {
         });
         let (frames, samples) = pool.run(jobs, self.data.clone());
         self.samples.extend(samples);
+        self.update_fleet_health();
         frames
     }
 
@@ -1284,6 +1519,7 @@ impl DaemonSet {
             }
         });
         self.samples.extend(merged);
+        self.update_fleet_health();
         total
     }
 
@@ -1329,6 +1565,58 @@ impl DaemonSet {
             coverage: self.coverage(),
             max_sample_cost: self.max_sample_value(),
         }
+    }
+
+    /// The fleet-health view assembled from streamed telemetry — current
+    /// as of the last pump or supervision pass.
+    pub fn fleet_health(&self) -> &FleetHealth {
+        &self.health_view
+    }
+
+    /// Folds telemetry samples that arrived since the last call into the
+    /// fleet-health view. A telemetry sample is any sample whose focus
+    /// carries the [`selfmap::OBS_FOCUS_PREFIX`] and whose metric is an
+    /// `Obs *` row; everything else is application data and is skipped.
+    fn update_fleet_health(&mut self) {
+        for s in &self.samples[self.health_cursor..] {
+            if s.focus.starts_with(selfmap::OBS_FOCUS_PREFIX) && s.metric.starts_with("Obs ") {
+                self.health_view.observe(s);
+            }
+        }
+        self.health_cursor = self.samples.len();
+    }
+
+    /// Asks a span-site question about a *remote* node — "how much time
+    /// did the node reporting as `label` spend in `component` `verb`?" —
+    /// answered from its streamed telemetry through the same SAS
+    /// machinery as the local [`selfmap::ask_obs`]. Returns `None` when
+    /// the node has not reported or the site never ran there.
+    pub fn ask_fleet_obs(
+        &self,
+        ns: &Namespace,
+        label: &str,
+        component: &str,
+        verb: &str,
+    ) -> Option<u64> {
+        let node = self.health_view.node(label)?;
+        selfmap::ask_obs_totals(ns, &node.site_totals(), component, verb)
+    }
+
+    /// Aggregates every reporting node's self-measured perturbation
+    /// estimate into one fleet rollup; `None` until some node has shipped
+    /// its `Obs perturbation *` rows.
+    pub fn fleet_perturbation(&self) -> Option<FleetPerturbation> {
+        let mut agg = FleetPerturbation::default();
+        for n in self.health_view.nodes() {
+            let Some(spans) = n.metric(selfmap::OBS_PERTURB_SPANS) else {
+                continue;
+            };
+            agg.nodes += 1;
+            agg.spans += spans as u64;
+            agg.overhead_ns += n.metric(selfmap::OBS_PERTURB_OVERHEAD).unwrap_or(0.0) as u64;
+            agg.reported_ns += n.metric(selfmap::OBS_PERTURB_REPORTED).unwrap_or(0.0) as u64;
+        }
+        (agg.nodes > 0).then_some(agg)
     }
 
     /// The merged sample stream, sorted by aligned (tool-clock) time —
@@ -1461,6 +1749,10 @@ impl<'a> IntoIterator for &'a MergedStreams {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::selfmap::{
+        obs_count_metric, obs_focus, obs_time_metric, OBS_PERTURB_NULL, OBS_PERTURB_OVERHEAD,
+        OBS_PERTURB_REPORTED, OBS_PERTURB_SPANS,
+    };
     use pdmap::model::Namespace;
     use pdmap_transport::Backend;
 
@@ -1495,11 +1787,15 @@ mod tests {
         }
 
         fn send_sample(&self, metric: &str, value: f64) {
+            self.send_focused(metric, "/", value);
+        }
+
+        fn send_focused(&self, metric: &str, focus: &str, value: f64) {
             let _ = send_wire(
                 &*self.tx,
                 &DaemonMsg::Sample {
                     metric: metric.into(),
-                    focus: "/".into(),
+                    focus: focus.into(),
                     wall: self.now(),
                     value,
                 },
@@ -2006,5 +2302,126 @@ mod tests {
             (1, 5),
             "a dark relay removes its entire subtree from coverage"
         );
+    }
+
+    #[test]
+    fn unbatched_samples_intern_metric_and_focus() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        daemons[0].send_sample("Computation Time", 1.0);
+        daemons[0].send_sample("Computation Time", 2.0);
+        set.pump_until_samples(2, Duration::from_secs(5));
+        let s = set.samples();
+        assert!(
+            Arc::ptr_eq(&s[0].metric, &s[1].metric),
+            "repeated metric names share one allocation"
+        );
+        assert!(
+            Arc::ptr_eq(&s[0].focus, &s[1].focus),
+            "repeated focus names share one allocation"
+        );
+    }
+
+    /// Ships a synthetic telemetry snapshot — the rows `pdmapd --obs-period`
+    /// would send — for a node reporting as `focus`.
+    fn send_telemetry(d: &FakeDaemon, focus: &str) {
+        d.send_focused(&obs_time_metric("daemon", "deliver"), focus, 2_000_000.0);
+        d.send_focused(&obs_count_metric("daemon", "deliver"), focus, 4.0);
+        d.send_focused(OBS_PERTURB_SPANS, focus, 4.0);
+        d.send_focused(OBS_PERTURB_NULL, focus, 25.0);
+        d.send_focused(OBS_PERTURB_OVERHEAD, focus, 100.0);
+        d.send_focused(OBS_PERTURB_REPORTED, focus, 2_000_000.0);
+    }
+
+    #[test]
+    fn fleet_health_assembles_nodes_and_answers_remote_questions() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        let focus = obs_focus("daemon", "fake#0");
+        send_telemetry(&daemons[0], &focus);
+        daemons[0].send_sample("Computation Time", 1.0); // app data, not telemetry
+        set.pump_until_samples(7, Duration::from_secs(5));
+
+        let health = set.fleet_health();
+        assert_eq!(health.len(), 1, "app samples must not create nodes");
+        let node = health.node(&focus).expect("node visible");
+        assert_eq!(node.daemon, 0);
+        assert_eq!(node.samples, 6);
+        assert_eq!(node.metric(OBS_PERTURB_SPANS), Some(4.0));
+
+        // The SAS question about the remote node, answered from telemetry.
+        let ns = Namespace::new();
+        assert_eq!(
+            set.ask_fleet_obs(&ns, &focus, "daemon", "deliver"),
+            Some(2_000_000),
+            "remote span-site question answered from streamed rows"
+        );
+        assert_eq!(
+            set.ask_fleet_obs(&ns, &focus, "daemon", "send"),
+            None,
+            "a site the node never ran is not satisfied"
+        );
+        assert_eq!(
+            set.ask_fleet_obs(&ns, "Tool/daemon:unknown", "daemon", "deliver"),
+            None,
+            "an unreported node is not satisfied"
+        );
+    }
+
+    #[test]
+    fn fleet_perturbation_aggregates_across_nodes() {
+        let (mut set, daemons) = set_with_skews(&[0, 0]);
+        sync(&mut set, &daemons);
+        assert!(set.fleet_perturbation().is_none(), "no telemetry yet");
+        send_telemetry(&daemons[0], &obs_focus("daemon", "fake#0"));
+        send_telemetry(&daemons[1], &obs_focus("daemon", "fake#1"));
+        set.pump_until_samples(12, Duration::from_secs(5));
+        let p = set.fleet_perturbation().expect("both nodes reported");
+        assert_eq!(p.nodes, 2);
+        assert_eq!(p.spans, 8);
+        assert_eq!(p.overhead_ns, 200);
+        assert_eq!(p.reported_ns, 4_000_000);
+        assert!((p.overhead_fraction() - 200.0 / 4_000_000.0).abs() < 1e-12);
+        let banner = p.to_string();
+        assert!(banner.contains("2 nodes"), "{banner}");
+        assert!(banner.contains('%'), "{banner}");
+    }
+
+    #[test]
+    fn stale_telemetry_degrades_a_chatty_connection() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        set.set_policy(fast_policy());
+        let focus = obs_focus("daemon", "fake#0");
+        send_telemetry(&daemons[0], &focus);
+        set.pump_until_samples(6, Duration::from_secs(5));
+        assert_eq!(set.supervise().nodes_reporting, 1);
+        assert_eq!(set.health(0), DaemonHealth::Healthy, "fresh telemetry");
+
+        // Telemetry stops but application traffic keeps the heartbeat
+        // fresh: silence-based degrade must NOT fire, staleness must.
+        std::thread::sleep(Duration::from_millis(10));
+        daemons[0].send_sample("keepalive", 0.0);
+        set.pump();
+        set.supervise();
+        assert_eq!(
+            set.health(0),
+            DaemonHealth::Degraded,
+            "stale telemetry degrades even a chatty link"
+        );
+        assert_eq!(
+            set.fleet_health()
+                .stale(set.policy().degrade_after)
+                .first()
+                .map(|n| n.label.as_str()),
+            Some(focus.as_str()),
+            "the stale node is named"
+        );
+
+        // Fresh telemetry clears the flag at the next pass.
+        send_telemetry(&daemons[0], &focus);
+        set.pump_until_samples(13, Duration::from_secs(5));
+        set.supervise();
+        assert_eq!(set.health(0), DaemonHealth::Healthy, "recovers on traffic");
     }
 }

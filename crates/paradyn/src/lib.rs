@@ -54,8 +54,8 @@ pub use consultant::{
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use daemonset::{
     AlignedSample, ClockEstimate, ClockSyncError, ConnRef, Coverage, DaemonConn, DaemonHealth,
-    DaemonSet, Merged, MergedStreams, ReconnectFn, RecoveryReport, SessionCoverage,
-    SupervisorPolicy,
+    DaemonSet, FleetHealth, FleetPerturbation, Merged, MergedStreams, NodeHealth, ReconnectFn,
+    RecoveryReport, SessionCoverage, SupervisorPolicy,
 };
 pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};

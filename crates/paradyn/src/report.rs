@@ -96,6 +96,12 @@ pub fn run_report(tool: &Paradyn, consultant_config: &ConsultantConfig) -> Strin
     if !coverage.is_complete() {
         writeln!(out, "coverage: {coverage}").unwrap();
     }
+    // Likewise the cost of watching: when any fleet node self-observes,
+    // its aggregated perturbation estimate heads the report; with no
+    // telemetry the line is omitted and the report is unchanged.
+    if let Some(p) = tool.fleet_perturbation() {
+        writeln!(out, "perturbation: {p}").unwrap();
+    }
     out.push('\n');
     let rows: Vec<(String, String, String)> = requests
         .iter()
@@ -170,8 +176,38 @@ mod tests {
         assert!(report.contains("by resource"));
         assert!(report.contains("where axis"));
         assert!(report.contains("Performance Consultant"));
-        // Complete coverage stays invisible: no degradation banner.
+        // Complete coverage stays invisible: no degradation banner, and
+        // no perturbation banner without telemetry.
         assert!(!report.contains("coverage:"), "{report}");
+        assert!(!report.contains("perturbation:"), "{report}");
+    }
+
+    #[test]
+    fn fleet_perturbation_shows_one_banner_line() {
+        use crate::daemonset::FleetPerturbation;
+        let t = tool();
+        let cfg = ConsultantConfig {
+            threshold: 0.2,
+            max_depth: 0,
+        };
+        let plain = run_report(&t, &cfg);
+        t.set_fleet_perturbation(Some(FleetPerturbation {
+            nodes: 3,
+            spans: 120,
+            overhead_ns: 3_000,
+            reported_ns: 1_200_000,
+        }));
+        let observed = run_report(&t, &cfg);
+        assert!(
+            observed.contains(
+                "perturbation: 3 nodes self-observing: 120 spans, \
+                 ~3000 ns overhead / 1200000 ns reported (0.25%)"
+            ),
+            "{observed}"
+        );
+        // Clearing restores the exact telemetry-free report.
+        t.set_fleet_perturbation(None);
+        assert_eq!(run_report(&t, &cfg), plain);
     }
 
     #[test]

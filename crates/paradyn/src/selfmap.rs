@@ -257,6 +257,44 @@ metric obs_datamgr_import_count {
     description "Spans recorded importing mapping information.";
     foreach point "obs::datamgr:import" { incrCounter 1; }
 }
+
+metric obs_cmrts_step_time {
+    name "Obs cmrts step Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds the simulated CM-5 spent executing control-processor steps.";
+    foreach point "obs::cmrts:step:enter" { startWallTimer; }
+    foreach point "obs::cmrts:step:exit" { stopWallTimer; }
+}
+
+metric obs_cmrts_step_count {
+    name "Obs cmrts step Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Control-processor steps executed by the simulated CM-5.";
+    foreach point "obs::cmrts:step" { incrCounter 1; }
+}
+
+metric obs_consultant_experiment_time {
+    name "Obs consultant experiment Time";
+    units seconds;
+    aggregate sum;
+    level "Tool";
+    description "Nanoseconds the consultant spent measuring hypothesis experiments.";
+    foreach point "obs::consultant:experiment:enter" { startWallTimer; }
+    foreach point "obs::consultant:experiment:exit" { stopWallTimer; }
+}
+
+metric obs_consultant_experiment_count {
+    name "Obs consultant experiment Count";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Hypothesis experiments the consultant ran.";
+    foreach point "obs::consultant:experiment" { incrCounter 1; }
+}
 "#;
 
 /// Parses the self-observation catalogue. Panics only if the embedded
@@ -468,6 +506,70 @@ pub fn obs_count_metric(component: &str, verb: &str) -> String {
     format!("Obs {component} {verb} Count")
 }
 
+/// Focus prefix marking a sample as fleet health telemetry about a tool
+/// process rather than application data. `DaemonSet` routes samples whose
+/// focus starts with this into its `FleetHealth` view.
+pub const OBS_FOCUS_PREFIX: &str = "Tool/";
+
+/// The focus label under which a fleet node reports its own telemetry,
+/// e.g. `obs_focus("daemon", "127.0.0.1:7001")` → `"Tool/daemon:127.0.0.1:7001"`.
+pub fn obs_focus(role: &str, addr: &str) -> String {
+    format!("{OBS_FOCUS_PREFIX}{role}:{addr}")
+}
+
+/// Metric-name prefix for a node's named counters
+/// (`"Obs counter daemon.decode_errors"`, ...).
+pub const OBS_COUNTER_PREFIX: &str = "Obs counter ";
+
+/// The display name of a self-reported counter metric.
+pub fn obs_counter_metric(name: &str) -> String {
+    format!("{OBS_COUNTER_PREFIX}{name}")
+}
+
+/// Metric names for a node's self-reported perturbation accounting (see
+/// `pdmap_obs::PerturbationReport`): overhead and reported totals are
+/// nanoseconds, spans is a count, null is the calibrated per-span cost.
+pub const OBS_PERTURB_OVERHEAD: &str = "Obs perturbation overhead";
+/// Spans the node has recorded (the multiplier on the null cost).
+pub const OBS_PERTURB_SPANS: &str = "Obs perturbation spans";
+/// The node's calibrated cost of one disabled-path span, ns.
+pub const OBS_PERTURB_NULL: &str = "Obs perturbation null";
+/// Total span nanoseconds the node reported (pre-correction).
+pub const OBS_PERTURB_REPORTED: &str = "Obs perturbation reported";
+
+/// Metric names for a relay's subtree health rollup — the same
+/// `(reporting, total, lost)` triple `SubtreeCoverage` folds upward,
+/// restated as telemetry so `FleetHealth` sees interior nodes' view of
+/// their own subtrees.
+pub const OBS_SUBTREE_REPORTING: &str = "Obs subtree reporting";
+/// Leaf daemons the subtree was configured with.
+pub const OBS_SUBTREE_TOTAL: &str = "Obs subtree total";
+/// Samples known lost below the reporting relay.
+pub const OBS_SUBTREE_LOST: &str = "Obs subtree lost";
+
+/// Parses an `obs_time_metric`/`obs_count_metric` display name back into
+/// `(component, verb, is_time)`. Returns `None` for anything else —
+/// counter and perturbation metrics deliberately do not match, so a
+/// telemetry consumer can partition a node's rows by shape alone.
+pub fn parse_obs_metric(name: &str) -> Option<(&str, &str, bool)> {
+    let rest = name.strip_prefix("Obs ")?;
+    let mut parts = rest.split(' ');
+    let (Some(component), Some(verb), Some(kind), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return None;
+    };
+    match kind {
+        "Time" => Some((component, verb, true)),
+        "Count" => Some((component, verb, false)),
+        _ => None,
+    }
+}
+
+/// One remote span site's totals: `(component, verb, count, total_ns)` —
+/// the portable form of a `SiteSnapshot` rebuilt from streamed telemetry.
+pub type SiteTotal = (String, String, u64, u64);
+
 /// Renders an [`ObsSnapshot`] as `(metric name, value)` rows in catalogue
 /// order: for every known site, its Time row (total nanoseconds) then its
 /// Count row (span count). Sites the snapshot has never seen report zero.
@@ -534,6 +636,45 @@ pub fn obs_sentences(ns: &Namespace, snap: &ObsSnapshot) -> Vec<(SentenceId, u64
 /// matching the pattern. Returns `None` when the question is not satisfied
 /// (the site never ran), `Some(total_ns)` otherwise.
 pub fn ask_obs(ns: &Namespace, snap: &ObsSnapshot, component: &str, verb: &str) -> Option<u64> {
+    let totals: Vec<SiteTotal> = pdmap_obs::KNOWN_SITES
+        .iter()
+        .filter_map(|&(c, v)| {
+            snap.site(c, v)
+                .map(|s| (c.to_string(), v.to_string(), s.count, s.total_ns))
+        })
+        .collect();
+    ask_obs_totals(ns, &totals, component, verb)
+}
+
+/// Projects remote span-site totals into the Noun-Verb model — the fleet
+/// counterpart of [`obs_sentences`], fed from streamed telemetry instead
+/// of a local snapshot. Zero-count sites are skipped, mirroring the
+/// local rule that only sentences actually "spoken" appear.
+pub fn obs_totals_sentences(ns: &Namespace, totals: &[SiteTotal]) -> Vec<(SentenceId, u64)> {
+    let level = ns.level(OBS_LEVEL);
+    let mut out = Vec::new();
+    for (component, verb, count, total_ns) in totals {
+        if *count == 0 {
+            continue;
+        }
+        let noun = ns.noun(level, component, "tool component");
+        let vb = ns.verb(level, verb, "tool operation");
+        out.push((ns.say(vb, [noun]), *total_ns));
+    }
+    out
+}
+
+/// [`ask_obs`] generalised over [`SiteTotal`] rows, so the same SAS
+/// machinery can answer about a *remote* process whose registry the tool
+/// only knows through streamed health telemetry (see
+/// `DaemonSet::ask_fleet_obs`). Returns `None` when the question is not
+/// satisfied (the site never ran on that node), `Some(total_ns)` otherwise.
+pub fn ask_obs_totals(
+    ns: &Namespace,
+    totals: &[SiteTotal],
+    component: &str,
+    verb: &str,
+) -> Option<u64> {
     let level = ns.level(OBS_LEVEL);
     let noun = ns.noun(level, component, "tool component");
     let vb = ns.verb(level, verb, "tool operation");
@@ -543,7 +684,7 @@ pub fn ask_obs(ns: &Namespace, snap: &ObsSnapshot, component: &str, verb: &str) 
         vec![pattern.clone()],
     );
 
-    let sentences = obs_sentences(ns, snap);
+    let sentences = obs_totals_sentences(ns, totals);
     let mut sas = LocalSas::new(ns.clone());
     let qid = sas.register_question(&question);
     for &(sid, _) in &sentences {
@@ -692,6 +833,53 @@ mod tests {
         // spans for this fictitious pairing.
         let ns2 = Namespace::new();
         assert_eq!(ask_obs(&ns2, &snap, "transport/inproc", "reconnect"), None);
+    }
+
+    #[test]
+    fn parse_obs_metric_inverts_the_formatters() {
+        for &(c, v) in pdmap_obs::KNOWN_SITES {
+            assert_eq!(parse_obs_metric(&obs_time_metric(c, v)), Some((c, v, true)));
+            assert_eq!(
+                parse_obs_metric(&obs_count_metric(c, v)),
+                Some((c, v, false))
+            );
+        }
+        // Counter and perturbation rows deliberately do not parse as sites.
+        assert_eq!(parse_obs_metric(&obs_counter_metric("daemon.errors")), None);
+        assert_eq!(parse_obs_metric(OBS_PERTURB_OVERHEAD), None);
+        assert_eq!(parse_obs_metric("Computation Time"), None);
+        assert_eq!(parse_obs_metric("Obs too many words here Time"), None);
+    }
+
+    #[test]
+    fn obs_focus_is_prefixed_and_stable() {
+        let f = obs_focus("daemon", "127.0.0.1:7001");
+        assert_eq!(f, "Tool/daemon:127.0.0.1:7001");
+        assert!(f.starts_with(OBS_FOCUS_PREFIX));
+    }
+
+    #[test]
+    fn ask_obs_totals_answers_about_remote_sites() {
+        // Totals as they would arrive from a remote daemon's telemetry —
+        // no local registry involvement at all.
+        let totals: Vec<SiteTotal> = vec![
+            ("transport/tcp".into(), "send".into(), 4, 9_000),
+            ("daemon".into(), "deliver".into(), 2, 3_500),
+            ("sas".into(), "push".into(), 0, 0), // never ran on that node
+        ];
+        let ns = Namespace::new();
+        assert_eq!(
+            ask_obs_totals(&ns, &totals, "transport/tcp", "send"),
+            Some(9_000)
+        );
+        assert_eq!(
+            ask_obs_totals(&ns, &totals, "daemon", "deliver"),
+            Some(3_500)
+        );
+        let ns2 = Namespace::new();
+        assert_eq!(ask_obs_totals(&ns2, &totals, "sas", "push"), None);
+        let ns3 = Namespace::new();
+        assert_eq!(ask_obs_totals(&ns3, &totals, "datamgr", "import"), None);
     }
 
     #[test]

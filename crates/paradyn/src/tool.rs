@@ -2,7 +2,7 @@
 //! the metric manager, mapping instrumentation, and machines together —
 //! the in-process equivalent of the Paradyn front end plus its daemon.
 
-use crate::daemonset::{Coverage, SessionCoverage};
+use crate::daemonset::{Coverage, FleetPerturbation, SessionCoverage};
 use crate::datamgr::DataManager;
 use crate::metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 use crate::stream::{run_sampled, Stream};
@@ -50,6 +50,12 @@ pub struct Paradyn {
     /// with the fleet's real coverage. `None` means single-process — the
     /// tool *is* the whole fleet and stamps complete coverage.
     session: Mutex<Option<SessionCoverage>>,
+    /// The fleet's aggregated self-observation cost, when a multi-daemon
+    /// frontend installs one from
+    /// [`crate::daemonset::DaemonSet::fleet_perturbation`]; surfaced by
+    /// the run report so telemetry overhead is visible next to the data
+    /// it perturbs. `None` means no node is self-observing.
+    perturbation: Mutex<Option<FleetPerturbation>>,
 }
 
 impl Paradyn {
@@ -68,6 +74,7 @@ impl Paradyn {
             config,
             program: None,
             session: Mutex::new(None),
+            perturbation: Mutex::new(None),
         }
     }
 
@@ -159,6 +166,19 @@ impl Paradyn {
     /// [`Paradyn::measure_with_coverage`] is stamped with it.
     pub fn set_session_coverage(&self, session: Option<SessionCoverage>) {
         *self.session.lock().expect("session label poisoned") = session;
+    }
+
+    /// Installs (or clears, with `None`) the fleet's aggregated
+    /// self-observation cost, refreshed by a multi-daemon frontend from
+    /// [`crate::daemonset::DaemonSet::fleet_perturbation`].
+    pub fn set_fleet_perturbation(&self, p: Option<FleetPerturbation>) {
+        *self.perturbation.lock().expect("perturbation poisoned") = p;
+    }
+
+    /// The installed fleet perturbation rollup, if any node is
+    /// self-observing.
+    pub fn fleet_perturbation(&self) -> Option<FleetPerturbation> {
+        *self.perturbation.lock().expect("perturbation poisoned")
     }
 
     /// The coverage every request is currently stamped with: the session

@@ -29,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod relay;
+mod selfobs;
 
 use cmrts_sim::MachineConfig;
 use paradyn_tool::daemon::{DaemonMsg, InstrLibEndpoint};
@@ -68,6 +69,13 @@ pub struct DaemonConfig {
     /// Shared secret for the transport's challenge/response handshake;
     /// `None` accepts any peer (the pre-auth protocol).
     pub secret: Option<[u8; 16]>,
+    /// Self-observation period: every this long, snapshot the daemon's
+    /// own `pdmap-obs` registry and ship it upstream as health telemetry
+    /// (see the `selfobs` module). `None` (the default) sends none.
+    pub obs_period: Option<Duration>,
+    /// Write a `pdmap_obs::span_dump` of this process's spans here at
+    /// session end, for the merged fleet trace exporter.
+    pub obs_trace: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -82,6 +90,8 @@ impl Default for DaemonConfig {
             nodes: 4,
             batch: 1,
             secret: None,
+            obs_period: None,
+            obs_trace: None,
         }
     }
 }
@@ -97,6 +107,11 @@ pub struct ServeReport {
     pub batches_sent: u32,
     /// Instruction blocks the workload machine dispatched.
     pub workload_steps: u64,
+    /// Health-telemetry samples among `samples_sent` (zero with
+    /// `obs_period: None`).
+    pub obs_samples_sent: u32,
+    /// Self-observation snapshots taken.
+    pub obs_snapshots: u32,
     /// Whether a tool connected before the timeout (nothing is sent
     /// otherwise).
     pub tool_connected: bool,
@@ -298,6 +313,41 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
             report.batches_sent += 1;
         }
     };
+    // Health telemetry: snapshot our own registry every `obs_period` and
+    // ship it as an ordinary SampleBatch under this daemon's obs focus.
+    // The rows count into `samples_sent`, so the Goodbye's announcement
+    // (and every relay ledger above us) stays exact with telemetry on.
+    let mut obs = cfg.obs_period.map(|p| {
+        selfobs::SelfSampler::new(
+            p,
+            paradyn_tool::selfmap::obs_focus("daemon", &server.local_addr().to_string()),
+        )
+    });
+    let ship_obs = |obs: &mut Option<selfobs::SelfSampler>, report: &mut ServeReport| {
+        let Some(sampler) = obs.as_mut() else { return };
+        let Some(rows) = sampler.due_rows() else {
+            return;
+        };
+        let wall = daemon_now(cfg.skew_ns);
+        let focus: Arc<str> = sampler.focus().into();
+        let batch = SampleBatch {
+            samples: rows
+                .into_iter()
+                .map(|(metric, value)| BatchSample {
+                    metric: metric.into(),
+                    focus: focus.clone(),
+                    wall,
+                    value,
+                })
+                .collect(),
+        };
+        let n = batch.samples.len() as u32;
+        if send_wire(&*server as &dyn Transport, &batch).is_ok() {
+            report.batches_sent += 1;
+            report.samples_sent += n;
+            report.obs_samples_sent += n;
+        }
+    };
     for i in 0..cfg.samples {
         if stopping(shutdown_msg) || !server.is_alive() {
             break;
@@ -324,6 +374,7 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
         let (answered, sd) = answer_probes(&server, cfg.skew_ns);
         report.probes_answered += answered;
         shutdown_msg |= sd;
+        ship_obs(&mut obs, &mut report);
         std::thread::sleep(cfg.period);
     }
     flush_batch(&mut pending, &mut report);
@@ -336,6 +387,7 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
         let (answered, sd) = answer_probes(&server, cfg.skew_ns);
         report.probes_answered += answered;
         shutdown_msg |= sd;
+        ship_obs(&mut obs, &mut report);
         std::thread::sleep(Duration::from_millis(1));
     }
 
@@ -343,6 +395,16 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
     // end of the session, so the tool can always close the conservation
     // law. Only a crash (dead transport) leaves the loss unannounced.
     report.graceful_shutdown = flush_goodbye(&server, &mut report, cfg.skew_ns);
+    if let Some(sampler) = &obs {
+        report.obs_snapshots = sampler.snapshots;
+    }
+    if let Some(path) = &cfg.obs_trace {
+        let dump = pdmap_obs::span_dump(
+            &pdmap_obs::snapshot(),
+            selfobs::SelfSampler::origin_delta_ns(cfg.skew_ns),
+        );
+        let _ = std::fs::write(path, dump);
+    }
     report
 }
 

@@ -41,10 +41,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: pdmapd [--listen ADDR] [--skew-ns N] [--samples N] \
          [--period-ms N] [--linger-ms N] [--connect-timeout-ms N] [--nodes N] \
-         [--batch N] [--secret PASSPHRASE]\n\
+         [--batch N] [--secret PASSPHRASE] [--obs-period MS] [--obs-trace PATH]\n\
          \x20      pdmapd --relay [--listen ADDR] --child ADDR [--child ADDR ...] \
          [--skew-ns N] [--batch N] [--flush-ms N] [--linger-ms N] \
-         [--connect-timeout-ms N] [--secret PASSPHRASE]"
+         [--connect-timeout-ms N] [--secret PASSPHRASE] [--obs-period MS] \
+         [--obs-trace PATH]"
     );
     std::process::exit(EXIT_USAGE as i32);
 }
@@ -127,6 +128,19 @@ fn parse_args() -> Args {
                 daemon.secret = Some(secret);
                 tree.secret = Some(secret);
             }
+            "--obs-period" => match val("--obs-period").parse() {
+                Ok(v) => {
+                    let period = Some(Duration::from_millis(v));
+                    daemon.obs_period = period;
+                    tree.obs_period = period;
+                }
+                Err(_) => usage(),
+            },
+            "--obs-trace" => {
+                let path = std::path::PathBuf::from(val("--obs-trace"));
+                daemon.obs_trace = Some(path.clone());
+                tree.obs_trace = Some(path);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("pdmapd: unknown flag '{other}'");
@@ -162,14 +176,17 @@ fn run_leaf(cfg: DaemonConfig) -> ExitCode {
 
     let report = serve(server, &cfg);
     eprintln!(
-        "pdmapd: connected={} samples={} batches={} probes={} steps={} graceful={} skew_ns={}",
+        "pdmapd: connected={} samples={} batches={} probes={} steps={} graceful={} skew_ns={} \
+         obs_samples={} obs_snapshots={}",
         report.tool_connected,
         report.samples_sent,
         report.batches_sent,
         report.probes_answered,
         report.workload_steps,
         report.graceful_shutdown,
-        cfg.skew_ns
+        cfg.skew_ns,
+        report.obs_samples_sent,
+        report.obs_snapshots
     );
     if report.tool_connected {
         ExitCode::SUCCESS
@@ -193,7 +210,7 @@ fn run_relay(cfg: RelayConfig) -> ExitCode {
     let report = pdmapd::serve_relay_until(server, &cfg, &AtomicBool::new(false));
     eprintln!(
         "pdmapd-relay: parent={} synced={}/{} forwarded={} batches={} goodbyes={} lost={} \
-         graceful={} skew_ns={}",
+         graceful={} skew_ns={} obs_samples={} obs_snapshots={}",
         report.parent_connected,
         report.children_synced,
         cfg.children.len(),
@@ -202,7 +219,9 @@ fn run_relay(cfg: RelayConfig) -> ExitCode {
         report.child_goodbyes,
         report.samples_lost,
         report.graceful_shutdown,
-        cfg.skew_ns
+        cfg.skew_ns,
+        report.obs_samples_sent,
+        report.obs_snapshots
     );
     if !report.parent_connected {
         eprintln!("pdmapd-relay: no parent connected within the timeout");

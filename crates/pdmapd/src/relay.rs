@@ -80,6 +80,13 @@ pub struct RelayConfig {
     /// policy). Tests shrink these so dead-child detection is immediate;
     /// the secret is applied on top.
     pub child_transport: TransportConfig,
+    /// Self-observation period: every this long, snapshot the relay's own
+    /// `pdmap-obs` registry (plus its subtree rollup) and enqueue it on
+    /// the upward stream. `None` (the default) sends none.
+    pub obs_period: Option<Duration>,
+    /// Write a `pdmap_obs::span_dump` of this process's spans here at
+    /// session end, for the merged fleet trace exporter.
+    pub obs_trace: Option<std::path::PathBuf>,
 }
 
 impl Default for RelayConfig {
@@ -96,6 +103,8 @@ impl Default for RelayConfig {
             linger: Duration::from_millis(500),
             secret: None,
             child_transport: TransportConfig::default(),
+            obs_period: None,
+            obs_trace: None,
         }
     }
 }
@@ -121,6 +130,12 @@ pub struct RelayReport {
     /// Whether the session ended with the final-flush handshake (last
     /// [`DaemonMsg::SubtreeCoverage`] + [`DaemonMsg::Goodbye`] delivered).
     pub graceful_shutdown: bool,
+    /// Health-telemetry samples enqueued on the upward stream — counted
+    /// into `samples_forwarded` by the flush that carries them (zero with
+    /// `obs_period: None`).
+    pub obs_samples_sent: u64,
+    /// Self-observation snapshots taken.
+    pub obs_snapshots: u32,
 }
 
 /// One child link and everything the relay knows about its subtree.
@@ -240,6 +255,8 @@ struct RelaySession<'a> {
     last_coverage: Option<(u32, u32, u64)>,
     /// Raised by a wire-level [`DaemonMsg::Shutdown`] from the parent.
     shutdown_msg: bool,
+    /// Periodic self-sampling (None with `obs_period: None`).
+    obs: Option<crate::selfobs::SelfSampler>,
 }
 
 impl RelaySession<'_> {
@@ -440,12 +457,67 @@ impl RelaySession<'_> {
         }
         self.last_flush = Instant::now();
     }
+
+    /// If an obs period has elapsed, snapshots this relay's own registry
+    /// plus its subtree rollup and enqueues the rows on `pending` — the
+    /// interior node's health folded into the same upward stream as its
+    /// children's. Stamps are already on the relay clock (no rewrite),
+    /// and the ordinary [`RelaySession::flush`] counts the rows into
+    /// `samples_forwarded`, keeping conservation exact.
+    fn sample_self(&mut self) {
+        let (mut rows, focus) = {
+            let Some(sampler) = self.obs.as_mut() else {
+                return;
+            };
+            let Some(rows) = sampler.due_rows() else {
+                return;
+            };
+            (rows, sampler.focus().to_string())
+        };
+        let (reporting, total, lost) = self.coverage();
+        rows.push((
+            paradyn_tool::selfmap::OBS_SUBTREE_REPORTING.into(),
+            f64::from(reporting),
+        ));
+        rows.push((
+            paradyn_tool::selfmap::OBS_SUBTREE_TOTAL.into(),
+            f64::from(total),
+        ));
+        rows.push((paradyn_tool::selfmap::OBS_SUBTREE_LOST.into(), lost as f64));
+        let wall = daemon_now(self.cfg.skew_ns);
+        let focus: Arc<str> = focus.into();
+        let n = rows.len() as u64;
+        self.pending
+            .extend(rows.into_iter().map(|(metric, value)| BatchSample {
+                metric: metric.into(),
+                focus: focus.clone(),
+                wall,
+                value,
+            }));
+        self.report.obs_samples_sent += n;
+    }
 }
 
 /// Wall stamp minus the child's offset, saturating at zero: the child's
 /// clock rewritten onto this relay's reported clock.
 fn rewrite(wall: u64, offset_ns: i64) -> u64 {
     (wall as i64 - offset_ns).max(0) as u64
+}
+
+/// Session epilogue shared by every exit path: records how many obs
+/// snapshots ran and writes the span dump if one was requested.
+fn finish(mut s: RelaySession<'_>) -> RelayReport {
+    if let Some(sampler) = &s.obs {
+        s.report.obs_snapshots = sampler.snapshots;
+    }
+    if let Some(path) = &s.cfg.obs_trace {
+        let dump = pdmap_obs::span_dump(
+            &pdmap_obs::snapshot(),
+            crate::selfobs::SelfSampler::origin_delta_ns(s.cfg.skew_ns),
+        );
+        let _ = std::fs::write(path, dump);
+    }
+    s.report
 }
 
 /// Runs the relay loop on the caller's thread until the subtree completes,
@@ -467,13 +539,19 @@ pub fn serve_relay_until(
         pifs_seen: HashSet::new(),
         last_coverage: None,
         shutdown_msg: false,
+        obs: cfg.obs_period.map(|p| {
+            crate::selfobs::SelfSampler::new(
+                p,
+                paradyn_tool::selfmap::obs_focus("relay", &server.local_addr().to_string()),
+            )
+        }),
     };
 
     // Phase 0: wait for the parent, exactly like a leaf waits for its tool.
     let deadline = Instant::now() + cfg.connect_timeout;
     while server.connections() == 0 {
         if Instant::now() >= deadline || stop.load(Ordering::Acquire) {
-            return s.report;
+            return finish(s);
         }
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -537,6 +615,7 @@ pub fn serve_relay_until(
         for i in 0..s.children.len() {
             s.pump_child(i);
         }
+        s.sample_self();
         s.flush(false);
         s.report_coverage(false);
         let stopping = stop.load(Ordering::Acquire) || s.shutdown_msg;
@@ -555,7 +634,7 @@ pub fn serve_relay_until(
     if !server.is_alive() {
         // Parent tore the link down (our SIGKILL shape): nothing to flush
         // to; report what happened and leave the loss unannounced.
-        return s.report;
+        return finish(s);
     }
     for c in &s.children {
         if c.announced.is_none() && c.tx.is_alive() {
@@ -591,7 +670,7 @@ pub fn serve_relay_until(
         samples_sent: u32::try_from(s.report.samples_forwarded).unwrap_or(u32::MAX),
     };
     s.report.graceful_shutdown = send_wire(&*server as &dyn Transport, &goodbye).is_ok();
-    s.report
+    finish(s)
 }
 
 #[cfg(test)]
