@@ -1,0 +1,205 @@
+//! Consultant storm: sequential-baseline vs work-stealing parallel search
+//! over a communication-heavy sample, emitting one JSON object with the
+//! speedup, machine runs saved by the measurement cache, and the cache hit
+//! rate.
+//!
+//! ```sh
+//! cargo run -p pdmap-bench --release --bin consultant_storm
+//! cargo run -p pdmap-bench --release --bin consultant_storm -- \
+//!     --reps 5 --coverage 3/4 --lost 2 --max-sample-cost 1e-6
+//! ```
+//!
+//! The run is also a gate: it exits nonzero if the parallel render is not
+//! byte-identical to the sequential one, if `consultant::audit` finds a
+//! decided verdict resting on a straddling interval (under full *or*
+//! degraded coverage), or if the speedup falls under 2x on a machine with
+//! at least 4 cores. CI parses the JSON and re-asserts the same facts.
+
+use paradyn_tool::consultant::{audit, render, search, search_parallel, ConsultantConfig};
+use paradyn_tool::{Coverage, ExperimentNode, Paradyn, SessionCoverage};
+use std::time::Instant;
+
+/// A storm of communication: repeated global sorts, a transpose, and
+/// shifts over 2048-element arrays dwarf the element-wise work, so the
+/// search explores a deep True subtree under the communication hypotheses
+/// and early-cuts the rest.
+const STORMY: &str = "\
+PROGRAM STORMY
+REAL A(2048), B(2048), C(2048), M(32, 32), T(32, 32)
+A = 1.0
+B = SORT(A)
+B = SORT(B)
+C = SORT(B)
+M = 2.0
+T = TRANSPOSE(M)
+A = CSHIFT(C, 7)
+C = CSHIFT(A, -3)
+ASUM = SUM(A)
+END
+";
+
+struct Options {
+    reps: u32,
+    coverage: (usize, usize),
+    lost: u64,
+    max_sample_cost: f64,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        reps: 3,
+        coverage: (3, 4),
+        lost: 2,
+        max_sample_cost: 1e-6,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--reps" => {
+                opts.reps = value_for("--reps").parse().unwrap_or_else(|e| {
+                    eprintln!("--reps expects a count: {e}");
+                    std::process::exit(2);
+                });
+                if opts.reps == 0 {
+                    eprintln!("--reps must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--coverage" => {
+                let v = value_for("--coverage");
+                let parsed = v
+                    .split_once('/')
+                    .and_then(|(r, n)| Some((r.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+                match parsed {
+                    Some((r, n)) if n > 0 && r <= n => opts.coverage = (r, n),
+                    _ => {
+                        eprintln!("--coverage expects R/N with R <= N, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--lost" => {
+                opts.lost = value_for("--lost").parse().unwrap_or_else(|e| {
+                    eprintln!("--lost expects a count: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--max-sample-cost" => {
+                opts.max_sample_cost = value_for("--max-sample-cost").parse().unwrap_or_else(|e| {
+                    eprintln!("--max-sample-cost expects a number: {e}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Experiments in a search tree — each one cost the sequential path a
+/// whole machine run.
+fn count_nodes(nodes: &[ExperimentNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| 1 + count_nodes(&n.children))
+        .sum::<u64>()
+}
+
+fn main() {
+    let opts = parse_options();
+    let (reporting, total) = opts.coverage;
+    let mut tool = Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: total,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    tool.load_source(STORMY).expect("sample compiles");
+    let config = ConsultantConfig {
+        threshold: 0.05,
+        max_depth: 2,
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Full-coverage frame: best-of-reps wall time for each path, renders
+    // compared byte for byte. The cache is cleared before every parallel
+    // rep so each one re-measures from scratch — the hit rate below is
+    // intra-search sharing, not rep-to-rep reuse.
+    let mut seq_ms = f64::INFINITY;
+    let mut seq_tree = Vec::new();
+    for _ in 0..opts.reps {
+        let t0 = Instant::now();
+        seq_tree = search(&tool, &config);
+        seq_ms = seq_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut par_ms = f64::INFINITY;
+    let mut par_tree = Vec::new();
+    let mut hits = 0;
+    let mut misses = 0;
+    for _ in 0..opts.reps {
+        tool.clear_measurement_cache();
+        let before = tool.measurement_cache_stats();
+        let t0 = Instant::now();
+        par_tree = search_parallel(&tool, &config);
+        par_ms = par_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let after = tool.measurement_cache_stats();
+        hits = after.hits - before.hits;
+        misses = after.misses - before.misses;
+    }
+    let identical_full = render(&seq_tree) == render(&par_tree);
+    let audit_ok = audit(&seq_tree, config.threshold).is_empty()
+        && audit(&par_tree, config.threshold).is_empty();
+
+    let runs_seq = count_nodes(&seq_tree);
+    let runs_par = misses;
+    let runs_saved = runs_seq.saturating_sub(runs_par);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let speedup = seq_ms / par_ms;
+
+    // Degraded frame: the coverage stamp bumps the epoch (invalidating the
+    // cache), the two paths must still agree byte for byte, and no decided
+    // verdict may rest on a straddling interval.
+    tool.set_session_coverage(Some(SessionCoverage {
+        coverage: Coverage {
+            nodes_reporting: reporting,
+            nodes_total: total,
+            samples_lost: opts.lost,
+        },
+        max_sample_cost: opts.max_sample_cost,
+    }));
+    let seq_deg = search(&tool, &config);
+    let par_deg = search_parallel(&tool, &config);
+    let identical_degraded = render(&seq_deg) == render(&par_deg);
+    let audit_ok_degraded = audit(&seq_deg, config.threshold).is_empty()
+        && audit(&par_deg, config.threshold).is_empty();
+
+    let identical_renders = identical_full && identical_degraded;
+    println!(
+        "{{\n  \"speedup\": {speedup:.3},\n  \"seq_ms\": {seq_ms:.3},\n  \"par_ms\": {par_ms:.3},\n  \"runs_seq\": {runs_seq},\n  \"runs_par\": {runs_par},\n  \"runs_saved\": {runs_saved},\n  \"mcache_hits\": {hits},\n  \"mcache_misses\": {misses},\n  \"hit_rate\": {hit_rate:.4},\n  \"identical_renders\": {identical_renders},\n  \"audit_ok\": {audit_ok},\n  \"audit_ok_degraded\": {audit_ok_degraded},\n  \"cores\": {cores},\n  \"workers\": {}\n}}",
+        cores.min(6)
+    );
+
+    if !identical_renders {
+        eprintln!("FAILED: parallel render differs from the sequential baseline");
+        std::process::exit(3);
+    }
+    if !audit_ok || !audit_ok_degraded {
+        eprintln!("FAILED: verdict audit found decided verdicts on straddling intervals");
+        std::process::exit(3);
+    }
+    if cores >= 4 && speedup < 2.0 {
+        eprintln!("FAILED: speedup {speedup:.2}x < 2x on {cores} cores");
+        std::process::exit(4);
+    }
+}

@@ -12,15 +12,34 @@
 //! the instrumentation economy (only the hypotheses currently under test
 //! are instrumented) is the same.
 //!
+//! # Sequential baseline and parallel frontier
+//!
+//! [`search`] is the documented baseline: hypotheses in catalogue order,
+//! one uncached machine run per experiment, depth-first refinement.
+//!
+//! [`search_parallel`] evaluates the same experiments as a work-stealing
+//! frontier: a shared deque of `(hypothesis, focus, depth)` items drained
+//! concurrently by `min(available_parallelism, frontier)` workers (the
+//! `DrainPool` shape from `daemonset`). Experiments are *pure*
+//! ([`Paradyn::run_experiment`] — no `&mut` threading), so workers need no
+//! coordination beyond the deque; a `True` or measured-`Unknown` verdict
+//! pushes its refinements back onto the frontier, and a decided parent
+//! early-cuts children whose measurements could no longer change any
+//! verdict (counted under `consultant.early_cut`). Measurements go through
+//! the content-addressed [`MeasurementCache`](crate::mcache) — every
+//! hypothesis at a focus shares one instrumented run — and results are
+//! assembled into a slot arena in *refinement order*, never completion
+//! order, so the parallel search renders byte-identical to the baseline.
+//!
 //! # Coverage-aware verdicts
 //!
 //! A hypothesis test over a degraded fleet must not produce a confidently
-//! wrong answer. Every experiment therefore measures through
-//! [`Paradyn::measure_with_coverage`] and tests an *interval* estimate
-//! `[lo, hi]` of the ratio against the threshold, widened by the session's
-//! [`Coverage`] (see [`Coverage::bound_mass`] for the widening rule): the
-//! verdict is [`Verdict::True`] only when the whole interval is above the
-//! threshold, [`Verdict::False`] only when it is entirely at-or-below, and
+//! wrong answer. Every experiment therefore measures with a session
+//! [`Coverage`] stamp and tests an *interval* estimate `[lo, hi]` of the
+//! ratio against the threshold, widened by that coverage (see
+//! [`Coverage::bound_mass`] for the widening rule): the verdict is
+//! [`Verdict::True`] only when the whole interval is above the threshold,
+//! [`Verdict::False`] only when it is entirely at-or-below, and
 //! [`Verdict::Unknown`] when the interval straddles it — the honest answer
 //! when missing nodes or lost samples could move the ratio across the
 //! line. With complete coverage the interval is a point and the verdicts
@@ -32,13 +51,16 @@
 //! `consultant.zero_wall` self-observation counter).
 
 use crate::daemonset::Coverage;
-use crate::tool::Paradyn;
+use crate::mcache::Measured;
+use crate::metrics::RequestError;
+use crate::tool::{Experiment, Paradyn};
 use pdmap::hierarchy::Focus;
 use pdmap::interval::{Interval, Side};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 /// Span site for one hypothesis experiment, interned once (`pdmap-obs`).
 /// Scoped to the measurement itself, not the recursion below it, so a
@@ -52,8 +74,13 @@ fn experiment_obs_site() -> &'static pdmap_obs::SpanSite {
 /// hypothesis in a search explores the same foci, so without this the
 /// data manager recomputes identical candidate lists once per hypothesis;
 /// hits and misses are counted under `consultant.cache_hit` /
-/// `consultant.cache_miss`.
-type RefinementCache = HashMap<String, Vec<Focus>>;
+/// `consultant.cache_miss`. Entries are `Arc<[Focus]>` shared with the
+/// data manager, so a hit costs one refcount bump, not a list clone.
+type RefinementCache = HashMap<String, Arc<[Focus]>>;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A "why" hypothesis: a time metric whose share of the wall clock is
 /// tested against a threshold.
@@ -176,28 +203,17 @@ pub struct ExperimentNode {
     pub children: Vec<ExperimentNode>,
 }
 
-/// Runs the consultant search over a loaded [`Paradyn`] tool.
-pub fn search(tool: &Paradyn, config: &ConsultantConfig) -> Vec<ExperimentNode> {
-    let mut cache = RefinementCache::new();
-    HYPOTHESES
-        .iter()
-        .map(|h| test_hypothesis(tool, config, h, &Focus::whole_program(), 0, &mut cache))
-        .collect()
-}
-
-fn test_hypothesis(
+/// Builds an [`ExperimentNode`] from one pure measurement outcome — the
+/// verdict logic shared verbatim by the sequential baseline and the
+/// parallel frontier, so the two can never diverge.
+fn evaluate(
     tool: &Paradyn,
     config: &ConsultantConfig,
     h: &Hypothesis,
     focus: &Focus,
-    depth: usize,
-    cache: &mut RefinementCache,
+    measured: Result<Measured, RequestError>,
 ) -> ExperimentNode {
-    let measured = {
-        let _experiment = pdmap_obs::span(experiment_obs_site());
-        tool.measure_with_coverage(h.metric, focus)
-    };
-    let mut node = match measured {
+    match measured {
         // A failed experiment is evidence of nothing: Unknown, with the
         // error preserved — never a fabricated 0.0/1.0 ratio.
         Err(e) => ExperimentNode {
@@ -212,28 +228,29 @@ fn test_hypothesis(
             note: Some(format!("measurement failed: {e}")),
             children: Vec::new(),
         },
-        Ok((value, wall, coverage)) if wall <= 0.0 => {
+        Ok(m) if m.wall <= 0.0 => {
             // A zero-wall run cannot support a ratio; count it and answer
             // honestly instead of collapsing to 0.0 (= a false verdict).
             pdmap_obs::counter("consultant.zero_wall").incr();
             ExperimentNode {
                 hypothesis: h.name.to_string(),
                 focus: focus.clone(),
-                value,
-                wall,
+                value: m.value,
+                wall: m.wall,
                 ratio: 0.0,
                 interval: Interval::unknown(),
-                coverage,
+                coverage: m.coverage,
                 verdict: Verdict::Unknown,
                 note: Some("zero-wall experiment".to_string()),
                 children: Vec::new(),
             }
         }
-        Ok((value, wall, coverage)) => {
-            let ratio = value / wall;
-            let interval = coverage
-                .bound_mass(value, tool.session_max_sample_cost())
-                .scale(1.0 / wall);
+        Ok(m) => {
+            let ratio = m.value / m.wall;
+            let interval = m
+                .coverage
+                .bound_mass(m.value, tool.session_max_sample_cost())
+                .scale(1.0 / m.wall);
             let verdict = match interval.classify(config.threshold) {
                 Side::Above => Verdict::True,
                 Side::Below => Verdict::False,
@@ -242,47 +259,242 @@ fn test_hypothesis(
             ExperimentNode {
                 hypothesis: h.name.to_string(),
                 focus: focus.clone(),
-                value,
-                wall,
+                value: m.value,
+                wall: m.wall,
                 ratio,
                 interval,
-                coverage,
+                coverage: m.coverage,
                 verdict,
                 note: None,
                 children: Vec::new(),
             }
         }
-    };
-    // True verdicts refine as always; a *measured* straddling verdict also
-    // refines (the flagged subtree may still localise the suspect), but an
-    // unmeasured Unknown is terminal — repeating a failed experiment at
-    // child foci yields no new evidence.
+    }
+}
+
+/// The refinement rule, identical in both search paths: true verdicts
+/// refine as always; a *measured* straddling verdict also refines (the
+/// flagged subtree may still localise the suspect); a `False` or
+/// unmeasured-`Unknown` parent is **early-cut** — its interval can no
+/// longer be changed by any child measurement (`False`: the whole interval
+/// is at-or-below the threshold; unmeasured: repeating a failed experiment
+/// at child foci yields no new evidence), so the subtree is pruned before
+/// a single child experiment runs, counted under `consultant.early_cut`.
+fn should_explore(node: &ExperimentNode, depth: usize, config: &ConsultantConfig) -> bool {
     let explore = match node.verdict {
         Verdict::True => true,
         Verdict::Unknown => node.note.is_none(),
         Verdict::False => false,
     };
-    if explore && depth < config.max_depth {
-        let candidates = match cache.entry(focus.to_string()) {
-            Entry::Occupied(e) => {
-                pdmap_obs::counter("consultant.cache_hit").incr();
-                e.get().clone()
-            }
-            Entry::Vacant(e) => {
-                pdmap_obs::counter("consultant.cache_miss").incr();
-                e.insert(tool.data().refinement_candidates(focus)).clone()
-            }
-        };
-        for refined in candidates {
-            let child = test_hypothesis(tool, config, h, &refined, depth + 1, cache);
+    if !explore && depth < config.max_depth {
+        pdmap_obs::counter("consultant.early_cut").incr();
+    }
+    explore && depth < config.max_depth
+}
+
+/// Cached where-axis refinement lookup. The list is computed off-lock (a
+/// losing racer recomputes an identical list — axis merges are idempotent)
+/// and shared as `Arc<[Focus]>`, so hits cost a refcount, not a clone.
+fn refinements(tool: &Paradyn, cache: &Mutex<RefinementCache>, focus: &Focus) -> Arc<[Focus]> {
+    let key = focus.to_string();
+    if let Some(hit) = lock(cache).get(&key).cloned() {
+        pdmap_obs::counter("consultant.cache_hit").incr();
+        return hit;
+    }
+    let computed = tool.data().refinement_candidates(focus);
+    match lock(cache).entry(key) {
+        Entry::Occupied(e) => {
+            pdmap_obs::counter("consultant.cache_hit").incr();
+            e.get().clone()
+        }
+        Entry::Vacant(e) => {
+            pdmap_obs::counter("consultant.cache_miss").incr();
+            e.insert(computed).clone()
+        }
+    }
+}
+
+/// Runs the consultant search over a loaded [`Paradyn`] tool — the
+/// sequential baseline: hypotheses in catalogue order, one uncached
+/// machine run per experiment, depth-first refinement.
+pub fn search(tool: &Paradyn, config: &ConsultantConfig) -> Vec<ExperimentNode> {
+    let cache = Mutex::new(RefinementCache::new());
+    HYPOTHESES
+        .iter()
+        .map(|h| test_hypothesis(tool, config, h, &Focus::whole_program(), 0, &cache))
+        .collect()
+}
+
+fn test_hypothesis(
+    tool: &Paradyn,
+    config: &ConsultantConfig,
+    h: &Hypothesis,
+    focus: &Focus,
+    depth: usize,
+    cache: &Mutex<RefinementCache>,
+) -> ExperimentNode {
+    let measured = {
+        let _experiment = pdmap_obs::span(experiment_obs_site());
+        tool.run_experiment(&Experiment {
+            metric: h.metric.to_string(),
+            focus: focus.clone(),
+        })
+    };
+    let mut node = evaluate(tool, config, h, focus, measured);
+    if should_explore(&node, depth, config) {
+        for refined in refinements(tool, cache, focus).iter() {
+            let child = test_hypothesis(tool, config, h, refined, depth + 1, cache);
             node.children.push(child);
         }
     }
     node
 }
 
+/// One frontier work item: a hypothesis to test at a focus, with the slot
+/// its result lands in.
+struct Item {
+    hyp: Hypothesis,
+    focus: Focus,
+    depth: usize,
+    slot: usize,
+}
+
+/// One arena slot. Children are slot indices recorded in refinement-
+/// candidate order at push time, so the assembled tree never depends on
+/// worker completion order.
+#[derive(Default)]
+struct Slot {
+    node: Option<ExperimentNode>,
+    children: Vec<usize>,
+}
+
+struct Frontier {
+    queue: VecDeque<Item>,
+    slots: Vec<Slot>,
+    /// Items popped but not yet completed; the search is done when the
+    /// queue is empty *and* nothing is in flight (an in-flight item may
+    /// still push refinements).
+    active: usize,
+}
+
+/// Runs the consultant search as a work-stealing parallel frontier. Same
+/// experiments, same verdicts, byte-identical [`render`] output as
+/// [`search`] — but overlapping experiments share machine runs through
+/// the measurement cache and independent ones run concurrently. See the
+/// module docs for the design.
+pub fn search_parallel(tool: &Paradyn, config: &ConsultantConfig) -> Vec<ExperimentNode> {
+    pdmap_obs::counter("consultant.pool.searches").incr();
+    // One machine run at a focus serves every hypothesis metric: the
+    // batch each cache miss measures.
+    let batch: Vec<String> = HYPOTHESES.iter().map(|h| h.metric.to_string()).collect();
+    let cache = Mutex::new(RefinementCache::new());
+    let mut init = Frontier {
+        queue: VecDeque::new(),
+        slots: Vec::new(),
+        active: 0,
+    };
+    for h in HYPOTHESES {
+        let slot = init.slots.len();
+        init.slots.push(Slot::default());
+        init.queue.push_back(Item {
+            hyp: *h,
+            focus: Focus::whole_program(),
+            depth: 0,
+            slot,
+        });
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.min(init.queue.len()).max(1);
+    pdmap_obs::counter("consultant.pool.workers").add(workers as u64);
+    let state = Mutex::new(init);
+    let work_cv = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| frontier_worker(tool, config, &batch, &cache, &state, &work_cv));
+        }
+    });
+    let mut slots = state.into_inner().unwrap_or_else(|e| e.into_inner()).slots;
+    (0..HYPOTHESES.len())
+        .map(|i| assemble(&mut slots, i))
+        .collect()
+}
+
+fn frontier_worker(
+    tool: &Paradyn,
+    config: &ConsultantConfig,
+    batch: &[String],
+    cache: &Mutex<RefinementCache>,
+    state: &Mutex<Frontier>,
+    work_cv: &Condvar,
+) {
+    loop {
+        let item = {
+            let mut st = lock(state);
+            loop {
+                if let Some(item) = st.queue.pop_front() {
+                    st.active += 1;
+                    break item;
+                }
+                if st.active == 0 {
+                    // Nothing queued and nothing in flight: no item can
+                    // ever be pushed again.
+                    return;
+                }
+                // Timed wait as defense-in-depth, like the daemonset drain
+                // pool: a missed notify costs 5 ms, not a hang.
+                st = work_cv
+                    .wait_timeout(st, Duration::from_millis(5))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        let measured = {
+            let _experiment = pdmap_obs::span(experiment_obs_site());
+            tool.experiment_cached(
+                &Experiment {
+                    metric: item.hyp.metric.to_string(),
+                    focus: item.focus.clone(),
+                },
+                batch,
+            )
+        };
+        let node = evaluate(tool, config, &item.hyp, &item.focus, measured);
+        let refined = should_explore(&node, item.depth, config)
+            .then(|| refinements(tool, cache, &item.focus));
+        let mut st = lock(state);
+        st.slots[item.slot].node = Some(node);
+        if let Some(refined) = refined {
+            for focus in refined.iter() {
+                let slot = st.slots.len();
+                st.slots.push(Slot::default());
+                st.slots[item.slot].children.push(slot);
+                st.queue.push_back(Item {
+                    hyp: item.hyp,
+                    focus: focus.clone(),
+                    depth: item.depth + 1,
+                    slot,
+                });
+            }
+        }
+        st.active -= 1;
+        drop(st);
+        // Refinements mean new work; a drained frontier means idle workers
+        // must re-check the termination predicate. Either way, wake all.
+        work_cv.notify_all();
+    }
+}
+
+/// Rebuilds the tree below `idx` from the slot arena, child order as
+/// recorded at push time.
+fn assemble(slots: &mut [Slot], idx: usize) -> ExperimentNode {
+    let children = std::mem::take(&mut slots[idx].children);
+    let mut node = slots[idx].node.take().expect("every queued slot is filled");
+    node.children = children.into_iter().map(|c| assemble(slots, c)).collect();
+    node
+}
+
 /// Where-axis refinements of a focus (delegates to the data manager).
-pub fn refinement_candidates(tool: &Paradyn, focus: &Focus) -> Vec<Focus> {
+pub fn refinement_candidates(tool: &Paradyn, focus: &Focus) -> Arc<[Focus]> {
     tool.data().refinement_candidates(focus)
 }
 
@@ -336,28 +548,39 @@ fn render_node(node: &ExperimentNode, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
-    write!(
-        out,
-        "{} {} @ {} — {:.1}% of wall time",
-        node.verdict.marker(),
-        node.hypothesis,
-        node.focus,
-        node.ratio * 100.0
-    )
-    .unwrap();
     if let Some(note) = &node.note {
-        write!(out, " ({note})").unwrap();
-    } else if !node.coverage.is_complete() || !node.interval.is_point() {
+        // An unmeasured experiment has no ratio; printing "0.0% of wall
+        // time" would fabricate a measurement that never happened.
         write!(
             out,
-            " in [{}, {}] ({}/{} nodes, >={} samples lost)",
-            pct(node.interval.lo),
-            pct(node.interval.hi),
-            node.coverage.nodes_reporting,
-            node.coverage.nodes_total,
-            node.coverage.samples_lost
+            "{} {} @ {} ({note})",
+            node.verdict.marker(),
+            node.hypothesis,
+            node.focus
         )
         .unwrap();
+    } else {
+        write!(
+            out,
+            "{} {} @ {} — {:.1}% of wall time",
+            node.verdict.marker(),
+            node.hypothesis,
+            node.focus,
+            node.ratio * 100.0
+        )
+        .unwrap();
+        if !node.coverage.is_complete() || !node.interval.is_point() {
+            write!(
+                out,
+                " in [{}, {}] ({}/{} nodes, >={} samples lost)",
+                pct(node.interval.lo),
+                pct(node.interval.hi),
+                node.coverage.nodes_reporting,
+                node.coverage.nodes_total,
+                node.coverage.samples_lost
+            )
+            .unwrap();
+        }
     }
     out.push('\n');
     for c in &node.children {
@@ -442,6 +665,47 @@ END
     }
 
     #[test]
+    fn parallel_search_renders_byte_identical_to_sequential() {
+        let t = tool_for(COMM_HEAVY, 4);
+        let config = ConsultantConfig {
+            threshold: 0.05,
+            max_depth: 2,
+        };
+        let sequential = render(&search(&t, &config));
+        for _ in 0..3 {
+            let parallel = render(&search_parallel(&t, &config));
+            assert_eq!(
+                sequential, parallel,
+                "parallel search must render byte-identical to the baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_shares_runs_through_the_measurement_cache() {
+        let t = tool_for(COMM_HEAVY, 4);
+        t.clear_measurement_cache();
+        let results = search_parallel(&t, &ConsultantConfig::default());
+        assert_eq!(results.len(), HYPOTHESES.len());
+        let st = t.measurement_cache_stats();
+        // Six root experiments at the same whole-program focus: one run,
+        // five hits — plus whatever the refinement levels share.
+        assert!(st.hits >= 5, "expected ≥5 cache hits, got {st:?}");
+        let experiments: u64 = {
+            fn count(n: &ExperimentNode) -> u64 {
+                1 + n.children.iter().map(count).sum::<u64>()
+            }
+            results.iter().map(count).sum()
+        };
+        assert_eq!(st.hits + st.misses, experiments);
+        assert!(
+            st.misses < experiments,
+            "machine runs saved: {} runs for {experiments} experiments",
+            st.misses
+        );
+    }
+
+    #[test]
     fn refinement_candidates_prefer_arrays_over_subregions() {
         let t = tool_for(COMM_HEAVY, 2);
         // Populate subregions dynamically.
@@ -500,9 +764,6 @@ END
 
     #[test]
     fn unknown_verdict_for_failed_measurement() {
-        // A tool with no loaded program measures nothing — but exercising
-        // that would panic in new_machine; instead request a metric the
-        // catalogue lacks by searching over a custom hypothesis.
         let t = tool_for(COMM_HEAVY, 2);
         let bogus = Hypothesis {
             name: "ExcessivePhantomTime",
@@ -514,7 +775,7 @@ END
             &bogus,
             &Focus::whole_program(),
             0,
-            &mut RefinementCache::new(),
+            &Mutex::new(RefinementCache::new()),
         );
         assert_eq!(node.verdict, Verdict::Unknown);
         let note = node
@@ -526,6 +787,26 @@ END
         let shown = render(&[node]);
         assert!(shown.contains("[?????]"), "{shown}");
         assert!(shown.contains("measurement failed"), "{shown}");
+        assert!(
+            !shown.contains("% of wall time"),
+            "an unmeasured node must not fabricate a ratio: {shown}"
+        );
+    }
+
+    #[test]
+    fn unloaded_tool_searches_to_unknown_not_panic() {
+        let t = Paradyn::new(MachineConfig::default());
+        for results in [
+            search(&t, &ConsultantConfig::default()),
+            search_parallel(&t, &ConsultantConfig::default()),
+        ] {
+            assert_eq!(results.len(), HYPOTHESES.len());
+            for node in &results {
+                assert_eq!(node.verdict, Verdict::Unknown);
+                let note = node.note.as_deref().unwrap();
+                assert!(note.contains("no program loaded"), "{note}");
+            }
+        }
     }
 
     #[test]
@@ -564,6 +845,35 @@ END
             spans - spans0 >= experiments as u64,
             "every experiment records a span: {} new spans for {experiments} experiments",
             spans - spans0
+        );
+    }
+
+    #[test]
+    fn early_cuts_are_counted() {
+        // The obs registry is global to the test binary, so assert a
+        // monotone lower bound (the delta may include concurrent tests'
+        // cuts), derived from the tree the search actually produced.
+        let t = tool_for(COMM_HEAVY, 4);
+        let config = ConsultantConfig::default();
+        let before = pdmap_obs::snapshot().counter("consultant.early_cut");
+        let seq = search(&t, &config);
+        let after = pdmap_obs::snapshot().counter("consultant.early_cut");
+        fn cuts(n: &ExperimentNode, depth: usize, config: &ConsultantConfig) -> u64 {
+            let cut = depth < config.max_depth
+                && (n.verdict == Verdict::False
+                    || (n.verdict == Verdict::Unknown && n.note.is_some()));
+            u64::from(cut)
+                + n.children
+                    .iter()
+                    .map(|c| cuts(c, depth + 1, config))
+                    .sum::<u64>()
+        }
+        let expected: u64 = seq.iter().map(|n| cuts(n, 0, &config)).sum();
+        assert!(expected > 0, "COMM_HEAVY decides some hypotheses False");
+        assert!(
+            after - before >= expected,
+            "each cut subtree increments the counter: {} < {expected}",
+            after - before
         );
     }
 

@@ -416,8 +416,10 @@ impl DataManager {
     /// Where-axis refinements of a focus: for every hierarchy, the nearest
     /// *constrainable* descendants of the current selection (arrays before
     /// their subregions, statement leaves, machine nodes). Used by the
-    /// Performance Consultant.
-    pub fn refinement_candidates(&self, focus: &Focus) -> Vec<Focus> {
+    /// Performance Consultant; returned behind `Arc` so the consultant's
+    /// refinement cache shares one allocation across every hypothesis
+    /// instead of cloning the list on each hit.
+    pub fn refinement_candidates(&self, focus: &Focus) -> std::sync::Arc<[Focus]> {
         self.sync_pending();
         let g = self.shared.read();
         let mut out = Vec::new();
@@ -440,7 +442,7 @@ impl DataManager {
                 }
             }
         }
-        out
+        out.into()
     }
 
     fn resolve_focus_locked(&self, g: &DmShared, focus: &Focus) -> Result<Vec<Pred>, FocusError> {

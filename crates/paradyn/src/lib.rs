@@ -40,6 +40,7 @@ pub mod consultant;
 pub mod daemon;
 pub mod daemonset;
 pub mod datamgr;
+pub mod mcache;
 pub mod metrics;
 pub mod report;
 pub mod selfmap;
@@ -49,7 +50,8 @@ pub mod visi;
 
 pub use catalogue::{figure9_catalogue, FIGURE9_MDL};
 pub use consultant::{
-    audit, render as render_search, search, ConsultantConfig, ExperimentNode, Verdict,
+    audit, render as render_search, search, search_parallel, ConsultantConfig, ExperimentNode,
+    Verdict,
 };
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use daemonset::{
@@ -58,11 +60,13 @@ pub use daemonset::{
     RecoveryReport, SessionCoverage, SupervisorPolicy,
 };
 pub use datamgr::{DataManager, FocusError, ShardStats};
+pub use mcache::{McacheStats, Measured, MeasurementCache};
 pub use metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 pub use report::{profile, run_report, Profile};
 pub use selfmap::{
-    ask_obs, chaos_catalogue, export_chaos_obs, export_obs, export_shard_obs, obs_catalogue,
-    obs_sentences, shard_obs_catalogue, shard_obs_mdl, CHAOS_MDL, CHAOS_OBS_COUNTERS, OBS_MDL,
+    ask_obs, chaos_catalogue, consultant_catalogue, export_chaos_obs, export_consultant_obs,
+    export_obs, export_shard_obs, obs_catalogue, obs_sentences, shard_obs_catalogue, shard_obs_mdl,
+    CHAOS_MDL, CHAOS_OBS_COUNTERS, CONSULTANT_MDL, CONSULTANT_OBS_COUNTERS, OBS_MDL,
 };
 pub use stream::{run_sampled, run_sampled_adaptive, Stream};
-pub use tool::{LoadError, Paradyn};
+pub use tool::{Experiment, LoadError, Paradyn};

@@ -26,6 +26,9 @@ pub enum RequestError {
     UnknownMetric(String),
     /// The focus could not be resolved.
     Focus(FocusError),
+    /// The tool has no program loaded, so no machine can run the
+    /// experiment.
+    NoProgram,
 }
 
 impl fmt::Display for RequestError {
@@ -33,6 +36,7 @@ impl fmt::Display for RequestError {
         match self {
             RequestError::UnknownMetric(m) => write!(f, "unknown metric '{m}'"),
             RequestError::Focus(e) => write!(f, "focus error: {e}"),
+            RequestError::NoProgram => write!(f, "no program loaded"),
         }
     }
 }
@@ -171,12 +175,28 @@ impl MetricManager {
         focus: &Focus,
         ticks_per_second: f64,
     ) -> Result<MetricRequest, RequestError> {
+        self.request_in(&self.mgr, metric, data, focus, ticks_per_second)
+    }
+
+    /// Like [`MetricManager::request`], but inserts the snippets into an
+    /// arbitrary instrumentation manager instead of the catalogue's own.
+    /// The pure-experiment path uses this to instrument a *private*
+    /// per-run manager, so concurrent experiments never execute each
+    /// other's snippets against shared primitives.
+    pub fn request_in(
+        &self,
+        mgr: &Arc<InstrumentationManager>,
+        metric: &str,
+        data: &DataManager,
+        focus: &Focus,
+        ticks_per_second: f64,
+    ) -> Result<MetricRequest, RequestError> {
         let decl = self
             .decl(metric)
             .ok_or_else(|| RequestError::UnknownMetric(metric.to_string()))?
             .clone();
         let guard: Vec<Pred> = data.resolve_focus(focus)?;
-        let instance = instantiate(&self.mgr, &decl, guard);
+        let instance = instantiate(mgr, &decl, guard);
         Ok(MetricRequest {
             decl,
             focus: focus.clone(),

@@ -2,7 +2,7 @@
 //! the metric table, per-resource profiles, the where axis, and the
 //! Performance Consultant's conclusions.
 
-use crate::consultant::{render as render_search, search, ConsultantConfig};
+use crate::consultant::{render as render_search, search_parallel, ConsultantConfig};
 use crate::tool::Paradyn;
 use crate::visi;
 use pdmap::hierarchy::Focus;
@@ -50,9 +50,9 @@ impl Profile {
 pub fn profile(tool: &Paradyn, metric: &str, parent: &Focus) -> Profile {
     let mut rows = Vec::new();
     let mut wall = 0.0;
-    for focus in tool.data().refinement_candidates(parent) {
-        if let Ok((v, w)) = tool.measure(metric, &focus) {
-            rows.push((focus, v));
+    for focus in tool.data().refinement_candidates(parent).iter() {
+        if let Ok((v, w)) = tool.measure(metric, focus) {
+            rows.push((focus.clone(), v));
             wall = w;
         }
     }
@@ -125,9 +125,10 @@ pub fn run_report(tool: &Paradyn, consultant_config: &ConsultantConfig) -> Strin
     out.push_str("\nwhere axis:\n");
     out.push_str(&tool.render_where_axis());
 
-    // 4. Consultant conclusions.
+    // 4. Consultant conclusions — via the parallel frontier, which
+    // renders byte-identical to the sequential baseline.
     out.push_str("\nPerformance Consultant:\n");
-    out.push_str(&render_search(&search(tool, consultant_config)));
+    out.push_str(&render_search(&search_parallel(tool, consultant_config)));
     out
 }
 

@@ -410,6 +410,96 @@ pub fn export_chaos_obs(snap: &ObsSnapshot) -> Vec<(MetricDecl, u64)> {
         .collect()
 }
 
+/// The observability counters behind [`CONSULTANT_MDL`], in catalogue
+/// order: `(counter name, metric display name)`. These are the parallel
+/// Performance Consultant's self-observation events — frontier pool
+/// sizing, measurement-cache effectiveness, and early-cut pruning — so the
+/// consultant's own search economics are measurable with the same
+/// machinery it applies to applications.
+pub const CONSULTANT_OBS_COUNTERS: [(&str, &str); 5] = [
+    ("consultant.pool.searches", "Consultant Pool Searches"),
+    ("consultant.pool.workers", "Consultant Pool Workers"),
+    ("consultant.mcache_hit", "Consultant Measurement Cache Hits"),
+    (
+        "consultant.mcache_miss",
+        "Consultant Measurement Cache Misses",
+    ),
+    ("consultant.early_cut", "Consultant Early Cuts"),
+];
+
+/// The MDL source for the parallel-consultant catalogue: one Count metric
+/// per [`CONSULTANT_OBS_COUNTERS`] entry, in the same order.
+pub const CONSULTANT_MDL: &str = r#"
+// ------------------ Tool level: parallel consultant ------------------
+
+metric consultant_pool_searches {
+    name "Consultant Pool Searches";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Parallel frontier searches started.";
+    foreach point "obs::consultant:pool_search" { incrCounter 1; }
+}
+
+metric consultant_pool_workers {
+    name "Consultant Pool Workers";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Frontier workers spawned across all parallel searches (min(cores, frontier) per search).";
+    foreach point "obs::consultant:pool_worker" { incrCounter 1; }
+}
+
+metric consultant_mcache_hits {
+    name "Consultant Measurement Cache Hits";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Experiments answered from a cached (or in-flight shared) measurement batch.";
+    foreach point "obs::consultant:mcache_hit" { incrCounter 1; }
+}
+
+metric consultant_mcache_misses {
+    name "Consultant Measurement Cache Misses";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Experiments that ran an instrumented machine (one per distinct focus, program and coverage epoch).";
+    foreach point "obs::consultant:mcache_miss" { incrCounter 1; }
+}
+
+metric consultant_early_cuts {
+    name "Consultant Early Cuts";
+    units operations;
+    aggregate sum;
+    level "Tool";
+    description "Subtrees pruned because the parent's decided (or unmeasurable) interval could not be changed by any child experiment.";
+    foreach point "obs::consultant:early_cut" { incrCounter 1; }
+}
+"#;
+
+/// Parses the parallel-consultant catalogue. Panics only if the embedded
+/// source is broken (covered by tests).
+pub fn consultant_catalogue() -> MdlFile {
+    parse_mdl(CONSULTANT_MDL).expect("embedded CONSULTANT MDL must parse")
+}
+
+/// Exports the parallel-consultant counters from an [`ObsSnapshot`] as
+/// `(metric, value)` samples in catalogue order — counters the snapshot
+/// has never seen report zero, so the export is always complete.
+pub fn export_consultant_obs(snap: &ObsSnapshot) -> Vec<(MetricDecl, u64)> {
+    let catalogue = consultant_catalogue();
+    catalogue
+        .metrics
+        .into_iter()
+        .zip(CONSULTANT_OBS_COUNTERS)
+        .map(|(m, (counter, _))| {
+            let v = snap.counter(counter);
+            (m, v)
+        })
+        .collect()
+}
+
 /// The per-shard counter fields exported for a sharded
 /// [`crate::datamgr::DataManager`], in catalogue order. `lock_wait_ns`
 /// follows the Time-metric convention (declared `units seconds`, values in
@@ -738,6 +828,38 @@ mod tests {
             assert_eq!(m.name, display);
             assert_eq!(m.level, OBS_LEVEL, "metric {} has wrong level", m.id);
         }
+    }
+
+    #[test]
+    fn consultant_catalogue_matches_counters_exactly() {
+        let f = consultant_catalogue();
+        assert_eq!(f.metrics.len(), CONSULTANT_OBS_COUNTERS.len());
+        let reparsed = parse_mdl(&f.emit()).unwrap();
+        assert_eq!(f, reparsed);
+        for (m, (_, display)) in f.metrics.iter().zip(CONSULTANT_OBS_COUNTERS) {
+            assert_eq!(m.name, display);
+            assert_eq!(m.level, OBS_LEVEL, "metric {} has wrong level", m.id);
+        }
+    }
+
+    #[test]
+    fn consultant_exporter_reads_the_counters() {
+        // The registry is global to the test binary, so assert lower
+        // bounds rather than exact values.
+        pdmap_obs::counter("consultant.pool.searches").incr();
+        pdmap_obs::counter("consultant.early_cut").incr();
+        let snap = pdmap_obs::snapshot();
+        let rows = export_consultant_obs(&snap);
+        assert_eq!(rows.len(), CONSULTANT_OBS_COUNTERS.len());
+        let lookup = |name: &str| {
+            rows.iter()
+                .find(|(m, _)| m.name == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(lookup("Consultant Pool Searches") >= 1);
+        assert!(lookup("Consultant Early Cuts") >= 1);
+        let _ = lookup("Consultant Measurement Cache Hits");
     }
 
     #[test]

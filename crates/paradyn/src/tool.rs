@@ -4,6 +4,7 @@
 
 use crate::daemonset::{Coverage, FleetPerturbation, SessionCoverage};
 use crate::datamgr::DataManager;
+use crate::mcache::{McacheStats, Measured, MeasurementCache};
 use crate::metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
 use crate::stream::{run_sampled, Stream};
 use cmf_lang::{CompileOptions, Compiled};
@@ -11,6 +12,9 @@ use cmrts_sim::{Machine, MachineConfig, Program, RunSummary};
 use dyninst_sim::InstrumentationManager;
 use pdmap::hierarchy::Focus;
 use pdmap::model::Namespace;
+use pdmap::util::FxHasher;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Errors from loading a program into the tool.
@@ -22,6 +26,8 @@ pub enum LoadError {
     Pif(pdmap_pif::ApplyError),
     /// The lowered program failed machine validation.
     Ir(cmrts_sim::IrError),
+    /// No program has been loaded yet.
+    NoProgram,
 }
 
 impl std::fmt::Display for LoadError {
@@ -30,8 +36,21 @@ impl std::fmt::Display for LoadError {
             LoadError::Compile(e) => write!(f, "compile error: {e}"),
             LoadError::Pif(e) => write!(f, "PIF import error: {e}"),
             LoadError::Ir(e) => write!(f, "IR error: {e}"),
+            LoadError::NoProgram => write!(f, "no program loaded"),
         }
     }
+}
+
+/// One pure consultant experiment: a metric at a focus. Running it
+/// through [`Paradyn::run_experiment`] is a function of the tool's
+/// loaded program and session coverage only — no mutable state is
+/// threaded, so experiments can run concurrently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Experiment {
+    /// Metric name (id or display name from the catalogue).
+    pub metric: String,
+    /// The focus to constrain it to.
+    pub focus: Focus,
 }
 
 impl std::error::Error for LoadError {}
@@ -56,6 +75,18 @@ pub struct Paradyn {
     /// the run report so telemetry overhead is visible next to the data
     /// it perturbs. `None` means no node is self-observing.
     perturbation: Mutex<Option<FleetPerturbation>>,
+    /// Content hash of the loaded program (PIF text × machine shape);
+    /// `0` while nothing is loaded. Part of every measurement-cache key,
+    /// so a reloaded tool can never serve another program's measurements.
+    program_hash: AtomicU64,
+    /// Bumped by every session-coverage change, mapping toggle, and
+    /// program load. Part of every measurement-cache key: a fleet
+    /// degradation mid-search makes all cached intervals unreachable
+    /// instead of serving a stale narrow one.
+    coverage_epoch: AtomicU64,
+    /// The content-addressed measurement cache behind
+    /// [`Paradyn::experiment_cached`].
+    mcache: MeasurementCache,
 }
 
 impl Paradyn {
@@ -75,6 +106,9 @@ impl Paradyn {
             program: None,
             session: Mutex::new(None),
             perturbation: Mutex::new(None),
+            program_hash: AtomicU64::new(0),
+            coverage_epoch: AtomicU64::new(0),
+            mcache: MeasurementCache::new(),
         }
     }
 
@@ -125,6 +159,11 @@ impl Paradyn {
             .map_err(LoadError::Pif)?;
         self.data.ensure_machine(self.config.nodes);
         self.program = Some(compiled.program().clone());
+        let mut h = FxHasher::default();
+        h.write(compiled.pif_text.as_bytes());
+        h.write_usize(self.config.nodes);
+        self.program_hash.store(h.finish(), Ordering::SeqCst);
+        self.coverage_epoch.fetch_add(1, Ordering::SeqCst);
         if self.mapping.is_none() {
             self.mapping = Some(MappingInstrumentation::install(&self.mgr));
         }
@@ -139,15 +178,20 @@ impl Paradyn {
             (false, Some(mut mi)) => mi.remove(&self.mgr),
             (false, None) => {}
         }
+        // The toggle changes what experiments observe; cached
+        // measurements from the other setting must become unreachable.
+        self.coverage_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// True while the §5 dynamic mapping instrumentation is on.
+    pub fn mapping_installed(&self) -> bool {
+        self.mapping.as_ref().is_some_and(|mi| mi.installed())
     }
 
     /// Builds a fresh machine for the loaded program, wired to the data
     /// manager's dynamic-mapping sink.
     pub fn new_machine(&self) -> Result<Machine, LoadError> {
-        let program = self
-            .program
-            .clone()
-            .expect("load a program before creating machines");
+        let program = self.program.clone().ok_or(LoadError::NoProgram)?;
         let mut m = Machine::new(
             self.config.clone(),
             self.ns.clone(),
@@ -165,7 +209,13 @@ impl Paradyn {
     /// health changes; every subsequent [`Paradyn::request`] and
     /// [`Paradyn::measure_with_coverage`] is stamped with it.
     pub fn set_session_coverage(&self, session: Option<SessionCoverage>) {
-        *self.session.lock().expect("session label poisoned") = session;
+        let mut guard = self.session.lock().expect("session label poisoned");
+        *guard = session;
+        // Bumped under the session lock so a concurrent
+        // [`Paradyn::session_stamp`] never pairs the new coverage with the
+        // old epoch (or vice versa): cached intervals from the previous
+        // coverage become unreachable atomically with the change.
+        self.coverage_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Installs (or clears, with `None`) the fleet's aggregated
@@ -202,6 +252,35 @@ impl Paradyn {
             .unwrap_or(0.0)
     }
 
+    /// One atomic read of everything an experiment's cache key and
+    /// interval need: `(coverage, max sample cost, coverage epoch)`. Taken
+    /// under the session lock so the triple is always internally
+    /// consistent — a concurrent [`Paradyn::set_session_coverage`] can
+    /// never pair new coverage with the old epoch.
+    pub fn session_stamp(&self) -> (Coverage, f64, u64) {
+        let guard = self.session.lock().expect("session label poisoned");
+        let coverage = guard
+            .map(|s| s.coverage)
+            .unwrap_or_else(|| Coverage::complete(self.config.nodes));
+        let max_cost = guard.map(|s| s.max_sample_cost).unwrap_or(0.0);
+        (
+            coverage,
+            max_cost,
+            self.coverage_epoch.load(Ordering::SeqCst),
+        )
+    }
+
+    /// The loaded program's content hash (PIF text × machine shape), `0`
+    /// while nothing is loaded.
+    pub fn program_hash(&self) -> u64 {
+        self.program_hash.load(Ordering::SeqCst)
+    }
+
+    /// The current coverage epoch (see the field docs for what bumps it).
+    pub fn coverage_epoch(&self) -> u64 {
+        self.coverage_epoch.load(Ordering::SeqCst)
+    }
+
     /// Requests a metric constrained to a focus. The result is stamped
     /// with the session's [`Coverage`] — complete for a single-process
     /// tool, the fleet's real coverage when a multi-daemon frontend
@@ -232,14 +311,115 @@ impl Paradyn {
         metric: &str,
         focus: &Focus,
     ) -> Result<(f64, f64, Coverage), RequestError> {
-        let mut req = self.request(metric, focus)?;
-        let mut m = self.new_machine().expect("program loaded");
-        m.run();
-        let value = req.value(&m);
-        let wall = m.wall_clock() as f64 / self.config.cost.ticks_per_second;
-        let coverage = req.coverage;
-        req.cancel(&self.mgr);
-        Ok((value, wall, coverage))
+        let m = self.run_experiment(&Experiment {
+            metric: metric.to_string(),
+            focus: focus.clone(),
+        })?;
+        Ok((m.value, m.wall, m.coverage))
+    }
+
+    /// Runs one pure experiment, uncached: a private machine run measuring
+    /// `exp.metric` at `exp.focus`. See [`Paradyn::run_experiment_batch`]
+    /// for the purity guarantees.
+    pub fn run_experiment(&self, exp: &Experiment) -> Result<Measured, RequestError> {
+        self.run_experiment_batch(std::slice::from_ref(&exp.metric), &exp.focus)
+            .into_iter()
+            .next()
+            .map(|(_, r)| r)
+            .unwrap_or(Err(RequestError::NoProgram))
+    }
+
+    /// Runs one instrumented machine measuring *every* listed metric at
+    /// `focus` in a single run, returning `(metric, result)` pairs in
+    /// request order.
+    ///
+    /// The run is **pure**: it instruments a private
+    /// [`InstrumentationManager`] (fresh registry and primitives, with the
+    /// tool's mapping instrumentation re-installed into it when the §5
+    /// toggle is on), so concurrent experiments never execute each other's
+    /// snippets against shared primitives. Instrumentation in the
+    /// simulator is passive — it mutates counters and timers, never the
+    /// simulated clock — so a batched run produces values byte-identical
+    /// to six single-metric runs.
+    pub fn run_experiment_batch(
+        &self,
+        metrics: &[String],
+        focus: &Focus,
+    ) -> Vec<(String, Result<Measured, RequestError>)> {
+        let Some(program) = self.program.clone() else {
+            return metrics
+                .iter()
+                .map(|m| (m.clone(), Err(RequestError::NoProgram)))
+                .collect();
+        };
+        let (coverage, _max_cost, _epoch) = self.session_stamp();
+        let tps = self.config.cost.ticks_per_second;
+        let mgr = Arc::new(InstrumentationManager::new());
+        let _mapping = self
+            .mapping_installed()
+            .then(|| MappingInstrumentation::install(&mgr));
+        let reqs: Vec<(String, Result<MetricRequest, RequestError>)> = metrics
+            .iter()
+            .map(|m| {
+                (
+                    m.clone(),
+                    self.metrics.request_in(&mgr, m, &self.data, focus, tps),
+                )
+            })
+            .collect();
+        let mut machine = Machine::new(self.config.clone(), self.ns.clone(), mgr, program)
+            .expect("loaded program passed machine validation");
+        machine.set_mapping_sink(self.data.clone());
+        machine.run();
+        let wall = machine.wall_clock() as f64 / tps;
+        reqs.into_iter()
+            .map(|(name, r)| {
+                let out = r.map(|req| Measured {
+                    value: req.value(&machine),
+                    wall,
+                    coverage,
+                });
+                (name, out)
+            })
+            .collect()
+    }
+
+    /// [`Paradyn::run_experiment`] through the content-addressed
+    /// measurement cache: the first experiment at a focus runs one machine
+    /// measuring every metric in `batch`, and every later (or concurrent)
+    /// experiment at the same `(focus, program content-hash, coverage
+    /// epoch)` shares that run. A metric outside the cached batch falls
+    /// back to an uncached run.
+    pub fn experiment_cached(
+        &self,
+        exp: &Experiment,
+        batch: &[String],
+    ) -> Result<Measured, RequestError> {
+        if self.program.is_none() {
+            return Err(RequestError::NoProgram);
+        }
+        let (_, _, epoch) = self.session_stamp();
+        let program = self.program_hash.load(Ordering::SeqCst);
+        let focus_key = exp.focus.to_string();
+        match self
+            .mcache
+            .get_or_fill(&exp.metric, &focus_key, program, epoch, || {
+                Arc::new(self.run_experiment_batch(batch, &exp.focus))
+            }) {
+            Some(r) => r,
+            None => self.run_experiment(exp),
+        }
+    }
+
+    /// Hit/miss counters of the measurement cache.
+    pub fn measurement_cache_stats(&self) -> McacheStats {
+        self.mcache.stats()
+    }
+
+    /// Drops every cached measurement and zeroes the counters (bench
+    /// hygiene between repetitions).
+    pub fn clear_measurement_cache(&self) {
+        self.mcache.clear();
     }
 
     /// Runs a fresh machine while sampling the given requests.
@@ -247,10 +427,14 @@ impl Paradyn {
         &self,
         requests: &[MetricRequest],
         every_steps: usize,
-    ) -> (Vec<Stream>, RunSummary, Machine) {
-        let mut m = self.new_machine().expect("program loaded");
+    ) -> Result<(Vec<Stream>, RunSummary, Machine), RequestError> {
+        let mut m = match self.new_machine() {
+            Ok(m) => m,
+            Err(LoadError::NoProgram) => return Err(RequestError::NoProgram),
+            Err(e) => panic!("loaded program failed machine validation: {e}"),
+        };
         let (streams, summary) = run_sampled(&mut m, requests, every_steps);
-        (streams, summary, m)
+        Ok((streams, summary, m))
     }
 
     /// Renders the current where axis (Figure 8).
@@ -351,9 +535,86 @@ mod tests {
     fn sampled_run_produces_streams() {
         let t = tool();
         let reqs = vec![t.request("Broadcasts", &Focus::whole_program()).unwrap()];
-        let (streams, summary, _m) = t.run_sampled(&reqs, 1);
+        let (streams, summary, _m) = t.run_sampled(&reqs, 1).unwrap();
         assert_eq!(streams.len(), 1);
         assert_eq!(streams[0].last_value(), summary.broadcasts as f64);
+    }
+
+    #[test]
+    fn unloaded_tool_errors_instead_of_panicking() {
+        let t = Paradyn::new(MachineConfig::default());
+        assert!(matches!(
+            t.measure("Summations", &Focus::whole_program()),
+            Err(RequestError::NoProgram)
+        ));
+        assert!(matches!(
+            t.measure_with_coverage("Summations", &Focus::whole_program()),
+            Err(RequestError::NoProgram)
+        ));
+        assert!(matches!(
+            t.run_sampled(&[], 1),
+            Err(RequestError::NoProgram)
+        ));
+        assert!(matches!(t.new_machine(), Err(LoadError::NoProgram)));
+        assert!(matches!(
+            t.experiment_cached(
+                &Experiment {
+                    metric: "Summations".into(),
+                    focus: Focus::whole_program(),
+                },
+                &["Summations".to_string()],
+            ),
+            Err(RequestError::NoProgram)
+        ));
+    }
+
+    #[test]
+    fn batched_experiment_matches_single_metric_runs() {
+        let t = tool();
+        let metrics = ["Summations".to_string(), "Broadcasts".to_string()];
+        let batch = t.run_experiment_batch(&metrics, &Focus::whole_program());
+        assert_eq!(batch.len(), 2);
+        for (name, r) in &batch {
+            let single = t
+                .run_experiment(&Experiment {
+                    metric: name.clone(),
+                    focus: Focus::whole_program(),
+                })
+                .unwrap();
+            let batched = r.as_ref().unwrap();
+            assert_eq!(batched.value, single.value, "{name}");
+            assert_eq!(batched.wall, single.wall, "{name}");
+        }
+    }
+
+    #[test]
+    fn cached_experiments_share_one_run_until_the_epoch_bumps() {
+        let t = tool();
+        t.clear_measurement_cache();
+        let metrics: Vec<String> = vec!["Summations".into(), "Broadcasts".into()];
+        let exp = |m: &str| Experiment {
+            metric: m.into(),
+            focus: Focus::whole_program(),
+        };
+        let a = t.experiment_cached(&exp("Summations"), &metrics).unwrap();
+        let b = t.experiment_cached(&exp("Broadcasts"), &metrics).unwrap();
+        assert_eq!(a.value, 4.0);
+        assert!(b.wall > 0.0);
+        let st = t.measurement_cache_stats();
+        assert_eq!((st.hits, st.misses), (1, 1), "second metric was a hit");
+        // A coverage change invalidates the batch: next lookup re-measures.
+        t.set_session_coverage(Some(SessionCoverage {
+            coverage: Coverage {
+                nodes_reporting: 3,
+                nodes_total: 4,
+                samples_lost: 1,
+            },
+            max_sample_cost: 2.0,
+        }));
+        let c = t.experiment_cached(&exp("Summations"), &metrics).unwrap();
+        assert_eq!(c.coverage.nodes_reporting, 3, "fresh stamp, not stale");
+        let st = t.measurement_cache_stats();
+        assert_eq!((st.hits, st.misses), (1, 2), "epoch bump forced a miss");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run --example consultant
 //! ```
 
-use paradyn_tool::consultant::{render, search, ConsultantConfig};
+use paradyn_tool::consultant::{render, search_parallel, ConsultantConfig};
 use paradyn_tool::tool::Paradyn;
 
 /// A program whose time goes into communication: repeated global sorts and
@@ -37,8 +37,13 @@ fn main() {
         "searching (threshold {:.0}%)...\n",
         config.threshold * 100.0
     );
-    let results = search(&tool, &config);
+    let results = search_parallel(&tool, &config);
     print!("{}", render(&results));
+    let st = tool.measurement_cache_stats();
+    println!(
+        "\nmeasurement cache: {} hits / {} misses (machine runs saved: {})",
+        st.hits, st.misses, st.hits
+    );
 
     // Summarise the confirmed bottlenecks; undecided hypotheses (possible
     // only over a degraded fleet) are listed apart, never as "confirmed".

@@ -44,7 +44,7 @@ fn main() {
     ];
 
     // 3. Run while sampling, then display.
-    let (streams, summary, machine) = tool.run_sampled(&requests, 1);
+    let (streams, summary, machine) = tool.run_sampled(&requests, 1).expect("program loaded");
     println!(
         "run complete: {} blocks, {} messages, {} broadcasts, wall = {} ticks",
         summary.blocks_dispatched,

@@ -42,7 +42,7 @@ fn main() {
         tool.request("Rotations", &Focus::whole_program()).unwrap(),
     ];
 
-    let (streams, summary, machine) = tool.run_sampled(&requests, 1);
+    let (streams, summary, machine) = tool.run_sampled(&requests, 1).expect("program loaded");
     println!("program:\n{SRC}");
     println!(
         "run: {} blocks, {} messages, wall {} ticks",

@@ -12,9 +12,10 @@
 //! 3. A seeded [`FaultPlan`] partition window produces labeled sample
 //!    loss, and the verdict intervals widen monotonically with that loss.
 
-use paradyn_tool::consultant::{audit, render, search, ConsultantConfig, Verdict};
+use paradyn_tool::consultant::{audit, render, search, search_parallel, ConsultantConfig, Verdict};
 use paradyn_tool::{
-    DaemonHealth, DaemonMsg, DaemonSet, DataManager, Paradyn, SessionCoverage, SupervisorPolicy,
+    Coverage, DaemonHealth, DaemonMsg, DaemonSet, DataManager, Paradyn, SessionCoverage,
+    SupervisorPolicy,
 };
 use pdmap::model::Namespace;
 use pdmap_transport::{
@@ -354,4 +355,116 @@ fn seeded_drop_window_widens_intervals_monotonically() {
         last_lost = Some(session.coverage.samples_lost);
         last_width = Some(width);
     }
+}
+
+#[test]
+fn parallel_search_agrees_with_sequential_under_measured_loss() {
+    // A seeded partition window produces a real measured-loss coverage
+    // label; stamped on the tool, the parallel frontier must render byte-
+    // identically to the sequential baseline, keep the audit clean, and
+    // share machine runs through the measurement cache while doing it.
+    let plan = FaultPlan {
+        seed: 42,
+        partitions: vec![(8, 14)],
+        ..FaultPlan::none()
+    };
+    let mut session = faulted_session_coverage(plan, 20);
+    assert!(session.coverage.samples_lost > 0, "{}", session.coverage);
+    session.max_sample_cost = 0.5;
+
+    let tool = tool_for(1);
+    let cfg = ConsultantConfig {
+        threshold: 0.05,
+        max_depth: 1,
+    };
+    tool.set_session_coverage(Some(session));
+    let seq = search(&tool, &cfg);
+    let before = tool.measurement_cache_stats();
+    let par = search_parallel(&tool, &cfg);
+    let after = tool.measurement_cache_stats();
+
+    assert_eq!(
+        render(&seq),
+        render(&par),
+        "degraded renders byte-identical"
+    );
+    assert!(audit(&seq, cfg.threshold).is_empty());
+    assert!(audit(&par, cfg.threshold).is_empty());
+
+    // Cache accounting: every experiment in the parallel tree went
+    // through the cache, and the six root hypotheses shared one batched
+    // run — so hits outnumber zero and misses undercut the tree size.
+    fn count(nodes: &[paradyn_tool::ExperimentNode]) -> u64 {
+        nodes.iter().map(|n| 1 + count(&n.children)).sum()
+    }
+    let experiments = count(&par);
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    assert_eq!(hits + misses, experiments, "every experiment hit the cache");
+    assert!(hits >= 5, "six roots share one batch: {hits} hits");
+    assert!(misses < experiments, "the cache saved machine runs");
+}
+
+#[test]
+fn coverage_stamp_bumps_the_epoch_and_invalidates_the_cache() {
+    // The PR 5 audit invariant, extended to the cache: a verdict computed
+    // after a coverage change must never be served from measurements taken
+    // under the old coverage. Stamping a session label bumps the coverage
+    // epoch, so a repeat search re-measures instead of hitting the cache,
+    // and its render visibly carries the new coverage.
+    let tool = tool_for(4);
+    let cfg = ConsultantConfig {
+        threshold: 0.05,
+        max_depth: 1,
+    };
+    tool.clear_measurement_cache();
+    let full = search_parallel(&tool, &cfg);
+    let s1 = tool.measurement_cache_stats();
+    assert!(s1.misses > 0);
+
+    // Unchanged coverage: a repeat search is pure cache hits.
+    let again = search_parallel(&tool, &cfg);
+    let s2 = tool.measurement_cache_stats();
+    assert_eq!(render(&again), render(&full));
+    assert_eq!(s2.misses, s1.misses, "warm repeat adds no machine runs");
+    assert!(s2.hits > s1.hits);
+
+    tool.set_session_coverage(Some(SessionCoverage {
+        coverage: Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 2,
+        },
+        max_sample_cost: 1e-6,
+    }));
+    let degraded = search_parallel(&tool, &cfg);
+    let s3 = tool.measurement_cache_stats();
+    assert!(
+        s3.misses > s2.misses,
+        "epoch bump forces re-measurement: {} !> {}",
+        s3.misses,
+        s2.misses
+    );
+    assert!(render(&degraded).contains("3/4 nodes"));
+    assert_ne!(render(&degraded), render(&full));
+    assert!(audit(&degraded, cfg.threshold).is_empty());
+}
+
+#[test]
+fn unloaded_tool_measures_to_an_error_not_a_panic() {
+    // Asking an empty tool to measure is a user error, not a crash: every
+    // measurement entry point reports `NoProgram`, and the consultant
+    // turns it into an undecided verdict with the reason in the note.
+    use pdmap::hierarchy::Focus;
+    let tool = Paradyn::new(cmrts_sim::MachineConfig::default());
+    let whole = Focus::whole_program();
+    let err = tool.measure("Computation Time", &whole).unwrap_err();
+    assert_eq!(err.to_string(), "no program loaded");
+    assert!(tool.run_sampled(&[], 1).is_err());
+
+    let results = search_parallel(&tool, &ConsultantConfig::default());
+    assert!(results.iter().all(|r| r.verdict == Verdict::Unknown));
+    assert!(results.iter().all(|r| r
+        .note
+        .as_deref()
+        .is_some_and(|n| n.contains("no program loaded"))));
 }

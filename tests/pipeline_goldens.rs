@@ -183,6 +183,62 @@ fn consultant_render_goldens() {
 }
 
 #[test]
+fn parallel_search_matches_the_render_goldens() {
+    // The work-stealing frontier is an implementation detail: against the
+    // same tool it must reproduce the pinned sequential goldens byte for
+    // byte, in both the complete-coverage and degraded frames, even
+    // though its experiments complete in nondeterministic order.
+    use paradyn_tool::consultant::{render, search, search_parallel, ConsultantConfig};
+    use paradyn_tool::{Coverage, SessionCoverage};
+    let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: 4,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    tool.load_source(cmf_lang::samples::FIGURE4).unwrap();
+    let cfg = ConsultantConfig {
+        threshold: 0.10,
+        max_depth: 0,
+    };
+    assert_eq!(
+        render(&search_parallel(&tool, &cfg)),
+        render(&search(&tool, &cfg))
+    );
+    assert!(render(&search_parallel(&tool, &cfg))
+        .starts_with("[TRUE ] ExcessiveCommunication @ <whole program> — 55.4% of wall time\n"));
+
+    tool.set_session_coverage(Some(SessionCoverage {
+        coverage: Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 2,
+        },
+        max_sample_cost: 1e-6,
+    }));
+    let degraded = render(&search_parallel(&tool, &cfg));
+    assert_eq!(degraded, render(&search(&tool, &cfg)));
+    assert!(degraded.contains("(3/4 nodes, >=2 samples lost)"));
+}
+
+#[test]
+fn unmeasured_unknown_renders_without_a_fabricated_percentage() {
+    // An experiment that never ran has no value: its rendered line must
+    // carry the note alone, never a fabricated "0.0% of wall time".
+    use paradyn_tool::consultant::{render, search_parallel, ConsultantConfig};
+    let tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig::default());
+    let shown = render(&search_parallel(&tool, &ConsultantConfig::default()));
+    let golden = "\
+[?????] ExcessiveCommunication @ <whole program> (measurement failed: no program loaded)
+[?????] ExcessiveBroadcast @ <whole program> (measurement failed: no program loaded)
+[?????] ExcessiveIdleTime @ <whole program> (measurement failed: no program loaded)
+[?????] ExcessiveReductionTime @ <whole program> (measurement failed: no program loaded)
+[?????] ExcessiveSortTime @ <whole program> (measurement failed: no program loaded)
+[?????] ExcessiveIOTime @ <whole program> (measurement failed: no program loaded)
+";
+    assert_eq!(shown, golden);
+    assert!(!shown.contains("% of wall time"));
+}
+
+#[test]
 fn deterministic_run_summary_golden() {
     // The Figure 4 program on 4 nodes with the default cost model: the
     // exact event counts the rest of the documentation quotes.
