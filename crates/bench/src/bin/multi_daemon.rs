@@ -36,6 +36,21 @@
 //! samples/sec.
 //!
 //! ```sh
+//! cargo run -p pdmap-bench --release --bin multi_daemon -- --failover
+//! ```
+//!
+//! `--failover` runs the relay failover drill: an 8-relay × 8-leaves
+//! aggregation tree (64 streaming leaf processes, all with a failover
+//! budget and a replay ring), SIGKILL one relay mid-stream (`--seed`
+//! picks the victim reproducibly), and the tool's supervisor adopts the
+//! orphaned subtree from the dead relay's last topology announcement —
+//! dialing the 8 leaves directly, seeding their replay with the exact
+//! per-child source marks, and folding coverage back to 64/64. Exits
+//! nonzero unless conservation closes exactly (zero lost, zero
+//! duplicated) and the fleet heals within the deadline. Prints the
+//! `BENCH_failover.json` document on stdout.
+//!
+//! ```sh
 //! cargo run -p pdmap-bench --release --bin multi_daemon -- --health
 //! ```
 //!
@@ -147,6 +162,8 @@ struct Options {
     n: usize,
     chaos: bool,
     health: bool,
+    failover: bool,
+    seed: u64,
     relay_fanout: Option<usize>,
     plan: FaultPlan,
     secret: Option<String>,
@@ -157,6 +174,8 @@ fn parse_options() -> Options {
         n: 4,
         chaos: false,
         health: false,
+        failover: false,
+        seed: 42,
         relay_fanout: None,
         plan: FaultPlan::none(),
         secret: None,
@@ -166,6 +185,11 @@ fn parse_options() -> Options {
         match arg.as_str() {
             "--chaos" => opts.chaos = true,
             "--health" => opts.health = true,
+            "--failover" => opts.failover = true,
+            "--seed" => {
+                let s = args.next().expect("--seed requires a value");
+                opts.seed = s.parse().unwrap_or_else(|_| panic!("bad --seed"));
+            }
             "--relay-fanout" => {
                 let f = args.next().expect("--relay-fanout requires a value");
                 opts.relay_fanout =
@@ -196,6 +220,9 @@ fn main() -> ExitCode {
     }
     if opts.health {
         return health_main();
+    }
+    if opts.failover {
+        return failover_main(&opts);
     }
     if opts.relay_fanout.is_some() {
         return fleet_main(&opts);
@@ -990,6 +1017,273 @@ fn fleet_main(opts: &Options) -> ExitCode {
         tree.json(f, leaves_n, &tree_cov),
         t0.elapsed().as_millis(),
     );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---- Relay failover drill (`--failover`) -------------------------------
+
+/// Tree width for the failover drill: 8 relays × 8 leaves = 64 nodes.
+const FO_FANOUT: usize = 8;
+
+/// The relay failover drill: build an F×F tree of streaming leaves,
+/// SIGKILL one relay mid-stream (chosen by `--seed`, reproducibly), and
+/// demand the tool's supervisor adopt the orphaned subtree — dial the
+/// dead relay's leaves from its last topology announcement, seed their
+/// replay with exact source-mark watermarks, and heal coverage back to
+/// every node with conservation *exact*: zero samples lost, zero
+/// duplicated.
+fn failover_main(opts: &Options) -> ExitCode {
+    let f = opts.relay_fanout.unwrap_or(FO_FANOUT).max(2);
+    let leaves_n = f * f;
+    let bin = pdmapd_path();
+    let t0 = Instant::now();
+    let deadline = t0 + DEADLINE * 4;
+    let mut ok = true;
+    let mut check = |what: &str, cond: bool| {
+        if !cond {
+            eprintln!("FAIL: {what}");
+            ok = false;
+        }
+    };
+
+    // Long-streaming leaves with a failover budget: on upstream death they
+    // pause, await adoption, and replay their ring past the seeded
+    // watermark instead of dying with the relay.
+    eprintln!("failover: {f} relays x {f} leaves = {leaves_n} streaming leaf processes");
+    let leaf_procs: Vec<DaemonProc> = (0..leaves_n)
+        .map(|i| {
+            let skew = (i as i64 - leaves_n as i64 / 2) * 2_000_000;
+            let args: Vec<String> = [
+                "--listen",
+                "127.0.0.1:0",
+                "--skew-ns",
+                &skew.to_string(),
+                "--samples",
+                "100000",
+                "--period-ms",
+                "1",
+                "--batch",
+                "8",
+                "--linger-ms",
+                "60000",
+                "--connect-timeout-ms",
+                "60000",
+                "--failover-ms",
+                "20000",
+                "--replay-ring",
+                "256",
+            ]
+            .map(str::to_owned)
+            .to_vec();
+            spawn_proc(&bin, skew, &args)
+        })
+        .collect();
+    let mut relay_procs: Vec<Option<DaemonProc>> = (0..f)
+        .map(|r| {
+            let skew = (r as i64 - f as i64 / 2) * 25_000_000;
+            let mut args: Vec<String> = [
+                "--relay",
+                "--listen",
+                "127.0.0.1:0",
+                "--skew-ns",
+                &skew.to_string(),
+                "--batch",
+                "256",
+                "--flush-ms",
+                "5",
+                "--connect-timeout-ms",
+                "60000",
+            ]
+            .map(str::to_owned)
+            .to_vec();
+            for leaf in &leaf_procs[r * f..(r + 1) * f] {
+                args.extend(["--child".into(), leaf.addr.to_string()]);
+            }
+            Some(spawn_proc(&bin, skew, &args))
+        })
+        .collect();
+    let relay_addrs: Vec<SocketAddr> = relay_procs
+        .iter()
+        .map(|p| p.as_ref().unwrap().addr)
+        .collect();
+
+    let data = Arc::new(DataManager::sharded(Namespace::new(), "CM Fortran", f));
+    let mut set = DaemonSet::connect(&relay_addrs, chaos_transport(None), data);
+    set.set_policy(SupervisorPolicy {
+        degrade_after: Duration::from_millis(200),
+        quarantine_after: Duration::from_millis(400),
+        retry: ReconnectPolicy {
+            max_attempts: 20,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 7,
+        },
+        retry_sync_rounds: 3,
+        retry_sync_timeout: Duration::from_secs(2),
+        adopt_orphans: true,
+        ..SupervisorPolicy::default()
+    });
+
+    let fail_early = |procs: &mut Vec<Option<DaemonProc>>, leaves: Vec<DaemonProc>| {
+        let mut all: Vec<DaemonProc> = procs.drain(..).flatten().collect();
+        kill_all(&mut all);
+        let mut leaves = leaves;
+        kill_all(&mut leaves);
+        ExitCode::FAILURE
+    };
+    if let Err(e) = set.clock_sync(3, DEADLINE) {
+        eprintln!("error: failover sync: {e}");
+        return fail_early(&mut relay_procs, leaf_procs);
+    }
+
+    // Steady state first: every relay reports its full subtree and the
+    // merged stream is moving.
+    loop {
+        set.pump_parallel();
+        let cov = set.coverage();
+        if cov.nodes_reporting == leaves_n && cov.nodes_total == leaves_n {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("error: tree never reached {leaves_n}/{leaves_n} ({})", cov);
+            return fail_early(&mut relay_procs, leaf_procs);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    set.pump_until_samples(leaves_n * 4, DEADLINE);
+
+    // SIGKILL one relay, chosen by the seed — reproducible drills kill
+    // reproducible victims. Its 8 leaves are orphaned mid-stream.
+    let victim = (opts.seed as usize) % f;
+    let mut dead = relay_procs[victim].take().unwrap();
+    dead.child.kill().expect("kill relay");
+    dead.child.wait().expect("reap relay");
+    eprintln!(
+        "failover: killed relay {victim} at {} (seed {})",
+        dead.addr, opts.seed
+    );
+    let t_kill = Instant::now();
+
+    // The supervisor quarantines the dark link, reads its last topology
+    // announcement, dials the orphans, seeds their replay, and folds
+    // coverage back — all visible from here as the set growing by f
+    // connections and coverage returning to full.
+    let mut recovery_ms: Option<u128> = None;
+    while Instant::now() < deadline {
+        set.supervise();
+        set.pump_parallel();
+        let cov = set.coverage();
+        if !set.reparents().is_empty() && cov.nodes_reporting == leaves_n {
+            recovery_ms = Some(t_kill.elapsed().as_millis());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    check(
+        &format!("fleet healed to {leaves_n}/{leaves_n} ({})", set.coverage()),
+        recovery_ms.is_some(),
+    );
+    check("exactly one re-parent event", set.reparents().len() == 1);
+    let rehomed = set.reparents().first().map_or(0, |r| r.subtree.len());
+    check(
+        &format!("the whole orphaned subtree was re-homed ({rehomed}/{f})"),
+        rehomed == f,
+    );
+    check(
+        "adopted leaves joined the session as direct connections",
+        set.len() == f + rehomed,
+    );
+
+    // The re-homed leaves keep streaming through the new route.
+    let before = set.samples().len();
+    let settle = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < settle {
+        set.supervise();
+        set.pump_parallel();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    check(
+        "the healed fleet kept streaming",
+        set.samples().len() >= before + rehomed,
+    );
+
+    // Graceful wind-down: conservation must close *exactly* through the
+    // topology change — every sample the fleet sent is in the merged
+    // stream or would be labeled lost, and the label reads zero.
+    let cov_final = set.shutdown_all(DEADLINE);
+    check(
+        &format!("final coverage is {leaves_n}/{leaves_n} ({cov_final})"),
+        cov_final.nodes_reporting == leaves_n && cov_final.nodes_total == leaves_n,
+    );
+    check(
+        &format!(
+            "zero samples lost through the handover ({})",
+            cov_final.samples_lost
+        ),
+        cov_final.samples_lost == 0,
+    );
+    check("coverage is complete", cov_final.is_complete());
+    for i in 0..f {
+        if i == victim {
+            continue;
+        }
+        let announced = set.conn(i).announced_sent();
+        let received = set.conn(i).samples_received();
+        match announced {
+            Some(a) => check(&format!("relay {i}: announced == received"), a == received),
+            None => check(&format!("relay {i} announced its count"), false),
+        }
+    }
+    // Zero duplicates: every leaf's sample values are unique (0, 1, 2, …),
+    // so a replay the seq watermark failed to suppress would repeat a
+    // value on that adopted connection.
+    let mut replays_suppressed = 0u64;
+    for i in 0..set.len() {
+        replays_suppressed += set.conn(i).replays_suppressed();
+    }
+    for i in f..set.len() {
+        let vals: Vec<u64> = set
+            .samples()
+            .iter()
+            .filter(|s| s.daemon == i)
+            .map(|s| s.value as u64)
+            .collect();
+        let distinct: std::collections::HashSet<u64> = vals.iter().copied().collect();
+        check(
+            &format!("adopted conn {i}: zero duplicate samples"),
+            vals.len() == distinct.len(),
+        );
+        check(
+            &format!("adopted conn {i} announced its count"),
+            set.conn(i).announced_sent().is_some(),
+        );
+    }
+    let recovery = set
+        .recovery_summary()
+        .map_or_else(String::new, |r| r.to_string());
+
+    println!(
+        r#"{{"failover":true,"fanout":{f},"relays":{f},"leaves":{leaves_n},"seed":{},"victim":{victim},"recovery_ms":{},"reparents":{},"rehomed":{rehomed},"epoch":{},"replays_suppressed":{replays_suppressed},"samples_lost":{},"coverage_after":"{}/{}","merged_samples":{},"recovery":"{recovery}","elapsed_ms":{},"ok":{ok}}}"#,
+        opts.seed,
+        recovery_ms.map_or(-1i128, |m| m as i128),
+        set.reparents().len(),
+        set.epoch(),
+        cov_final.samples_lost,
+        cov_final.nodes_reporting,
+        cov_final.nodes_total,
+        set.samples().len(),
+        t0.elapsed().as_millis(),
+    );
+
+    // The leaves linger after their Goodbye (the failover budget keeps
+    // them answering probes); reap the whole fleet hard.
+    let mut all: Vec<DaemonProc> = relay_procs.into_iter().flatten().collect();
+    all.extend(leaf_procs);
+    kill_all(&mut all);
     if ok {
         ExitCode::SUCCESS
     } else {

@@ -74,8 +74,8 @@ use cmrts_sim::ArrayId;
 use pdmap::interval::Interval;
 use pdmap::model::Namespace;
 use pdmap_transport::{
-    send_wire, Frame, FrameKind, PifBlob, SampleBatch, TcpClient, Transport, TransportConfig,
-    WirePayload,
+    send_wire, Frame, FrameKind, PifBlob, SampleBatch, TcpClient, TopoChild, TopologyMsg,
+    Transport, TransportConfig, WirePayload,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -203,6 +203,13 @@ pub struct SupervisorPolicy {
     pub retry_sync_rounds: u32,
     /// Budget for those rounds; an unanswered retry fails and backs off.
     pub retry_sync_timeout: Duration,
+    /// When true, quarantining a connection that announced a topology (a
+    /// relay) re-parents its orphaned children: the supervisor dials each
+    /// child directly, seeds its replay watermark from the relay's last
+    /// announcement, and folds the subtree back into coverage. Off by
+    /// default: without failover-aware daemons (`pdmapd --failover-ms`),
+    /// a dark subtree should stay visibly dark, not half-adopted.
+    pub adopt_orphans: bool,
 }
 
 impl Default for SupervisorPolicy {
@@ -215,6 +222,7 @@ impl Default for SupervisorPolicy {
             retry: pdmap_transport::ReconnectPolicy::default(),
             retry_sync_rounds: 3,
             retry_sync_timeout: Duration::from_secs(2),
+            adopt_orphans: false,
         }
     }
 }
@@ -334,10 +342,64 @@ pub struct RecoveryReport {
     pub gap: Option<u64>,
 }
 
+/// A one-line rollup of the session's recovery history — readmissions,
+/// subtree re-parentings, and the total announced gap across both — the
+/// label run_report prints as its `recovery:` banner. Built by
+/// [`DaemonSet::recovery_summary`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Quarantined connections successfully readmitted.
+    pub readmissions: usize,
+    /// Dead relays whose subtrees were re-parented.
+    pub reparents: usize,
+    /// Orphaned children re-homed as direct connections.
+    pub nodes_rehomed: usize,
+    /// Total announced sample gap across those events — a lower bound
+    /// (lives that died unannounced contribute nothing here).
+    pub gap: u64,
+}
+
+impl fmt::Display for RecoverySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} readmissions, {} re-parents ({} nodes re-homed), >={} samples gap",
+            self.readmissions, self.reparents, self.nodes_rehomed, self.gap
+        )
+    }
+}
+
+/// One subtree re-parenting, recorded by [`DaemonSet::supervise`] when a
+/// quarantined relay's orphaned children were adopted as direct
+/// connections (see [`SupervisorPolicy::adopt_orphans`]).
+#[derive(Clone, Debug)]
+pub struct ReparentReport {
+    /// Connection index of the quarantined relay.
+    pub daemon: usize,
+    /// Address (or label) of the quarantined relay.
+    pub addr: String,
+    /// Addresses of the children adopted from its last topology
+    /// announcement (in announcement order).
+    pub subtree: Vec<String>,
+    /// The relay's own announced-minus-received gap at quarantine time:
+    /// `Some(n)` when its life ended with a Goodbye, `None` when it died
+    /// unannounced. The *children's* in-flight batches are not part of
+    /// this gap — they replay to the new parent and dedup by sequence.
+    pub gap: Option<u64>,
+    /// The set-wide topology epoch this adoption established.
+    pub epoch: u64,
+}
+
 /// A factory producing a fresh tool-side transport for a daemon — how a
 /// quarantined connection is re-dialed (possibly at a new address, if the
 /// daemon restarted on a different port).
 pub type ReconnectFn = Box<dyn Fn() -> Arc<dyn Transport> + Send>;
+
+/// Dials an arbitrary address on behalf of the set — how orphaned subtree
+/// members (addresses learned only at quarantine time, from the dead
+/// relay's topology announcement) are adopted. `Arc` so per-connection
+/// reconnect factories for adopted children can share it.
+pub type DialFn = Arc<dyn Fn(SocketAddr) -> Arc<dyn Transport> + Send + Sync>;
 
 /// Health telemetry about one fleet node, assembled from the `Obs *`
 /// samples the node ships about itself under a
@@ -562,6 +624,30 @@ pub struct DaemonConn {
     /// present when the peer is a relay aggregating a subtree, absent for
     /// a leaf daemon (which counts as a 1/1 subtree).
     subtree: Option<Coverage>,
+    /// Highest [`SampleBatch::seq`] folded in on this link — the dedup
+    /// watermark that suppresses replayed batches after a handover.
+    last_seq: u64,
+    /// Replayed batches suppressed by the sequence watermark.
+    replays_suppressed: u64,
+    /// Samples this node delivered to a *previous* parent before we
+    /// adopted it — accounted as received, not lost, when closing its
+    /// announced-vs-received ledger.
+    prior_received: u64,
+    /// The peer's latest topology announcement (its children and their
+    /// per-child watermarks) — the adoption map if this relay dies.
+    topo: Option<TopologyMsg>,
+    /// Cumulative per-grandchild source marks folded from this link's
+    /// batches: `origin -> (through_seq, samples)`. Delivered-atomic, so
+    /// they seed exact replay watermarks when grandchildren are adopted.
+    source_marks: HashMap<String, (u64, u64)>,
+    /// This (dead) connection's subtree was re-parented: its nodes now
+    /// report through other connections, so it must contribute neither
+    /// nodes nor a retry — only its own already-known loss.
+    subtree_adopted: bool,
+    /// Watermark seed still owed to this (adopted) child: sent after the
+    /// first successful clock sync so the orphan can replay its ring
+    /// suffix. `(through_seq, samples)` from the dead parent's marks.
+    seed_watermark: Option<(u64, u64)>,
 }
 
 impl DaemonConn {
@@ -609,8 +695,25 @@ impl DaemonConn {
         self.lost_prior
             + self
                 .announced_sent
-                .map(|a| a.saturating_sub(self.life_received))
+                .map(|a| a.saturating_sub(self.life_received + self.prior_received))
                 .unwrap_or(0)
+    }
+
+    /// Replayed batches this link's sequence watermark suppressed — each
+    /// one a duplicate that a handover replayed and dedup caught.
+    pub fn replays_suppressed(&self) -> u64 {
+        self.replays_suppressed
+    }
+
+    /// The peer's latest topology announcement, if it is a relay.
+    pub fn topology(&self) -> Option<&TopologyMsg> {
+        self.topo.as_ref()
+    }
+
+    /// True when this connection's subtree was re-parented after
+    /// quarantine — its nodes now report through other connections.
+    pub fn is_subtree_adopted(&self) -> bool {
+        self.subtree_adopted
     }
 
     /// The send count announced by this life's Goodbye, if it arrived.
@@ -772,6 +875,28 @@ impl DaemonConn {
             },
             FrameKind::SampleBatch => match SampleBatch::from_frame(&frame) {
                 Ok(batch) => {
+                    // Sequence-watermark dedup: a handover replays the
+                    // sender's ring suffix, and anything we already folded
+                    // in arrives again with a seq at or below our
+                    // watermark. Seq 0 is a legacy unsequenced batch —
+                    // never deduped.
+                    if batch.seq != 0 && batch.seq <= self.last_seq {
+                        self.replays_suppressed += 1;
+                        return None;
+                    }
+                    if batch.seq != 0 {
+                        self.last_seq = batch.seq;
+                    }
+                    // Cumulative per-grandchild provenance: a mark in this
+                    // batch proves everything through its `through_seq`
+                    // already arrived here — the exact replay watermark if
+                    // this relay dies and we adopt its children.
+                    for m in &batch.sources {
+                        let e = self.source_marks.entry(m.origin.clone()).or_insert((0, 0));
+                        if m.through_seq >= e.0 {
+                            *e = (m.through_seq, m.samples);
+                        }
+                    }
                     let n = batch.samples.len() as u64;
                     self.samples_received += n;
                     self.life_received += n;
@@ -812,6 +937,22 @@ impl DaemonConn {
                         .push(crate::daemon::track_error(DaemonError::Codec(e.0))),
                 }
             }
+            FrameKind::Topology => match TopologyMsg::from_frame(&frame) {
+                Ok(msg) => {
+                    // A relay announcing its children (and their per-child
+                    // watermarks) — the map the supervisor adopts from if
+                    // this link dies. A self-beacon (one entry naming the
+                    // origin itself) carries no subtree and is ignored:
+                    // leaves beacon standby relays, not the tool.
+                    let beacon = msg.children.len() == 1 && msg.children[0].addr == msg.origin;
+                    if !beacon {
+                        self.topo = Some(msg);
+                    }
+                }
+                Err(e) => self
+                    .decode_errors
+                    .push(crate::daemon::track_error(DaemonError::Codec(e.0))),
+            },
             // Heartbeats/acks/hellos are consumed inside the transport;
             // anything else surfacing here has no daemon-channel meaning.
             _ => {}
@@ -834,6 +975,10 @@ struct SetObs {
     pool_drains: Arc<pdmap_obs::Counter>,
     /// Degrades triggered by stale self-telemetry (`daemonset.obs_stale`).
     obs_stale: Arc<pdmap_obs::Counter>,
+    /// Subtrees re-parented after relay quarantine (`daemonset.reparent`).
+    reparent: Arc<pdmap_obs::Counter>,
+    /// Orphaned children adopted as direct conns (`daemonset.adopted`).
+    adopted: Arc<pdmap_obs::Counter>,
 }
 
 fn set_obs() -> &'static SetObs {
@@ -846,6 +991,8 @@ fn set_obs() -> &'static SetObs {
         pool_workers: pdmap_obs::counter("daemonset.pool.workers"),
         pool_drains: pdmap_obs::counter("daemonset.pool.drains"),
         obs_stale: pdmap_obs::counter("daemonset.obs_stale"),
+        reparent: pdmap_obs::counter("daemonset.reparent"),
+        adopted: pdmap_obs::counter("daemonset.adopted"),
     })
 }
 
@@ -1066,6 +1213,24 @@ fn sync_conn(
     })
 }
 
+/// Delivers the watermark seed an adopted orphan is waiting on: a
+/// [`TopologyMsg`] naming the child itself and the highest batch sequence
+/// (plus cumulative samples) this set already folded in. The orphan then
+/// bumps its epoch and replays exactly its ring suffix past the mark.
+/// Returns true when the seed was queued.
+fn send_seed(conn: &DaemonConn, epoch: u64, watermark: u64, received: u64) -> bool {
+    let seed = TopologyMsg {
+        epoch,
+        origin: "tool".into(),
+        children: vec![TopoChild {
+            addr: conn.addr.clone(),
+            watermark,
+            received,
+        }],
+    };
+    send_wire(&*conn.tx, &seed).is_ok()
+}
+
 /// The tool side of a multi-daemon session (see the module docs).
 ///
 /// Connections are individually locked so the persistent drain pool can
@@ -1077,6 +1242,14 @@ pub struct DaemonSet {
     samples: Vec<AlignedSample>,
     policy: SupervisorPolicy,
     recoveries: Vec<RecoveryReport>,
+    reparents: Vec<ReparentReport>,
+    /// How to dial an address first learned at quarantine time (an
+    /// orphaned subtree member). Installed by [`DaemonSet::connect`];
+    /// absent for transport-injected sets unless [`DaemonSet::set_dialer`]
+    /// provides one — without it, orphans cannot be adopted.
+    dialer: Option<DialFn>,
+    /// Monotonic set-wide topology epoch, bumped per adoption.
+    epoch: u64,
     /// Built lazily at the first [`DaemonSet::pump_parallel`].
     pool: Option<DrainPool>,
     /// Per-node health assembled from streamed `Obs *` telemetry.
@@ -1119,12 +1292,17 @@ impl DaemonSet {
                 )
             })
             .collect();
-        let set = Self::over_transports(transports, data);
+        let mut set = Self::over_transports(transports, data);
         for (cell, &addr) in set.conns.iter().zip(addrs) {
             lock(cell).reconnect = Some(Box::new(move || {
                 TcpClient::connect(addr, cfg) as Arc<dyn Transport>
             }));
         }
+        // Addresses inside an orphaned subtree are only learned at
+        // quarantine time, so adoption needs a general dialer too.
+        set.dialer = Some(Arc::new(move |a: SocketAddr| {
+            TcpClient::connect(a, cfg) as Arc<dyn Transport>
+        }));
         set
     }
 
@@ -1159,6 +1337,13 @@ impl DaemonSet {
                     reconnect: None,
                     interned: HashSet::new(),
                     subtree: None,
+                    last_seq: 0,
+                    replays_suppressed: 0,
+                    prior_received: 0,
+                    topo: None,
+                    source_marks: HashMap::new(),
+                    subtree_adopted: false,
+                    seed_watermark: None,
                 }))
             })
             .collect();
@@ -1168,6 +1353,9 @@ impl DaemonSet {
             samples: Vec::new(),
             policy: SupervisorPolicy::default(),
             recoveries: Vec::new(),
+            reparents: Vec::new(),
+            dialer: None,
+            epoch: 0,
             pool: None,
             health_view: FleetHealth::default(),
             health_cursor: 0,
@@ -1222,9 +1410,44 @@ impl DaemonSet {
         lock(&self.conns[i]).health
     }
 
+    /// Installs the dialer used to adopt orphaned subtree members —
+    /// addresses first seen in a dead relay's topology announcement.
+    /// [`DaemonSet::connect`] installs a TCP one; transport-injected sets
+    /// (tests) provide their own seam here.
+    pub fn set_dialer(&mut self, f: DialFn) {
+        self.dialer = Some(f);
+    }
+
     /// Readmissions logged so far (in the order they happened).
     pub fn recoveries(&self) -> &[RecoveryReport] {
         &self.recoveries
+    }
+
+    /// Subtree re-parentings logged so far (in the order they happened).
+    pub fn reparents(&self) -> &[ReparentReport] {
+        &self.reparents
+    }
+
+    /// Rolls the recovery history up into the `recovery:` banner label —
+    /// `None` while nothing has been readmitted or re-parented, so a
+    /// clean session's report stays byte-identical.
+    pub fn recovery_summary(&self) -> Option<RecoverySummary> {
+        if self.recoveries.is_empty() && self.reparents.is_empty() {
+            return None;
+        }
+        let gap: u64 = self.recoveries.iter().filter_map(|r| r.gap).sum::<u64>()
+            + self.reparents.iter().filter_map(|r| r.gap).sum::<u64>();
+        Some(RecoverySummary {
+            readmissions: self.recoveries.len(),
+            reparents: self.reparents.len(),
+            nodes_rehomed: self.reparents.iter().map(|r| r.subtree.len()).sum(),
+            gap,
+        })
+    }
+
+    /// The set-wide topology epoch (bumped once per adoption).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// How much of the fleet the session currently covers — attach this to
@@ -1238,6 +1461,13 @@ impl DaemonSet {
         let mut cov = Coverage::default();
         for cell in &self.conns {
             let c = lock(cell);
+            // A re-parented relay's subtree now reports through other
+            // connections: counting its nodes here would double them.
+            // Only its own already-known loss still belongs to it.
+            if c.subtree_adopted {
+                cov.samples_lost += c.samples_lost();
+                continue;
+            }
             let sub = c.subtree.unwrap_or(Coverage {
                 nodes_reporting: 1,
                 nodes_total: 1,
@@ -1342,6 +1572,12 @@ impl DaemonSet {
                     }
                 }
                 DaemonHealth::Quarantined => {
+                    // A re-parented relay must not be re-dialed: its old
+                    // children now report directly, and a restarted relay
+                    // re-attaching them would double every sample.
+                    if conn.subtree_adopted {
+                        continue;
+                    }
                     if !conn.next_retry.map(|t| now >= t).unwrap_or(true) {
                         continue;
                     }
@@ -1381,6 +1617,20 @@ impl DaemonSet {
                             let attempts = conn.retry_attempt;
                             conn.retry_attempt = 0;
                             conn.next_retry = None;
+                            if let Some((w, p)) = conn.seed_watermark {
+                                // An adopted child whose first sync failed:
+                                // it is still paused awaiting its watermark
+                                // seed, so deliver it now (keeping the seq
+                                // watermark — its ring replay dedups here).
+                                if send_seed(&conn, self.epoch, w, p) {
+                                    conn.seed_watermark = None;
+                                }
+                            } else {
+                                // A *restarted* daemon begins a fresh
+                                // sequence space at 1; the old watermark
+                                // would wrongly suppress its first batches.
+                                conn.last_seq = 0;
+                            }
                             set_obs().recovered.incr();
                             self.recoveries.push(RecoveryReport {
                                 daemon: i,
@@ -1399,7 +1649,129 @@ impl DaemonSet {
                 }
             }
         }
+        if policy.adopt_orphans {
+            self.adopt_orphans();
+        }
         self.coverage()
+    }
+
+    /// Re-parents every newly quarantined relay's orphaned subtree: each
+    /// child named in the relay's last topology announcement is dialed
+    /// directly, clock-synced, and seeded with the exact replay watermark
+    /// this set already folded in (the delivered-atomic source marks that
+    /// rode in the relay's batches — or, for a child never seen in a mark,
+    /// the announcement's own watermark). The orphan replays its ring
+    /// suffix past the seed; anything the dead relay managed to forward
+    /// arrives twice and is suppressed by [`DaemonConn::last_seq`] — no
+    /// double count, no silent gap.
+    fn adopt_orphans(&mut self) {
+        let Some(dialer) = self.dialer.clone() else {
+            return;
+        };
+        let data = self.data.clone();
+        let policy = self.policy;
+        // Pass 1 (short lock holds): claim newly quarantined relays that
+        // announced a topology, taking their adoption map.
+        let mut work = Vec::new();
+        for (i, cell) in self.conns.iter().enumerate() {
+            let mut c = lock(cell);
+            if c.health != DaemonHealth::Quarantined || c.subtree_adopted || c.topo.is_none() {
+                continue;
+            }
+            let topo = c.topo.take().expect("checked above");
+            let marks = std::mem::take(&mut c.source_marks);
+            let gap = c
+                .announced_sent
+                .map(|a| a.saturating_sub(c.life_received + c.prior_received));
+            c.subtree_adopted = true;
+            work.push((i, c.addr.clone(), topo, marks, gap));
+        }
+        let shards = data.shard_count();
+        for (i, addr, topo, marks, gap) in work {
+            self.epoch += 1;
+            set_obs().reparent.incr();
+            let mut subtree = Vec::new();
+            for tc in &topo.children {
+                subtree.push(tc.addr.clone());
+                if self.conns.iter().any(|c| lock(c).addr == tc.addr) {
+                    // Already a direct connection (e.g. adopted from an
+                    // earlier failure, or dual-homed): never dial twice.
+                    continue;
+                }
+                let Ok(sock) = tc.addr.parse::<SocketAddr>() else {
+                    continue;
+                };
+                // Exact watermark when a source mark proved delivery here;
+                // the announcement's (relay-side) watermark otherwise —
+                // still duplicate-free, the relay's in-flight tail becomes
+                // labeled loss instead.
+                let (w, prior) = marks
+                    .get(&tc.addr)
+                    .copied()
+                    .unwrap_or((tc.watermark, tc.received));
+                let d = dialer.clone();
+                let idx = self.conns.len();
+                let mut conn = DaemonConn {
+                    addr: tc.addr.clone(),
+                    tx: dialer(sock),
+                    shard: idx % shards,
+                    clock: ClockEstimate::default(),
+                    samples_received: 0,
+                    pif_imports: 0,
+                    decode_errors: Vec::new(),
+                    health: DaemonHealth::Recovered,
+                    last_frame: Instant::now(),
+                    errors_at_life_start: 0,
+                    life_received: 0,
+                    announced_sent: None,
+                    lost_prior: 0,
+                    retry_attempt: 0,
+                    next_retry: None,
+                    reconnect: Some(Box::new(move || d(sock))),
+                    interned: HashSet::new(),
+                    subtree: None,
+                    last_seq: w,
+                    replays_suppressed: 0,
+                    prior_received: prior,
+                    topo: None,
+                    source_marks: HashMap::new(),
+                    subtree_adopted: false,
+                    seed_watermark: Some((w, prior)),
+                };
+                set_obs().adopted.incr();
+                match sync_conn(
+                    &mut conn,
+                    &data,
+                    &mut self.samples,
+                    idx,
+                    policy.retry_sync_rounds,
+                    policy.retry_sync_timeout,
+                ) {
+                    Some(est) => {
+                        conn.clock = est;
+                        if send_seed(&conn, self.epoch, w, prior) {
+                            conn.seed_watermark = None;
+                        }
+                    }
+                    None => {
+                        // Keep the connection (and its owed seed): the
+                        // ordinary retry machinery readmits it and sends
+                        // the seed once the orphan answers.
+                        conn.health = DaemonHealth::Quarantined;
+                        conn.next_retry = Some(Instant::now() + policy.retry.delay_for(0));
+                        set_obs().quarantine.incr();
+                    }
+                }
+                self.conns.push(Arc::new(Mutex::new(conn)));
+            }
+            self.reparents.push(ReparentReport {
+                daemon: i,
+                addr,
+                subtree,
+                gap,
+                epoch: self.epoch,
+            });
+        }
     }
 
     /// Asks daemon `i` to shut down gracefully (drain, then announce its
@@ -1969,6 +2341,7 @@ mod tests {
             },
             retry_sync_rounds: 2,
             retry_sync_timeout: Duration::from_millis(500),
+            adopt_orphans: false,
         }
     }
 
@@ -2247,6 +2620,7 @@ mod tests {
                     value: i as f64,
                 })
                 .collect(),
+            ..Default::default()
         };
         send_wire(&*daemons[0].tx, &batch).unwrap();
         assert_eq!(set.pump_until_samples(5, Duration::from_secs(5)), 5);
@@ -2423,5 +2797,239 @@ mod tests {
         set.pump_until_samples(13, Duration::from_secs(5));
         set.supervise();
         assert_eq!(set.health(0), DaemonHealth::Healthy, "recovers on traffic");
+    }
+
+    fn seq_batch(seq: u64, epoch: u64, n: usize, wall: u64) -> pdmap_transport::SampleBatch {
+        pdmap_transport::SampleBatch {
+            samples: (0..n)
+                .map(|i| pdmap_transport::BatchSample {
+                    metric: "M".into(),
+                    focus: "/".into(),
+                    wall: wall + i as u64,
+                    value: i as f64,
+                })
+                .collect(),
+            epoch,
+            seq,
+            sources: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn replayed_batches_are_suppressed_by_the_seq_watermark() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        let wall = daemons[0].now();
+        send_wire(&*daemons[0].tx, &seq_batch(1, 0, 3, wall)).unwrap();
+        send_wire(&*daemons[0].tx, &seq_batch(2, 0, 2, wall)).unwrap();
+        assert_eq!(set.pump_until_samples(5, Duration::from_secs(5)), 5);
+        assert_eq!(set.conn(0).replays_suppressed(), 0);
+
+        // A handover replays seq 2 under a bumped epoch: exactly one
+        // suppression, zero new samples.
+        send_wire(&*daemons[0].tx, &seq_batch(2, 1, 2, wall)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.conn(0).replays_suppressed() == 0 && Instant::now() < deadline {
+            set.pump();
+            std::thread::yield_now();
+        }
+        assert_eq!(set.conn(0).replays_suppressed(), 1);
+        assert_eq!(set.conn(0).samples_received(), 5, "no double count");
+
+        // Fresh seqs past the watermark still land; legacy unsequenced
+        // batches (seq 0) are never deduped.
+        send_wire(&*daemons[0].tx, &seq_batch(3, 1, 1, wall)).unwrap();
+        send_wire(&*daemons[0].tx, &seq_batch(0, 0, 1, wall)).unwrap();
+        assert_eq!(set.pump_until_samples(7, Duration::from_secs(5)), 7);
+        assert_eq!(set.conn(0).replays_suppressed(), 1);
+    }
+
+    #[test]
+    fn recovery_summary_rolls_up_readmissions_and_reparents() {
+        let (mut set, _daemons) = set_with_skews(&[0]);
+        assert!(set.recovery_summary().is_none(), "clean session: no banner");
+        set.recoveries.push(RecoveryReport {
+            daemon: 0,
+            addr: "a".into(),
+            attempts: 1,
+            gap: Some(2),
+        });
+        set.reparents.push(ReparentReport {
+            daemon: 0,
+            addr: "a".into(),
+            subtree: vec!["b".into(), "c".into()],
+            gap: Some(3),
+            epoch: 1,
+        });
+        let s = set.recovery_summary().unwrap();
+        assert_eq!(
+            (s.readmissions, s.reparents, s.nodes_rehomed, s.gap),
+            (1, 1, 2, 5)
+        );
+        assert_eq!(
+            s.to_string(),
+            "1 readmissions, 1 re-parents (2 nodes re-homed), >=5 samples gap"
+        );
+    }
+
+    /// A dialer seam standing in for the orphaned child of a dead relay:
+    /// every dial opens an in-process link whose far end answers clock
+    /// probes and records the [`TopologyMsg`] watermark seeds it is sent,
+    /// then hands the server end to the test once the helper stops.
+    struct OrphanDialer {
+        seeds: Arc<Mutex<Vec<TopologyMsg>>>,
+        servers: Arc<Mutex<Vec<Arc<dyn Transport>>>>,
+        stop: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl OrphanDialer {
+        fn new() -> Self {
+            Self {
+                seeds: Arc::new(Mutex::new(Vec::new())),
+                servers: Arc::new(Mutex::new(Vec::new())),
+                stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            }
+        }
+
+        fn dialer(&self) -> DialFn {
+            let seeds = self.seeds.clone();
+            let servers = self.servers.clone();
+            let stop = self.stop.clone();
+            Arc::new(move |_addr| {
+                let link = Backend::InProc.link(&TransportConfig::default());
+                lock(&servers).push(link.server.clone());
+                let server = link.server.clone();
+                let seeds = seeds.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                        while let Ok(Some(frame)) = server.try_recv() {
+                            match frame.kind {
+                                FrameKind::Topology => {
+                                    if let Ok(msg) = TopologyMsg::from_frame(&frame) {
+                                        lock(&seeds).push(msg);
+                                    }
+                                }
+                                FrameKind::Daemon => {
+                                    if let Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) =
+                                        DaemonMsg::from_frame(&frame)
+                                    {
+                                        let _ = send_wire(
+                                            &*server,
+                                            &DaemonMsg::ClockReply {
+                                                token,
+                                                t_tool_ns,
+                                                t_daemon_ns: pdmap_obs::now_ns(),
+                                            },
+                                        );
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+                link.client
+            })
+        }
+    }
+
+    #[test]
+    fn quarantined_relay_subtree_is_adopted_with_exact_watermarks() {
+        let (mut set, daemons) = set_with_skews(&[0]);
+        sync(&mut set, &daemons);
+        let mut policy = fast_policy();
+        policy.adopt_orphans = true;
+        set.set_policy(policy);
+        let dialer = OrphanDialer::new();
+        set.set_dialer(dialer.dialer());
+
+        // Conn 0 is a relay: it announces one child, and its batches carry
+        // a source mark proving the child's data through seq 2 (5 samples)
+        // already arrived here — a tighter watermark than the
+        // announcement's own (seq 1, 3 samples).
+        let child = "127.0.0.1:47101";
+        send_wire(
+            &*daemons[0].tx,
+            &TopologyMsg {
+                epoch: 0,
+                origin: "fake#0".into(),
+                children: vec![TopoChild {
+                    addr: child.into(),
+                    watermark: 1,
+                    received: 3,
+                }],
+            },
+        )
+        .unwrap();
+        let mut batch = seq_batch(1, 0, 2, daemons[0].now());
+        batch.sources = vec![pdmap_transport::SourceMark {
+            origin: child.into(),
+            through_seq: 2,
+            samples: 5,
+        }];
+        send_wire(&*daemons[0].tx, &batch).unwrap();
+        assert_eq!(set.pump_until_samples(2, Duration::from_secs(5)), 2);
+        assert!(set.conn(0).topology().is_some(), "announcement folded in");
+
+        // Kill the relay; supervision must quarantine it and re-parent the
+        // orphan: dial it, sync it, and seed the *mark's* watermark.
+        daemons[0].tx.close();
+        std::thread::sleep(Duration::from_millis(15));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.reparents().is_empty() && Instant::now() < deadline {
+            set.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let rep = set.reparents().first().expect("subtree adopted").clone();
+        assert_eq!((rep.daemon, rep.epoch), (0, 1));
+        assert_eq!(rep.subtree, vec![child.to_string()]);
+        assert_eq!(rep.gap, None, "relay died unannounced");
+        assert_eq!(set.len(), 2, "the orphan is now a direct connection");
+        assert_eq!(set.conn(1).addr(), child);
+        assert!(set.conn(0).is_subtree_adopted());
+        assert_eq!(set.epoch(), 1);
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while lock(&dialer.seeds).is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let seed = lock(&dialer.seeds).first().cloned().expect("seed sent");
+        assert_eq!(seed.origin, "tool");
+        assert_eq!(seed.children[0].addr, child);
+        assert_eq!(
+            (seed.children[0].watermark, seed.children[0].received),
+            (2, 5),
+            "the delivered-atomic source mark beats the stale announcement"
+        );
+
+        // The dead relay's subtree no longer counts against coverage (its
+        // node reports directly now), and the relay is never re-dialed —
+        // a restarted relay re-attaching the child would double count.
+        let cov = set.supervise();
+        assert_eq!((cov.nodes_reporting, cov.nodes_total), (1, 1), "{cov}");
+        assert!(set.recoveries().is_empty(), "no readmission for the relay");
+
+        // End-to-end dedup through the seeded watermark: the orphan
+        // replays its ring suffix (seq ≤ 2 suppressed, seq 3 folded).
+        dialer.stop.store(true, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+        let orphan = lock(&dialer.servers).first().cloned().expect("dialed once");
+        send_wire(&*orphan, &seq_batch(2, 1, 5, pdmap_obs::now_ns())).unwrap();
+        send_wire(&*orphan, &seq_batch(3, 1, 4, pdmap_obs::now_ns())).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.conn(1).replays_suppressed() == 0 && Instant::now() < deadline {
+            set.pump();
+            std::thread::yield_now();
+        }
+        assert_eq!(set.conn(1).replays_suppressed(), 1, "replay suppressed");
+        assert_eq!(set.conn(1).samples_received(), 4, "only the fresh batch");
+        assert_eq!(
+            set.recovery_summary().unwrap().nodes_rehomed,
+            1,
+            "the banner counts the re-homed orphan"
+        );
     }
 }

@@ -56,8 +56,9 @@ pub use consultant::{
 pub use daemon::{Daemon, DaemonError, DaemonMsg, InstrLibEndpoint, ProtoError};
 pub use daemonset::{
     AlignedSample, ClockEstimate, ClockSyncError, ConnRef, Coverage, DaemonConn, DaemonHealth,
-    DaemonSet, FleetHealth, FleetPerturbation, Merged, MergedStreams, NodeHealth, ReconnectFn,
-    RecoveryReport, SessionCoverage, SupervisorPolicy,
+    DaemonSet, DialFn, FleetHealth, FleetPerturbation, Merged, MergedStreams, NodeHealth,
+    ReconnectFn, RecoveryReport, RecoverySummary, ReparentReport, SessionCoverage,
+    SupervisorPolicy,
 };
 pub use datamgr::{DataManager, FocusError, ShardStats};
 pub use mcache::{McacheStats, Measured, MeasurementCache};

@@ -102,6 +102,12 @@ pub fn run_report(tool: &Paradyn, consultant_config: &ConsultantConfig) -> Strin
     if let Some(p) = tool.fleet_perturbation() {
         writeln!(out, "perturbation: {p}").unwrap();
     }
+    // And the healing: a session that lost connections and got them back
+    // (readmission or subtree re-parenting) says so, with its gap bound;
+    // a session that never failed prints nothing.
+    if let Some(r) = tool.fleet_recovery() {
+        writeln!(out, "recovery: {r}").unwrap();
+    }
     out.push('\n');
     let rows: Vec<(String, String, String)> = requests
         .iter()
@@ -236,5 +242,33 @@ mod tests {
         // Clearing the label restores the exact full-coverage report.
         t.set_session_coverage(None);
         assert_eq!(run_report(&t, &cfg), full);
+    }
+
+    #[test]
+    fn healed_session_shows_recovery_banner() {
+        use crate::daemonset::RecoverySummary;
+        let t = tool();
+        let cfg = ConsultantConfig {
+            threshold: 0.2,
+            max_depth: 0,
+        };
+        let clean = run_report(&t, &cfg);
+        assert!(!clean.contains("recovery:"), "{clean}");
+        t.set_fleet_recovery(Some(RecoverySummary {
+            readmissions: 1,
+            reparents: 1,
+            nodes_rehomed: 2,
+            gap: 3,
+        }));
+        let healed = run_report(&t, &cfg);
+        assert!(
+            healed.contains(
+                "recovery: 1 readmissions, 1 re-parents (2 nodes re-homed), >=3 samples gap"
+            ),
+            "{healed}"
+        );
+        // Clearing the rollup restores the exact failure-free report.
+        t.set_fleet_recovery(None);
+        assert_eq!(run_report(&t, &cfg), clean);
     }
 }

@@ -2,7 +2,7 @@
 //! the metric manager, mapping instrumentation, and machines together —
 //! the in-process equivalent of the Paradyn front end plus its daemon.
 
-use crate::daemonset::{Coverage, FleetPerturbation, SessionCoverage};
+use crate::daemonset::{Coverage, FleetPerturbation, RecoverySummary, SessionCoverage};
 use crate::datamgr::DataManager;
 use crate::mcache::{McacheStats, Measured, MeasurementCache};
 use crate::metrics::{MappingInstrumentation, MetricManager, MetricRequest, RequestError};
@@ -75,6 +75,13 @@ pub struct Paradyn {
     /// the run report so telemetry overhead is visible next to the data
     /// it perturbs. `None` means no node is self-observing.
     perturbation: Mutex<Option<FleetPerturbation>>,
+    /// The fleet's recovery history rollup, when a multi-daemon frontend
+    /// installs one from
+    /// [`crate::daemonset::DaemonSet::recovery_summary`]; surfaced by the
+    /// run report so a session that healed (readmissions, re-parented
+    /// subtrees) says so next to its results. `None` means nothing ever
+    /// failed — the report is unchanged.
+    recovery: Mutex<Option<RecoverySummary>>,
     /// Content hash of the loaded program (PIF text × machine shape);
     /// `0` while nothing is loaded. Part of every measurement-cache key,
     /// so a reloaded tool can never serve another program's measurements.
@@ -106,6 +113,7 @@ impl Paradyn {
             program: None,
             session: Mutex::new(None),
             perturbation: Mutex::new(None),
+            recovery: Mutex::new(None),
             program_hash: AtomicU64::new(0),
             coverage_epoch: AtomicU64::new(0),
             mcache: MeasurementCache::new(),
@@ -229,6 +237,18 @@ impl Paradyn {
     /// self-observing.
     pub fn fleet_perturbation(&self) -> Option<FleetPerturbation> {
         *self.perturbation.lock().expect("perturbation poisoned")
+    }
+
+    /// Installs (or clears, with `None`) the fleet's recovery rollup,
+    /// refreshed by a multi-daemon frontend from
+    /// [`crate::daemonset::DaemonSet::recovery_summary`].
+    pub fn set_fleet_recovery(&self, r: Option<RecoverySummary>) {
+        *self.recovery.lock().expect("recovery poisoned") = r;
+    }
+
+    /// The installed recovery rollup, if the session ever healed.
+    pub fn fleet_recovery(&self) -> Option<RecoverySummary> {
+        *self.recovery.lock().expect("recovery poisoned")
     }
 
     /// The coverage every request is currently stamped with: the session

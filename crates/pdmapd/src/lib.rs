@@ -28,14 +28,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod failover;
 pub mod relay;
 mod selfobs;
 
 use cmrts_sim::MachineConfig;
+pub use failover::WATERMARK_UNKNOWN;
 use paradyn_tool::daemon::{DaemonMsg, InstrLibEndpoint};
 use pdmap::model::Namespace;
 use pdmap_transport::{
-    send_wire, BatchSample, PifBlob, SampleBatch, TcpServer, Transport, WirePayload,
+    send_wire, BatchSample, FrameKind, PifBlob, TcpServer, TopologyMsg, Transport, WirePayload,
 };
 pub use relay::{serve_relay_until, spawn_relay, RelayConfig, RelayReport, RunningRelay};
 use std::net::SocketAddr;
@@ -76,6 +78,16 @@ pub struct DaemonConfig {
     /// Write a `pdmap_obs::span_dump` of this process's spans here at
     /// session end, for the merged fleet trace exporter.
     pub obs_trace: Option<std::path::PathBuf>,
+    /// Ordered standby parents. When the upstream link dies the daemon
+    /// pauses, waits to be adopted, and after half the failover budget
+    /// beacons each standby in order, inviting it to dial back.
+    pub parents: Vec<SocketAddr>,
+    /// How long to survive an upstream death awaiting adoption before
+    /// giving up like a plain crash. Zero disables failover entirely
+    /// (the pre-failover behavior).
+    pub failover_timeout: Duration,
+    /// Bound on the replay ring of recent upward batches.
+    pub replay_ring: usize,
 }
 
 impl Default for DaemonConfig {
@@ -92,6 +104,9 @@ impl Default for DaemonConfig {
             secret: None,
             obs_period: None,
             obs_trace: None,
+            parents: Vec::new(),
+            failover_timeout: Duration::ZERO,
+            replay_ring: 64,
         }
     }
 }
@@ -121,6 +136,12 @@ pub struct ServeReport {
     /// killed daemon leaves this false — its loss stays unannounced,
     /// which is what the tool's coverage accounting expects.
     pub graceful_shutdown: bool,
+    /// Upstream handovers survived (parent died, a new parent adopted us).
+    pub failovers: u32,
+    /// Ring batches replayed to new parents across all handovers.
+    pub batches_replayed: u64,
+    /// Final topology epoch (one bump per handover).
+    pub epoch: u64,
 }
 
 /// A daemon running on a background thread (in-process stand-in for the
@@ -133,10 +154,24 @@ pub struct RunningDaemon {
     handle: std::thread::JoinHandle<ServeReport>,
 }
 
+/// Renders a serve-thread panic payload as a diagnostic string, so a
+/// crashed daemon thread yields an `Err` the caller can report instead of
+/// a second panic that aborts the caller too.
+pub(crate) fn panic_diagnostic(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        format!("serve thread panicked: {s}")
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        format!("serve thread panicked: {s}")
+    } else {
+        "serve thread panicked".into()
+    }
+}
+
 impl RunningDaemon {
-    /// Waits for the daemon to finish and returns its report.
-    pub fn join(self) -> ServeReport {
-        self.handle.join().expect("pdmapd serve thread panicked")
+    /// Waits for the daemon to finish. `Err` carries the panic message if
+    /// the serve thread crashed — the caller keeps control either way.
+    pub fn join(self) -> Result<ServeReport, String> {
+        self.handle.join().map_err(panic_diagnostic)
     }
 
     /// SIGTERM-equivalent: asks the serve loop to drain and send its
@@ -149,10 +184,10 @@ impl RunningDaemon {
     /// SIGKILL-equivalent: tears the transport down mid-session — no
     /// drain, no Goodbye, exactly what a crashed daemon looks like to the
     /// tool — and reaps the serve thread.
-    pub fn kill(self) -> ServeReport {
+    pub fn kill(self) -> Result<ServeReport, String> {
         self.server.close();
         self.stop.store(true, Ordering::Release);
-        self.handle.join().expect("pdmapd serve thread panicked")
+        self.handle.join().map_err(panic_diagnostic)
     }
 }
 
@@ -188,15 +223,33 @@ pub(crate) fn daemon_now(skew_ns: i64) -> u64 {
     (pdmap_obs::now_ns() as i64 + CLOCK_BASE_NS as i64 + skew_ns).max(0) as u64
 }
 
+/// What one drain of the parent-facing receive queue produced.
+#[derive(Default)]
+struct Inbox {
+    /// Clock probes answered.
+    answered: u64,
+    /// A wire-level [`DaemonMsg::Shutdown`] arrived.
+    shutdown: bool,
+    /// A [`TopologyMsg`] watermark seed from an adopting parent arrived
+    /// (its children list names this daemon).
+    seed: Option<TopologyMsg>,
+}
+
 /// Drains the server's receive queue, answering clock probes with the
-/// skewed clock. Returns `(probes_answered, shutdown_requested)`; a
-/// [`DaemonMsg::Shutdown`] frame raises the second flag (the wire-level
-/// SIGTERM). Everything else inbound is tool→daemon control this daemon
-/// does not consume, and is dropped.
-fn answer_probes(server: &TcpServer, skew_ns: i64) -> (u64, bool) {
-    let mut answered = 0;
-    let mut shutdown = false;
+/// skewed clock and capturing adoption seeds. Everything else inbound is
+/// tool→daemon control this daemon does not consume, and is dropped.
+fn answer_probes(server: &TcpServer, skew_ns: i64) -> Inbox {
+    let mut inbox = Inbox::default();
+    let me = server.local_addr().to_string();
     while let Ok(Some(frame)) = server.try_recv() {
+        if frame.kind == FrameKind::Topology {
+            if let Ok(msg) = TopologyMsg::from_frame(&frame) {
+                if msg.children.iter().any(|c| c.addr == me) {
+                    inbox.seed = Some(msg);
+                }
+            }
+            continue;
+        }
         match DaemonMsg::from_frame(&frame) {
             Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) => {
                 let reply = DaemonMsg::ClockReply {
@@ -205,14 +258,14 @@ fn answer_probes(server: &TcpServer, skew_ns: i64) -> (u64, bool) {
                     t_daemon_ns: daemon_now(skew_ns),
                 };
                 if send_wire(server as &dyn Transport, &reply).is_ok() {
-                    answered += 1;
+                    inbox.answered += 1;
                 }
             }
-            Ok(DaemonMsg::Shutdown) => shutdown = true,
+            Ok(DaemonMsg::Shutdown) => inbox.shutdown = true,
             _ => {}
         }
     }
-    (answered, shutdown)
+    inbox
 }
 
 /// Drains late probes, then announces the session's send count in a
@@ -220,8 +273,7 @@ fn answer_probes(server: &TcpServer, skew_ns: i64) -> (u64, bool) {
 /// the conservation law (`announced == received + lost`). Returns whether
 /// the Goodbye was actually delivered to the transport.
 fn flush_goodbye(server: &TcpServer, report: &mut ServeReport, skew_ns: i64) -> bool {
-    let (answered, _) = answer_probes(server, skew_ns);
-    report.probes_answered += answered;
+    report.probes_answered += answer_probes(server, skew_ns).answered;
     send_wire(
         server as &dyn Transport,
         &DaemonMsg::Goodbye {
@@ -236,6 +288,77 @@ fn flush_goodbye(server: &TcpServer, report: &mut ServeReport, skew_ns: i64) -> 
 /// expires. Equivalent to [`serve_until`] with a stop flag nobody sets.
 pub fn serve(server: Arc<TcpServer>, cfg: &DaemonConfig) -> ServeReport {
     serve_until(server, cfg, &AtomicBool::new(false))
+}
+
+/// Applies an adoption seed: replay the ring suffix past the watermark
+/// the new parent already folded in ([`WATERMARK_UNKNOWN`] when it names
+/// no mark for us) and count the handover. Factored out of
+/// [`await_adoption`] because a fast adopter can dial in *before* this
+/// daemon's own liveness timeout notices the old parent died — the seed
+/// then arrives in the ordinary sample loop and must not be dropped.
+fn apply_seed(
+    server: &TcpServer,
+    up: &mut failover::Uplink,
+    report: &mut ServeReport,
+    seed: &TopologyMsg,
+) {
+    let me = server.local_addr().to_string();
+    let w = seed
+        .children
+        .iter()
+        .find(|c| c.addr == me)
+        .map_or(failover::WATERMARK_UNKNOWN, |c| c.watermark);
+    report.batches_replayed += up.replay(server as &dyn Transport, w);
+    report.failovers += 1;
+}
+
+/// The upstream link died mid-session: pause upward sends, keep answering
+/// clock probes from whoever dials in, and wait for an adoption seed —
+/// the [`TopologyMsg`] naming this daemon and the watermark to replay
+/// past. After half the budget with no adopter, beacon each standby
+/// parent in order, inviting one to dial back. Returns `true` when the
+/// handover completed and the session should resume on the new link.
+fn await_adoption(
+    server: &TcpServer,
+    cfg: &DaemonConfig,
+    up: &mut failover::Uplink,
+    report: &mut ServeReport,
+    stop: &AtomicBool,
+) -> bool {
+    if cfg.failover_timeout.is_zero() {
+        return false;
+    }
+    let start = Instant::now();
+    let deadline = start + cfg.failover_timeout;
+    // Beacon the standbys one at a time, spaced across the second half of
+    // the budget — two standbys adopting the same orphan would each fold
+    // its stream upward and double count the subtree.
+    let mut next_beacon = start + cfg.failover_timeout / 2;
+    let spacing = cfg.failover_timeout / (2 * cfg.parents.len().max(1) as u32);
+    let mut standby = 0usize;
+    let me = server.local_addr().to_string();
+    while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+        let inbox = answer_probes(server, cfg.skew_ns);
+        report.probes_answered += inbox.answered;
+        if inbox.shutdown {
+            return false;
+        }
+        if let Some(seed) = inbox.seed {
+            apply_seed(server, up, report, &seed);
+            return true;
+        }
+        if standby < cfg.parents.len() && Instant::now() >= next_beacon {
+            let mut tcfg = pdmap_transport::TransportConfig::default();
+            if let Some(secret) = cfg.secret {
+                tcfg = tcfg.with_secret(secret);
+            }
+            failover::send_beacon(cfg.parents[standby], &up.beacon_msg(&me), tcfg);
+            standby += 1;
+            next_beacon += spacing;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
 }
 
 /// [`serve`], but interruptible: `stop` is the process's SIGTERM-equivalent
@@ -291,8 +414,9 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
     machine.set_mapping_sink(Arc::new(endpoint));
     let summary = machine.run();
     report.workload_steps = summary.blocks_dispatched;
-    let (answered, mut shutdown_msg) = answer_probes(&server, cfg.skew_ns);
-    report.probes_answered += answered;
+    let inbox = answer_probes(&server, cfg.skew_ns);
+    report.probes_answered += inbox.answered;
+    let mut shutdown_msg = inbox.shutdown;
 
     // Phase 3: performance data — periodic samples on the daemon clock,
     // interleaved with probe answering so a concurrent clock_sync works.
@@ -302,17 +426,23 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
     // A stop request (flag or wire Shutdown) breaks out to the drain.
     let endpoint = InstrLibEndpoint::over_transport(server.clone() as Arc<dyn Transport>);
     let mut pending: Vec<BatchSample> = Vec::new();
-    let flush_batch = |pending: &mut Vec<BatchSample>, report: &mut ServeReport| {
-        if pending.is_empty() {
-            return;
-        }
-        let batch = SampleBatch {
-            samples: std::mem::take(pending),
+    // Every upward batch is stamped (epoch, seq) and retained in the
+    // uplink's replay ring, so a handover can resend exactly what the old
+    // parent never passed on.
+    let mut up = failover::Uplink::new(cfg.replay_ring);
+    let flush_batch =
+        |pending: &mut Vec<BatchSample>, report: &mut ServeReport, up: &mut failover::Uplink| {
+            if pending.is_empty() {
+                return;
+            }
+            if up.send(
+                &*server as &dyn Transport,
+                std::mem::take(pending),
+                Vec::new(),
+            ) {
+                report.batches_sent += 1;
+            }
         };
-        if send_wire(&*server as &dyn Transport, &batch).is_ok() {
-            report.batches_sent += 1;
-        }
-    };
     // Health telemetry: snapshot our own registry every `obs_period` and
     // ship it as an ordinary SampleBatch under this daemon's obs focus.
     // The rows count into `samples_sent`, so the Goodbye's announcement
@@ -323,33 +453,42 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
             paradyn_tool::selfmap::obs_focus("daemon", &server.local_addr().to_string()),
         )
     });
-    let ship_obs = |obs: &mut Option<selfobs::SelfSampler>, report: &mut ServeReport| {
+    let ship_obs = |obs: &mut Option<selfobs::SelfSampler>,
+                    report: &mut ServeReport,
+                    up: &mut failover::Uplink| {
         let Some(sampler) = obs.as_mut() else { return };
         let Some(rows) = sampler.due_rows() else {
             return;
         };
         let wall = daemon_now(cfg.skew_ns);
         let focus: Arc<str> = sampler.focus().into();
-        let batch = SampleBatch {
-            samples: rows
-                .into_iter()
-                .map(|(metric, value)| BatchSample {
-                    metric: metric.into(),
-                    focus: focus.clone(),
-                    wall,
-                    value,
-                })
-                .collect(),
-        };
-        let n = batch.samples.len() as u32;
-        if send_wire(&*server as &dyn Transport, &batch).is_ok() {
+        let samples: Vec<BatchSample> = rows
+            .into_iter()
+            .map(|(metric, value)| BatchSample {
+                metric: metric.into(),
+                focus: focus.clone(),
+                wall,
+                value,
+            })
+            .collect();
+        let n = samples.len() as u32;
+        if up.send(&*server as &dyn Transport, samples, Vec::new()) {
             report.batches_sent += 1;
-            report.samples_sent += n;
-            report.obs_samples_sent += n;
         }
+        report.samples_sent += n;
+        report.obs_samples_sent += n;
     };
-    for i in 0..cfg.samples {
-        if stopping(shutdown_msg) || !server.is_alive() {
+    let mut i = 0;
+    while i < cfg.samples {
+        if stopping(shutdown_msg) {
+            break;
+        }
+        if !server.is_alive() {
+            // The parent died. With a failover budget, pause and wait to
+            // be adopted instead of abandoning the session.
+            if await_adoption(&server, cfg, &mut up, &mut report, stop) {
+                continue;
+            }
             break;
         }
         if cfg.batch > 1 {
@@ -360,7 +499,7 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
                 value: i as f64,
             });
             if pending.len() >= cfg.batch as usize {
-                flush_batch(&mut pending, &mut report);
+                flush_batch(&mut pending, &mut report, &mut up);
             }
         } else {
             endpoint.send_sample(
@@ -371,29 +510,44 @@ pub fn serve_until(server: Arc<TcpServer>, cfg: &DaemonConfig, stop: &AtomicBool
             );
         }
         report.samples_sent += 1;
-        let (answered, sd) = answer_probes(&server, cfg.skew_ns);
-        report.probes_answered += answered;
-        shutdown_msg |= sd;
-        ship_obs(&mut obs, &mut report);
+        i += 1;
+        let inbox = answer_probes(&server, cfg.skew_ns);
+        report.probes_answered += inbox.answered;
+        shutdown_msg |= inbox.shutdown;
+        if let Some(seed) = inbox.seed {
+            apply_seed(&server, &mut up, &mut report, &seed);
+        }
+        ship_obs(&mut obs, &mut report, &mut up);
         std::thread::sleep(cfg.period);
     }
-    flush_batch(&mut pending, &mut report);
+    flush_batch(&mut pending, &mut report, &mut up);
 
     // Phase 4: linger so late probes (and probe rounds racing the final
     // sample) still get answers; a stop request skips straight to the
-    // final flush.
+    // final flush. A parent death here still gets the failover window, so
+    // the final Goodbye can close the ledger on the new link.
     let linger_until = Instant::now() + cfg.linger;
-    while Instant::now() < linger_until && !stopping(shutdown_msg) && server.is_alive() {
-        let (answered, sd) = answer_probes(&server, cfg.skew_ns);
-        report.probes_answered += answered;
-        shutdown_msg |= sd;
-        ship_obs(&mut obs, &mut report);
+    while Instant::now() < linger_until && !stopping(shutdown_msg) {
+        if !server.is_alive() {
+            if await_adoption(&server, cfg, &mut up, &mut report, stop) {
+                continue;
+            }
+            break;
+        }
+        let inbox = answer_probes(&server, cfg.skew_ns);
+        report.probes_answered += inbox.answered;
+        shutdown_msg |= inbox.shutdown;
+        if let Some(seed) = inbox.seed {
+            apply_seed(&server, &mut up, &mut report, &seed);
+        }
+        ship_obs(&mut obs, &mut report, &mut up);
         std::thread::sleep(Duration::from_millis(1));
     }
 
     // Phase 5: the final flush — graceful on request *and* at the natural
     // end of the session, so the tool can always close the conservation
     // law. Only a crash (dead transport) leaves the loss unannounced.
+    report.epoch = up.epoch;
     report.graceful_shutdown = flush_goodbye(&server, &mut report, cfg.skew_ns);
     if let Some(sampler) = &obs {
         report.obs_snapshots = sampler.snapshots;
@@ -457,7 +611,7 @@ mod tests {
             "skew difference must be visible: {o0} vs {o1}"
         );
         for d in [d0, d1] {
-            let r = d.join();
+            let r = d.join().expect("daemon report");
             assert!(r.tool_connected && r.probes_answered > 0);
             assert_eq!(r.samples_sent, 6);
         }

@@ -41,11 +41,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: pdmapd [--listen ADDR] [--skew-ns N] [--samples N] \
          [--period-ms N] [--linger-ms N] [--connect-timeout-ms N] [--nodes N] \
-         [--batch N] [--secret PASSPHRASE] [--obs-period MS] [--obs-trace PATH]\n\
-         \x20      pdmapd --relay [--listen ADDR] --child ADDR [--child ADDR ...] \
+         [--batch N] [--secret PASSPHRASE] [--obs-period MS] [--obs-trace PATH] \
+         [--parent ADDR ...] [--failover-ms N] [--replay-ring N]\n\
+         \x20      pdmapd --relay [--listen ADDR] [--child ADDR ...] \
          [--skew-ns N] [--batch N] [--flush-ms N] [--linger-ms N] \
          [--connect-timeout-ms N] [--secret PASSPHRASE] [--obs-period MS] \
-         [--obs-trace PATH]"
+         [--obs-trace PATH] [--parent ADDR ...] [--failover-ms N] \
+         [--replay-ring N]\n\
+         \x20      (--parent lists standby parents to beacon when the \
+         upstream link dies; a --relay with no --child is a standby that \
+         adopts beaconing orphans)"
     );
     std::process::exit(EXIT_USAGE as i32);
 }
@@ -141,6 +146,27 @@ fn parse_args() -> Args {
                 daemon.obs_trace = Some(path.clone());
                 tree.obs_trace = Some(path);
             }
+            "--parent" => match val("--parent").parse() {
+                Ok(addr) => {
+                    daemon.parents.push(addr);
+                    tree.parents.push(addr);
+                }
+                Err(_) => usage(),
+            },
+            "--failover-ms" => match val("--failover-ms").parse() {
+                Ok(v) => {
+                    daemon.failover_timeout = Duration::from_millis(v);
+                    tree.failover_timeout = daemon.failover_timeout;
+                }
+                Err(_) => usage(),
+            },
+            "--replay-ring" => match val("--replay-ring").parse() {
+                Ok(v) => {
+                    daemon.replay_ring = v;
+                    tree.replay_ring = v;
+                }
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("pdmapd: unknown flag '{other}'");
@@ -148,8 +174,11 @@ fn parse_args() -> Args {
             }
         }
     }
-    if relay && tree.children.is_empty() {
-        eprintln!("pdmapd: --relay requires at least one --child ADDR");
+    // A relay with no children is a *standby*: it binds, waits for a
+    // parent, and adopts orphans that beacon it — but only when failover
+    // is in play, otherwise it is a configuration mistake.
+    if relay && tree.children.is_empty() && tree.failover_timeout.is_zero() {
+        eprintln!("pdmapd: --relay without --child requires --failover-ms (standby mode)");
         usage();
     }
     if !relay && !tree.children.is_empty() {
@@ -177,7 +206,7 @@ fn run_leaf(cfg: DaemonConfig) -> ExitCode {
     let report = serve(server, &cfg);
     eprintln!(
         "pdmapd: connected={} samples={} batches={} probes={} steps={} graceful={} skew_ns={} \
-         obs_samples={} obs_snapshots={}",
+         obs_samples={} obs_snapshots={} failovers={} replayed={} epoch={}",
         report.tool_connected,
         report.samples_sent,
         report.batches_sent,
@@ -186,7 +215,10 @@ fn run_leaf(cfg: DaemonConfig) -> ExitCode {
         report.graceful_shutdown,
         cfg.skew_ns,
         report.obs_samples_sent,
-        report.obs_snapshots
+        report.obs_snapshots,
+        report.failovers,
+        report.batches_replayed,
+        report.epoch
     );
     if report.tool_connected {
         ExitCode::SUCCESS
@@ -210,7 +242,8 @@ fn run_relay(cfg: RelayConfig) -> ExitCode {
     let report = pdmapd::serve_relay_until(server, &cfg, &AtomicBool::new(false));
     eprintln!(
         "pdmapd-relay: parent={} synced={}/{} forwarded={} batches={} goodbyes={} lost={} \
-         graceful={} skew_ns={} obs_samples={} obs_snapshots={}",
+         graceful={} skew_ns={} obs_samples={} obs_snapshots={} failovers={} replayed={} \
+         suppressed={} adopted={} epoch={}",
         report.parent_connected,
         report.children_synced,
         cfg.children.len(),
@@ -221,13 +254,18 @@ fn run_relay(cfg: RelayConfig) -> ExitCode {
         report.graceful_shutdown,
         cfg.skew_ns,
         report.obs_samples_sent,
-        report.obs_snapshots
+        report.obs_snapshots,
+        report.failovers,
+        report.batches_replayed,
+        report.replays_suppressed,
+        report.children_adopted,
+        report.epoch
     );
     if !report.parent_connected {
         eprintln!("pdmapd-relay: no parent connected within the timeout");
         return ExitCode::from(EXIT_RELAY);
     }
-    if report.children_synced == 0 {
+    if !cfg.children.is_empty() && report.children_synced == 0 && report.children_adopted == 0 {
         eprintln!("pdmapd-relay: no child completed clock sync");
         return ExitCode::from(EXIT_RELAY);
     }

@@ -36,13 +36,14 @@
 //! once per leaf.
 
 use crate::daemon_now;
+use crate::failover::{self, Uplink};
 use paradyn_tool::daemon::DaemonMsg;
 use pdmap_transport::{
-    send_wire, BatchSample, FrameKind, PifBlob, SampleBatch, TcpClient, TcpServer, Transport,
-    TransportConfig, WirePayload,
+    send_wire, BatchSample, FrameKind, PifBlob, SampleBatch, SourceMark, TcpClient, TcpServer,
+    TopoChild, TopologyMsg, Transport, TransportConfig, WirePayload,
 };
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +88,17 @@ pub struct RelayConfig {
     /// Write a `pdmap_obs::span_dump` of this process's spans here at
     /// session end, for the merged fleet trace exporter.
     pub obs_trace: Option<std::path::PathBuf>,
+    /// Standby parents, in escalation order. When the upstream link dies
+    /// and nobody re-adopts this relay within half of `failover_timeout`,
+    /// it beacons these addresses one by one, inviting a dial-back.
+    pub parents: Vec<SocketAddr>,
+    /// Total budget for surviving an upstream death: pause upward sends,
+    /// answer probes from whoever dials in, replay the ring on a watermark
+    /// seed. `Duration::ZERO` (the default) disables failover — an
+    /// upstream death ends the session as before.
+    pub failover_timeout: Duration,
+    /// Bound on the upward replay ring (batches retained for handover).
+    pub replay_ring: usize,
 }
 
 impl Default for RelayConfig {
@@ -105,6 +117,9 @@ impl Default for RelayConfig {
             child_transport: TransportConfig::default(),
             obs_period: None,
             obs_trace: None,
+            parents: Vec::new(),
+            failover_timeout: Duration::ZERO,
+            replay_ring: 64,
         }
     }
 }
@@ -136,11 +151,26 @@ pub struct RelayReport {
     pub obs_samples_sent: u64,
     /// Self-observation snapshots taken.
     pub obs_snapshots: u32,
+    /// Upstream handovers survived (watermark seeds accepted).
+    pub failovers: u32,
+    /// Batches resent from the replay ring across those handovers.
+    pub batches_replayed: u64,
+    /// Child batches suppressed by the sequence watermark — replays the
+    /// child resent that this relay had already folded in.
+    pub replays_suppressed: u64,
+    /// Orphans this relay adopted (beaconed leaves/relays plus the
+    /// grandchildren of its own dead child relays).
+    pub children_adopted: usize,
+    /// Final topology epoch (bumps on every handover and adoption).
+    pub epoch: u64,
 }
 
 /// One child link and everything the relay knows about its subtree.
 struct Child {
     tx: Arc<TcpClient>,
+    /// The child's listen address — the identity that survives
+    /// re-parenting (topology announcements and source marks key on it).
+    addr: SocketAddr,
     /// Minimum-RTT clock offset of the child's reported clock relative to
     /// this relay's reported clock (meaningful once `synced`).
     offset_ns: i64,
@@ -155,23 +185,70 @@ struct Child {
     /// Samples received from this child (the relay's side of the child's
     /// conservation law).
     samples_received: u64,
+    /// Highest [`SampleBatch`] sequence folded in from this child — the
+    /// watermark that dedups handover replays.
+    last_seq: u64,
+    /// Samples the child delivered to a *previous* parent before this
+    /// relay adopted it. Its final Goodbye announces the whole session, so
+    /// conservation here is `announced == received + prior + lost`.
+    prior_delivered: u64,
+    /// Per-grandchild delivery marks folded from the child's batch
+    /// `sources` — exact watermarks for adopting its children if it dies.
+    source_marks: HashMap<String, (u64, u64)>,
+    /// The child's last topology announcement (present iff it is a relay)
+    /// — the dial list for grandchild adoption.
+    topo: Option<TopologyMsg>,
     /// The child's announced send count, once it said Goodbye.
     announced: Option<u64>,
     /// Latest subtree coverage report, if the child is itself a relay.
     subtree: Option<(u32, u32, u64)>,
+    /// This child died and its subtree was re-parented (its children now
+    /// appear as direct children here) — it contributes nothing to
+    /// coverage, so the re-homed nodes are not double counted.
+    adopted_away: bool,
+    /// Watermark to seed the child's replay with once its clock sync
+    /// completes (set at adoption, consumed once).
+    seed_watermark: Option<u64>,
 }
 
 impl Child {
+    /// A fresh link to `addr`, with adoption bookkeeping zeroed.
+    fn link(addr: SocketAddr, tcfg: TransportConfig) -> Self {
+        Child {
+            tx: TcpClient::connect(addr, tcfg),
+            addr,
+            offset_ns: 0,
+            best_rtt_ns: u64::MAX,
+            rounds_done: 0,
+            synced: false,
+            pending_probe: None,
+            backlog: Vec::new(),
+            samples_received: 0,
+            last_seq: 0,
+            prior_delivered: 0,
+            source_marks: HashMap::new(),
+            topo: None,
+            announced: None,
+            subtree: None,
+            adopted_away: false,
+            seed_watermark: None,
+        }
+    }
+
     /// `(reporting, total, lost)` this child contributes to the relay's
     /// composed coverage. A leaf is a `1/1` subtree; a child relay
     /// contributes its whole last-reported subtree. A child that neither
     /// said Goodbye nor keeps its transport alive is dark — its entire
-    /// subtree stops reporting, never silently one node.
+    /// subtree stops reporting, never silently one node. A child adopted
+    /// away contributes nothing: its nodes re-report under new parents.
     fn coverage(&self) -> (u32, u32, u64) {
+        if self.adopted_away {
+            return (0, 0, 0);
+        }
         let (rep, tot, sub_lost) = self.subtree.unwrap_or((1, 1, 0));
-        let own_lost = self
-            .announced
-            .map_or(0, |a| a.saturating_sub(self.samples_received));
+        let own_lost = self.announced.map_or(0, |a| {
+            a.saturating_sub(self.samples_received + self.prior_delivered)
+        });
         let reporting = if self.announced.is_some() || self.tx.is_alive() {
             rep
         } else {
@@ -180,9 +257,10 @@ impl Child {
         (reporting, tot, own_lost + sub_lost)
     }
 
-    /// The child finished: announced its Goodbye, or went dark.
+    /// The child finished: announced its Goodbye, went dark, or was
+    /// re-parented.
     fn done(&self) -> bool {
-        self.announced.is_some() || !self.tx.is_alive()
+        self.adopted_away || self.announced.is_some() || !self.tx.is_alive()
     }
 }
 
@@ -197,9 +275,11 @@ pub struct RunningRelay {
 }
 
 impl RunningRelay {
-    /// Waits for the relay to finish and returns its report.
-    pub fn join(self) -> RelayReport {
-        self.handle.join().expect("relay serve thread panicked")
+    /// Waits for the relay to finish and returns its report, or the
+    /// panic's diagnostic if the serve thread panicked — a poisoned relay
+    /// is a report for the caller, never a second panic on the reaper.
+    pub fn join(self) -> Result<RelayReport, String> {
+        self.handle.join().map_err(crate::panic_diagnostic)
     }
 
     /// SIGTERM-equivalent: drain the subtree, flush, send the final
@@ -211,10 +291,10 @@ impl RunningRelay {
     /// SIGKILL-equivalent: tears the upward transport down mid-session —
     /// no flush, no Goodbye — and reaps the serve thread. The parent sees
     /// the whole subtree go dark at once.
-    pub fn kill(self) -> RelayReport {
+    pub fn kill(self) -> Result<RelayReport, String> {
         self.server.close();
         self.stop.store(true, Ordering::Release);
-        self.handle.join().expect("relay serve thread panicked")
+        self.handle.join().map_err(crate::panic_diagnostic)
     }
 }
 
@@ -257,6 +337,17 @@ struct RelaySession<'a> {
     shutdown_msg: bool,
     /// Periodic self-sampling (None with `obs_period: None`).
     obs: Option<crate::selfobs::SelfSampler>,
+    /// Upward batch sequencing, epoch, and the handover replay ring.
+    uplink: Uplink,
+    /// Transport tuning for child dials — kept so adoption dials use the
+    /// same liveness/secret settings as the configured children.
+    tcfg: TransportConfig,
+    /// `(epoch, child addrs)` last announced upward, to only resend the
+    /// topology on membership or epoch change.
+    last_topology: Option<(u64, Vec<String>)>,
+    /// Set by [`RelaySession::serve_parent`] when a watermark seed for
+    /// this relay arrived — the signal that a new parent adopted us.
+    reseeded: bool,
 }
 
 impl RelaySession<'_> {
@@ -264,10 +355,32 @@ impl RelaySession<'_> {
         daemon_now(self.cfg.skew_ns)
     }
 
-    /// Drains parent→relay control frames: answers clock probes from the
-    /// relay's reported clock, notes a Shutdown request.
+    /// Drains parent→relay frames: answers clock probes from the relay's
+    /// reported clock, notes a Shutdown request, and handles the two
+    /// topology roles that arrive on the upward socket — a watermark
+    /// **seed** from a parent that just adopted this relay (replay the
+    /// ring past it), and a **beacon** from an orphan asking this relay to
+    /// become its parent.
     fn serve_parent(&mut self) {
         while let Ok(Some(frame)) = self.server.try_recv() {
+            if frame.kind == FrameKind::Topology {
+                if let Ok(msg) = TopologyMsg::from_frame(&frame) {
+                    if failover::is_beacon(&msg) {
+                        self.adopt_orphan(&msg);
+                    } else {
+                        let me = self.server.local_addr().to_string();
+                        if let Some(tc) = msg.children.iter().find(|c| c.addr == me) {
+                            self.report.batches_replayed += self
+                                .uplink
+                                .replay(self.server as &dyn Transport, tc.watermark);
+                            self.report.failovers += 1;
+                            self.reseeded = true;
+                            self.announce_topology(true);
+                        }
+                    }
+                }
+                continue;
+            }
             match DaemonMsg::from_frame(&frame) {
                 Ok(DaemonMsg::ClockProbe { token, t_tool_ns }) => {
                     let reply = DaemonMsg::ClockReply {
@@ -283,6 +396,164 @@ impl RelaySession<'_> {
                 _ => {}
             }
         }
+    }
+
+    /// Adopts a beaconing orphan: dial its listen address, start the
+    /// usual clock sync, and remember the watermark to seed its replay
+    /// with. `prior_delivered` accounts what it already delivered to its
+    /// dead parent, so its final Goodbye still closes the ledger here.
+    fn adopt_orphan(&mut self, msg: &TopologyMsg) {
+        let Ok(addr) = msg.children[0].addr.parse::<SocketAddr>() else {
+            return;
+        };
+        if self
+            .children
+            .iter()
+            .any(|c| c.addr == addr && !c.adopted_away)
+        {
+            return;
+        }
+        let mut child = Child::link(addr, self.tcfg);
+        child.last_seq = msg.children[0].watermark;
+        child.prior_delivered = msg.children[0].received;
+        child.seed_watermark = Some(msg.children[0].watermark);
+        self.children.push(child);
+        self.probe_child(self.children.len() - 1);
+        self.report.children_adopted += 1;
+        self.uplink.epoch += 1;
+        self.announce_topology(true);
+    }
+
+    /// Scans for a dead child relay whose topology is known and adopts
+    /// its children directly: the exact-conservation path, seeded from
+    /// the per-grandchild source marks the dead child delivered before it
+    /// died (marks ride *in* data frames, so a held mark proves the data
+    /// through it already arrived — replay past it is gapless and
+    /// duplicate-free).
+    fn adopt_grandchildren(&mut self) {
+        for i in 0..self.children.len() {
+            if self.children[i].adopted_away
+                || self.children[i].announced.is_some()
+                || self.children[i].tx.is_alive()
+                || self.children[i].topo.is_none()
+            {
+                continue;
+            }
+            let topo = self.children[i].topo.take().unwrap_or_default();
+            let marks = std::mem::take(&mut self.children[i].source_marks);
+            self.children[i].adopted_away = true;
+            let mut adopted = 0usize;
+            for tc in &topo.children {
+                let Ok(addr) = tc.addr.parse::<SocketAddr>() else {
+                    continue;
+                };
+                if self
+                    .children
+                    .iter()
+                    .any(|c| c.addr == addr && !c.adopted_away)
+                {
+                    continue;
+                }
+                let (w, prior) = marks
+                    .get(&tc.addr)
+                    .copied()
+                    .unwrap_or((tc.watermark, tc.received));
+                let mut child = Child::link(addr, self.tcfg);
+                child.last_seq = w;
+                child.prior_delivered = prior;
+                child.seed_watermark = Some(w);
+                self.children.push(child);
+                self.probe_child(self.children.len() - 1);
+                adopted += 1;
+            }
+            if adopted > 0 {
+                self.report.children_adopted += adopted;
+                self.uplink.epoch += 1;
+                self.announce_topology(true);
+            }
+        }
+    }
+
+    /// Announces this relay's live child set (and their delivery marks)
+    /// upward, iff membership or epoch changed since the last send — the
+    /// parent's dial list should this relay die.
+    fn announce_topology(&mut self, force: bool) {
+        let live: Vec<&Child> = self.children.iter().filter(|c| !c.adopted_away).collect();
+        if live.is_empty() {
+            return;
+        }
+        let addrs: Vec<String> = live.iter().map(|c| c.addr.to_string()).collect();
+        let key = (self.uplink.epoch, addrs);
+        if !force && self.last_topology.as_ref() == Some(&key) {
+            return;
+        }
+        let msg = TopologyMsg {
+            epoch: self.uplink.epoch,
+            origin: self.server.local_addr().to_string(),
+            children: live
+                .iter()
+                .map(|c| TopoChild {
+                    addr: c.addr.to_string(),
+                    watermark: c.last_seq,
+                    received: c.samples_received + c.prior_delivered,
+                })
+                .collect(),
+        };
+        if send_wire(self.server as &dyn Transport, &msg).is_ok() {
+            self.last_topology = Some(key);
+        }
+    }
+
+    /// Seeds an adopted child's replay: a [`TopologyMsg`] naming the
+    /// child and the watermark this side has already folded in. Sent once
+    /// its clock sync completes, before any of its live traffic flows.
+    fn send_seed(&mut self, i: usize, watermark: u64) {
+        let msg = TopologyMsg {
+            epoch: self.uplink.epoch,
+            origin: self.server.local_addr().to_string(),
+            children: vec![TopoChild {
+                addr: self.children[i].addr.to_string(),
+                watermark,
+                received: self.children[i].prior_delivered,
+            }],
+        };
+        let _ = send_wire(&*self.children[i].tx as &dyn Transport, &msg);
+    }
+
+    /// The relay's own failover: the upstream link died, so pause upward
+    /// sends (children keep streaming into `pending`) and wait for a new
+    /// parent to dial in and seed a replay. At half the budget, beacon
+    /// the standby parents one by one. Returns true once re-adopted.
+    fn await_upstream(&mut self, stop: &AtomicBool) -> bool {
+        if self.cfg.failover_timeout.is_zero() {
+            return false;
+        }
+        let start = Instant::now();
+        let deadline = start + self.cfg.failover_timeout;
+        let mut next_beacon = start + self.cfg.failover_timeout / 2;
+        let spacing = self.cfg.failover_timeout / (2 * self.cfg.parents.len().max(1) as u32);
+        let mut standby = 0usize;
+        self.reseeded = false;
+        while Instant::now() < deadline && !stop.load(Ordering::Acquire) && !self.shutdown_msg {
+            self.serve_parent();
+            if self.reseeded {
+                self.reseeded = false;
+                return true;
+            }
+            for i in 0..self.children.len() {
+                self.pump_child(i);
+            }
+            if standby < self.cfg.parents.len() && Instant::now() >= next_beacon {
+                let msg = self
+                    .uplink
+                    .beacon_msg(&self.server.local_addr().to_string());
+                failover::send_beacon(self.cfg.parents[standby], &msg, self.tcfg);
+                standby += 1;
+                next_beacon += spacing;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
     }
 
     /// One probe round against child `i` using the relay's reported clock
@@ -327,6 +598,12 @@ impl RelaySession<'_> {
                             if child.rounds_done >= self.cfg.sync_rounds {
                                 child.synced = true;
                                 self.report.children_synced += 1;
+                                // An adopted child gets its watermark seed
+                                // the moment its clock is aligned — its
+                                // ring replay lands before live traffic.
+                                if let Some(w) = self.children[i].seed_watermark.take() {
+                                    self.send_seed(i, w);
+                                }
                                 self.replay_backlog(i);
                             } else {
                                 self.probe_child(i);
@@ -354,11 +631,38 @@ impl RelaySession<'_> {
         match frame.kind {
             FrameKind::SampleBatch => {
                 if let Ok(batch) = SampleBatch::from_frame(frame) {
+                    // Sequence-watermark dedup: a batch at or below the
+                    // watermark is a handover replay of data already
+                    // folded in. (Seq 0 marks an unsequenced legacy
+                    // batch — never deduped.)
+                    if batch.seq != 0 && batch.seq <= self.children[i].last_seq {
+                        self.report.replays_suppressed += 1;
+                        return;
+                    }
+                    if batch.seq != 0 {
+                        self.children[i].last_seq = batch.seq;
+                    }
+                    for m in &batch.sources {
+                        let e = self.children[i]
+                            .source_marks
+                            .entry(m.origin.clone())
+                            .or_insert((0, 0));
+                        if m.through_seq >= e.0 {
+                            *e = (m.through_seq, m.samples);
+                        }
+                    }
                     let offset = self.children[i].offset_ns;
                     self.children[i].samples_received += batch.samples.len() as u64;
                     for mut s in batch.samples {
                         s.wall = rewrite(s.wall, offset);
                         self.pending.push(s);
+                    }
+                }
+            }
+            FrameKind::Topology => {
+                if let Ok(msg) = TopologyMsg::from_frame(frame) {
+                    if !failover::is_beacon(&msg) {
+                        self.children[i].topo = Some(msg);
                     }
                 }
             }
@@ -439,7 +743,12 @@ impl RelaySession<'_> {
         self.report.samples_lost = cov.2;
     }
 
-    /// Flushes pending samples upward as one [`SampleBatch`] frame.
+    /// Flushes pending samples upward as one sequenced [`SampleBatch`]
+    /// frame, carrying cumulative per-child source marks so the parent
+    /// can seed exact adoptions if this relay dies. The uplink rings the
+    /// batch for handover replay; `samples_forwarded` counts it as
+    /// announced whether or not this send landed — a failed send is
+    /// either replayed (no loss) or becomes visible loss at the parent.
     fn flush(&mut self, force: bool) {
         let due = self.pending.len() >= self.cfg.batch.max(1) as usize
             || (!self.pending.is_empty()
@@ -447,14 +756,25 @@ impl RelaySession<'_> {
         if !due {
             return;
         }
-        let batch = SampleBatch {
-            samples: std::mem::take(&mut self.pending),
-        };
-        let n = batch.samples.len() as u64;
-        if send_wire(self.server as &dyn Transport, &batch).is_ok() {
-            self.report.samples_forwarded += n;
+        let samples = std::mem::take(&mut self.pending);
+        let n = samples.len() as u64;
+        let sources = self
+            .children
+            .iter()
+            .filter(|c| !c.adopted_away)
+            .map(|c| SourceMark {
+                origin: c.addr.to_string(),
+                through_seq: c.last_seq,
+                samples: c.samples_received + c.prior_delivered,
+            })
+            .collect();
+        if self
+            .uplink
+            .send(self.server as &dyn Transport, samples, sources)
+        {
             self.report.batches_sent += 1;
         }
+        self.report.samples_forwarded += n;
         self.last_flush = Instant::now();
     }
 
@@ -507,6 +827,7 @@ fn rewrite(wall: u64, offset_ns: i64) -> u64 {
 /// Session epilogue shared by every exit path: records how many obs
 /// snapshots ran and writes the span dump if one was requested.
 fn finish(mut s: RelaySession<'_>) -> RelayReport {
+    s.report.epoch = s.uplink.epoch;
     if let Some(sampler) = &s.obs {
         s.report.obs_snapshots = sampler.snapshots;
     }
@@ -529,6 +850,10 @@ pub fn serve_relay_until(
     cfg: &RelayConfig,
     stop: &AtomicBool,
 ) -> RelayReport {
+    let mut tcfg = cfg.child_transport;
+    if let Some(secret) = cfg.secret {
+        tcfg = tcfg.with_secret(secret);
+    }
     let mut s = RelaySession {
         server: &server,
         cfg,
@@ -545,6 +870,10 @@ pub fn serve_relay_until(
                 paradyn_tool::selfmap::obs_focus("relay", &server.local_addr().to_string()),
             )
         }),
+        uplink: Uplink::new(cfg.replay_ring),
+        tcfg,
+        last_topology: None,
+        reseeded: false,
     };
 
     // Phase 0: wait for the parent, exactly like a leaf waits for its tool.
@@ -560,23 +889,8 @@ pub fn serve_relay_until(
     // Phase 1: dial the children and start their clock sync. The relay is
     // the "tool" of its children: the same transport handshake, the same
     // probe protocol, just referenced to this relay's reported clock.
-    let mut tcfg = cfg.child_transport;
-    if let Some(secret) = cfg.secret {
-        tcfg = tcfg.with_secret(secret);
-    }
     for (i, &addr) in cfg.children.iter().enumerate() {
-        s.children.push(Child {
-            tx: TcpClient::connect(addr, tcfg),
-            offset_ns: 0,
-            best_rtt_ns: u64::MAX,
-            rounds_done: 0,
-            synced: false,
-            pending_probe: None,
-            backlog: Vec::new(),
-            samples_received: 0,
-            announced: None,
-            subtree: None,
-        });
+        s.children.push(Child::link(addr, s.tcfg));
         s.probe_child(i);
     }
     let sync_deadline = Instant::now() + cfg.sync_timeout;
@@ -606,23 +920,43 @@ pub fn serve_relay_until(
         }
     }
     s.report_coverage(true);
+    s.announce_topology(true);
 
     // Phase 2: stream. Merge child frames, flush batches, answer parent
     // probes, resend coverage when the subtree changes, until every child
-    // is done (Goodbye or dark) or a shutdown is requested.
+    // is done (Goodbye, dark, or re-parented) or a shutdown is requested.
+    // Children adopted mid-stream sync here; a dead child relay with a
+    // known topology gets its subtree adopted; an upstream death enters
+    // the failover wait instead of ending the session (when budgeted). A
+    // standby relay (no children yet) keeps serving until told to stop.
     loop {
         s.serve_parent();
         for i in 0..s.children.len() {
             s.pump_child(i);
+            if !s.children[i].synced
+                && s.children[i].pending_probe.is_none()
+                && s.children[i].tx.is_alive()
+            {
+                s.probe_child(i);
+            }
         }
+        s.adopt_grandchildren();
         s.sample_self();
         s.flush(false);
         s.report_coverage(false);
-        let stopping = stop.load(Ordering::Acquire) || s.shutdown_msg;
-        if stopping || !server.is_alive() {
+        if stop.load(Ordering::Acquire) || s.shutdown_msg {
             break;
         }
-        if s.children.iter().all(Child::done) {
+        if !server.is_alive() {
+            if s.await_upstream(stop) {
+                // A new parent folded us in: it has the replayed ring but
+                // not the last coverage snapshot — resend unconditionally.
+                s.report_coverage(true);
+                continue;
+            }
+            break;
+        }
+        if !s.children.is_empty() && s.children.iter().all(Child::done) {
             break;
         }
         std::thread::sleep(Duration::from_micros(500));
@@ -683,8 +1017,9 @@ mod tests {
         subtree: Option<(u32, u32, u64)>,
         alive: bool,
     ) -> Child {
-        let tx = TcpClient::connect(
-            "127.0.0.1:9".parse().unwrap(),
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mut c = Child::link(
+            addr,
             TransportConfig {
                 reconnect: pdmap_transport::ReconnectPolicy {
                     max_attempts: 0,
@@ -694,20 +1029,13 @@ mod tests {
             },
         );
         if !alive {
-            tx.close();
+            c.tx.close();
         }
-        Child {
-            tx,
-            offset_ns: 0,
-            best_rtt_ns: u64::MAX,
-            rounds_done: 0,
-            synced: true,
-            pending_probe: None,
-            backlog: Vec::new(),
-            samples_received: received,
-            announced,
-            subtree,
-        }
+        c.synced = true;
+        c.samples_received = received;
+        c.announced = announced;
+        c.subtree = subtree;
+        c
     }
 
     #[test]
@@ -732,6 +1060,32 @@ mod tests {
             (3, 4, 2),
             "a goodbye'd child relay passes its subtree report through"
         );
+    }
+
+    #[test]
+    fn adopted_child_accounts_prior_delivery() {
+        let mut c = child_with(Some(10), 4, None, false);
+        c.prior_delivered = 6;
+        assert_eq!(
+            c.coverage(),
+            (1, 1, 0),
+            "announced == received-here + delivered-to-dead-parent: no loss"
+        );
+        let mut c = child_with(Some(10), 3, None, false);
+        c.prior_delivered = 6;
+        assert_eq!(c.coverage(), (1, 1, 1), "the handover window stays labeled");
+    }
+
+    #[test]
+    fn adopted_away_child_contributes_nothing() {
+        let mut c = child_with(None, 5, Some((2, 2, 0)), false);
+        c.adopted_away = true;
+        assert_eq!(
+            c.coverage(),
+            (0, 0, 0),
+            "a re-parented subtree re-reports under its new parents"
+        );
+        assert!(c.done());
     }
 
     #[test]

@@ -189,12 +189,12 @@ fn telemetry_streams_through_the_tree_and_answers_remote_questions() {
         assert_eq!(announced, set.conn(i).samples_received(), "conn {i}");
     }
     for r in relays {
-        let rep = r.join();
+        let rep = r.join().expect("relay report");
         assert!(rep.graceful_shutdown);
         assert!(rep.obs_snapshots > 0 && rep.obs_samples_sent > 0);
     }
     for l in leaves {
-        let rep = l.join();
+        let rep = l.join().expect("leaf report");
         assert!(rep.graceful_shutdown);
         assert!(rep.obs_snapshots > 0 && rep.obs_samples_sent > 0);
         assert_eq!(
@@ -224,7 +224,7 @@ fn a_killed_leaf_goes_stale_in_fleet_health_before_any_quarantine() {
     // SIGKILL-equivalent on leaf 0. Its relay connection keeps streaming
     // (three live nodes behind it), so the supervisor has nothing to
     // quarantine — the *only* signal is the leaf's telemetry going dark.
-    leaves.remove(0).kill();
+    let _ = leaves.remove(0).kill();
     let staleness = Duration::from_millis(400);
     let deadline = Instant::now() + Duration::from_secs(15);
     loop {

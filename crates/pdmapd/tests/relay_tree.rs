@@ -166,7 +166,7 @@ fn two_level_tree_conserves_samples_and_chains_clocks() {
     assert_eq!(forwarded, total as u64, "the tree forwarded every sample");
 
     for r in relays {
-        let rep = r.join();
+        let rep = r.join().expect("relay report");
         assert!(rep.parent_connected && rep.graceful_shutdown);
         assert_eq!(rep.children_synced, 2);
         assert_eq!(rep.child_goodbyes, 2);
@@ -174,7 +174,7 @@ fn two_level_tree_conserves_samples_and_chains_clocks() {
         assert!(rep.batches_sent <= rep.samples_forwarded / 2);
     }
     for l in leaves {
-        let rep = l.join();
+        let rep = l.join().expect("leaf report");
         assert!(rep.graceful_shutdown);
         assert_eq!(rep.samples_sent, 12);
         assert!(rep.batches_sent >= 3, "leaf sent batched frames");
@@ -191,7 +191,7 @@ fn killing_a_leaf_costs_exactly_one_reporting_node() {
 
     // SIGKILL-equivalent on one leaf: its relay must notice, degrade its
     // subtree report by exactly one, and the root must see 3/4.
-    leaves.remove(0).kill();
+    let _ = leaves.remove(0).kill();
     let deadline = Instant::now() + Duration::from_secs(15);
     loop {
         set.pump_parallel();
@@ -238,7 +238,7 @@ fn killing_a_relay_darkens_its_whole_subtree() {
 
     // SIGKILL-equivalent on a relay: the tool quarantines the link and the
     // whole 2-leaf subtree leaves coverage at once — 2/4, not 3/4.
-    relays.remove(0).kill();
+    let _ = relays.remove(0).kill();
     let deadline = Instant::now() + Duration::from_secs(15);
     loop {
         set.supervise();

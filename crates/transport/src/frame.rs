@@ -47,11 +47,16 @@ pub enum FrameKind {
     /// pairs plus delta-encoded timestamps, prefixed with the sample count
     /// so conservation audits can account batches without decoding them.
     SampleBatch,
+    /// Aggregation-tree topology: a relay announces its child addresses
+    /// and per-child delivery watermarks to its parent (re-sent on
+    /// change), an orphaned node beacons itself to a standby parent, and
+    /// an adopting parent seeds the orphan's replay watermark.
+    Topology,
 }
 
 impl FrameKind {
     /// Every kind, in wire-byte order (`ALL[k.to_u8()] == k`).
-    pub const ALL: [FrameKind; 7] = [
+    pub const ALL: [FrameKind; 8] = [
         FrameKind::Daemon,
         FrameKind::SasForward,
         FrameKind::PifBlob,
@@ -59,6 +64,7 @@ impl FrameKind {
         FrameKind::Ack,
         FrameKind::Hello,
         FrameKind::SampleBatch,
+        FrameKind::Topology,
     ];
 
     /// Stable lowercase identifier, used to key per-kind metrics
@@ -72,6 +78,7 @@ impl FrameKind {
             FrameKind::Ack => "ack",
             FrameKind::Hello => "hello",
             FrameKind::SampleBatch => "sample_batch",
+            FrameKind::Topology => "topology",
         }
     }
 
@@ -84,6 +91,7 @@ impl FrameKind {
             FrameKind::Ack => 4,
             FrameKind::Hello => 5,
             FrameKind::SampleBatch => 6,
+            FrameKind::Topology => 7,
         }
     }
 
@@ -96,6 +104,7 @@ impl FrameKind {
             4 => FrameKind::Ack,
             5 => FrameKind::Hello,
             6 => FrameKind::SampleBatch,
+            7 => FrameKind::Topology,
             _ => return None,
         })
     }

@@ -44,7 +44,10 @@ pub use inproc::InProcEnd;
 pub use queue::Backpressure;
 pub use stats::{StatsCell, TransportStats};
 pub use tcp::{TcpClient, TcpServer};
-pub use wire::{BatchSample, CodecError, PayloadReader, PifBlob, SampleBatch, WirePayload};
+pub use wire::{
+    BatchSample, CodecError, PayloadReader, PifBlob, SampleBatch, SourceMark, TopoChild,
+    TopologyMsg, WirePayload,
+};
 
 use std::fmt;
 

@@ -251,6 +251,24 @@ pub struct BatchSample {
     pub value: f64,
 }
 
+/// Cumulative provenance for one upstream child folded into a batch: "this
+/// batch (and every batch before it on this link) carries everything I have
+/// received from `origin` through its batch sequence `through_seq`".
+///
+/// Marks ride *inside* SampleBatch frames so a receiver's per-child
+/// watermark advances atomically with the data it covers — there is no
+/// window where a watermark describes samples that were never delivered
+/// (silent gap) or lags samples that were (duplicate on replay).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceMark {
+    /// The child's listen address (its stable identity in the tree).
+    pub origin: String,
+    /// Highest child batch sequence folded into sent batches so far.
+    pub through_seq: u64,
+    /// Cumulative samples received from this child so far.
+    pub samples: u64,
+}
+
 /// Many samples in one frame.
 ///
 /// Wire layout, chosen so conservation accounting never requires a full
@@ -258,6 +276,10 @@ pub struct BatchSample {
 ///
 /// ```text
 /// u32 count                       -- FIRST, so peek_count() works
+/// varint epoch                    -- sender's topology epoch
+/// varint seq                      -- sender's batch sequence (1-based)
+/// varint sources_len
+/// sources_len x (str origin, varint through_seq, varint samples)
 /// u32 dict_len
 /// dict_len x (str metric, str focus)
 /// u64 base_wall                   -- wall of the first sample (0 if empty)
@@ -267,11 +289,20 @@ pub struct BatchSample {
 /// `wall_delta` is relative to the previous sample's wall (the first
 /// sample's to `base_wall`, so it is zero). Deltas are signed because a
 /// relay merges child streams whose corrected timestamps interleave
-/// non-monotonically.
+/// non-monotonically. `epoch` is bumped by the sender on every
+/// re-parenting handover and `seq` is its own monotonic batch counter, so
+/// a receiver that seeds a watermark from a failed parent's books can
+/// suppress exactly the replayed batches it has already folded in.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SampleBatch {
     /// The batched samples, in send order.
     pub samples: Vec<BatchSample>,
+    /// Sender's topology epoch (bumped on every re-parenting handover).
+    pub epoch: u64,
+    /// Sender's own batch sequence, 1-based (0 = unsequenced).
+    pub seq: u64,
+    /// Per-child cumulative watermarks covered by this batch.
+    pub sources: Vec<SourceMark>,
 }
 
 impl SampleBatch {
@@ -289,6 +320,14 @@ impl WirePayload for SampleBatch {
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
         put::u32(out, self.samples.len() as u32);
+        put::varint(out, self.epoch);
+        put::varint(out, self.seq);
+        put::varint(out, self.sources.len() as u64);
+        for m in &self.sources {
+            put::str(out, &m.origin);
+            put::varint(out, m.through_seq);
+            put::varint(out, m.samples);
+        }
         // Dictionary of distinct (metric, focus) pairs, in first-seen order.
         let mut dict: Vec<(&str, &str)> = Vec::new();
         let mut idxs: Vec<u64> = Vec::with_capacity(self.samples.len());
@@ -321,6 +360,22 @@ impl WirePayload for SampleBatch {
 
     fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
         let count = r.u32()? as usize;
+        let epoch = r.varint()?;
+        let seq = r.varint()?;
+        let sources_len = r.varint()? as usize;
+        // Each mark needs >= 6 encoded bytes; cap the allocation by what
+        // the payload could actually carry.
+        let mut sources = Vec::with_capacity(sources_len.min(r.remaining() / 6 + 1));
+        for _ in 0..sources_len {
+            let origin = r.str()?;
+            let through_seq = r.varint()?;
+            let samples = r.varint()?;
+            sources.push(SourceMark {
+                origin,
+                through_seq,
+                samples,
+            });
+        }
         let dict_len = r.u32()? as usize;
         if dict_len > count {
             return Err(CodecError::new(format!(
@@ -353,7 +408,82 @@ impl WirePayload for SampleBatch {
             });
             prev = wall;
         }
-        Ok(SampleBatch { samples })
+        Ok(SampleBatch {
+            samples,
+            epoch,
+            seq,
+            sources,
+        })
+    }
+}
+
+/// One child entry inside a [`TopologyMsg`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopoChild {
+    /// The child's listen address.
+    pub addr: String,
+    /// Highest child batch `seq` the announcer has folded upstream.
+    pub watermark: u64,
+    /// Cumulative samples the announcer has received from this child.
+    pub received: u64,
+}
+
+/// Aggregation-tree topology announcement ([`FrameKind::Topology`]).
+///
+/// Three roles share the frame:
+/// - *announcement* (relay -> parent): `origin` is the relay's listen
+///   address, `children` its direct children with delivery watermarks.
+///   Re-sent whenever membership or epoch changes, so the parent always
+///   holds a recent map of the subtree for adoption.
+/// - *beacon* (orphan -> standby parent): `children` is empty; `origin`
+///   tells the standby which listen address to dial back.
+/// - *watermark seed* (adopter -> orphan): one `children` entry naming the
+///   orphan itself; `watermark` is the highest batch seq the adopting side
+///   has already folded in, so the orphan replays exactly the suffix.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopologyMsg {
+    /// Announcer's topology epoch.
+    pub epoch: u64,
+    /// Announcer's own listen address.
+    pub origin: String,
+    /// Direct children and their delivery watermarks.
+    pub children: Vec<TopoChild>,
+}
+
+impl WirePayload for TopologyMsg {
+    const KIND: FrameKind = FrameKind::Topology;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put::varint(out, self.epoch);
+        put::str(out, &self.origin);
+        put::varint(out, self.children.len() as u64);
+        for c in &self.children {
+            put::str(out, &c.addr);
+            put::varint(out, c.watermark);
+            put::varint(out, c.received);
+        }
+    }
+
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        let epoch = r.varint()?;
+        let origin = r.str()?;
+        let n = r.varint()? as usize;
+        let mut children = Vec::with_capacity(n.min(r.remaining() / 6 + 1));
+        for _ in 0..n {
+            let addr = r.str()?;
+            let watermark = r.varint()?;
+            let received = r.varint()?;
+            children.push(TopoChild {
+                addr,
+                watermark,
+                received,
+            });
+        }
+        Ok(TopologyMsg {
+            epoch,
+            origin,
+            children,
+        })
     }
 }
 
@@ -455,6 +585,7 @@ mod tests {
                 sample("Messages", "node 3", 999_000, 3.0),
                 sample("Computation Time", "<whole program>", 1_001_000, 4.0),
             ],
+            ..SampleBatch::default()
         };
         let frame = batch.to_frame();
         assert_eq!(frame.kind, FrameKind::SampleBatch);
@@ -468,9 +599,70 @@ mod tests {
     }
 
     #[test]
+    fn sample_batch_carries_epoch_seq_and_source_marks() {
+        let batch = SampleBatch {
+            samples: vec![sample("Messages", "node 1", 500, 2.0)],
+            epoch: 7,
+            seq: 19,
+            sources: vec![
+                SourceMark {
+                    origin: "127.0.0.1:7001".into(),
+                    through_seq: 12,
+                    samples: 340,
+                },
+                SourceMark {
+                    origin: "127.0.0.1:7002".into(),
+                    through_seq: 9,
+                    samples: 128,
+                },
+            ],
+        };
+        let frame = batch.to_frame();
+        // Provenance never disturbs the cheap conservation peek.
+        assert_eq!(SampleBatch::peek_count(&frame.payload), Some(1));
+        assert_eq!(SampleBatch::from_frame(&frame).unwrap(), batch);
+    }
+
+    #[test]
+    fn topology_msg_roundtrips_in_all_three_roles() {
+        // Announcement: relay with two children.
+        let announce = TopologyMsg {
+            epoch: 2,
+            origin: "127.0.0.1:8000".into(),
+            children: vec![
+                TopoChild {
+                    addr: "127.0.0.1:8001".into(),
+                    watermark: 11,
+                    received: 900,
+                },
+                TopoChild {
+                    addr: "127.0.0.1:8002".into(),
+                    watermark: 0,
+                    received: 0,
+                },
+            ],
+        };
+        let frame = announce.to_frame();
+        assert_eq!(frame.kind, FrameKind::Topology);
+        assert_eq!(TopologyMsg::from_frame(&frame).unwrap(), announce);
+        // Beacon: origin only, no children.
+        let beacon = TopologyMsg {
+            epoch: 3,
+            origin: "127.0.0.1:8001".into(),
+            children: Vec::new(),
+        };
+        assert_eq!(TopologyMsg::from_frame(&beacon.to_frame()).unwrap(), beacon);
+        // Trailing garbage is rejected like every other payload.
+        let mut frame = announce.to_frame();
+        frame.payload.push(0);
+        assert!(TopologyMsg::from_frame(&frame).is_err());
+    }
+
+    #[test]
     fn sample_batch_rejects_corrupt_dict_index() {
         let batch = SampleBatch {
             samples: vec![sample("m", "f", 10, 1.0)],
+            ..SampleBatch::default()
         };
         let mut frame = batch.to_frame();
         // The dict index is the first byte after count, dict, and base_wall.
@@ -492,6 +684,13 @@ mod tests {
                     )
                 })
                 .collect(),
+            epoch: 3,
+            seq: 42,
+            sources: vec![SourceMark {
+                origin: "127.0.0.1:9001".into(),
+                through_seq: 41,
+                samples: 41_000,
+            }],
         };
         let encoded = many.to_frame().payload;
         // ~11 bytes/sample amortized vs ~50+ for per-sample frames with

@@ -86,6 +86,6 @@ fn main() {
     }
 
     for d in daemons {
-        d.join();
+        let _ = d.join();
     }
 }

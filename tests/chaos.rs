@@ -77,7 +77,7 @@ fn kill_one_of_four_is_covered_then_restored() {
     // down, no drain, no Goodbye — a crash, not a shutdown.
     set.pump_until_samples(8, Duration::from_secs(10));
     let victim = daemons[2].take().unwrap();
-    let report = victim.kill();
+    let report = victim.kill().expect("victim report");
     assert!(!report.graceful_shutdown, "a kill must not look graceful");
     let mappings_before = set.data().with_mappings(|m| m.len());
 
@@ -161,11 +161,11 @@ fn kill_one_of_four_is_covered_then_restored() {
     let final_cov = set.shutdown_all(Duration::from_secs(10));
     assert_eq!(final_cov.nodes_total, 4);
     for d in daemons.into_iter().flatten() {
-        let r = d.join();
+        let r = d.join().expect("daemon report");
         assert!(r.tool_connected);
         assert!(r.graceful_shutdown, "stopped daemons flush a Goodbye");
     }
-    replacement.join();
+    let _ = replacement.join();
 }
 
 #[test]
@@ -184,7 +184,7 @@ fn graceful_stop_announces_and_conserves() {
         set.pump();
         std::thread::sleep(Duration::from_millis(2));
     }
-    let report = d.join();
+    let report = d.join().expect("daemon report");
     assert!(report.graceful_shutdown, "stop() must flush the Goodbye");
     let announced = set.conn(0).announced_sent().expect("Goodbye arrived");
     assert_eq!(announced, report.samples_sent as u64);

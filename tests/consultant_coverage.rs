@@ -108,7 +108,7 @@ fn full_fleet_reproduces_point_verdicts_exactly() {
     assert!(final_cov.is_complete(), "graceful fleet: {final_cov}");
     let session = set.session_coverage();
     for d in daemons {
-        d.join();
+        let _ = d.join();
     }
 
     let tool = tool_for(4);
@@ -237,7 +237,7 @@ fn killing_one_daemon_flips_borderline_verdicts_only() {
     }
     set.shutdown_all(Duration::from_secs(10));
     for d in daemons.into_iter().flatten() {
-        d.join();
+        let _ = d.join();
     }
 }
 

@@ -96,7 +96,7 @@ fn two_daemon_merge_is_ordered_under_50ms_skew() {
         "raw walls must show the skew (gap {wall_gap})"
     );
     for d in daemons {
-        assert!(d.join().tool_connected);
+        assert!(d.join().expect("daemon report").tool_connected);
     }
 }
 
@@ -129,7 +129,7 @@ fn four_daemons_import_and_deliver_into_parallel_shards() {
         .filter(|(m, _)| m.name.ends_with("samples"))
         .all(|&(_, v)| v == 4));
     for d in daemons {
-        d.join();
+        let _ = d.join();
     }
 }
 
