@@ -7,6 +7,7 @@
 //! refine a focus by descending a hierarchy (e.g. from `/CMFarrays` to
 //! `/CMFarrays/bow.fcm/CORNER/TOT`).
 
+use crate::intern::{self, Symbol};
 use crate::model::NounId;
 use crate::util::FxHashMap;
 use std::fmt;
@@ -280,9 +281,16 @@ impl WhereAxis {
 
 /// A focus: for each named hierarchy, a selected node (by path). Hierarchies
 /// not mentioned are implicitly at their root ("whole program").
+///
+/// Hierarchy names and paths are interned [`Symbol`]s, so the derived
+/// `Eq`/`Hash` — the hot operations in the consultant's refinement maps
+/// and the measurement cache's keys — compare a handful of `u32`s instead
+/// of walking strings. The selection vector is kept canonical (sorted by
+/// hierarchy *name*, one entry per hierarchy), so two foci describing the
+/// same selection always compare equal regardless of construction order.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Focus {
-    selections: Vec<(String, String)>,
+    selections: Vec<(Symbol, Symbol)>,
 }
 
 impl Focus {
@@ -294,37 +302,54 @@ impl Focus {
     /// Returns a refined focus selecting `path` in `hierarchy`.
     pub fn select(mut self, hierarchy: &str, path: &str) -> Self {
         let norm = if path.starts_with('/') {
-            path.to_string()
+            intern::sym(path)
         } else {
-            format!("/{path}")
+            intern::sym(&format!("/{path}"))
         };
-        if let Some(entry) = self.selections.iter_mut().find(|(h, _)| h == hierarchy) {
+        let h = intern::sym(hierarchy);
+        if let Some(entry) = self.selections.iter_mut().find(|(hs, _)| *hs == h) {
             entry.1 = norm;
         } else {
-            self.selections.push((hierarchy.to_string(), norm));
-            self.selections.sort();
+            self.selections.push((h, norm));
+            // Canonical order is by hierarchy *name*, not id — interning
+            // order must never leak into display or comparison order.
+            self.selections.sort_by_key(|&(hs, _)| hs.as_str());
         }
         self
     }
 
     /// The selected path in `hierarchy`, if refined ("/" otherwise).
     pub fn selection(&self, hierarchy: &str) -> &str {
+        // Lookup, not intern: probing with a name nobody ever selected
+        // must not grow the table.
+        let Some(h) = intern::lookup(hierarchy) else {
+            return "/";
+        };
         self.selections
             .iter()
-            .find(|(h, _)| h == hierarchy)
-            .map(|(_, p)| p.as_str())
+            .find(|&&(hs, _)| hs == h)
+            .map(|&(_, p)| p.as_str())
             .unwrap_or("/")
     }
 
-    /// All explicit selections, sorted by hierarchy name.
-    pub fn selections(&self) -> &[(String, String)] {
+    /// All explicit selections as interned `(hierarchy, path)` symbol
+    /// pairs, sorted by hierarchy name.
+    pub fn selections(&self) -> &[(Symbol, Symbol)] {
         &self.selections
+    }
+
+    /// All explicit selections as strings, sorted by hierarchy name — the
+    /// render-edge view of [`Focus::selections`].
+    pub fn selection_names(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
+        self.selections
+            .iter()
+            .map(|&(h, p)| (h.as_str(), p.as_str()))
     }
 
     /// True if this focus covers `other`: every selection of `self` is an
     /// ancestor-or-equal of the corresponding selection of `other`.
     pub fn covers(&self, other: &Focus, axis: &WhereAxis) -> bool {
-        for (h, p) in &self.selections {
+        for (h, p) in self.selection_names() {
             let Some(tree) = axis.tree(h) else {
                 return false;
             };
@@ -349,8 +374,7 @@ impl fmt::Display for Focus {
             return f.write_str("<whole program>");
         }
         let parts: Vec<String> = self
-            .selections
-            .iter()
+            .selection_names()
             .map(|(h, p)| format!("{h}{p}"))
             .collect();
         f.write_str(&parts.join(", "))
@@ -459,6 +483,42 @@ mod tests {
             .select("CMFarrays", "/b");
         assert_eq!(f.selection("CMFarrays"), "/b");
         assert_eq!(f.selections().len(), 1);
+    }
+
+    #[test]
+    fn focus_stays_canonical_across_construction_orders() {
+        // Regression for the in-place update path of `Focus::select`:
+        // replacing an existing hierarchy's path skips the sort that
+        // insertion performs, so this pins that every construction order —
+        // fresh insert, insert-then-update, reverse insertion — yields the
+        // same canonical value under Eq, Hash, and Display.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(f: &Focus) -> u64 {
+            let mut s = DefaultHasher::new();
+            f.hash(&mut s);
+            s.finish()
+        }
+        let direct = Focus::whole_program()
+            .select("CMFarrays", "/bow.fcm/CORNER/TOT")
+            .select("Machine", "/node#2");
+        let updated = Focus::whole_program()
+            .select("CMFarrays", "/stale/path")
+            .select("Machine", "/node#2")
+            .select("CMFarrays", "/bow.fcm/CORNER/TOT"); // update, no re-sort
+        let reversed = Focus::whole_program()
+            .select("Machine", "/node#2")
+            .select("CMFarrays", "/bow.fcm/CORNER/TOT");
+        assert_eq!(direct, updated);
+        assert_eq!(direct, reversed);
+        assert_eq!(h(&direct), h(&updated));
+        assert_eq!(h(&direct), h(&reversed));
+        assert_eq!(direct.to_string(), updated.to_string());
+        assert_eq!(direct.to_string(), reversed.to_string());
+        // The canonical order is by hierarchy name, independent of the
+        // order names were first interned in this process.
+        let names: Vec<&str> = direct.selection_names().map(|(hname, _)| hname).collect();
+        assert_eq!(names, vec!["CMFarrays", "Machine"]);
     }
 
     #[test]

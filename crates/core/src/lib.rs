@@ -51,8 +51,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod columns;
 pub mod cost;
 pub mod hierarchy;
+pub mod intern;
 pub mod interval;
 pub mod mapping;
 pub mod model;
@@ -65,8 +67,10 @@ pub mod prelude {
         assign_componentwise, assign_downward, assign_per_source, AssignPolicy, AssignTarget,
         Assignment, AssignmentResult,
     };
+    pub use crate::columns::{KeyFold, SampleColumns};
     pub use crate::cost::{Aggregation, Cost, CostUnit};
     pub use crate::hierarchy::{Focus, ResourceIdx, ResourceTree, WhereAxis};
+    pub use crate::intern::{Symbol, SymbolTable};
     pub use crate::interval::{Interval, Side};
     pub use crate::mapping::{MappingDef, MappingShape, MappingTable};
     pub use crate::model::{LevelId, Namespace, NounId, Sentence, SentenceId, VerbId};

@@ -184,6 +184,7 @@ impl Namespace {
         if let Some(&id) = g.level_by_name.get(name) {
             return id;
         }
+        crate::intern::sym(name);
         let id = LevelId(g.levels.len() as u32);
         g.levels.push(LevelDef {
             name: name.to_string(),
@@ -199,6 +200,7 @@ impl Namespace {
         if let Some(&id) = g.noun_by_key.get(&(level, name.to_string())) {
             return id;
         }
+        crate::intern::sym(name);
         let id = NounId(g.nouns.len() as u32);
         g.nouns.push(NounDef {
             name: name.to_string(),
@@ -215,6 +217,7 @@ impl Namespace {
         if let Some(&id) = g.verb_by_key.get(&(level, name.to_string())) {
             return id;
         }
+        crate::intern::sym(name);
         let id = VerbId(g.verbs.len() as u32);
         g.verbs.push(VerbDef {
             name: name.to_string(),
@@ -283,6 +286,13 @@ impl Namespace {
     /// Returns the interned sentence backing `id`.
     pub fn sentence_def(&self, id: SentenceId) -> Sentence {
         self.inner.read().sentences[id.index()].clone()
+    }
+
+    /// Runs `f` against the interned sentence backing `id` without cloning
+    /// its noun list — the allocation-free accessor the SAS match paths
+    /// use (pattern matching reads the sentence; it never needs to own it).
+    pub fn with_sentence<R>(&self, id: SentenceId, f: impl FnOnce(&Sentence) -> R) -> R {
+        f(&self.inner.read().sentences[id.index()])
     }
 
     /// The level of abstraction of a sentence is the level of its verb.

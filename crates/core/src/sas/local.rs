@@ -199,13 +199,18 @@ impl LocalSas {
         if *ver == self.cache_version {
             return mask.clone();
         }
-        let sentence = self.ns.sentence_def(sid);
-        let mut mask = BitSet::with_capacity(self.atoms.len());
-        for (i, atom) in self.atoms.iter().enumerate() {
-            if atom.pattern.matches(&sentence) {
-                mask.insert(i);
+        // Zero-clone: the pattern probes only read the sentence, so borrow
+        // it in place instead of cloning its noun list per recompute.
+        let atoms = &self.atoms;
+        let mask = self.ns.with_sentence(sid, |sentence| {
+            let mut mask = BitSet::with_capacity(atoms.len());
+            for (i, atom) in atoms.iter().enumerate() {
+                if atom.pattern.matches(sentence) {
+                    mask.insert(i);
+                }
             }
-        }
+            mask
+        });
         self.match_cache[sid.index()] = (self.cache_version, mask.clone());
         mask
     }
@@ -321,7 +326,7 @@ impl LocalSas {
         self.order
             .iter()
             .copied()
-            .filter(|&s| pattern.matches(&self.ns.sentence_def(s)))
+            .filter(|&s| self.ns.with_sentence(s, |def| pattern.matches(def)))
             .collect()
     }
 
@@ -334,7 +339,7 @@ impl LocalSas {
         let mut active = 0u32;
         let mut active_seqs: Vec<(u64, SentenceId)> = Vec::new();
         for &sid in &self.order {
-            if pattern.matches(&self.ns.sentence_def(sid)) {
+            if self.ns.with_sentence(sid, |def| pattern.matches(def)) {
                 let n = self.counts[sid.index()];
                 active += n;
                 // We only know the most recent activation seq per sentence;

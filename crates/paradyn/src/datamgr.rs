@@ -46,6 +46,7 @@ use cmrts_sim::machine::{ArrayAllocInfo, MappingSink};
 use cmrts_sim::ArrayId;
 use dyninst_sim::Pred;
 use pdmap::aggregate::{assign_per_source, AssignPolicy, AssignmentResult};
+use pdmap::columns::SampleColumns;
 use pdmap::cost::{Cost, UnitMismatch};
 use pdmap::hierarchy::{Focus, WhereAxis};
 use pdmap::mapping::MappingTable;
@@ -134,6 +135,11 @@ pub struct ShardStats {
 /// registry as `datamgr.shard<K>.{imports,samples,lock_wait_ns}`.
 struct Shard {
     inner: Mutex<ShardInner>,
+    /// The shard's columnar sample buffer: batched samples delivered by
+    /// this shard's daemon land here as flat columns (see
+    /// [`DataManager::append_columns_on`]). Separate from `inner` so the
+    /// sample path never contends with the import path.
+    cols: Mutex<SampleColumns>,
     imports: AtomicU64,
     samples: AtomicU64,
     lock_wait_ns: AtomicU64,
@@ -146,6 +152,7 @@ impl Shard {
     fn new(index: usize) -> Self {
         Self {
             inner: Mutex::new(ShardInner::default()),
+            cols: Mutex::new(SampleColumns::new()),
             imports: AtomicU64::new(0),
             samples: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
@@ -226,6 +233,10 @@ impl DataManager {
         let DmShared { mappings, axis, .. } = &mut *g;
         let applied = pdmap_pif::apply(file, &self.ns, mappings, axis)?;
         g.pif_metrics.extend(applied.metrics.iter().cloned());
+        // Import complete: the symbol table is expected to be read-only
+        // from here (late interns — dynamic arrays — are counted, not
+        // rejected; see `pdmap::intern`).
+        pdmap::intern::freeze();
         Ok(applied)
     }
 
@@ -261,6 +272,7 @@ impl DataManager {
         match pdmap_pif::apply(&file, &self.ns, mappings, axis) {
             Ok(applied) => {
                 g.pif_metrics.extend(applied.metrics.iter().cloned());
+                pdmap::intern::freeze();
                 Ok(Some(applied))
             }
             // An unapplicable wire PIF is recorded as "seen" but contributes
@@ -383,6 +395,56 @@ impl DataManager {
         s.obs_samples.add(n);
     }
 
+    /// Delivers a decoded wire batch from daemon `daemon` into shard
+    /// `shard`'s columnar buffer, interning the batch dictionary and
+    /// applying the daemon's clock offset as it lands. The columnar twin
+    /// of the struct spine's per-sample delivery: counts move on the same
+    /// relaxed per-shard counters, and no shared lock is taken.
+    pub fn append_columns_on(
+        &self,
+        shard: usize,
+        daemon: u32,
+        offset_ns: i64,
+        batch: &pdmap_transport::BatchColumns,
+    ) {
+        let s = &self.shards[shard % self.shards.len()];
+        s.cols.lock().extend_batch(daemon, offset_ns, batch);
+        let n = batch.len() as u64;
+        s.samples.fetch_add(n, Ordering::Relaxed);
+        s.obs_samples.add(n);
+    }
+
+    /// Re-applies skew correction for `daemon` across every shard's
+    /// columnar buffer — the column-pass rewrite a later clock sync owes
+    /// samples that already landed under a stale offset estimate.
+    pub fn realign_columns(&self, daemon: u32, offset_ns: i64) {
+        for s in self.shards.iter() {
+            s.cols.lock().realign(daemon, offset_ns);
+        }
+    }
+
+    /// One-pass variant of [`DataManager::realign_columns`] covering every
+    /// daemon at once (`offsets` indexed by daemon id) — what the
+    /// post-handshake rewrite uses instead of N full passes.
+    pub fn realign_columns_all(&self, offsets: &[i64]) {
+        for s in self.shards.iter() {
+            s.cols.lock().realign_all(offsets);
+        }
+    }
+
+    /// The shard-merged columnar sample view: every shard's buffer
+    /// concatenated in shard order, then stably sorted by aligned time —
+    /// same-instant samples keep shard-then-arrival order. Names stay
+    /// interned; callers materialize strings only at the render edge.
+    pub fn merged_sample_columns(&self) -> SampleColumns {
+        let mut out = SampleColumns::new();
+        for s in self.shards.iter() {
+            out.append(&s.cols.lock());
+        }
+        out.sort_by_aligned();
+        out
+    }
+
     fn array_active_sentence(&self, array: &str) -> Option<SentenceId> {
         let level = self.ns.find_level(&self.source_level)?;
         let verb = self.ns.find_verb(level, "Active")?;
@@ -447,38 +509,38 @@ impl DataManager {
 
     fn resolve_focus_locked(&self, g: &DmShared, focus: &Focus) -> Result<Vec<Pred>, FocusError> {
         let mut preds = Vec::new();
-        for (hier, path) in focus.selections() {
+        for (hier, path) in focus.selection_names() {
             if path == "/" {
                 continue;
             }
             let tree = g
                 .axis
                 .tree(hier)
-                .ok_or_else(|| FocusError::UnknownHierarchy(hier.clone()))?;
+                .ok_or_else(|| FocusError::UnknownHierarchy(hier.to_string()))?;
             let node = tree
                 .resolve(path)
-                .ok_or_else(|| FocusError::UnknownPath(path.clone()))?;
+                .ok_or_else(|| FocusError::UnknownPath(path.to_string()))?;
             let name = tree.name_of(node).to_string();
-            match hier.as_str() {
+            match hier {
                 "Machine" => {
                     let k: u32 = name
                         .strip_prefix("node#")
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                        .ok_or_else(|| FocusError::Unconstrainable(path.to_string()))?;
                     preds.push(Pred::NodeIs(k));
                 }
                 "CMFarrays" => {
                     if let Some(sub) = name.strip_prefix("sub#") {
                         let k: u32 = sub
                             .parse()
-                            .map_err(|_| FocusError::Unconstrainable(path.clone()))?;
+                            .map_err(|_| FocusError::Unconstrainable(path.to_string()))?;
                         let parent = tree
                             .parent(node)
-                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                            .ok_or_else(|| FocusError::Unconstrainable(path.to_string()))?;
                         let array = tree.name_of(parent).to_string();
                         let s = self
                             .array_active_sentence(&array)
-                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                            .ok_or_else(|| FocusError::Unconstrainable(path.to_string()))?;
                         preds.push(Pred::SentenceActive(s));
                         preds.push(Pred::NodeIs(k));
                     } else {
@@ -486,14 +548,14 @@ impl DataManager {
                         // children, so "has array sentence" is the test).
                         let s = self
                             .array_active_sentence(&name)
-                            .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                            .ok_or_else(|| FocusError::Unconstrainable(path.to_string()))?;
                         preds.push(Pred::SentenceActive(s));
                     }
                 }
                 "CMFstmts" => {
                     let s = self
                         .line_sentence(&name)
-                        .ok_or_else(|| FocusError::Unconstrainable(path.clone()))?;
+                        .ok_or_else(|| FocusError::Unconstrainable(path.to_string()))?;
                     preds.push(Pred::SentenceActive(s));
                 }
                 other => return Err(FocusError::UnknownHierarchy(other.to_string())),

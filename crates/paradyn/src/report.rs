@@ -56,12 +56,25 @@ pub fn profile(tool: &Paradyn, metric: &str, parent: &Focus) -> Profile {
             wall = w;
         }
     }
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    sort_rows(&mut rows);
     Profile {
         metric: metric.to_string(),
         rows,
         wall,
     }
+}
+
+/// Sorts profile rows descending by value with a total order: `total_cmp`
+/// instead of `partial_cmp`, so a NaN measurement cannot make the sort
+/// comparator inconsistent (the old `unwrap_or(Equal)` fallback let NaN
+/// rows land anywhere, varying run to run). Equal values tie-break by the
+/// rendered focus name ascending, making the report order fully
+/// deterministic.
+fn sort_rows(rows: &mut [(Focus, f64)]) {
+    rows.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
 }
 
 /// Produces a complete textual run report for the loaded program.
@@ -166,6 +179,36 @@ mod tests {
         // (the tree root + CP return) tops the per-node rows or ties.
         let rendered = p.render(16);
         assert!(rendered.contains("CMFarrays"), "{rendered}");
+    }
+
+    #[test]
+    fn profile_sort_is_total_and_tie_breaks_by_name() {
+        let f = |path: &str| Focus::whole_program().select("CMFarrays", path);
+        // Ties, a NaN, and out-of-order values, deliberately scrambled.
+        let mut rows = vec![
+            (f("/B"), 2.0),
+            (f("/D"), f64::NAN),
+            (f("/C"), 2.0),
+            (f("/A"), 5.0),
+            (f("/E"), 0.5),
+        ];
+        sort_rows(&mut rows);
+        let order: Vec<String> = rows
+            .iter()
+            .map(|(focus, _)| focus.selection("CMFarrays").to_string())
+            .collect();
+        // total_cmp places NaN above every finite value in descending
+        // order; the 2.0 tie resolves by rendered focus name. The order
+        // is pinned: rerunning the same profile can never reshuffle it.
+        assert_eq!(order, ["/D", "/A", "/B", "/C", "/E"]);
+        // Sorting an already-sorted copy is a fixed point.
+        let mut again = rows.clone();
+        sort_rows(&mut again);
+        let reordered: Vec<String> = again
+            .iter()
+            .map(|(focus, _)| focus.selection("CMFarrays").to_string())
+            .collect();
+        assert_eq!(order, reordered);
     }
 
     #[test]

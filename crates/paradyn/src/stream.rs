@@ -111,7 +111,10 @@ pub fn run_sampled_adaptive(
             for (s, r) in streams.iter_mut().zip(requests) {
                 s.samples.push((t, r.value(m)));
             }
-            next_sample = step + usize::try_from(interval).unwrap_or(usize::MAX).max(1);
+            // A backed-off sampler can return an interval near u64::MAX;
+            // saturate instead of overflowing past the end of the run.
+            next_sample =
+                step.saturating_add(usize::try_from(interval).unwrap_or(usize::MAX).max(1));
         }
     });
     (streams, summary)
@@ -261,6 +264,32 @@ mod tests {
             lossy_streams[0].last_value(),
             lossy_summary.messages as f64,
             "the last step is always sampled, so totals survive back-off"
+        );
+    }
+
+    #[test]
+    fn adaptive_sampling_survives_a_maximally_backed_off_interval() {
+        // A sampler pinned at u64::MAX used to overflow `step + interval`
+        // when computing the next sample index; it must saturate instead,
+        // sampling only the first and last steps.
+        use pdmap_obs::{AdaptiveSampler, SamplerConfig};
+        let (reqs, mut machine) = adaptive_fixture();
+        let mut sampler = AdaptiveSampler::new(SamplerConfig {
+            base_interval: u64::MAX,
+            max_interval: u64::MAX,
+            increase_factor: 2,
+            decrease_step: 1,
+        });
+        let (streams, summary) = run_sampled_adaptive(&mut machine, &reqs, &mut sampler, |_| 0);
+        assert_eq!(
+            streams[0].len(),
+            2,
+            "only the first and final steps sample at an infinite interval"
+        );
+        assert_eq!(
+            streams[0].last_value(),
+            summary.messages as f64,
+            "the forced final sample still carries the ground-truth total"
         );
     }
 }

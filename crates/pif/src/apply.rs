@@ -118,6 +118,15 @@ pub fn apply(
             Record::Resource(r) => {
                 let level = ns.level(&r.abstraction);
                 let components: Vec<&str> = r.path.split('/').filter(|c| !c.is_empty()).collect();
+                // Intern the hierarchy name and full where-axis path now,
+                // at import time, so focus selection over this resource
+                // never has to grow the symbol table on the hot path.
+                pdmap::intern::sym(&r.hierarchy);
+                if r.path.starts_with('/') {
+                    pdmap::intern::sym(&r.path);
+                } else {
+                    pdmap::intern::sym(&format!("/{}", r.path));
+                }
                 let tree = axis.tree_mut(&r.hierarchy);
                 let node = tree.add_path(&components);
                 let noun_name = r

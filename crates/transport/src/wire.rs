@@ -313,6 +313,156 @@ impl SampleBatch {
         let head = payload.get(0..4)?;
         Some(u32::from_le_bytes(head.try_into().unwrap()))
     }
+
+    /// Decodes an encoded payload straight into [`BatchColumns`], never
+    /// materializing per-sample structs. Same wire grammar and bounds
+    /// checks as the [`WirePayload`] decode; the payload must be consumed
+    /// exactly.
+    pub fn decode_columns(payload: &[u8]) -> Result<BatchColumns, CodecError> {
+        let mut r = PayloadReader::new(payload);
+        let count = r.u32()? as usize;
+        let epoch = r.varint()?;
+        let seq = r.varint()?;
+        let sources_len = r.varint()? as usize;
+        let mut sources = Vec::with_capacity(sources_len.min(r.remaining() / 6 + 1));
+        for _ in 0..sources_len {
+            let origin = r.str()?;
+            let through_seq = r.varint()?;
+            let samples = r.varint()?;
+            sources.push(SourceMark {
+                origin,
+                through_seq,
+                samples,
+            });
+        }
+        let dict_len = r.u32()? as usize;
+        if dict_len > count {
+            return Err(CodecError::new(format!(
+                "batch dictionary of {dict_len} entries exceeds sample count {count}"
+            )));
+        }
+        let mut dict: Vec<(String, String)> = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            let metric = r.str()?;
+            let focus = r.str()?;
+            dict.push((metric, focus));
+        }
+        let base_wall = r.u64()?;
+        // Same allocation cap as the struct decode: >=10 bytes per sample.
+        let cap = count.min(r.remaining() / 10 + 1);
+        let mut key = Vec::with_capacity(cap);
+        let mut wall = Vec::with_capacity(cap);
+        let mut value = Vec::with_capacity(cap);
+        let mut prev = base_wall;
+        // The sample triples are the hot loop of the whole ingest path:
+        // read them straight off the payload slice with a one-byte varint
+        // fast path, deferring to the general reader only for multi-byte
+        // varints (rare: dict indices are small and wall deltas tight).
+        let buf = r.buf;
+        let mut pos = r.pos;
+        for _ in 0..count {
+            let (idx, p) = fast_varint(buf, pos)?;
+            let idx = idx as usize;
+            if idx >= dict.len() {
+                return Err(CodecError::new(format!(
+                    "batch dict index {idx} out of range"
+                )));
+            }
+            let (zz, p) = fast_varint(buf, p)?;
+            let w = prev.wrapping_add(((zz >> 1) as i64 ^ -((zz & 1) as i64)) as u64);
+            let Some(bytes) = buf.get(p..p + 8) else {
+                return Err(CodecError::new(format!(
+                    "payload truncated: wanted 8 bytes at offset {p}, have {}",
+                    buf.len().saturating_sub(p)
+                )));
+            };
+            pos = p + 8;
+            key.push(idx as u32);
+            wall.push(w);
+            value.push(f64::from_bits(u64::from_le_bytes(
+                bytes.try_into().unwrap(),
+            )));
+            prev = w;
+        }
+        r.pos = pos;
+        r.finish()?;
+        Ok(BatchColumns {
+            epoch,
+            seq,
+            sources,
+            dict,
+            key,
+            wall,
+            value,
+        })
+    }
+
+    /// Decodes a [`FrameKind::SampleBatch`] frame into columns — the
+    /// columnar twin of [`WirePayload::from_frame`].
+    pub fn columns_from_frame(frame: &Frame) -> Result<BatchColumns, CodecError> {
+        if frame.kind != FrameKind::SampleBatch {
+            return Err(CodecError::new(format!(
+                "expected SampleBatch frame, got {:?}",
+                frame.kind
+            )));
+        }
+        Self::decode_columns(&frame.payload)
+    }
+}
+
+/// LEB128 varint read off a raw slice: single-byte values (the common
+/// case for dictionary indices and delta-coded walls) cost one branch;
+/// anything longer takes the general [`PayloadReader::varint`] path,
+/// including its overflow checks.
+#[inline]
+fn fast_varint(buf: &[u8], pos: usize) -> Result<(u64, usize), CodecError> {
+    match buf.get(pos) {
+        Some(&b) if b & 0x80 == 0 => Ok((u64::from(b), pos + 1)),
+        Some(_) => {
+            let mut r = PayloadReader { buf, pos };
+            let v = r.varint()?;
+            Ok((v, r.pos))
+        }
+        None => Err(CodecError::new(format!(
+            "payload truncated: wanted 1 bytes at offset {pos}, have 0"
+        ))),
+    }
+}
+
+/// A [`SampleBatch`] decoded as structure-of-arrays: the per-sample
+/// `key`/`wall`/`value` columns plus the (metric, focus) dictionary they
+/// index. This is the hot ingest representation — a receiver interns the
+/// small dictionary once per frame and then bulk-appends three flat
+/// columns, instead of cloning two `Arc<str>`s per sample into an
+/// array-of-structs. Column lengths are always equal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchColumns {
+    /// Sender's topology epoch (see [`SampleBatch::epoch`]).
+    pub epoch: u64,
+    /// Sender's batch sequence (see [`SampleBatch::seq`]).
+    pub seq: u64,
+    /// Per-child cumulative watermarks covered by this batch.
+    pub sources: Vec<SourceMark>,
+    /// Distinct (metric, focus) pairs, in first-seen order.
+    pub dict: Vec<(String, String)>,
+    /// Per-sample index into `dict`.
+    pub key: Vec<u32>,
+    /// Per-sample sender-clock wall timestamps (nanoseconds).
+    pub wall: Vec<u64>,
+    /// Per-sample values.
+    pub value: Vec<f64>,
+}
+
+impl BatchColumns {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// True when the batch carries no samples.
+    pub fn is_empty(&self) -> bool {
+        self.key.is_empty()
+    }
 }
 
 impl WirePayload for SampleBatch {
@@ -656,6 +806,47 @@ mod tests {
         let mut frame = announce.to_frame();
         frame.payload.push(0);
         assert!(TopologyMsg::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn columnar_decode_agrees_with_struct_decode() {
+        let batch = SampleBatch {
+            samples: vec![
+                sample("Computation Time", "<whole program>", 1_000_000, 1.0),
+                sample("Messages", "node 3", 999_000, 3.0),
+                sample("Computation Time", "<whole program>", 1_001_000, 4.0),
+            ],
+            epoch: 2,
+            seq: 11,
+            sources: vec![SourceMark {
+                origin: "127.0.0.1:9001".into(),
+                through_seq: 10,
+                samples: 30,
+            }],
+        };
+        let frame = batch.to_frame();
+        let cols = SampleBatch::columns_from_frame(&frame).unwrap();
+        assert_eq!(cols.len(), batch.samples.len());
+        assert_eq!(cols.epoch, batch.epoch);
+        assert_eq!(cols.seq, batch.seq);
+        assert_eq!(cols.sources, batch.sources);
+        for (i, s) in batch.samples.iter().enumerate() {
+            let (m, f) = &cols.dict[cols.key[i] as usize];
+            assert_eq!((m.as_str(), f.as_str()), (&*s.metric, &*s.focus));
+            assert_eq!(cols.wall[i], s.wall);
+            assert_eq!(cols.value[i], s.value);
+        }
+        // Repeated pairs share one dictionary entry in both decodes.
+        assert_eq!(cols.dict.len(), 2);
+        // An empty batch decodes to empty columns.
+        let empty = SampleBatch::default().to_frame();
+        let ec = SampleBatch::columns_from_frame(&empty).unwrap();
+        assert!(ec.is_empty());
+        // Kind mismatch and corrupt counts are rejected like the struct path.
+        assert!(SampleBatch::columns_from_frame(&PifBlob(vec![1]).to_frame()).is_err());
+        let mut bad = batch.to_frame();
+        bad.payload[0] = 9;
+        assert!(SampleBatch::columns_from_frame(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The global symbol table is process-wide shared state on the hot path:
+//! every focus selection, hierarchy name, and columnar sample key goes
+//! through it. These tests pin its contract — duplicate collapse, id
+//! round-trips, concurrent reads after freeze — and prove that interning
+//! is invisible at the render edge: the §13 consultant goldens come out
+//! byte-identical through the interned evaluation path.
+
+use pdmap::intern;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[test]
+fn duplicate_interns_collapse_and_ids_round_trip() {
+    let a = intern::sym("intern-test/alpha");
+    let b = intern::sym("intern-test/beta");
+    assert_ne!(a, b);
+    // Same string, same symbol — no matter how it was built.
+    assert_eq!(intern::sym("intern-test/alpha"), a);
+    assert_eq!(intern::sym(&format!("intern-test/alph{}", "a")), a);
+    // Id -> name -> id round-trips, and the name is the original bytes.
+    assert_eq!(a.as_str(), "intern-test/alpha");
+    assert_eq!(intern::lookup(a.as_str()), Some(a));
+    assert_eq!(intern::table().resolve(a), a.as_str());
+    // Lookup of a never-interned name does not invent a symbol.
+    assert_eq!(intern::lookup("intern-test/never-interned-gamma"), None);
+}
+
+#[test]
+fn frozen_table_serves_concurrent_readers() {
+    // PIF import freezes the table; after that the fleet reads it from
+    // every drain thread at once. Hammer it from several threads while a
+    // straggler keeps interning (freeze is advisory) and check every
+    // reader sees consistent name<->id pairs throughout.
+    let names: Vec<String> = (0..64).map(|i| format!("intern-test/conc{i}")).collect();
+    let syms: Vec<intern::Symbol> = names.iter().map(|n| intern::sym(n)).collect();
+    intern::freeze();
+    assert!(intern::is_frozen());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for (name, &sym) in names.iter().zip(&syms) {
+                        assert_eq!(intern::lookup(name), Some(sym));
+                        assert_eq!(sym.as_str(), name);
+                    }
+                }
+            });
+        }
+        // Late interns are counted, not rejected: dynamic resources
+        // (subgrids, spawned arrays) legitimately appear mid-run.
+        let before = intern::table().post_freeze_interns();
+        let late = intern::sym("intern-test/late-subgrid");
+        assert_eq!(late.as_str(), "intern-test/late-subgrid");
+        assert!(intern::table().post_freeze_interns() > before);
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn interned_evaluation_renders_the_consultant_goldens_byte_identically() {
+    // The §13 pinned frames, re-asserted through a tool whose focus and
+    // where-axis names all live in the symbol table. If intern order or
+    // id values ever leaked into focus canonicalization or rendering,
+    // these exact strings would drift.
+    use paradyn_tool::consultant::{render, search, search_parallel, ConsultantConfig};
+    use paradyn_tool::{Coverage, SessionCoverage};
+    // Skew intern order on purpose: grab names the tool will later intern
+    // itself, in a different order than import would, plus decoys.
+    for n in ["CMFnodes", "zzz-decoy", "CMFarrays", "aaa-decoy", "Machine"] {
+        intern::sym(n);
+    }
+    let mut tool = paradyn_tool::Paradyn::new(cmrts_sim::MachineConfig {
+        nodes: 4,
+        ..cmrts_sim::MachineConfig::default()
+    });
+    tool.load_source(cmf_lang::samples::FIGURE4).unwrap();
+    assert!(
+        intern::is_frozen(),
+        "PIF import freezes the symbol table for the run"
+    );
+    let cfg = ConsultantConfig {
+        threshold: 0.10,
+        max_depth: 0,
+    };
+    let full = "\
+[TRUE ] ExcessiveCommunication @ <whole program> — 55.4% of wall time
+[TRUE ] ExcessiveBroadcast @ <whole program> — 38.4% of wall time
+[TRUE ] ExcessiveIdleTime @ <whole program> — 210.9% of wall time
+[false] ExcessiveReductionTime @ <whole program> — 8.5% of wall time
+[false] ExcessiveSortTime @ <whole program> — 0.0% of wall time
+[false] ExcessiveIOTime @ <whole program> — 0.0% of wall time
+";
+    assert_eq!(render(&search(&tool, &cfg)), full);
+    assert_eq!(render(&search_parallel(&tool, &cfg)), full);
+
+    tool.set_session_coverage(Some(SessionCoverage {
+        coverage: Coverage {
+            nodes_reporting: 3,
+            nodes_total: 4,
+            samples_lost: 2,
+        },
+        max_sample_cost: 1e-6,
+    }));
+    let degraded = "\
+[TRUE ] ExcessiveCommunication @ <whole program> — 55.4% of wall time in [55.4%, 76.0%] (3/4 nodes, >=2 samples lost)
+[TRUE ] ExcessiveBroadcast @ <whole program> — 38.4% of wall time in [38.4%, 53.4%] (3/4 nodes, >=2 samples lost)
+[TRUE ] ExcessiveIdleTime @ <whole program> — 210.9% of wall time in [210.9%, 283.4%] (3/4 nodes, >=2 samples lost)
+[?????] ExcessiveReductionTime @ <whole program> — 8.5% of wall time in [8.5%, 13.5%] (3/4 nodes, >=2 samples lost)
+[false] ExcessiveSortTime @ <whole program> — 0.0% of wall time in [0.0%, 2.2%] (3/4 nodes, >=2 samples lost)
+[false] ExcessiveIOTime @ <whole program> — 0.0% of wall time in [0.0%, 2.2%] (3/4 nodes, >=2 samples lost)
+";
+    assert_eq!(render(&search(&tool, &cfg)), degraded);
+    assert_eq!(render(&search_parallel(&tool, &cfg)), degraded);
+}
+
+#[test]
+fn focus_display_ignores_intern_order() {
+    use pdmap::hierarchy::Focus;
+    // Intern the hierarchy names in reverse lexical order so symbol ids
+    // run opposite to name order, then build the same focus two ways.
+    intern::sym("intern-test/zhier");
+    intern::sym("intern-test/ahier");
+    let fwd = Focus::whole_program()
+        .select("intern-test/ahier", "/x")
+        .select("intern-test/zhier", "/y");
+    let rev = Focus::whole_program()
+        .select("intern-test/zhier", "/y")
+        .select("intern-test/ahier", "/x");
+    assert_eq!(fwd, rev);
+    assert_eq!(fwd.to_string(), rev.to_string());
+    let names: Vec<&str> = fwd.selection_names().map(|(h, _)| h).collect();
+    assert_eq!(
+        names,
+        ["intern-test/ahier", "intern-test/zhier"],
+        "canonical order is name order, never id order"
+    );
+}
